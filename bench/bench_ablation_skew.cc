@@ -1,0 +1,85 @@
+// Ablation: key skew. NEXMark's generator draws keys near-uniformly; this
+// sweep applies Zipf skew to the bidder/auction selection and checks that
+// FlowKV's advantage over the baselines is not an artifact of uniform keys
+// (hot keys stress the AUR write buffer's per-(key,window) bucketing and the
+// baselines' per-key structures differently).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace flowkv {
+namespace {
+
+BenchResult RunSkewed(const BenchRun& base, double skew) {
+  BenchRun run = base;
+  // Rebuild the source factory with skew via a custom nexmark config.
+  NexmarkConfig nexmark = run.MakeNexmark();
+  nexmark.key_skew = skew;
+
+  const std::string dir = MakeTempDir("flowkv_bench");
+  std::unique_ptr<StateBackendFactory> factory = MakeBackendFactory(run, dir);
+  QueryParams params;
+  params.window_size_ms = run.window_size_ms;
+  params.session_gap_ms = run.session_gap_ms;
+  JobConfig config;
+  config.workers = 1;
+  config.max_wall_seconds = run.timeout_seconds;
+  JobReport report = RunJob(
+      config, MakeNexmarkSourceFactory(nexmark),
+      [&](int worker, Pipeline* pipeline) {
+        return BuildNexmarkQuery(run.query, params, pipeline);
+      },
+      factory.get());
+  BenchResult result;
+  result.ok = report.status.ok();
+  if (!result.ok) {
+    result.fail_reason = report.status.ToString();
+  }
+  result.throughput = report.Throughput();
+  result.stats = report.AggregateStoreStats();
+  RemoveDirRecursively(dir);
+  return result;
+}
+
+void Run() {
+  const BenchScale scale = GetBenchScale();
+  const std::vector<double> skews = {0.0, 0.5, 0.9, 0.99};
+
+  std::printf("Ablation: Zipf key skew, q11-median throughput (Mevents/s, scale=%s)\n",
+              scale.name);
+  std::printf("%8s | %10s %10s %10s\n", "skew", "flowkv", "rocksdb", "faster");
+  PrintRule(46);
+  for (double skew : skews) {
+    std::printf("%8.2f |", skew);
+    for (BackendSel store :
+         {BackendSel::kFlowKv, BackendSel::kLsm, BackendSel::kHashKv}) {
+      BenchRun run;
+      run.query = "q11-median";
+      run.backend = store;
+      run.events_per_worker = scale.events_per_worker;
+      run.timeout_seconds = scale.timeout_seconds * 2;
+      BenchResult r = RunSkewed(run, skew);
+      if (r.ok) {
+        std::printf(" %9.2fM", r.throughput / 1e6);
+      } else {
+        std::printf(" %10s", "FAIL");
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nExpected shape: FlowKV stays ahead across the skew range. Skew concentrates\n"
+      "appends on hot keys, which deepens their value lists and makes the hash\n"
+      "baseline's rewrite-on-append quadratically worse; FlowKV's window-bucketed\n"
+      "appends are list-length independent, so its throughput barely moves.\n");
+}
+
+}  // namespace
+}  // namespace flowkv
+
+int main() {
+  flowkv::Run();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 11: effect of the predictive-batch-read ratio on (a) throughput and
+// (b) prefetch-buffer hit ratio, for the two AUR queries (Q11-Median,
+// Q7-Session). Also reports measured read amplification against the paper's
+// Eq. 1 prediction (amplification = 1 / hit ratio).
+//
+// Expected shape: ratio 0 (prediction disabled) runs at a fraction of the
+// predictive throughput; beyond ~0.02 extra prefetching buys nothing because
+// the additionally fetched windows are unlikely to be read before eviction.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace flowkv {
+namespace {
+
+void Run() {
+  const BenchScale scale = GetBenchScale();
+  const std::vector<std::string> queries = {"q11-median", "q7-session"};
+  const std::vector<double> ratios = {0.0, 0.005, 0.01, 0.02, 0.04, 0.08, 0.16};
+
+  std::printf("Figure 11: predictive batch read sweep on FlowKV (scale=%s)\n", scale.name);
+  for (const auto& query : queries) {
+    std::printf("\n%s\n", query.c_str());
+    std::printf("%10s %12s %10s %10s %12s\n", "ratio", "throughput", "hit_ratio",
+                "read_amp", "eq1_pred");
+    PrintRule(60);
+    for (double ratio : ratios) {
+      BenchRun run;
+      run.query = query;
+      run.backend = BackendSel::kFlowKv;
+      run.events_per_worker = scale.events_per_worker;
+      run.timeout_seconds = scale.timeout_seconds * 2;
+      run.flowkv.read_batch_ratio = ratio;
+      // Paper regime: state far exceeds the write buffer, so reads hit the
+      // on-disk logs and prediction decides whether they batch.
+      run.flowkv.write_buffer_bytes = 32 * 1024;
+      run.window_size_ms = 480'000;
+      run.session_gap_ms = 24'000;
+      BenchResult r = ExecuteBench(run);
+      const double hit = r.stats.PrefetchHitRatio();
+      const double eq1 = hit > 0 ? 1.0 / hit : 0.0;
+      std::printf("%10.3f %11.2fM %10.3f %10.2f %12.2f%s\n", ratio, r.throughput / 1e6, hit,
+                  r.stats.ReadAmplification(), eq1, r.ok ? "" : ("  " + r.fail_reason).c_str());
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 11 / §6.4): disabling prediction (ratio 0) costs\n"
+      "~60%% of throughput; hit ratio saturates ~0.9+ around ratio 0.02 and measured\n"
+      "read amplification tracks 1/hit_ratio (Eq. 1).\n");
+}
+
+}  // namespace
+}  // namespace flowkv
+
+int main() {
+  flowkv::Run();
+  return 0;
+}

@@ -1,0 +1,217 @@
+// Micro-benchmarks (google-benchmark) of the raw store operations the
+// figures aggregate: point writes/reads per store, append amplification in
+// the hash store vs merge operands in the LSM vs FlowKV's window hashing,
+// and the m-partition ablation (compaction pause smoothing, paper §3).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/common/env.h"
+#include "src/common/random.h"
+#include "src/flowkv/aar_store.h"
+#include "src/flowkv/aur_store.h"
+#include "src/flowkv/flowkv_store.h"
+#include "src/flowkv/rmw_store.h"
+#include "src/hashkv/hashkv_store.h"
+#include "src/lsm/lsm_store.h"
+#include "src/lsm/merge.h"
+
+namespace flowkv {
+namespace {
+
+std::string Key(uint64_t i) { return "key" + std::to_string(i); }
+
+// ----------------------------- RMW pattern ops -----------------------------
+
+void BM_LsmRmwPut(benchmark::State& state) {
+  const std::string dir = MakeTempDir("bm_lsm");
+  std::unique_ptr<LsmStore> store;
+  LsmStore::Open(dir, LsmOptions{}, std::make_unique<ListAppendMergeOperator>(), &store);
+  Random rng(1);
+  const std::string value(16, 'v');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->Put(Key(rng.Uniform(10'000)), value));
+  }
+  state.SetItemsProcessed(state.iterations());
+  RemoveDirRecursively(dir);
+}
+BENCHMARK(BM_LsmRmwPut);
+
+void BM_HashKvRmwUpsert(benchmark::State& state) {
+  const std::string dir = MakeTempDir("bm_hkv");
+  std::unique_ptr<HashKvStore> store;
+  HashKvStore::Open(dir, HashKvOptions{}, &store);
+  Random rng(1);
+  const std::string value(16, 'v');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->Upsert(Key(rng.Uniform(10'000)), value));
+  }
+  state.SetItemsProcessed(state.iterations());
+  RemoveDirRecursively(dir);
+}
+BENCHMARK(BM_HashKvRmwUpsert);
+
+void BM_FlowKvRmwPut(benchmark::State& state) {
+  const std::string dir = MakeTempDir("bm_frmw");
+  std::unique_ptr<RmwStore> store;
+  RmwStore::Open(dir, FlowKvOptions{}, &store);
+  Random rng(1);
+  const std::string value(16, 'v');
+  const Window w(0, 1'000'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->Put(Key(rng.Uniform(10'000)), w, value));
+  }
+  state.SetItemsProcessed(state.iterations());
+  RemoveDirRecursively(dir);
+}
+BENCHMARK(BM_FlowKvRmwPut);
+
+// --------------------------- Append pattern ops ----------------------------
+// args: list length per key; the hash store's cost should grow with it while
+// LSM merge and FlowKV window-append stay flat.
+
+void BM_LsmAppend(benchmark::State& state) {
+  const std::string dir = MakeTempDir("bm_lsma");
+  std::unique_ptr<LsmStore> store;
+  LsmStore::Open(dir, LsmOptions{}, std::make_unique<ListAppendMergeOperator>(), &store);
+  const int64_t keys = state.range(0);
+  std::string element;
+  EncodeListElement(&element, std::string(84, 'b'));
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->Merge(Key(i++ % keys), element));
+  }
+  state.SetItemsProcessed(state.iterations());
+  RemoveDirRecursively(dir);
+}
+BENCHMARK(BM_LsmAppend)->Arg(1000)->Arg(100)->Arg(10);
+
+void BM_HashKvAppend(benchmark::State& state) {
+  const std::string dir = MakeTempDir("bm_hkva");
+  std::unique_ptr<HashKvStore> store;
+  HashKvStore::Open(dir, HashKvOptions{}, &store);
+  const int64_t keys = state.range(0);
+  std::string element;
+  EncodeListElement(&element, std::string(84, 'b'));
+  uint64_t i = 0;
+  for (auto _ : state) {
+    Status s = store->Rmw(Key(i++ % keys), [&](const std::string* existing) {
+      std::string updated = existing ? *existing : std::string();
+      updated += element;
+      return updated;
+    });
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+  RemoveDirRecursively(dir);
+}
+BENCHMARK(BM_HashKvAppend)->Arg(1000)->Arg(100)->Arg(10);
+
+void BM_FlowKvAarAppend(benchmark::State& state) {
+  const std::string dir = MakeTempDir("bm_faar");
+  std::unique_ptr<AarStore> store;
+  AarStore::Open(dir, FlowKvOptions{}, &store);
+  const int64_t keys = state.range(0);
+  const std::string value(84, 'b');
+  const Window w(0, 1'000'000);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->Append(Key(i++ % keys), value, w));
+  }
+  state.SetItemsProcessed(state.iterations());
+  RemoveDirRecursively(dir);
+}
+BENCHMARK(BM_FlowKvAarAppend)->Arg(1000)->Arg(100)->Arg(10);
+
+void BM_FlowKvAurAppend(benchmark::State& state) {
+  const std::string dir = MakeTempDir("bm_faur");
+  std::unique_ptr<AurStore> store;
+  AurStore::Open(dir, FlowKvOptions{}, std::make_unique<SessionEttPredictor>(1000), &store);
+  const int64_t keys = state.range(0);
+  const std::string value(84, 'b');
+  uint64_t i = 0;
+  int64_t ts = 0;
+  for (auto _ : state) {
+    const uint64_t k = i++ % keys;
+    benchmark::DoNotOptimize(
+        store->Append(Key(k), value, Window(static_cast<int64_t>(k) * 1000,
+                                            static_cast<int64_t>(k) * 1000 + 1000), ts++));
+  }
+  state.SetItemsProcessed(state.iterations());
+  RemoveDirRecursively(dir);
+}
+BENCHMARK(BM_FlowKvAurAppend)->Arg(1000)->Arg(100)->Arg(10);
+
+// ------------------------- partitioning ablation ---------------------------
+// Max single-operation pause under an RMW overwrite workload: with m
+// partitions, each compaction touches 1/m of the state (paper §3 claims this
+// smooths latency spikes).
+
+void BM_FlowKvPartitionPause(benchmark::State& state) {
+  const std::string dir = MakeTempDir("bm_part");
+  OperatorStateSpec spec;
+  spec.name = "op";
+  spec.window_kind = WindowKind::kTumbling;
+  spec.incremental = true;
+  FlowKvOptions options;
+  options.num_partitions = static_cast<int>(state.range(0));
+  options.write_buffer_bytes = 64 * 1024;
+  options.max_space_amplification = 1.3;
+  std::unique_ptr<FlowKvStore> store;
+  FlowKvStore::Open(dir, options, spec, &store);
+  Random rng(1);
+  const Window w(0, 1'000'000);
+  const std::string value(64, 'v');
+  int64_t max_pause_ns = 0;
+  for (auto _ : state) {
+    const int64_t before = MonotonicNanos();
+    benchmark::DoNotOptimize(store->Put(Key(rng.Uniform(2000)), w, value));
+    max_pause_ns = std::max(max_pause_ns, MonotonicNanos() - before);
+  }
+  state.counters["max_pause_us"] =
+      benchmark::Counter(static_cast<double>(max_pause_ns) / 1e3);
+  state.SetItemsProcessed(state.iterations());
+  RemoveDirRecursively(dir);
+}
+BENCHMARK(BM_FlowKvPartitionPause)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// ------------------------------ AUR read path ------------------------------
+
+void BM_FlowKvAurGetPrefetched(benchmark::State& state) {
+  const std::string dir = MakeTempDir("bm_aurget");
+  FlowKvOptions options;
+  options.write_buffer_bytes = 1;  // everything on disk
+  options.read_batch_ratio = 0.05;
+  std::unique_ptr<AurStore> store;
+  AurStore::Open(dir, options, std::make_unique<SessionEttPredictor>(10), &store);
+  const int kWindows = 4096;
+  for (int i = 0; i < kWindows; ++i) {
+    store->Append(Key(i), std::string(84, 'b'), Window(i * 100, i * 100 + 100), i * 100);
+  }
+  int i = 0;
+  std::vector<std::string> values;
+  for (auto _ : state) {
+    if (i >= kWindows) {
+      // Refill outside timing once drained.
+      state.PauseTiming();
+      for (int j = 0; j < kWindows; ++j) {
+        store->Append(Key(j), std::string(84, 'b'), Window(j * 100, j * 100 + 100), j * 100);
+      }
+      i = 0;
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(store->Get(Key(i), Window(i * 100, i * 100 + 100), &values));
+    ++i;
+  }
+  state.counters["hit_ratio"] = benchmark::Counter(store->stats().PrefetchHitRatio());
+  state.SetItemsProcessed(state.iterations());
+  RemoveDirRecursively(dir);
+}
+BENCHMARK(BM_FlowKvAurGetPrefetched);
+
+}  // namespace
+}  // namespace flowkv
+
+BENCHMARK_MAIN();

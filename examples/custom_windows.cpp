@@ -1,0 +1,110 @@
+// Custom window functions (paper §8): what FlowKV does when it cannot see
+// inside a user-defined window function, and the two escape hatches:
+//
+//  1. a read-alignment annotation (@AlignedRead-style hint) that upgrades the
+//     operation from the conservative Unaligned store to the AAR store, and
+//  2. an adaptive ETT predictor that *learns* the custom trigger semantics
+//     from runtime observations, re-enabling predictive batch read.
+//
+//   $ ./custom_windows
+#include <cstdio>
+#include <memory>
+
+#include "src/backends/flowkv_backend.h"
+#include "src/common/coding.h"
+#include "src/common/env.h"
+#include "src/common/random.h"
+#include "src/nexmark/aggregates.h"
+#include "src/nexmark/events.h"
+#include "src/spe/pipeline.h"
+#include "src/spe/window_operator.h"
+
+namespace {
+
+class CountSink : public flowkv::Collector {
+ public:
+  flowkv::Status Emit(const flowkv::Event& event) override {
+    ++results;
+    return flowkv::Status::Ok();
+  }
+  int results = 0;
+};
+
+// A "business calendar" window: 400 ms accounting periods, except that every
+// 5th period is long (double length). FlowKV cannot know this from the type.
+void BusinessCalendarAssign(int64_t ts, std::vector<flowkv::Window>* out) {
+  const int64_t cycle = 6 * 400;  // 4 normal + 1 long period per cycle
+  int64_t base = ts - (ts % cycle + cycle) % cycle;
+  int64_t offset = ts - base;
+  if (offset < 4 * 400) {
+    int64_t start = base + (offset / 400) * 400;
+    out->emplace_back(start, start + 400);
+  } else {
+    out->emplace_back(base + 4 * 400, base + cycle);  // the long period
+  }
+}
+
+void RunOnce(const char* label, flowkv::ReadAlignmentHint hint,
+             flowkv::FlowKvStore::PredictorFactory predictor) {
+  using namespace flowkv;
+  const std::string dir = MakeTempDir("custom_windows");
+  FlowKvOptions options;
+  options.write_buffer_bytes = 16 * 1024;
+  options.read_batch_ratio = 0.3;  // generous: few windows are live at once
+  FlowKvBackendFactory backend(dir, options, std::move(predictor));
+
+  Pipeline pipeline;
+  WindowOperatorConfig op;
+  op.name = "calendar";
+  op.assigner = std::make_shared<CustomWindowAssigner>(BusinessCalendarAssign, hint);
+  op.process = std::make_shared<MedianPriceProcess>();  // full-list => Append pattern
+  pipeline.AddOperator(std::make_unique<WindowOperator>(std::move(op)));
+  CountSink sink;
+  if (!pipeline.Open(&backend, 0, &sink).ok()) {
+    return;
+  }
+
+  Random rng(7);
+  int64_t ts = 0;
+  for (int i = 0; i < 60'000; ++i) {
+    ts += static_cast<int64_t>(rng.Uniform(8));
+    Bid bid{1, rng.Uniform(50), 100 + rng.Uniform(1000), ts};
+    if (!pipeline.Process(Event(IdKey(bid.bidder), SerializeBid(bid), ts)).ok()) {
+      return;
+    }
+    if (i % 128 == 0) {
+      pipeline.AdvanceWatermark(ts);
+    }
+  }
+  pipeline.Finish();
+  StoreStats stats = pipeline.GatherStats();
+  std::printf("%-28s results=%-6d hit_ratio=%.3f prefetched=%lld\n", label, sink.results,
+              stats.PrefetchHitRatio(), static_cast<long long>(stats.prefetched_entries));
+  RemoveDirRecursively(dir);
+}
+
+}  // namespace
+
+int main() {
+  using namespace flowkv;
+  std::printf("custom 'business calendar' windows, median aggregate, 60k bids\n\n");
+
+  // 1. No hint, no predictor: conservative Unaligned store, no prediction.
+  RunOnce("conservative (default)", ReadAlignmentHint::kDefault, nullptr);
+
+  // 2. Adaptive predictor: FlowKV profiles actual triggers at runtime and
+  //    predictive batch read comes back (§8 "runtime profiling" direction).
+  RunOnce("adaptive ETT predictor", ReadAlignmentHint::kDefault, [] {
+    return std::unique_ptr<EttPredictor>(new AdaptiveEttPredictor(/*warmup=*/64));
+  });
+
+  // 3. Annotated @AlignedRead: this calendar IS aligned (same boundaries for
+  //    all keys), so the hint lets FlowKV use the AAR store outright.
+  RunOnce("@AlignedRead hint (AAR)", ReadAlignmentHint::kAligned, nullptr);
+
+  std::printf(
+      "\nTakeaway: unhinted custom windows run correctly but without prediction\n"
+      "(hit_ratio 0); the adaptive predictor recovers prefetching from runtime\n"
+      "profiling; the alignment annotation removes per-key reads entirely.\n");
+  return 0;
+}

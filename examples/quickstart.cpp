@@ -1,0 +1,80 @@
+// Quickstart: build a windowed streaming pipeline backed by FlowKV.
+//
+// The pipeline counts events per key in 1-second tumbling windows. State
+// lives in FlowKV, which classifies the operation as Read-Modify-Write
+// (incremental AggregateFunction + aligned windows) and deploys its RMW
+// store automatically.
+//
+//   $ ./quickstart
+#include <cstdio>
+#include <memory>
+
+#include "src/backends/flowkv_backend.h"
+#include "src/common/coding.h"
+#include "src/common/env.h"
+#include "src/nexmark/aggregates.h"
+#include "src/spe/pipeline.h"
+#include "src/spe/window_operator.h"
+
+namespace {
+
+// Sink that prints every window result as it is emitted.
+class PrintSink : public flowkv::Collector {
+ public:
+  flowkv::Status Emit(const flowkv::Event& event) override {
+    std::printf("  window result: key=%s count=%llu (window end ~ t=%lld ms)\n",
+                event.key.c_str(),
+                static_cast<unsigned long long>(flowkv::DecodeFixed64(event.value.data())),
+                static_cast<long long>(event.timestamp));
+    return flowkv::Status::Ok();
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace flowkv;
+
+  // 1. A state-backend factory: every stateful operator gets its own FlowKV
+  //    composite store under this directory.
+  const std::string state_dir = MakeTempDir("quickstart_state");
+  FlowKvOptions options;  // paper defaults: batch ratio 0.02, MSA 1.5, m=2
+  FlowKvBackendFactory backend(state_dir, options);
+
+  // 2. A pipeline: one stateful window operator (tumbling 1 s, count).
+  Pipeline pipeline;
+  WindowOperatorConfig op;
+  op.name = "count_per_key";
+  op.assigner = std::make_shared<TumblingWindowAssigner>(1000);
+  op.aggregate = std::make_shared<CountAggregate>();
+  pipeline.AddOperator(std::make_unique<WindowOperator>(std::move(op)));
+
+  PrintSink sink;
+  Status s = pipeline.Open(&backend, /*worker=*/0, &sink);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // 3. Feed timestamped events and advance the watermark; windows fire as
+  //    event time passes their end.
+  std::printf("feeding events...\n");
+  const char* keys[] = {"apple", "banana", "apple", "cherry", "apple", "banana"};
+  int64_t t = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (const char* key : keys) {
+      t += 130;
+      if (!pipeline.Process(Event(key, "x", t)).ok()) {
+        return 1;
+      }
+    }
+    pipeline.AdvanceWatermark(t);
+  }
+  pipeline.Finish();  // flush the final partial window
+
+  // 4. Store-side statistics collected by FlowKV.
+  StoreStats stats = pipeline.GatherStats();
+  std::printf("\nFlowKV stats: %s\n", stats.ToString().c_str());
+  RemoveDirRecursively(state_dir);
+  return 0;
+}

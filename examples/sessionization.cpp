@@ -1,0 +1,110 @@
+// Sessionization: the workload class FlowKV's AUR store was designed for.
+//
+// A clickstream of (user, page) events is grouped into per-user sessions
+// (session windows with a 30-second gap); for each closed session we emit
+// the click count and the pages visited. Because the aggregate needs the
+// full click list (non-incremental) and session windows trigger per key at
+// data-dependent times, FlowKV classifies this as Append & Unaligned Read
+// and uses predictive batch read: sessions about to expire are prefetched
+// from the on-disk log before the engine asks for them.
+//
+//   $ ./sessionization
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/backends/flowkv_backend.h"
+#include "src/common/env.h"
+#include "src/common/random.h"
+#include "src/spe/pipeline.h"
+#include "src/spe/window_operator.h"
+
+namespace {
+
+using flowkv::Slice;
+using flowkv::Status;
+using flowkv::Window;
+
+// Summarizes one closed session.
+class SessionSummary : public flowkv::ProcessWindowFunction {
+ public:
+  Status Process(const Slice& key, const Window& window,
+                 const std::vector<std::string>& clicks, const EmitFn& emit) const override {
+    std::string summary = std::to_string(clicks.size()) + " clicks [";
+    for (size_t i = 0; i < clicks.size() && i < 5; ++i) {
+      summary += clicks[i];
+      summary += ' ';
+    }
+    if (clicks.size() > 5) {
+      summary += "...";
+    }
+    summary += ']';
+    return emit(std::move(summary));
+  }
+};
+
+class PrintSink : public flowkv::Collector {
+ public:
+  Status Emit(const flowkv::Event& event) override {
+    ++sessions;
+    if (sessions <= 10) {
+      std::printf("  session closed: user=%-8s %s (ended t=%lldms)\n", event.key.c_str(),
+                  event.value.c_str(), static_cast<long long>(event.timestamp));
+    }
+    return Status::Ok();
+  }
+  int sessions = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace flowkv;
+
+  const std::string state_dir = MakeTempDir("sessionization_state");
+  FlowKvOptions options;
+  options.write_buffer_bytes = 64 * 1024;  // small buffer: exercise the disk path
+  options.read_batch_ratio = 0.02;         // paper's recommended setting
+  FlowKvBackendFactory backend(state_dir, options);
+
+  Pipeline pipeline;
+  WindowOperatorConfig op;
+  op.name = "sessionize";
+  op.assigner = std::make_shared<SessionWindowAssigner>(30'000);  // 30 s gap
+  op.process = std::make_shared<SessionSummary>();
+  pipeline.AddOperator(std::make_unique<WindowOperator>(std::move(op)));
+
+  PrintSink sink;
+  if (!pipeline.Open(&backend, 0, &sink).ok()) {
+    return 1;
+  }
+
+  // Synthetic clickstream: 200 users, bursty visits.
+  std::printf("replaying clickstream (first 10 sessions shown)...\n");
+  Random rng(2024);
+  const char* pages[] = {"/home", "/search", "/item", "/cart", "/checkout"};
+  int64_t t = 0;
+  for (int i = 0; i < 200'000; ++i) {
+    t += static_cast<int64_t>(rng.Uniform(40));
+    std::string user = "user" + std::to_string(rng.Uniform(200));
+    if (!pipeline.Process(Event(user, pages[rng.Uniform(5)], t)).ok()) {
+      return 1;
+    }
+    if (i % 256 == 0) {
+      pipeline.AdvanceWatermark(t);
+    }
+  }
+  pipeline.Finish();
+
+  StoreStats stats = pipeline.GatherStats();
+  std::printf("\n%d sessions closed in total\n", sink.sessions);
+  std::printf("FlowKV AUR store: prefetch hit ratio %.3f, read amplification %.2f\n",
+              stats.PrefetchHitRatio(), stats.ReadAmplification());
+  std::printf(
+      "                  (paper Eq. 1: amplification = 1/r for the tuple-level hit\n"
+      "                  ratio r; long sessions here evict prefetched state often,\n"
+      "                  so the Get-level ratio above understates r)\n");
+  std::printf("full stats: %s\n", stats.ToString().c_str());
+  RemoveDirRecursively(state_dir);
+  return 0;
+}

@@ -1,0 +1,160 @@
+#include "src/backends/flowkv_backend.h"
+
+#include <vector>
+
+#include "src/common/env.h"
+
+namespace flowkv {
+
+namespace {
+
+class FlowKvAarState : public AppendAlignedState {
+ public:
+  explicit FlowKvAarState(std::shared_ptr<FlowKvStore> store) : store_(std::move(store)) {}
+
+  Status Append(const Slice& key, const Slice& value, const Window& w) override {
+    return store_->Append(key, value, w);
+  }
+
+  Status GetWindowChunk(const Window& w, std::vector<WindowChunkEntry>* chunk,
+                        bool* done) override {
+    return store_->GetWindowChunk(w, chunk, done);
+  }
+
+ private:
+  std::shared_ptr<FlowKvStore> store_;
+};
+
+class FlowKvAurState : public AppendUnalignedState {
+ public:
+  explicit FlowKvAurState(std::shared_ptr<FlowKvStore> store) : store_(std::move(store)) {}
+
+  Status Append(const Slice& key, const Slice& value, const Window& w,
+                int64_t timestamp) override {
+    return store_->Append(key, value, w, timestamp);
+  }
+
+  Status Get(const Slice& key, const Window& w, std::vector<std::string>* values) override {
+    return store_->Get(key, w, values);
+  }
+
+  Status MergeWindows(const Slice& key, const std::vector<Window>& sources,
+                      const Window& dst) override {
+    return store_->MergeWindows(key, sources, dst);
+  }
+
+ private:
+  std::shared_ptr<FlowKvStore> store_;
+};
+
+class FlowKvRmwState : public RmwState {
+ public:
+  explicit FlowKvRmwState(std::shared_ptr<FlowKvStore> store) : store_(std::move(store)) {}
+
+  Status Get(const Slice& key, const Window& w, std::string* accumulator) override {
+    return store_->Get(key, w, accumulator);
+  }
+
+  Status Put(const Slice& key, const Window& w, const Slice& accumulator) override {
+    return store_->Put(key, w, accumulator);
+  }
+
+  Status Remove(const Slice& key, const Window& w) override {
+    return store_->Remove(key, w);
+  }
+
+ private:
+  std::shared_ptr<FlowKvStore> store_;
+};
+
+class FlowKvBackend : public StateBackend {
+ public:
+  FlowKvBackend(std::string dir, FlowKvOptions options,
+                FlowKvStore::PredictorFactory predictor_override)
+      : dir_(std::move(dir)),
+        options_(options),
+        predictor_override_(std::move(predictor_override)) {}
+
+  Status CreateAppendAligned(const OperatorStateSpec& spec,
+                             std::unique_ptr<AppendAlignedState>* out) override {
+    std::shared_ptr<FlowKvStore> store;
+    FLOWKV_RETURN_IF_ERROR(OpenStore(spec, &store));
+    if (store->pattern() != StorePattern::kAppendAligned) {
+      return Status::Internal("pattern classifier disagrees with the engine");
+    }
+    *out = std::make_unique<FlowKvAarState>(store);
+    return Status::Ok();
+  }
+
+  Status CreateAppendUnaligned(const OperatorStateSpec& spec,
+                               std::unique_ptr<AppendUnalignedState>* out) override {
+    std::shared_ptr<FlowKvStore> store;
+    FLOWKV_RETURN_IF_ERROR(OpenStore(spec, &store));
+    if (store->pattern() != StorePattern::kAppendUnaligned) {
+      return Status::Internal("pattern classifier disagrees with the engine");
+    }
+    *out = std::make_unique<FlowKvAurState>(store);
+    return Status::Ok();
+  }
+
+  Status CreateRmw(const OperatorStateSpec& spec, std::unique_ptr<RmwState>* out) override {
+    std::shared_ptr<FlowKvStore> store;
+    FLOWKV_RETURN_IF_ERROR(OpenStore(spec, &store));
+    if (store->pattern() != StorePattern::kReadModifyWrite) {
+      return Status::Internal("pattern classifier disagrees with the engine");
+    }
+    *out = std::make_unique<FlowKvRmwState>(store);
+    return Status::Ok();
+  }
+
+  StoreStats GatherStats() const override {
+    StoreStats total;
+    for (const auto& store : stores_) {
+      total.MergeFrom(store->GatherStats());
+    }
+    return total;
+  }
+
+  Status CheckpointTo(const std::string& checkpoint_dir) const override {
+    for (size_t i = 0; i < stores_.size(); ++i) {
+      FLOWKV_RETURN_IF_ERROR(
+          stores_[i]->CheckpointTo(JoinPath(checkpoint_dir, "h" + std::to_string(i))));
+    }
+    return Status::Ok();
+  }
+
+  std::string name() const override { return "flowkv"; }
+
+ private:
+  Status OpenStore(const OperatorStateSpec& spec, std::shared_ptr<FlowKvStore>* out) {
+    std::unique_ptr<FlowKvStore> store;
+    FLOWKV_RETURN_IF_ERROR(FlowKvStore::Open(JoinPath(dir_, "h" + std::to_string(stores_.size())),
+                                             options_, spec, &store, predictor_override_));
+    stores_.push_back(std::shared_ptr<FlowKvStore>(std::move(store)));
+    *out = stores_.back();
+    return Status::Ok();
+  }
+
+  std::string dir_;
+  FlowKvOptions options_;
+  FlowKvStore::PredictorFactory predictor_override_;
+  std::vector<std::shared_ptr<FlowKvStore>> stores_;
+};
+
+}  // namespace
+
+FlowKvBackendFactory::FlowKvBackendFactory(std::string base_dir, FlowKvOptions options,
+                                           FlowKvStore::PredictorFactory predictor_override)
+    : base_dir_(std::move(base_dir)),
+      options_(options),
+      predictor_override_(std::move(predictor_override)) {}
+
+Status FlowKvBackendFactory::CreateBackend(int worker, const std::string& operator_name,
+                                           std::unique_ptr<StateBackend>* out) {
+  const std::string dir =
+      JoinPath(JoinPath(base_dir_, "w" + std::to_string(worker)), operator_name);
+  *out = std::make_unique<FlowKvBackend>(dir, options_, predictor_override_);
+  return Status::Ok();
+}
+
+}  // namespace flowkv

@@ -1,0 +1,34 @@
+// FlowKV state backend: binds the engine's pattern-specific state interfaces
+// to FlowKvStore. This is the thin layer the paper describes as "glue code"
+// between the SPE and FlowKV — the store pattern is determined from the
+// operator's spec at creation (application launch) time.
+#ifndef SRC_BACKENDS_FLOWKV_BACKEND_H_
+#define SRC_BACKENDS_FLOWKV_BACKEND_H_
+
+#include <memory>
+#include <string>
+
+#include "src/flowkv/flowkv_store.h"
+#include "src/spe/state.h"
+
+namespace flowkv {
+
+class FlowKvBackendFactory : public StateBackendFactory {
+ public:
+  FlowKvBackendFactory(std::string base_dir, FlowKvOptions options,
+                       FlowKvStore::PredictorFactory predictor_override = nullptr);
+
+  Status CreateBackend(int worker, const std::string& operator_name,
+                       std::unique_ptr<StateBackend>* out) override;
+
+  std::string name() const override { return "flowkv"; }
+
+ private:
+  std::string base_dir_;
+  FlowKvOptions options_;
+  FlowKvStore::PredictorFactory predictor_override_;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_BACKENDS_FLOWKV_BACKEND_H_

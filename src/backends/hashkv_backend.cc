@@ -1,0 +1,225 @@
+#include "src/backends/hashkv_backend.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/backends/lsm_backend.h"  // shares the composite-key/element codecs
+#include "src/common/coding.h"
+#include "src/common/env.h"
+#include "src/hashkv/hashkv_store.h"
+#include "src/lsm/merge.h"
+
+namespace flowkv {
+
+namespace {
+
+// Appends one encoded list element to the value of `composite` by reading
+// the whole existing list and rewriting it — Faster's append amplification.
+Status RmwAppendElement(HashKvStore* store, const std::string& composite,
+                        const std::string& element) {
+  return store->Rmw(composite, [&](const std::string* existing) {
+    std::string updated;
+    if (existing != nullptr) {
+      updated.reserve(existing->size() + element.size());
+      updated = *existing;
+    }
+    updated += element;
+    return updated;
+  });
+}
+
+class HkvAarState : public AppendAlignedState {
+ public:
+  explicit HkvAarState(std::shared_ptr<HashKvStore> store) : store_(std::move(store)) {}
+
+  Status Append(const Slice& key, const Slice& value, const Window& w) override {
+    std::string element;
+    EncodeListElement(&element, value);
+    const std::string composite = LsmAlignedCompositeKey(w, key);
+    auto [it, inserted] = registry_[w].emplace(key.ToString());
+    (void)it;
+    (void)inserted;
+    return RmwAppendElement(store_.get(), composite, element);
+  }
+
+  Status GetWindowChunk(const Window& w, std::vector<WindowChunkEntry>* chunk,
+                        bool* done) override {
+    chunk->clear();
+    auto reg_it = registry_.find(w);
+    if (reg_it == registry_.end() || reg_it->second.empty()) {
+      registry_.erase(w);
+      *done = true;
+      return Status::Ok();
+    }
+    *done = false;
+    constexpr size_t kKeysPerChunk = 1024;
+    auto& keys = reg_it->second;
+    auto key_it = keys.begin();
+    while (key_it != keys.end() && chunk->size() < kKeysPerChunk) {
+      const std::string composite = LsmAlignedCompositeKey(w, *key_it);
+      std::string merged;
+      Status s = store_->Read(composite, &merged);
+      if (s.ok()) {
+        WindowChunkEntry entry;
+        entry.key = *key_it;
+        if (!DecodeListElements(merged, &entry.values)) {
+          return Status::Corruption("malformed AAR value list");
+        }
+        chunk->push_back(std::move(entry));
+        FLOWKV_RETURN_IF_ERROR(store_->Delete(composite));
+      } else if (!s.IsNotFound()) {
+        return s;
+      }
+      key_it = keys.erase(key_it);
+    }
+    return Status::Ok();
+  }
+
+ private:
+  std::shared_ptr<HashKvStore> store_;
+  std::unordered_map<Window, std::unordered_set<std::string>, WindowHash> registry_;
+};
+
+class HkvAurState : public AppendUnalignedState {
+ public:
+  explicit HkvAurState(std::shared_ptr<HashKvStore> store) : store_(std::move(store)) {}
+
+  Status Append(const Slice& key, const Slice& value, const Window& w,
+                int64_t timestamp) override {
+    return RmwAppendElement(store_.get(), LsmKeyedCompositeKey(key, w),
+                            LsmAurElement(value, timestamp));
+  }
+
+  Status Get(const Slice& key, const Window& w, std::vector<std::string>* values) override {
+    values->clear();
+    const std::string composite = LsmKeyedCompositeKey(key, w);
+    std::string merged;
+    Status s = store_->Read(composite, &merged);
+    if (!s.ok()) {
+      return s;
+    }
+    std::vector<std::string> elements;
+    if (!DecodeListElements(merged, &elements)) {
+      return Status::Corruption("malformed AUR value list");
+    }
+    for (const auto& element : elements) {
+      std::string value;
+      int64_t ts;
+      if (!LsmParseAurElement(element, &value, &ts)) {
+        return Status::Corruption("malformed AUR element");
+      }
+      values->push_back(std::move(value));
+    }
+    return store_->Delete(composite);
+  }
+
+  Status MergeWindows(const Slice& key, const std::vector<Window>& sources,
+                      const Window& dst) override {
+    const std::string dst_composite = LsmKeyedCompositeKey(key, dst);
+    for (const Window& src : sources) {
+      const std::string src_composite = LsmKeyedCompositeKey(key, src);
+      std::string merged;
+      Status s = store_->Read(src_composite, &merged);
+      if (s.IsNotFound()) {
+        continue;
+      }
+      FLOWKV_RETURN_IF_ERROR(s);
+      FLOWKV_RETURN_IF_ERROR(RmwAppendElement(store_.get(), dst_composite, merged));
+      FLOWKV_RETURN_IF_ERROR(store_->Delete(src_composite));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  std::shared_ptr<HashKvStore> store_;
+};
+
+class HkvRmwState : public RmwState {
+ public:
+  explicit HkvRmwState(std::shared_ptr<HashKvStore> store) : store_(std::move(store)) {}
+
+  Status Get(const Slice& key, const Window& w, std::string* accumulator) override {
+    return store_->Read(LsmKeyedCompositeKey(key, w), accumulator);
+  }
+
+  Status Put(const Slice& key, const Window& w, const Slice& accumulator) override {
+    return store_->Upsert(LsmKeyedCompositeKey(key, w),
+                          std::string(accumulator.data(), accumulator.size()));
+  }
+
+  Status Remove(const Slice& key, const Window& w) override {
+    return store_->Delete(LsmKeyedCompositeKey(key, w));
+  }
+
+ private:
+  std::shared_ptr<HashKvStore> store_;
+};
+
+class HashKvBackend : public StateBackend {
+ public:
+  HashKvBackend(std::string dir, HashKvOptions options)
+      : dir_(std::move(dir)), options_(options) {}
+
+  Status CreateAppendAligned(const OperatorStateSpec& spec,
+                             std::unique_ptr<AppendAlignedState>* out) override {
+    std::shared_ptr<HashKvStore> store;
+    FLOWKV_RETURN_IF_ERROR(OpenStore(&store));
+    *out = std::make_unique<HkvAarState>(store);
+    return Status::Ok();
+  }
+
+  Status CreateAppendUnaligned(const OperatorStateSpec& spec,
+                               std::unique_ptr<AppendUnalignedState>* out) override {
+    std::shared_ptr<HashKvStore> store;
+    FLOWKV_RETURN_IF_ERROR(OpenStore(&store));
+    *out = std::make_unique<HkvAurState>(store);
+    return Status::Ok();
+  }
+
+  Status CreateRmw(const OperatorStateSpec& spec, std::unique_ptr<RmwState>* out) override {
+    std::shared_ptr<HashKvStore> store;
+    FLOWKV_RETURN_IF_ERROR(OpenStore(&store));
+    *out = std::make_unique<HkvRmwState>(store);
+    return Status::Ok();
+  }
+
+  StoreStats GatherStats() const override {
+    StoreStats total;
+    for (const auto& store : stores_) {
+      total.MergeFrom(store->stats());
+    }
+    return total;
+  }
+
+  std::string name() const override { return "faster-like"; }
+
+ private:
+  Status OpenStore(std::shared_ptr<HashKvStore>* out) {
+    std::unique_ptr<HashKvStore> store;
+    FLOWKV_RETURN_IF_ERROR(HashKvStore::Open(
+        JoinPath(dir_, "h" + std::to_string(stores_.size())), options_, &store));
+    stores_.push_back(std::shared_ptr<HashKvStore>(std::move(store)));
+    *out = stores_.back();
+    return Status::Ok();
+  }
+
+  std::string dir_;
+  HashKvOptions options_;
+  std::vector<std::shared_ptr<HashKvStore>> stores_;
+};
+
+}  // namespace
+
+HashKvBackendFactory::HashKvBackendFactory(std::string base_dir, HashKvOptions options)
+    : base_dir_(std::move(base_dir)), options_(options) {}
+
+Status HashKvBackendFactory::CreateBackend(int worker, const std::string& operator_name,
+                                           std::unique_ptr<StateBackend>* out) {
+  const std::string dir =
+      JoinPath(JoinPath(base_dir_, "w" + std::to_string(worker)), operator_name);
+  *out = std::make_unique<HashKvBackend>(dir, options_);
+  return Status::Ok();
+}
+
+}  // namespace flowkv

@@ -1,0 +1,37 @@
+// Faster-style hash-log state backend. RMW state maps directly onto the
+// store's strength (O(1) point access). Append state is its weakness and the
+// paper's headline negative result: every Append() must read the entire
+// existing value list and rewrite it (no merge operands in a hash store),
+// producing quadratic I/O in the list length.
+//
+// Aligned reads need key enumeration, which a hash store cannot do; this
+// backend keeps an in-memory per-window key registry as an assist — a
+// concession that only makes the baseline *stronger* than real Faster.
+#ifndef SRC_BACKENDS_HASHKV_BACKEND_H_
+#define SRC_BACKENDS_HASHKV_BACKEND_H_
+
+#include <memory>
+#include <string>
+
+#include "src/hashkv/options.h"
+#include "src/spe/state.h"
+
+namespace flowkv {
+
+class HashKvBackendFactory : public StateBackendFactory {
+ public:
+  HashKvBackendFactory(std::string base_dir, HashKvOptions options);
+
+  Status CreateBackend(int worker, const std::string& operator_name,
+                       std::unique_ptr<StateBackend>* out) override;
+
+  std::string name() const override { return "faster-like"; }
+
+ private:
+  std::string base_dir_;
+  HashKvOptions options_;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_BACKENDS_HASHKV_BACKEND_H_

@@ -1,0 +1,42 @@
+// LSM (RocksDB-style) state backend — how Flink-on-RocksDB actually lays out
+// window state:
+//  - composite keys combine the tuple key and the window (the window is the
+//    "namespace"); aligned-read state is window-prefixed so one prefix scan
+//    drains a window, unaligned/RMW state is key-prefixed for point access;
+//  - Append is a merge operand (lazy merging — cheap now, folded later by
+//    CPU-heavy compaction);
+//  - fetch-and-remove writes tombstones, which is more deferred work.
+#ifndef SRC_BACKENDS_LSM_BACKEND_H_
+#define SRC_BACKENDS_LSM_BACKEND_H_
+
+#include <memory>
+#include <string>
+
+#include "src/lsm/options.h"
+#include "src/spe/state.h"
+
+namespace flowkv {
+
+class LsmBackendFactory : public StateBackendFactory {
+ public:
+  LsmBackendFactory(std::string base_dir, LsmOptions options);
+
+  Status CreateBackend(int worker, const std::string& operator_name,
+                       std::unique_ptr<StateBackend>* out) override;
+
+  std::string name() const override { return "rocksdb-like"; }
+
+ private:
+  std::string base_dir_;
+  LsmOptions options_;
+};
+
+// Composite-key and list-element codecs, exposed for tests.
+std::string LsmAlignedCompositeKey(const Window& w, const Slice& key);
+std::string LsmKeyedCompositeKey(const Slice& key, const Window& w);
+std::string LsmAurElement(const Slice& value, int64_t timestamp);
+bool LsmParseAurElement(const Slice& element, std::string* value, int64_t* timestamp);
+
+}  // namespace flowkv
+
+#endif  // SRC_BACKENDS_LSM_BACKEND_H_

@@ -1,0 +1,256 @@
+#include "src/backends/memory_backend.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace flowkv {
+
+namespace {
+
+// Shared accounting: charge/release bytes against the factory-wide budget.
+class MemoryBudget {
+ public:
+  MemoryBudget(std::shared_ptr<std::atomic<uint64_t>> usage, uint64_t capacity)
+      : usage_(std::move(usage)), capacity_(capacity) {}
+
+  Status Charge(uint64_t bytes) {
+    uint64_t now = usage_->fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (capacity_ != 0 && now > capacity_) {
+      return Status::ResourceExhausted("in-memory state exceeded " +
+                                       std::to_string(capacity_) + " bytes (OOM)");
+    }
+    return Status::Ok();
+  }
+
+  void Release(uint64_t bytes) { usage_->fetch_sub(bytes, std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<uint64_t>> usage_;
+  uint64_t capacity_;
+};
+
+std::string StateKeyOf(const Slice& key, const Window& w) {
+  std::string sk;
+  sk.reserve(key.size() + 16);
+  sk.append(key.data(), key.size());
+  EncodeWindow(&sk, w);
+  return sk;
+}
+
+class MemAarState : public AppendAlignedState {
+ public:
+  MemAarState(MemoryBudget budget, StoreStats* stats) : budget_(budget), stats_(stats) {}
+
+  ~MemAarState() override {
+    for (auto& [w, keys] : windows_) {
+      for (auto& [k, values] : keys) {
+        for (auto& v : values) {
+          budget_.Release(v.size() + 24);
+        }
+      }
+    }
+  }
+
+  Status Append(const Slice& key, const Slice& value, const Window& w) override {
+    ScopedTimer t(&stats_->write_nanos);
+    ++stats_->writes;
+    FLOWKV_RETURN_IF_ERROR(budget_.Charge(value.size() + 24));
+    windows_[w][key.ToString()].push_back(value.ToString());
+    return Status::Ok();
+  }
+
+  Status GetWindowChunk(const Window& w, std::vector<WindowChunkEntry>* chunk,
+                        bool* done) override {
+    ScopedTimer t(&stats_->read_nanos);
+    ++stats_->reads;
+    chunk->clear();
+    auto it = windows_.find(w);
+    if (it == windows_.end() || it->second.empty()) {
+      windows_.erase(w);
+      *done = true;
+      return Status::Ok();
+    }
+    *done = false;
+    // Hand out up to a fixed number of keys per chunk (gradual loading).
+    constexpr size_t kKeysPerChunk = 1024;
+    auto& keys = it->second;
+    auto key_it = keys.begin();
+    while (key_it != keys.end() && chunk->size() < kKeysPerChunk) {
+      for (const auto& v : key_it->second) {
+        budget_.Release(v.size() + 24);
+      }
+      chunk->push_back(WindowChunkEntry{key_it->first, std::move(key_it->second)});
+      key_it = keys.erase(key_it);
+    }
+    return Status::Ok();
+  }
+
+ private:
+  MemoryBudget budget_;
+  StoreStats* stats_;
+  std::unordered_map<Window, std::unordered_map<std::string, std::vector<std::string>>,
+                     WindowHash>
+      windows_;
+};
+
+class MemAurState : public AppendUnalignedState {
+ public:
+  MemAurState(MemoryBudget budget, StoreStats* stats) : budget_(budget), stats_(stats) {}
+
+  ~MemAurState() override {
+    for (auto& [sk, values] : state_) {
+      for (auto& v : values) {
+        budget_.Release(v.size() + 24);
+      }
+    }
+  }
+
+  Status Append(const Slice& key, const Slice& value, const Window& w,
+                int64_t timestamp) override {
+    ScopedTimer t(&stats_->write_nanos);
+    ++stats_->writes;
+    FLOWKV_RETURN_IF_ERROR(budget_.Charge(value.size() + 24));
+    state_[StateKeyOf(key, w)].push_back(value.ToString());
+    return Status::Ok();
+  }
+
+  Status Get(const Slice& key, const Window& w, std::vector<std::string>* values) override {
+    ScopedTimer t(&stats_->read_nanos);
+    ++stats_->reads;
+    auto it = state_.find(StateKeyOf(key, w));
+    if (it == state_.end()) {
+      return Status::NotFound();
+    }
+    for (const auto& v : it->second) {
+      budget_.Release(v.size() + 24);
+    }
+    *values = std::move(it->second);
+    state_.erase(it);
+    return Status::Ok();
+  }
+
+  Status MergeWindows(const Slice& key, const std::vector<Window>& sources,
+                      const Window& dst) override {
+    ScopedTimer t(&stats_->write_nanos);
+    auto& dst_values = state_[StateKeyOf(key, dst)];
+    for (const Window& src : sources) {
+      auto it = state_.find(StateKeyOf(key, src));
+      if (it == state_.end()) {
+        continue;
+      }
+      for (auto& v : it->second) {
+        dst_values.push_back(std::move(v));
+      }
+      state_.erase(it);
+    }
+    return Status::Ok();
+  }
+
+ private:
+  MemoryBudget budget_;
+  StoreStats* stats_;
+  std::unordered_map<std::string, std::vector<std::string>> state_;
+};
+
+class MemRmwState : public RmwState {
+ public:
+  MemRmwState(MemoryBudget budget, StoreStats* stats) : budget_(budget), stats_(stats) {}
+
+  ~MemRmwState() override {
+    for (auto& [sk, acc] : state_) {
+      budget_.Release(acc.size() + 48);
+    }
+  }
+
+  Status Get(const Slice& key, const Window& w, std::string* accumulator) override {
+    ScopedTimer t(&stats_->read_nanos);
+    ++stats_->reads;
+    auto it = state_.find(StateKeyOf(key, w));
+    if (it == state_.end()) {
+      return Status::NotFound();
+    }
+    *accumulator = it->second;
+    return Status::Ok();
+  }
+
+  Status Put(const Slice& key, const Window& w, const Slice& accumulator) override {
+    ScopedTimer t(&stats_->write_nanos);
+    ++stats_->writes;
+    auto [it, inserted] = state_.try_emplace(StateKeyOf(key, w));
+    if (!inserted) {
+      budget_.Release(it->second.size() + 48);
+    }
+    FLOWKV_RETURN_IF_ERROR(budget_.Charge(accumulator.size() + 48));
+    it->second.assign(accumulator.data(), accumulator.size());
+    return Status::Ok();
+  }
+
+  Status Remove(const Slice& key, const Window& w) override {
+    ScopedTimer t(&stats_->write_nanos);
+    auto it = state_.find(StateKeyOf(key, w));
+    if (it != state_.end()) {
+      budget_.Release(it->second.size() + 48);
+      state_.erase(it);
+    }
+    return Status::Ok();
+  }
+
+ private:
+  MemoryBudget budget_;
+  StoreStats* stats_;
+  std::unordered_map<std::string, std::string> state_;
+};
+
+class MemoryBackend : public StateBackend {
+ public:
+  explicit MemoryBackend(MemoryBudget budget) : budget_(budget) {}
+
+  Status CreateAppendAligned(const OperatorStateSpec& spec,
+                             std::unique_ptr<AppendAlignedState>* out) override {
+    stats_.push_back(std::make_unique<StoreStats>());
+    *out = std::make_unique<MemAarState>(budget_, stats_.back().get());
+    return Status::Ok();
+  }
+
+  Status CreateAppendUnaligned(const OperatorStateSpec& spec,
+                               std::unique_ptr<AppendUnalignedState>* out) override {
+    stats_.push_back(std::make_unique<StoreStats>());
+    *out = std::make_unique<MemAurState>(budget_, stats_.back().get());
+    return Status::Ok();
+  }
+
+  Status CreateRmw(const OperatorStateSpec& spec, std::unique_ptr<RmwState>* out) override {
+    stats_.push_back(std::make_unique<StoreStats>());
+    *out = std::make_unique<MemRmwState>(budget_, stats_.back().get());
+    return Status::Ok();
+  }
+
+  StoreStats GatherStats() const override {
+    StoreStats total;
+    for (const auto& s : stats_) {
+      total.MergeFrom(*s);
+    }
+    return total;
+  }
+
+  std::string name() const override { return "memory"; }
+
+ private:
+  MemoryBudget budget_;
+  std::vector<std::unique_ptr<StoreStats>> stats_;
+};
+
+}  // namespace
+
+MemoryBackendFactory::MemoryBackendFactory(uint64_t capacity_bytes)
+    : usage_(std::make_shared<std::atomic<uint64_t>>(0)), capacity_bytes_(capacity_bytes) {}
+
+Status MemoryBackendFactory::CreateBackend(int worker, const std::string& operator_name,
+                                           std::unique_ptr<StateBackend>* out) {
+  *out = std::make_unique<MemoryBackend>(MemoryBudget(usage_, capacity_bytes_));
+  return Status::Ok();
+}
+
+}  // namespace flowkv

@@ -1,0 +1,38 @@
+// In-memory state backend (the Flink "heap" backend baseline). Fast until
+// state outgrows memory: a shared capacity budget across every handle of a
+// factory models the paper's OOM failures for large windows (§6.1/§6.2) —
+// exceeding it returns ResourceExhausted, which the runner reports as a
+// failed job.
+#ifndef SRC_BACKENDS_MEMORY_BACKEND_H_
+#define SRC_BACKENDS_MEMORY_BACKEND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/spe/state.h"
+
+namespace flowkv {
+
+class MemoryBackendFactory : public StateBackendFactory {
+ public:
+  // `capacity_bytes` is the shared budget across all workers/operators
+  // created by this factory (0 = unlimited).
+  explicit MemoryBackendFactory(uint64_t capacity_bytes = 0);
+
+  Status CreateBackend(int worker, const std::string& operator_name,
+                       std::unique_ptr<StateBackend>* out) override;
+
+  std::string name() const override { return "memory"; }
+
+  uint64_t usage_bytes() const { return usage_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<uint64_t>> usage_;
+  uint64_t capacity_bytes_;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_BACKENDS_MEMORY_BACKEND_H_

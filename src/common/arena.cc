@@ -1,0 +1,33 @@
+#include "src/common/arena.h"
+
+namespace flowkv {
+
+char* Arena::Allocate(size_t bytes) {
+  if (bytes <= remaining_) {
+    char* result = ptr_;
+    ptr_ += bytes;
+    remaining_ -= bytes;
+    return result;
+  }
+  return AllocateFallback(bytes);
+}
+
+char* Arena::AllocateFallback(size_t bytes) {
+  if (bytes > kBlockSize / 4) {
+    // Large allocation gets its own block so the current block's remainder
+    // isn't wasted.
+    blocks_.push_back(std::make_unique<char[]>(bytes));
+    memory_usage_ += bytes;
+    return blocks_.back().get();
+  }
+  blocks_.push_back(std::make_unique<char[]>(kBlockSize));
+  memory_usage_ += kBlockSize;
+  ptr_ = blocks_.back().get();
+  remaining_ = kBlockSize;
+  char* result = ptr_;
+  ptr_ += bytes;
+  remaining_ -= bytes;
+  return result;
+}
+
+}  // namespace flowkv

@@ -1,0 +1,37 @@
+// Bump allocator backing the LSM memtable: allocations live until the arena
+// is destroyed (memtable flush), which removes per-entry free overhead.
+#ifndef SRC_COMMON_ARENA_H_
+#define SRC_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace flowkv {
+
+class Arena {
+ public:
+  Arena() = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  char* Allocate(size_t bytes);
+  // Total bytes reserved from the system (approximates memtable memory use).
+  size_t MemoryUsage() const { return memory_usage_; }
+
+ private:
+  char* AllocateFallback(size_t bytes);
+
+  static constexpr size_t kBlockSize = 64 * 1024;
+
+  char* ptr_ = nullptr;
+  size_t remaining_ = 0;
+  size_t memory_usage_ = 0;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_COMMON_ARENA_H_

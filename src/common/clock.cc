@@ -1,0 +1,21 @@
+#include "src/common/clock.h"
+
+#include <ctime>
+
+namespace flowkv {
+
+namespace {
+int64_t NowNanos(clockid_t clock) {
+  timespec ts;
+  clock_gettime(clock, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000LL + ts.tv_nsec;
+}
+}  // namespace
+
+int64_t MonotonicNanos() { return NowNanos(CLOCK_MONOTONIC); }
+
+int64_t ThreadCpuNanos() { return NowNanos(CLOCK_THREAD_CPUTIME_ID); }
+
+int64_t WallMicros() { return NowNanos(CLOCK_REALTIME) / 1000; }
+
+}  // namespace flowkv

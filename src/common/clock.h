@@ -1,0 +1,51 @@
+// Wall/monotonic/CPU clocks and a scoped timer used by the per-store
+// instrumentation that backs the paper's CPU-time breakdowns.
+#ifndef SRC_COMMON_CLOCK_H_
+#define SRC_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace flowkv {
+
+// Monotonic nanoseconds since an arbitrary epoch (CLOCK_MONOTONIC).
+int64_t MonotonicNanos();
+
+// Nanoseconds of CPU time consumed by the calling thread
+// (CLOCK_THREAD_CPUTIME_ID). Used to separate CPU cost from I/O wait.
+int64_t ThreadCpuNanos();
+
+// Wall-clock microseconds since the Unix epoch.
+int64_t WallMicros();
+
+// Adds the elapsed monotonic nanoseconds between construction and destruction
+// to *sink. Safe against sink outliving the scope (caller's responsibility).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(int64_t* sink) : sink_(sink), start_(MonotonicNanos()) {}
+  ~ScopedTimer() { *sink_ += MonotonicNanos() - start_; }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  int64_t* sink_;
+  int64_t start_;
+};
+
+// Same as ScopedTimer but accumulates thread CPU time instead of wall time.
+class ScopedCpuTimer {
+ public:
+  explicit ScopedCpuTimer(int64_t* sink) : sink_(sink), start_(ThreadCpuNanos()) {}
+  ~ScopedCpuTimer() { *sink_ += ThreadCpuNanos() - start_; }
+
+  ScopedCpuTimer(const ScopedCpuTimer&) = delete;
+  ScopedCpuTimer& operator=(const ScopedCpuTimer&) = delete;
+
+ private:
+  int64_t* sink_;
+  int64_t start_;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_COMMON_CLOCK_H_

@@ -1,0 +1,108 @@
+#include "src/common/coding.h"
+
+namespace flowkv {
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  EncodeFixed32(buf, value);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  EncodeFixed64(buf, value);
+  dst->append(buf, 8);
+}
+
+void PutVarint32(std::string* dst, uint32_t value) { PutVarint64(dst, value); }
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  char buf[10];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<char>(value | 0x80);
+    value >>= 7;
+  }
+  buf[n++] = static_cast<char>(value);
+  dst->append(buf, n);
+}
+
+void PutLengthPrefixed(std::string* dst, const Slice& value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+bool GetFixed32(Slice* input, uint32_t* value) {
+  if (input->size() < 4) {
+    return false;
+  }
+  *value = DecodeFixed32(input->data());
+  input->RemovePrefix(4);
+  return true;
+}
+
+bool GetFixed64(Slice* input, uint64_t* value) {
+  if (input->size() < 8) {
+    return false;
+  }
+  *value = DecodeFixed64(input->data());
+  input->RemovePrefix(8);
+  return true;
+}
+
+bool GetVarint64(Slice* input, uint64_t* value) {
+  uint64_t result = 0;
+  for (uint32_t shift = 0; shift <= 63 && !input->empty(); shift += 7) {
+    uint8_t byte = static_cast<uint8_t>((*input)[0]);
+    input->RemovePrefix(1);
+    if (byte & 0x80) {
+      result |= (static_cast<uint64_t>(byte & 0x7f) << shift);
+    } else {
+      result |= (static_cast<uint64_t>(byte) << shift);
+      *value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GetVarint32(Slice* input, uint32_t* value) {
+  uint64_t v;
+  if (!GetVarint64(input, &v) || v > UINT32_MAX) {
+    return false;
+  }
+  *value = static_cast<uint32_t>(v);
+  return true;
+}
+
+bool GetLengthPrefixed(Slice* input, Slice* value) {
+  uint64_t len;
+  if (!GetVarint64(input, &len) || input->size() < len) {
+    return false;
+  }
+  *value = Slice(input->data(), len);
+  input->RemovePrefix(len);
+  return true;
+}
+
+int VarintLength(uint64_t value) {
+  int len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+void PutVarsigned64(std::string* dst, int64_t value) { PutVarint64(dst, ZigzagEncode(value)); }
+
+bool GetVarsigned64(Slice* input, int64_t* value) {
+  uint64_t raw;
+  if (!GetVarint64(input, &raw)) {
+    return false;
+  }
+  *value = ZigzagDecode(raw);
+  return true;
+}
+
+}  // namespace flowkv

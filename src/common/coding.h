@@ -1,0 +1,59 @@
+// Binary encoding helpers: little-endian fixed-width integers and LEB128
+// varints, appended to std::string buffers and decoded from Slices.
+#ifndef SRC_COMMON_CODING_H_
+#define SRC_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "src/common/slice.h"
+
+namespace flowkv {
+
+inline void EncodeFixed32(char* dst, uint32_t value) { std::memcpy(dst, &value, 4); }
+inline void EncodeFixed64(char* dst, uint64_t value) { std::memcpy(dst, &value, 8); }
+
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t v;
+  std::memcpy(&v, src, 4);
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+
+// Appends a varint length prefix followed by the bytes of `value`.
+void PutLengthPrefixed(std::string* dst, const Slice& value);
+
+// Each Get* consumes the decoded bytes from `input` and returns false on
+// truncated/corrupt input.
+bool GetFixed32(Slice* input, uint32_t* value);
+bool GetFixed64(Slice* input, uint64_t* value);
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+bool GetLengthPrefixed(Slice* input, Slice* value);
+
+// Number of bytes PutVarint64 would emit for `value`.
+int VarintLength(uint64_t value);
+
+// Signed 64-bit values encoded with zigzag so small negatives stay short.
+inline uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+void PutVarsigned64(std::string* dst, int64_t value);
+bool GetVarsigned64(Slice* input, int64_t* value);
+
+}  // namespace flowkv
+
+#endif  // SRC_COMMON_CODING_H_

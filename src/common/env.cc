@@ -1,0 +1,140 @@
+#include "src/common/env.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/clock.h"
+
+namespace flowkv {
+
+Status CreateDirs(const std::string& dir) {
+  if (dir.empty()) {
+    return Status::InvalidArgument("empty directory path");
+  }
+  std::string partial;
+  size_t pos = 0;
+  while (pos != std::string::npos) {
+    pos = dir.find('/', pos + 1);
+    partial = dir.substr(0, pos);
+    if (partial.empty()) {
+      continue;
+    }
+    if (mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::FromErrno("mkdir " + partial);
+    }
+  }
+  return Status::Ok();
+}
+
+Status RemoveDirRecursively(const std::string& dir) {
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) {
+    if (errno == ENOENT) {
+      return Status::Ok();
+    }
+    return Status::FromErrno("opendir " + dir);
+  }
+  Status status;
+  struct dirent* entry;
+  while ((entry = readdir(d)) != nullptr) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") {
+      continue;
+    }
+    const std::string path = JoinPath(dir, name);
+    struct stat st;
+    if (lstat(path.c_str(), &st) != 0) {
+      status = Status::FromErrno("lstat " + path);
+      break;
+    }
+    if (S_ISDIR(st.st_mode)) {
+      status = RemoveDirRecursively(path);
+      if (!status.ok()) {
+        break;
+      }
+    } else if (unlink(path.c_str()) != 0) {
+      status = Status::FromErrno("unlink " + path);
+      break;
+    }
+  }
+  closedir(d);
+  if (!status.ok()) {
+    return status;
+  }
+  if (rmdir(dir.c_str()) != 0 && errno != ENOENT) {
+    return Status::FromErrno("rmdir " + dir);
+  }
+  return Status::Ok();
+}
+
+Status RemoveFile(const std::string& path) {
+  if (unlink(path.c_str()) != 0) {
+    return Status::FromErrno("unlink " + path);
+  }
+  return Status::Ok();
+}
+
+bool FileExists(const std::string& path) { return access(path.c_str(), F_OK) == 0; }
+
+Status GetFileSize(const std::string& path, uint64_t* size) {
+  struct stat st;
+  if (stat(path.c_str(), &st) != 0) {
+    return Status::FromErrno("stat " + path);
+  }
+  *size = static_cast<uint64_t>(st.st_size);
+  return Status::Ok();
+}
+
+Status ListDir(const std::string& dir, std::vector<std::string>* names) {
+  names->clear();
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::FromErrno("opendir " + dir);
+  }
+  struct dirent* entry;
+  while ((entry = readdir(d)) != nullptr) {
+    const std::string name = entry->d_name;
+    if (name != "." && name != "..") {
+      names->push_back(name);
+    }
+  }
+  closedir(d);
+  return Status::Ok();
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  if (rename(from.c_str(), to.c_str()) != 0) {
+    return Status::FromErrno("rename " + from + " -> " + to);
+  }
+  return Status::Ok();
+}
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty()) {
+    return name;
+  }
+  if (dir.back() == '/') {
+    return dir + name;
+  }
+  return dir + "/" + name;
+}
+
+std::string MakeTempDir(const std::string& prefix) {
+  static std::atomic<uint64_t> counter{0};
+  const char* base = std::getenv("TMPDIR");
+  std::string root = base != nullptr ? base : "/tmp";
+  std::string path = JoinPath(root, prefix + "_" + std::to_string(::getpid()) + "_" +
+                                        std::to_string(MonotonicNanos()) + "_" +
+                                        std::to_string(counter.fetch_add(1)));
+  CreateDirs(path);
+  return path;
+}
+
+}  // namespace flowkv

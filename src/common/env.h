@@ -1,0 +1,43 @@
+// Filesystem environment helpers: directory management and path utilities
+// shared by all on-disk stores.
+#ifndef SRC_COMMON_ENV_H_
+#define SRC_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace flowkv {
+
+// Creates `dir` (and parents) if missing.
+Status CreateDirs(const std::string& dir);
+
+// Removes `dir` and everything inside it. Missing dir is OK.
+Status RemoveDirRecursively(const std::string& dir);
+
+// Removes a single file. Missing file is an error.
+Status RemoveFile(const std::string& path);
+
+bool FileExists(const std::string& path);
+
+// Size of the file in bytes, or IOError.
+Status GetFileSize(const std::string& path, uint64_t* size);
+
+// Names (not paths) of directory entries, excluding "." and "..".
+Status ListDir(const std::string& dir, std::vector<std::string>* names);
+
+// Atomically replaces `to` with `from` (rename(2)).
+Status RenameFile(const std::string& from, const std::string& to);
+
+// Joins path components with '/'.
+std::string JoinPath(const std::string& dir, const std::string& name);
+
+// Creates a fresh unique temporary directory under the system temp root and
+// returns its path. Used by tests and benches.
+std::string MakeTempDir(const std::string& prefix);
+
+}  // namespace flowkv
+
+#endif  // SRC_COMMON_ENV_H_

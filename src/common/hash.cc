@@ -1,0 +1,45 @@
+#include "src/common/hash.h"
+
+#include <cstring>
+
+namespace flowkv {
+
+uint64_t Hash64(const char* data, size_t size, uint64_t seed) {
+  // xxHash-inspired: process 8-byte lanes with multiply-rotate, finalize with
+  // a murmur3 avalanche.
+  const uint64_t prime1 = 0x9e3779b185ebca87ULL;
+  const uint64_t prime2 = 0xc2b2ae3d27d4eb4fULL;
+  uint64_t h = seed ^ (size * prime1);
+  const char* p = data;
+  const char* end = data + size;
+  while (end - p >= 8) {
+    uint64_t k;
+    std::memcpy(&k, p, 8);
+    k *= prime2;
+    k = (k << 31) | (k >> 33);
+    k *= prime1;
+    h ^= k;
+    h = ((h << 27) | (h >> 37)) * prime1 + prime2;
+    p += 8;
+  }
+  while (p < end) {
+    h ^= static_cast<uint8_t>(*p) * prime2;
+    h = ((h << 11) | (h >> 53)) * prime1;
+    ++p;
+  }
+  return MixHash64(h);
+}
+
+uint32_t Checksum32(const char* data, size_t size) {
+  // FNV-1a over the bytes, followed by an avalanche so that checksums of
+  // short inputs still differ in all bit positions.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<uint8_t>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  h = MixHash64(h);
+  return static_cast<uint32_t>(h ^ (h >> 32));
+}
+
+}  // namespace flowkv

@@ -1,0 +1,43 @@
+// 64-bit byte-string hashing used for hash indexes, partitioning and bucket
+// selection throughout the stores.
+#ifndef SRC_COMMON_HASH_H_
+#define SRC_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/slice.h"
+
+namespace flowkv {
+
+// A 64-bit hash with murmur-style avalanche finalization. Deterministic
+// across runs (no per-process seed) so on-disk structures can rely on it.
+uint64_t Hash64(const char* data, size_t size, uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+inline uint64_t Hash64(const Slice& s, uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+// Mixes a raw 64-bit value (e.g. an already-combined pair of hashes).
+inline uint64_t MixHash64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+inline uint64_t CombineHash64(uint64_t a, uint64_t b) {
+  return MixHash64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+// CRC-free 32-bit checksum for on-disk block integrity (cheap FNV-based mix;
+// the stores only need corruption detection, not cryptographic strength).
+uint32_t Checksum32(const char* data, size_t size);
+
+inline uint32_t Checksum32(const Slice& s) { return Checksum32(s.data(), s.size()); }
+
+}  // namespace flowkv
+
+#endif  // SRC_COMMON_HASH_H_

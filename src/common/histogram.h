@@ -1,0 +1,44 @@
+// Streaming latency histogram with log-scaled buckets, used for the paper's
+// P95 tail-latency experiments (Fig. 9). Constant memory, O(1) insert,
+// percentile queries by bucket interpolation.
+#ifndef SRC_COMMON_HISTOGRAM_H_
+#define SRC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flowkv {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(double value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  double min() const { return count_ == 0 ? 0 : min_; }
+  double max() const { return max_; }
+  double Mean() const;
+  // p in [0, 100]; linear interpolation inside the containing bucket.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  // One-line summary: count / mean / p50 / p95 / p99 / max.
+  std::string ToString() const;
+
+ private:
+  static const std::vector<double>& BucketLimits();
+
+  uint64_t count_;
+  double min_;
+  double max_;
+  double sum_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_COMMON_HISTOGRAM_H_

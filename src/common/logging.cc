@@ -1,0 +1,35 @@
+#include "src/common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace flowkv {
+
+LogLevel CurrentLogLevel() {
+  static const LogLevel level = [] {
+    const char* env = std::getenv("FLOWKV_LOG_LEVEL");
+    if (env == nullptr) {
+      return LogLevel::kWarn;
+    }
+    int v = std::atoi(env);
+    if (v < 0) {
+      v = 0;
+    }
+    if (v > 3) {
+      v = 3;
+    }
+    return static_cast<LogLevel>(v);
+  }();
+  return level;
+}
+
+void LogLine(LogLevel level, const char* file, int line, const std::string& message) {
+  static const char* kNames[] = {"ERROR", "WARN", "INFO", "DEBUG"};
+  const char* base = std::strrchr(file, '/');
+  base = base != nullptr ? base + 1 : file;
+  std::fprintf(stderr, "[%s %s:%d] %s\n", kNames[static_cast<int>(level)], base, line,
+               message.c_str());
+}
+
+}  // namespace flowkv

@@ -1,0 +1,41 @@
+// Minimal leveled logging to stderr. Verbosity is controlled at runtime via
+// the FLOWKV_LOG_LEVEL environment variable (0=error, 1=warn, 2=info,
+// 3=debug; default 1 so library users aren't spammed).
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+
+namespace flowkv {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+// Current threshold (reads FLOWKV_LOG_LEVEL once).
+LogLevel CurrentLogLevel();
+
+void LogLine(LogLevel level, const char* file, int line, const std::string& message);
+
+namespace log_internal {
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { LogLine(level_, file_, line_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace log_internal
+
+#define FLOWKV_LOG(level)                                                      \
+  if (::flowkv::LogLevel::level <= ::flowkv::CurrentLogLevel())                \
+  ::flowkv::log_internal::LogMessage(::flowkv::LogLevel::level, __FILE__, __LINE__).stream()
+
+}  // namespace flowkv
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,93 @@
+#include "src/common/lru_cache.h"
+
+#include "src/common/hash.h"
+
+namespace flowkv {
+
+void LruCache::Insert(const std::string& key, std::shared_ptr<const std::string> value) {
+  Erase(key);
+  uint64_t charge = key.size() + (value ? value->size() : 0) + 64;  // 64 ~ bookkeeping
+  lru_.push_front(Entry{key, std::move(value), charge});
+  index_[key] = lru_.begin();
+  usage_ += charge;
+  EvictIfNeeded();
+}
+
+std::shared_ptr<const std::string> LruCache::Lookup(const std::string& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->value;
+}
+
+void LruCache::Erase(const std::string& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return;
+  }
+  usage_ -= it->second->charge;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+void LruCache::Clear() {
+  lru_.clear();
+  index_.clear();
+  usage_ = 0;
+}
+
+void LruCache::EvictIfNeeded() {
+  while (usage_ > capacity_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    usage_ -= victim.charge;
+    index_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+ShardedLruCache::ShardedLruCache(uint64_t capacity_bytes, int num_shards) {
+  shards_.reserve(num_shards);
+  for (int i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->cache = std::make_unique<LruCache>(capacity_bytes / num_shards);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedLruCache::Shard* ShardedLruCache::PickShard(const std::string& key) {
+  return shards_[Hash64(key.data(), key.size()) % shards_.size()].get();
+}
+
+void ShardedLruCache::Insert(const std::string& key,
+                             std::shared_ptr<const std::string> value) {
+  Shard* shard = PickShard(key);
+  std::lock_guard<std::mutex> lock(shard->mu);
+  shard->cache->Insert(key, std::move(value));
+}
+
+std::shared_ptr<const std::string> ShardedLruCache::Lookup(const std::string& key) {
+  Shard* shard = PickShard(key);
+  std::lock_guard<std::mutex> lock(shard->mu);
+  return shard->cache->Lookup(key);
+}
+
+void ShardedLruCache::Erase(const std::string& key) {
+  Shard* shard = PickShard(key);
+  std::lock_guard<std::mutex> lock(shard->mu);
+  shard->cache->Erase(key);
+}
+
+uint64_t ShardedLruCache::usage() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->cache->usage();
+  }
+  return total;
+}
+
+}  // namespace flowkv

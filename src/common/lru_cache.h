@@ -1,0 +1,78 @@
+// Byte-capacity LRU cache mapping string keys to immutable shared values.
+// Used as the LSM store's block cache and reusable by any store. Not
+// thread-safe (single-threaded store contract); a ShardedLruCache wrapper is
+// provided for the multi-worker benches where stores are per-thread anyway
+// but a shared cache is configured.
+#ifndef SRC_COMMON_LRU_CACHE_H_
+#define SRC_COMMON_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace flowkv {
+
+class LruCache {
+ public:
+  explicit LruCache(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  // Inserts or replaces; charge defaults to value size + key size.
+  void Insert(const std::string& key, std::shared_ptr<const std::string> value);
+
+  // Returns nullptr on miss; promotes on hit.
+  std::shared_ptr<const std::string> Lookup(const std::string& key);
+
+  void Erase(const std::string& key);
+  void Clear();
+
+  uint64_t usage() const { return usage_; }
+  uint64_t capacity() const { return capacity_; }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const std::string> value;
+    uint64_t charge;
+  };
+
+  void EvictIfNeeded();
+
+  uint64_t capacity_;
+  uint64_t usage_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+};
+
+// Thread-safe wrapper sharding by key hash.
+class ShardedLruCache {
+ public:
+  ShardedLruCache(uint64_t capacity_bytes, int num_shards = 8);
+
+  void Insert(const std::string& key, std::shared_ptr<const std::string> value);
+  std::shared_ptr<const std::string> Lookup(const std::string& key);
+  void Erase(const std::string& key);
+
+  uint64_t usage() const;
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::unique_ptr<LruCache> cache;
+  };
+
+  Shard* PickShard(const std::string& key);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_COMMON_LRU_CACHE_H_

@@ -1,0 +1,38 @@
+#include "src/common/stats.h"
+
+#include <cstdio>
+
+namespace flowkv {
+
+void StoreStats::MergeFrom(const StoreStats& other) {
+  write_nanos += other.write_nanos;
+  read_nanos += other.read_nanos;
+  compaction_nanos += other.compaction_nanos;
+  writes += other.writes;
+  reads += other.reads;
+  compactions += other.compactions;
+  flushes += other.flushes;
+  prefetch_hits += other.prefetch_hits;
+  prefetch_misses += other.prefetch_misses;
+  prefetch_evictions += other.prefetch_evictions;
+  prefetched_entries += other.prefetched_entries;
+  tuples_read_from_disk += other.tuples_read_from_disk;
+  tuples_consumed += other.tuples_consumed;
+  io.MergeFrom(other.io);
+}
+
+std::string StoreStats::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "write=%.3fs read=%.3fs compact=%.3fs | ops w=%lld r=%lld c=%lld f=%lld | "
+      "hit_ratio=%.3f read_amp=%.2f | io w=%lldMB r=%lldMB",
+      write_nanos / 1e9, read_nanos / 1e9, compaction_nanos / 1e9,
+      static_cast<long long>(writes), static_cast<long long>(reads),
+      static_cast<long long>(compactions), static_cast<long long>(flushes), PrefetchHitRatio(),
+      ReadAmplification(), static_cast<long long>(io.bytes_written >> 20),
+      static_cast<long long>(io.bytes_read >> 20));
+  return buf;
+}
+
+}  // namespace flowkv

@@ -1,0 +1,59 @@
+// StoreStats: per-store-instance operation accounting backing the paper's
+// execution-time and CPU-time breakdowns (Fig. 4 and Fig. 10) and the
+// prefetch-hit-ratio plot (Fig. 11). Single-threaded per instance (the SPE
+// contract); MergeFrom aggregates across instances/workers after the run.
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/file.h"
+
+namespace flowkv {
+
+struct StoreStats {
+  // Wall time spent inside store entry points, by operation class.
+  int64_t write_nanos = 0;       // Put / Append / Upsert / Merge
+  int64_t read_nanos = 0;        // Get / GetWindow / Scan (incl. removal)
+  int64_t compaction_nanos = 0;  // compaction / merging / flush-triggered work
+
+  // Operation counts.
+  int64_t writes = 0;
+  int64_t reads = 0;
+  int64_t compactions = 0;
+  int64_t flushes = 0;
+
+  // Prefetch effectiveness (AUR predictive batch read).
+  int64_t prefetch_hits = 0;
+  int64_t prefetch_misses = 0;
+  int64_t prefetch_evictions = 0;   // wrong ETT -> evicted before read
+  int64_t prefetched_entries = 0;   // entries loaded by batch reads
+  int64_t tuples_read_from_disk = 0;  // includes re-reads after eviction
+  int64_t tuples_consumed = 0;        // distinct tuples handed to the SPE
+
+  // Raw I/O accounting (bytes + syscall wall time), filled by file wrappers.
+  IoStats io;
+
+  double PrefetchHitRatio() const {
+    int64_t total = prefetch_hits + prefetch_misses;
+    return total == 0 ? 0.0 : static_cast<double>(prefetch_hits) / static_cast<double>(total);
+  }
+
+  // Read amplification: disk tuple reads per tuple consumed (paper Eq. 1
+  // predicts ~1/hit-ratio).
+  double ReadAmplification() const {
+    return tuples_consumed == 0
+               ? 0.0
+               : static_cast<double>(tuples_read_from_disk) / static_cast<double>(tuples_consumed);
+  }
+
+  int64_t TotalStoreNanos() const { return write_nanos + read_nanos + compaction_nanos; }
+
+  void MergeFrom(const StoreStats& other);
+  std::string ToString() const;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_COMMON_STATS_H_

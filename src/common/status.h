@@ -1,0 +1,94 @@
+// Status: lightweight error propagation without exceptions, in the style of
+// LevelDB/absl. Functions that can fail return a Status (or a Result<T>); the
+// OK path carries no allocation.
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace flowkv {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kInvalidArgument = 2,
+  kIOError = 3,
+  kCorruption = 4,
+  kResourceExhausted = 5,
+  kFailedPrecondition = 6,
+  kUnimplemented = 7,
+  kInternal = 8,
+};
+
+// Human-readable name of a status code ("OK", "NotFound", ...).
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg = "") {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg = "") {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg = "") {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  // Wraps the current errno into an IOError status with context.
+  static Status FromErrno(const std::string& context);
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsResourceExhausted() const { return code_ == StatusCode::kResourceExhausted; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "NotFound: key missing" style rendering for logs and tests.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(StatusCode code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+// Evaluates `expr`; if the resulting Status is not OK, returns it from the
+// enclosing function. The enclosing function must return Status.
+#define FLOWKV_RETURN_IF_ERROR(expr)          \
+  do {                                        \
+    ::flowkv::Status _s = (expr);             \
+    if (!_s.ok()) {                           \
+      return _s;                              \
+    }                                         \
+  } while (0)
+
+}  // namespace flowkv
+
+#endif  // SRC_COMMON_STATUS_H_

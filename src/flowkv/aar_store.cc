@@ -1,0 +1,235 @@
+#include "src/flowkv/aar_store.h"
+
+#include <algorithm>
+
+#include "src/common/clock.h"
+#include "src/common/coding.h"
+#include "src/common/env.h"
+#include "src/common/file.h"
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+
+namespace flowkv {
+
+AarStore::AarStore(std::string dir, const FlowKvOptions& options)
+    : dir_(std::move(dir)), options_(options) {}
+
+AarStore::~AarStore() = default;
+
+Status AarStore::Open(const std::string& dir, const FlowKvOptions& options,
+                      std::unique_ptr<AarStore>* out) {
+  FLOWKV_RETURN_IF_ERROR(CreateDirs(dir));
+  out->reset(new AarStore(dir, options));
+  return Status::Ok();
+}
+
+std::string AarStore::LogFileName(const Window& w) const {
+  return JoinPath(dir_, "aar_" + std::to_string(w.start) + "_" + std::to_string(w.end) + ".log");
+}
+
+Status AarStore::Append(const Slice& key, const Slice& value, const Window& w) {
+  ScopedTimer t(&stats_.write_nanos);
+  ++stats_.writes;
+  auto& bucket = buffer_[w];
+  bucket.emplace_back(key.ToString(), value.ToString());
+  buffered_bytes_ += key.size() + value.size() + 32;
+  if (buffered_bytes_ >= options_.write_buffer_bytes) {
+    return FlushBuffer();
+  }
+  return Status::Ok();
+}
+
+Status AarStore::FlushBuffer() {
+  ++stats_.flushes;
+  std::string encoded;
+  for (auto& [window, bucket] : buffer_) {
+    if (bucket.empty()) {
+      continue;
+    }
+    auto it = writers_.find(window);
+    if (it == writers_.end()) {
+      std::unique_ptr<AppendFile> file;
+      FLOWKV_RETURN_IF_ERROR(
+          AppendFile::Open(LogFileName(window), /*reopen=*/true, &file, &stats_.io));
+      it = writers_.emplace(window, std::move(file)).first;
+    }
+    encoded.clear();
+    for (const auto& [key, value] : bucket) {
+      PutLengthPrefixed(&encoded, key);
+      PutLengthPrefixed(&encoded, value);
+    }
+    FLOWKV_RETURN_IF_ERROR(it->second->Append(encoded));
+    if (options_.sync_on_flush) {
+      FLOWKV_RETURN_IF_ERROR(it->second->Sync());
+    } else {
+      FLOWKV_RETURN_IF_ERROR(it->second->Flush());
+    }
+    bucket.clear();
+    bucket.shrink_to_fit();
+  }
+  buffer_.clear();
+  buffered_bytes_ = 0;
+  return Status::Ok();
+}
+
+Status AarStore::StartRead(const Window& w, ReadCursor* cursor) {
+  // Seal the window's log: flush any buffered tuples for it, close the writer.
+  auto buffer_it = buffer_.find(w);
+  if (buffer_it != buffer_.end() && !buffer_it->second.empty()) {
+    // Cheapest path: spill just this window's bucket so the read has one
+    // source of truth (the log file).
+    auto writer_it = writers_.find(w);
+    if (writer_it == writers_.end()) {
+      std::unique_ptr<AppendFile> file;
+      FLOWKV_RETURN_IF_ERROR(
+          AppendFile::Open(LogFileName(w), /*reopen=*/true, &file, &stats_.io));
+      writer_it = writers_.emplace(w, std::move(file)).first;
+    }
+    std::string encoded;
+    for (const auto& [key, value] : buffer_it->second) {
+      PutLengthPrefixed(&encoded, key);
+      PutLengthPrefixed(&encoded, value);
+      buffered_bytes_ -= std::min<uint64_t>(buffered_bytes_, key.size() + value.size() + 32);
+    }
+    FLOWKV_RETURN_IF_ERROR(writer_it->second->Append(encoded));
+    buffer_.erase(buffer_it);
+  }
+  auto writer_it = writers_.find(w);
+  if (writer_it != writers_.end()) {
+    FLOWKV_RETURN_IF_ERROR(writer_it->second->Close());
+    writers_.erase(writer_it);
+  }
+
+  cursor->file_exists = FileExists(LogFileName(w));
+  cursor->file_bytes = 0;
+  if (cursor->file_exists) {
+    FLOWKV_RETURN_IF_ERROR(GetFileSize(LogFileName(w), &cursor->file_bytes));
+  }
+  const uint64_t budget = std::max<uint64_t>(options_.read_chunk_bytes, 64 * 1024);
+  int passes = static_cast<int>((cursor->file_bytes + budget - 1) / budget);
+  cursor->total_passes =
+      std::clamp(passes, cursor->file_exists ? 1 : 0, options_.max_aar_passes);
+  cursor->next_pass = 0;
+  return Status::Ok();
+}
+
+Status AarStore::ReadPass(const Window& w, const ReadCursor& cursor,
+                          std::vector<WindowChunkEntry>* chunk) {
+  // Stream the log once, keeping only keys of this pass's hash group, fully
+  // grouped (key-complete partition).
+  std::unique_ptr<SequentialFile> file;
+  FLOWKV_RETURN_IF_ERROR(SequentialFile::Open(LogFileName(w), &file, &stats_.io));
+
+  const uint32_t pass = static_cast<uint32_t>(cursor.next_pass);
+  const uint32_t total = static_cast<uint32_t>(cursor.total_passes);
+
+  std::unordered_map<std::string, size_t> group_index;
+  std::string carry;  // partial record spanning read boundaries
+  std::string scratch;
+  scratch.resize(256 * 1024);
+  while (true) {
+    Slice got;
+    FLOWKV_RETURN_IF_ERROR(file->Read(scratch.size(), &got, scratch.data()));
+    if (got.empty()) {
+      break;
+    }
+    carry.append(got.data(), got.size());
+    Slice input(carry);
+    size_t consumed_through = 0;
+    while (true) {
+      Slice probe = input;
+      Slice key, value;
+      if (!GetLengthPrefixed(&probe, &key) || !GetLengthPrefixed(&probe, &value)) {
+        break;  // need more bytes
+      }
+      if (Hash64(key) % total == pass) {
+        auto [it, inserted] = group_index.try_emplace(key.ToString(), chunk->size());
+        if (inserted) {
+          chunk->push_back(WindowChunkEntry{key.ToString(), {}});
+        }
+        (*chunk)[it->second].values.push_back(value.ToString());
+      }
+      consumed_through += input.size() - probe.size();
+      input = probe;
+    }
+    carry.erase(0, consumed_through);
+  }
+  if (!carry.empty()) {
+    return Status::Corruption("trailing partial record in " + LogFileName(w));
+  }
+  for (const auto& entry : *chunk) {
+    stats_.tuples_read_from_disk += static_cast<int64_t>(entry.values.size());
+    stats_.tuples_consumed += static_cast<int64_t>(entry.values.size());
+  }
+  return Status::Ok();
+}
+
+Status AarStore::FinishRead(const Window& w) {
+  read_cursors_.erase(w);
+  const std::string path = LogFileName(w);
+  if (FileExists(path)) {
+    // Fetch-and-remove: the log is dead the moment it has been read. This is
+    // the whole compaction story for AAR (there is none).
+    FLOWKV_RETURN_IF_ERROR(RemoveFile(path));
+  }
+  return Status::Ok();
+}
+
+Status AarStore::CheckpointTo(const std::string& checkpoint_dir) {
+  FLOWKV_RETURN_IF_ERROR(CreateDirs(checkpoint_dir));
+  FLOWKV_RETURN_IF_ERROR(FlushBuffer());
+  for (auto& [window, writer] : writers_) {
+    FLOWKV_RETURN_IF_ERROR(writer->Flush());
+  }
+  std::vector<std::string> names;
+  FLOWKV_RETURN_IF_ERROR(ListDir(dir_, &names));
+  for (const auto& name : names) {
+    if (name.rfind("aar_", 0) == 0) {
+      FLOWKV_RETURN_IF_ERROR(
+          CopyFile(JoinPath(dir_, name), JoinPath(checkpoint_dir, name), &stats_.io));
+    }
+  }
+  return Status::Ok();
+}
+
+Status AarStore::RestoreFrom(const std::string& checkpoint_dir, const std::string& dir,
+                             const FlowKvOptions& options, std::unique_ptr<AarStore>* out) {
+  FLOWKV_RETURN_IF_ERROR(Open(dir, options, out));
+  std::vector<std::string> names;
+  FLOWKV_RETURN_IF_ERROR(ListDir(checkpoint_dir, &names));
+  for (const auto& name : names) {
+    if (name.rfind("aar_", 0) == 0) {
+      FLOWKV_RETURN_IF_ERROR(CopyFile(JoinPath(checkpoint_dir, name), JoinPath(dir, name),
+                                      &(*out)->stats_.io));
+    }
+  }
+  return Status::Ok();
+}
+
+Status AarStore::GetWindowChunk(const Window& w, std::vector<WindowChunkEntry>* chunk,
+                                bool* done) {
+  ScopedTimer t(&stats_.read_nanos);
+  ++stats_.reads;
+  chunk->clear();
+  *done = false;
+
+  auto cursor_it = read_cursors_.find(w);
+  if (cursor_it == read_cursors_.end()) {
+    ReadCursor cursor;
+    FLOWKV_RETURN_IF_ERROR(StartRead(w, &cursor));
+    cursor_it = read_cursors_.emplace(w, cursor).first;
+  }
+  ReadCursor& cursor = cursor_it->second;
+  // Skip empty hash groups so every call either returns data or finishes.
+  while (chunk->empty()) {
+    if (cursor.next_pass >= cursor.total_passes) {
+      *done = true;
+      return FinishRead(w);
+    }
+    FLOWKV_RETURN_IF_ERROR(ReadPass(w, cursor, chunk));
+    ++cursor.next_pass;
+  }
+  return Status::Ok();
+}
+
+}  // namespace flowkv

@@ -1,0 +1,108 @@
+// Append & Aligned Read store (paper §4.1). Exploits the fact that all keys
+// of an aligned window trigger together:
+//
+//  - Coarse-grained data organization: the in-memory write buffer hashes
+//    tuples by *window boundary* (not by key), and every window owns its own
+//    on-disk log file. Appends are therefore hash-on-16-bytes + push_back —
+//    no sorted structures, no per-key search.
+//  - No compaction, ever: a window's log file is read exactly once when the
+//    window triggers and then unlinked. Nothing is merged.
+//  - Gradual state loading: GetWindowChunk returns key-complete partitions
+//    of the window's state so the engine holds only one partition in memory.
+//    Partitions are formed by hashing keys into P groups and streaming the
+//    log once per group (P = ceil(file bytes / read_chunk_bytes), capped);
+//    this trades cheap sequential re-reads for bounded memory, FlowKV's
+//    signature I/O-for-CPU trade (§4.2 "Predictive Batch Read Efficiency"
+//    makes the same argument).
+//
+// Single-threaded by contract; one instance handles one key partition of one
+// physical window operator.
+#ifndef SRC_FLOWKV_AAR_STORE_H_
+#define SRC_FLOWKV_AAR_STORE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/file.h"
+#include "src/common/slice.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/flowkv/flowkv_options.h"
+#include "src/spe/state.h"
+#include "src/spe/window.h"
+
+namespace flowkv {
+
+class AarStore {
+ public:
+  static Status Open(const std::string& dir, const FlowKvOptions& options,
+                     std::unique_ptr<AarStore>* out);
+
+  ~AarStore();
+
+  AarStore(const AarStore&) = delete;
+  AarStore& operator=(const AarStore&) = delete;
+
+  // Appends (key, value) to the write-buffer bucket labeled by `w`.
+  Status Append(const Slice& key, const Slice& value, const Window& w);
+
+  // Drains the window one key-complete partition at a time; *done=true once
+  // everything has been handed out (the window's state is then gone: its log
+  // file is unlinked and its buckets dropped).
+  Status GetWindowChunk(const Window& w, std::vector<WindowChunkEntry>* chunk, bool* done);
+
+  // Snapshots the store's full state into `checkpoint_dir` (paper §8: the
+  // write buffer is flushed first so the on-disk files are the snapshot).
+  Status CheckpointTo(const std::string& checkpoint_dir);
+
+  // Opens a store at `dir` seeded from a checkpoint taken by CheckpointTo.
+  static Status RestoreFrom(const std::string& checkpoint_dir, const std::string& dir,
+                            const FlowKvOptions& options, std::unique_ptr<AarStore>* out);
+
+  uint64_t BufferedBytes() const { return buffered_bytes_; }
+  const StoreStats& stats() const { return stats_; }
+  StoreStats* mutable_stats() { return &stats_; }
+
+ private:
+  AarStore(std::string dir, const FlowKvOptions& options);
+
+  // Spills every bucket to its per-window log file.
+  Status FlushBuffer();
+
+  // Ongoing gradual read of one window.
+  struct ReadCursor {
+    int total_passes = 0;
+    int next_pass = 0;
+    uint64_t file_bytes = 0;
+    bool file_exists = false;
+  };
+
+  Status StartRead(const Window& w, ReadCursor* cursor);
+  Status ReadPass(const Window& w, const ReadCursor& cursor,
+                  std::vector<WindowChunkEntry>* chunk);
+  Status FinishRead(const Window& w);
+
+  std::string LogFileName(const Window& w) const;
+
+  std::string dir_;
+  FlowKvOptions options_;
+
+  // Window-boundary-hashed write buffer: bucket label is the window.
+  std::unordered_map<Window, std::vector<std::pair<std::string, std::string>>, WindowHash>
+      buffer_;
+  uint64_t buffered_bytes_ = 0;
+
+  // Open per-window log writers (created lazily at first flush of a window).
+  std::unordered_map<Window, std::unique_ptr<AppendFile>, WindowHash> writers_;
+
+  std::unordered_map<Window, ReadCursor, WindowHash> read_cursors_;
+
+  StoreStats stats_;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_FLOWKV_AAR_STORE_H_

@@ -1,0 +1,562 @@
+#include "src/flowkv/aur_store.h"
+
+#include <algorithm>
+
+#include "src/common/clock.h"
+#include "src/common/coding.h"
+#include "src/common/env.h"
+#include "src/common/logging.h"
+
+namespace flowkv {
+
+AurStore::AurStore(std::string dir, const FlowKvOptions& options,
+                   std::unique_ptr<EttPredictor> predictor)
+    : dir_(std::move(dir)), options_(options), predictor_(std::move(predictor)) {}
+
+AurStore::~AurStore() = default;
+
+Status AurStore::Open(const std::string& dir, const FlowKvOptions& options,
+                      std::unique_ptr<EttPredictor> predictor, std::unique_ptr<AurStore>* out) {
+  FLOWKV_RETURN_IF_ERROR(CreateDirs(dir));
+  std::unique_ptr<AurStore> store(new AurStore(dir, options, std::move(predictor)));
+  FLOWKV_RETURN_IF_ERROR(store->OpenLogs());
+  *out = std::move(store);
+  return Status::Ok();
+}
+
+std::string AurStore::DataLogName(uint64_t generation) const {
+  return JoinPath(dir_, "aur_data_" + std::to_string(generation) + ".log");
+}
+
+std::string AurStore::IndexLogName(uint64_t generation) const {
+  return JoinPath(dir_, "aur_index_" + std::to_string(generation) + ".log");
+}
+
+Status AurStore::OpenLogs(bool reopen) {
+  FLOWKV_RETURN_IF_ERROR(
+      AppendFile::Open(DataLogName(generation_), reopen, &data_log_, &stats_.io));
+  return AppendFile::Open(IndexLogName(generation_), reopen, &index_log_, &stats_.io);
+}
+
+Status AurStore::CheckpointTo(const std::string& checkpoint_dir) {
+  FLOWKV_RETURN_IF_ERROR(CreateDirs(checkpoint_dir));
+  // Flush in-memory tuples, then compact so the snapshot is exactly the live
+  // segments (dead_segments_ empty afterwards).
+  FLOWKV_RETURN_IF_ERROR(FlushBuffer());
+  FLOWKV_RETURN_IF_ERROR(Compact());
+  FLOWKV_RETURN_IF_ERROR(data_log_->Flush());
+  FLOWKV_RETURN_IF_ERROR(index_log_->Flush());
+  FLOWKV_RETURN_IF_ERROR(CopyFile(DataLogName(generation_),
+                                  JoinPath(checkpoint_dir, "aur_data.ckpt"), &stats_.io));
+  FLOWKV_RETURN_IF_ERROR(CopyFile(IndexLogName(generation_),
+                                  JoinPath(checkpoint_dir, "aur_index.ckpt"), &stats_.io));
+  std::string meta;
+  PutVarint64(&meta, stat_.size());
+  for (const auto& [sk, stat] : stat_) {
+    PutLengthPrefixed(&meta, sk);
+    PutVarsigned64(&meta, stat.ett);
+    PutVarsigned64(&meta, stat.max_timestamp);
+  }
+  PutVarint64(&meta, disk_bytes_.size());
+  for (const auto& [sk, bytes] : disk_bytes_) {
+    PutLengthPrefixed(&meta, sk);
+    PutVarint64(&meta, bytes);
+  }
+  return WriteStringToFile(JoinPath(checkpoint_dir, "aur_meta.ckpt"), meta);
+}
+
+Status AurStore::RestoreFrom(const std::string& checkpoint_dir, const std::string& dir,
+                             const FlowKvOptions& options,
+                             std::unique_ptr<EttPredictor> predictor,
+                             std::unique_ptr<AurStore>* out) {
+  FLOWKV_RETURN_IF_ERROR(CreateDirs(dir));
+  std::unique_ptr<AurStore> store(new AurStore(dir, options, std::move(predictor)));
+  FLOWKV_RETURN_IF_ERROR(CopyFile(JoinPath(checkpoint_dir, "aur_data.ckpt"),
+                                  store->DataLogName(0), &store->stats_.io));
+  FLOWKV_RETURN_IF_ERROR(CopyFile(JoinPath(checkpoint_dir, "aur_index.ckpt"),
+                                  store->IndexLogName(0), &store->stats_.io));
+  FLOWKV_RETURN_IF_ERROR(store->OpenLogs(/*reopen=*/true));
+  std::string meta;
+  FLOWKV_RETURN_IF_ERROR(ReadFileToString(JoinPath(checkpoint_dir, "aur_meta.ckpt"), &meta));
+  Slice input(meta);
+  uint64_t count;
+  if (!GetVarint64(&input, &count)) {
+    return Status::Corruption("malformed AUR checkpoint metadata");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    Slice sk;
+    Stat stat;
+    if (!GetLengthPrefixed(&input, &sk) || !GetVarsigned64(&input, &stat.ett) ||
+        !GetVarsigned64(&input, &stat.max_timestamp)) {
+      return Status::Corruption("malformed AUR checkpoint metadata");
+    }
+    store->stat_[sk.ToString()] = stat;
+  }
+  if (!GetVarint64(&input, &count)) {
+    return Status::Corruption("malformed AUR checkpoint metadata");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    Slice sk;
+    uint64_t bytes;
+    if (!GetLengthPrefixed(&input, &sk) || !GetVarint64(&input, &bytes)) {
+      return Status::Corruption("malformed AUR checkpoint metadata");
+    }
+    store->disk_bytes_[sk.ToString()] = bytes;
+    ++store->live_disk_entries_;
+  }
+  *out = std::move(store);
+  return Status::Ok();
+}
+
+std::string AurStore::StateKey(const Slice& key, const Window& w) {
+  std::string sk;
+  PutLengthPrefixed(&sk, key);
+  EncodeWindow(&sk, w);
+  return sk;
+}
+
+void AurStore::SplitStateKey(const Slice& state_key, std::string* key, Window* w) {
+  Slice input = state_key;
+  Slice k;
+  GetLengthPrefixed(&input, &k);
+  *key = k.ToString();
+  DecodeWindow(&input, w);
+}
+
+Status AurStore::Append(const Slice& key, const Slice& value, const Window& w,
+                        int64_t timestamp) {
+  ScopedTimer t(&stats_.write_nanos);
+  ++stats_.writes;
+  const std::string sk = StateKey(key, w);
+
+  // A new tuple invalidates any prefetched copy of this window: the ETT was
+  // wrong (e.g. session extension). The disk copy stays; it will be re-read
+  // (paper Eq. 1 read amplification).
+  if (prefetch_.erase(sk) > 0) {
+    ++stats_.prefetch_evictions;
+  }
+
+  BufferedEntry& entry = buffer_[sk];
+  entry.values.emplace_back(value.ToString(), timestamp);
+  const uint64_t cost = value.size() + 24;
+  entry.bytes += cost;
+  buffered_bytes_ += cost + (entry.values.size() == 1 ? sk.size() + 64 : 0);
+
+  clock_ = std::max(clock_, timestamp);
+  Stat& stat = stat_[sk];
+  stat.max_timestamp = std::max(stat.max_timestamp, timestamp);
+  stat.ett = predictor_->Estimate(w, stat.max_timestamp);
+
+  if (buffered_bytes_ >= options_.write_buffer_bytes) {
+    return FlushBuffer();
+  }
+  return Status::Ok();
+}
+
+Status AurStore::FlushBuffer() {
+  ++stats_.flushes;
+  std::string segment;
+  std::string index_entry;
+  for (auto& [sk, entry] : buffer_) {
+    if (entry.values.empty()) {
+      continue;
+    }
+    // A flush adds a segment this entry's prefetched copy doesn't cover;
+    // drop the stale copy so the next read sees every segment.
+    prefetch_.erase(sk);
+    segment.clear();
+    for (const auto& [value, ts] : entry.values) {
+      PutLengthPrefixed(&segment, value);
+      PutVarsigned64(&segment, ts);
+    }
+    const uint64_t offset = data_log_->size();
+    FLOWKV_RETURN_IF_ERROR(data_log_->Append(segment));
+
+    index_entry.clear();
+    PutLengthPrefixed(&index_entry, sk);
+    PutFixed64(&index_entry, offset);
+    PutFixed64(&index_entry, segment.size());
+    PutVarint64(&index_entry, entry.values.size());
+    PutVarsigned64(&index_entry, stat_[sk].max_timestamp);
+    FLOWKV_RETURN_IF_ERROR(index_log_->Append(index_entry));
+
+    auto [it, inserted] = disk_bytes_.try_emplace(sk, 0);
+    if (inserted) {
+      ++live_disk_entries_;
+    }
+    it->second += segment.size();
+  }
+  buffer_.clear();
+  buffered_bytes_ = 0;
+  if (options_.sync_on_flush) {
+    FLOWKV_RETURN_IF_ERROR(data_log_->Sync());
+    return index_log_->Sync();
+  }
+  FLOWKV_RETURN_IF_ERROR(data_log_->Flush());
+  return index_log_->Flush();
+}
+
+Status AurStore::ScanIndexLog(const std::string& path,
+                              const std::function<Status(const IndexEntry&)>& fn) const {
+  std::unique_ptr<SequentialFile> file;
+  FLOWKV_RETURN_IF_ERROR(SequentialFile::Open(path, &file, const_cast<IoStats*>(&stats_.io)));
+  std::string carry;
+  std::string scratch;
+  scratch.resize(256 * 1024);
+  while (true) {
+    Slice got;
+    FLOWKV_RETURN_IF_ERROR(file->Read(scratch.size(), &got, scratch.data()));
+    if (got.empty()) {
+      break;
+    }
+    carry.append(got.data(), got.size());
+    Slice input(carry);
+    size_t consumed = 0;
+    while (true) {
+      Slice probe = input;
+      IndexEntry e;
+      Slice sk;
+      uint64_t count;
+      int64_t max_ts;
+      if (!GetLengthPrefixed(&probe, &sk) || !GetFixed64(&probe, &e.offset) ||
+          !GetFixed64(&probe, &e.length) || !GetVarint64(&probe, &count) ||
+          !GetVarsigned64(&probe, &max_ts)) {
+        break;
+      }
+      e.state_key = sk.ToString();
+      e.count = count;
+      e.max_timestamp = max_ts;
+      FLOWKV_RETURN_IF_ERROR(fn(e));
+      consumed += input.size() - probe.size();
+      input = probe;
+    }
+    carry.erase(0, consumed);
+  }
+  if (!carry.empty()) {
+    return Status::Corruption("trailing partial index entry in " + path);
+  }
+  return Status::Ok();
+}
+
+uint64_t AurStore::DataLogBytes() const { return data_log_ ? data_log_->size() : 0; }
+
+double AurStore::SpaceAmplification() const {
+  const uint64_t total = DataLogBytes();
+  if (total == 0 || total <= dead_bytes_) {
+    return 1.0;
+  }
+  return static_cast<double>(total) / static_cast<double>(total - dead_bytes_);
+}
+
+Status AurStore::LoadSegments(
+    const std::unordered_map<std::string, std::vector<IndexEntry>>& segments) {
+  if (segments.empty()) {
+    return Status::Ok();
+  }
+  FLOWKV_RETURN_IF_ERROR(data_log_->Flush());
+  std::unique_ptr<RandomAccessFile> reader;
+  FLOWKV_RETURN_IF_ERROR(RandomAccessFile::Open(DataLogName(generation_), &reader, &stats_.io));
+
+  // Flatten and sort by offset: one forward pass over the data log.
+  std::vector<const IndexEntry*> flat;
+  for (const auto& [sk, entries] : segments) {
+    for (const auto& e : entries) {
+      flat.push_back(&e);
+    }
+  }
+  std::sort(flat.begin(), flat.end(),
+            [](const IndexEntry* a, const IndexEntry* b) { return a->offset < b->offset; });
+
+  std::string buf;
+  for (const IndexEntry* e : flat) {
+    buf.resize(e->length);
+    Slice got;
+    FLOWKV_RETURN_IF_ERROR(reader->Read(e->offset, e->length, &got, buf.data()));
+    PrefetchedEntry& dst = prefetch_[e->state_key];
+    dst.segment_tags.push_back(SegmentTag(e->offset));
+    Slice input = got;
+    while (!input.empty()) {
+      Slice value;
+      int64_t ts;
+      if (!GetLengthPrefixed(&input, &value) || !GetVarsigned64(&input, &ts)) {
+        return Status::Corruption("malformed data segment in " + DataLogName(generation_));
+      }
+      dst.values.emplace_back(value.ToString(), ts);
+    }
+    stats_.tuples_read_from_disk += static_cast<int64_t>(e->count);
+  }
+  return Status::Ok();
+}
+
+Status AurStore::CompactWith(std::unordered_map<std::string, std::vector<IndexEntry>> live) {
+  ScopedTimer t(&stats_.compaction_nanos);
+  ++stats_.compactions;
+
+  FLOWKV_RETURN_IF_ERROR(data_log_->Flush());
+  const std::string old_data = DataLogName(generation_);
+  const std::string old_index = IndexLogName(generation_);
+  ++generation_;
+  std::unique_ptr<AppendFile> new_data;
+  std::unique_ptr<AppendFile> new_index;
+  FLOWKV_RETURN_IF_ERROR(
+      AppendFile::Open(DataLogName(generation_), /*reopen=*/false, &new_data, &stats_.io));
+  FLOWKV_RETURN_IF_ERROR(
+      AppendFile::Open(IndexLogName(generation_), /*reopen=*/false, &new_index, &stats_.io));
+
+  // Move live segments in old-offset order (sequential source access) using
+  // zero-copy transfer (§5), rewriting their index entries as we go.
+  std::vector<std::pair<std::string, IndexEntry*>> flat;
+  for (auto& [sk, entries] : live) {
+    for (auto& e : entries) {
+      flat.emplace_back(sk, &e);
+    }
+  }
+  std::sort(flat.begin(), flat.end(), [](const auto& a, const auto& b) {
+    return a.second->offset < b.second->offset;
+  });
+  std::string index_entry;
+  for (auto& [sk, e] : flat) {
+    const uint64_t new_offset = new_data->size();
+    FLOWKV_RETURN_IF_ERROR(
+        ZeroCopyTransfer(old_data, e->offset, e->length, new_data.get(), &stats_.io));
+    e->offset = new_offset;
+    index_entry.clear();
+    PutLengthPrefixed(&index_entry, sk);
+    PutFixed64(&index_entry, e->offset);
+    PutFixed64(&index_entry, e->length);
+    PutVarint64(&index_entry, e->count);
+    PutVarsigned64(&index_entry, e->max_timestamp);
+    FLOWKV_RETURN_IF_ERROR(new_index->Append(index_entry));
+  }
+  FLOWKV_RETURN_IF_ERROR(new_data->Flush());
+  FLOWKV_RETURN_IF_ERROR(new_index->Flush());
+
+  data_log_ = std::move(new_data);
+  index_log_ = std::move(new_index);
+  FLOWKV_RETURN_IF_ERROR(RemoveFile(old_data));
+  FLOWKV_RETURN_IF_ERROR(RemoveFile(old_index));
+  dead_bytes_ = 0;
+  dead_segments_.clear();
+  FLOWKV_LOG(kDebug) << "aur compaction: " << flat.size() << " live segments -> gen "
+                     << generation_;
+  return Status::Ok();
+}
+
+Status AurStore::PredictiveBatchRead(const std::string& requested) {
+  // One index-log scan serves both the batch-read selection and the
+  // compaction liveness analysis (integrated compaction, §4.2).
+  std::unordered_map<std::string, std::vector<IndexEntry>> live;
+  FLOWKV_RETURN_IF_ERROR(index_log_->Flush());
+  FLOWKV_RETURN_IF_ERROR(
+      ScanIndexLog(IndexLogName(generation_), [&](const IndexEntry& e) {
+        if (!dead_segments_.contains(SegmentTag(e.offset))) {
+          live[e.state_key].push_back(e);
+        }
+        return Status::Ok();
+      }));
+
+  if (SpaceAmplification() > options_.max_space_amplification) {
+    FLOWKV_RETURN_IF_ERROR(CompactWith(live));
+    // CompactWith updated offsets in its copy; rebuild from the new index.
+    live.clear();
+    FLOWKV_RETURN_IF_ERROR(
+        ScanIndexLog(IndexLogName(generation_), [&](const IndexEntry& e) {
+          live[e.state_key].push_back(e);
+          return Status::Ok();
+        }));
+    RefreshPrefetchTags(live);
+  }
+
+  // Select the requested entry plus the N live entries closest to their
+  // estimated trigger time. N = read_batch_ratio x live entries; entries
+  // without a usable ETT (unpredictable window functions) never prefetch.
+  std::vector<std::pair<int64_t, const std::string*>> candidates;
+  candidates.reserve(live.size());
+  for (const auto& [sk, entries] : live) {
+    if (sk == requested || prefetch_.contains(sk)) {
+      continue;
+    }
+    auto stat_it = stat_.find(sk);
+    const int64_t ett =
+        stat_it == stat_.end() ? EttPredictor::kUnknown : stat_it->second.ett;
+    if (ett != EttPredictor::kUnknown) {
+      candidates.emplace_back(ett, &sk);
+    }
+  }
+  size_t n = static_cast<size_t>(options_.read_batch_ratio * static_cast<double>(live.size()));
+  n = std::min(n, candidates.size());
+  std::partial_sort(candidates.begin(), candidates.begin() + n, candidates.end());
+
+  std::unordered_map<std::string, std::vector<IndexEntry>> to_load;
+  auto requested_it = live.find(requested);
+  if (requested_it != live.end()) {
+    to_load.emplace(requested, requested_it->second);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const std::string& sk = *candidates[i].second;
+    const auto& segments = live[sk];
+    for (const IndexEntry& e : segments) {
+      // Speculative loads only; the requested entry and targeted reads are
+      // demand reads, not prefetches.
+      stats_.prefetched_entries += static_cast<int64_t>(e.count);
+    }
+    to_load.emplace(sk, segments);
+  }
+  return LoadSegments(to_load);
+}
+
+Status AurStore::Collect(const std::string& state_key,
+                         std::vector<std::pair<std::string, int64_t>>* values,
+                         bool use_prefetch) {
+  values->clear();
+  // Disk-resident (oldest) data first.
+  auto disk_it = disk_bytes_.find(state_key);
+  if (disk_it != disk_bytes_.end()) {
+    auto prefetch_it = use_prefetch ? prefetch_.find(state_key) : prefetch_.end();
+    if (prefetch_it != prefetch_.end()) {
+      for (uint64_t tag : prefetch_it->second.segment_tags) {
+        dead_segments_.insert(tag);
+      }
+      *values = std::move(prefetch_it->second.values);
+      prefetch_.erase(prefetch_it);
+    } else {
+      // Targeted read: pull only this entry's segments off the index log.
+      std::unordered_map<std::string, std::vector<IndexEntry>> segments;
+      FLOWKV_RETURN_IF_ERROR(index_log_->Flush());
+      FLOWKV_RETURN_IF_ERROR(
+          ScanIndexLog(IndexLogName(generation_), [&](const IndexEntry& e) {
+            if (e.state_key == state_key && !dead_segments_.contains(SegmentTag(e.offset))) {
+              segments[e.state_key].push_back(e);
+            }
+            return Status::Ok();
+          }));
+      FLOWKV_RETURN_IF_ERROR(LoadSegments(segments));
+      auto loaded = prefetch_.find(state_key);
+      if (loaded != prefetch_.end()) {
+        for (uint64_t tag : loaded->second.segment_tags) {
+          dead_segments_.insert(tag);
+        }
+        *values = std::move(loaded->second.values);
+        prefetch_.erase(loaded);
+      }
+    }
+    stats_.tuples_consumed += static_cast<int64_t>(values->size());
+    dead_bytes_ += disk_it->second;
+    disk_bytes_.erase(disk_it);
+    --live_disk_entries_;
+  }
+  // Then anything still buffered in memory (newest).
+  auto buffer_it = buffer_.find(state_key);
+  if (buffer_it != buffer_.end()) {
+    for (auto& vt : buffer_it->second.values) {
+      values->push_back(std::move(vt));
+    }
+    buffered_bytes_ -=
+        std::min<uint64_t>(buffered_bytes_, buffer_it->second.bytes + state_key.size() + 64);
+    buffer_.erase(buffer_it);
+  }
+  stat_.erase(state_key);
+  return Status::Ok();
+}
+
+Status AurStore::Get(const Slice& key, const Window& w, std::vector<std::string>* values) {
+  ScopedTimer t(&stats_.read_nanos);
+  ++stats_.reads;
+  const std::string sk = StateKey(key, w);
+
+  // Runtime profiling feedback (§8): the trigger happened "now" in event
+  // time; report how far past the window's last tuple that is, so adaptive
+  // predictors can learn custom trigger semantics.
+  auto stat_it = stat_.find(sk);
+  if (stat_it != stat_.end() && stat_it->second.max_timestamp != INT64_MIN &&
+      clock_ != INT64_MIN) {
+    predictor_->Observe(clock_ - stat_it->second.max_timestamp);
+  }
+
+  if (disk_bytes_.contains(sk)) {
+    if (prefetch_.contains(sk)) {
+      ++stats_.prefetch_hits;
+    } else {
+      ++stats_.prefetch_misses;
+      FLOWKV_RETURN_IF_ERROR(PredictiveBatchRead(sk));
+    }
+  }
+  std::vector<std::pair<std::string, int64_t>> vts;
+  FLOWKV_RETURN_IF_ERROR(Collect(sk, &vts, /*use_prefetch=*/true));
+  if (vts.empty()) {
+    return Status::NotFound();
+  }
+  values->clear();
+  values->reserve(vts.size());
+  for (auto& [value, ts] : vts) {
+    values->push_back(std::move(value));
+  }
+  return Status::Ok();
+}
+
+Status AurStore::MergeWindows(const Slice& key, const std::vector<Window>& sources,
+                              const Window& dst) {
+  ScopedTimer t(&stats_.write_nanos);
+  for (const Window& src : sources) {
+    const std::string src_sk = StateKey(key, src);
+    std::vector<std::pair<std::string, int64_t>> vts;
+    FLOWKV_RETURN_IF_ERROR(Collect(src_sk, &vts, /*use_prefetch=*/true));
+    for (auto& [value, ts] : vts) {
+      // Re-append under the destination's initial window, preserving the
+      // original timestamp so the destination's ETT stays a lower bound.
+      const std::string dst_sk = StateKey(key, dst);
+      if (prefetch_.erase(dst_sk) > 0) {
+        ++stats_.prefetch_evictions;
+      }
+      BufferedEntry& entry = buffer_[dst_sk];
+      const uint64_t cost = value.size() + 24;
+      entry.bytes += cost;
+      buffered_bytes_ += cost + (entry.values.size() == 0 ? dst_sk.size() + 64 : 0);
+      entry.values.emplace_back(std::move(value), ts);
+      Stat& stat = stat_[dst_sk];
+      stat.max_timestamp = std::max(stat.max_timestamp, ts);
+      stat.ett = predictor_->Estimate(dst, stat.max_timestamp);
+    }
+  }
+  if (buffered_bytes_ >= options_.write_buffer_bytes) {
+    return FlushBuffer();
+  }
+  return Status::Ok();
+}
+
+Status AurStore::Compact() {
+  std::unordered_map<std::string, std::vector<IndexEntry>> live;
+  FLOWKV_RETURN_IF_ERROR(index_log_->Flush());
+  FLOWKV_RETURN_IF_ERROR(ScanIndexLog(IndexLogName(generation_), [&](const IndexEntry& e) {
+    if (!dead_segments_.contains(SegmentTag(e.offset))) {
+      live[e.state_key].push_back(e);
+    }
+    return Status::Ok();
+  }));
+  FLOWKV_RETURN_IF_ERROR(CompactWith(live));
+  live.clear();
+  FLOWKV_RETURN_IF_ERROR(ScanIndexLog(IndexLogName(generation_), [&](const IndexEntry& e) {
+    live[e.state_key].push_back(e);
+    return Status::Ok();
+  }));
+  RefreshPrefetchTags(live);
+  return Status::Ok();
+}
+
+// After a compaction rewrote live segments to new offsets, prefetch-buffer
+// entries must point at the new segments so their consumption marks the
+// right bytes dead.
+void AurStore::RefreshPrefetchTags(
+    const std::unordered_map<std::string, std::vector<IndexEntry>>& live) {
+  for (auto& [sk, entry] : prefetch_) {
+    entry.segment_tags.clear();
+    auto it = live.find(sk);
+    if (it != live.end()) {
+      for (const IndexEntry& e : it->second) {
+        entry.segment_tags.push_back(SegmentTag(e.offset));
+      }
+    }
+  }
+}
+
+}  // namespace flowkv

@@ -1,0 +1,190 @@
+// Append & Unaligned Read store (paper §4.2). Windows of different keys
+// trigger at different, data-dependent times, so the store:
+//
+//  - hashes the write buffer by (key, initial window boundary),
+//  - keeps one *global* data log plus an append-only *index log* on disk
+//    (per-window files would explode in number); an index entry records
+//    (key, window, offset, length, count, max_timestamp) for each flushed
+//    segment — many tuples amortize into one entry via the write buffer,
+//  - maintains an in-memory Stat table of estimated trigger times (ETTs),
+//    updated on every Append from the tuple timestamp and the window
+//    function's predictor,
+//  - on a prefetch-buffer miss, performs a *predictive batch read*: one
+//    sequential scan of the index log selects the N live (key, window)
+//    entries closest to triggering (N = read_batch_ratio x live entries) and
+//    loads their segments into the prefetch buffer,
+//  - evicts prefetched state whose ETT proved wrong (a new tuple arrived,
+//    e.g. a session extension) — those tuples are re-read later, which is
+//    the 1/hit-ratio read amplification of Eq. 1,
+//  - integrates compaction with the same index scan: when space
+//    amplification exceeds the MSA threshold, live segments move to fresh
+//    logs with zero-copy byte transfer and dead ones vanish.
+#ifndef SRC_FLOWKV_AUR_STORE_H_
+#define SRC_FLOWKV_AUR_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/file.h"
+#include "src/common/slice.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/flowkv/ett.h"
+#include "src/flowkv/flowkv_options.h"
+#include "src/spe/window.h"
+
+namespace flowkv {
+
+class AurStore {
+ public:
+  // The predictor encodes the window function's trigger semantics.
+  static Status Open(const std::string& dir, const FlowKvOptions& options,
+                     std::unique_ptr<EttPredictor> predictor, std::unique_ptr<AurStore>* out);
+
+  ~AurStore();
+
+  AurStore(const AurStore&) = delete;
+  AurStore& operator=(const AurStore&) = delete;
+
+  // Appends the tuple under (key, w); `timestamp` updates the window's ETT.
+  Status Append(const Slice& key, const Slice& value, const Window& w, int64_t timestamp);
+
+  // Fetch-and-remove of the full value list of (key, w).
+  // NotFound when the entry has no state.
+  Status Get(const Slice& key, const Window& w, std::vector<std::string>* values);
+
+  // Moves the state of (key, src) windows into (key, dst), preserving
+  // per-tuple timestamps (session merges).
+  Status MergeWindows(const Slice& key, const std::vector<Window>& sources, const Window& dst);
+
+  // Forces a compaction regardless of the MSA trigger (testing).
+  Status Compact();
+
+  // Snapshots the store (buffer flushed, dead segments compacted away, logs
+  // copied, ETT/stat metadata serialized) into `checkpoint_dir` (paper §8).
+  Status CheckpointTo(const std::string& checkpoint_dir);
+
+  // Opens a store at `dir` seeded from a checkpoint.
+  static Status RestoreFrom(const std::string& checkpoint_dir, const std::string& dir,
+                            const FlowKvOptions& options,
+                            std::unique_ptr<EttPredictor> predictor,
+                            std::unique_ptr<AurStore>* out);
+
+  uint64_t DataLogBytes() const;
+  uint64_t DeadBytes() const { return dead_bytes_; }
+  double SpaceAmplification() const;
+  size_t PrefetchBufferEntries() const { return prefetch_.size(); }
+  // Live (key, window) entries with disk-resident segments.
+  uint64_t LiveDiskEntries() const { return live_disk_entries_; }
+  const StoreStats& stats() const { return stats_; }
+  StoreStats* mutable_stats() { return &stats_; }
+
+ private:
+  struct BufferedEntry {
+    std::vector<std::pair<std::string, int64_t>> values;  // (value, timestamp)
+    uint64_t bytes = 0;
+  };
+
+  struct PrefetchedEntry {
+    std::vector<std::pair<std::string, int64_t>> values;
+    // Generation-tagged offsets of the data-log segments this entry was read
+    // from; marked dead when the entry is consumed.
+    std::vector<uint64_t> segment_tags;
+  };
+
+  AurStore(std::string dir, const FlowKvOptions& options,
+           std::unique_ptr<EttPredictor> predictor);
+
+  Status OpenLogs(bool reopen = false);
+  std::string DataLogName(uint64_t generation) const;
+  std::string IndexLogName(uint64_t generation) const;
+
+  static std::string StateKey(const Slice& key, const Window& w);
+  static void SplitStateKey(const Slice& state_key, std::string* key, Window* w);
+
+  // Flushes every write-buffer bucket: segments to the data log, one index
+  // entry per bucket to the index log.
+  Status FlushBuffer();
+
+  // One parsed index-log entry.
+  struct IndexEntry {
+    std::string state_key;  // key + window encoding
+    uint64_t offset;
+    uint64_t length;
+    uint64_t count;
+    int64_t max_timestamp;
+  };
+
+  // Sequentially scans the index log, invoking fn per entry.
+  Status ScanIndexLog(const std::string& path,
+                      const std::function<Status(const IndexEntry&)>& fn) const;
+
+  // The combined predictive-batch-read + integrated-compaction index scan,
+  // triggered by a prefetch miss on `requested`.
+  Status PredictiveBatchRead(const std::string& requested);
+
+  // Loads the given segments into the prefetch buffer.
+  Status LoadSegments(const std::unordered_map<std::string, std::vector<IndexEntry>>& segments);
+
+  // Rewrites live segments into generation+1 logs (zero-copy) and unlinks the
+  // old generation. `live` maps state keys to their segments (old offsets).
+  Status CompactWith(std::unordered_map<std::string, std::vector<IndexEntry>> live);
+
+  // Re-tags prefetch-buffer entries after a compaction moved their segments.
+  void RefreshPrefetchTags(const std::unordered_map<std::string, std::vector<IndexEntry>>& live);
+
+  // Drains all state for `state_key` from buffer + prefetch + disk into
+  // `values`, marking disk segments dead. Core of Get and MergeWindows.
+  Status Collect(const std::string& state_key,
+                 std::vector<std::pair<std::string, int64_t>>* values, bool use_prefetch);
+
+  std::string dir_;
+  FlowKvOptions options_;
+  std::unique_ptr<EttPredictor> predictor_;
+
+  // (key, initial window)-hashed write buffer.
+  std::unordered_map<std::string, BufferedEntry> buffer_;
+  uint64_t buffered_bytes_ = 0;
+
+  // Stat table: state key -> {ETT, max timestamp seen} (paper Fig. 7).
+  struct Stat {
+    int64_t ett = 0;
+    int64_t max_timestamp = INT64_MIN;
+  };
+  std::unordered_map<std::string, Stat> stat_;
+
+  // Prefetch buffer populated by predictive batch reads.
+  std::unordered_map<std::string, PrefetchedEntry> prefetch_;
+
+  // Dead data-log segments (fetched-and-removed or moved by MergeWindows),
+  // identified by generation-tagged offset; their index entries are garbage
+  // until compaction. Per-segment (not per-(key,window)) so that a window
+  // that is re-created after consumption is never shadowed by its past.
+  std::unordered_set<uint64_t> dead_segments_;
+
+  uint64_t SegmentTag(uint64_t offset) const { return (generation_ << 48) | offset; }
+
+  // Live on-disk bytes per state key (for space-amplification accounting).
+  std::unordered_map<std::string, uint64_t> disk_bytes_;
+
+  // Event-time clock: the largest tuple timestamp appended so far; used to
+  // measure actual trigger delays for adaptive predictors.
+  int64_t clock_ = INT64_MIN;
+
+  std::unique_ptr<AppendFile> data_log_;
+  std::unique_ptr<AppendFile> index_log_;
+  uint64_t generation_ = 0;
+  uint64_t dead_bytes_ = 0;
+  uint64_t live_disk_entries_ = 0;  // live (key,window) entries with disk data
+
+  StoreStats stats_;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_FLOWKV_AUR_STORE_H_

@@ -1,0 +1,20 @@
+#include "src/flowkv/ett.h"
+
+namespace flowkv {
+
+std::unique_ptr<EttPredictor> MakeEttPredictor(const OperatorStateSpec& spec) {
+  switch (spec.window_kind) {
+    case WindowKind::kTumbling:
+    case WindowKind::kSliding:
+    case WindowKind::kGlobal:
+      return std::make_unique<AlignedEttPredictor>();
+    case WindowKind::kSession:
+      return std::make_unique<SessionEttPredictor>(spec.session_gap_ms);
+    case WindowKind::kCount:
+    case WindowKind::kCustom:
+      return std::make_unique<UnpredictableEttPredictor>();
+  }
+  return std::make_unique<UnpredictableEttPredictor>();
+}
+
+}  // namespace flowkv

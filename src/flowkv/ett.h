@@ -1,0 +1,139 @@
+// Estimated trigger time (ETT) predictors (paper §4.2, "Trigger Time
+// Estimation"). An ETT combines the statically-known window function
+// semantics with the dynamically-observed tuple timestamps:
+//  - session windows:      ETT = max_tuple_timestamp + session_gap
+//    (a hard lower bound: the window cannot trigger earlier, which is what
+//    makes predictive batch read safe),
+//  - aligned windows:      ETT = window end (exact),
+//  - count/custom windows: unknowable from timestamps; prediction disabled
+//    unless the user supplies a predictor (paper §8).
+#ifndef SRC_FLOWKV_ETT_H_
+#define SRC_FLOWKV_ETT_H_
+
+#include <cstdint>
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "src/spe/state.h"
+#include "src/spe/window.h"
+
+namespace flowkv {
+
+class EttPredictor {
+ public:
+  static constexpr int64_t kUnknown = std::numeric_limits<int64_t>::max();
+
+  virtual ~EttPredictor() = default;
+
+  // Estimated trigger time of `window` given the largest tuple timestamp
+  // observed inside it; kUnknown when the trigger time cannot be bounded.
+  virtual int64_t Estimate(const Window& window, int64_t max_timestamp) const = 0;
+
+  // False when estimates are kUnknown (disables predictive batch read).
+  virtual bool predictable() const { return true; }
+
+  // Feedback hook: the AUR store reports, at each trigger, how far past the
+  // window's max tuple timestamp the trigger actually happened. Predictors
+  // that learn from runtime behavior override this (paper §8 future work).
+  virtual void Observe(int64_t trigger_delta_ms) {}
+};
+
+// Fixed/sliding/global windows trigger exactly at their end.
+class AlignedEttPredictor : public EttPredictor {
+ public:
+  int64_t Estimate(const Window& window, int64_t max_timestamp) const override {
+    return window.max_timestamp();
+  }
+};
+
+// Session windows cannot trigger before max_timestamp + gap.
+class SessionEttPredictor : public EttPredictor {
+ public:
+  explicit SessionEttPredictor(int64_t gap_ms) : gap_(gap_ms) {}
+
+  int64_t Estimate(const Window& window, int64_t max_timestamp) const override {
+    return max_timestamp + gap_;
+  }
+
+ private:
+  int64_t gap_;
+};
+
+// Count and unknown custom window functions: no bound exists.
+class UnpredictableEttPredictor : public EttPredictor {
+ public:
+  int64_t Estimate(const Window& window, int64_t max_timestamp) const override {
+    return kUnknown;
+  }
+  bool predictable() const override { return false; }
+};
+
+// Learns the trigger delay of an unknown (custom) window function from
+// runtime observations — the paper's §8 "leveraging runtime profiling to
+// determine ... ETTs" future-work direction. Until enough triggers have been
+// observed it behaves like UnpredictableEttPredictor (no prefetching); after
+// warm-up it predicts ETT = max_timestamp + conservative quantile of the
+// observed trigger delays. A conservative (high) quantile keeps the
+// prediction close to a lower bound, which is what makes batch reads safe.
+class AdaptiveEttPredictor : public EttPredictor {
+ public:
+  // `warmup` triggers must be observed before predictions start;
+  // `safety_quantile` in (0,1] picks the delay estimate (default P90).
+  explicit AdaptiveEttPredictor(int warmup = 32, double safety_quantile = 0.9)
+      : warmup_(warmup), safety_quantile_(safety_quantile) {}
+
+  int64_t Estimate(const Window& window, int64_t max_timestamp) const override {
+    if (observations_ < warmup_) {
+      return kUnknown;
+    }
+    return max_timestamp + QuantileDelay();
+  }
+
+  bool predictable() const override { return observations_ >= warmup_; }
+
+  void Observe(int64_t trigger_delta_ms) override {
+    ++observations_;
+    // Reservoir of recent deltas (simple ring; cheap and bounded).
+    if (recent_.size() < kWindowSize) {
+      recent_.push_back(trigger_delta_ms);
+    } else {
+      recent_[next_slot_] = trigger_delta_ms;
+      next_slot_ = (next_slot_ + 1) % kWindowSize;
+    }
+  }
+
+  int64_t observations() const { return observations_; }
+
+ private:
+  int64_t QuantileDelay() const {
+    if (recent_.empty()) {
+      return 0;
+    }
+    std::vector<int64_t> sorted(recent_);
+    const size_t idx = std::min(
+        sorted.size() - 1,
+        static_cast<size_t>(static_cast<double>(sorted.size()) * safety_quantile_));
+    std::nth_element(sorted.begin(), sorted.begin() + idx, sorted.end());
+    return sorted[idx];
+  }
+
+  static constexpr size_t kWindowSize = 256;
+
+  int warmup_;
+  double safety_quantile_;
+  int64_t observations_ = 0;
+  std::vector<int64_t> recent_;
+  size_t next_slot_ = 0;
+};
+
+// Maps a window operation's statically-declared semantics to its predictor
+// (pre-defined window functions get pre-defined predictors, §4.2). A user-
+// supplied predictor for custom window functions can be injected instead
+// (§8); pass nullptr for the default mapping.
+std::unique_ptr<EttPredictor> MakeEttPredictor(const OperatorStateSpec& spec);
+
+}  // namespace flowkv
+
+#endif  // SRC_FLOWKV_ETT_H_

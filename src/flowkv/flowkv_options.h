@@ -1,0 +1,43 @@
+// FlowKV's configurable parameters (paper §6, "FlowKV Configuration"):
+// read batch ratio, write buffer size, maximum space amplification, and the
+// number of store instances per physical window operator.
+#ifndef SRC_FLOWKV_FLOWKV_OPTIONS_H_
+#define SRC_FLOWKV_FLOWKV_OPTIONS_H_
+
+#include <cstdint>
+
+namespace flowkv {
+
+struct FlowKvOptions {
+  // Fraction of live (key, window) entries loaded per predictive batch read
+  // (paper default 0.02; 0 disables predictive batch read entirely).
+  double read_batch_ratio = 0.02;
+
+  // In-memory write buffer capacity per store instance; full buffers flush
+  // to the on-disk logs. (Paper default 2048 MB at cluster scale; the
+  // library default is sized for a single machine.)
+  uint64_t write_buffer_bytes = 8 * 1024 * 1024;
+
+  // Maximum space amplification: compaction runs when
+  // total_bytes / (total_bytes - dead_bytes) exceeds this (paper default 1.5).
+  double max_space_amplification = 1.5;
+
+  // Store instances deployed per physical window operator; keys are
+  // hash-partitioned across them so compactions stay small and local
+  // (paper default m = 2).
+  int num_partitions = 2;
+
+  // Target bytes handed back per GetWindow chunk (gradual state loading) and
+  // upper bound on the AAR read-side grouping memory.
+  uint64_t read_chunk_bytes = 4 * 1024 * 1024;
+
+  // Cap on grouping passes over one AAR window log (see aar_store.h).
+  int max_aar_passes = 16;
+
+  // fdatasync data logs on flush.
+  bool sync_on_flush = false;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_FLOWKV_FLOWKV_OPTIONS_H_

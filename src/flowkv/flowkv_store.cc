@@ -1,0 +1,220 @@
+#include "src/flowkv/flowkv_store.h"
+
+#include "src/common/coding.h"
+#include "src/common/env.h"
+#include "src/common/file.h"
+#include "src/common/hash.h"
+
+namespace flowkv {
+
+FlowKvStore::~FlowKvStore() = default;
+
+Status FlowKvStore::Open(const std::string& dir, const FlowKvOptions& options,
+                         const OperatorStateSpec& spec, std::unique_ptr<FlowKvStore>* out,
+                         PredictorFactory predictor_override) {
+  std::unique_ptr<FlowKvStore> store(new FlowKvStore());
+  // §3.1: the aggregate-function interface decides RMW vs Append; the window
+  // function decides the read alignment.
+  store->pattern_ = ClassifyPattern(spec.incremental, spec.window_kind, spec.alignment_hint);
+  const int m = std::max(options.num_partitions, 1);
+  for (int i = 0; i < m; ++i) {
+    const std::string part_dir = JoinPath(dir, "p" + std::to_string(i));
+    switch (store->pattern_) {
+      case StorePattern::kAppendAligned: {
+        std::unique_ptr<AarStore> part;
+        FLOWKV_RETURN_IF_ERROR(AarStore::Open(part_dir, options, &part));
+        store->aar_.push_back(std::move(part));
+        break;
+      }
+      case StorePattern::kAppendUnaligned: {
+        std::unique_ptr<EttPredictor> predictor =
+            predictor_override ? predictor_override() : MakeEttPredictor(spec);
+        std::unique_ptr<AurStore> part;
+        FLOWKV_RETURN_IF_ERROR(AurStore::Open(part_dir, options, std::move(predictor), &part));
+        store->aur_.push_back(std::move(part));
+        break;
+      }
+      case StorePattern::kReadModifyWrite: {
+        std::unique_ptr<RmwStore> part;
+        FLOWKV_RETURN_IF_ERROR(RmwStore::Open(part_dir, options, &part));
+        store->rmw_.push_back(std::move(part));
+        break;
+      }
+    }
+  }
+  *out = std::move(store);
+  return Status::Ok();
+}
+
+size_t FlowKvStore::PartitionOf(const Slice& key) const {
+  const size_t m = std::max(std::max(aar_.size(), aur_.size()), rmw_.size());
+  return static_cast<size_t>(Hash64(key)) % m;
+}
+
+Status FlowKvStore::Append(const Slice& key, const Slice& value, const Window& w) {
+  if (pattern_ != StorePattern::kAppendAligned) {
+    return Status::FailedPrecondition("AAR Append on a non-AAR store");
+  }
+  return aar_[PartitionOf(key)]->Append(key, value, w);
+}
+
+Status FlowKvStore::GetWindowChunk(const Window& w, std::vector<WindowChunkEntry>* chunk,
+                                   bool* done) {
+  if (pattern_ != StorePattern::kAppendAligned) {
+    return Status::FailedPrecondition("GetWindow on a non-AAR store");
+  }
+  chunk->clear();
+  *done = false;
+  auto [cursor_it, unused] = aligned_read_cursor_.try_emplace(w, 0);
+  size_t& cursor = cursor_it->second;
+  // Drain partitions in order; each yields its chunks, then the next starts.
+  while (cursor < aar_.size()) {
+    bool partition_done = false;
+    FLOWKV_RETURN_IF_ERROR(aar_[cursor]->GetWindowChunk(w, chunk, &partition_done));
+    if (!partition_done) {
+      return Status::Ok();
+    }
+    ++cursor;
+  }
+  aligned_read_cursor_.erase(w);
+  *done = true;
+  return Status::Ok();
+}
+
+Status FlowKvStore::Append(const Slice& key, const Slice& value, const Window& w,
+                           int64_t timestamp) {
+  if (pattern_ != StorePattern::kAppendUnaligned) {
+    return Status::FailedPrecondition("AUR Append on a non-AUR store");
+  }
+  return aur_[PartitionOf(key)]->Append(key, value, w, timestamp);
+}
+
+Status FlowKvStore::Get(const Slice& key, const Window& w, std::vector<std::string>* values) {
+  if (pattern_ != StorePattern::kAppendUnaligned) {
+    return Status::FailedPrecondition("list Get on a non-AUR store");
+  }
+  return aur_[PartitionOf(key)]->Get(key, w, values);
+}
+
+Status FlowKvStore::MergeWindows(const Slice& key, const std::vector<Window>& sources,
+                                 const Window& dst) {
+  if (pattern_ != StorePattern::kAppendUnaligned) {
+    return Status::FailedPrecondition("MergeWindows on a non-AUR store");
+  }
+  return aur_[PartitionOf(key)]->MergeWindows(key, sources, dst);
+}
+
+Status FlowKvStore::Get(const Slice& key, const Window& w, std::string* accumulator) {
+  if (pattern_ != StorePattern::kReadModifyWrite) {
+    return Status::FailedPrecondition("aggregate Get on a non-RMW store");
+  }
+  return rmw_[PartitionOf(key)]->Get(key, w, accumulator);
+}
+
+Status FlowKvStore::Put(const Slice& key, const Window& w, const Slice& accumulator) {
+  if (pattern_ != StorePattern::kReadModifyWrite) {
+    return Status::FailedPrecondition("Put on a non-RMW store");
+  }
+  return rmw_[PartitionOf(key)]->Put(key, w, accumulator);
+}
+
+Status FlowKvStore::Remove(const Slice& key, const Window& w) {
+  if (pattern_ != StorePattern::kReadModifyWrite) {
+    return Status::FailedPrecondition("Remove on a non-RMW store");
+  }
+  return rmw_[PartitionOf(key)]->Remove(key, w);
+}
+
+Status FlowKvStore::CheckpointTo(const std::string& checkpoint_dir) const {
+  FLOWKV_RETURN_IF_ERROR(CreateDirs(checkpoint_dir));
+  const int m = num_partitions();
+  std::string manifest;
+  manifest.push_back(static_cast<char>(pattern_));
+  PutVarint32(&manifest, static_cast<uint32_t>(m));
+  FLOWKV_RETURN_IF_ERROR(
+      WriteStringToFile(JoinPath(checkpoint_dir, "MANIFEST"), manifest));
+  for (int i = 0; i < m; ++i) {
+    const std::string part_dir = JoinPath(checkpoint_dir, "p" + std::to_string(i));
+    switch (pattern_) {
+      case StorePattern::kAppendAligned:
+        FLOWKV_RETURN_IF_ERROR(aar_[i]->CheckpointTo(part_dir));
+        break;
+      case StorePattern::kAppendUnaligned:
+        FLOWKV_RETURN_IF_ERROR(aur_[i]->CheckpointTo(part_dir));
+        break;
+      case StorePattern::kReadModifyWrite:
+        FLOWKV_RETURN_IF_ERROR(rmw_[i]->CheckpointTo(part_dir));
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+Status FlowKvStore::RestoreFrom(const std::string& checkpoint_dir, const std::string& dir,
+                                const FlowKvOptions& options, const OperatorStateSpec& spec,
+                                std::unique_ptr<FlowKvStore>* out,
+                                PredictorFactory predictor_override) {
+  std::string manifest;
+  FLOWKV_RETURN_IF_ERROR(ReadFileToString(JoinPath(checkpoint_dir, "MANIFEST"), &manifest));
+  Slice input(manifest);
+  if (input.empty()) {
+    return Status::Corruption("empty FlowKV checkpoint manifest");
+  }
+  const StorePattern pattern = static_cast<StorePattern>(input[0]);
+  input.RemovePrefix(1);
+  uint32_t m;
+  if (!GetVarint32(&input, &m) || m == 0) {
+    return Status::Corruption("malformed FlowKV checkpoint manifest");
+  }
+  if (pattern != ClassifyPattern(spec.incremental, spec.window_kind, spec.alignment_hint)) {
+    return Status::InvalidArgument(
+        "checkpoint pattern does not match the operator's window operation");
+  }
+  std::unique_ptr<FlowKvStore> store(new FlowKvStore());
+  store->pattern_ = pattern;
+  for (uint32_t i = 0; i < m; ++i) {
+    const std::string ckpt_part = JoinPath(checkpoint_dir, "p" + std::to_string(i));
+    const std::string part_dir = JoinPath(dir, "p" + std::to_string(i));
+    switch (pattern) {
+      case StorePattern::kAppendAligned: {
+        std::unique_ptr<AarStore> part;
+        FLOWKV_RETURN_IF_ERROR(AarStore::RestoreFrom(ckpt_part, part_dir, options, &part));
+        store->aar_.push_back(std::move(part));
+        break;
+      }
+      case StorePattern::kAppendUnaligned: {
+        std::unique_ptr<EttPredictor> predictor =
+            predictor_override ? predictor_override() : MakeEttPredictor(spec);
+        std::unique_ptr<AurStore> part;
+        FLOWKV_RETURN_IF_ERROR(
+            AurStore::RestoreFrom(ckpt_part, part_dir, options, std::move(predictor), &part));
+        store->aur_.push_back(std::move(part));
+        break;
+      }
+      case StorePattern::kReadModifyWrite: {
+        std::unique_ptr<RmwStore> part;
+        FLOWKV_RETURN_IF_ERROR(RmwStore::RestoreFrom(ckpt_part, part_dir, options, &part));
+        store->rmw_.push_back(std::move(part));
+        break;
+      }
+    }
+  }
+  *out = std::move(store);
+  return Status::Ok();
+}
+
+StoreStats FlowKvStore::GatherStats() const {
+  StoreStats total;
+  for (const auto& p : aar_) {
+    total.MergeFrom(p->stats());
+  }
+  for (const auto& p : aur_) {
+    total.MergeFrom(p->stats());
+  }
+  for (const auto& p : rmw_) {
+    total.MergeFrom(p->stats());
+  }
+  return total;
+}
+
+}  // namespace flowkv

@@ -1,0 +1,101 @@
+// FlowKvStore: the composite, semantic-aware store (paper §3, Fig. 5).
+//
+// At application launch it determines the store pattern from the window
+// operation's aggregate-function interface and window-function kind, then
+// deploys `m` pattern-specialized store instances whose key spaces partition
+// the operator's keys (compactions run per instance on a fraction of the
+// state, avoiding latency spikes). At runtime it exposes the Listing-1 API;
+// calls route to the owning instance by key hash (aligned window reads drain
+// all instances in turn).
+#ifndef SRC_FLOWKV_FLOWKV_STORE_H_
+#define SRC_FLOWKV_FLOWKV_STORE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/flowkv/aar_store.h"
+#include "src/flowkv/aur_store.h"
+#include "src/flowkv/ett.h"
+#include "src/flowkv/flowkv_options.h"
+#include "src/flowkv/rmw_store.h"
+#include "src/spe/state.h"
+
+namespace flowkv {
+
+class FlowKvStore {
+ public:
+  // Determines the pattern from `spec` and opens the instances under `dir`.
+  // `predictor_override` (optional) replaces the default ETT predictor —
+  // the §8 hook for custom window functions. Pass a factory because each
+  // partition owns its predictor.
+  using PredictorFactory = std::function<std::unique_ptr<EttPredictor>()>;
+
+  static Status Open(const std::string& dir, const FlowKvOptions& options,
+                     const OperatorStateSpec& spec, std::unique_ptr<FlowKvStore>* out,
+                     PredictorFactory predictor_override = nullptr);
+
+  ~FlowKvStore();
+
+  FlowKvStore(const FlowKvStore&) = delete;
+  FlowKvStore& operator=(const FlowKvStore&) = delete;
+
+  StorePattern pattern() const { return pattern_; }
+  int num_partitions() const { return static_cast<int>(std::max(
+      std::max(aar_.size(), aur_.size()), rmw_.size())); }
+
+  // ----- AAR API (valid when pattern() == kAppendAligned) -----
+  Status Append(const Slice& key, const Slice& value, const Window& w);
+  Status GetWindowChunk(const Window& w, std::vector<WindowChunkEntry>* chunk, bool* done);
+
+  // ----- AUR API (valid when pattern() == kAppendUnaligned) -----
+  Status Append(const Slice& key, const Slice& value, const Window& w, int64_t timestamp);
+  Status Get(const Slice& key, const Window& w, std::vector<std::string>* values);
+  Status MergeWindows(const Slice& key, const std::vector<Window>& sources, const Window& dst);
+
+  // ----- RMW API (valid when pattern() == kReadModifyWrite) -----
+  Status Get(const Slice& key, const Window& w, std::string* accumulator);
+  Status Put(const Slice& key, const Window& w, const Slice& accumulator);
+  Status Remove(const Slice& key, const Window& w);
+
+  // Snapshots every partition plus a manifest (pattern, m) into
+  // `checkpoint_dir`; the engine can upload the directory asynchronously
+  // (paper §8 checkpointing discussion).
+  Status CheckpointTo(const std::string& checkpoint_dir) const;
+
+  // Opens a store at `dir` seeded from a checkpoint. The spec must describe
+  // the same window operation (the manifest's pattern is verified).
+  static Status RestoreFrom(const std::string& checkpoint_dir, const std::string& dir,
+                            const FlowKvOptions& options, const OperatorStateSpec& spec,
+                            std::unique_ptr<FlowKvStore>* out,
+                            PredictorFactory predictor_override = nullptr);
+
+  // Sum of all partitions' stats.
+  StoreStats GatherStats() const;
+
+  // Direct partition access for tests/benches.
+  AurStore* aur_partition(int i) { return aur_[i].get(); }
+  RmwStore* rmw_partition(int i) { return rmw_[i].get(); }
+  AarStore* aar_partition(int i) { return aar_[i].get(); }
+
+ private:
+  FlowKvStore() = default;
+
+  size_t PartitionOf(const Slice& key) const;
+
+  StorePattern pattern_ = StorePattern::kReadModifyWrite;
+
+  std::vector<std::unique_ptr<AarStore>> aar_;
+  std::vector<std::unique_ptr<AurStore>> aur_;
+  std::vector<std::unique_ptr<RmwStore>> rmw_;
+
+  // Per-window cursor over partitions for aligned chunked reads.
+  std::unordered_map<Window, size_t, WindowHash> aligned_read_cursor_;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_FLOWKV_FLOWKV_STORE_H_

@@ -1,0 +1,236 @@
+#include "src/flowkv/rmw_store.h"
+
+#include <algorithm>
+
+#include "src/common/clock.h"
+#include "src/common/coding.h"
+#include "src/common/env.h"
+#include "src/common/logging.h"
+
+namespace flowkv {
+
+RmwStore::RmwStore(std::string dir, const FlowKvOptions& options)
+    : dir_(std::move(dir)), options_(options) {}
+
+RmwStore::~RmwStore() = default;
+
+Status RmwStore::Open(const std::string& dir, const FlowKvOptions& options,
+                      std::unique_ptr<RmwStore>* out) {
+  FLOWKV_RETURN_IF_ERROR(CreateDirs(dir));
+  std::unique_ptr<RmwStore> store(new RmwStore(dir, options));
+  FLOWKV_RETURN_IF_ERROR(store->OpenLog());
+  *out = std::move(store);
+  return Status::Ok();
+}
+
+std::string RmwStore::LogName(uint64_t generation) const {
+  return JoinPath(dir_, "rmw_" + std::to_string(generation) + ".log");
+}
+
+Status RmwStore::OpenLog(bool reopen) {
+  log_reader_.reset();
+  return AppendFile::Open(LogName(generation_), reopen, &log_, &stats_.io);
+}
+
+Status RmwStore::CheckpointTo(const std::string& checkpoint_dir) {
+  FLOWKV_RETURN_IF_ERROR(CreateDirs(checkpoint_dir));
+  FLOWKV_RETURN_IF_ERROR(FlushBuffer());
+  // Compacting first makes the snapshot exactly the live records.
+  FLOWKV_RETURN_IF_ERROR(Compact());
+  FLOWKV_RETURN_IF_ERROR(log_->Flush());
+  FLOWKV_RETURN_IF_ERROR(
+      CopyFile(LogName(generation_), JoinPath(checkpoint_dir, "rmw_log.ckpt"), &stats_.io));
+  std::string meta;
+  PutVarint64(&meta, index_.size());
+  for (const auto& [sk, loc] : index_) {
+    PutLengthPrefixed(&meta, sk);
+    PutFixed64(&meta, loc.offset);
+    PutFixed32(&meta, loc.length);
+  }
+  return WriteStringToFile(JoinPath(checkpoint_dir, "rmw_meta.ckpt"), meta);
+}
+
+Status RmwStore::RestoreFrom(const std::string& checkpoint_dir, const std::string& dir,
+                             const FlowKvOptions& options, std::unique_ptr<RmwStore>* out) {
+  FLOWKV_RETURN_IF_ERROR(CreateDirs(dir));
+  std::unique_ptr<RmwStore> store(new RmwStore(dir, options));
+  FLOWKV_RETURN_IF_ERROR(CopyFile(JoinPath(checkpoint_dir, "rmw_log.ckpt"),
+                                  store->LogName(0), &store->stats_.io));
+  FLOWKV_RETURN_IF_ERROR(store->OpenLog(/*reopen=*/true));
+  std::string meta;
+  FLOWKV_RETURN_IF_ERROR(
+      ReadFileToString(JoinPath(checkpoint_dir, "rmw_meta.ckpt"), &meta));
+  Slice input(meta);
+  uint64_t count;
+  if (!GetVarint64(&input, &count)) {
+    return Status::Corruption("malformed RMW checkpoint metadata");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    Slice sk;
+    DiskLocation loc;
+    if (!GetLengthPrefixed(&input, &sk) || !GetFixed64(&input, &loc.offset) ||
+        !GetFixed32(&input, &loc.length)) {
+      return Status::Corruption("malformed RMW checkpoint metadata");
+    }
+    store->index_[sk.ToString()] = loc;
+  }
+  *out = std::move(store);
+  return Status::Ok();
+}
+
+// Exact on-log footprint of one record: varint(sk len) + sk + fixed32 + value.
+uint64_t RmwStore::RecordBytes(const std::string& sk, uint32_t value_len) {
+  return static_cast<uint64_t>(VarintLength(sk.size())) + sk.size() + 4 + value_len;
+}
+
+std::string RmwStore::StateKey(const Slice& key, const Window& w) {
+  std::string sk;
+  PutLengthPrefixed(&sk, key);
+  EncodeWindow(&sk, w);
+  return sk;
+}
+
+Status RmwStore::Get(const Slice& key, const Window& w, std::string* accumulator) {
+  ScopedTimer t(&stats_.read_nanos);
+  ++stats_.reads;
+  const std::string sk = StateKey(key, w);
+  auto buffer_it = buffer_.find(sk);
+  if (buffer_it != buffer_.end()) {
+    *accumulator = buffer_it->second;
+    return Status::Ok();
+  }
+  auto index_it = index_.find(sk);
+  if (index_it == index_.end()) {
+    return Status::NotFound();
+  }
+  FLOWKV_RETURN_IF_ERROR(log_->Flush());
+  if (!log_reader_) {
+    FLOWKV_RETURN_IF_ERROR(RandomAccessFile::Open(LogName(generation_), &log_reader_, &stats_.io));
+  }
+  accumulator->resize(index_it->second.length);
+  Slice got;
+  FLOWKV_RETURN_IF_ERROR(log_reader_->Read(index_it->second.offset, index_it->second.length,
+                                           &got, accumulator->data()));
+  return Status::Ok();
+}
+
+Status RmwStore::Put(const Slice& key, const Window& w, const Slice& accumulator) {
+  {
+    ScopedTimer t(&stats_.write_nanos);
+    ++stats_.writes;
+    const std::string sk = StateKey(key, w);
+    auto [it, inserted] = buffer_.try_emplace(sk);
+    if (inserted) {
+      buffered_bytes_ += sk.size() + 64;
+    } else {
+      buffered_bytes_ -= std::min<uint64_t>(buffered_bytes_, it->second.size());
+    }
+    it->second.assign(accumulator.data(), accumulator.size());
+    buffered_bytes_ += accumulator.size();
+    // Any older on-disk version is now shadowed; it dies at the next flush.
+    if (buffered_bytes_ >= options_.write_buffer_bytes) {
+      FLOWKV_RETURN_IF_ERROR(FlushBuffer());
+    }
+  }
+  return MaybeCompact();
+}
+
+Status RmwStore::Remove(const Slice& key, const Window& w) {
+  {
+    ScopedTimer t(&stats_.write_nanos);
+    const std::string sk = StateKey(key, w);
+    auto buffer_it = buffer_.find(sk);
+    if (buffer_it != buffer_.end()) {
+      buffered_bytes_ -=
+          std::min<uint64_t>(buffered_bytes_, buffer_it->second.size() + sk.size() + 64);
+      buffer_.erase(buffer_it);
+    }
+    auto index_it = index_.find(sk);
+    if (index_it != index_.end()) {
+      dead_bytes_ += RecordBytes(sk, index_it->second.length);
+      index_.erase(index_it);
+    }
+  }
+  return MaybeCompact();
+}
+
+Status RmwStore::FlushBuffer() {
+  ++stats_.flushes;
+  std::string record;
+  for (const auto& [sk, value] : buffer_) {
+    auto old = index_.find(sk);
+    if (old != index_.end()) {
+      dead_bytes_ += RecordBytes(sk, old->second.length);
+    }
+    record.clear();
+    PutLengthPrefixed(&record, sk);
+    PutFixed32(&record, static_cast<uint32_t>(value.size()));
+    const uint64_t value_offset = log_->size() + record.size();
+    record += value;
+    FLOWKV_RETURN_IF_ERROR(log_->Append(record));
+    index_[sk] = DiskLocation{value_offset, static_cast<uint32_t>(value.size())};
+  }
+  buffer_.clear();
+  buffered_bytes_ = 0;
+  if (options_.sync_on_flush) {
+    return log_->Sync();
+  }
+  return log_->Flush();
+}
+
+uint64_t RmwStore::LogBytes() const { return log_ ? log_->size() : 0; }
+
+double RmwStore::SpaceAmplification() const {
+  const uint64_t total = LogBytes();
+  if (total == 0) {
+    return 1.0;
+  }
+  const uint64_t live = total > dead_bytes_ ? total - dead_bytes_ : 1;
+  return static_cast<double>(total) / static_cast<double>(live);
+}
+
+Status RmwStore::MaybeCompact() {
+  if (LogBytes() < options_.write_buffer_bytes ||
+      SpaceAmplification() <= options_.max_space_amplification) {
+    return Status::Ok();
+  }
+  return Compact();
+}
+
+Status RmwStore::Compact() {
+  ScopedTimer t(&stats_.compaction_nanos);
+  ++stats_.compactions;
+
+  FLOWKV_RETURN_IF_ERROR(log_->Flush());
+  std::unique_ptr<RandomAccessFile> reader;
+  FLOWKV_RETURN_IF_ERROR(RandomAccessFile::Open(LogName(generation_), &reader, &stats_.io));
+  const std::string old_path = LogName(generation_);
+  ++generation_;
+  FLOWKV_RETURN_IF_ERROR(OpenLog());
+
+  std::string value;
+  std::string record;
+  std::unordered_map<std::string, DiskLocation> new_index;
+  new_index.reserve(index_.size());
+  for (const auto& [sk, loc] : index_) {
+    value.resize(loc.length);
+    Slice got;
+    FLOWKV_RETURN_IF_ERROR(reader->Read(loc.offset, loc.length, &got, value.data()));
+    record.clear();
+    PutLengthPrefixed(&record, sk);
+    PutFixed32(&record, loc.length);
+    const uint64_t value_offset = log_->size() + record.size();
+    record.append(got.data(), got.size());
+    FLOWKV_RETURN_IF_ERROR(log_->Append(record));
+    new_index[sk] = DiskLocation{value_offset, loc.length};
+  }
+  FLOWKV_RETURN_IF_ERROR(log_->Flush());
+  index_ = std::move(new_index);
+  dead_bytes_ = 0;
+  reader.reset();
+  FLOWKV_RETURN_IF_ERROR(RemoveFile(old_path));
+  FLOWKV_LOG(kDebug) << "rmw compaction: " << index_.size() << " live records";
+  return Status::Ok();
+}
+
+}  // namespace flowkv

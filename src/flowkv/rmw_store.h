@@ -1,0 +1,98 @@
+// Read-Modify-Write store (paper §4.3). Incremental aggregates are read and
+// written on every tuple arrival, so read-time prediction is useless; the
+// store is essentially an unsorted hash KV store — but, unlike Faster, with
+// no concurrency machinery at all (the SPE's single-threaded-per-partition
+// contract makes synchronization pure overhead, §2.2).
+//
+// Layout: an in-memory hash write buffer holds the hot aggregates; a hash
+// index maps (key, window) to the newest on-disk record in the log file;
+// compaction rewrites live records when space amplification exceeds MSA.
+#ifndef SRC_FLOWKV_RMW_STORE_H_
+#define SRC_FLOWKV_RMW_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/file.h"
+#include "src/common/slice.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/flowkv/flowkv_options.h"
+#include "src/spe/window.h"
+
+namespace flowkv {
+
+class RmwStore {
+ public:
+  static Status Open(const std::string& dir, const FlowKvOptions& options,
+                     std::unique_ptr<RmwStore>* out);
+
+  ~RmwStore();
+
+  RmwStore(const RmwStore&) = delete;
+  RmwStore& operator=(const RmwStore&) = delete;
+
+  // Reads the aggregate of (key, w); NotFound when absent.
+  Status Get(const Slice& key, const Window& w, std::string* accumulator);
+
+  // Writes (or overwrites) the aggregate.
+  Status Put(const Slice& key, const Window& w, const Slice& accumulator);
+
+  // Drops the aggregate (final read at trigger time already happened).
+  Status Remove(const Slice& key, const Window& w);
+
+  // Rewrites live records; automatic when space amplification exceeds MSA.
+  Status Compact();
+
+  // Snapshots the live state (buffer flushed, dead versions compacted away,
+  // index serialized alongside the log) into `checkpoint_dir`.
+  Status CheckpointTo(const std::string& checkpoint_dir);
+
+  // Opens a store at `dir` seeded from a checkpoint.
+  static Status RestoreFrom(const std::string& checkpoint_dir, const std::string& dir,
+                            const FlowKvOptions& options, std::unique_ptr<RmwStore>* out);
+
+  uint64_t LogBytes() const;
+  double SpaceAmplification() const;
+  const StoreStats& stats() const { return stats_; }
+  StoreStats* mutable_stats() { return &stats_; }
+
+ private:
+  RmwStore(std::string dir, const FlowKvOptions& options);
+
+  Status OpenLog(bool reopen = false);
+  std::string LogName(uint64_t generation) const;
+  static std::string StateKey(const Slice& key, const Window& w);
+  static uint64_t RecordBytes(const std::string& sk, uint32_t value_len);
+
+  Status FlushBuffer();
+  Status MaybeCompact();
+
+  struct DiskLocation {
+    uint64_t offset;
+    uint32_t length;  // of the value only
+  };
+
+  std::string dir_;
+  FlowKvOptions options_;
+
+  // Hot aggregates, hashed by (key, window) — the write buffer.
+  std::unordered_map<std::string, std::string> buffer_;
+  uint64_t buffered_bytes_ = 0;
+
+  // (key, window) -> newest on-disk value location.
+  std::unordered_map<std::string, DiskLocation> index_;
+
+  std::unique_ptr<AppendFile> log_;
+  std::unique_ptr<RandomAccessFile> log_reader_;  // lazily (re)opened
+  uint64_t generation_ = 0;
+  uint64_t dead_bytes_ = 0;
+
+  StoreStats stats_;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_FLOWKV_RMW_STORE_H_

@@ -1,0 +1,94 @@
+// Epoch-based protection in the style of Faster. The paper's point (§2.2,
+// §6.3) is that this synchronization machinery is pure overhead for stream
+// processing, where each store instance is accessed by exactly one thread —
+// so this implementation is deliberately kept (atomic traffic and all) in the
+// baseline store, and deliberately absent from FlowKV's stores.
+#ifndef SRC_HASHKV_EPOCH_H_
+#define SRC_HASHKV_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace flowkv {
+
+class EpochManager {
+ public:
+  static constexpr int kMaxThreads = 64;
+
+  EpochManager() : current_epoch_(1) {
+    for (auto& slot : slots_) {
+      slot.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  // Enters a protected region; the calling thread pins the current epoch.
+  void Protect(int thread_slot) {
+    slots_[thread_slot].store(current_epoch_.load(std::memory_order_acquire),
+                              std::memory_order_release);
+  }
+
+  void Unprotect(int thread_slot) {
+    slots_[thread_slot].store(0, std::memory_order_release);
+  }
+
+  // Advances the global epoch; returns the new value.
+  uint64_t Bump() { return current_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1; }
+
+  // Oldest epoch any thread still pins (the "safe to reclaim before" bound).
+  uint64_t SafeEpoch() const {
+    uint64_t safe = current_epoch_.load(std::memory_order_acquire);
+    for (const auto& slot : slots_) {
+      uint64_t pinned = slot.load(std::memory_order_acquire);
+      if (pinned != 0 && pinned < safe) {
+        safe = pinned;
+      }
+    }
+    return safe;
+  }
+
+  // Registers an action to run once every thread has left the current epoch;
+  // Drain() executes the ones that became safe.
+  void BumpWithAction(std::function<void()> action) {
+    uint64_t epoch = Bump();
+    std::lock_guard<std::mutex> lock(actions_mu_);
+    pending_actions_.push_back({epoch, std::move(action)});
+  }
+
+  void Drain() {
+    uint64_t safe = SafeEpoch();
+    std::vector<std::function<void()>> runnable;
+    {
+      std::lock_guard<std::mutex> lock(actions_mu_);
+      auto it = pending_actions_.begin();
+      while (it != pending_actions_.end()) {
+        if (it->epoch < safe) {
+          runnable.push_back(std::move(it->action));
+          it = pending_actions_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (auto& action : runnable) {
+      action();
+    }
+  }
+
+ private:
+  struct PendingAction {
+    uint64_t epoch;
+    std::function<void()> action;
+  };
+
+  std::atomic<uint64_t> current_epoch_;
+  std::atomic<uint64_t> slots_[kMaxThreads];
+  std::mutex actions_mu_;
+  std::vector<PendingAction> pending_actions_;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_HASHKV_EPOCH_H_

@@ -1,0 +1,100 @@
+// HashKvStore: a Faster-like unsorted KV store over a hash index and hybrid
+// log. This is the paper's non-sorted baseline:
+//  - O(1) point access (great for RMW; the paper's Q11/Q12 winner among the
+//    existing stores),
+//  - epoch-based synchronization that is pure overhead under the SPE's
+//    single-thread-per-partition contract (§2.2),
+//  - no cheap append: list-append workloads must read the whole existing
+//    value and rewrite it, the I/O amplification that makes Faster DNF on
+//    the paper's append queries (Fig. 4).
+//
+// The hash index stores one chain head per bucket; records of all keys that
+// hash to a bucket form one chain through their prev_addr pointers, and
+// lookups compare keys while walking the chain (newest first).
+#ifndef SRC_HASHKV_HASHKV_STORE_H_
+#define SRC_HASHKV_HASHKV_STORE_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/slice.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/hashkv/epoch.h"
+#include "src/hashkv/hybrid_log.h"
+#include "src/hashkv/options.h"
+
+namespace flowkv {
+
+class HashKvStore {
+ public:
+  // `dir` holds the log file(s). Creates the directory.
+  static Status Open(const std::string& dir, const HashKvOptions& options,
+                     std::unique_ptr<HashKvStore>* out);
+
+  ~HashKvStore();
+
+  HashKvStore(const HashKvStore&) = delete;
+  HashKvStore& operator=(const HashKvStore&) = delete;
+
+  // Point read of the latest value. NotFound for absent/deleted keys.
+  Status Read(const Slice& key, std::string* value);
+
+  // Blind write: in-place when the record is in the mutable region and the
+  // new value fits; otherwise appends a new record version.
+  Status Upsert(const Slice& key, const Slice& value);
+
+  // Read-modify-write: updater receives the existing value (or nullptr) and
+  // returns the new value. Mirrors Faster's RMW entry point.
+  Status Rmw(const Slice& key,
+             const std::function<std::string(const std::string* existing)>& updater);
+
+  Status Delete(const Slice& key);
+
+  // Rewrites live records into a fresh log, dropping dead versions. Runs
+  // automatically when space amplification exceeds the configured limit.
+  Status Compact();
+
+  uint64_t TotalLogBytes() const { return log_->TotalBytes(); }
+  uint64_t LiveBytesEstimate() const { return live_bytes_; }
+  const StoreStats& stats() const { return stats_; }
+  StoreStats* mutable_stats() { return &stats_; }
+
+ private:
+  HashKvStore(std::string dir, const HashKvOptions& options);
+
+  Status OpenLog();
+
+  uint64_t BucketOf(const Slice& key) const;
+
+  // Finds the newest record for `key`: fills address/header and (optionally)
+  // value. Returns NotFound when absent or newest version is a tombstone
+  // (tombstone address still reported via *address for chain bookkeeping).
+  Status FindLatest(const Slice& key, uint64_t* address, LogRecordHeader* header,
+                    std::string* value);
+
+  Status AppendVersion(const Slice& key, const Slice& value, bool tombstone);
+
+  Status MaybeCompact();
+
+  std::string dir_;
+  HashKvOptions options_;
+  std::unique_ptr<HybridLog> log_;
+  // Chain heads; atomics model Faster's concurrent index even though the SPE
+  // contract is single-threaded (see file comment).
+  std::vector<std::atomic<uint64_t>> index_;
+  uint64_t bucket_mask_ = 0;
+  EpochManager epoch_;
+  int epoch_slot_ = 0;
+  uint64_t log_generation_ = 0;
+
+  uint64_t live_bytes_ = 0;
+  StoreStats stats_;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_HASHKV_HASHKV_STORE_H_

@@ -1,0 +1,183 @@
+#include "src/hashkv/hybrid_log.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "src/common/coding.h"
+
+namespace flowkv {
+
+namespace {
+
+void EncodeHeader(char* dst, const LogRecordHeader& h) {
+  EncodeFixed32(dst, h.total_len);
+  EncodeFixed64(dst + 4, h.prev_addr);
+  EncodeFixed32(dst + 12, h.key_len);
+  EncodeFixed32(dst + 16, h.value_len);
+}
+
+void DecodeHeader(const char* src, LogRecordHeader* h) {
+  h->total_len = DecodeFixed32(src);
+  h->prev_addr = DecodeFixed64(src + 4);
+  h->key_len = DecodeFixed32(src + 12);
+  h->value_len = DecodeFixed32(src + 16);
+}
+
+constexpr uint64_t kPreambleBytes = 16;  // addresses < 16 are never records; 0 = null
+
+}  // namespace
+
+HybridLog::HybridLog(std::string path, const HashKvOptions& options, IoStats* stats)
+    : path_(std::move(path)), options_(options), stats_(stats) {}
+
+Status HybridLog::Open(const std::string& path, const HashKvOptions& options,
+                       std::unique_ptr<HybridLog>* out, IoStats* stats) {
+  std::unique_ptr<HybridLog> log(new HybridLog(path, options, stats));
+  FLOWKV_RETURN_IF_ERROR(AppendFile::Open(path, /*reopen=*/false, &log->file_, stats));
+  // Preamble occupies [0, 16) so that address 0 can act as a null pointer.
+  log->pages_.emplace_back();
+  log->pages_.back().assign(kPreambleBytes, '\0');
+  log->mem_begin_ = 0;
+  log->tail_ = kPreambleBytes;
+  log->begin_ = kPreambleBytes;
+  *out = std::move(log);
+  return Status::Ok();
+}
+
+const char* HybridLog::MemPtr(uint64_t address) const {
+  if (address < mem_begin_ || address >= tail_) {
+    return nullptr;
+  }
+  // Segments are contiguous in address space; walk from the front. The deque
+  // is short (memory_bytes / page_bytes entries), so linear search is fine.
+  uint64_t start = mem_begin_;
+  for (const auto& page : pages_) {
+    if (address < start + page.size()) {
+      return page.data() + (address - start);
+    }
+    start += page.size();
+  }
+  return nullptr;
+}
+
+char* HybridLog::MutableMemPtr(uint64_t address) {
+  return const_cast<char*>(MemPtr(address));
+}
+
+bool HybridLog::InMutableRegion(uint64_t address) const {
+  const uint64_t mutable_bytes =
+      static_cast<uint64_t>(static_cast<double>(options_.memory_bytes) * options_.mutable_fraction);
+  const uint64_t boundary = tail_ > mutable_bytes ? tail_ - mutable_bytes : 0;
+  return address >= std::max(boundary, mem_begin_);
+}
+
+Status HybridLog::SpillOldestPage() {
+  // Never spill the open tail segment.
+  if (pages_.size() <= 1) {
+    return Status::Ok();
+  }
+  std::string& victim = pages_.front();
+  FLOWKV_RETURN_IF_ERROR(file_->Append(victim));
+  FLOWKV_RETURN_IF_ERROR(file_->Flush());
+  mem_begin_ += victim.size();
+  pages_.pop_front();
+  return Status::Ok();
+}
+
+Status HybridLog::EnsureRoomInPage(size_t record_bytes) {
+  std::string& open_page = pages_.back();
+  if (open_page.size() + record_bytes > options_.page_bytes && !open_page.empty()) {
+    // Seal the current segment and open a new one. Oversized records get a
+    // dedicated segment; segments stay contiguous in address space.
+    pages_.emplace_back();
+    pages_.back().reserve(std::max<size_t>(record_bytes, options_.page_bytes));
+  }
+  while (tail_ - mem_begin_ > options_.memory_bytes && pages_.size() > 1) {
+    FLOWKV_RETURN_IF_ERROR(SpillOldestPage());
+  }
+  return Status::Ok();
+}
+
+Status HybridLog::Append(const Slice& key, const Slice& value, bool tombstone,
+                         uint64_t prev_addr, uint64_t* address) {
+  LogRecordHeader h;
+  h.key_len = static_cast<uint32_t>(key.size());
+  h.value_len = tombstone ? LogRecordHeader::kTombstoneValueLen
+                          : static_cast<uint32_t>(value.size());
+  const size_t payload = key.size() + (tombstone ? 0 : value.size());
+  h.total_len = static_cast<uint32_t>(LogRecordHeader::kBytes + payload);
+  h.prev_addr = prev_addr;
+
+  FLOWKV_RETURN_IF_ERROR(EnsureRoomInPage(h.total_len));
+  std::string& page = pages_.back();
+  *address = tail_;
+
+  char header_buf[LogRecordHeader::kBytes];
+  EncodeHeader(header_buf, h);
+  page.append(header_buf, LogRecordHeader::kBytes);
+  page.append(key.data(), key.size());
+  if (!tombstone) {
+    page.append(value.data(), value.size());
+  }
+  tail_ += h.total_len;
+  return Status::Ok();
+}
+
+Status HybridLog::ReadKeyAt(uint64_t address, LogRecordHeader* header, std::string* key) const {
+  return ReadRecord(address, header, key, nullptr);
+}
+
+Status HybridLog::ReadRecord(uint64_t address, LogRecordHeader* header, std::string* key,
+                             std::string* value) const {
+  if (address < kPreambleBytes || address >= tail_) {
+    return Status::InvalidArgument("log address out of range");
+  }
+  if (const char* p = MemPtr(address)) {
+    DecodeHeader(p, header);
+    key->assign(p + LogRecordHeader::kBytes, header->key_len);
+    if (value != nullptr) {
+      value->assign(p + LogRecordHeader::kBytes + header->key_len,
+                    header->payload_value_len());
+    }
+    return Status::Ok();
+  }
+  // Spilled to disk: the file offset equals the address.
+  if (!file_read_) {
+    auto* self = const_cast<HybridLog*>(this);
+    FLOWKV_RETURN_IF_ERROR(RandomAccessFile::Open(path_, &self->file_read_, stats_));
+  }
+  char header_buf[LogRecordHeader::kBytes];
+  Slice got;
+  FLOWKV_RETURN_IF_ERROR(file_read_->Read(address, LogRecordHeader::kBytes, &got, header_buf));
+  DecodeHeader(got.data(), header);
+  const size_t payload = header->key_len + header->payload_value_len();
+  std::string buf;
+  buf.resize(payload);
+  FLOWKV_RETURN_IF_ERROR(
+      file_read_->Read(address + LogRecordHeader::kBytes, payload, &got, buf.data()));
+  key->assign(got.data(), header->key_len);
+  if (value != nullptr) {
+    value->assign(got.data() + header->key_len, header->payload_value_len());
+  }
+  return Status::Ok();
+}
+
+Status HybridLog::UpdateInPlace(uint64_t address, const Slice& value) {
+  char* p = MutableMemPtr(address);
+  if (p == nullptr || !InMutableRegion(address)) {
+    return Status::FailedPrecondition("address not in the mutable region");
+  }
+  LogRecordHeader h;
+  DecodeHeader(p, &h);
+  if (h.is_tombstone() || value.size() > h.value_len) {
+    return Status::FailedPrecondition("in-place update does not fit");
+  }
+  // Shrinking updates rewrite the header's value_len; the freed bytes stay
+  // as internal fragmentation until compaction.
+  EncodeFixed32(p + 16, static_cast<uint32_t>(value.size()));
+  std::memcpy(p + LogRecordHeader::kBytes + h.key_len, value.data(), value.size());
+  return Status::Ok();
+}
+
+}  // namespace flowkv

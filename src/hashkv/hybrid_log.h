@@ -1,0 +1,104 @@
+// Faster-style hybrid log: a single logical address space whose tail lives in
+// memory (paged) and whose head has been spilled to an on-disk file. The
+// youngest part of the in-memory region (the "mutable region") permits
+// in-place updates; everything older is copy-on-write.
+//
+// Addresses are stable byte offsets; segments are written to disk in address
+// order, so a disk offset equals the logical address. Records never span
+// segments (an oversized record gets a dedicated segment).
+#ifndef SRC_HASHKV_HYBRID_LOG_H_
+#define SRC_HASHKV_HYBRID_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "src/common/file.h"
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/hashkv/options.h"
+
+namespace flowkv {
+
+// On-log record header (fixed width, little-endian):
+//   fixed32 total_len   -- header + key + value (excluding page padding)
+//   fixed64 prev_addr   -- previous record in this hash chain (0 = none)
+//   fixed32 key_len
+//   fixed32 value_len   -- kTombstoneValueLen marks a delete
+struct LogRecordHeader {
+  static constexpr uint32_t kTombstoneValueLen = 0xffffffffu;
+  static constexpr size_t kBytes = 4 + 8 + 4 + 4;
+
+  uint32_t total_len;
+  uint64_t prev_addr;
+  uint32_t key_len;
+  uint32_t value_len;  // kTombstoneValueLen for tombstones
+
+  bool is_tombstone() const { return value_len == kTombstoneValueLen; }
+  uint32_t payload_value_len() const { return is_tombstone() ? 0 : value_len; }
+};
+
+class HybridLog {
+ public:
+  // `path` is the spill file for frozen pages. Creates/truncates it.
+  static Status Open(const std::string& path, const HashKvOptions& options,
+                     std::unique_ptr<HybridLog>* out, IoStats* stats = nullptr);
+
+  ~HybridLog() = default;
+
+  HybridLog(const HybridLog&) = delete;
+  HybridLog& operator=(const HybridLog&) = delete;
+
+  // Appends a record; returns its address (never 0: the log starts with a
+  // one-page preamble so address 0 can mean "null").
+  Status Append(const Slice& key, const Slice& value, bool tombstone, uint64_t prev_addr,
+                uint64_t* address);
+
+  // Reads the record at `address` (memory or disk).
+  Status ReadRecord(uint64_t address, LogRecordHeader* header, std::string* key,
+                    std::string* value) const;
+
+  // Reads only the header + key (enough for chain walks).
+  Status ReadKeyAt(uint64_t address, LogRecordHeader* header, std::string* key) const;
+
+  // In-place overwrite of the value at `address`; only legal when
+  // InMutableRegion(address) and the new value has exactly the stored size.
+  Status UpdateInPlace(uint64_t address, const Slice& value);
+
+  bool InMemory(uint64_t address) const { return address >= mem_begin_; }
+  bool InMutableRegion(uint64_t address) const;
+
+  uint64_t tail() const { return tail_; }
+  uint64_t begin() const { return begin_; }
+  // Logical bytes between begin() and tail(): total log footprint.
+  uint64_t TotalBytes() const { return tail_ - begin_; }
+
+  // Marks everything before `address` dead (after compaction copied the live
+  // records elsewhere). The disk file is rewritten by the store, not here.
+  void TrimTo(uint64_t address) { begin_ = address; }
+
+ private:
+  HybridLog(std::string path, const HashKvOptions& options, IoStats* stats);
+
+  Status EnsureRoomInPage(size_t record_bytes);
+  Status SpillOldestPage();
+  // Pointer to in-memory bytes for `address`; null if spilled.
+  const char* MemPtr(uint64_t address) const;
+  char* MutableMemPtr(uint64_t address);
+
+  std::string path_;
+  HashKvOptions options_;
+  IoStats* stats_;
+  std::unique_ptr<AppendFile> file_;            // frozen pages, address order
+  std::unique_ptr<RandomAccessFile> file_read_;  // lazily opened reader
+
+  std::deque<std::string> pages_;  // in-memory pages, oldest first
+  uint64_t mem_begin_ = 0;         // address of pages_.front()[0]
+  uint64_t tail_ = 0;              // next append address
+  uint64_t begin_ = 0;             // logical start (advanced by compaction)
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_HASHKV_HYBRID_LOG_H_

@@ -1,0 +1,34 @@
+// Tuning knobs for the hash-log store (mirrors the Faster options the paper
+// configures: number of hash index entries and in-memory log size).
+#ifndef SRC_HASHKV_OPTIONS_H_
+#define SRC_HASHKV_OPTIONS_H_
+
+#include <cstdint>
+
+namespace flowkv {
+
+struct HashKvOptions {
+  // Number of hash buckets (rounded up to a power of two). The paper's
+  // evaluation uses 262144 per Faster instance.
+  uint64_t index_buckets = 1 << 16;
+
+  // Bytes of the log kept in memory (the hybrid log's in-memory region).
+  uint64_t memory_bytes = 32 * 1024 * 1024;
+
+  // Log page size; records never span pages.
+  uint64_t page_bytes = 256 * 1024;
+
+  // Fraction of the in-memory region where in-place updates are allowed
+  // (Faster's mutable region); the rest is read-copy-update.
+  double mutable_fraction = 0.5;
+
+  // Compaction runs when total log bytes exceed live bytes by this factor.
+  double max_space_amplification = 4.0;
+
+  // Don't bother compacting logs smaller than this.
+  uint64_t compaction_min_bytes = 8 * 1024 * 1024;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_HASHKV_OPTIONS_H_

@@ -1,0 +1,56 @@
+#include "src/lsm/bloom.h"
+
+#include <algorithm>
+
+#include "src/common/hash.h"
+
+namespace flowkv {
+
+void BloomFilterBuilder::AddKey(const Slice& key) { key_hashes_.push_back(Hash64(key)); }
+
+std::string BloomFilterBuilder::Finish() const {
+  const size_t n = std::max<size_t>(key_hashes_.size(), 1);
+  size_t bits = n * static_cast<size_t>(bits_per_key_);
+  bits = std::max<size_t>(bits, 64);
+  const size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  // Probe count k = bits_per_key * ln2, clamped to [1, 30].
+  int k = static_cast<int>(static_cast<double>(bits_per_key_) * 0.69);
+  k = std::clamp(k, 1, 30);
+
+  std::string filter(bytes, '\0');
+  for (uint64_t h : key_hashes_) {
+    const uint64_t delta = (h >> 33) | (h << 31);  // second hash by rotation
+    for (int i = 0; i < k; ++i) {
+      const size_t bit = h % bits;
+      filter[bit / 8] |= static_cast<char>(1 << (bit % 8));
+      h += delta;
+    }
+  }
+  filter.push_back(static_cast<char>(k));
+  return filter;
+}
+
+bool BloomFilter::MayContain(const Slice& key) const {
+  if (data_.size() < 2) {
+    return true;  // malformed/empty filter: be conservative
+  }
+  const int k = static_cast<uint8_t>(data_.back());
+  if (k < 1 || k > 30) {
+    return true;
+  }
+  const size_t bits = (data_.size() - 1) * 8;
+  uint64_t h = Hash64(key);
+  const uint64_t delta = (h >> 33) | (h << 31);
+  for (int i = 0; i < k; ++i) {
+    const size_t bit = h % bits;
+    if ((data_[bit / 8] & (1 << (bit % 8))) == 0) {
+      return false;
+    }
+    h += delta;
+  }
+  return true;
+}
+
+}  // namespace flowkv

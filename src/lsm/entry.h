@@ -1,0 +1,44 @@
+// The LSM store's per-key logical state: an optional base value (set by Put,
+// cleared by Delete) followed by merge operands appended after it. This is
+// what gives the store RocksDB-style "lazy merging": Append() is recorded as
+// a cheap operand and only folded into the base during reads/compaction.
+#ifndef SRC_LSM_ENTRY_H_
+#define SRC_LSM_ENTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/slice.h"
+
+namespace flowkv {
+
+enum class BaseState : uint8_t {
+  kNone = 0,    // no Put/Delete seen at this level; older levels may have one
+  kValue = 1,   // base value present
+  kDeleted = 2  // tombstone: older levels' state is dead
+};
+
+// Owning flattened form used by SSTables and read results.
+struct LsmEntry {
+  BaseState base = BaseState::kNone;
+  std::string base_value;
+  std::vector<std::string> operands;  // oldest first
+
+  bool Empty() const { return base == BaseState::kNone && operands.empty(); }
+
+  // Folds `older` underneath this entry (this entry is newer). If this entry
+  // already has a base (value or tombstone), the older state is shadowed.
+  void StackOnTopOf(const LsmEntry& older) {
+    if (base != BaseState::kNone) {
+      return;
+    }
+    base = older.base;
+    base_value = older.base_value;
+    operands.insert(operands.begin(), older.operands.begin(), older.operands.end());
+  }
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_LSM_ENTRY_H_

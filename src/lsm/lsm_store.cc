@@ -1,0 +1,358 @@
+#include "src/lsm/lsm_store.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/common/clock.h"
+#include "src/common/env.h"
+#include "src/common/logging.h"
+
+namespace flowkv {
+
+LsmStore::LsmStore(std::string dir, LsmOptions options,
+                   std::unique_ptr<MergeOperator> merge_operator)
+    : dir_(std::move(dir)),
+      options_(options),
+      merge_operator_(std::move(merge_operator)),
+      memtable_(std::make_unique<MemTable>()) {
+  if (options_.block_cache_bytes > 0) {
+    block_cache_ = std::make_unique<ShardedLruCache>(options_.block_cache_bytes);
+  }
+}
+
+LsmStore::~LsmStore() = default;
+
+Status LsmStore::Open(const std::string& dir, const LsmOptions& options,
+                      std::unique_ptr<MergeOperator> merge_operator,
+                      std::unique_ptr<LsmStore>* out) {
+  FLOWKV_RETURN_IF_ERROR(CreateDirs(dir));
+  std::unique_ptr<LsmStore> store(new LsmStore(dir, options, std::move(merge_operator)));
+  FLOWKV_RETURN_IF_ERROR(store->Recover());
+  *out = std::move(store);
+  return Status::Ok();
+}
+
+std::string LsmStore::TableFileName(uint64_t number) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "tbl_%08" PRIu64 ".sst", number);
+  return JoinPath(dir_, buf);
+}
+
+Status LsmStore::Recover() {
+  std::vector<std::string> names;
+  FLOWKV_RETURN_IF_ERROR(ListDir(dir_, &names));
+  std::vector<uint64_t> numbers;
+  for (const auto& name : names) {
+    uint64_t number;
+    if (std::sscanf(name.c_str(), "tbl_%08" PRIu64 ".sst", &number) == 1) {
+      numbers.push_back(number);
+    }
+  }
+  // Newest (highest number) first.
+  std::sort(numbers.rbegin(), numbers.rend());
+  for (uint64_t number : numbers) {
+    std::unique_ptr<SstReader> reader;
+    FLOWKV_RETURN_IF_ERROR(
+        SstReader::Open(TableFileName(number), block_cache_.get(), &reader, &stats_.io));
+    tables_.push_back(std::move(reader));
+    next_table_number_ = std::max(next_table_number_, number + 1);
+  }
+  return Status::Ok();
+}
+
+Status LsmStore::Put(const Slice& key, const Slice& value) {
+  {
+    ScopedTimer t(&stats_.write_nanos);
+    memtable_->Put(key, value);
+    ++stats_.writes;
+  }
+  return MaybeFlush();
+}
+
+Status LsmStore::Merge(const Slice& key, const Slice& operand) {
+  {
+    ScopedTimer t(&stats_.write_nanos);
+    memtable_->Merge(key, operand);
+    ++stats_.writes;
+  }
+  return MaybeFlush();
+}
+
+Status LsmStore::Delete(const Slice& key) {
+  {
+    ScopedTimer t(&stats_.write_nanos);
+    memtable_->Delete(key);
+    ++stats_.writes;
+  }
+  return MaybeFlush();
+}
+
+Status LsmStore::MaybeFlush() {
+  if (memtable_->ApproximateMemoryUsage() < options_.write_buffer_bytes) {
+    return Status::Ok();
+  }
+  FLOWKV_RETURN_IF_ERROR(FlushLocked());
+  return MaybeCompact();
+}
+
+Status LsmStore::Flush() {
+  if (memtable_->empty()) {
+    return Status::Ok();
+  }
+  FLOWKV_RETURN_IF_ERROR(FlushLocked());
+  return MaybeCompact();
+}
+
+Status LsmStore::FlushLocked() {
+  ScopedTimer t(&stats_.write_nanos);
+  const uint64_t number = next_table_number_++;
+  const std::string path = TableFileName(number);
+  SstWriter writer(path, options_.block_bytes, &stats_.io);
+  Status status;
+  memtable_->ForEach([&](const Slice& key, const MemTable::StoredEntry& stored) {
+    if (!status.ok()) {
+      return;
+    }
+    status = writer.Add(key, MemTable::ToOwned(stored));
+  });
+  FLOWKV_RETURN_IF_ERROR(status);
+  FLOWKV_RETURN_IF_ERROR(writer.Finish(options_.sync_on_flush));
+  std::unique_ptr<SstReader> reader;
+  FLOWKV_RETURN_IF_ERROR(SstReader::Open(path, block_cache_.get(), &reader, &stats_.io));
+  tables_.insert(tables_.begin(), std::move(reader));
+  memtable_ = std::make_unique<MemTable>();
+  ++stats_.flushes;
+  return Status::Ok();
+}
+
+Status LsmStore::MaybeCompact() {
+  if (static_cast<int>(tables_.size()) < options_.compaction_trigger) {
+    return Status::Ok();
+  }
+  return CompactAll();
+}
+
+bool LsmStore::CollectEntry(const Slice& key, LsmEntry* entry, Status* error) {
+  bool found = false;
+  LsmEntry stacked;
+  if (memtable_->Get(key, &stacked)) {
+    found = true;
+  }
+  for (const auto& table : tables_) {
+    if (stacked.base != BaseState::kNone) {
+      break;  // newer Put/Delete shadows everything older
+    }
+    LsmEntry older;
+    Status s = table->Get(key, &older);
+    if (s.ok()) {
+      stacked.StackOnTopOf(older);
+      found = true;
+    } else if (!s.IsNotFound()) {
+      *error = s;
+      return false;
+    }
+  }
+  *entry = std::move(stacked);
+  return found;
+}
+
+Status LsmStore::Get(const Slice& key, std::string* value) {
+  ScopedTimer t(&stats_.read_nanos);
+  ++stats_.reads;
+  LsmEntry entry;
+  Status error;
+  if (!CollectEntry(key, &entry, &error)) {
+    return error.ok() ? Status::NotFound() : error;
+  }
+  if (!ResolveEntry(*merge_operator_, entry, value)) {
+    return Status::NotFound();
+  }
+  return Status::Ok();
+}
+
+Status LsmStore::Scan(const Slice& start, const Slice& end_exclusive,
+                      const std::function<void(const Slice&, const Slice&)>& fn) {
+  ScopedTimer t(&stats_.read_nanos);
+  ++stats_.reads;
+
+  // One source per level, newest first: index 0 is the memtable.
+  struct TableSource {
+    std::unique_ptr<SstReader::Iterator> it;
+  };
+  auto mem_it = start.empty() ? memtable_->begin() : memtable_->LowerBound(start);
+  std::vector<TableSource> sources;
+  sources.reserve(tables_.size());
+  for (const auto& table : tables_) {
+    TableSource src{table->NewIterator()};
+    if (start.empty()) {
+      src.it->SeekToFirst();
+    } else {
+      src.it->Seek(start);
+    }
+    sources.push_back(std::move(src));
+  }
+
+  std::string resolved;
+  while (true) {
+    // Find the minimum key across live sources.
+    const Slice* min_key = nullptr;
+    if (mem_it != memtable_->end()) {
+      min_key = &mem_it->first;
+    }
+    Slice table_keys_storage;  // keeps Slice validity explicit
+    for (auto& src : sources) {
+      if (src.it->Valid()) {
+        Slice k = src.it->key();
+        if (min_key == nullptr || k.Compare(*min_key) < 0) {
+          table_keys_storage = k;
+          min_key = &table_keys_storage;
+        }
+      }
+    }
+    if (min_key == nullptr) {
+      break;
+    }
+    if (!end_exclusive.empty() && min_key->Compare(end_exclusive) >= 0) {
+      break;
+    }
+    const std::string current_key = min_key->ToString();
+
+    // Stack entries for current_key newest-to-oldest and advance sources.
+    LsmEntry stacked;
+    if (mem_it != memtable_->end() && mem_it->first == Slice(current_key)) {
+      stacked = MemTable::ToOwned(mem_it->second);
+      ++mem_it;
+    }
+    for (auto& src : sources) {
+      if (src.it->Valid() && src.it->key() == Slice(current_key)) {
+        if (stacked.base == BaseState::kNone) {
+          stacked.StackOnTopOf(src.it->entry());
+        }
+        src.it->Next();
+        if (!src.it->status().ok()) {
+          return src.it->status();
+        }
+      }
+    }
+    if (ResolveEntry(*merge_operator_, stacked, &resolved)) {
+      fn(current_key, resolved);
+    }
+  }
+  return Status::Ok();
+}
+
+Status LsmStore::ScanPrefix(const Slice& prefix,
+                            const std::function<void(const Slice&, const Slice&)>& fn) {
+  // End bound: prefix with its last byte incremented (handles 0xff carries).
+  std::string end = prefix.ToString();
+  while (!end.empty()) {
+    if (static_cast<uint8_t>(end.back()) != 0xff) {
+      end.back() = static_cast<char>(static_cast<uint8_t>(end.back()) + 1);
+      break;
+    }
+    end.pop_back();
+  }
+  return Scan(prefix, end, fn);
+}
+
+Status LsmStore::DeleteRange(const Slice& start, const Slice& end_exclusive) {
+  std::vector<std::string> doomed;
+  FLOWKV_RETURN_IF_ERROR(
+      Scan(start, end_exclusive, [&](const Slice& key, const Slice&) {
+        doomed.push_back(key.ToString());
+      }));
+  for (const auto& key : doomed) {
+    FLOWKV_RETURN_IF_ERROR(Delete(key));
+  }
+  return Status::Ok();
+}
+
+Status LsmStore::CompactAll() {
+  if (tables_.empty()) {
+    return Status::Ok();
+  }
+  ScopedTimer t(&stats_.compaction_nanos);
+  ++stats_.compactions;
+
+  const uint64_t number = next_table_number_++;
+  const std::string path = TableFileName(number);
+  SstWriter writer(path, options_.block_bytes, &stats_.io);
+
+  std::vector<std::unique_ptr<SstReader::Iterator>> its;
+  its.reserve(tables_.size());
+  for (const auto& table : tables_) {
+    its.push_back(table->NewIterator());
+    its.back()->SeekToFirst();
+  }
+
+  uint64_t live_entries = 0;
+  while (true) {
+    const SstReader::Iterator* min_it = nullptr;
+    for (const auto& it : its) {
+      if (it->Valid() && (min_it == nullptr || it->key().Compare(min_it->key()) < 0)) {
+        min_it = it.get();
+      }
+    }
+    if (min_it == nullptr) {
+      break;
+    }
+    const std::string current_key = min_it->key().ToString();
+    LsmEntry stacked;
+    for (auto& it : its) {  // its are ordered newest table first
+      if (it->Valid() && it->key() == Slice(current_key)) {
+        if (stacked.base == BaseState::kNone) {
+          stacked.StackOnTopOf(it->entry());
+        }
+        it->Next();
+        if (!it->status().ok()) {
+          return it->status();
+        }
+      }
+    }
+    // Fold operands into a single base value and drop dead keys entirely
+    // (this full merge is the CPU cost lazy appends defer to).
+    std::string folded;
+    if (ResolveEntry(*merge_operator_, stacked, &folded)) {
+      LsmEntry out;
+      out.base = BaseState::kValue;
+      out.base_value = std::move(folded);
+      FLOWKV_RETURN_IF_ERROR(writer.Add(current_key, out));
+      ++live_entries;
+    }
+  }
+
+  std::vector<std::string> old_paths;
+  old_paths.reserve(tables_.size());
+  for (const auto& table : tables_) {
+    old_paths.push_back(table->path());
+  }
+  tables_.clear();
+
+  if (live_entries > 0) {
+    FLOWKV_RETURN_IF_ERROR(writer.Finish(options_.sync_on_flush));
+    std::unique_ptr<SstReader> reader;
+    FLOWKV_RETURN_IF_ERROR(SstReader::Open(path, block_cache_.get(), &reader, &stats_.io));
+    tables_.push_back(std::move(reader));
+  } else {
+    // Nothing alive: finish to release the fd, then discard the empty table.
+    FLOWKV_RETURN_IF_ERROR(writer.Finish(false));
+    FLOWKV_RETURN_IF_ERROR(RemoveFile(path));
+  }
+  for (const auto& old : old_paths) {
+    FLOWKV_RETURN_IF_ERROR(RemoveFile(old));
+  }
+  FLOWKV_LOG(kDebug) << "lsm compaction: " << old_paths.size() << " tables -> "
+                     << live_entries << " live entries";
+  return Status::Ok();
+}
+
+uint64_t LsmStore::ApproximateDiskBytes() const {
+  uint64_t total = 0;
+  for (const auto& table : tables_) {
+    total += table->file_size();
+  }
+  return total;
+}
+
+}  // namespace flowkv

@@ -1,0 +1,102 @@
+// LsmStore: a RocksDB-like log-structured merge store assembled from the
+// memtable and SSTable pieces. It exists as the paper's sorted-store baseline
+// and exhibits the structural properties the paper measures:
+//  - writes keep data key-sorted (memtable ordering cost),
+//  - Append is a cheap merge operand (lazy merging),
+//  - reads search memtable + every table newest-to-oldest,
+//  - background-less full-merge compaction folds operands and drops
+//    tombstones (CPU-heavy, the paper's "frequent merging" overhead).
+//
+// Single-threaded by contract (one store per physical stream operator).
+#ifndef SRC_LSM_LSM_STORE_H_
+#define SRC_LSM_LSM_STORE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/lru_cache.h"
+#include "src/common/slice.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/lsm/memtable.h"
+#include "src/lsm/merge.h"
+#include "src/lsm/options.h"
+#include "src/lsm/sstable.h"
+
+namespace flowkv {
+
+class LsmStore {
+ public:
+  // Opens (or reopens) a store rooted at `dir`. Existing SSTables are picked
+  // up; the memtable is not journaled (SPEs recover from source replay, §8).
+  static Status Open(const std::string& dir, const LsmOptions& options,
+                     std::unique_ptr<MergeOperator> merge_operator,
+                     std::unique_ptr<LsmStore>* out);
+
+  ~LsmStore();
+
+  LsmStore(const LsmStore&) = delete;
+  LsmStore& operator=(const LsmStore&) = delete;
+
+  Status Put(const Slice& key, const Slice& value);
+  // Records a merge operand; folded lazily at read/compaction time.
+  Status Merge(const Slice& key, const Slice& operand);
+  Status Delete(const Slice& key);
+
+  // Point lookup with full merge resolution.
+  Status Get(const Slice& key, std::string* value);
+
+  // Invokes fn(key, merged_value) for every live key in [start, end_exclusive),
+  // in key order. An empty end means "to the end of the keyspace".
+  Status Scan(const Slice& start, const Slice& end_exclusive,
+              const std::function<void(const Slice&, const Slice&)>& fn);
+
+  // Same, restricted to keys sharing `prefix`.
+  Status ScanPrefix(const Slice& prefix,
+                    const std::function<void(const Slice&, const Slice&)>& fn);
+
+  // Writes tombstones for every live key in [start, end_exclusive).
+  Status DeleteRange(const Slice& start, const Slice& end_exclusive);
+
+  // Force-flush the memtable (used by checkpoints and tests).
+  Status Flush();
+
+  // Force a full merge compaction regardless of the trigger.
+  Status CompactAll();
+
+  uint64_t ApproximateDiskBytes() const;
+  size_t table_count() const { return tables_.size(); }
+  const StoreStats& stats() const { return stats_; }
+  StoreStats* mutable_stats() { return &stats_; }
+
+ private:
+  LsmStore(std::string dir, LsmOptions options, std::unique_ptr<MergeOperator> merge_operator);
+
+  Status Recover();
+  Status MaybeFlush();
+  Status FlushLocked();
+  Status MaybeCompact();
+
+  // Collects the resolved entry for `key` across memtable + tables.
+  bool CollectEntry(const Slice& key, LsmEntry* entry, Status* error);
+
+  std::string TableFileName(uint64_t number) const;
+
+  std::string dir_;
+  LsmOptions options_;
+  std::unique_ptr<MergeOperator> merge_operator_;
+  std::unique_ptr<ShardedLruCache> block_cache_;
+
+  std::unique_ptr<MemTable> memtable_;
+  // Newest first.
+  std::vector<std::unique_ptr<SstReader>> tables_;
+  uint64_t next_table_number_ = 1;
+
+  StoreStats stats_;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_LSM_LSM_STORE_H_

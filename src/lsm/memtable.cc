@@ -1,0 +1,66 @@
+#include "src/lsm/memtable.h"
+
+#include <cstring>
+
+namespace flowkv {
+
+Slice MemTable::CopyToArena(const Slice& data) {
+  if (data.empty()) {
+    return Slice();
+  }
+  char* mem = arena_.Allocate(data.size());
+  std::memcpy(mem, data.data(), data.size());
+  return Slice(mem, data.size());
+}
+
+MemTable::StoredEntry& MemTable::FindOrInsert(const Slice& key) {
+  auto it = table_.find(key);
+  if (it != table_.end()) {
+    return it->second;
+  }
+  Slice owned = CopyToArena(key);
+  map_overhead_ += 64 + sizeof(StoredEntry);  // node + bookkeeping estimate
+  return table_[owned];
+}
+
+void MemTable::Put(const Slice& key, const Slice& value) {
+  StoredEntry& entry = FindOrInsert(key);
+  entry.base = BaseState::kValue;
+  entry.base_value = CopyToArena(value);
+  entry.operands.clear();
+}
+
+void MemTable::Merge(const Slice& key, const Slice& operand) {
+  StoredEntry& entry = FindOrInsert(key);
+  entry.operands.push_back(CopyToArena(operand));
+  map_overhead_ += sizeof(Slice);
+}
+
+void MemTable::Delete(const Slice& key) {
+  StoredEntry& entry = FindOrInsert(key);
+  entry.base = BaseState::kDeleted;
+  entry.base_value = Slice();
+  entry.operands.clear();
+}
+
+bool MemTable::Get(const Slice& key, LsmEntry* entry) const {
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    return false;
+  }
+  *entry = ToOwned(it->second);
+  return true;
+}
+
+LsmEntry MemTable::ToOwned(const StoredEntry& stored) {
+  LsmEntry entry;
+  entry.base = stored.base;
+  entry.base_value = stored.base_value.ToString();
+  entry.operands.reserve(stored.operands.size());
+  for (const Slice& op : stored.operands) {
+    entry.operands.push_back(op.ToString());
+  }
+  return entry;
+}
+
+}  // namespace flowkv

@@ -1,0 +1,45 @@
+#include "src/lsm/merge.h"
+
+#include "src/common/coding.h"
+
+namespace flowkv {
+
+void EncodeListElement(std::string* dst, const Slice& value) {
+  PutLengthPrefixed(dst, value);
+}
+
+bool DecodeListElements(const Slice& encoded, std::vector<std::string>* elements) {
+  elements->clear();
+  Slice input = encoded;
+  while (!input.empty()) {
+    Slice element;
+    if (!GetLengthPrefixed(&input, &element)) {
+      return false;
+    }
+    elements->push_back(element.ToString());
+  }
+  return true;
+}
+
+bool ResolveEntry(const MergeOperator& op, const LsmEntry& entry, std::string* value) {
+  switch (entry.base) {
+    case BaseState::kValue:
+      *value = op.FullMerge(true, entry.base_value, entry.operands);
+      return true;
+    case BaseState::kDeleted:
+      if (entry.operands.empty()) {
+        return false;
+      }
+      *value = op.FullMerge(false, Slice(), entry.operands);
+      return true;
+    case BaseState::kNone:
+      if (entry.operands.empty()) {
+        return false;
+      }
+      *value = op.FullMerge(false, Slice(), entry.operands);
+      return true;
+  }
+  return false;
+}
+
+}  // namespace flowkv

@@ -1,0 +1,62 @@
+// Merge operator: folds a base value and a sequence of operands into one
+// value, RocksDB-style. The stream backends use ListAppendMergeOperator,
+// whose values are concatenations of varint-length-prefixed elements.
+#ifndef SRC_LSM_MERGE_H_
+#define SRC_LSM_MERGE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/slice.h"
+#include "src/lsm/entry.h"
+
+namespace flowkv {
+
+class MergeOperator {
+ public:
+  virtual ~MergeOperator() = default;
+
+  // Produces the full value for an entry. `has_base` is false when no Put
+  // ever happened (operands-only key).
+  virtual std::string FullMerge(bool has_base, const Slice& base,
+                                const std::vector<std::string>& operands) const = 0;
+};
+
+// Values are lists encoded as repeated varint-length-prefixed elements; each
+// merge operand is one already-encoded element (or several). FullMerge is
+// plain concatenation, which is what makes appends cheap.
+class ListAppendMergeOperator : public MergeOperator {
+ public:
+  std::string FullMerge(bool has_base, const Slice& base,
+                        const std::vector<std::string>& operands) const override {
+    std::string out;
+    size_t total = has_base ? base.size() : 0;
+    for (const auto& op : operands) {
+      total += op.size();
+    }
+    out.reserve(total);
+    if (has_base) {
+      out.append(base.data(), base.size());
+    }
+    for (const auto& op : operands) {
+      out += op;
+    }
+    return out;
+  }
+};
+
+// Encodes one list element for use with ListAppendMergeOperator.
+void EncodeListElement(std::string* dst, const Slice& value);
+
+// Decodes a ListAppendMergeOperator value back into elements. Returns false
+// on malformed input.
+bool DecodeListElements(const Slice& encoded, std::vector<std::string>* elements);
+
+// Applies the operator to a resolved LsmEntry. Returns false if the entry is
+// dead (tombstone with no operands on top means "deleted"; kNone with no
+// operands means "not found").
+bool ResolveEntry(const MergeOperator& op, const LsmEntry& entry, std::string* value);
+
+}  // namespace flowkv
+
+#endif  // SRC_LSM_MERGE_H_

@@ -1,0 +1,30 @@
+// Tuning knobs for the LSM store (mirrors the RocksDB options the paper's
+// evaluation configures: write buffer size, block cache, compaction trigger).
+#ifndef SRC_LSM_OPTIONS_H_
+#define SRC_LSM_OPTIONS_H_
+
+#include <cstdint>
+
+namespace flowkv {
+
+struct LsmOptions {
+  // Memtable is flushed to an SSTable once it holds this many bytes.
+  uint64_t write_buffer_bytes = 8 * 1024 * 1024;
+
+  // Target uncompressed size of one SSTable data block.
+  uint64_t block_bytes = 16 * 1024;
+
+  // Capacity of the in-memory block cache (0 disables caching).
+  uint64_t block_cache_bytes = 32 * 1024 * 1024;
+
+  // A full merge compaction runs once this many SSTables exist.
+  int compaction_trigger = 6;
+
+  // fdatasync after every flush/compaction output (not per write; the paper
+  // notes SPEs disable per-write durability for performance).
+  bool sync_on_flush = false;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_LSM_OPTIONS_H_

@@ -1,0 +1,393 @@
+#include "src/lsm/sstable.h"
+
+#include <algorithm>
+
+#include "src/common/coding.h"
+#include "src/common/hash.h"
+
+namespace flowkv {
+
+namespace {
+constexpr uint32_t kSstMagic = 0xf10cf10c;
+// filter offset/size, index offset/size, filter checksum, index checksum, magic.
+constexpr size_t kFooterSize = 8 + 8 + 8 + 8 + 4 + 4 + 4;
+}  // namespace
+
+// ------------------------------ record codec ------------------------------
+
+void SstReader::EncodeRecord(std::string* dst, const Slice& key, const LsmEntry& entry) {
+  PutLengthPrefixed(dst, key);
+  dst->push_back(static_cast<char>(entry.base));
+  if (entry.base == BaseState::kValue) {
+    PutLengthPrefixed(dst, entry.base_value);
+  }
+  PutVarint64(dst, entry.operands.size());
+  for (const auto& op : entry.operands) {
+    PutLengthPrefixed(dst, op);
+  }
+}
+
+bool SstReader::ParseRecord(Slice* input, std::string* key, LsmEntry* entry) {
+  Slice key_slice;
+  if (!GetLengthPrefixed(input, &key_slice)) {
+    return false;
+  }
+  if (input->empty()) {
+    return false;
+  }
+  uint8_t base = static_cast<uint8_t>((*input)[0]);
+  input->RemovePrefix(1);
+  if (base > static_cast<uint8_t>(BaseState::kDeleted)) {
+    return false;
+  }
+  entry->base = static_cast<BaseState>(base);
+  entry->base_value.clear();
+  if (entry->base == BaseState::kValue) {
+    Slice value;
+    if (!GetLengthPrefixed(input, &value)) {
+      return false;
+    }
+    entry->base_value = value.ToString();
+  }
+  uint64_t nops;
+  if (!GetVarint64(input, &nops)) {
+    return false;
+  }
+  entry->operands.clear();
+  entry->operands.reserve(nops);
+  for (uint64_t i = 0; i < nops; ++i) {
+    Slice op;
+    if (!GetLengthPrefixed(input, &op)) {
+      return false;
+    }
+    entry->operands.push_back(op.ToString());
+  }
+  *key = key_slice.ToString();
+  return true;
+}
+
+// -------------------------------- SstWriter --------------------------------
+
+SstWriter::SstWriter(std::string path, uint64_t block_bytes, IoStats* stats)
+    : path_(std::move(path)), block_bytes_(block_bytes) {
+  open_status_ = AppendFile::Open(path_, /*reopen=*/false, &file_, stats);
+}
+
+Status SstWriter::Add(const Slice& key, const LsmEntry& entry) {
+  FLOWKV_RETURN_IF_ERROR(open_status_);
+  if (finished_) {
+    return Status::FailedPrecondition("Add after Finish");
+  }
+  if (!last_key_.empty() && key.Compare(last_key_) <= 0) {
+    return Status::InvalidArgument("keys must be added in strictly increasing order");
+  }
+  bloom_.AddKey(key);
+  if (block_.empty()) {
+    first_key_ = key.ToString();
+  }
+  SstReader::EncodeRecord(&block_, key, entry);
+  last_key_ = key.ToString();
+  ++entry_count_;
+  if (block_.size() >= block_bytes_) {
+    return FlushBlock();
+  }
+  return Status::Ok();
+}
+
+Status SstWriter::FlushBlock() {
+  if (block_.empty()) {
+    return Status::Ok();
+  }
+  PutLengthPrefixed(&index_, first_key_);
+  PutLengthPrefixed(&index_, last_key_);
+  PutFixed64(&index_, block_offset_);
+  PutFixed64(&index_, block_.size());
+  PutFixed32(&index_, Checksum32(block_));
+  FLOWKV_RETURN_IF_ERROR(file_->Append(block_));
+  block_offset_ += block_.size();
+  block_.clear();
+  return Status::Ok();
+}
+
+Status SstWriter::Finish(bool sync) {
+  FLOWKV_RETURN_IF_ERROR(open_status_);
+  if (finished_) {
+    return Status::FailedPrecondition("double Finish");
+  }
+  finished_ = true;
+  FLOWKV_RETURN_IF_ERROR(FlushBlock());
+  const std::string filter = bloom_.Finish();
+  const uint64_t filter_offset = block_offset_;
+  FLOWKV_RETURN_IF_ERROR(file_->Append(filter));
+  const uint64_t index_offset = filter_offset + filter.size();
+  FLOWKV_RETURN_IF_ERROR(file_->Append(index_));
+  std::string footer;
+  PutFixed64(&footer, filter_offset);
+  PutFixed64(&footer, filter.size());
+  PutFixed64(&footer, index_offset);
+  PutFixed64(&footer, index_.size());
+  PutFixed32(&footer, Checksum32(filter));
+  PutFixed32(&footer, Checksum32(index_));
+  PutFixed32(&footer, kSstMagic);
+  FLOWKV_RETURN_IF_ERROR(file_->Append(footer));
+  if (sync) {
+    FLOWKV_RETURN_IF_ERROR(file_->Sync());
+  }
+  return file_->Close();
+}
+
+uint64_t SstWriter::file_size() const { return file_ ? file_->size() : 0; }
+
+// -------------------------------- SstReader --------------------------------
+
+Status SstReader::Open(const std::string& path, ShardedLruCache* cache,
+                       std::unique_ptr<SstReader>* out, IoStats* stats) {
+  std::unique_ptr<SstReader> reader(new SstReader(path, cache, stats));
+  FLOWKV_RETURN_IF_ERROR(RandomAccessFile::Open(path, &reader->file_, stats));
+  FLOWKV_RETURN_IF_ERROR(reader->LoadIndex());
+  *out = std::move(reader);
+  return Status::Ok();
+}
+
+Status SstReader::LoadIndex() {
+  const uint64_t file_size = file_->size();
+  if (file_size < kFooterSize) {
+    return Status::Corruption("sstable too small: " + path_);
+  }
+  char footer_buf[kFooterSize];
+  Slice footer;
+  FLOWKV_RETURN_IF_ERROR(file_->Read(file_size - kFooterSize, kFooterSize, &footer, footer_buf));
+  uint64_t filter_offset, filter_size, index_offset, index_size;
+  uint32_t filter_checksum, index_checksum, magic;
+  GetFixed64(&footer, &filter_offset);
+  GetFixed64(&footer, &filter_size);
+  GetFixed64(&footer, &index_offset);
+  GetFixed64(&footer, &index_size);
+  GetFixed32(&footer, &filter_checksum);
+  GetFixed32(&footer, &index_checksum);
+  GetFixed32(&footer, &magic);
+  if (magic != kSstMagic) {
+    return Status::Corruption("bad sstable magic: " + path_);
+  }
+  if (index_offset + index_size + kFooterSize > file_size ||
+      filter_offset + filter_size > index_offset) {
+    return Status::Corruption("bad index range: " + path_);
+  }
+  if (filter_size > 0) {
+    std::string filter_buf;
+    filter_buf.resize(filter_size);
+    Slice filter_data;
+    FLOWKV_RETURN_IF_ERROR(
+        file_->Read(filter_offset, filter_size, &filter_data, filter_buf.data()));
+    if (Checksum32(filter_data) != filter_checksum) {
+      return Status::Corruption("filter checksum mismatch: " + path_);
+    }
+    bloom_ = std::make_unique<BloomFilter>(std::move(filter_buf));
+  }
+  std::string index_buf;
+  index_buf.resize(index_size);
+  Slice index_data;
+  FLOWKV_RETURN_IF_ERROR(file_->Read(index_offset, index_size, &index_data, index_buf.data()));
+  if (Checksum32(index_data) != index_checksum) {
+    return Status::Corruption("index checksum mismatch: " + path_);
+  }
+  Slice input = index_data;
+  while (!input.empty()) {
+    IndexEntry e;
+    Slice first, last;
+    if (!GetLengthPrefixed(&input, &first) || !GetLengthPrefixed(&input, &last) ||
+        !GetFixed64(&input, &e.offset) || !GetFixed64(&input, &e.size) ||
+        !GetFixed32(&input, &e.checksum)) {
+      return Status::Corruption("malformed index entry: " + path_);
+    }
+    e.first_key = first.ToString();
+    e.last_key = last.ToString();
+    index_.push_back(std::move(e));
+  }
+  if (!index_.empty()) {
+    smallest_ = index_.front().first_key;
+    largest_ = index_.back().last_key;
+  }
+  return Status::Ok();
+}
+
+Status SstReader::ReadBlock(size_t block_index, std::shared_ptr<const std::string>* out) const {
+  const IndexEntry& e = index_[block_index];
+  std::string cache_key;
+  if (cache_ != nullptr) {
+    cache_key = path_ + "#" + std::to_string(e.offset);
+    if (auto cached = cache_->Lookup(cache_key)) {
+      *out = std::move(cached);
+      return Status::Ok();
+    }
+  }
+  auto block = std::make_shared<std::string>();
+  block->resize(e.size);
+  Slice data;
+  FLOWKV_RETURN_IF_ERROR(file_->Read(e.offset, e.size, &data, block->data()));
+  if (Checksum32(data) != e.checksum) {
+    return Status::Corruption("block checksum mismatch: " + path_);
+  }
+  if (cache_ != nullptr) {
+    cache_->Insert(cache_key, block);
+  }
+  *out = std::move(block);
+  return Status::Ok();
+}
+
+size_t SstReader::FindBlock(const Slice& key) const {
+  // First block whose last_key >= key.
+  size_t lo = 0, hi = index_.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (Slice(index_[mid].last_key).Compare(key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Parses only the record's key and skips the rest without materializing
+// strings; hot path for point lookups scanning within a block.
+bool SstReader::SkipRecord(Slice* input, Slice* key_out) {
+  if (!GetLengthPrefixed(input, key_out) || input->empty()) {
+    return false;
+  }
+  const uint8_t base = static_cast<uint8_t>((*input)[0]);
+  input->RemovePrefix(1);
+  if (base > static_cast<uint8_t>(BaseState::kDeleted)) {
+    return false;
+  }
+  if (base == static_cast<uint8_t>(BaseState::kValue)) {
+    Slice value;
+    if (!GetLengthPrefixed(input, &value)) {
+      return false;
+    }
+  }
+  uint64_t nops;
+  if (!GetVarint64(input, &nops)) {
+    return false;
+  }
+  for (uint64_t i = 0; i < nops; ++i) {
+    Slice op;
+    if (!GetLengthPrefixed(input, &op)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status SstReader::Get(const Slice& key, LsmEntry* entry) const {
+  if (bloom_ != nullptr && !bloom_->MayContain(key)) {
+    return Status::NotFound();
+  }
+  size_t block_index = FindBlock(key);
+  if (block_index >= index_.size() ||
+      key.Compare(index_[block_index].first_key) < 0) {
+    return Status::NotFound();
+  }
+  std::shared_ptr<const std::string> block;
+  FLOWKV_RETURN_IF_ERROR(ReadBlock(block_index, &block));
+  Slice input(*block);
+  while (!input.empty()) {
+    Slice at = input;  // start of the current record
+    Slice record_key;
+    if (!SkipRecord(&input, &record_key)) {
+      return Status::Corruption("malformed record: " + path_);
+    }
+    const int cmp = record_key.Compare(key);
+    if (cmp == 0) {
+      std::string unused;
+      if (!ParseRecord(&at, &unused, entry)) {
+        return Status::Corruption("malformed record: " + path_);
+      }
+      return Status::Ok();
+    }
+    if (cmp > 0) {
+      break;
+    }
+  }
+  return Status::NotFound();
+}
+
+// --------------------------- SstReader::Iterator ---------------------------
+
+SstReader::Iterator::Iterator(const SstReader* reader) : reader_(reader) {}
+
+void SstReader::Iterator::SeekToFirst() {
+  block_index_ = 0;
+  valid_ = false;
+  status_ = Status::Ok();
+  if (LoadBlock(0)) {
+    valid_ = ParseNextRecord();
+  }
+}
+
+void SstReader::Iterator::Seek(const Slice& key) {
+  status_ = Status::Ok();
+  valid_ = false;
+  size_t idx = reader_->FindBlock(key);
+  if (idx >= reader_->index_.size()) {
+    return;
+  }
+  if (!LoadBlock(idx)) {
+    return;
+  }
+  while (ParseNextRecord()) {
+    if (Slice(current_key_).Compare(key) >= 0) {
+      valid_ = true;
+      return;
+    }
+  }
+  // Key larger than everything in this block: continue to the next.
+  block_index_ = idx + 1;
+  if (block_index_ < reader_->index_.size() && LoadBlock(block_index_)) {
+    valid_ = ParseNextRecord();
+  }
+}
+
+void SstReader::Iterator::Next() {
+  if (!valid_) {
+    return;
+  }
+  if (ParseNextRecord()) {
+    return;
+  }
+  ++block_index_;
+  if (block_index_ >= reader_->index_.size() || !LoadBlock(block_index_)) {
+    valid_ = false;
+    return;
+  }
+  valid_ = ParseNextRecord();
+}
+
+bool SstReader::Iterator::LoadBlock(size_t block_index) {
+  if (block_index >= reader_->index_.size()) {
+    return false;
+  }
+  block_index_ = block_index;
+  Status s = reader_->ReadBlock(block_index, &block_data_);
+  if (!s.ok()) {
+    status_ = s;
+    valid_ = false;
+    return false;
+  }
+  cursor_ = Slice(*block_data_);
+  return true;
+}
+
+bool SstReader::Iterator::ParseNextRecord() {
+  if (cursor_.empty()) {
+    return false;
+  }
+  if (!ParseRecord(&cursor_, &current_key_, &current_entry_)) {
+    status_ = Status::Corruption("malformed record during scan: " + reader_->path_);
+    valid_ = false;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace flowkv

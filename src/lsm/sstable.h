@@ -1,0 +1,142 @@
+// Immutable sorted table file.
+//
+// Layout:
+//   [data block]*                  records, sorted by key, ~block_bytes each
+//   [filter block]                 bloom filter over all keys (bloom.h)
+//   [index block]                  one entry per data block:
+//                                    first_key, last_key, offset, size, checksum
+//   [footer]                       filter + index offsets/sizes/checksums + magic
+//
+// Record:  varint klen | key | base(1B) | {varint vlen | value}? |
+//          varint nops | (varint oplen | op)*
+#ifndef SRC_LSM_SSTABLE_H_
+#define SRC_LSM_SSTABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/file.h"
+#include "src/common/lru_cache.h"
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/lsm/bloom.h"
+#include "src/lsm/entry.h"
+
+namespace flowkv {
+
+class SstWriter {
+ public:
+  // `block_bytes` is the target data block size.
+  SstWriter(std::string path, uint64_t block_bytes, IoStats* stats = nullptr);
+
+  // Keys must arrive in strictly increasing order.
+  Status Add(const Slice& key, const LsmEntry& entry);
+
+  // Writes index + footer and closes. `sync` issues fdatasync first.
+  Status Finish(bool sync);
+
+  uint64_t file_size() const;
+  uint64_t entry_count() const { return entry_count_; }
+
+ private:
+  Status FlushBlock();
+
+  std::string path_;
+  uint64_t block_bytes_;
+  std::unique_ptr<AppendFile> file_;
+  Status open_status_;
+
+  BloomFilterBuilder bloom_;
+  std::string block_;       // pending data block
+  std::string index_;       // accumulated index block
+  std::string first_key_;   // of pending block
+  std::string last_key_;    // of pending block
+  uint64_t block_offset_ = 0;
+  uint64_t entry_count_ = 0;
+  bool finished_ = false;
+};
+
+class SstReader {
+ public:
+  // `cache` may be null (no block caching). The cache key namespace embeds
+  // the file path, so one cache serves many tables.
+  static Status Open(const std::string& path, ShardedLruCache* cache,
+                     std::unique_ptr<SstReader>* out, IoStats* stats = nullptr);
+
+  // Point lookup. Returns NotFound when the table has no state for `key`.
+  Status Get(const Slice& key, LsmEntry* entry) const;
+
+  const std::string& path() const { return path_; }
+  uint64_t file_size() const { return file_->size(); }
+  uint64_t entry_count_estimate() const { return index_.size() * 16; }
+  const std::string& smallest_key() const { return smallest_; }
+  const std::string& largest_key() const { return largest_; }
+
+  // Forward iterator over the whole table (or from a seek key).
+  class Iterator {
+   public:
+    explicit Iterator(const SstReader* reader);
+
+    void SeekToFirst();
+    void Seek(const Slice& key);  // first key >= `key`
+    void Next();
+    bool Valid() const { return valid_; }
+    Slice key() const { return current_key_; }
+    const LsmEntry& entry() const { return current_entry_; }
+    Status status() const { return status_; }
+
+   private:
+    bool LoadBlock(size_t block_index);
+    bool ParseNextRecord();
+
+    const SstReader* reader_;
+    size_t block_index_ = 0;
+    std::shared_ptr<const std::string> block_data_;
+    Slice cursor_;
+    std::string current_key_;
+    LsmEntry current_entry_;
+    bool valid_ = false;
+    Status status_;
+  };
+
+  std::unique_ptr<Iterator> NewIterator() const { return std::make_unique<Iterator>(this); }
+
+ private:
+  struct IndexEntry {
+    std::string first_key;
+    std::string last_key;
+    uint64_t offset;
+    uint64_t size;
+    uint32_t checksum;
+  };
+
+  SstReader(std::string path, ShardedLruCache* cache, IoStats* stats)
+      : path_(std::move(path)), cache_(cache), stats_(stats) {}
+
+  Status LoadIndex();
+  Status ReadBlock(size_t block_index, std::shared_ptr<const std::string>* out) const;
+
+  // Index of the first block that could contain `key`; index_.size() if none.
+  size_t FindBlock(const Slice& key) const;
+
+  static bool ParseRecord(Slice* input, std::string* key, LsmEntry* entry);
+  static bool SkipRecord(Slice* input, Slice* key_out);
+  static void EncodeRecord(std::string* dst, const Slice& key, const LsmEntry& entry);
+
+  friend class SstWriter;
+
+  std::string path_;
+  ShardedLruCache* cache_;
+  IoStats* stats_;
+  std::unique_ptr<RandomAccessFile> file_;
+  std::unique_ptr<BloomFilter> bloom_;
+  std::vector<IndexEntry> index_;
+  std::string smallest_;
+  std::string largest_;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_LSM_SSTABLE_H_

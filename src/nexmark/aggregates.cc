@@ -1,0 +1,185 @@
+#include "src/nexmark/aggregates.h"
+
+#include <algorithm>
+
+#include "src/common/coding.h"
+#include "src/nexmark/events.h"
+
+namespace flowkv {
+
+// ------------------------------ CountAggregate ------------------------------
+
+std::string CountAggregate::CreateAccumulator() const {
+  std::string acc;
+  PutFixed64(&acc, 0);
+  return acc;
+}
+
+void CountAggregate::Add(const Slice& value, std::string* accumulator) const {
+  const uint64_t count = DecodeFixed64(accumulator->data()) + 1;
+  EncodeFixed64(accumulator->data(), count);
+}
+
+std::string CountAggregate::GetResult(const Slice& accumulator) const {
+  return accumulator.ToString();
+}
+
+std::string CountAggregate::MergeAccumulators(const Slice& a, const Slice& b) const {
+  std::string merged;
+  PutFixed64(&merged, DecodeFixed64(a.data()) + DecodeFixed64(b.data()));
+  return merged;
+}
+
+// --------------------------- TopAuctionAggregate ---------------------------
+
+std::string EncodeAuctionCount(uint64_t auction, uint64_t count) {
+  std::string out;
+  PutFixed64(&out, auction);
+  PutFixed64(&out, count);
+  return out;
+}
+
+bool DecodeAuctionCount(const Slice& data, uint64_t* auction, uint64_t* count) {
+  if (data.size() < 16) {
+    return false;
+  }
+  *auction = DecodeFixed64(data.data());
+  *count = DecodeFixed64(data.data() + 8);
+  return true;
+}
+
+namespace {
+// Returns true when (auction_b, count_b) beats (auction_a, count_a).
+bool PairBeats(uint64_t auction_a, uint64_t count_a, uint64_t auction_b, uint64_t count_b) {
+  if (count_b != count_a) {
+    return count_b > count_a;
+  }
+  return auction_b < auction_a;
+}
+}  // namespace
+
+std::string TopAuctionAggregate::CreateAccumulator() const {
+  return EncodeAuctionCount(UINT64_MAX, 0);
+}
+
+void TopAuctionAggregate::Add(const Slice& value, std::string* accumulator) const {
+  uint64_t best_auction, best_count, auction, count;
+  DecodeAuctionCount(*accumulator, &best_auction, &best_count);
+  if (DecodeAuctionCount(value, &auction, &count) &&
+      PairBeats(best_auction, best_count, auction, count)) {
+    *accumulator = EncodeAuctionCount(auction, count);
+  }
+}
+
+std::string TopAuctionAggregate::GetResult(const Slice& accumulator) const {
+  return accumulator.ToString();
+}
+
+std::string TopAuctionAggregate::MergeAccumulators(const Slice& a, const Slice& b) const {
+  uint64_t auction_a, count_a, auction_b, count_b;
+  DecodeAuctionCount(a, &auction_a, &count_a);
+  DecodeAuctionCount(b, &auction_b, &count_b);
+  return PairBeats(auction_a, count_a, auction_b, count_b) ? b.ToString() : a.ToString();
+}
+
+// ----------------------------- MaxPriceProcess -----------------------------
+
+Status MaxPriceProcess::Process(const Slice& key, const Window& window,
+                                const std::vector<std::string>& values,
+                                const EmitFn& emit) const {
+  uint64_t max_price = 0;
+  bool any = false;
+  Bid bid;
+  for (const auto& value : values) {
+    if (ParseBid(value, &bid)) {
+      max_price = std::max(max_price, bid.price);
+      any = true;
+    }
+  }
+  if (!any) {
+    return Status::Ok();
+  }
+  std::string out;
+  PutFixed64(&out, max_price);
+  return emit(std::move(out));
+}
+
+// ---------------------------- MedianPriceProcess ----------------------------
+
+Status MedianPriceProcess::Process(const Slice& key, const Window& window,
+                                   const std::vector<std::string>& values,
+                                   const EmitFn& emit) const {
+  std::vector<uint64_t> prices;
+  prices.reserve(values.size());
+  Bid bid;
+  for (const auto& value : values) {
+    if (ParseBid(value, &bid)) {
+      prices.push_back(bid.price);
+    }
+  }
+  if (prices.empty()) {
+    return Status::Ok();
+  }
+  const size_t mid = (prices.size() - 1) / 2;
+  std::nth_element(prices.begin(), prices.begin() + mid, prices.end());
+  std::string out;
+  PutFixed64(&out, prices[mid]);
+  return emit(std::move(out));
+}
+
+// ---------------------------- TopAuctionProcess ----------------------------
+
+Status TopAuctionProcess::Process(const Slice& key, const Window& window,
+                                  const std::vector<std::string>& values,
+                                  const EmitFn& emit) const {
+  uint64_t best_auction = UINT64_MAX;
+  uint64_t best_count = 0;
+  bool any = false;
+  for (const auto& value : values) {
+    uint64_t auction, count;
+    if (DecodeAuctionCount(value, &auction, &count)) {
+      if (!any || PairBeats(best_auction, best_count, auction, count)) {
+        best_auction = auction;
+        best_count = count;
+      }
+      any = true;
+    }
+  }
+  if (!any) {
+    return Status::Ok();
+  }
+  return emit(EncodeAuctionCount(best_auction, best_count));
+}
+
+// ------------------------- NewUserAuctionJoinProcess -------------------------
+
+Status NewUserAuctionJoinProcess::Process(const Slice& key, const Window& window,
+                                          const std::vector<std::string>& values,
+                                          const EmitFn& emit) const {
+  bool person_seen = false;
+  uint64_t person_id = 0;
+  std::vector<uint64_t> auctions;
+  Person person;
+  Auction auction;
+  for (const auto& value : values) {
+    if (ParsePerson(value, &person)) {
+      person_seen = true;
+      person_id = person.id;
+    } else if (ParseAuction(value, &auction)) {
+      auctions.push_back(auction.id);
+    }
+  }
+  if (!person_seen) {
+    return Status::Ok();
+  }
+  std::sort(auctions.begin(), auctions.end());
+  for (uint64_t auction_id : auctions) {
+    std::string out;
+    PutFixed64(&out, person_id);
+    PutFixed64(&out, auction_id);
+    FLOWKV_RETURN_IF_ERROR(emit(std::move(out)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace flowkv

@@ -1,0 +1,71 @@
+// Aggregate and process functions used by the NEXMark queries. Incremental
+// ones (AggregateFunction) drive the RMW pattern; full-window ones
+// (ProcessWindowFunction) drive the Append patterns.
+#ifndef SRC_NEXMARK_AGGREGATES_H_
+#define SRC_NEXMARK_AGGREGATES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/spe/functions.h"
+
+namespace flowkv {
+
+// acc/result: fixed64 count.
+class CountAggregate : public AggregateFunction {
+ public:
+  std::string CreateAccumulator() const override;
+  void Add(const Slice& value, std::string* accumulator) const override;
+  std::string GetResult(const Slice& accumulator) const override;
+  std::string MergeAccumulators(const Slice& a, const Slice& b) const override;
+};
+
+// Input values: (auction fixed64, count fixed64) pairs; acc/result likewise,
+// keeping the pair with the highest count (ties: lower auction id).
+class TopAuctionAggregate : public AggregateFunction {
+ public:
+  std::string CreateAccumulator() const override;
+  void Add(const Slice& value, std::string* accumulator) const override;
+  std::string GetResult(const Slice& accumulator) const override;
+  std::string MergeAccumulators(const Slice& a, const Slice& b) const override;
+};
+
+// Values: serialized bids; emits the maximum price (fixed64).
+class MaxPriceProcess : public ProcessWindowFunction {
+ public:
+  Status Process(const Slice& key, const Window& window,
+                 const std::vector<std::string>& values, const EmitFn& emit) const override;
+};
+
+// Values: serialized bids; emits the median price (fixed64, lower median).
+class MedianPriceProcess : public ProcessWindowFunction {
+ public:
+  Status Process(const Slice& key, const Window& window,
+                 const std::vector<std::string>& values, const EmitFn& emit) const override;
+};
+
+// Values: (auction, count) pairs; emits the pair with the highest count
+// without incremental aggregation (Q5-Append's point).
+class TopAuctionProcess : public ProcessWindowFunction {
+ public:
+  Status Process(const Slice& key, const Window& window,
+                 const std::vector<std::string>& values, const EmitFn& emit) const override;
+};
+
+// Values: serialized persons and auctions sharing key = person id = seller;
+// emits (person, auction) for every auction a brand-new user opened in the
+// window (NEXMark Q8 windowed join).
+class NewUserAuctionJoinProcess : public ProcessWindowFunction {
+ public:
+  Status Process(const Slice& key, const Window& window,
+                 const std::vector<std::string>& values, const EmitFn& emit) const override;
+};
+
+// (auction, count) pair codec shared by Q5 variants.
+std::string EncodeAuctionCount(uint64_t auction, uint64_t count);
+bool DecodeAuctionCount(const Slice& data, uint64_t* auction, uint64_t* count);
+
+}  // namespace flowkv
+
+#endif  // SRC_NEXMARK_AGGREGATES_H_

@@ -1,0 +1,93 @@
+#include "src/nexmark/events.h"
+
+#include "src/common/coding.h"
+
+namespace flowkv {
+
+namespace {
+void PutTag(std::string* dst, NexmarkEventType type) {
+  dst->push_back(static_cast<char>(type));
+}
+}  // namespace
+
+std::string SerializePerson(const Person& p) {
+  std::string out;
+  out.reserve(17);
+  PutTag(&out, NexmarkEventType::kPerson);
+  PutFixed64(&out, p.id);
+  PutFixed64(&out, p.state);
+  return out;
+}
+
+std::string SerializeAuction(const Auction& a) {
+  std::string out;
+  out.reserve(17);
+  PutTag(&out, NexmarkEventType::kAuction);
+  PutFixed64(&out, a.id);
+  PutFixed64(&out, a.seller);
+  return out;
+}
+
+std::string SerializeBid(const Bid& b) {
+  std::string out;
+  out.reserve(84);
+  PutTag(&out, NexmarkEventType::kBid);
+  PutFixed64(&out, b.auction);
+  PutFixed64(&out, b.bidder);
+  PutFixed64(&out, b.price);
+  PutFixed64(&out, static_cast<uint64_t>(b.date_time));
+  out.append(Bid::kExtraBytes, '\x5a');  // opaque payload padding
+  return out;
+}
+
+bool PeekEventType(const Slice& data, NexmarkEventType* type) {
+  if (data.empty() || static_cast<uint8_t>(data[0]) > 2) {
+    return false;
+  }
+  *type = static_cast<NexmarkEventType>(data[0]);
+  return true;
+}
+
+bool ParsePerson(const Slice& data, Person* p) {
+  NexmarkEventType type;
+  if (!PeekEventType(data, &type) || type != NexmarkEventType::kPerson || data.size() < 17) {
+    return false;
+  }
+  p->id = DecodeFixed64(data.data() + 1);
+  p->state = DecodeFixed64(data.data() + 9);
+  return true;
+}
+
+bool ParseAuction(const Slice& data, Auction* a) {
+  NexmarkEventType type;
+  if (!PeekEventType(data, &type) || type != NexmarkEventType::kAuction || data.size() < 17) {
+    return false;
+  }
+  a->id = DecodeFixed64(data.data() + 1);
+  a->seller = DecodeFixed64(data.data() + 9);
+  return true;
+}
+
+bool ParseBid(const Slice& data, Bid* b) {
+  NexmarkEventType type;
+  if (!PeekEventType(data, &type) || type != NexmarkEventType::kBid || data.size() < 33) {
+    return false;
+  }
+  b->auction = DecodeFixed64(data.data() + 1);
+  b->bidder = DecodeFixed64(data.data() + 9);
+  b->price = DecodeFixed64(data.data() + 17);
+  b->date_time = static_cast<int64_t>(DecodeFixed64(data.data() + 25));
+  return true;
+}
+
+std::string IdKey(uint64_t id) {
+  std::string key;
+  PutFixed64(&key, id);
+  return key;
+}
+
+uint64_t ParseIdKey(const Slice& key) {
+  return key.size() >= 8 ? DecodeFixed64(key.data()) : 0;
+}
+
+}  // namespace flowkv

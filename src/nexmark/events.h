@@ -1,0 +1,59 @@
+// NEXMark event model (online auctions): persons register, auctions open,
+// bids arrive. Serialized sizes follow the paper's measured averages
+// (person 16 B, auction 16 B, bid 84 B including padding, §6 "Input
+// dataset"); streams are 2% persons / 6% auctions / 92% bids.
+#ifndef SRC_NEXMARK_EVENTS_H_
+#define SRC_NEXMARK_EVENTS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/slice.h"
+
+namespace flowkv {
+
+enum class NexmarkEventType : uint8_t {
+  kPerson = 0,
+  kAuction = 1,
+  kBid = 2,
+};
+
+struct Person {
+  uint64_t id = 0;
+  uint64_t state = 0;  // opaque demographic hash
+};
+
+struct Auction {
+  uint64_t id = 0;
+  uint64_t seller = 0;  // person id
+};
+
+struct Bid {
+  static constexpr size_t kExtraBytes = 51;  // pads the record to 84 B
+
+  uint64_t auction = 0;
+  uint64_t bidder = 0;  // person id
+  uint64_t price = 0;
+  int64_t date_time = 0;
+};
+
+// Serialization: 1-byte type tag + fixed fields (+ padding for bids).
+// Persons/auctions: 1+8+8 = 17 B; bids: 1+8+8+8+8+51 = 84 B.
+std::string SerializePerson(const Person& p);
+std::string SerializeAuction(const Auction& a);
+std::string SerializeBid(const Bid& b);
+
+// Peeks the type tag; false on empty input.
+bool PeekEventType(const Slice& data, NexmarkEventType* type);
+
+bool ParsePerson(const Slice& data, Person* p);
+bool ParseAuction(const Slice& data, Auction* a);
+bool ParseBid(const Slice& data, Bid* b);
+
+// Fixed-width key encoding used by every query (8-byte little-endian id).
+std::string IdKey(uint64_t id);
+uint64_t ParseIdKey(const Slice& key);
+
+}  // namespace flowkv
+
+#endif  // SRC_NEXMARK_EVENTS_H_

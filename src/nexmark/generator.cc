@@ -1,0 +1,84 @@
+#include "src/nexmark/generator.h"
+
+#include "src/nexmark/events.h"
+
+namespace flowkv {
+
+namespace {
+// Workers own disjoint id ranges so key partitions never overlap.
+constexpr uint64_t kWorkerIdStride = 1ULL << 40;
+}  // namespace
+
+NexmarkSource::NexmarkSource(const NexmarkConfig& config, int worker)
+    : config_(config),
+      worker_(worker),
+      rng_(config.seed * 1000003 + static_cast<uint64_t>(worker)) {
+  if (config_.key_skew > 0) {
+    person_zipf_ = std::make_unique<ZipfGenerator>(config_.num_people, config_.key_skew,
+                                                   rng_.Next());
+    auction_zipf_ = std::make_unique<ZipfGenerator>(config_.num_auctions, config_.key_skew,
+                                                    rng_.Next());
+  }
+}
+
+uint64_t NexmarkSource::PickPersonId() {
+  const uint64_t base = static_cast<uint64_t>(worker_) * kWorkerIdStride;
+  const uint64_t offset =
+      person_zipf_ ? person_zipf_->Next() : rng_.Uniform(config_.num_people);
+  return base + (offset % config_.num_people);
+}
+
+uint64_t NexmarkSource::PickAuctionId() {
+  const uint64_t base = static_cast<uint64_t>(worker_) * kWorkerIdStride + (1ULL << 32);
+  if (auction_zipf_) {
+    return base + (auction_zipf_->Next() % config_.num_auctions);
+  }
+  // Bids favor auctions opened recently (id lookback), like the Beam
+  // generator's hot-auction behavior.
+  uint64_t hi = next_auction_ == 0 ? 1 : next_auction_;
+  uint64_t lo = hi > config_.auction_lookback ? hi - config_.auction_lookback : 0;
+  return base + (lo + rng_.Uniform(hi - lo)) % config_.num_auctions;
+}
+
+bool NexmarkSource::Next(Event* event) {
+  if (emitted_ >= config_.events_per_worker) {
+    return false;
+  }
+  const uint64_t slot = emitted_ % 50;
+  const int64_t ts = now_ms_;
+  now_ms_ += config_.inter_event_ms;
+  ++emitted_;
+
+  const uint64_t person_base = static_cast<uint64_t>(worker_) * kWorkerIdStride;
+  const uint64_t auction_base = person_base + (1ULL << 32);
+
+  if (slot < static_cast<uint64_t>(config_.persons_per_50)) {
+    Person p;
+    p.id = person_base + (next_person_++ % config_.num_people);
+    p.state = rng_.Next();
+    *event = Event(IdKey(p.id), SerializePerson(p), ts);
+    return true;
+  }
+  if (slot < static_cast<uint64_t>(config_.persons_per_50 + config_.auctions_per_50)) {
+    Auction a;
+    a.id = auction_base + (next_auction_++ % config_.num_auctions);
+    a.seller = PickPersonId();
+    *event = Event(IdKey(a.id), SerializeAuction(a), ts);
+    return true;
+  }
+  Bid b;
+  b.auction = PickAuctionId();
+  b.bidder = PickPersonId();
+  b.price = 100 + rng_.Uniform(10'000);
+  b.date_time = ts;
+  *event = Event(IdKey(b.bidder), SerializeBid(b), ts);
+  return true;
+}
+
+SourceFactory MakeNexmarkSourceFactory(const NexmarkConfig& config) {
+  return [config](int worker) -> std::unique_ptr<SourceIterator> {
+    return std::make_unique<NexmarkSource>(config, worker);
+  };
+}
+
+}  // namespace flowkv

@@ -1,0 +1,71 @@
+// NEXMark stream generator (after the Beam generator the paper uses).
+// Deterministic given a seed; each worker generates a disjoint key partition
+// (share-nothing physical plan). Event time advances at a configurable pace
+// so window sizes translate into state sizes.
+#ifndef SRC_NEXMARK_GENERATOR_H_
+#define SRC_NEXMARK_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/common/random.h"
+#include "src/spe/job_runner.h"
+
+namespace flowkv {
+
+struct NexmarkConfig {
+  uint64_t events_per_worker = 100'000;
+
+  // Out of every 50 events: 1 person, 3 auctions, 46 bids (2%/6%/92%).
+  int persons_per_50 = 1;
+  int auctions_per_50 = 3;
+
+  // Event-time milliseconds between consecutive events. With the default
+  // 10 ms spacing, a 2,000,000 ms window holds ~200k events per worker.
+  int64_t inter_event_ms = 10;
+
+  // Key cardinalities (per worker partition).
+  uint64_t num_people = 2'000;
+  uint64_t num_auctions = 2'000;
+
+  // Zipf skew of bidder/auction selection; 0 = uniform.
+  double key_skew = 0.0;
+
+  uint64_t seed = 42;
+
+  // Bids reference recently-opened auctions within this id lookback.
+  uint64_t auction_lookback = 500;
+};
+
+class NexmarkSource : public SourceIterator {
+ public:
+  NexmarkSource(const NexmarkConfig& config, int worker);
+
+  bool Next(Event* event) override;
+
+  // Total timestamp span of this source's stream (for rate conversions).
+  int64_t EventTimeSpanMs() const {
+    return static_cast<int64_t>(config_.events_per_worker) * config_.inter_event_ms;
+  }
+
+ private:
+  uint64_t PickPersonId();
+  uint64_t PickAuctionId();
+
+  NexmarkConfig config_;
+  int worker_;
+  uint64_t emitted_ = 0;
+  uint64_t next_person_ = 0;
+  uint64_t next_auction_ = 0;
+  int64_t now_ms_ = 0;
+  Random rng_;
+  std::unique_ptr<ZipfGenerator> person_zipf_;
+  std::unique_ptr<ZipfGenerator> auction_zipf_;
+};
+
+// SourceFactory adapter.
+SourceFactory MakeNexmarkSourceFactory(const NexmarkConfig& config);
+
+}  // namespace flowkv
+
+#endif  // SRC_NEXMARK_GENERATOR_H_

@@ -1,0 +1,144 @@
+#include "src/nexmark/queries.h"
+
+#include "src/common/coding.h"
+#include "src/nexmark/aggregates.h"
+#include "src/nexmark/events.h"
+#include "src/spe/window_operator.h"
+
+namespace flowkv {
+
+namespace {
+
+// Keeps only bids, re-keyed by the given field.
+enum class BidKeyField { kBidder, kAuction };
+
+std::unique_ptr<Operator> MakeBidRekey(const std::string& name, BidKeyField field) {
+  return std::make_unique<FlatMapOperator>(
+      name, [field](const Event& event, std::vector<Event>* out) {
+        Bid bid;
+        if (!ParseBid(event.value, &bid)) {
+          return;
+        }
+        const uint64_t key = field == BidKeyField::kBidder ? bid.bidder : bid.auction;
+        out->emplace_back(IdKey(key), event.value, event.timestamp);
+      });
+}
+
+// Q8: persons keyed by their id, auctions keyed by their seller; bids drop.
+std::unique_ptr<Operator> MakePersonAuctionRekey(const std::string& name) {
+  return std::make_unique<FlatMapOperator>(
+      name, [](const Event& event, std::vector<Event>* out) {
+        Person person;
+        Auction auction;
+        if (ParsePerson(event.value, &person)) {
+          out->emplace_back(IdKey(person.id), event.value, event.timestamp);
+        } else if (ParseAuction(event.value, &auction)) {
+          out->emplace_back(IdKey(auction.seller), event.value, event.timestamp);
+        }
+      });
+}
+
+// Q5 stage boundary: stage-1 emits (key=auction, value=count); stage 2 wants
+// (key=constant, value=(auction, count)) so one operator sees every auction.
+std::unique_ptr<Operator> MakeAuctionCountRekey(const std::string& name) {
+  return std::make_unique<MapOperator>(name, [](const Event& event) {
+    return Event("top", EncodeAuctionCount(ParseIdKey(event.key),
+                                           DecodeFixed64(event.value.data())),
+                 event.timestamp);
+  });
+}
+
+std::unique_ptr<Operator> MakeWindowOp(const std::string& name,
+                                       std::shared_ptr<WindowAssigner> assigner,
+                                       std::shared_ptr<AggregateFunction> aggregate,
+                                       std::shared_ptr<ProcessWindowFunction> process) {
+  WindowOperatorConfig config;
+  config.name = name;
+  config.assigner = std::move(assigner);
+  config.aggregate = std::move(aggregate);
+  config.process = std::move(process);
+  return std::make_unique<WindowOperator>(std::move(config));
+}
+
+void BuildQ5(const QueryParams& params, Pipeline* pipeline, bool incremental_top) {
+  const int64_t size = params.window_size_ms;
+  const int64_t slide = std::max<int64_t>(size / 2, 1);
+  pipeline->AddOperator(MakeBidRekey("q5_bids", BidKeyField::kAuction));
+  pipeline->AddOperator(MakeWindowOp(
+      "q5_count", std::make_shared<SlidingWindowAssigner>(size, slide),
+      std::make_shared<CountAggregate>(), nullptr));
+  pipeline->AddOperator(MakeAuctionCountRekey("q5_rekey"));
+  if (incremental_top) {
+    pipeline->AddOperator(MakeWindowOp(
+        "q5_top", std::make_shared<SlidingWindowAssigner>(size, slide),
+        std::make_shared<TopAuctionAggregate>(), nullptr));
+  } else {
+    pipeline->AddOperator(MakeWindowOp(
+        "q5_top", std::make_shared<SlidingWindowAssigner>(size, slide), nullptr,
+        std::make_shared<TopAuctionProcess>()));
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& NexmarkQueryNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "q5", "q5-append", "q7", "q7-session", "q8", "q11", "q11-median", "q12"};
+  return *names;
+}
+
+Status BuildNexmarkQuery(const std::string& name, const QueryParams& params,
+                         Pipeline* pipeline) {
+  if (name == "q5") {
+    BuildQ5(params, pipeline, /*incremental_top=*/true);
+    return Status::Ok();
+  }
+  if (name == "q5-append") {
+    BuildQ5(params, pipeline, /*incremental_top=*/false);
+    return Status::Ok();
+  }
+  if (name == "q7") {
+    pipeline->AddOperator(MakeBidRekey("q7_bids", BidKeyField::kBidder));
+    pipeline->AddOperator(MakeWindowOp(
+        "q7_max", std::make_shared<TumblingWindowAssigner>(params.window_size_ms), nullptr,
+        std::make_shared<MaxPriceProcess>()));
+    return Status::Ok();
+  }
+  if (name == "q7-session") {
+    pipeline->AddOperator(MakeBidRekey("q7s_bids", BidKeyField::kBidder));
+    pipeline->AddOperator(MakeWindowOp(
+        "q7s_max", std::make_shared<SessionWindowAssigner>(params.session_gap_ms), nullptr,
+        std::make_shared<MaxPriceProcess>()));
+    return Status::Ok();
+  }
+  if (name == "q8") {
+    pipeline->AddOperator(MakePersonAuctionRekey("q8_rekey"));
+    pipeline->AddOperator(MakeWindowOp(
+        "q8_join", std::make_shared<TumblingWindowAssigner>(params.window_size_ms), nullptr,
+        std::make_shared<NewUserAuctionJoinProcess>()));
+    return Status::Ok();
+  }
+  if (name == "q11") {
+    pipeline->AddOperator(MakeBidRekey("q11_bids", BidKeyField::kBidder));
+    pipeline->AddOperator(MakeWindowOp(
+        "q11_count", std::make_shared<SessionWindowAssigner>(params.session_gap_ms),
+        std::make_shared<CountAggregate>(), nullptr));
+    return Status::Ok();
+  }
+  if (name == "q11-median") {
+    pipeline->AddOperator(MakeBidRekey("q11m_bids", BidKeyField::kBidder));
+    pipeline->AddOperator(MakeWindowOp(
+        "q11m_median", std::make_shared<SessionWindowAssigner>(params.session_gap_ms), nullptr,
+        std::make_shared<MedianPriceProcess>()));
+    return Status::Ok();
+  }
+  if (name == "q12") {
+    pipeline->AddOperator(MakeBidRekey("q12_bids", BidKeyField::kBidder));
+    pipeline->AddOperator(MakeWindowOp("q12_count", std::make_shared<GlobalWindowAssigner>(),
+                                       std::make_shared<CountAggregate>(), nullptr));
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("unknown NEXMark query: " + name);
+}
+
+}  // namespace flowkv

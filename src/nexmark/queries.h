@@ -1,0 +1,41 @@
+// The eight NEXMark queries of the paper's evaluation (§6, "Workload"),
+// expressed as pipeline builders over the mini engine:
+//
+//   q5          RMW + RMW   bids/auction sliding count, then consecutive
+//                           sliding top-auction with incremental aggregation
+//   q5-append   RMW + AAR   same, but the top-auction stage collects the
+//                           full list (no incremental aggregation)
+//   q7          AAR         highest bid per bidder, fixed windows
+//   q7-session  AUR         q7 with session windows
+//   q8          AAR         new users who opened auctions, windowed join
+//   q11         RMW         bids per bidder, session windows
+//   q11-median  AUR         median bid price per bidder, session windows
+//   q12         RMW         bids per bidder, global window
+#ifndef SRC_NEXMARK_QUERIES_H_
+#define SRC_NEXMARK_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/spe/pipeline.h"
+
+namespace flowkv {
+
+struct QueryParams {
+  // Fixed/sliding window length (sliding interval = half, as in §6.1).
+  int64_t window_size_ms = 200'000;
+  // Session gap for q7-session / q11 / q11-median.
+  int64_t session_gap_ms = 1'000;
+};
+
+// All valid query names, in the paper's order.
+const std::vector<std::string>& NexmarkQueryNames();
+
+// Appends the query's operators to `pipeline`. InvalidArgument for unknown
+// names.
+Status BuildNexmarkQuery(const std::string& name, const QueryParams& params,
+                         Pipeline* pipeline);
+
+}  // namespace flowkv
+
+#endif  // SRC_NEXMARK_QUERIES_H_

@@ -1,0 +1,27 @@
+// The unit of data flowing through the engine: a timestamped key-value tuple
+// e = (k, v, t) (paper §2.1). Keys and values are opaque bytes; queries
+// define their own encodings on top.
+#ifndef SRC_SPE_EVENT_H_
+#define SRC_SPE_EVENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace flowkv {
+
+struct Event {
+  std::string key;
+  std::string value;
+  int64_t timestamp = 0;  // event time, milliseconds
+
+  Event() = default;
+  Event(std::string k, std::string v, int64_t t)
+      : key(std::move(k)), value(std::move(v)), timestamp(t) {}
+
+  bool operator==(const Event& other) const = default;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_SPE_EVENT_H_

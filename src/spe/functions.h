@@ -1,0 +1,61 @@
+// User-facing operation interfaces (paper §2.1, §3.1). The aggregate-function
+// interface a window operation implements determines its write pattern:
+//  - AggregateFunction (incremental, associative+commutative)  => RMW
+//  - ProcessWindowFunction (needs the full tuple list at trigger) => Append
+#ifndef SRC_SPE_FUNCTIONS_H_
+#define SRC_SPE_FUNCTIONS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/spe/event.h"
+#include "src/spe/window.h"
+
+namespace flowkv {
+
+// Receives operator output. Implementations must tolerate being called from
+// inside ProcessEvent and OnWatermark.
+class Collector {
+ public:
+  virtual ~Collector() = default;
+  virtual Status Emit(const Event& event) = 0;
+};
+
+// Incremental aggregation over serialized accumulators (Flink's
+// AggregateFunction). Accumulators are opaque bytes defined by the query.
+class AggregateFunction {
+ public:
+  virtual ~AggregateFunction() = default;
+
+  virtual std::string CreateAccumulator() const = 0;
+
+  // Folds one input value into the accumulator.
+  virtual void Add(const Slice& value, std::string* accumulator) const = 0;
+
+  // Produces the window result from the final accumulator.
+  virtual std::string GetResult(const Slice& accumulator) const = 0;
+
+  // Combines two accumulators (required when session windows merge).
+  virtual std::string MergeAccumulators(const Slice& a, const Slice& b) const = 0;
+};
+
+// Full-window processing (Flink's ProcessWindowFunction): receives every
+// tuple collected in the window. Used for non-associative/non-commutative
+// aggregates (median, joins, top-k without incremental form).
+class ProcessWindowFunction {
+ public:
+  virtual ~ProcessWindowFunction() = default;
+
+  using EmitFn = std::function<Status(std::string value)>;
+
+  // `values` is the complete list of tuple values appended to (key, window).
+  virtual Status Process(const Slice& key, const Window& window,
+                         const std::vector<std::string>& values, const EmitFn& emit) const = 0;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_SPE_FUNCTIONS_H_

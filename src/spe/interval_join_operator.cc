@@ -1,0 +1,158 @@
+#include "src/spe/interval_join_operator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/coding.h"
+
+namespace flowkv {
+
+namespace {
+
+// Bucket value encoding: repeated [varsigned timestamp][len-prefixed value].
+void AppendTuple(std::string* bucket, int64_t timestamp, const Slice& value) {
+  PutVarsigned64(bucket, timestamp);
+  PutLengthPrefixed(bucket, value);
+}
+
+bool NextTuple(Slice* input, int64_t* timestamp, Slice* value) {
+  if (input->empty()) {
+    return false;
+  }
+  return GetVarsigned64(input, timestamp) && GetLengthPrefixed(input, value);
+}
+
+Event DefaultJoin(const Event& left, const Event& right) {
+  return Event(left.key, left.value + "|" + right.value,
+               std::max(left.timestamp, right.timestamp));
+}
+
+}  // namespace
+
+IntervalJoinOperator::IntervalJoinOperator(IntervalJoinConfig config)
+    : config_(std::move(config)) {
+  assert(config_.side_of != nullptr);
+  assert(config_.lower_bound_ms <= config_.upper_bound_ms);
+  if (config_.join == nullptr) {
+    config_.join = DefaultJoin;
+  }
+  const int64_t span = config_.upper_bound_ms - config_.lower_bound_ms;
+  bucket_ms_ = config_.bucket_ms > 0 ? config_.bucket_ms : std::max<int64_t>(span, 1);
+  reach_ms_ =
+      std::max(std::abs(config_.lower_bound_ms), std::abs(config_.upper_bound_ms)) + 1;
+}
+
+Status IntervalJoinOperator::Open(StateBackend* backend) {
+  if (backend == nullptr) {
+    return Status::InvalidArgument("interval join requires a state backend");
+  }
+  OperatorStateSpec spec;
+  spec.name = config_.name;
+  spec.window_kind = WindowKind::kCustom;  // buckets are custom windows
+  spec.incremental = true;                 // read-modify-write per tuple
+  return backend->CreateRmw(spec, &state_);
+}
+
+std::string IntervalJoinOperator::SideKey(int side, const Slice& key) const {
+  std::string out;
+  out.reserve(key.size() + 1);
+  out.push_back(static_cast<char>(side));
+  out.append(key.data(), key.size());
+  return out;
+}
+
+Window IntervalJoinOperator::BucketOf(int64_t timestamp) const {
+  int64_t r = timestamp % bucket_ms_;
+  if (r < 0) {
+    r += bucket_ms_;
+  }
+  const int64_t start = timestamp - r;
+  return Window(start, start + bucket_ms_);
+}
+
+Status IntervalJoinOperator::StoreTuple(int side, const Event& event) {
+  const std::string sk = SideKey(side, event.key);
+  const Window bucket = BucketOf(event.timestamp);
+  std::string encoded;
+  Status s = state_->Get(sk, bucket, &encoded);
+  if (!s.ok() && !s.IsNotFound()) {
+    return s;
+  }
+  const bool fresh = s.IsNotFound();
+  AppendTuple(&encoded, event.timestamp, event.value);
+  FLOWKV_RETURN_IF_ERROR(state_->Put(sk, bucket, encoded));
+  if (fresh) {
+    // First tuple in this bucket: schedule its garbage collection for when
+    // no future tuple could join with it any more.
+    Timer timer;
+    timer.time = bucket.max_timestamp() + reach_ms_;
+    timer.key = sk;
+    timer.window = bucket;
+    timer.state_window = bucket;
+    cleanup_timers_.Register(timer);
+  }
+  return Status::Ok();
+}
+
+Status IntervalJoinOperator::Probe(int side, const Event& event, Collector* out) {
+  // For a left tuple at ta, partners live in [ta+lower, ta+upper]; for a
+  // right tuple at tb, partners live in [tb-upper, tb-lower].
+  const int other = 1 - side;
+  const int64_t from = side == 0 ? event.timestamp + config_.lower_bound_ms
+                                 : event.timestamp - config_.upper_bound_ms;
+  const int64_t to = side == 0 ? event.timestamp + config_.upper_bound_ms
+                               : event.timestamp - config_.lower_bound_ms;
+  const std::string other_key = SideKey(other, event.key);
+
+  for (Window bucket = BucketOf(from); bucket.start <= to;
+       bucket = Window(bucket.start + bucket_ms_, bucket.end + bucket_ms_)) {
+    std::string encoded;
+    Status s = state_->Get(other_key, bucket, &encoded);
+    if (s.IsNotFound()) {
+      continue;
+    }
+    FLOWKV_RETURN_IF_ERROR(s);
+    Slice input(encoded);
+    int64_t partner_ts;
+    Slice partner_value;
+    while (NextTuple(&input, &partner_ts, &partner_value)) {
+      const int64_t delta = side == 0 ? partner_ts - event.timestamp
+                                      : event.timestamp - partner_ts;
+      if (delta < config_.lower_bound_ms || delta > config_.upper_bound_ms) {
+        continue;
+      }
+      Event partner(event.key, partner_value.ToString(), partner_ts);
+      const Event& left = side == 0 ? event : partner;
+      const Event& right = side == 0 ? partner : event;
+      FLOWKV_RETURN_IF_ERROR(out->Emit(config_.join(left, right)));
+    }
+  }
+  return Status::Ok();
+}
+
+Status IntervalJoinOperator::ProcessEvent(const Event& event, Collector* out) {
+  const int side = config_.side_of(event);
+  if (side != 0 && side != 1) {
+    return Status::InvalidArgument("side_of must return 0 or 1");
+  }
+  // Probe first, then store: a tuple never joins with itself and pairs are
+  // emitted exactly once (by whichever element arrives second).
+  FLOWKV_RETURN_IF_ERROR(Probe(side, event, out));
+  return StoreTuple(side, event);
+}
+
+Status IntervalJoinOperator::OnWatermark(int64_t watermark, Collector* out) {
+  for (const Timer& timer : cleanup_timers_.PopDue(watermark)) {
+    FLOWKV_RETURN_IF_ERROR(state_->Remove(timer.key, timer.window));
+  }
+  return Status::Ok();
+}
+
+Status IntervalJoinOperator::Finish(Collector* out) {
+  for (const Timer& timer : cleanup_timers_.PopAll()) {
+    FLOWKV_RETURN_IF_ERROR(state_->Remove(timer.key, timer.window));
+  }
+  return Status::Ok();
+}
+
+}  // namespace flowkv

@@ -1,0 +1,77 @@
+// Interval join (paper §8, "Join Operations"): joins two keyed streams A and
+// B, emitting join(a, b) for every pair with the same key whose timestamps
+// satisfy  b.timestamp - a.timestamp ∈ [lower_bound, upper_bound].
+//
+// Unlike the windowed join (NEXMark Q8, which FlowKV supports natively via
+// the AAR pattern), interval joins have per-tuple relative windows. State is
+// kept per (side, key, time-bucket) through the RMW interface: each arriving
+// tuple is appended to its bucket and probes the other side's buckets that
+// could contain partners; buckets are garbage-collected by event-time timers
+// once the watermark passes their reach.
+//
+// Both streams arrive interleaved on one input; `side_of` labels each event
+// (0 = A/left, 1 = B/right). Each pair is emitted exactly once (when its
+// second element arrives).
+#ifndef SRC_SPE_INTERVAL_JOIN_OPERATOR_H_
+#define SRC_SPE_INTERVAL_JOIN_OPERATOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/spe/operator.h"
+#include "src/spe/timer_service.h"
+
+namespace flowkv {
+
+struct IntervalJoinConfig {
+  std::string name;
+
+  // Labels each input event: 0 = left (A), 1 = right (B).
+  std::function<int(const Event&)> side_of;
+
+  // Right-minus-left timestamp bounds, inclusive. lower may be negative
+  // (right tuples slightly before the left one still join).
+  int64_t lower_bound_ms = 0;
+  int64_t upper_bound_ms = 0;
+
+  // State bucket granularity; 0 = derived from the bound span.
+  int64_t bucket_ms = 0;
+
+  // Produces the joined output event; default concatenates the values with
+  // '|' and uses the later timestamp.
+  std::function<Event(const Event& left, const Event& right)> join;
+};
+
+class IntervalJoinOperator : public Operator {
+ public:
+  explicit IntervalJoinOperator(IntervalJoinConfig config);
+
+  const std::string& name() const override { return config_.name; }
+  bool IsStateful() const override { return true; }
+
+  Status Open(StateBackend* backend) override;
+  Status ProcessEvent(const Event& event, Collector* out) override;
+  Status OnWatermark(int64_t watermark, Collector* out) override;
+  Status Finish(Collector* out) override;
+
+ private:
+  // Appends (timestamp, value) to the (side, key) bucket containing ts.
+  Status StoreTuple(int side, const Event& event);
+
+  // Probes the other side's buckets for partners of `event` and emits joins.
+  Status Probe(int side, const Event& event, Collector* out);
+
+  std::string SideKey(int side, const Slice& key) const;
+  Window BucketOf(int64_t timestamp) const;
+
+  IntervalJoinConfig config_;
+  int64_t bucket_ms_ = 1;
+  int64_t reach_ms_ = 0;  // how long a bucket can still find partners
+  std::unique_ptr<RmwState> state_;
+  TimerService cleanup_timers_;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_SPE_INTERVAL_JOIN_OPERATOR_H_

@@ -1,0 +1,90 @@
+#include "src/spe/merging_window_set.h"
+
+#include <algorithm>
+
+namespace flowkv {
+
+MergingWindowSet::MergeResult MergingWindowSet::AddWindow(const Slice& key,
+                                                          const Window& proto) {
+  MergeResult result;
+  auto& actives = actives_[key.ToString()];
+
+  Window merged = proto;
+  std::vector<ActiveWindow> overlapping;
+  std::vector<ActiveWindow> disjoint;
+  for (const auto& active : actives) {
+    if (active.window.Intersects(merged)) {
+      merged = merged.CoveringUnion(active.window);
+      overlapping.push_back(active);
+    } else {
+      disjoint.push_back(active);
+    }
+  }
+  // A freshly-covered active may now touch a previously-disjoint one; iterate
+  // until the union stabilizes.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto it = disjoint.begin(); it != disjoint.end();) {
+      if (it->window.Intersects(merged)) {
+        merged = merged.CoveringUnion(it->window);
+        overlapping.push_back(*it);
+        it = disjoint.erase(it);
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  result.merged = merged;
+  if (overlapping.empty()) {
+    result.state_window = proto;
+  } else {
+    // The earliest existing window keeps the state label; the rest fold in.
+    std::sort(overlapping.begin(), overlapping.end(),
+              [](const ActiveWindow& a, const ActiveWindow& b) {
+                return a.state_window < b.state_window;
+              });
+    result.state_window = overlapping.front().state_window;
+    for (size_t i = 1; i < overlapping.size(); ++i) {
+      result.absorbed_state_windows.push_back(overlapping[i].state_window);
+    }
+    for (const auto& old : overlapping) {
+      result.replaced_windows.push_back(old.window);
+    }
+  }
+
+  disjoint.push_back(ActiveWindow{merged, result.state_window});
+  actives = std::move(disjoint);
+  return result;
+}
+
+void MergingWindowSet::Retire(const Slice& key, const Window& window) {
+  auto it = actives_.find(key.ToString());
+  if (it == actives_.end()) {
+    return;
+  }
+  auto& actives = it->second;
+  actives.erase(std::remove_if(actives.begin(), actives.end(),
+                               [&](const ActiveWindow& a) { return a.window == window; }),
+                actives.end());
+  if (actives.empty()) {
+    actives_.erase(it);
+  }
+}
+
+size_t MergingWindowSet::ActiveCount(const Slice& key) const {
+  auto it = actives_.find(key.ToString());
+  return it == actives_.end() ? 0 : it->second.size();
+}
+
+size_t MergingWindowSet::TotalActive() const {
+  size_t total = 0;
+  for (const auto& [key, actives] : actives_) {
+    total += actives.size();
+  }
+  return total;
+}
+
+}  // namespace flowkv

@@ -1,0 +1,51 @@
+// Tracks active (possibly merging) windows per key, Flink-style. Session
+// assigners produce a proto-window per tuple; AddWindow folds it into the
+// existing actives, reporting which windows merged away (so their timers and
+// state can be cleaned up) and which window carries the state.
+//
+// FlowKV's AUR store keys state by the *initial* window boundary (§4.2): a
+// session that grows keeps its first boundary as the state label. This set
+// maintains exactly that mapping (window -> state_window).
+#ifndef SRC_SPE_MERGING_WINDOW_SET_H_
+#define SRC_SPE_MERGING_WINDOW_SET_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/slice.h"
+#include "src/spe/window.h"
+
+namespace flowkv {
+
+class MergingWindowSet {
+ public:
+  struct ActiveWindow {
+    Window window;        // current (merged) extent
+    Window state_window;  // initial boundary labeling the state
+  };
+
+  struct MergeResult {
+    Window merged;                             // resulting extent
+    Window state_window;                       // where the state lives now
+    std::vector<Window> absorbed_state_windows;  // state labels to fold into state_window
+    std::vector<Window> replaced_windows;      // old extents whose timers die
+  };
+
+  // Folds `proto` into the active set for `key`.
+  MergeResult AddWindow(const Slice& key, const Window& proto);
+
+  // Drops the active window with extent `window` (after it fired).
+  void Retire(const Slice& key, const Window& window);
+
+  // Number of active windows for the key (testing/introspection).
+  size_t ActiveCount(const Slice& key) const;
+  size_t TotalActive() const;
+
+ private:
+  std::unordered_map<std::string, std::vector<ActiveWindow>> actives_;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_SPE_MERGING_WINDOW_SET_H_

@@ -1,0 +1,103 @@
+// Operator interface and the stateless operators (map/filter/flat-map) used
+// to build query pipelines around the stateful window operator.
+#ifndef SRC_SPE_OPERATOR_H_
+#define SRC_SPE_OPERATOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/spe/event.h"
+#include "src/spe/functions.h"
+#include "src/spe/state.h"
+
+namespace flowkv {
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual bool IsStateful() const { return false; }
+
+  // Binds state handles. Called once before any event; `backend` is null for
+  // stateless operators.
+  virtual Status Open(StateBackend* backend) { return Status::Ok(); }
+
+  virtual Status ProcessEvent(const Event& event, Collector* out) = 0;
+
+  // The watermark guarantees no further events with timestamp <= watermark.
+  // Fires due windows; implementations need not forward the watermark (the
+  // pipeline advances every operator in topological order).
+  virtual Status OnWatermark(int64_t watermark, Collector* out) { return Status::Ok(); }
+
+  // End of stream: flush all remaining state.
+  virtual Status Finish(Collector* out) { return Status::Ok(); }
+};
+
+// Emits fn(event) for every input; dropping is expressed by FlatMapOperator.
+class MapOperator : public Operator {
+ public:
+  using Fn = std::function<Event(const Event&)>;
+
+  MapOperator(std::string name, Fn fn) : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  const std::string& name() const override { return name_; }
+  Status ProcessEvent(const Event& event, Collector* out) override {
+    return out->Emit(fn_(event));
+  }
+
+ private:
+  std::string name_;
+  Fn fn_;
+};
+
+// Forwards events satisfying the predicate.
+class FilterOperator : public Operator {
+ public:
+  using Fn = std::function<bool(const Event&)>;
+
+  FilterOperator(std::string name, Fn fn) : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  const std::string& name() const override { return name_; }
+  Status ProcessEvent(const Event& event, Collector* out) override {
+    if (fn_(event)) {
+      return out->Emit(event);
+    }
+    return Status::Ok();
+  }
+
+ private:
+  std::string name_;
+  Fn fn_;
+};
+
+// General 0..n transformation.
+class FlatMapOperator : public Operator {
+ public:
+  using Fn = std::function<void(const Event&, std::vector<Event>*)>;
+
+  FlatMapOperator(std::string name, Fn fn) : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  const std::string& name() const override { return name_; }
+  Status ProcessEvent(const Event& event, Collector* out) override {
+    scratch_.clear();
+    fn_(event, &scratch_);
+    for (const Event& e : scratch_) {
+      FLOWKV_RETURN_IF_ERROR(out->Emit(e));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  std::string name_;
+  Fn fn_;
+  std::vector<Event> scratch_;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_SPE_OPERATOR_H_

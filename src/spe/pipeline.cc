@@ -1,0 +1,71 @@
+#include "src/spe/pipeline.h"
+
+namespace flowkv {
+
+Status Pipeline::Open(StateBackendFactory* factory, int worker, Collector* sink) {
+  if (opened_) {
+    return Status::FailedPrecondition("pipeline already opened");
+  }
+  sink_ = sink;
+  collectors_.clear();
+  backends_.clear();
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    collectors_.push_back(std::make_unique<StageCollector>(this, i + 1));
+    std::unique_ptr<StateBackend> backend;
+    if (ops_[i]->IsStateful()) {
+      if (factory == nullptr) {
+        return Status::InvalidArgument("stateful pipeline requires a backend factory");
+      }
+      FLOWKV_RETURN_IF_ERROR(factory->CreateBackend(worker, ops_[i]->name(), &backend));
+    }
+    FLOWKV_RETURN_IF_ERROR(ops_[i]->Open(backend.get()));
+    backends_.push_back(std::move(backend));
+  }
+  opened_ = true;
+  return Status::Ok();
+}
+
+Status Pipeline::Feed(size_t index, const Event& event) {
+  if (index == ops_.size()) {
+    return sink_->Emit(event);
+  }
+  return ops_[index]->ProcessEvent(event, collectors_[index].get());
+}
+
+Status Pipeline::Process(const Event& event) { return Feed(0, event); }
+
+Status Pipeline::AdvanceWatermark(int64_t watermark) {
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    FLOWKV_RETURN_IF_ERROR(ops_[i]->OnWatermark(watermark, collectors_[i].get()));
+  }
+  return Status::Ok();
+}
+
+Status Pipeline::Finish() {
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    FLOWKV_RETURN_IF_ERROR(ops_[i]->Finish(collectors_[i].get()));
+  }
+  return Status::Ok();
+}
+
+Status Pipeline::Checkpoint(const std::string& checkpoint_dir) const {
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    if (backends_[i] != nullptr) {
+      FLOWKV_RETURN_IF_ERROR(backends_[i]->CheckpointTo(
+          checkpoint_dir + "/op" + std::to_string(i)));
+    }
+  }
+  return Status::Ok();
+}
+
+StoreStats Pipeline::GatherStats() const {
+  StoreStats total;
+  for (const auto& backend : backends_) {
+    if (backend != nullptr) {
+      total.MergeFrom(backend->GatherStats());
+    }
+  }
+  return total;
+}
+
+}  // namespace flowkv

@@ -1,0 +1,69 @@
+// A linear chain of operators with a terminal sink — the physical plan of
+// one worker's share of a query. Watermarks advance operators in topological
+// order so that window results emitted by an upstream fire are processed by
+// downstream operators before their own windows fire (consecutive window
+// operations, e.g. NEXMark Q5).
+#ifndef SRC_SPE_PIPELINE_H_
+#define SRC_SPE_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/spe/operator.h"
+
+namespace flowkv {
+
+class Pipeline {
+ public:
+  Pipeline() = default;
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  void AddOperator(std::unique_ptr<Operator> op) { ops_.push_back(std::move(op)); }
+
+  // Binds every stateful operator to a backend created by `factory` and
+  // wires internal collectors. `sink` receives final outputs and must
+  // outlive the pipeline. Call exactly once before feeding data.
+  Status Open(StateBackendFactory* factory, int worker, Collector* sink);
+
+  Status Process(const Event& event);
+  Status AdvanceWatermark(int64_t watermark);
+  Status Finish();
+
+  // Snapshots the state of every stateful operator into
+  // checkpoint_dir/op<i>/ (paper §8): with FlowKV backends this flushes the
+  // write buffers and copies the on-disk logs, so the directory can be
+  // uploaded to reliable storage asynchronously.
+  Status Checkpoint(const std::string& checkpoint_dir) const;
+
+  // Sums operation stats over all backends of this pipeline.
+  StoreStats GatherStats() const;
+
+  size_t operator_count() const { return ops_.size(); }
+
+ private:
+  // Feeds an event into operator `index` (== ops_.size() routes to the sink).
+  Status Feed(size_t index, const Event& event);
+
+  class StageCollector : public Collector {
+   public:
+    StageCollector(Pipeline* pipeline, size_t next_index)
+        : pipeline_(pipeline), next_index_(next_index) {}
+    Status Emit(const Event& event) override { return pipeline_->Feed(next_index_, event); }
+
+   private:
+    Pipeline* pipeline_;
+    size_t next_index_;
+  };
+
+  std::vector<std::unique_ptr<Operator>> ops_;
+  std::vector<std::unique_ptr<StageCollector>> collectors_;  // one per operator
+  std::vector<std::unique_ptr<StateBackend>> backends_;      // parallel to ops_ (may hold null)
+  Collector* sink_ = nullptr;
+  bool opened_ = false;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_SPE_PIPELINE_H_

@@ -1,0 +1,172 @@
+// Pattern-specific state interfaces — the engine-side mirror of the FlowKV
+// store API (paper Listing 1). Every backend (FlowKV, LSM, hash-log,
+// in-memory) provides these three handles; the window operator picks one
+// according to its store pattern.
+//
+// All handles follow the single-threaded-per-partition contract: one handle
+// instance is only ever used by the physical operator that owns it.
+#ifndef SRC_SPE_STATE_H_
+#define SRC_SPE_STATE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/slice.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/spe/window.h"
+
+namespace flowkv {
+
+// The three data-access patterns of window operations (paper §2.1). Which
+// pattern an operation has follows from its aggregate-function interface and
+// window-function kind (§3.1); custom window functions conservatively map to
+// the Unaligned pattern.
+enum class StorePattern {
+  kAppendAligned,    // AAR
+  kAppendUnaligned,  // AUR
+  kReadModifyWrite,  // RMW
+};
+
+inline const char* StorePatternName(StorePattern p) {
+  switch (p) {
+    case StorePattern::kAppendAligned:
+      return "AAR";
+    case StorePattern::kAppendUnaligned:
+      return "AUR";
+    case StorePattern::kReadModifyWrite:
+      return "RMW";
+  }
+  return "?";
+}
+
+inline StorePattern ClassifyPattern(bool incremental, WindowKind kind,
+                                    ReadAlignmentHint hint = ReadAlignmentHint::kDefault) {
+  if (incremental) {
+    return StorePattern::kReadModifyWrite;
+  }
+  switch (hint) {
+    case ReadAlignmentHint::kAligned:
+      return StorePattern::kAppendAligned;
+    case ReadAlignmentHint::kUnaligned:
+      return StorePattern::kAppendUnaligned;
+    case ReadAlignmentHint::kDefault:
+      break;
+  }
+  return IsAlignedRead(kind) ? StorePattern::kAppendAligned
+                             : StorePattern::kAppendUnaligned;
+}
+
+// One key's tuple list inside a window chunk.
+struct WindowChunkEntry {
+  std::string key;
+  std::vector<std::string> values;
+};
+
+// Append & Aligned Read: all keys of a window are read together when the
+// window triggers.
+class AppendAlignedState {
+ public:
+  virtual ~AppendAlignedState() = default;
+
+  // Appends the KV tuple under its window.
+  virtual Status Append(const Slice& key, const Slice& value, const Window& w) = 0;
+
+  // Fetch-and-remove, chunked ("gradual state loading", §4.1): fills `chunk`
+  // with the next partition of the window's state and sets *done=false, or
+  // sets *done=true when the window is fully drained (chunk left empty).
+  // State read this way is gone from the store afterwards.
+  virtual Status GetWindowChunk(const Window& w, std::vector<WindowChunkEntry>* chunk,
+                                bool* done) = 0;
+};
+
+// Append & Unaligned Read: windows trigger per key at data-dependent times.
+class AppendUnalignedState {
+ public:
+  virtual ~AppendUnalignedState() = default;
+
+  // Appends the KV tuple under (key, window); `timestamp` feeds trigger-time
+  // estimation (FlowKV's predictive batch read).
+  virtual Status Append(const Slice& key, const Slice& value, const Window& w,
+                        int64_t timestamp) = 0;
+
+  // Fetch-and-removes the full tuple list of (key, window).
+  virtual Status Get(const Slice& key, const Window& w, std::vector<std::string>* values) = 0;
+
+  // Moves all state of (key, src) windows into (key, dst); used when session
+  // windows with existing state merge. Timestamps travel with the values.
+  virtual Status MergeWindows(const Slice& key, const std::vector<Window>& sources,
+                              const Window& dst) = 0;
+};
+
+// Read-Modify-Write: incremental aggregates read and written on every tuple.
+class RmwState {
+ public:
+  virtual ~RmwState() = default;
+
+  // Reads the current aggregate of (key, window). NotFound when absent.
+  virtual Status Get(const Slice& key, const Window& w, std::string* accumulator) = 0;
+
+  // Writes back the updated aggregate.
+  virtual Status Put(const Slice& key, const Window& w, const Slice& accumulator) = 0;
+
+  // Drops the aggregate after the final read at trigger time.
+  virtual Status Remove(const Slice& key, const Window& w) = 0;
+};
+
+// Everything a query needs to know to let a backend specialize its stores
+// (FlowKV derives the store pattern and the ETT predictor from this; the
+// baselines ignore most of it — that is the paper's point).
+struct OperatorStateSpec {
+  std::string name;            // unique per logical operator, used for paths
+  WindowKind window_kind = WindowKind::kTumbling;
+  bool incremental = false;    // AggregateFunction (true) vs ProcessWindowFunction
+  int64_t window_size_ms = 0;  // tumbling/sliding length
+  int64_t session_gap_ms = 0;  // session assigners
+  // Annotation for custom window functions (paper §8).
+  ReadAlignmentHint alignment_hint = ReadAlignmentHint::kDefault;
+};
+
+// A state backend instance scoped to one physical operator (one worker's
+// share of one logical operator). Exactly one of the three handle kinds is
+// requested, matching the operator's store pattern.
+class StateBackend {
+ public:
+  virtual ~StateBackend() = default;
+
+  virtual Status CreateAppendAligned(const OperatorStateSpec& spec,
+                                     std::unique_ptr<AppendAlignedState>* out) = 0;
+  virtual Status CreateAppendUnaligned(const OperatorStateSpec& spec,
+                                       std::unique_ptr<AppendUnalignedState>* out) = 0;
+  virtual Status CreateRmw(const OperatorStateSpec& spec, std::unique_ptr<RmwState>* out) = 0;
+
+  // Aggregated operation statistics across every handle this backend created.
+  virtual StoreStats GatherStats() const = 0;
+
+  // Snapshots every store this backend owns into `checkpoint_dir` (paper §8
+  // checkpointing). Backends without snapshot support return Unimplemented.
+  virtual Status CheckpointTo(const std::string& checkpoint_dir) const {
+    return Status::Unimplemented("backend does not support checkpointing");
+  }
+
+  virtual std::string name() const = 0;
+};
+
+// Creates one StateBackend per physical operator instance; implementations
+// live in src/backends.
+class StateBackendFactory {
+ public:
+  virtual ~StateBackendFactory() = default;
+
+  // `worker` and `operator_index` disambiguate on-disk paths.
+  virtual Status CreateBackend(int worker, const std::string& operator_name,
+                               std::unique_ptr<StateBackend>* out) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_SPE_STATE_H_

@@ -1,0 +1,68 @@
+// Event-time timer service: the operator registers (time, key, window)
+// timers; when the watermark advances past a timer's time the window fires.
+// Supports deletion (session windows re-register on every merge) and an
+// optional auxiliary window (the session "state window", which names where
+// the merged window's state actually lives).
+#ifndef SRC_SPE_TIMER_SERVICE_H_
+#define SRC_SPE_TIMER_SERVICE_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/spe/window.h"
+
+namespace flowkv {
+
+struct Timer {
+  int64_t time = 0;
+  std::string key;       // empty for per-window (aligned) timers
+  Window window;         // the (merged) window that fires
+  Window state_window;   // where its state lives (== window unless merged)
+
+  auto Identity() const { return std::tie(time, key, window); }
+  bool operator<(const Timer& other) const { return Identity() < other.Identity(); }
+};
+
+class TimerService {
+ public:
+  // Registers a timer; duplicate (time, key, window) registrations coalesce.
+  void Register(const Timer& timer) { timers_.insert(timer); }
+
+  void Delete(int64_t time, const std::string& key, const Window& window) {
+    Timer probe;
+    probe.time = time;
+    probe.key = key;
+    probe.window = window;
+    timers_.erase(probe);
+  }
+
+  // Pops every timer with time <= watermark, in time order.
+  std::vector<Timer> PopDue(int64_t watermark) {
+    std::vector<Timer> due;
+    auto it = timers_.begin();
+    while (it != timers_.end() && it->time <= watermark) {
+      due.push_back(*it);
+      it = timers_.erase(it);
+    }
+    return due;
+  }
+
+  // Drains everything (end-of-stream flush).
+  std::vector<Timer> PopAll() {
+    std::vector<Timer> all(timers_.begin(), timers_.end());
+    timers_.clear();
+    return all;
+  }
+
+  size_t size() const { return timers_.size(); }
+
+ private:
+  std::set<Timer> timers_;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_SPE_TIMER_SERVICE_H_

@@ -1,0 +1,53 @@
+#include "src/spe/window.h"
+
+#include "src/common/coding.h"
+
+namespace flowkv {
+
+void EncodeWindow(std::string* dst, const Window& w) {
+  PutFixed64(dst, static_cast<uint64_t>(w.start));
+  PutFixed64(dst, static_cast<uint64_t>(w.end));
+}
+
+bool DecodeWindow(Slice* input, Window* w) {
+  uint64_t start, end;
+  if (!GetFixed64(input, &start) || !GetFixed64(input, &end)) {
+    return false;
+  }
+  w->start = static_cast<int64_t>(start);
+  w->end = static_cast<int64_t>(end);
+  return true;
+}
+
+void OrderPreservingEncode64(std::string* dst, int64_t v) {
+  // Flip the sign bit so negative values order before positive, then store
+  // big-endian.
+  uint64_t u = static_cast<uint64_t>(v) ^ (1ULL << 63);
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    dst->push_back(static_cast<char>((u >> shift) & 0xff));
+  }
+}
+
+int64_t OrderPreservingDecode64(const char* src) {
+  uint64_t u = 0;
+  for (int i = 0; i < 8; ++i) {
+    u = (u << 8) | static_cast<uint8_t>(src[i]);
+  }
+  return static_cast<int64_t>(u ^ (1ULL << 63));
+}
+
+bool IsAlignedRead(WindowKind kind) {
+  switch (kind) {
+    case WindowKind::kTumbling:
+    case WindowKind::kSliding:
+    case WindowKind::kGlobal:
+      return true;
+    case WindowKind::kSession:
+    case WindowKind::kCount:
+    case WindowKind::kCustom:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace flowkv

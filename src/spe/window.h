@@ -1,0 +1,235 @@
+// Windows and window assigners (paper §2.1). A window is the half-open
+// event-time interval [start, end); assigners map a tuple timestamp to the
+// set of windows it belongs to. Window functions determine the read
+// alignment: tumbling/sliding are Aligned, session/count are Unaligned,
+// custom assigners are conservatively treated as Unaligned (§3.1).
+#ifndef SRC_SPE_WINDOW_H_
+#define SRC_SPE_WINDOW_H_
+
+#include <cstdint>
+#include <limits>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/common/slice.h"
+
+namespace flowkv {
+
+struct Window {
+  int64_t start = 0;
+  int64_t end = 0;  // exclusive
+
+  Window() = default;
+  Window(int64_t s, int64_t e) : start(s), end(e) {}
+
+  // The single global window used by global window functions (NEXMark Q12).
+  static Window Global() {
+    return Window(std::numeric_limits<int64_t>::min() / 4,
+                  std::numeric_limits<int64_t>::max() / 4);
+  }
+
+  // Latest timestamp that belongs to this window; the event-time timer fires
+  // when the watermark passes this.
+  int64_t max_timestamp() const { return end - 1; }
+
+  bool Intersects(const Window& other) const {
+    return start <= other.end && other.start <= end;
+  }
+
+  Window CoveringUnion(const Window& other) const {
+    return Window(std::min(start, other.start), std::max(end, other.end));
+  }
+
+  bool operator==(const Window& other) const = default;
+  auto operator<=>(const Window& other) const = default;
+
+  std::string ToString() const {
+    return "[" + std::to_string(start) + "," + std::to_string(end) + ")";
+  }
+};
+
+struct WindowHash {
+  size_t operator()(const Window& w) const {
+    return static_cast<size_t>(
+        CombineHash64(static_cast<uint64_t>(w.start), static_cast<uint64_t>(w.end)));
+  }
+};
+
+// Fixed-width on-disk/composite-key encoding (16 bytes, big-endian-free:
+// callers needing sort order use OrderPreservingEncode below).
+void EncodeWindow(std::string* dst, const Window& w);
+bool DecodeWindow(Slice* input, Window* w);
+
+// Big-endian, sign-flipped encoding so lexicographic byte order equals
+// (start, end) numeric order — needed by the LSM backend's window-prefixed
+// composite keys.
+void OrderPreservingEncode64(std::string* dst, int64_t v);
+int64_t OrderPreservingDecode64(const char* src);
+
+enum class WindowKind {
+  kTumbling,
+  kSliding,
+  kSession,
+  kGlobal,
+  kCount,
+  kCustom,
+};
+
+// Read alignment of a window kind (paper §2.1 / §3.1).
+bool IsAlignedRead(WindowKind kind);
+
+// User-supplied access-pattern annotation for custom window functions
+// (paper §8: "@AlignedRead / @UnalignedRead" style hints). kDefault keeps
+// the conservative built-in mapping (custom windows => Unaligned).
+enum class ReadAlignmentHint {
+  kDefault,
+  kAligned,
+  kUnaligned,
+};
+
+class WindowAssigner {
+ public:
+  virtual ~WindowAssigner() = default;
+
+  virtual WindowKind kind() const = 0;
+
+  // Appends the windows containing `timestamp` to `out`. Session assigners
+  // return the single-point proto-window [t, t+gap); the operator merges it
+  // into the active session set.
+  virtual void AssignWindows(int64_t timestamp, std::vector<Window>* out) const = 0;
+
+  // True when windows of this assigner can grow/merge after creation
+  // (session semantics).
+  virtual bool RequiresMerging() const { return false; }
+
+  // Session gap, when meaningful (used by FlowKV's session ETT predictor).
+  virtual int64_t session_gap() const { return 0; }
+
+  // Window length, when meaningful.
+  virtual int64_t size() const { return 0; }
+
+  // Access-pattern annotation; pre-defined assigners use the default mapping,
+  // custom assigners may declare theirs (paper §8).
+  virtual ReadAlignmentHint alignment_hint() const { return ReadAlignmentHint::kDefault; }
+};
+
+// A user-defined window function: windows come from an arbitrary callback.
+// FlowKV cannot see inside it, so without a hint it conservatively gets the
+// Unaligned pattern and no trigger prediction; the user may annotate the
+// read alignment and supply an ETT predictor (via FlowKvStore's predictor
+// override) to recover the specialized behavior (paper §8).
+class CustomWindowAssigner : public WindowAssigner {
+ public:
+  using AssignFn = std::function<void(int64_t timestamp, std::vector<Window>*)>;
+
+  explicit CustomWindowAssigner(AssignFn assign,
+                                ReadAlignmentHint hint = ReadAlignmentHint::kDefault)
+      : assign_(std::move(assign)), hint_(hint) {}
+
+  WindowKind kind() const override { return WindowKind::kCustom; }
+  void AssignWindows(int64_t timestamp, std::vector<Window>* out) const override {
+    assign_(timestamp, out);
+  }
+  ReadAlignmentHint alignment_hint() const override { return hint_; }
+
+ private:
+  AssignFn assign_;
+  ReadAlignmentHint hint_;
+};
+
+class TumblingWindowAssigner : public WindowAssigner {
+ public:
+  explicit TumblingWindowAssigner(int64_t size_ms) : size_(size_ms) {}
+
+  WindowKind kind() const override { return WindowKind::kTumbling; }
+  int64_t size() const override { return size_; }
+
+  void AssignWindows(int64_t timestamp, std::vector<Window>* out) const override {
+    int64_t start = timestamp - Modulo(timestamp, size_);
+    out->emplace_back(start, start + size_);
+  }
+
+ private:
+  static int64_t Modulo(int64_t x, int64_t m) {
+    int64_t r = x % m;
+    return r < 0 ? r + m : r;
+  }
+
+  int64_t size_;
+};
+
+class SlidingWindowAssigner : public WindowAssigner {
+ public:
+  SlidingWindowAssigner(int64_t size_ms, int64_t slide_ms) : size_(size_ms), slide_(slide_ms) {}
+
+  WindowKind kind() const override { return WindowKind::kSliding; }
+  int64_t size() const override { return size_; }
+  int64_t slide() const { return slide_; }
+
+  void AssignWindows(int64_t timestamp, std::vector<Window>* out) const override {
+    // Last window start <= timestamp, then step back by slide while covering.
+    int64_t last_start = timestamp - Modulo(timestamp, slide_);
+    for (int64_t start = last_start; start > timestamp - size_; start -= slide_) {
+      out->emplace_back(start, start + size_);
+    }
+  }
+
+ private:
+  static int64_t Modulo(int64_t x, int64_t m) {
+    int64_t r = x % m;
+    return r < 0 ? r + m : r;
+  }
+
+  int64_t size_;
+  int64_t slide_;
+};
+
+class SessionWindowAssigner : public WindowAssigner {
+ public:
+  explicit SessionWindowAssigner(int64_t gap_ms) : gap_(gap_ms) {}
+
+  WindowKind kind() const override { return WindowKind::kSession; }
+  bool RequiresMerging() const override { return true; }
+  int64_t session_gap() const override { return gap_; }
+
+  void AssignWindows(int64_t timestamp, std::vector<Window>* out) const override {
+    out->emplace_back(timestamp, timestamp + gap_);
+  }
+
+ private:
+  int64_t gap_;
+};
+
+class GlobalWindowAssigner : public WindowAssigner {
+ public:
+  WindowKind kind() const override { return WindowKind::kGlobal; }
+
+  void AssignWindows(int64_t timestamp, std::vector<Window>* out) const override {
+    out->push_back(Window::Global());
+  }
+};
+
+// Count windows live in "count space": the operator tracks a per-key element
+// counter and maps element n to window [i*count, (i+1)*count). Trigger time
+// is data-dependent, hence Unaligned and unpredictable for prefetching.
+class CountWindowAssigner : public WindowAssigner {
+ public:
+  explicit CountWindowAssigner(int64_t count) : count_(count) {}
+
+  WindowKind kind() const override { return WindowKind::kCount; }
+  int64_t size() const override { return count_; }
+
+  void AssignWindows(int64_t timestamp, std::vector<Window>* out) const override {
+    // Not timestamp-driven; the operator assigns count windows itself.
+  }
+
+ private:
+  int64_t count_;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_SPE_WINDOW_H_

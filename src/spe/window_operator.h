@@ -1,0 +1,94 @@
+// The stateful window operator: assigns tuples to windows, maintains window
+// state through one of the three pattern-specific state handles, registers
+// event-time timers, and fires windows when the watermark passes their end.
+//
+// Pattern selection (paper §3.1): an incremental AggregateFunction means RMW;
+// a ProcessWindowFunction means Append, split into Aligned/Unaligned by the
+// window assigner's read alignment.
+#ifndef SRC_SPE_WINDOW_OPERATOR_H_
+#define SRC_SPE_WINDOW_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/spe/merging_window_set.h"
+#include "src/spe/operator.h"
+#include "src/spe/timer_service.h"
+
+namespace flowkv {
+
+struct WindowOperatorConfig {
+  std::string name;
+  std::shared_ptr<WindowAssigner> assigner;
+  // Exactly one of the two must be set.
+  std::shared_ptr<AggregateFunction> aggregate;
+  std::shared_ptr<ProcessWindowFunction> process;
+  // Out-of-order tolerance: an event is late (and dropped) once the
+  // watermark has passed every window it could belong to plus this slack.
+  int64_t allowed_lateness_ms = 0;
+};
+
+class WindowOperator : public Operator {
+ public:
+  explicit WindowOperator(WindowOperatorConfig config);
+
+  const std::string& name() const override { return config_.name; }
+  bool IsStateful() const override { return true; }
+
+  StorePattern pattern() const { return pattern_; }
+  OperatorStateSpec state_spec() const;
+
+  Status Open(StateBackend* backend) override;
+  Status ProcessEvent(const Event& event, Collector* out) override;
+  Status OnWatermark(int64_t watermark, Collector* out) override;
+  Status Finish(Collector* out) override;
+
+  // Events dropped because their windows had already fired (late data).
+  int64_t late_events_dropped() const { return late_events_dropped_; }
+
+ private:
+  // Per-pattern element handling.
+  Status ProcessRmw(const Event& event, Collector* out);
+  Status ProcessAppendAligned(const Event& event);
+  Status ProcessAppendUnaligned(const Event& event, Collector* out);
+
+  // Window assignment for count windows (per-key element counters).
+  Window AssignCountWindow(const Slice& key, bool* window_complete);
+
+  // Session bookkeeping shared by the RMW and AUR paths. Fills the merge
+  // result, fixes up timers, and (for RMW) folds absorbed accumulators.
+  Status MergeSessionWindows(const Event& event, MergingWindowSet::MergeResult* merge);
+
+  Status FireTimer(const Timer& timer, Collector* out);
+  Status FireAligned(const Window& w, Collector* out);
+  Status FireUnaligned(const Slice& key, const Window& window, const Window& state_window,
+                       Collector* out);
+  Status FireRmw(const Slice& key, const Window& state_window, const Window& result_window,
+                 Collector* out);
+
+  Status EmitProcessed(const Slice& key, const Window& window,
+                       const std::vector<std::string>& values, Collector* out);
+
+  WindowOperatorConfig config_;
+  StorePattern pattern_;
+
+  std::unique_ptr<AppendAlignedState> aar_;
+  std::unique_ptr<AppendUnalignedState> aur_;
+  std::unique_ptr<RmwState> rmw_;
+
+  // True when every window of the event has already been fired and dropped.
+  bool IsLate(const Event& event) const;
+
+  TimerService timers_;
+  MergingWindowSet merging_windows_;
+  int64_t current_watermark_ = INT64_MIN;
+  int64_t late_events_dropped_ = 0;
+  std::unordered_map<std::string, int64_t> count_window_counters_;
+  std::vector<Window> window_scratch_;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_SPE_WINDOW_OPERATOR_H_

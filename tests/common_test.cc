@@ -1,0 +1,376 @@
+// Unit tests for the foundation library: coding, hashing, slices, status,
+// filesystem env, file wrappers, histogram, LRU cache, arena, RNG.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/arena.h"
+#include "src/common/coding.h"
+#include "src/common/env.h"
+#include "src/common/file.h"
+#include "src/common/hash.h"
+#include "src/common/histogram.h"
+#include "src/common/lru_cache.h"
+#include "src/common/random.h"
+#include "src/common/slice.h"
+#include "src/common/status.h"
+
+namespace flowkv {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  Status s = Status::NotFound("missing key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.ToString(), "NotFound: missing key");
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto fails = [] { return Status::InvalidArgument("bad"); };
+  auto wrapper = [&]() -> Status {
+    FLOWKV_RETURN_IF_ERROR(fails());
+    return Status::Ok();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SliceTest, BasicOps) {
+  Slice s("hello");
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s[1], 'e');
+  EXPECT_TRUE(s.StartsWith("he"));
+  EXPECT_FALSE(s.StartsWith("eh"));
+  s.RemovePrefix(2);
+  EXPECT_EQ(s.ToString(), "llo");
+}
+
+TEST(SliceTest, Compare) {
+  EXPECT_LT(Slice("abc").Compare("abd"), 0);
+  EXPECT_GT(Slice("abd").Compare("abc"), 0);
+  EXPECT_EQ(Slice("abc").Compare("abc"), 0);
+  EXPECT_LT(Slice("ab").Compare("abc"), 0);  // prefix orders first
+  EXPECT_TRUE(Slice("x") == Slice("x"));
+  EXPECT_TRUE(Slice("x") != Slice("y"));
+}
+
+TEST(CodingTest, FixedRoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xdeadbeef);
+  PutFixed64(&buf, 0x0123456789abcdefULL);
+  Slice input(buf);
+  uint32_t v32;
+  uint64_t v64;
+  ASSERT_TRUE(GetFixed32(&input, &v32));
+  ASSERT_TRUE(GetFixed64(&input, &v64));
+  EXPECT_EQ(v32, 0xdeadbeefu);
+  EXPECT_EQ(v64, 0x0123456789abcdefULL);
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(CodingTest, VarintRoundTripBoundaries) {
+  std::vector<uint64_t> cases = {0, 1, 127, 128, 16383, 16384, (1ULL << 32) - 1, 1ULL << 32,
+                                 UINT64_MAX};
+  std::string buf;
+  for (uint64_t v : cases) {
+    PutVarint64(&buf, v);
+  }
+  Slice input(buf);
+  for (uint64_t expected : cases) {
+    uint64_t v;
+    ASSERT_TRUE(GetVarint64(&input, &v));
+    EXPECT_EQ(v, expected);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(CodingTest, VarintLengthMatchesEncoding) {
+  for (uint64_t v : std::vector<uint64_t>{0, 127, 128, 1ULL << 42, UINT64_MAX}) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(static_cast<int>(buf.size()), VarintLength(v));
+  }
+}
+
+TEST(CodingTest, TruncatedVarintFails) {
+  std::string buf;
+  PutVarint64(&buf, UINT64_MAX);
+  buf.pop_back();
+  Slice input(buf);
+  uint64_t v;
+  EXPECT_FALSE(GetVarint64(&input, &v));
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "alpha");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'z'));
+  Slice input(buf);
+  Slice a, b, c;
+  ASSERT_TRUE(GetLengthPrefixed(&input, &a));
+  ASSERT_TRUE(GetLengthPrefixed(&input, &b));
+  ASSERT_TRUE(GetLengthPrefixed(&input, &c));
+  EXPECT_EQ(a.ToString(), "alpha");
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(c.size(), 1000u);
+}
+
+TEST(CodingTest, SignedZigzag) {
+  for (int64_t v : std::vector<int64_t>{0, 1, -1, 123456789, -123456789, INT64_MAX,
+                                        INT64_MIN}) {
+    std::string buf;
+    PutVarsigned64(&buf, v);
+    Slice input(buf);
+    int64_t decoded;
+    ASSERT_TRUE(GetVarsigned64(&input, &decoded));
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+TEST(HashTest, DeterministicAndSpread) {
+  EXPECT_EQ(Hash64("abc", 3), Hash64("abc", 3));
+  EXPECT_NE(Hash64("abc", 3), Hash64("abd", 3));
+  EXPECT_NE(Hash64("abc", 3), Hash64("abc", 3, /*seed=*/99));
+  // Buckets of sequential keys should spread widely.
+  std::set<uint64_t> buckets;
+  for (int i = 0; i < 1000; ++i) {
+    std::string key = "key" + std::to_string(i);
+    buckets.insert(Hash64(key.data(), key.size()) % 64);
+  }
+  EXPECT_EQ(buckets.size(), 64u);
+}
+
+TEST(HashTest, ChecksumDetectsFlips) {
+  std::string data(100, 'a');
+  uint32_t base = Checksum32(data.data(), data.size());
+  data[50] = 'b';
+  EXPECT_NE(base, Checksum32(data.data(), data.size()));
+}
+
+TEST(EnvTest, CreateListRemove) {
+  std::string dir = MakeTempDir("env_test");
+  EXPECT_TRUE(FileExists(dir));
+  ASSERT_TRUE(CreateDirs(JoinPath(dir, "a/b/c")).ok());
+  ASSERT_TRUE(WriteStringToFile(JoinPath(dir, "a/file.txt"), "hi").ok());
+  std::vector<std::string> names;
+  ASSERT_TRUE(ListDir(JoinPath(dir, "a"), &names).ok());
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names.size(), 2u);
+  uint64_t size;
+  ASSERT_TRUE(GetFileSize(JoinPath(dir, "a/file.txt"), &size).ok());
+  EXPECT_EQ(size, 2u);
+  ASSERT_TRUE(RemoveDirRecursively(dir).ok());
+  EXPECT_FALSE(FileExists(dir));
+}
+
+TEST(FileTest, AppendAndReadBack) {
+  std::string dir = MakeTempDir("file_test");
+  std::string path = JoinPath(dir, "log");
+  IoStats stats;
+  std::unique_ptr<AppendFile> out;
+  ASSERT_TRUE(AppendFile::Open(path, false, &out, &stats).ok());
+  ASSERT_TRUE(out->Append("hello ").ok());
+  ASSERT_TRUE(out->Append("world").ok());
+  EXPECT_EQ(out->size(), 11u);
+  ASSERT_TRUE(out->Sync().ok());
+  ASSERT_TRUE(out->Close().ok());
+  EXPECT_GT(stats.bytes_written, 0);
+
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(path, &contents).ok());
+  EXPECT_EQ(contents, "hello world");
+
+  std::unique_ptr<RandomAccessFile> in;
+  ASSERT_TRUE(RandomAccessFile::Open(path, &in, &stats).ok());
+  char scratch[16];
+  Slice got;
+  ASSERT_TRUE(in->Read(6, 5, &got, scratch).ok());
+  EXPECT_EQ(got.ToString(), "world");
+  EXPECT_FALSE(in->Read(8, 10, &got, scratch).ok());  // beyond EOF
+  RemoveDirRecursively(dir);
+}
+
+TEST(FileTest, ReopenAppends) {
+  std::string dir = MakeTempDir("file_test");
+  std::string path = JoinPath(dir, "log");
+  {
+    std::unique_ptr<AppendFile> out;
+    ASSERT_TRUE(AppendFile::Open(path, false, &out).ok());
+    ASSERT_TRUE(out->Append("abc").ok());
+  }
+  {
+    std::unique_ptr<AppendFile> out;
+    ASSERT_TRUE(AppendFile::Open(path, /*reopen=*/true, &out).ok());
+    EXPECT_EQ(out->size(), 3u);
+    ASSERT_TRUE(out->Append("def").ok());
+  }
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(path, &contents).ok());
+  EXPECT_EQ(contents, "abcdef");
+  RemoveDirRecursively(dir);
+}
+
+TEST(FileTest, LargeWritesBypassBuffer) {
+  std::string dir = MakeTempDir("file_test");
+  std::string path = JoinPath(dir, "log");
+  std::unique_ptr<AppendFile> out;
+  ASSERT_TRUE(AppendFile::Open(path, false, &out).ok());
+  std::string big(300 * 1024, 'x');
+  ASSERT_TRUE(out->Append("pre").ok());
+  ASSERT_TRUE(out->Append(big).ok());
+  ASSERT_TRUE(out->Append("post").ok());
+  ASSERT_TRUE(out->Close().ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(path, &contents).ok());
+  EXPECT_EQ(contents.size(), big.size() + 7);
+  EXPECT_EQ(contents.substr(0, 3), "pre");
+  EXPECT_EQ(contents.substr(contents.size() - 4), "post");
+  RemoveDirRecursively(dir);
+}
+
+TEST(FileTest, ZeroCopyTransferMovesRange) {
+  std::string dir = MakeTempDir("file_test");
+  std::string src = JoinPath(dir, "src");
+  std::string dst_path = JoinPath(dir, "dst");
+  ASSERT_TRUE(WriteStringToFile(src, "0123456789abcdef").ok());
+  std::unique_ptr<AppendFile> dst;
+  ASSERT_TRUE(AppendFile::Open(dst_path, false, &dst).ok());
+  ASSERT_TRUE(dst->Append("HEAD:").ok());
+  ASSERT_TRUE(ZeroCopyTransfer(src, 4, 8, dst.get()).ok());
+  EXPECT_EQ(dst->size(), 13u);  // logical size stays accurate
+  ASSERT_TRUE(dst->Close().ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(dst_path, &contents).ok());
+  EXPECT_EQ(contents, "HEAD:456789ab");
+  RemoveDirRecursively(dir);
+}
+
+TEST(FileTest, ZeroCopyTransferRejectsBeyondEof) {
+  std::string dir = MakeTempDir("file_test");
+  std::string src = JoinPath(dir, "src");
+  ASSERT_TRUE(WriteStringToFile(src, "short").ok());
+  std::unique_ptr<AppendFile> dst;
+  ASSERT_TRUE(AppendFile::Open(JoinPath(dir, "dst"), false, &dst).ok());
+  EXPECT_FALSE(ZeroCopyTransfer(src, 2, 100, dst.get()).ok());
+  RemoveDirRecursively(dir);
+}
+
+TEST(HistogramTest, PercentilesOrdered) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) {
+    h.Add(i);
+  }
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_NEAR(h.Mean(), 500.5, 1.0);
+  EXPECT_NEAR(h.Percentile(50), 500, 30);
+  EXPECT_NEAR(h.Percentile(95), 950, 60);
+  EXPECT_LE(h.Percentile(50), h.Percentile(95));
+  EXPECT_LE(h.Percentile(95), h.Percentile(99));
+  EXPECT_LE(h.Percentile(99), h.max());
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) {
+    a.Add(10);
+    b.Add(1000);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_LT(a.Percentile(25), 100);
+  EXPECT_GT(a.Percentile(75), 500);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache cache(3 * (1 + 1 + 64) + 10);  // fits ~3 single-char entries
+  auto value = [](const char* s) { return std::make_shared<const std::string>(s); };
+  cache.Insert("a", value("1"));
+  cache.Insert("b", value("2"));
+  cache.Insert("c", value("3"));
+  ASSERT_NE(cache.Lookup("a"), nullptr);  // promote a
+  cache.Insert("d", value("4"));          // evicts b
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_NE(cache.Lookup("d"), nullptr);
+}
+
+TEST(LruCacheTest, EraseAndUsage) {
+  LruCache cache(10000);
+  cache.Insert("k", std::make_shared<const std::string>("vvvv"));
+  EXPECT_GT(cache.usage(), 0u);
+  cache.Erase("k");
+  EXPECT_EQ(cache.usage(), 0u);
+  EXPECT_EQ(cache.Lookup("k"), nullptr);
+}
+
+TEST(ShardedLruCacheTest, BasicRoundTrip) {
+  ShardedLruCache cache(1 << 20);
+  cache.Insert("key1", std::make_shared<const std::string>("value1"));
+  auto got = cache.Lookup("key1");
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, "value1");
+  cache.Erase("key1");
+  EXPECT_EQ(cache.Lookup("key1"), nullptr);
+}
+
+TEST(ArenaTest, AllocationsAreDistinctAndUsable) {
+  Arena arena;
+  char* a = arena.Allocate(100);
+  char* b = arena.Allocate(100);
+  EXPECT_NE(a, b);
+  std::memset(a, 1, 100);
+  std::memset(b, 2, 100);
+  EXPECT_EQ(a[99], 1);
+  EXPECT_EQ(b[0], 2);
+  char* big = arena.Allocate(1 << 20);
+  std::memset(big, 3, 1 << 20);
+  EXPECT_GE(arena.MemoryUsage(), (1u << 20) + 200);
+}
+
+TEST(RandomTest, DeterministicPerSeed) {
+  Random a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random r(1);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = r.Uniform(10);
+    EXPECT_LT(v, 10u);
+    int64_t x = r.Range(-5, 5);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 5);
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, ZipfIsSkewed) {
+  ZipfGenerator zipf(1000, 0.9, 3);
+  int head = 0;
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = zipf.Next();
+    EXPECT_LT(v, 1000u);
+    if (v < 10) {
+      ++head;
+    }
+  }
+  // Top-1% of keys should draw far more than 1% of samples.
+  EXPECT_GT(head, 1500);
+}
+
+}  // namespace
+}  // namespace flowkv

@@ -1,0 +1,234 @@
+// Checkpoint/restore tests (paper §8 fault tolerance): a snapshot taken with
+// CheckpointTo and reopened with RestoreFrom must behave exactly like the
+// original store — same data, same fetch-and-remove semantics, same ETT
+// metadata (AUR prefetching still works after restore).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/env.h"
+#include "src/flowkv/aar_store.h"
+#include "src/flowkv/aur_store.h"
+#include "src/flowkv/flowkv_store.h"
+#include "src/flowkv/rmw_store.h"
+#include "src/backends/flowkv_backend.h"
+#include "src/backends/memory_backend.h"
+#include "src/nexmark/aggregates.h"
+#include "src/spe/pipeline.h"
+#include "src/spe/window_operator.h"
+
+namespace flowkv {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = MakeTempDir("ckpt_src");
+    ckpt_ = MakeTempDir("ckpt_snap");
+    restored_ = MakeTempDir("ckpt_dst");
+  }
+  void TearDown() override {
+    RemoveDirRecursively(dir_);
+    RemoveDirRecursively(ckpt_);
+    RemoveDirRecursively(restored_);
+  }
+
+  std::string dir_, ckpt_, restored_;
+};
+
+TEST_F(CheckpointTest, RmwRoundTrip) {
+  FlowKvOptions options;
+  options.write_buffer_bytes = 512;  // force some state onto disk
+  std::unique_ptr<RmwStore> store;
+  ASSERT_TRUE(RmwStore::Open(dir_, options, &store).ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(store->Put("k" + std::to_string(i), Window(0, 100),
+                           "acc" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(store->Remove("k0", Window(0, 100)).ok());
+  ASSERT_TRUE(store->CheckpointTo(ckpt_).ok());
+
+  // Post-checkpoint mutations must NOT appear in the restored store.
+  ASSERT_TRUE(store->Put("k1", Window(0, 100), "mutated-after").ok());
+
+  std::unique_ptr<RmwStore> restored;
+  ASSERT_TRUE(RmwStore::RestoreFrom(ckpt_, restored_, options, &restored).ok());
+  std::string acc;
+  EXPECT_TRUE(restored->Get("k0", Window(0, 100), &acc).IsNotFound());
+  ASSERT_TRUE(restored->Get("k1", Window(0, 100), &acc).ok());
+  EXPECT_EQ(acc, "acc1");  // snapshot isolation
+  for (int i = 2; i < 200; ++i) {
+    ASSERT_TRUE(restored->Get("k" + std::to_string(i), Window(0, 100), &acc).ok()) << i;
+    EXPECT_EQ(acc, "acc" + std::to_string(i));
+  }
+  // The restored store is fully writable.
+  ASSERT_TRUE(restored->Put("new", Window(0, 100), "x").ok());
+  ASSERT_TRUE(restored->Get("new", Window(0, 100), &acc).ok());
+}
+
+TEST_F(CheckpointTest, AurRoundTripKeepsEttMetadata) {
+  FlowKvOptions options;
+  options.write_buffer_bytes = 1;  // everything flushes
+  options.read_batch_ratio = 0.5;
+  std::unique_ptr<AurStore> store;
+  ASSERT_TRUE(
+      AurStore::Open(dir_, options, std::make_unique<SessionEttPredictor>(100), &store).ok());
+  for (int i = 0; i < 50; ++i) {
+    Window w(i * 1000, i * 1000 + 100);
+    ASSERT_TRUE(store->Append("k" + std::to_string(i), "v" + std::to_string(i), w,
+                              i * 1000).ok());
+  }
+  // Consume a few so the snapshot compacts their segments away.
+  std::vector<std::string> values;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store->Get("k" + std::to_string(i), Window(i * 1000, i * 1000 + 100),
+                           &values).ok());
+  }
+  ASSERT_TRUE(store->CheckpointTo(ckpt_).ok());
+
+  std::unique_ptr<AurStore> restored;
+  ASSERT_TRUE(AurStore::RestoreFrom(ckpt_, restored_, options,
+                                    std::make_unique<SessionEttPredictor>(100), &restored)
+                  .ok());
+  // Consumed windows stay consumed; survivors are intact.
+  EXPECT_TRUE(restored->Get("k3", Window(3000, 3100), &values).IsNotFound());
+  ASSERT_TRUE(restored->Get("k10", Window(10000, 10100), &values).ok());
+  EXPECT_EQ(values, (std::vector<std::string>{"v10"}));
+  // ETT metadata survived: reading the next window by trigger order batches
+  // the following ones into the prefetch buffer.
+  ASSERT_TRUE(restored->Get("k11", Window(11000, 11100), &values).ok());
+  EXPECT_GT(restored->PrefetchBufferEntries(), 0u);
+  // And the restored store keeps accepting appends + reads.
+  ASSERT_TRUE(restored->Append("fresh", "x", Window(0, 100), 5).ok());
+  ASSERT_TRUE(restored->Get("fresh", Window(0, 100), &values).ok());
+}
+
+TEST_F(CheckpointTest, AarRoundTrip) {
+  FlowKvOptions options;
+  options.write_buffer_bytes = 256;
+  std::unique_ptr<AarStore> store;
+  ASSERT_TRUE(AarStore::Open(dir_, options, &store).ok());
+  Window w1(0, 100), w2(100, 200);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store->Append("k" + std::to_string(i % 7), "w1-" + std::to_string(i), w1).ok());
+    ASSERT_TRUE(store->Append("k" + std::to_string(i % 7), "w2-" + std::to_string(i), w2).ok());
+  }
+  ASSERT_TRUE(store->CheckpointTo(ckpt_).ok());
+
+  std::unique_ptr<AarStore> restored;
+  ASSERT_TRUE(AarStore::RestoreFrom(ckpt_, restored_, options, &restored).ok());
+  int total = 0;
+  while (true) {
+    std::vector<WindowChunkEntry> chunk;
+    bool done = false;
+    ASSERT_TRUE(restored->GetWindowChunk(w1, &chunk, &done).ok());
+    if (done) {
+      break;
+    }
+    for (const auto& entry : chunk) {
+      total += static_cast<int>(entry.values.size());
+    }
+  }
+  EXPECT_EQ(total, 100);
+}
+
+TEST_F(CheckpointTest, CompositeRoundTripAndPatternGuard) {
+  OperatorStateSpec spec;
+  spec.name = "op";
+  spec.window_kind = WindowKind::kTumbling;
+  spec.incremental = true;
+  FlowKvOptions options;
+  options.num_partitions = 3;
+  std::unique_ptr<FlowKvStore> store;
+  ASSERT_TRUE(FlowKvStore::Open(dir_, options, spec, &store).ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store->Put("key" + std::to_string(i), Window(0, 100),
+                           std::to_string(i * 3)).ok());
+  }
+  ASSERT_TRUE(store->CheckpointTo(ckpt_).ok());
+
+  // Restoring under a different pattern must be rejected.
+  OperatorStateSpec wrong = spec;
+  wrong.incremental = false;
+  std::unique_ptr<FlowKvStore> bad;
+  EXPECT_FALSE(FlowKvStore::RestoreFrom(ckpt_, MakeTempDir("ckpt_bad"), options, wrong,
+                                        &bad).ok());
+
+  std::unique_ptr<FlowKvStore> restored;
+  ASSERT_TRUE(FlowKvStore::RestoreFrom(ckpt_, restored_, options, spec, &restored).ok());
+  EXPECT_EQ(restored->num_partitions(), 3);
+  std::string acc;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(restored->Get("key" + std::to_string(i), Window(0, 100), &acc).ok()) << i;
+    EXPECT_EQ(acc, std::to_string(i * 3));
+  }
+}
+
+TEST_F(CheckpointTest, RepeatedCheckpointsAreIndependent) {
+  FlowKvOptions options;
+  std::unique_ptr<RmwStore> store;
+  ASSERT_TRUE(RmwStore::Open(dir_, options, &store).ok());
+  ASSERT_TRUE(store->Put("k", Window(0, 100), "v1").ok());
+  ASSERT_TRUE(store->CheckpointTo(ckpt_).ok());
+  ASSERT_TRUE(store->Put("k", Window(0, 100), "v2").ok());
+  const std::string ckpt2 = MakeTempDir("ckpt_snap2");
+  ASSERT_TRUE(store->CheckpointTo(ckpt2).ok());
+
+  std::unique_ptr<RmwStore> r1, r2;
+  ASSERT_TRUE(RmwStore::RestoreFrom(ckpt_, restored_, options, &r1).ok());
+  const std::string restored2 = MakeTempDir("ckpt_dst2");
+  ASSERT_TRUE(RmwStore::RestoreFrom(ckpt2, restored2, options, &r2).ok());
+  std::string acc;
+  ASSERT_TRUE(r1->Get("k", Window(0, 100), &acc).ok());
+  EXPECT_EQ(acc, "v1");
+  ASSERT_TRUE(r2->Get("k", Window(0, 100), &acc).ok());
+  EXPECT_EQ(acc, "v2");
+  RemoveDirRecursively(ckpt2);
+  RemoveDirRecursively(restored2);
+}
+
+TEST_F(CheckpointTest, PipelineCheckpointSnapshotsEveryOperator) {
+  FlowKvOptions options;
+  options.write_buffer_bytes = 1024;
+  FlowKvBackendFactory factory(dir_, options);
+  Pipeline pipeline;
+  WindowOperatorConfig config;
+  config.name = "count";
+  config.assigner = std::make_shared<TumblingWindowAssigner>(1'000'000);
+  config.aggregate = std::make_shared<CountAggregate>();
+  pipeline.AddOperator(std::make_unique<WindowOperator>(std::move(config)));
+
+  class NullSink : public Collector {
+   public:
+    Status Emit(const Event&) override { return Status::Ok(); }
+  } sink;
+  ASSERT_TRUE(pipeline.Open(&factory, 0, &sink).ok());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(pipeline.Process(Event("k" + std::to_string(i % 40), "x", i)).ok());
+  }
+  ASSERT_TRUE(pipeline.Checkpoint(ckpt_).ok());
+  // The checkpoint holds one FlowKV snapshot per stateful operator handle,
+  // restorable through the store-level API.
+  std::unique_ptr<FlowKvStore> restored;
+  OperatorStateSpec spec;
+  spec.name = "count";
+  spec.window_kind = WindowKind::kTumbling;
+  spec.incremental = true;
+  ASSERT_TRUE(FlowKvStore::RestoreFrom(JoinPath(ckpt_, "op0/h0"), restored_, options, spec,
+                                       &restored)
+                  .ok());
+  std::string acc;
+  ASSERT_TRUE(restored->Get("k0", Window(0, 1'000'000), &acc).ok());
+}
+
+TEST_F(CheckpointTest, MemoryBackendReportsUnimplemented) {
+  MemoryBackendFactory factory;
+  std::unique_ptr<StateBackend> backend;
+  ASSERT_TRUE(factory.CreateBackend(0, "op", &backend).ok());
+  EXPECT_EQ(backend->CheckpointTo(ckpt_).code(), StatusCode::kUnimplemented);
+}
+
+}  // namespace
+}  // namespace flowkv

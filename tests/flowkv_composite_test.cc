@@ -1,0 +1,173 @@
+// Composite FlowKvStore tests (paper §3): pattern determination at launch,
+// m-way key partitioning, cross-partition aligned reads, API guards.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/env.h"
+#include "src/flowkv/flowkv_store.h"
+
+namespace flowkv {
+namespace {
+
+class FlowKvStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = MakeTempDir("flowkv_test"); }
+  void TearDown() override { RemoveDirRecursively(dir_); }
+
+  OperatorStateSpec Spec(WindowKind kind, bool incremental) {
+    OperatorStateSpec spec;
+    spec.name = "op";
+    spec.window_kind = kind;
+    spec.incremental = incremental;
+    spec.session_gap_ms = 50;
+    spec.window_size_ms = 100;
+    return spec;
+  }
+
+  std::unique_ptr<FlowKvStore> OpenStore(WindowKind kind, bool incremental,
+                                         FlowKvOptions options = {}) {
+    std::unique_ptr<FlowKvStore> store;
+    Status s = FlowKvStore::Open(dir_, options, Spec(kind, incremental), &store);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return store;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(FlowKvStoreTest, PatternDeterminationAtLaunch) {
+  EXPECT_EQ(OpenStore(WindowKind::kTumbling, true)->pattern(),
+            StorePattern::kReadModifyWrite);
+  RemoveDirRecursively(dir_);
+  dir_ = MakeTempDir("flowkv_test");
+  EXPECT_EQ(OpenStore(WindowKind::kTumbling, false)->pattern(),
+            StorePattern::kAppendAligned);
+  RemoveDirRecursively(dir_);
+  dir_ = MakeTempDir("flowkv_test");
+  EXPECT_EQ(OpenStore(WindowKind::kSession, false)->pattern(),
+            StorePattern::kAppendUnaligned);
+}
+
+TEST_F(FlowKvStoreTest, WrongPatternApiIsRejected) {
+  auto store = OpenStore(WindowKind::kTumbling, true);  // RMW
+  EXPECT_FALSE(store->Append("k", "v", Window(0, 100)).ok());
+  std::vector<std::string> values;
+  EXPECT_FALSE(store->Get("k", Window(0, 100), &values).ok());
+  std::vector<WindowChunkEntry> chunk;
+  bool done;
+  EXPECT_FALSE(store->GetWindowChunk(Window(0, 100), &chunk, &done).ok());
+}
+
+TEST_F(FlowKvStoreTest, DeploysConfiguredPartitionCount) {
+  FlowKvOptions options;
+  options.num_partitions = 4;
+  auto store = OpenStore(WindowKind::kSession, false, options);
+  EXPECT_EQ(store->num_partitions(), 4);
+  std::vector<std::string> names;
+  ASSERT_TRUE(ListDir(dir_, &names).ok());
+  EXPECT_EQ(names.size(), 4u);  // p0..p3
+}
+
+TEST_F(FlowKvStoreTest, AlignedReadDrainsAllPartitions) {
+  FlowKvOptions options;
+  options.num_partitions = 3;
+  auto store = OpenStore(WindowKind::kTumbling, false, options);
+  Window w(0, 100);
+  std::map<std::string, int> expected;
+  for (int i = 0; i < 100; ++i) {
+    std::string key = "key" + std::to_string(i);  // spreads across partitions
+    ASSERT_TRUE(store->Append(key, "v", w).ok());
+    expected[key]++;
+  }
+  std::map<std::string, int> seen;
+  while (true) {
+    std::vector<WindowChunkEntry> chunk;
+    bool done = false;
+    ASSERT_TRUE(store->GetWindowChunk(w, &chunk, &done).ok());
+    if (done) {
+      break;
+    }
+    for (const auto& entry : chunk) {
+      seen[entry.key] += static_cast<int>(entry.values.size());
+    }
+  }
+  EXPECT_EQ(seen.size(), expected.size());
+}
+
+TEST_F(FlowKvStoreTest, RmwRoutesByKeyHash) {
+  FlowKvOptions options;
+  options.num_partitions = 2;
+  auto store = OpenStore(WindowKind::kTumbling, true, options);
+  Window w(0, 100);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(store->Put("key" + std::to_string(i), w, std::to_string(i)).ok());
+  }
+  std::string acc;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(store->Get("key" + std::to_string(i), w, &acc).ok());
+    EXPECT_EQ(acc, std::to_string(i));
+  }
+  // Both partitions saw writes (50 keys can't all hash to one side...
+  // deterministic given Hash64, validated empirically here).
+  const StoreStats p0 = store->rmw_partition(0)->stats();
+  const StoreStats p1 = store->rmw_partition(1)->stats();
+  EXPECT_GT(p0.writes, 0);
+  EXPECT_GT(p1.writes, 0);
+  EXPECT_EQ(p0.writes + p1.writes, 50);
+}
+
+TEST_F(FlowKvStoreTest, AurMergeRoutesToSamePartition) {
+  FlowKvOptions options;
+  options.num_partitions = 2;
+  auto store = OpenStore(WindowKind::kSession, false, options);
+  Window src(0, 50), dst(0, 120);
+  ASSERT_TRUE(store->Append("k", "a", src, 10).ok());
+  ASSERT_TRUE(store->Append("k", "b", src, 20).ok());
+  ASSERT_TRUE(store->MergeWindows("k", {src}, dst).ok());
+  ASSERT_TRUE(store->Append("k", "c", dst, 70).ok());
+  std::vector<std::string> values;
+  ASSERT_TRUE(store->Get("k", dst, &values).ok());
+  EXPECT_EQ(values, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST_F(FlowKvStoreTest, GatherStatsSumsPartitions) {
+  FlowKvOptions options;
+  options.num_partitions = 2;
+  auto store = OpenStore(WindowKind::kTumbling, true, options);
+  Window w(0, 100);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(store->Put("key" + std::to_string(i), w, "v").ok());
+  }
+  EXPECT_EQ(store->GatherStats().writes, 20);
+}
+
+TEST_F(FlowKvStoreTest, CustomPredictorOverrideIsUsed) {
+  // §8: a user-supplied ETT predictor for custom window functions. Here the
+  // override makes a "custom" (normally unpredictable) spec predictable.
+  OperatorStateSpec spec = Spec(WindowKind::kCustom, false);
+  FlowKvOptions options;
+  options.write_buffer_bytes = 1;
+  options.read_batch_ratio = 1.0;
+  std::unique_ptr<FlowKvStore> store;
+  ASSERT_TRUE(FlowKvStore::Open(dir_, options, spec, &store, [] {
+                return std::unique_ptr<EttPredictor>(new AlignedEttPredictor());
+              }).ok());
+  ASSERT_EQ(store->pattern(), StorePattern::kAppendUnaligned);
+  for (int i = 0; i < 10; ++i) {
+    Window w(i * 100, i * 100 + 100);
+    ASSERT_TRUE(store->Append("same-part-key", "v" + std::to_string(i), w, i * 100).ok());
+  }
+  std::vector<std::string> values;
+  ASSERT_TRUE(store->Get("same-part-key", Window(0, 100), &values).ok());
+  // With the override the remaining windows of this key's partition were
+  // prefetched; without it (unpredictable) nothing would be.
+  StoreStats stats = store->GatherStats();
+  EXPECT_GT(stats.prefetched_entries, 1);
+}
+
+}  // namespace
+}  // namespace flowkv

@@ -1,0 +1,152 @@
+// RMW store tests (paper §4.3): hash write buffer, on-disk hash index + log,
+// get/put/remove, flush spill, MSA compaction.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/common/env.h"
+#include "src/flowkv/rmw_store.h"
+
+namespace flowkv {
+namespace {
+
+class RmwStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = MakeTempDir("rmw_test"); }
+  void TearDown() override { RemoveDirRecursively(dir_); }
+
+  std::unique_ptr<RmwStore> OpenStore(FlowKvOptions options = {}) {
+    std::unique_ptr<RmwStore> store;
+    Status s = RmwStore::Open(dir_, options, &store);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return store;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(RmwStoreTest, GetPutRemoveRoundTrip) {
+  auto store = OpenStore();
+  Window w(0, 100);
+  std::string acc;
+  EXPECT_TRUE(store->Get("k", w, &acc).IsNotFound());
+  ASSERT_TRUE(store->Put("k", w, "agg1").ok());
+  ASSERT_TRUE(store->Get("k", w, &acc).ok());
+  EXPECT_EQ(acc, "agg1");
+  ASSERT_TRUE(store->Put("k", w, "agg2").ok());
+  ASSERT_TRUE(store->Get("k", w, &acc).ok());
+  EXPECT_EQ(acc, "agg2");
+  ASSERT_TRUE(store->Remove("k", w).ok());
+  EXPECT_TRUE(store->Get("k", w, &acc).IsNotFound());
+}
+
+TEST_F(RmwStoreTest, SameKeyDifferentWindowsAreDistinct) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->Put("k", Window(0, 100), "a").ok());
+  ASSERT_TRUE(store->Put("k", Window(100, 200), "b").ok());
+  std::string acc;
+  ASSERT_TRUE(store->Get("k", Window(0, 100), &acc).ok());
+  EXPECT_EQ(acc, "a");
+  ASSERT_TRUE(store->Get("k", Window(100, 200), &acc).ok());
+  EXPECT_EQ(acc, "b");
+}
+
+TEST_F(RmwStoreTest, ReadsBackFromDiskAfterFlush) {
+  FlowKvOptions options;
+  options.write_buffer_bytes = 512;
+  auto store = OpenStore(options);
+  Window w(0, 100);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store->Put("key" + std::to_string(i), w, "value" + std::to_string(i)).ok());
+  }
+  EXPECT_GT(store->stats().flushes, 0);
+  std::string acc;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store->Get("key" + std::to_string(i), w, &acc).ok()) << i;
+    EXPECT_EQ(acc, "value" + std::to_string(i));
+  }
+}
+
+TEST_F(RmwStoreTest, BufferShadowsDiskVersion) {
+  FlowKvOptions options;
+  options.write_buffer_bytes = 400;
+  auto store = OpenStore(options);
+  Window w(0, 100);
+  ASSERT_TRUE(store->Put("k", w, "old").ok());
+  // Force a flush so "old" goes to disk.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(store->Put("filler" + std::to_string(i), w, std::string(32, 'f')).ok());
+  }
+  ASSERT_TRUE(store->Put("k", w, "new").ok());
+  std::string acc;
+  ASSERT_TRUE(store->Get("k", w, &acc).ok());
+  EXPECT_EQ(acc, "new");
+}
+
+TEST_F(RmwStoreTest, IncrementalCounterWorkload) {
+  FlowKvOptions options;
+  options.write_buffer_bytes = 1024;
+  auto store = OpenStore(options);
+  Window w(0, 1'000'000);
+  // The canonical RMW loop: Get -> modify -> Put, thousands of times.
+  for (int i = 0; i < 5000; ++i) {
+    const std::string key = "user" + std::to_string(i % 37);
+    std::string acc;
+    Status s = store->Get(key, w, &acc);
+    uint64_t count = s.IsNotFound() ? 0 : std::stoull(acc);
+    ASSERT_TRUE(s.ok() || s.IsNotFound());
+    ASSERT_TRUE(store->Put(key, w, std::to_string(count + 1)).ok());
+  }
+  std::string acc;
+  ASSERT_TRUE(store->Get("user0", w, &acc).ok());
+  // 5000 events over 37 keys: user0 gets ceil(5000/37) = 136.
+  EXPECT_EQ(std::stoull(acc), 136u);
+}
+
+TEST_F(RmwStoreTest, CompactionBoundsSpaceAmplification) {
+  FlowKvOptions options;
+  options.write_buffer_bytes = 2048;
+  options.max_space_amplification = 1.5;
+  auto store = OpenStore(options);
+  Window w(0, 100);
+  // Repeated overwrites -> dead versions on disk -> compactions.
+  for (int round = 0; round < 100; ++round) {
+    for (int k = 0; k < 20; ++k) {
+      ASSERT_TRUE(store->Put("key" + std::to_string(k), w,
+                             std::string(64, 'a' + (round % 26))).ok());
+    }
+  }
+  EXPECT_GT(store->stats().compactions, 0);
+  EXPECT_LE(store->SpaceAmplification(), 2.0);
+  std::string acc;
+  for (int k = 0; k < 20; ++k) {
+    ASSERT_TRUE(store->Get("key" + std::to_string(k), w, &acc).ok());
+    EXPECT_EQ(acc, std::string(64, 'a' + (99 % 26)));
+  }
+}
+
+TEST_F(RmwStoreTest, RemoveMakesDiskBytesDead) {
+  FlowKvOptions options;
+  options.write_buffer_bytes = 256;
+  options.max_space_amplification = 1e9;
+  auto store = OpenStore(options);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store->Put("k" + std::to_string(i), Window(0, 100), std::string(64, 'v')).ok());
+  }
+  for (int i = 0; i < 90; ++i) {
+    ASSERT_TRUE(store->Remove("k" + std::to_string(i), Window(0, 100)).ok());
+  }
+  EXPECT_GT(store->SpaceAmplification(), 2.0);
+  const uint64_t before = store->LogBytes();
+  ASSERT_TRUE(store->Compact().ok());
+  EXPECT_LT(store->LogBytes(), before);
+  std::string acc;
+  for (int i = 90; i < 100; ++i) {
+    ASSERT_TRUE(store->Get("k" + std::to_string(i), Window(0, 100), &acc).ok());
+  }
+  EXPECT_TRUE(store->Get("k0", Window(0, 100), &acc).IsNotFound());
+}
+
+}  // namespace
+}  // namespace flowkv

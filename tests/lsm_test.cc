@@ -1,0 +1,412 @@
+// Unit tests for the LSM substrate: memtable semantics, SSTable round trips,
+// store-level Get/Put/Merge/Delete, scans, compaction, reopen recovery.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/coding.h"
+#include "src/common/env.h"
+#include "src/lsm/bloom.h"
+#include "src/lsm/lsm_store.h"
+#include "src/lsm/memtable.h"
+#include "src/lsm/merge.h"
+#include "src/lsm/sstable.h"
+
+namespace flowkv {
+namespace {
+
+class LsmTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = MakeTempDir("lsm_test"); }
+  void TearDown() override { RemoveDirRecursively(dir_); }
+
+  std::unique_ptr<LsmStore> OpenStore(LsmOptions options = {}) {
+    std::unique_ptr<LsmStore> store;
+    Status s = LsmStore::Open(dir_, options, std::make_unique<ListAppendMergeOperator>(),
+                              &store);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return store;
+  }
+
+  static std::string Element(const std::string& v) {
+    std::string e;
+    EncodeListElement(&e, v);
+    return e;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(LsmTest, MemTablePutGetDelete) {
+  MemTable mt;
+  mt.Put("k1", "v1");
+  LsmEntry entry;
+  ASSERT_TRUE(mt.Get("k1", &entry));
+  EXPECT_EQ(entry.base, BaseState::kValue);
+  EXPECT_EQ(entry.base_value, "v1");
+  mt.Delete("k1");
+  ASSERT_TRUE(mt.Get("k1", &entry));
+  EXPECT_EQ(entry.base, BaseState::kDeleted);
+  EXPECT_FALSE(mt.Get("absent", &entry));
+}
+
+TEST_F(LsmTest, MemTableMergeAccumulatesInOrder) {
+  MemTable mt;
+  mt.Merge("k", "a");
+  mt.Merge("k", "b");
+  mt.Merge("k", "c");
+  LsmEntry entry;
+  ASSERT_TRUE(mt.Get("k", &entry));
+  EXPECT_EQ(entry.base, BaseState::kNone);
+  ASSERT_EQ(entry.operands.size(), 3u);
+  EXPECT_EQ(entry.operands[0], "a");
+  EXPECT_EQ(entry.operands[2], "c");
+}
+
+TEST_F(LsmTest, MemTablePutClearsOperands) {
+  MemTable mt;
+  mt.Merge("k", "a");
+  mt.Put("k", "base");
+  mt.Merge("k", "b");
+  LsmEntry entry;
+  ASSERT_TRUE(mt.Get("k", &entry));
+  EXPECT_EQ(entry.base_value, "base");
+  ASSERT_EQ(entry.operands.size(), 1u);
+  EXPECT_EQ(entry.operands[0], "b");
+}
+
+TEST_F(LsmTest, MemTableTracksMemory) {
+  MemTable mt;
+  size_t before = mt.ApproximateMemoryUsage();
+  for (int i = 0; i < 100; ++i) {
+    mt.Put("key" + std::to_string(i), std::string(100, 'v'));
+  }
+  EXPECT_GT(mt.ApproximateMemoryUsage(), before + 100 * 100);
+}
+
+TEST_F(LsmTest, BloomFilterNoFalseNegatives) {
+  BloomFilterBuilder builder(10);
+  for (int i = 0; i < 1000; ++i) {
+    builder.AddKey("member" + std::to_string(i));
+  }
+  BloomFilter filter(builder.Finish());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(filter.MayContain("member" + std::to_string(i))) << i;
+  }
+}
+
+TEST_F(LsmTest, BloomFilterLowFalsePositiveRate) {
+  BloomFilterBuilder builder(10);
+  for (int i = 0; i < 1000; ++i) {
+    builder.AddKey("member" + std::to_string(i));
+  }
+  BloomFilter filter(builder.Finish());
+  int false_positives = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (filter.MayContain("absent" + std::to_string(i))) {
+      ++false_positives;
+    }
+  }
+  // ~1% expected at 10 bits/key; allow generous slack.
+  EXPECT_LT(false_positives, 400);
+}
+
+TEST_F(LsmTest, BloomFilterEmptyAndMalformedAreConservative) {
+  BloomFilterBuilder builder;
+  BloomFilter empty(builder.Finish());
+  EXPECT_TRUE(empty.MayContain("anything") || true);  // must not crash
+  BloomFilter malformed("x");
+  EXPECT_TRUE(malformed.MayContain("anything"));  // conservative on junk
+}
+
+TEST_F(LsmTest, SstableBloomShortCircuitsAbsentKeys) {
+  const std::string path = JoinPath(dir_, "bloom.sst");
+  SstWriter writer(path, 4096);
+  LsmEntry entry;
+  entry.base = BaseState::kValue;
+  entry.base_value = "v";
+  for (int i = 0; i < 100; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "key%05d", i);
+    ASSERT_TRUE(writer.Add(key, entry).ok());
+  }
+  ASSERT_TRUE(writer.Finish(false).ok());
+  IoStats stats;
+  std::unique_ptr<SstReader> reader;
+  ASSERT_TRUE(SstReader::Open(path, nullptr, &reader, &stats).ok());
+  const int64_t bytes_after_open = stats.bytes_read;
+  // Absent keys inside the key range: nearly all rejected without any block
+  // read thanks to the bloom filter.
+  LsmEntry out;
+  for (int i = 0; i < 200; ++i) {
+    reader->Get("key" + std::to_string(10000 + i), &out);
+  }
+  EXPECT_LT(stats.bytes_read - bytes_after_open, 16 * 1024);  // <1 block per ~100 probes
+}
+
+TEST_F(LsmTest, SstableWriteReadRoundTrip) {
+  const std::string path = JoinPath(dir_, "t.sst");
+  SstWriter writer(path, /*block_bytes=*/256);
+  for (int i = 0; i < 500; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "key%05d", i);
+    LsmEntry entry;
+    entry.base = BaseState::kValue;
+    entry.base_value = "value" + std::to_string(i);
+    ASSERT_TRUE(writer.Add(key, entry).ok());
+  }
+  ASSERT_TRUE(writer.Finish(false).ok());
+  EXPECT_EQ(writer.entry_count(), 500u);
+
+  std::unique_ptr<SstReader> reader;
+  ASSERT_TRUE(SstReader::Open(path, nullptr, &reader).ok());
+  EXPECT_EQ(reader->smallest_key(), "key00000");
+  EXPECT_EQ(reader->largest_key(), "key00499");
+  LsmEntry entry;
+  ASSERT_TRUE(reader->Get("key00123", &entry).ok());
+  EXPECT_EQ(entry.base_value, "value123");
+  EXPECT_TRUE(reader->Get("key99999", &entry).IsNotFound());
+  EXPECT_TRUE(reader->Get("a", &entry).IsNotFound());
+}
+
+TEST_F(LsmTest, SstableRejectsOutOfOrderKeys) {
+  SstWriter writer(JoinPath(dir_, "bad.sst"), 4096);
+  LsmEntry entry;
+  entry.base = BaseState::kValue;
+  ASSERT_TRUE(writer.Add("b", entry).ok());
+  EXPECT_FALSE(writer.Add("a", entry).ok());
+  EXPECT_FALSE(writer.Add("b", entry).ok());
+}
+
+TEST_F(LsmTest, SstableIteratorFullScanAndSeek) {
+  const std::string path = JoinPath(dir_, "it.sst");
+  SstWriter writer(path, 128);
+  for (int i = 0; i < 200; i += 2) {  // even keys only
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%04d", i);
+    LsmEntry entry;
+    entry.base = BaseState::kValue;
+    entry.base_value = std::to_string(i);
+    ASSERT_TRUE(writer.Add(key, entry).ok());
+  }
+  ASSERT_TRUE(writer.Finish(false).ok());
+  std::unique_ptr<SstReader> reader;
+  ASSERT_TRUE(SstReader::Open(path, nullptr, &reader).ok());
+
+  auto it = reader->NewIterator();
+  it->SeekToFirst();
+  int count = 0;
+  std::string prev;
+  while (it->Valid()) {
+    EXPECT_GT(it->key().ToString(), prev);
+    prev = it->key().ToString();
+    ++count;
+    it->Next();
+  }
+  EXPECT_EQ(count, 100);
+
+  it->Seek("k0100");  // exists
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key().ToString(), "k0100");
+  it->Seek("k0101");  // between keys -> next even
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key().ToString(), "k0102");
+  it->Seek("k9999");
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST_F(LsmTest, SstableDetectsCorruption) {
+  const std::string path = JoinPath(dir_, "c.sst");
+  SstWriter writer(path, 4096);
+  LsmEntry entry;
+  entry.base = BaseState::kValue;
+  entry.base_value = std::string(100, 'v');
+  ASSERT_TRUE(writer.Add("key", entry).ok());
+  ASSERT_TRUE(writer.Finish(false).ok());
+  // Flip a byte in the data block region.
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(path, &contents).ok());
+  contents[10] ^= 0xff;
+  ASSERT_TRUE(WriteStringToFile(path, contents).ok());
+  std::unique_ptr<SstReader> reader;
+  ASSERT_TRUE(SstReader::Open(path, nullptr, &reader).ok());  // index still fine
+  LsmEntry out;
+  EXPECT_TRUE(reader->Get("key", &out).IsCorruption());
+}
+
+TEST_F(LsmTest, StorePutGetDelete) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->Put("k", "v").ok());
+  std::string value;
+  ASSERT_TRUE(store->Get("k", &value).ok());
+  EXPECT_EQ(value, "v");
+  ASSERT_TRUE(store->Delete("k").ok());
+  EXPECT_TRUE(store->Get("k", &value).IsNotFound());
+}
+
+TEST_F(LsmTest, StoreMergeAcrossFlushes) {
+  LsmOptions options;
+  options.write_buffer_bytes = 4 * 1024;  // force frequent flushes
+  options.compaction_trigger = 1000;      // but no compaction
+  auto store = OpenStore(options);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(store->Merge("list", Element("v" + std::to_string(i))).ok());
+    ASSERT_TRUE(store->Put("filler" + std::to_string(i), std::string(64, 'x')).ok());
+  }
+  EXPECT_GT(store->table_count(), 1u);
+  std::string merged;
+  ASSERT_TRUE(store->Get("list", &merged).ok());
+  std::vector<std::string> elements;
+  ASSERT_TRUE(DecodeListElements(merged, &elements));
+  ASSERT_EQ(elements.size(), 300u);
+  EXPECT_EQ(elements[0], "v0");
+  EXPECT_EQ(elements[299], "v299");
+}
+
+TEST_F(LsmTest, CompactionFoldsOperandsAndDropsTombstones) {
+  LsmOptions options;
+  options.write_buffer_bytes = 2 * 1024;
+  options.compaction_trigger = 1000;
+  auto store = OpenStore(options);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store->Merge("list", Element("e" + std::to_string(i))).ok());
+    ASSERT_TRUE(store->Put("dead" + std::to_string(i), std::string(64, 'd')).ok());
+  }
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store->Delete("dead" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(store->Flush().ok());
+  uint64_t before = store->ApproximateDiskBytes();
+  ASSERT_TRUE(store->CompactAll().ok());
+  EXPECT_EQ(store->table_count(), 1u);
+  EXPECT_LT(store->ApproximateDiskBytes(), before);
+  // Merged list survives compaction intact.
+  std::string merged;
+  ASSERT_TRUE(store->Get("list", &merged).ok());
+  std::vector<std::string> elements;
+  ASSERT_TRUE(DecodeListElements(merged, &elements));
+  EXPECT_EQ(elements.size(), 100u);
+  // Tombstoned keys are gone.
+  std::string value;
+  EXPECT_TRUE(store->Get("dead50", &value).IsNotFound());
+  EXPECT_GT(store->stats().compactions, 0);
+}
+
+TEST_F(LsmTest, AutomaticCompactionTriggers) {
+  LsmOptions options;
+  options.write_buffer_bytes = 1024;
+  options.compaction_trigger = 4;
+  auto store = OpenStore(options);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(store->Put("key" + std::to_string(i % 50), std::string(64, 'v')).ok());
+  }
+  EXPECT_GT(store->stats().compactions, 0);
+  EXPECT_LT(static_cast<int>(store->table_count()), options.compaction_trigger);
+  std::string value;
+  ASSERT_TRUE(store->Get("key7", &value).ok());
+}
+
+TEST_F(LsmTest, ScanMergesLevelsInKeyOrder) {
+  LsmOptions options;
+  options.write_buffer_bytes = 1024;
+  options.compaction_trigger = 1000;
+  auto store = OpenStore(options);
+  std::map<std::string, std::string> expected;
+  for (int i = 0; i < 200; ++i) {
+    std::string key = "k" + std::to_string(i % 37);
+    std::string value = "v" + std::to_string(i);
+    ASSERT_TRUE(store->Put(key, value).ok());
+    expected[key] = value;
+  }
+  std::vector<std::pair<std::string, std::string>> scanned;
+  ASSERT_TRUE(store->Scan("", "", [&](const Slice& k, const Slice& v) {
+    scanned.emplace_back(k.ToString(), v.ToString());
+  }).ok());
+  ASSERT_EQ(scanned.size(), expected.size());
+  auto exp_it = expected.begin();
+  for (const auto& [k, v] : scanned) {
+    EXPECT_EQ(k, exp_it->first);
+    EXPECT_EQ(v, exp_it->second);
+    ++exp_it;
+  }
+}
+
+TEST_F(LsmTest, ScanRangeBoundsRespected) {
+  auto store = OpenStore();
+  for (char c = 'a'; c <= 'z'; ++c) {
+    ASSERT_TRUE(store->Put(std::string(1, c), "v").ok());
+  }
+  std::vector<std::string> keys;
+  ASSERT_TRUE(store->Scan("f", "k", [&](const Slice& k, const Slice&) {
+    keys.push_back(k.ToString());
+  }).ok());
+  ASSERT_EQ(keys.size(), 5u);
+  EXPECT_EQ(keys.front(), "f");
+  EXPECT_EQ(keys.back(), "j");
+}
+
+TEST_F(LsmTest, ScanPrefixAndDeleteRange) {
+  auto store = OpenStore();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store->Put("win1/key" + std::to_string(i), "a").ok());
+    ASSERT_TRUE(store->Put("win2/key" + std::to_string(i), "b").ok());
+  }
+  int count = 0;
+  ASSERT_TRUE(store->ScanPrefix("win1/", [&](const Slice&, const Slice&) { ++count; }).ok());
+  EXPECT_EQ(count, 10);
+  ASSERT_TRUE(store->DeleteRange("win1/", "win1/z").ok());
+  count = 0;
+  ASSERT_TRUE(store->ScanPrefix("win1/", [&](const Slice&, const Slice&) { ++count; }).ok());
+  EXPECT_EQ(count, 0);
+  count = 0;
+  ASSERT_TRUE(store->ScanPrefix("win2/", [&](const Slice&, const Slice&) { ++count; }).ok());
+  EXPECT_EQ(count, 10);
+}
+
+TEST_F(LsmTest, ReopenRecoversFlushedState) {
+  {
+    auto store = OpenStore();
+    ASSERT_TRUE(store->Put("persisted", "yes").ok());
+    ASSERT_TRUE(store->Flush().ok());
+  }
+  auto store = OpenStore();
+  std::string value;
+  ASSERT_TRUE(store->Get("persisted", &value).ok());
+  EXPECT_EQ(value, "yes");
+}
+
+TEST_F(LsmTest, BlockCacheServesRepeatedReads) {
+  LsmOptions options;
+  options.block_cache_bytes = 1 << 20;
+  auto store = OpenStore(options);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store->Put("key" + std::to_string(i), std::string(200, 'v')).ok());
+  }
+  ASSERT_TRUE(store->Flush().ok());
+  std::string value;
+  ASSERT_TRUE(store->Get("key50", &value).ok());
+  const int64_t bytes_after_first = store->stats().io.bytes_read;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store->Get("key50", &value).ok());
+  }
+  EXPECT_EQ(store->stats().io.bytes_read, bytes_after_first);  // all cache hits
+}
+
+TEST_F(LsmTest, StatsAccounting) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->Put("a", "1").ok());
+  ASSERT_TRUE(store->Merge("a", Element("2")).ok());
+  std::string value;
+  ASSERT_TRUE(store->Get("a", &value).ok());
+  const StoreStats& stats = store->stats();
+  EXPECT_EQ(stats.writes, 2);
+  EXPECT_EQ(stats.reads, 1);
+  EXPECT_GT(stats.write_nanos, 0);
+  EXPECT_GT(stats.read_nanos, 0);
+}
+
+}  // namespace
+}  // namespace flowkv

@@ -1,0 +1,227 @@
+// NEXMark substrate tests: event serialization, generator statistics,
+// aggregate/process functions.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/coding.h"
+#include "src/nexmark/aggregates.h"
+#include "src/nexmark/events.h"
+#include "src/nexmark/generator.h"
+
+namespace flowkv {
+namespace {
+
+TEST(NexmarkEventsTest, SerializedSizesMatchPaper) {
+  // §6 "Input dataset": persons/auctions ~16 B, bids ~84 B.
+  Person p{1, 2};
+  Auction a{3, 4};
+  Bid b{5, 6, 7, 8};
+  EXPECT_EQ(SerializePerson(p).size(), 17u);
+  EXPECT_EQ(SerializeAuction(a).size(), 17u);
+  EXPECT_EQ(SerializeBid(b).size(), 84u);
+}
+
+TEST(NexmarkEventsTest, RoundTrips) {
+  Person p{42, 99};
+  Person p2;
+  ASSERT_TRUE(ParsePerson(SerializePerson(p), &p2));
+  EXPECT_EQ(p2.id, 42u);
+  EXPECT_EQ(p2.state, 99u);
+
+  Auction a{7, 13};
+  Auction a2;
+  ASSERT_TRUE(ParseAuction(SerializeAuction(a), &a2));
+  EXPECT_EQ(a2.id, 7u);
+  EXPECT_EQ(a2.seller, 13u);
+
+  Bid b{1, 2, 3, 4};
+  Bid b2;
+  ASSERT_TRUE(ParseBid(SerializeBid(b), &b2));
+  EXPECT_EQ(b2.auction, 1u);
+  EXPECT_EQ(b2.bidder, 2u);
+  EXPECT_EQ(b2.price, 3u);
+  EXPECT_EQ(b2.date_time, 4);
+}
+
+TEST(NexmarkEventsTest, TypeTagsAreExclusive) {
+  Bid b{1, 2, 3, 4};
+  std::string serialized = SerializeBid(b);
+  Person p;
+  Auction a;
+  EXPECT_FALSE(ParsePerson(serialized, &p));
+  EXPECT_FALSE(ParseAuction(serialized, &a));
+  NexmarkEventType type;
+  ASSERT_TRUE(PeekEventType(serialized, &type));
+  EXPECT_EQ(type, NexmarkEventType::kBid);
+}
+
+TEST(NexmarkEventsTest, IdKeyRoundTrip) {
+  EXPECT_EQ(ParseIdKey(IdKey(123456789)), 123456789u);
+  EXPECT_EQ(IdKey(1).size(), 8u);
+}
+
+TEST(NexmarkGeneratorTest, EventMixMatchesProportions) {
+  NexmarkConfig config;
+  config.events_per_worker = 50'000;
+  NexmarkSource source(config, 0);
+  Event event;
+  std::map<NexmarkEventType, int> counts;
+  int64_t prev_ts = -1;
+  while (source.Next(&event)) {
+    NexmarkEventType type;
+    ASSERT_TRUE(PeekEventType(event.value, &type));
+    counts[type]++;
+    EXPECT_GT(event.timestamp, prev_ts);  // monotone event time
+    prev_ts = event.timestamp;
+  }
+  // 2% / 6% / 92%.
+  EXPECT_EQ(counts[NexmarkEventType::kPerson], 1000);
+  EXPECT_EQ(counts[NexmarkEventType::kAuction], 3000);
+  EXPECT_EQ(counts[NexmarkEventType::kBid], 46000);
+}
+
+TEST(NexmarkGeneratorTest, DeterministicPerSeedAndWorker) {
+  NexmarkConfig config;
+  config.events_per_worker = 100;
+  NexmarkSource s1(config, 0), s2(config, 0), s3(config, 1);
+  Event e1, e2, e3;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(s1.Next(&e1));
+    ASSERT_TRUE(s2.Next(&e2));
+    ASSERT_TRUE(s3.Next(&e3));
+    EXPECT_EQ(e1, e2);
+  }
+}
+
+TEST(NexmarkGeneratorTest, WorkersHaveDisjointKeySpaces) {
+  NexmarkConfig config;
+  config.events_per_worker = 5000;
+  NexmarkSource s0(config, 0), s1(config, 1);
+  std::vector<uint64_t> keys0, keys1;
+  Event event;
+  while (s0.Next(&event)) {
+    keys0.push_back(ParseIdKey(event.key));
+  }
+  while (s1.Next(&event)) {
+    keys1.push_back(ParseIdKey(event.key));
+  }
+  std::sort(keys0.begin(), keys0.end());
+  std::sort(keys1.begin(), keys1.end());
+  std::vector<uint64_t> overlap;
+  std::set_intersection(keys0.begin(), keys0.end(), keys1.begin(), keys1.end(),
+                        std::back_inserter(overlap));
+  EXPECT_TRUE(overlap.empty());
+}
+
+TEST(NexmarkGeneratorTest, KeyCardinalityBounded) {
+  NexmarkConfig config;
+  config.events_per_worker = 20'000;
+  config.num_people = 50;
+  NexmarkSource source(config, 0);
+  std::map<uint64_t, int> bidder_counts;
+  Event event;
+  Bid bid;
+  while (source.Next(&event)) {
+    if (ParseBid(event.value, &bid)) {
+      bidder_counts[bid.bidder]++;
+    }
+  }
+  EXPECT_LE(bidder_counts.size(), 50u);
+  EXPECT_GE(bidder_counts.size(), 40u);  // most keys drawn at this volume
+}
+
+TEST(AggregatesTest, CountAggregate) {
+  CountAggregate agg;
+  std::string acc = agg.CreateAccumulator();
+  for (int i = 0; i < 5; ++i) {
+    agg.Add("ignored", &acc);
+  }
+  EXPECT_EQ(DecodeFixed64(agg.GetResult(acc).data()), 5u);
+  std::string other = agg.CreateAccumulator();
+  agg.Add("x", &other);
+  EXPECT_EQ(DecodeFixed64(agg.MergeAccumulators(acc, other).data()), 6u);
+}
+
+TEST(AggregatesTest, TopAuctionAggregatePicksHighestCount) {
+  TopAuctionAggregate agg;
+  std::string acc = agg.CreateAccumulator();
+  agg.Add(EncodeAuctionCount(10, 5), &acc);
+  agg.Add(EncodeAuctionCount(20, 9), &acc);
+  agg.Add(EncodeAuctionCount(30, 7), &acc);
+  uint64_t auction, count;
+  ASSERT_TRUE(DecodeAuctionCount(agg.GetResult(acc), &auction, &count));
+  EXPECT_EQ(auction, 20u);
+  EXPECT_EQ(count, 9u);
+}
+
+TEST(AggregatesTest, TopAuctionTieBreaksOnLowerId) {
+  TopAuctionAggregate agg;
+  std::string acc = agg.CreateAccumulator();
+  agg.Add(EncodeAuctionCount(30, 5), &acc);
+  agg.Add(EncodeAuctionCount(10, 5), &acc);
+  agg.Add(EncodeAuctionCount(20, 5), &acc);
+  uint64_t auction, count;
+  ASSERT_TRUE(DecodeAuctionCount(agg.GetResult(acc), &auction, &count));
+  EXPECT_EQ(auction, 10u);
+}
+
+Status CollectEmit(std::vector<std::string>* sink, std::string value) {
+  sink->push_back(std::move(value));
+  return Status::Ok();
+}
+
+TEST(AggregatesTest, MaxPriceProcess) {
+  MaxPriceProcess fn;
+  std::vector<std::string> values = {SerializeBid({1, 2, 500, 0}), SerializeBid({1, 2, 900, 0}),
+                                     SerializeBid({1, 2, 200, 0})};
+  std::vector<std::string> out;
+  ASSERT_TRUE(fn.Process("k", Window(0, 10), values,
+                         [&](std::string v) { return CollectEmit(&out, std::move(v)); })
+                  .ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(DecodeFixed64(out[0].data()), 900u);
+}
+
+TEST(AggregatesTest, MedianPriceProcessOddAndEven) {
+  MedianPriceProcess fn;
+  auto median_of = [&](std::vector<uint64_t> prices) {
+    std::vector<std::string> values;
+    for (uint64_t p : prices) {
+      values.push_back(SerializeBid({1, 2, p, 0}));
+    }
+    std::vector<std::string> out;
+    EXPECT_TRUE(fn.Process("k", Window(0, 10), values,
+                           [&](std::string v) { return CollectEmit(&out, std::move(v)); })
+                    .ok());
+    return DecodeFixed64(out[0].data());
+  };
+  EXPECT_EQ(median_of({5, 1, 9}), 5u);
+  EXPECT_EQ(median_of({4, 1, 9, 6}), 4u);  // lower median
+  EXPECT_EQ(median_of({7}), 7u);
+}
+
+TEST(AggregatesTest, JoinEmitsOnlyWithPersonPresent) {
+  NewUserAuctionJoinProcess fn;
+  std::vector<std::string> out;
+  // Auctions without their seller's person record: no output.
+  std::vector<std::string> values = {SerializeAuction({100, 7}), SerializeAuction({101, 7})};
+  ASSERT_TRUE(fn.Process(IdKey(7), Window(0, 10), values,
+                         [&](std::string v) { return CollectEmit(&out, std::move(v)); })
+                  .ok());
+  EXPECT_TRUE(out.empty());
+  // With the person: one joined row per auction, ordered by auction id.
+  values.push_back(SerializePerson({7, 0}));
+  ASSERT_TRUE(fn.Process(IdKey(7), Window(0, 10), values,
+                         [&](std::string v) { return CollectEmit(&out, std::move(v)); })
+                  .ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(DecodeFixed64(out[0].data()), 7u);        // person id
+  EXPECT_EQ(DecodeFixed64(out[0].data() + 8), 100u);  // auction id
+  EXPECT_EQ(DecodeFixed64(out[1].data() + 8), 101u);
+}
+
+}  // namespace
+}  // namespace flowkv

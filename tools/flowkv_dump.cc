@@ -1,0 +1,248 @@
+// flowkv_dump: offline inspection of FlowKV and LSM on-disk artifacts, in
+// the spirit of RocksDB's sst_dump. Parses the documented file formats
+// directly, so it works on live store directories and on checkpoints.
+//
+//   flowkv_dump aar <store-dir>     per-window AAR log files and tuple counts
+//   flowkv_dump aur <store-dir>     AUR index log: per-(key,window) segments
+//   flowkv_dump rmw <store-dir>     RMW log records (includes dead versions)
+//   flowkv_dump sst <file.sst>      SSTable blocks/keys/bloom summary
+//   flowkv_dump store <dir>         auto-detect (FlowKV partition dirs)
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/coding.h"
+#include "src/common/env.h"
+#include "src/common/file.h"
+#include "src/common/slice.h"
+#include "src/lsm/sstable.h"
+#include "src/spe/window.h"
+
+namespace flowkv {
+namespace {
+
+std::string FormatKey(const Slice& key) {
+  // Print 8-byte keys (the NEXMark id encoding) as integers, else escape.
+  if (key.size() == 8) {
+    return "id:" + std::to_string(DecodeFixed64(key.data()));
+  }
+  std::string out;
+  for (size_t i = 0; i < key.size(); ++i) {
+    const char c = key[i];
+    if (c >= 32 && c < 127) {
+      out.push_back(c);
+    } else {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\x%02x", static_cast<uint8_t>(c));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+bool ParseStateKey(Slice input, std::string* key, Window* w) {
+  Slice k;
+  if (!GetLengthPrefixed(&input, &k) || !DecodeWindow(&input, w)) {
+    return false;
+  }
+  *key = FormatKey(k);
+  return true;
+}
+
+int DumpAar(const std::string& dir) {
+  std::vector<std::string> names;
+  if (!ListDir(dir, &names).ok()) {
+    std::fprintf(stderr, "cannot list %s\n", dir.c_str());
+    return 1;
+  }
+  std::printf("%-40s %12s %10s\n", "window log", "bytes", "tuples");
+  for (const auto& name : names) {
+    if (name.rfind("aar_", 0) != 0) {
+      continue;
+    }
+    std::string contents;
+    if (!ReadFileToString(JoinPath(dir, name), &contents).ok()) {
+      continue;
+    }
+    Slice input(contents);
+    uint64_t tuples = 0;
+    Slice key, value;
+    while (GetLengthPrefixed(&input, &key) && GetLengthPrefixed(&input, &value)) {
+      ++tuples;
+    }
+    std::printf("%-40s %12zu %10" PRIu64 "\n", name.c_str(), contents.size(), tuples);
+  }
+  return 0;
+}
+
+int DumpAur(const std::string& dir) {
+  std::vector<std::string> names;
+  if (!ListDir(dir, &names).ok()) {
+    std::fprintf(stderr, "cannot list %s\n", dir.c_str());
+    return 1;
+  }
+  for (const auto& name : names) {
+    if (name.rfind("aur_index_", 0) != 0) {
+      continue;
+    }
+    std::string contents;
+    if (!ReadFileToString(JoinPath(dir, name), &contents).ok()) {
+      continue;
+    }
+    std::printf("== %s ==\n", name.c_str());
+    std::printf("%-24s %-24s %10s %10s %8s %12s\n", "key", "window", "offset", "bytes",
+                "tuples", "max_ts");
+    Slice input(contents);
+    uint64_t segments = 0, total_tuples = 0;
+    while (!input.empty()) {
+      Slice sk;
+      uint64_t offset, length, count;
+      int64_t max_ts;
+      if (!GetLengthPrefixed(&input, &sk) || !GetFixed64(&input, &offset) ||
+          !GetFixed64(&input, &length) || !GetVarint64(&input, &count) ||
+          !GetVarsigned64(&input, &max_ts)) {
+        std::printf("  (truncated entry)\n");
+        break;
+      }
+      std::string key;
+      Window w;
+      if (ParseStateKey(sk, &key, &w)) {
+        std::printf("%-24s %-24s %10" PRIu64 " %10" PRIu64 " %8" PRIu64 " %12lld\n",
+                    key.c_str(), w.ToString().c_str(), offset, length, count,
+                    static_cast<long long>(max_ts));
+      }
+      ++segments;
+      total_tuples += count;
+    }
+    std::printf("-- %" PRIu64 " segments, %" PRIu64 " tuples\n", segments, total_tuples);
+  }
+  return 0;
+}
+
+int DumpRmw(const std::string& dir) {
+  std::vector<std::string> names;
+  if (!ListDir(dir, &names).ok()) {
+    std::fprintf(stderr, "cannot list %s\n", dir.c_str());
+    return 1;
+  }
+  for (const auto& name : names) {
+    if (name.rfind("rmw_", 0) != 0 || name.find(".log") == std::string::npos) {
+      continue;
+    }
+    std::string contents;
+    if (!ReadFileToString(JoinPath(dir, name), &contents).ok()) {
+      continue;
+    }
+    std::printf("== %s == (%zu bytes; newest version of a key wins)\n", name.c_str(),
+                contents.size());
+    Slice input(contents);
+    std::map<std::string, int> versions;
+    while (!input.empty()) {
+      Slice sk;
+      uint32_t vlen;
+      if (!GetLengthPrefixed(&input, &sk) || !GetFixed32(&input, &vlen) ||
+          input.size() < vlen) {
+        std::printf("  (truncated record)\n");
+        break;
+      }
+      input.RemovePrefix(vlen);
+      std::string key;
+      Window w;
+      if (ParseStateKey(sk, &key, &w)) {
+        versions[key + " " + w.ToString()]++;
+      }
+    }
+    for (const auto& [label, count] : versions) {
+      std::printf("%-48s %4d version%s\n", label.c_str(), count, count == 1 ? "" : "s");
+    }
+  }
+  return 0;
+}
+
+int DumpSst(const std::string& path) {
+  std::unique_ptr<SstReader> reader;
+  Status s = SstReader::Open(path, nullptr, &reader);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("sstable %s: %" PRIu64 " bytes\n", path.c_str(), reader->file_size());
+  std::printf("key range: [%s .. %s]\n", FormatKey(reader->smallest_key()).c_str(),
+              FormatKey(reader->largest_key()).c_str());
+  uint64_t records = 0, operands = 0, tombstones = 0;
+  auto it = reader->NewIterator();
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    ++records;
+    operands += it->entry().operands.size();
+    if (it->entry().base == BaseState::kDeleted) {
+      ++tombstones;
+    }
+  }
+  std::printf("%" PRIu64 " records, %" PRIu64 " merge operands, %" PRIu64 " tombstones\n",
+              records, operands, tombstones);
+  return 0;
+}
+
+int DumpStore(const std::string& dir) {
+  std::vector<std::string> names;
+  if (!ListDir(dir, &names).ok()) {
+    std::fprintf(stderr, "cannot list %s\n", dir.c_str());
+    return 1;
+  }
+  int rc = 0;
+  for (const auto& name : names) {
+    const std::string sub = JoinPath(dir, name);
+    if (name.rfind("p", 0) == 0 && name.size() <= 3) {
+      std::printf("=== partition %s ===\n", name.c_str());
+      std::vector<std::string> inner;
+      if (ListDir(sub, &inner).ok() && !inner.empty()) {
+        if (inner[0].rfind("aur_", 0) == 0) {
+          rc |= DumpAur(sub);
+        } else if (inner[0].rfind("rmw_", 0) == 0) {
+          rc |= DumpRmw(sub);
+        } else {
+          rc |= DumpAar(sub);
+        }
+      }
+    }
+  }
+  return rc;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: flowkv_dump aar|aur|rmw|store <dir>\n"
+               "       flowkv_dump sst <file.sst>\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace flowkv
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    return flowkv::Usage();
+  }
+  const std::string mode = argv[1];
+  const std::string target = argv[2];
+  if (mode == "aar") {
+    return flowkv::DumpAar(target);
+  }
+  if (mode == "aur") {
+    return flowkv::DumpAur(target);
+  }
+  if (mode == "rmw") {
+    return flowkv::DumpRmw(target);
+  }
+  if (mode == "sst") {
+    return flowkv::DumpSst(target);
+  }
+  if (mode == "store") {
+    return flowkv::DumpStore(target);
+  }
+  return flowkv::Usage();
+}
