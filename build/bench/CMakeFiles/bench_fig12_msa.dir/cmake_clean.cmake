@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_msa.dir/bench_fig12_msa.cc.o"
+  "CMakeFiles/bench_fig12_msa.dir/bench_fig12_msa.cc.o.d"
+  "bench_fig12_msa"
+  "bench_fig12_msa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_msa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

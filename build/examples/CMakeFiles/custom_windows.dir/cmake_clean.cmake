@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_windows.dir/custom_windows.cpp.o"
+  "CMakeFiles/custom_windows.dir/custom_windows.cpp.o.d"
+  "custom_windows"
+  "custom_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_tour.dir/store_tour.cpp.o"
+  "CMakeFiles/store_tour.dir/store_tour.cpp.o.d"
+  "store_tour"
+  "store_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

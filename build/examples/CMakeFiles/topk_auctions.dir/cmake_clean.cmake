@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk_auctions.dir/topk_auctions.cpp.o"
+  "CMakeFiles/topk_auctions.dir/topk_auctions.cpp.o.d"
+  "topk_auctions"
+  "topk_auctions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk_auctions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

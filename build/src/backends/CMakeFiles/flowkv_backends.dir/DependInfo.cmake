@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backends/flowkv_backend.cc" "src/backends/CMakeFiles/flowkv_backends.dir/flowkv_backend.cc.o" "gcc" "src/backends/CMakeFiles/flowkv_backends.dir/flowkv_backend.cc.o.d"
+  "/root/repo/src/backends/hashkv_backend.cc" "src/backends/CMakeFiles/flowkv_backends.dir/hashkv_backend.cc.o" "gcc" "src/backends/CMakeFiles/flowkv_backends.dir/hashkv_backend.cc.o.d"
+  "/root/repo/src/backends/lsm_backend.cc" "src/backends/CMakeFiles/flowkv_backends.dir/lsm_backend.cc.o" "gcc" "src/backends/CMakeFiles/flowkv_backends.dir/lsm_backend.cc.o.d"
+  "/root/repo/src/backends/memory_backend.cc" "src/backends/CMakeFiles/flowkv_backends.dir/memory_backend.cc.o" "gcc" "src/backends/CMakeFiles/flowkv_backends.dir/memory_backend.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flowkv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/spe/CMakeFiles/flowkv_spe.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowkv/CMakeFiles/flowkv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/flowkv_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashkv/CMakeFiles/flowkv_hashkv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowkv_backends.dir/flowkv_backend.cc.o"
+  "CMakeFiles/flowkv_backends.dir/flowkv_backend.cc.o.d"
+  "CMakeFiles/flowkv_backends.dir/hashkv_backend.cc.o"
+  "CMakeFiles/flowkv_backends.dir/hashkv_backend.cc.o.d"
+  "CMakeFiles/flowkv_backends.dir/lsm_backend.cc.o"
+  "CMakeFiles/flowkv_backends.dir/lsm_backend.cc.o.d"
+  "CMakeFiles/flowkv_backends.dir/memory_backend.cc.o"
+  "CMakeFiles/flowkv_backends.dir/memory_backend.cc.o.d"
+  "libflowkv_backends.a"
+  "libflowkv_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowkv_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/arena.cc" "src/common/CMakeFiles/flowkv_common.dir/arena.cc.o" "gcc" "src/common/CMakeFiles/flowkv_common.dir/arena.cc.o.d"
+  "/root/repo/src/common/clock.cc" "src/common/CMakeFiles/flowkv_common.dir/clock.cc.o" "gcc" "src/common/CMakeFiles/flowkv_common.dir/clock.cc.o.d"
+  "/root/repo/src/common/coding.cc" "src/common/CMakeFiles/flowkv_common.dir/coding.cc.o" "gcc" "src/common/CMakeFiles/flowkv_common.dir/coding.cc.o.d"
+  "/root/repo/src/common/env.cc" "src/common/CMakeFiles/flowkv_common.dir/env.cc.o" "gcc" "src/common/CMakeFiles/flowkv_common.dir/env.cc.o.d"
+  "/root/repo/src/common/file.cc" "src/common/CMakeFiles/flowkv_common.dir/file.cc.o" "gcc" "src/common/CMakeFiles/flowkv_common.dir/file.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/common/CMakeFiles/flowkv_common.dir/hash.cc.o" "gcc" "src/common/CMakeFiles/flowkv_common.dir/hash.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/common/CMakeFiles/flowkv_common.dir/histogram.cc.o" "gcc" "src/common/CMakeFiles/flowkv_common.dir/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/flowkv_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/flowkv_common.dir/logging.cc.o.d"
+  "/root/repo/src/common/lru_cache.cc" "src/common/CMakeFiles/flowkv_common.dir/lru_cache.cc.o" "gcc" "src/common/CMakeFiles/flowkv_common.dir/lru_cache.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/common/CMakeFiles/flowkv_common.dir/stats.cc.o" "gcc" "src/common/CMakeFiles/flowkv_common.dir/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/flowkv_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/flowkv_common.dir/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

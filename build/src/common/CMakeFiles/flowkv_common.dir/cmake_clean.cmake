@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowkv_common.dir/arena.cc.o"
+  "CMakeFiles/flowkv_common.dir/arena.cc.o.d"
+  "CMakeFiles/flowkv_common.dir/clock.cc.o"
+  "CMakeFiles/flowkv_common.dir/clock.cc.o.d"
+  "CMakeFiles/flowkv_common.dir/coding.cc.o"
+  "CMakeFiles/flowkv_common.dir/coding.cc.o.d"
+  "CMakeFiles/flowkv_common.dir/env.cc.o"
+  "CMakeFiles/flowkv_common.dir/env.cc.o.d"
+  "CMakeFiles/flowkv_common.dir/file.cc.o"
+  "CMakeFiles/flowkv_common.dir/file.cc.o.d"
+  "CMakeFiles/flowkv_common.dir/hash.cc.o"
+  "CMakeFiles/flowkv_common.dir/hash.cc.o.d"
+  "CMakeFiles/flowkv_common.dir/histogram.cc.o"
+  "CMakeFiles/flowkv_common.dir/histogram.cc.o.d"
+  "CMakeFiles/flowkv_common.dir/logging.cc.o"
+  "CMakeFiles/flowkv_common.dir/logging.cc.o.d"
+  "CMakeFiles/flowkv_common.dir/lru_cache.cc.o"
+  "CMakeFiles/flowkv_common.dir/lru_cache.cc.o.d"
+  "CMakeFiles/flowkv_common.dir/stats.cc.o"
+  "CMakeFiles/flowkv_common.dir/stats.cc.o.d"
+  "CMakeFiles/flowkv_common.dir/status.cc.o"
+  "CMakeFiles/flowkv_common.dir/status.cc.o.d"
+  "libflowkv_common.a"
+  "libflowkv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowkv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

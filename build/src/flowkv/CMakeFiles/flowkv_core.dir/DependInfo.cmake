@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flowkv/aar_store.cc" "src/flowkv/CMakeFiles/flowkv_core.dir/aar_store.cc.o" "gcc" "src/flowkv/CMakeFiles/flowkv_core.dir/aar_store.cc.o.d"
+  "/root/repo/src/flowkv/aur_store.cc" "src/flowkv/CMakeFiles/flowkv_core.dir/aur_store.cc.o" "gcc" "src/flowkv/CMakeFiles/flowkv_core.dir/aur_store.cc.o.d"
+  "/root/repo/src/flowkv/ett.cc" "src/flowkv/CMakeFiles/flowkv_core.dir/ett.cc.o" "gcc" "src/flowkv/CMakeFiles/flowkv_core.dir/ett.cc.o.d"
+  "/root/repo/src/flowkv/flowkv_store.cc" "src/flowkv/CMakeFiles/flowkv_core.dir/flowkv_store.cc.o" "gcc" "src/flowkv/CMakeFiles/flowkv_core.dir/flowkv_store.cc.o.d"
+  "/root/repo/src/flowkv/rmw_store.cc" "src/flowkv/CMakeFiles/flowkv_core.dir/rmw_store.cc.o" "gcc" "src/flowkv/CMakeFiles/flowkv_core.dir/rmw_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flowkv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/spe/CMakeFiles/flowkv_spe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

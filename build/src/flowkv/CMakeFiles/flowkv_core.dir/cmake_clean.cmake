@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowkv_core.dir/aar_store.cc.o"
+  "CMakeFiles/flowkv_core.dir/aar_store.cc.o.d"
+  "CMakeFiles/flowkv_core.dir/aur_store.cc.o"
+  "CMakeFiles/flowkv_core.dir/aur_store.cc.o.d"
+  "CMakeFiles/flowkv_core.dir/ett.cc.o"
+  "CMakeFiles/flowkv_core.dir/ett.cc.o.d"
+  "CMakeFiles/flowkv_core.dir/flowkv_store.cc.o"
+  "CMakeFiles/flowkv_core.dir/flowkv_store.cc.o.d"
+  "CMakeFiles/flowkv_core.dir/rmw_store.cc.o"
+  "CMakeFiles/flowkv_core.dir/rmw_store.cc.o.d"
+  "libflowkv_core.a"
+  "libflowkv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowkv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowkv_hashkv.dir/hashkv_store.cc.o"
+  "CMakeFiles/flowkv_hashkv.dir/hashkv_store.cc.o.d"
+  "CMakeFiles/flowkv_hashkv.dir/hybrid_log.cc.o"
+  "CMakeFiles/flowkv_hashkv.dir/hybrid_log.cc.o.d"
+  "libflowkv_hashkv.a"
+  "libflowkv_hashkv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowkv_hashkv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsm/bloom.cc" "src/lsm/CMakeFiles/flowkv_lsm.dir/bloom.cc.o" "gcc" "src/lsm/CMakeFiles/flowkv_lsm.dir/bloom.cc.o.d"
+  "/root/repo/src/lsm/lsm_store.cc" "src/lsm/CMakeFiles/flowkv_lsm.dir/lsm_store.cc.o" "gcc" "src/lsm/CMakeFiles/flowkv_lsm.dir/lsm_store.cc.o.d"
+  "/root/repo/src/lsm/memtable.cc" "src/lsm/CMakeFiles/flowkv_lsm.dir/memtable.cc.o" "gcc" "src/lsm/CMakeFiles/flowkv_lsm.dir/memtable.cc.o.d"
+  "/root/repo/src/lsm/merge.cc" "src/lsm/CMakeFiles/flowkv_lsm.dir/merge.cc.o" "gcc" "src/lsm/CMakeFiles/flowkv_lsm.dir/merge.cc.o.d"
+  "/root/repo/src/lsm/sstable.cc" "src/lsm/CMakeFiles/flowkv_lsm.dir/sstable.cc.o" "gcc" "src/lsm/CMakeFiles/flowkv_lsm.dir/sstable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flowkv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

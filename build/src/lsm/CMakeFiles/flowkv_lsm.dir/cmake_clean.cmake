@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowkv_lsm.dir/bloom.cc.o"
+  "CMakeFiles/flowkv_lsm.dir/bloom.cc.o.d"
+  "CMakeFiles/flowkv_lsm.dir/lsm_store.cc.o"
+  "CMakeFiles/flowkv_lsm.dir/lsm_store.cc.o.d"
+  "CMakeFiles/flowkv_lsm.dir/memtable.cc.o"
+  "CMakeFiles/flowkv_lsm.dir/memtable.cc.o.d"
+  "CMakeFiles/flowkv_lsm.dir/merge.cc.o"
+  "CMakeFiles/flowkv_lsm.dir/merge.cc.o.d"
+  "CMakeFiles/flowkv_lsm.dir/sstable.cc.o"
+  "CMakeFiles/flowkv_lsm.dir/sstable.cc.o.d"
+  "libflowkv_lsm.a"
+  "libflowkv_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowkv_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowkv_nexmark.dir/aggregates.cc.o"
+  "CMakeFiles/flowkv_nexmark.dir/aggregates.cc.o.d"
+  "CMakeFiles/flowkv_nexmark.dir/events.cc.o"
+  "CMakeFiles/flowkv_nexmark.dir/events.cc.o.d"
+  "CMakeFiles/flowkv_nexmark.dir/generator.cc.o"
+  "CMakeFiles/flowkv_nexmark.dir/generator.cc.o.d"
+  "CMakeFiles/flowkv_nexmark.dir/queries.cc.o"
+  "CMakeFiles/flowkv_nexmark.dir/queries.cc.o.d"
+  "libflowkv_nexmark.a"
+  "libflowkv_nexmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowkv_nexmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spe/interval_join_operator.cc" "src/spe/CMakeFiles/flowkv_spe.dir/interval_join_operator.cc.o" "gcc" "src/spe/CMakeFiles/flowkv_spe.dir/interval_join_operator.cc.o.d"
+  "/root/repo/src/spe/job_runner.cc" "src/spe/CMakeFiles/flowkv_spe.dir/job_runner.cc.o" "gcc" "src/spe/CMakeFiles/flowkv_spe.dir/job_runner.cc.o.d"
+  "/root/repo/src/spe/merging_window_set.cc" "src/spe/CMakeFiles/flowkv_spe.dir/merging_window_set.cc.o" "gcc" "src/spe/CMakeFiles/flowkv_spe.dir/merging_window_set.cc.o.d"
+  "/root/repo/src/spe/pipeline.cc" "src/spe/CMakeFiles/flowkv_spe.dir/pipeline.cc.o" "gcc" "src/spe/CMakeFiles/flowkv_spe.dir/pipeline.cc.o.d"
+  "/root/repo/src/spe/window.cc" "src/spe/CMakeFiles/flowkv_spe.dir/window.cc.o" "gcc" "src/spe/CMakeFiles/flowkv_spe.dir/window.cc.o.d"
+  "/root/repo/src/spe/window_operator.cc" "src/spe/CMakeFiles/flowkv_spe.dir/window_operator.cc.o" "gcc" "src/spe/CMakeFiles/flowkv_spe.dir/window_operator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flowkv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowkv_spe.dir/interval_join_operator.cc.o"
+  "CMakeFiles/flowkv_spe.dir/interval_join_operator.cc.o.d"
+  "CMakeFiles/flowkv_spe.dir/job_runner.cc.o"
+  "CMakeFiles/flowkv_spe.dir/job_runner.cc.o.d"
+  "CMakeFiles/flowkv_spe.dir/merging_window_set.cc.o"
+  "CMakeFiles/flowkv_spe.dir/merging_window_set.cc.o.d"
+  "CMakeFiles/flowkv_spe.dir/pipeline.cc.o"
+  "CMakeFiles/flowkv_spe.dir/pipeline.cc.o.d"
+  "CMakeFiles/flowkv_spe.dir/window.cc.o"
+  "CMakeFiles/flowkv_spe.dir/window.cc.o.d"
+  "CMakeFiles/flowkv_spe.dir/window_operator.cc.o"
+  "CMakeFiles/flowkv_spe.dir/window_operator.cc.o.d"
+  "libflowkv_spe.a"
+  "libflowkv_spe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowkv_spe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

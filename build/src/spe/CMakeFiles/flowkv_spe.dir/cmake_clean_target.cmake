@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflowkv_spe.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for flowkv_spe.
+# This may be replaced when dependencies are built.

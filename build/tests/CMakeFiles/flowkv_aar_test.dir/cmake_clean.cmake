@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowkv_aar_test.dir/flowkv_aar_test.cc.o"
+  "CMakeFiles/flowkv_aar_test.dir/flowkv_aar_test.cc.o.d"
+  "flowkv_aar_test"
+  "flowkv_aar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowkv_aar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

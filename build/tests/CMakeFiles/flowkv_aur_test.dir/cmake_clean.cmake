@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowkv_aur_test.dir/flowkv_aur_test.cc.o"
+  "CMakeFiles/flowkv_aur_test.dir/flowkv_aur_test.cc.o.d"
+  "flowkv_aur_test"
+  "flowkv_aur_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowkv_aur_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

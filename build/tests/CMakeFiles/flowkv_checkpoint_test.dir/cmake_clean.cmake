@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowkv_checkpoint_test.dir/flowkv_checkpoint_test.cc.o"
+  "CMakeFiles/flowkv_checkpoint_test.dir/flowkv_checkpoint_test.cc.o.d"
+  "flowkv_checkpoint_test"
+  "flowkv_checkpoint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowkv_checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

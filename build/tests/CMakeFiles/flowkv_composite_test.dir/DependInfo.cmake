@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/flowkv_composite_test.cc" "tests/CMakeFiles/flowkv_composite_test.dir/flowkv_composite_test.cc.o" "gcc" "tests/CMakeFiles/flowkv_composite_test.dir/flowkv_composite_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/backends/CMakeFiles/flowkv_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowkv/CMakeFiles/flowkv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nexmark/CMakeFiles/flowkv_nexmark.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/flowkv_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashkv/CMakeFiles/flowkv_hashkv.dir/DependInfo.cmake"
+  "/root/repo/build/src/spe/CMakeFiles/flowkv_spe.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flowkv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

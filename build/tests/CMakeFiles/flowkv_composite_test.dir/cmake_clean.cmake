@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowkv_composite_test.dir/flowkv_composite_test.cc.o"
+  "CMakeFiles/flowkv_composite_test.dir/flowkv_composite_test.cc.o.d"
+  "flowkv_composite_test"
+  "flowkv_composite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowkv_composite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowkv_rmw_test.dir/flowkv_rmw_test.cc.o"
+  "CMakeFiles/flowkv_rmw_test.dir/flowkv_rmw_test.cc.o.d"
+  "flowkv_rmw_test"
+  "flowkv_rmw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowkv_rmw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_join_test.dir/interval_join_test.cc.o"
+  "CMakeFiles/interval_join_test.dir/interval_join_test.cc.o.d"
+  "interval_join_test"
+  "interval_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

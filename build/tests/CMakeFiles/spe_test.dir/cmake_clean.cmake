@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spe_test.dir/spe_test.cc.o"
+  "CMakeFiles/spe_test.dir/spe_test.cc.o.d"
+  "spe_test"
+  "spe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

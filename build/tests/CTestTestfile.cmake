@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;flowkv_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(lsm_test "/root/repo/build/tests/lsm_test")
+set_tests_properties(lsm_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;10;flowkv_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(hashkv_test "/root/repo/build/tests/hashkv_test")
+set_tests_properties(hashkv_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;11;flowkv_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(spe_test "/root/repo/build/tests/spe_test")
+set_tests_properties(spe_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;12;flowkv_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(interval_join_test "/root/repo/build/tests/interval_join_test")
+set_tests_properties(interval_join_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;13;flowkv_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(flowkv_aar_test "/root/repo/build/tests/flowkv_aar_test")
+set_tests_properties(flowkv_aar_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;14;flowkv_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(flowkv_aur_test "/root/repo/build/tests/flowkv_aur_test")
+set_tests_properties(flowkv_aur_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;15;flowkv_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(flowkv_rmw_test "/root/repo/build/tests/flowkv_rmw_test")
+set_tests_properties(flowkv_rmw_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;16;flowkv_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(flowkv_composite_test "/root/repo/build/tests/flowkv_composite_test")
+set_tests_properties(flowkv_composite_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;17;flowkv_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(flowkv_checkpoint_test "/root/repo/build/tests/flowkv_checkpoint_test")
+set_tests_properties(flowkv_checkpoint_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;flowkv_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(backends_test "/root/repo/build/tests/backends_test")
+set_tests_properties(backends_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;19;flowkv_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(nexmark_test "/root/repo/build/tests/nexmark_test")
+set_tests_properties(nexmark_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;20;flowkv_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(queries_test "/root/repo/build/tests/queries_test")
+set_tests_properties(queries_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;21;flowkv_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/tests/property_test")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;22;flowkv_test;/root/repo/tests/CMakeLists.txt;0;")

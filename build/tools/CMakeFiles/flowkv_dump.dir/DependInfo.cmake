@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/flowkv_dump.cc" "tools/CMakeFiles/flowkv_dump.dir/flowkv_dump.cc.o" "gcc" "tools/CMakeFiles/flowkv_dump.dir/flowkv_dump.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flowkv/CMakeFiles/flowkv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/flowkv_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/spe/CMakeFiles/flowkv_spe.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flowkv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowkv_dump.dir/flowkv_dump.cc.o"
+  "CMakeFiles/flowkv_dump.dir/flowkv_dump.cc.o.d"
+  "flowkv_dump"
+  "flowkv_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowkv_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
