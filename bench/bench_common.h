@@ -42,6 +42,40 @@ inline BenchScale GetBenchScale() {
   return BenchScale{"small", 120'000, 30};
 }
 
+// Observability flags shared by every bench binary:
+//   --metrics-out=<path>        per-worker JSONL time series (appended)
+//   --metrics-interval-ms=<ms>  sampling interval (default 100)
+//   --trace-out=<path>          Chrome-trace JSON of the last executed run
+// Set by ParseBenchFlags(argc, argv) in main; copied into every JobConfig by
+// ExecuteBench. Both default off, so benches measure the undisturbed hot path.
+struct BenchObsFlags {
+  std::string metrics_out;
+  int metrics_interval_ms = 100;
+  std::string trace_out;
+};
+
+inline BenchObsFlags& GlobalBenchObs() {
+  static BenchObsFlags flags;
+  return flags;
+}
+
+// Consumes the observability flags above; unrecognized arguments are left
+// alone (benches have no other flags; bench_micro_stores passes the rest to
+// google-benchmark).
+inline void ParseBenchFlags(int argc, char** argv) {
+  BenchObsFlags& flags = GlobalBenchObs();
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      flags.metrics_out = arg + 14;
+    } else if (std::strncmp(arg, "--metrics-interval-ms=", 22) == 0) {
+      flags.metrics_interval_ms = std::atoi(arg + 22);
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      flags.trace_out = arg + 12;
+    }
+  }
+}
+
 enum class BackendSel { kMemory, kFlowKv, kLsm, kHashKv };
 
 inline const char* BackendName(BackendSel sel) {
@@ -157,6 +191,9 @@ inline BenchResult ExecuteBench(const BenchRun& run) {
   config.target_rate = run.rate;
   config.fail_lag_ms = run.fail_lag_ms;
   config.latency_warmup_events = run.events_per_worker / 5;
+  config.metrics_out_path = GlobalBenchObs().metrics_out;
+  config.metrics_interval_ms = GlobalBenchObs().metrics_interval_ms;
+  config.trace_out_path = GlobalBenchObs().trace_out;
 
   NexmarkConfig nexmark = run.MakeNexmark();
   JobReport report = RunJob(

@@ -46,7 +46,8 @@ void Run() {
 }  // namespace
 }  // namespace flowkv
 
-int main() {
+int main(int argc, char** argv) {
+  flowkv::ParseBenchFlags(argc, argv);
   flowkv::Run();
   return 0;
 }

@@ -17,6 +17,10 @@
 #include "src/hashkv/hashkv_store.h"
 #include "src/lsm/lsm_store.h"
 #include "src/lsm/merge.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+#include "bench/bench_common.h"
 
 namespace flowkv {
 namespace {
@@ -214,4 +218,29 @@ BENCHMARK(BM_FlowKvAurGetPrefetched);
 }  // namespace
 }  // namespace flowkv
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): consume the shared observability
+// flags first, then hand the rest to google-benchmark. --trace-out records
+// the benchmark run itself; --metrics-out dumps a final registry snapshot.
+int main(int argc, char** argv) {
+  flowkv::ParseBenchFlags(argc, argv);
+  const flowkv::BenchObsFlags& obs_flags = flowkv::GlobalBenchObs();
+  if (!obs_flags.trace_out.empty()) {
+    flowkv::obs::Tracing::Enable();
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!obs_flags.trace_out.empty()) {
+    flowkv::obs::Tracing::Disable();
+    flowkv::obs::Tracing::ExportChromeTrace(obs_flags.trace_out);
+  }
+  if (!obs_flags.metrics_out.empty()) {
+    std::FILE* f = std::fopen(obs_flags.metrics_out.c_str(), "a");
+    if (f != nullptr) {
+      const std::string json = flowkv::obs::MetricsRegistry::Global().SnapshotJson();
+      std::fprintf(f, "%s\n", json.c_str());
+      std::fclose(f);
+    }
+  }
+  return 0;
+}

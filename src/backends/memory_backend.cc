@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/obs/metrics.h"
 
 namespace flowkv {
 
@@ -210,6 +211,8 @@ class MemoryBackend : public StateBackend {
   Status CreateAppendAligned(const OperatorStateSpec& spec,
                              std::unique_ptr<AppendAlignedState>* out) override {
     stats_.push_back(std::make_unique<StoreStats>());
+    registrations_.push_back(
+        std::make_unique<obs::ScopedStatsRegistration>(stats_.back().get(), "mem_aar"));
     *out = std::make_unique<MemAarState>(budget_, stats_.back().get());
     return Status::Ok();
   }
@@ -217,12 +220,16 @@ class MemoryBackend : public StateBackend {
   Status CreateAppendUnaligned(const OperatorStateSpec& spec,
                                std::unique_ptr<AppendUnalignedState>* out) override {
     stats_.push_back(std::make_unique<StoreStats>());
+    registrations_.push_back(
+        std::make_unique<obs::ScopedStatsRegistration>(stats_.back().get(), "mem_aur"));
     *out = std::make_unique<MemAurState>(budget_, stats_.back().get());
     return Status::Ok();
   }
 
   Status CreateRmw(const OperatorStateSpec& spec, std::unique_ptr<RmwState>* out) override {
     stats_.push_back(std::make_unique<StoreStats>());
+    registrations_.push_back(
+        std::make_unique<obs::ScopedStatsRegistration>(stats_.back().get(), "mem_rmw"));
     *out = std::make_unique<MemRmwState>(budget_, stats_.back().get());
     return Status::Ok();
   }
@@ -240,6 +247,8 @@ class MemoryBackend : public StateBackend {
  private:
   MemoryBudget budget_;
   std::vector<std::unique_ptr<StoreStats>> stats_;
+  // Destroyed before stats_ (reverse member order), unregistering each block.
+  std::vector<std::unique_ptr<obs::ScopedStatsRegistration>> registrations_;
 };
 
 }  // namespace

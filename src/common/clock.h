@@ -19,32 +19,42 @@ int64_t WallMicros();
 
 // Adds the elapsed monotonic nanoseconds between construction and destruction
 // to *sink. Safe against sink outliving the scope (caller's responsibility).
+// Templated on the sink type so it accepts both plain int64_t accumulators
+// and the RelaxedCounter fields of StoreStats/IoStats (CTAD picks the type).
+template <typename SinkT = int64_t>
 class ScopedTimer {
  public:
-  explicit ScopedTimer(int64_t* sink) : sink_(sink), start_(MonotonicNanos()) {}
+  explicit ScopedTimer(SinkT* sink) : sink_(sink), start_(MonotonicNanos()) {}
   ~ScopedTimer() { *sink_ += MonotonicNanos() - start_; }
 
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
 
  private:
-  int64_t* sink_;
+  SinkT* sink_;
   int64_t start_;
 };
 
+template <typename SinkT>
+ScopedTimer(SinkT*) -> ScopedTimer<SinkT>;
+
 // Same as ScopedTimer but accumulates thread CPU time instead of wall time.
+template <typename SinkT = int64_t>
 class ScopedCpuTimer {
  public:
-  explicit ScopedCpuTimer(int64_t* sink) : sink_(sink), start_(ThreadCpuNanos()) {}
+  explicit ScopedCpuTimer(SinkT* sink) : sink_(sink), start_(ThreadCpuNanos()) {}
   ~ScopedCpuTimer() { *sink_ += ThreadCpuNanos() - start_; }
 
   ScopedCpuTimer(const ScopedCpuTimer&) = delete;
   ScopedCpuTimer& operator=(const ScopedCpuTimer&) = delete;
 
  private:
-  int64_t* sink_;
+  SinkT* sink_;
   int64_t start_;
 };
+
+template <typename SinkT>
+ScopedCpuTimer(SinkT*) -> ScopedCpuTimer<SinkT>;
 
 }  // namespace flowkv
 

@@ -18,7 +18,7 @@ namespace {
 
 class NanoScope {
  public:
-  NanoScope(IoStats* stats, int64_t IoStats::*field) : stats_(stats), field_(field) {
+  NanoScope(IoStats* stats, RelaxedCounter IoStats::*field) : stats_(stats), field_(field) {
     if (stats_ != nullptr) {
       start_ = MonotonicNanos();
     }
@@ -31,7 +31,7 @@ class NanoScope {
 
  private:
   IoStats* stats_;
-  int64_t IoStats::*field_;
+  RelaxedCounter IoStats::*field_;
   int64_t start_ = 0;
 };
 

@@ -14,19 +14,21 @@
 #include <memory>
 #include <string>
 
+#include "src/common/relaxed_counter.h"
 #include "src/common/slice.h"
 #include "src/common/status.h"
 
 namespace flowkv {
 
-// Bytes and wall-nanoseconds spent inside read/write/sync syscalls. Not
-// thread-safe; each store instance owns one (single-threaded contract).
+// Bytes and wall-nanoseconds spent inside read/write/sync syscalls. Written
+// by one thread (the owning store's, single-threaded contract); the relaxed
+// counters make concurrent sampling by the metrics reporter well-defined.
 struct IoStats {
-  int64_t bytes_written = 0;
-  int64_t bytes_read = 0;
-  int64_t write_nanos = 0;
-  int64_t read_nanos = 0;
-  int64_t sync_nanos = 0;
+  RelaxedCounter bytes_written = 0;
+  RelaxedCounter bytes_read = 0;
+  RelaxedCounter write_nanos = 0;
+  RelaxedCounter read_nanos = 0;
+  RelaxedCounter sync_nanos = 0;
 
   void MergeFrom(const IoStats& other) {
     bytes_written += other.bytes_written;

@@ -1,27 +1,48 @@
 #include "src/common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 namespace flowkv {
 
+namespace {
+
+constexpr int kLevelUnset = -1;
+
+// kLevelUnset until first read (lazily seeded from the environment) or an
+// explicit SetLogLevel. Relaxed is enough: the level is a threshold, not a
+// synchronization point.
+std::atomic<int> g_log_level{kLevelUnset};
+
+int ClampLevel(int v) { return v < 0 ? 0 : (v > 3 ? 3 : v); }
+
+int LevelFromEnv() {
+  const char* env = std::getenv("FLOWKV_LOG_LEVEL");
+  if (env == nullptr) {
+    return static_cast<int>(LogLevel::kWarn);
+  }
+  return ClampLevel(std::atoi(env));
+}
+
+}  // namespace
+
 LogLevel CurrentLogLevel() {
-  static const LogLevel level = [] {
-    const char* env = std::getenv("FLOWKV_LOG_LEVEL");
-    if (env == nullptr) {
-      return LogLevel::kWarn;
+  int v = g_log_level.load(std::memory_order_relaxed);
+  if (v == kLevelUnset) {
+    v = LevelFromEnv();
+    // First caller seeds the cache; a concurrent SetLogLevel wins the race.
+    int expected = kLevelUnset;
+    if (!g_log_level.compare_exchange_strong(expected, v, std::memory_order_relaxed)) {
+      v = expected;
     }
-    int v = std::atoi(env);
-    if (v < 0) {
-      v = 0;
-    }
-    if (v > 3) {
-      v = 3;
-    }
-    return static_cast<LogLevel>(v);
-  }();
-  return level;
+  }
+  return static_cast<LogLevel>(v);
+}
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(ClampLevel(static_cast<int>(level)), std::memory_order_relaxed);
 }
 
 void LogLine(LogLevel level, const char* file, int line, const std::string& message) {

@@ -1,19 +1,39 @@
-// Minimal leveled logging to stderr. Verbosity is controlled at runtime via
-// the FLOWKV_LOG_LEVEL environment variable (0=error, 1=warn, 2=info,
-// 3=debug; default 1 so library users aren't spammed).
+// Minimal leveled logging to stderr. Verbosity defaults to the
+// FLOWKV_LOG_LEVEL environment variable (0=error, 1=warn, 2=info, 3=debug;
+// default 1 so library users aren't spammed) and can be overridden at any
+// time with SetLogLevel(); the cached level is read with relaxed atomics so
+// concurrent readers and writers are well-defined.
 #ifndef SRC_COMMON_LOGGING_H_
 #define SRC_COMMON_LOGGING_H_
 
 #include <sstream>
+#include <string_view>
 
 namespace flowkv {
 
 enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 
-// Current threshold (reads FLOWKV_LOG_LEVEL once).
+// Current threshold (FLOWKV_LOG_LEVEL until SetLogLevel overrides it).
 LogLevel CurrentLogLevel();
 
+// Programmatic override; wins over the environment variable from now on.
+void SetLogLevel(LogLevel level);
+
 void LogLine(LogLevel level, const char* file, int line, const std::string& message);
+
+// Structured key=value pair for log lines, so messages stay grep/parse
+// friendly: FLOWKV_LOG(kInfo) << LogKv("event", "compaction") << LogKv("gen", 3);
+template <typename V>
+struct LogKv {
+  LogKv(std::string_view k, const V& v) : key(k), value(v) {}
+  std::string_view key;
+  const V& value;
+};
+
+template <typename V>
+std::ostream& operator<<(std::ostream& os, const LogKv<V>& kv) {
+  return os << kv.key << '=' << kv.value << ' ';
+}
 
 namespace log_internal {
 class LogMessage {

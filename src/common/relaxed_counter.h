@@ -1,0 +1,57 @@
+// RelaxedCounter: a single-writer counter that can be read from other
+// threads without tearing or data races. The SPE contract makes every store
+// instance single-threaded, so the writer never contends with itself; the
+// load+store pair (instead of fetch_add) therefore compiles to a plain
+// add on x86 — the hot path stays unsynchronized while the observability
+// reporter thread samples concurrently with well-defined results.
+#ifndef SRC_COMMON_RELAXED_COUNTER_H_
+#define SRC_COMMON_RELAXED_COUNTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+
+namespace flowkv {
+
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+  RelaxedCounter(int64_t v) : v_(v) {}  // NOLINT: implicit by design
+  RelaxedCounter(const RelaxedCounter& other) : v_(other.load()) {}
+
+  RelaxedCounter& operator=(const RelaxedCounter& other) {
+    v_.store(other.load(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator=(int64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+  // Single-writer increment: not atomic read-modify-write on purpose.
+  RelaxedCounter& operator+=(int64_t d) {
+    v_.store(load() + d, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator-=(int64_t d) { return *this += -d; }
+  RelaxedCounter& operator++() { return *this += 1; }
+  int64_t operator++(int) {
+    const int64_t old = load();
+    *this = old + 1;
+    return old;
+  }
+
+  int64_t load() const { return v_.load(std::memory_order_relaxed); }
+  operator int64_t() const { return load(); }  // NOLINT: implicit by design
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+inline std::ostream& operator<<(std::ostream& os, const RelaxedCounter& c) {
+  return os << c.load();
+}
+
+}  // namespace flowkv
+
+#endif  // SRC_COMMON_RELAXED_COUNTER_H_

@@ -4,35 +4,90 @@
 
 namespace flowkv {
 
+const StoreStats::CounterField* StoreStats::CounterFields(size_t* count) {
+  static const CounterField kFields[] = {
+      {"write_nanos", +[](StoreStats& s) -> RelaxedCounter& { return s.write_nanos; }},
+      {"read_nanos", +[](StoreStats& s) -> RelaxedCounter& { return s.read_nanos; }},
+      {"compaction_nanos", +[](StoreStats& s) -> RelaxedCounter& { return s.compaction_nanos; }},
+      {"writes", +[](StoreStats& s) -> RelaxedCounter& { return s.writes; }},
+      {"reads", +[](StoreStats& s) -> RelaxedCounter& { return s.reads; }},
+      {"compactions", +[](StoreStats& s) -> RelaxedCounter& { return s.compactions; }},
+      {"flushes", +[](StoreStats& s) -> RelaxedCounter& { return s.flushes; }},
+      {"prefetch_hits", +[](StoreStats& s) -> RelaxedCounter& { return s.prefetch_hits; }},
+      {"prefetch_misses", +[](StoreStats& s) -> RelaxedCounter& { return s.prefetch_misses; }},
+      {"prefetch_evictions",
+       +[](StoreStats& s) -> RelaxedCounter& { return s.prefetch_evictions; }},
+      {"prefetched_entries",
+       +[](StoreStats& s) -> RelaxedCounter& { return s.prefetched_entries; }},
+      {"tuples_read_from_disk",
+       +[](StoreStats& s) -> RelaxedCounter& { return s.tuples_read_from_disk; }},
+      {"tuples_consumed", +[](StoreStats& s) -> RelaxedCounter& { return s.tuples_consumed; }},
+      {"ett_predictions", +[](StoreStats& s) -> RelaxedCounter& { return s.ett_predictions; }},
+      {"ett_abs_error_ms_sum",
+       +[](StoreStats& s) -> RelaxedCounter& { return s.ett_abs_error_ms_sum; }},
+      {"io_bytes_written", +[](StoreStats& s) -> RelaxedCounter& { return s.io.bytes_written; }},
+      {"io_bytes_read", +[](StoreStats& s) -> RelaxedCounter& { return s.io.bytes_read; }},
+      {"io_write_nanos", +[](StoreStats& s) -> RelaxedCounter& { return s.io.write_nanos; }},
+      {"io_read_nanos", +[](StoreStats& s) -> RelaxedCounter& { return s.io.read_nanos; }},
+      {"io_sync_nanos", +[](StoreStats& s) -> RelaxedCounter& { return s.io.sync_nanos; }},
+  };
+  *count = sizeof(kFields) / sizeof(kFields[0]);
+  return kFields;
+}
+
+// Layout guard: adding a field to StoreStats changes its size, which fails
+// this assert until the field is also added to CounterFields (or is
+// deliberately excluded, like the histogram) and the size here is updated.
+// That is the point — counters must not silently miss aggregation/export.
+#if defined(__x86_64__) && defined(__linux__)
+static_assert(sizeof(IoStats) == 5 * sizeof(RelaxedCounter),
+              "IoStats changed: update StoreStats::CounterFields and this assert");
+static_assert(sizeof(StoreStats) ==
+                  15 * sizeof(RelaxedCounter) + sizeof(IoStats) + sizeof(Histogram),
+              "StoreStats changed: update CounterFields/MergeFrom/ToString and this assert");
+#endif
+
 void StoreStats::MergeFrom(const StoreStats& other) {
-  write_nanos += other.write_nanos;
-  read_nanos += other.read_nanos;
-  compaction_nanos += other.compaction_nanos;
-  writes += other.writes;
-  reads += other.reads;
-  compactions += other.compactions;
-  flushes += other.flushes;
-  prefetch_hits += other.prefetch_hits;
-  prefetch_misses += other.prefetch_misses;
-  prefetch_evictions += other.prefetch_evictions;
-  prefetched_entries += other.prefetched_entries;
-  tuples_read_from_disk += other.tuples_read_from_disk;
-  tuples_consumed += other.tuples_consumed;
-  io.MergeFrom(other.io);
+  size_t n = 0;
+  const CounterField* fields = CounterFields(&n);
+  for (size_t i = 0; i < n; ++i) {
+    fields[i].get(*this) += fields[i].get(const_cast<StoreStats&>(other)).load();
+  }
+  ett_abs_error_ms.Merge(other.ett_abs_error_ms);
 }
 
 std::string StoreStats::ToString() const {
-  char buf[512];
+  char buf[640];
   std::snprintf(
       buf, sizeof(buf),
       "write=%.3fs read=%.3fs compact=%.3fs | ops w=%lld r=%lld c=%lld f=%lld | "
-      "hit_ratio=%.3f read_amp=%.2f | io w=%lldMB r=%lldMB",
+      "hit_ratio=%.3f read_amp=%.2f | ett n=%lld err_mean=%.1fms err_p95=%.1fms | "
+      "io w=%lldMB r=%lldMB",
       write_nanos / 1e9, read_nanos / 1e9, compaction_nanos / 1e9,
       static_cast<long long>(writes), static_cast<long long>(reads),
       static_cast<long long>(compactions), static_cast<long long>(flushes), PrefetchHitRatio(),
-      ReadAmplification(), static_cast<long long>(io.bytes_written >> 20),
+      ReadAmplification(), static_cast<long long>(ett_predictions), EttMeanAbsErrorMs(),
+      ett_abs_error_ms.Percentile(95), static_cast<long long>(io.bytes_written >> 20),
       static_cast<long long>(io.bytes_read >> 20));
   return buf;
+}
+
+std::string StoreStats::ToJson() const {
+  std::string json = "{";
+  size_t n = 0;
+  const CounterField* fields = CounterFields(&n);
+  char buf[96];
+  for (size_t i = 0; i < n; ++i) {
+    std::snprintf(buf, sizeof(buf), "\"%s\":%lld,", fields[i].name,
+                  static_cast<long long>(fields[i].get(const_cast<StoreStats&>(*this)).load()));
+    json += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "\"prefetch_hit_ratio\":%.4f,\"read_amplification\":%.4f,"
+                "\"ett_mean_abs_error_ms\":%.2f}",
+                PrefetchHitRatio(), ReadAmplification(), EttMeanAbsErrorMs());
+  json += buf;
+  return json;
 }
 
 }  // namespace flowkv

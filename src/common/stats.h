@@ -2,6 +2,13 @@
 // execution-time and CPU-time breakdowns (Fig. 4 and Fig. 10) and the
 // prefetch-hit-ratio plot (Fig. 11). Single-threaded per instance (the SPE
 // contract); MergeFrom aggregates across instances/workers after the run.
+//
+// Counter fields are RelaxedCounters so the observability reporter thread
+// (src/obs/reporter.h) can sample a live instance concurrently with the
+// owning worker. Every counter is enumerated by ForEachCounter, which
+// MergeFrom and ToJson are built on — adding a field to the visitor list is
+// all it takes to aggregate and export it (and a static_assert in stats.cc
+// fails the build if a field is added without updating the list).
 #ifndef SRC_COMMON_STATS_H_
 #define SRC_COMMON_STATS_H_
 
@@ -9,31 +16,44 @@
 #include <string>
 
 #include "src/common/file.h"
+#include "src/common/histogram.h"
+#include "src/common/relaxed_counter.h"
 
 namespace flowkv {
 
 struct StoreStats {
   // Wall time spent inside store entry points, by operation class.
-  int64_t write_nanos = 0;       // Put / Append / Upsert / Merge
-  int64_t read_nanos = 0;        // Get / GetWindow / Scan (incl. removal)
-  int64_t compaction_nanos = 0;  // compaction / merging / flush-triggered work
+  RelaxedCounter write_nanos = 0;       // Put / Append / Upsert / Merge
+  RelaxedCounter read_nanos = 0;        // Get / GetWindow / Scan (incl. removal)
+  RelaxedCounter compaction_nanos = 0;  // compaction / merging / flush-triggered work
 
   // Operation counts.
-  int64_t writes = 0;
-  int64_t reads = 0;
-  int64_t compactions = 0;
-  int64_t flushes = 0;
+  RelaxedCounter writes = 0;
+  RelaxedCounter reads = 0;
+  RelaxedCounter compactions = 0;
+  RelaxedCounter flushes = 0;
 
   // Prefetch effectiveness (AUR predictive batch read).
-  int64_t prefetch_hits = 0;
-  int64_t prefetch_misses = 0;
-  int64_t prefetch_evictions = 0;   // wrong ETT -> evicted before read
-  int64_t prefetched_entries = 0;   // entries loaded by batch reads
-  int64_t tuples_read_from_disk = 0;  // includes re-reads after eviction
-  int64_t tuples_consumed = 0;        // distinct tuples handed to the SPE
+  RelaxedCounter prefetch_hits = 0;
+  RelaxedCounter prefetch_misses = 0;
+  RelaxedCounter prefetch_evictions = 0;   // wrong ETT -> evicted before read
+  RelaxedCounter prefetched_entries = 0;   // entries loaded by batch reads
+  RelaxedCounter tuples_read_from_disk = 0;  // includes re-reads after eviction
+  RelaxedCounter tuples_consumed = 0;        // distinct tuples handed to the SPE
+
+  // ETT prediction accuracy (paper §4.2): each AUR trigger records how far
+  // the actual (event-time) trigger landed from the predicted ETT. Only
+  // predictable windows count; kUnknown estimates are skipped.
+  RelaxedCounter ett_predictions = 0;
+  RelaxedCounter ett_abs_error_ms_sum = 0;
 
   // Raw I/O accounting (bytes + syscall wall time), filled by file wrappers.
   IoStats io;
+
+  // Distribution of the per-trigger |actual - predicted| error. Written only
+  // by the owning worker; sampled post-run (ToString) — the live reporter
+  // reads the counter fields above instead.
+  Histogram ett_abs_error_ms;
 
   double PrefetchHitRatio() const {
     int64_t total = prefetch_hits + prefetch_misses;
@@ -48,10 +68,40 @@ struct StoreStats {
                : static_cast<double>(tuples_read_from_disk) / static_cast<double>(tuples_consumed);
   }
 
+  // Mean absolute ETT prediction error in milliseconds (0 when no
+  // predictable trigger has been observed).
+  double EttMeanAbsErrorMs() const {
+    return ett_predictions == 0
+               ? 0.0
+               : static_cast<double>(ett_abs_error_ms_sum) / static_cast<double>(ett_predictions);
+  }
+
   int64_t TotalStoreNanos() const { return write_nanos + read_nanos + compaction_nanos; }
+
+  // Enumerates every counter field (including the nested IoStats fields) as
+  // (name, accessor) pairs. The accessor returns the field of the StoreStats
+  // it is applied to, so one table drives MergeFrom, ToJson, sampling, and
+  // the field-completeness test.
+  struct CounterField {
+    const char* name;
+    RelaxedCounter& (*get)(StoreStats&);
+  };
+  // Table terminated by the returned count.
+  static const CounterField* CounterFields(size_t* count);
+
+  template <typename Fn>
+  void ForEachCounter(Fn&& fn) {
+    size_t n = 0;
+    const CounterField* fields = CounterFields(&n);
+    for (size_t i = 0; i < n; ++i) {
+      fn(fields[i].name, fields[i].get(*this));
+    }
+  }
 
   void MergeFrom(const StoreStats& other);
   std::string ToString() const;
+  // One JSON object with every counter plus the derived ratios.
+  std::string ToJson() const;
 };
 
 }  // namespace flowkv

@@ -8,6 +8,7 @@
 #include "src/common/file.h"
 #include "src/common/hash.h"
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 
 namespace flowkv {
 
@@ -40,6 +41,8 @@ Status AarStore::Append(const Slice& key, const Slice& value, const Window& w) {
 }
 
 Status AarStore::FlushBuffer() {
+  obs::TraceSpan span("flush", "store");
+  span.AddArg("bytes", static_cast<int64_t>(buffered_bytes_));
   ++stats_.flushes;
   std::string encoded;
   for (auto& [window, bucket] : buffer_) {
@@ -115,6 +118,9 @@ Status AarStore::StartRead(const Window& w, ReadCursor* cursor) {
 
 Status AarStore::ReadPass(const Window& w, const ReadCursor& cursor,
                           std::vector<WindowChunkEntry>* chunk) {
+  obs::TraceSpan span("aar_read_pass", "store");
+  span.AddArg("pass", cursor.next_pass);
+  span.AddArg("total_passes", cursor.total_passes);
   // Stream the log once, keeping only keys of this pass's hash group, fully
   // grouped (key-complete partition).
   std::unique_ptr<SequentialFile> file;

@@ -29,6 +29,7 @@
 #include "src/common/file.h"
 #include "src/common/slice.h"
 #include "src/common/stats.h"
+#include "src/obs/metrics.h"
 #include "src/common/status.h"
 #include "src/flowkv/flowkv_options.h"
 #include "src/spe/state.h"
@@ -101,6 +102,9 @@ class AarStore {
   std::unordered_map<Window, ReadCursor, WindowHash> read_cursors_;
 
   StoreStats stats_;
+  // Samples stats_ live under the registering thread's (worker, partition)
+  // labels; declared after stats_ so it unregisters before destruction.
+  obs::ScopedStatsRegistration stats_registration_{&stats_, "aar"};
 };
 
 }  // namespace flowkv

@@ -6,6 +6,7 @@
 #include "src/common/coding.h"
 #include "src/common/env.h"
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 
 namespace flowkv {
 
@@ -134,6 +135,7 @@ Status AurStore::Append(const Slice& key, const Slice& value, const Window& w,
   // (paper Eq. 1 read amplification).
   if (prefetch_.erase(sk) > 0) {
     ++stats_.prefetch_evictions;
+    obs::TraceInstant("prefetch_evict", "prefetch", "reason_append", 1);
   }
 
   BufferedEntry& entry = buffer_[sk];
@@ -154,6 +156,9 @@ Status AurStore::Append(const Slice& key, const Slice& value, const Window& w,
 }
 
 Status AurStore::FlushBuffer() {
+  obs::TraceSpan span("flush", "store");
+  span.AddArg("bytes", static_cast<int64_t>(buffered_bytes_));
+  span.AddArg("entries", static_cast<int64_t>(buffer_.size()));
   ++stats_.flushes;
   std::string segment;
   std::string index_entry;
@@ -290,6 +295,9 @@ Status AurStore::LoadSegments(
 
 Status AurStore::CompactWith(std::unordered_map<std::string, std::vector<IndexEntry>> live) {
   ScopedTimer t(&stats_.compaction_nanos);
+  obs::TraceSpan span("compaction", "compaction");
+  span.AddArg("live_entries", static_cast<int64_t>(live.size()));
+  span.AddArg("dead_bytes", static_cast<int64_t>(dead_bytes_));
   ++stats_.compactions;
 
   FLOWKV_RETURN_IF_ERROR(data_log_->Flush());
@@ -343,6 +351,7 @@ Status AurStore::CompactWith(std::unordered_map<std::string, std::vector<IndexEn
 }
 
 Status AurStore::PredictiveBatchRead(const std::string& requested) {
+  obs::TraceSpan span("predictive_batch_read", "prefetch");
   // One index-log scan serves both the batch-read selection and the
   // compaction liveness analysis (integrated compaction, §4.2).
   std::unordered_map<std::string, std::vector<IndexEntry>> live;
@@ -386,6 +395,8 @@ Status AurStore::PredictiveBatchRead(const std::string& requested) {
   size_t n = static_cast<size_t>(options_.read_batch_ratio * static_cast<double>(live.size()));
   n = std::min(n, candidates.size());
   std::partial_sort(candidates.begin(), candidates.begin() + n, candidates.end());
+  span.AddArg("live_entries", static_cast<int64_t>(live.size()));
+  span.AddArg("batch_n", static_cast<int64_t>(n));
 
   std::unordered_map<std::string, std::vector<IndexEntry>> to_load;
   auto requested_it = live.find(requested);
@@ -471,13 +482,18 @@ Status AurStore::Get(const Slice& key, const Window& w, std::vector<std::string>
   if (stat_it != stat_.end() && stat_it->second.max_timestamp != INT64_MIN &&
       clock_ != INT64_MIN) {
     predictor_->Observe(clock_ - stat_it->second.max_timestamp);
+    // ETT accuracy: the stat table holds the last prediction for this window;
+    // the event-time clock is when the trigger actually happened.
+    RecordEttOutcome(stat_it->second.ett, clock_, &stats_);
   }
 
   if (disk_bytes_.contains(sk)) {
     if (prefetch_.contains(sk)) {
       ++stats_.prefetch_hits;
+      obs::TraceInstant("prefetch_hit", "prefetch");
     } else {
       ++stats_.prefetch_misses;
+      obs::TraceInstant("prefetch_miss", "prefetch");
       FLOWKV_RETURN_IF_ERROR(PredictiveBatchRead(sk));
     }
   }
@@ -507,6 +523,7 @@ Status AurStore::MergeWindows(const Slice& key, const std::vector<Window>& sourc
       const std::string dst_sk = StateKey(key, dst);
       if (prefetch_.erase(dst_sk) > 0) {
         ++stats_.prefetch_evictions;
+        obs::TraceInstant("prefetch_evict", "prefetch", "reason_merge", 1);
       }
       BufferedEntry& entry = buffer_[dst_sk];
       const uint64_t cost = value.size() + 24;

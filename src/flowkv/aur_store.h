@@ -36,6 +36,7 @@
 #include "src/common/status.h"
 #include "src/flowkv/ett.h"
 #include "src/flowkv/flowkv_options.h"
+#include "src/obs/metrics.h"
 #include "src/spe/window.h"
 
 namespace flowkv {
@@ -183,6 +184,9 @@ class AurStore {
   uint64_t live_disk_entries_ = 0;  // live (key,window) entries with disk data
 
   StoreStats stats_;
+  // Samples stats_ live under the registering thread's (worker, partition)
+  // labels; must be declared after stats_ (destroyed before it).
+  obs::ScopedStatsRegistration stats_registration_{&stats_, "aur"};
 };
 
 }  // namespace flowkv

@@ -1,5 +1,8 @@
 #include "src/flowkv/ett.h"
 
+#include "src/common/stats.h"
+#include "src/obs/trace.h"
+
 namespace flowkv {
 
 std::unique_ptr<EttPredictor> MakeEttPredictor(const OperatorStateSpec& spec) {
@@ -15,6 +18,18 @@ std::unique_ptr<EttPredictor> MakeEttPredictor(const OperatorStateSpec& spec) {
       return std::make_unique<UnpredictableEttPredictor>();
   }
   return std::make_unique<UnpredictableEttPredictor>();
+}
+
+void RecordEttOutcome(int64_t predicted_ms, int64_t actual_ms, StoreStats* stats) {
+  if (predicted_ms == EttPredictor::kUnknown || stats == nullptr) {
+    return;
+  }
+  const int64_t abs_error =
+      actual_ms >= predicted_ms ? actual_ms - predicted_ms : predicted_ms - actual_ms;
+  ++stats->ett_predictions;
+  stats->ett_abs_error_ms_sum += abs_error;
+  stats->ett_abs_error_ms.Add(static_cast<double>(abs_error));
+  obs::TraceInstant("ett_outcome", "ett", "predicted_ms", predicted_ms, "actual_ms", actual_ms);
 }
 
 }  // namespace flowkv

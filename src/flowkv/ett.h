@@ -134,6 +134,14 @@ class AdaptiveEttPredictor : public EttPredictor {
 // (§8); pass nullptr for the default mapping.
 std::unique_ptr<EttPredictor> MakeEttPredictor(const OperatorStateSpec& spec);
 
+struct StoreStats;
+
+// Accounts one (predicted ETT, actual trigger time) pair into `stats`
+// (ett_predictions / abs-error sum / error histogram) and emits an
+// "ett_outcome" trace instant. kUnknown predictions are skipped — only
+// windows the predictor claimed to bound count toward accuracy.
+void RecordEttOutcome(int64_t predicted_ms, int64_t actual_ms, StoreStats* stats);
+
 }  // namespace flowkv
 
 #endif  // SRC_FLOWKV_ETT_H_

@@ -4,6 +4,8 @@
 #include "src/common/env.h"
 #include "src/common/file.h"
 #include "src/common/hash.h"
+#include "src/obs/context.h"
+#include "src/spe/state.h"
 
 namespace flowkv {
 
@@ -18,6 +20,8 @@ Status FlowKvStore::Open(const std::string& dir, const FlowKvOptions& options,
   store->pattern_ = ClassifyPattern(spec.incremental, spec.window_kind, spec.alignment_hint);
   const int m = std::max(options.num_partitions, 1);
   for (int i = 0; i < m; ++i) {
+    // Label each partition store's metrics registration with its id/pattern.
+    obs::PartitionScope part_scope(i, StorePatternName(store->pattern_));
     const std::string part_dir = JoinPath(dir, "p" + std::to_string(i));
     switch (store->pattern_) {
       case StorePattern::kAppendAligned: {
@@ -173,6 +177,7 @@ Status FlowKvStore::RestoreFrom(const std::string& checkpoint_dir, const std::st
   std::unique_ptr<FlowKvStore> store(new FlowKvStore());
   store->pattern_ = pattern;
   for (uint32_t i = 0; i < m; ++i) {
+    obs::PartitionScope part_scope(static_cast<int>(i), StorePatternName(pattern));
     const std::string ckpt_part = JoinPath(checkpoint_dir, "p" + std::to_string(i));
     const std::string part_dir = JoinPath(dir, "p" + std::to_string(i));
     switch (pattern) {

@@ -6,6 +6,7 @@
 #include "src/common/coding.h"
 #include "src/common/env.h"
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 
 namespace flowkv {
 
@@ -155,6 +156,8 @@ Status RmwStore::Remove(const Slice& key, const Window& w) {
 }
 
 Status RmwStore::FlushBuffer() {
+  obs::TraceSpan span("flush", "store");
+  span.AddArg("bytes", static_cast<int64_t>(buffered_bytes_));
   ++stats_.flushes;
   std::string record;
   for (const auto& [sk, value] : buffer_) {
@@ -199,6 +202,9 @@ Status RmwStore::MaybeCompact() {
 
 Status RmwStore::Compact() {
   ScopedTimer t(&stats_.compaction_nanos);
+  obs::TraceSpan span("compaction", "compaction");
+  span.AddArg("live_records", static_cast<int64_t>(index_.size()));
+  span.AddArg("dead_bytes", static_cast<int64_t>(dead_bytes_));
   ++stats_.compactions;
 
   FLOWKV_RETURN_IF_ERROR(log_->Flush());

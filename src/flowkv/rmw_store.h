@@ -18,6 +18,7 @@
 #include "src/common/file.h"
 #include "src/common/slice.h"
 #include "src/common/stats.h"
+#include "src/obs/metrics.h"
 #include "src/common/status.h"
 #include "src/flowkv/flowkv_options.h"
 #include "src/spe/window.h"
@@ -91,6 +92,9 @@ class RmwStore {
   uint64_t dead_bytes_ = 0;
 
   StoreStats stats_;
+  // Samples stats_ live under the registering thread's (worker, partition)
+  // labels; declared after stats_ so it unregisters before destruction.
+  obs::ScopedStatsRegistration stats_registration_{&stats_, "rmw"};
 };
 
 }  // namespace flowkv

@@ -6,6 +6,7 @@
 #include "src/common/env.h"
 #include "src/common/hash.h"
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 
 namespace flowkv {
 
@@ -197,6 +198,7 @@ Status HashKvStore::MaybeCompact() {
 
 Status HashKvStore::Compact() {
   ScopedTimer t(&stats_.compaction_nanos);
+  obs::TraceSpan span("compaction", "compaction");
   ++stats_.compactions;
 
   // Collect the newest live version of every key by walking every chain.

@@ -22,6 +22,7 @@
 
 #include "src/common/slice.h"
 #include "src/common/stats.h"
+#include "src/obs/metrics.h"
 #include "src/common/status.h"
 #include "src/hashkv/epoch.h"
 #include "src/hashkv/hybrid_log.h"
@@ -93,6 +94,9 @@ class HashKvStore {
 
   uint64_t live_bytes_ = 0;
   StoreStats stats_;
+  // Samples stats_ live under the registering thread's (worker, partition)
+  // labels; declared after stats_ so it unregisters before destruction.
+  obs::ScopedStatsRegistration stats_registration_{&stats_, "hashkv"};
 };
 
 }  // namespace flowkv

@@ -7,6 +7,7 @@
 #include "src/common/clock.h"
 #include "src/common/env.h"
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 
 namespace flowkv {
 
@@ -123,6 +124,7 @@ Status LsmStore::FlushLocked() {
   tables_.insert(tables_.begin(), std::move(reader));
   memtable_ = std::make_unique<MemTable>();
   ++stats_.flushes;
+  obs::TraceInstant("memtable_flush", "store", "tables", static_cast<int64_t>(tables_.size()));
   return Status::Ok();
 }
 
@@ -273,6 +275,8 @@ Status LsmStore::CompactAll() {
     return Status::Ok();
   }
   ScopedTimer t(&stats_.compaction_nanos);
+  obs::TraceSpan span("compaction", "compaction");
+  span.AddArg("tables", static_cast<int64_t>(tables_.size()));
   ++stats_.compactions;
 
   const uint64_t number = next_table_number_++;

@@ -19,6 +19,7 @@
 #include "src/common/lru_cache.h"
 #include "src/common/slice.h"
 #include "src/common/stats.h"
+#include "src/obs/metrics.h"
 #include "src/common/status.h"
 #include "src/lsm/memtable.h"
 #include "src/lsm/merge.h"
@@ -95,6 +96,9 @@ class LsmStore {
   uint64_t next_table_number_ = 1;
 
   StoreStats stats_;
+  // Samples stats_ live under the registering thread's (worker, partition)
+  // labels; declared after stats_ so it unregisters before destruction.
+  obs::ScopedStatsRegistration stats_registration_{&stats_, "lsm"};
 };
 
 }  // namespace flowkv

@@ -1,0 +1,26 @@
+#include "src/obs/context.h"
+
+namespace flowkv {
+namespace obs {
+
+namespace {
+thread_local ThreadContext t_context;
+}  // namespace
+
+ThreadContext& CurrentContext() { return t_context; }
+
+WorkerScope::WorkerScope(int worker) : saved_(t_context.worker) { t_context.worker = worker; }
+WorkerScope::~WorkerScope() { t_context.worker = saved_; }
+
+PartitionScope::PartitionScope(int partition, const char* pattern)
+    : saved_partition_(t_context.partition), saved_pattern_(t_context.pattern) {
+  t_context.partition = partition;
+  t_context.pattern = pattern;
+}
+PartitionScope::~PartitionScope() {
+  t_context.partition = saved_partition_;
+  t_context.pattern = saved_pattern_;
+}
+
+}  // namespace obs
+}  // namespace flowkv

@@ -1,0 +1,53 @@
+// Thread-local observability context. The SPE runs one worker per thread and
+// one partition at a time per worker, so a pair of RAII scopes is enough to
+// label every metric and trace event with (worker, partition, store pattern)
+// without threading label arguments through the store APIs.
+#ifndef SRC_OBS_CONTEXT_H_
+#define SRC_OBS_CONTEXT_H_
+
+namespace flowkv {
+namespace obs {
+
+struct ThreadContext {
+  int worker = -1;          // SPE worker id, -1 outside a worker thread
+  int partition = -1;       // store partition id, -1 outside a partition scope
+  const char* pattern = ""; // store pattern label ("aar", "aur", "rmw", ...)
+};
+
+// The calling thread's current context (mutable reference).
+ThreadContext& CurrentContext();
+
+// Sets the worker id for the lifetime of the scope. Installed at the top of
+// each SPE worker thread (and around the single-worker inline path).
+class WorkerScope {
+ public:
+  explicit WorkerScope(int worker);
+  ~WorkerScope();
+
+  WorkerScope(const WorkerScope&) = delete;
+  WorkerScope& operator=(const WorkerScope&) = delete;
+
+ private:
+  int saved_;
+};
+
+// Sets the partition id and store-pattern label for the lifetime of the
+// scope. Installed where per-partition stores are created/restored so their
+// stats registration picks up the right labels.
+class PartitionScope {
+ public:
+  PartitionScope(int partition, const char* pattern);
+  ~PartitionScope();
+
+  PartitionScope(const PartitionScope&) = delete;
+  PartitionScope& operator=(const PartitionScope&) = delete;
+
+ private:
+  int saved_partition_;
+  const char* saved_pattern_;
+};
+
+}  // namespace obs
+}  // namespace flowkv
+
+#endif  // SRC_OBS_CONTEXT_H_

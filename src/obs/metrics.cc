@@ -1,0 +1,176 @@
+#include "src/obs/metrics.h"
+
+#include <cstdio>
+
+#include "src/obs/context.h"
+
+namespace flowkv {
+namespace obs {
+
+namespace {
+
+MetricLabels LabelsFromContext(const char* pattern_override = nullptr) {
+  const ThreadContext& ctx = CurrentContext();
+  MetricLabels labels;
+  labels.worker = ctx.worker;
+  labels.partition = ctx.partition;
+  labels.pattern = pattern_override != nullptr ? pattern_override : ctx.pattern;
+  return labels;
+}
+
+template <typename T>
+T* FindOrCreate(std::map<std::string, std::unique_ptr<T>>* m, const std::string& key) {
+  auto it = m->find(key);
+  if (it == m->end()) {
+    it = m->emplace(key, std::make_unique<T>()).first;
+  }
+  return it->second.get();
+}
+
+}  // namespace
+
+std::string MetricLabels::Key() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "|w=%d|p=%d|%s", worker, partition, pattern.c_str());
+  return buf;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(&counters_, name + LabelsFromContext().Key());
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(&gauges_, name + LabelsFromContext().Key());
+}
+
+TimerMetric* MetricsRegistry::GetTimer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(&timers_, name + LabelsFromContext().Key());
+}
+
+uint64_t MetricsRegistry::RegisterStoreStats(StoreStats* stats, const char* pattern) {
+  std::lock_guard<std::mutex> lock(mu_);
+  StatsEntry entry;
+  entry.id = next_stats_id_++;
+  entry.stats = stats;
+  entry.labels = LabelsFromContext(pattern);
+  stats_.push_back(entry);
+  return entry.id;
+}
+
+void MetricsRegistry::UnregisterStoreStats(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < stats_.size(); ++i) {
+    if (stats_[i].id == id) {
+      stats_.erase(stats_.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+StoreStats MetricsRegistry::AggregateStoreStats(int worker) const {
+  StoreStats agg;
+  size_t n = 0;
+  const StoreStats::CounterField* fields = StoreStats::CounterFields(&n);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const StatsEntry& entry : stats_) {
+    if (worker >= 0 && entry.labels.worker != worker) continue;
+    // Counters only: relaxed loads are race-free against the owning worker;
+    // the embedded histogram is not, so it is skipped here (MergeFrom is for
+    // post-run aggregation of quiesced stats).
+    for (size_t i = 0; i < n; ++i) {
+      fields[i].get(agg) += fields[i].get(*entry.stats).load();
+    }
+  }
+  return agg;
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSample> out;
+  size_t n = 0;
+  const StoreStats::CounterField* fields = StoreStats::CounterFields(&n);
+  std::lock_guard<std::mutex> lock(mu_);
+
+  auto parse_key = [](const std::string& key, MetricSample* s) {
+    // key = name + "|w=<w>|p=<p>|<pattern>"
+    size_t bar = key.find('|');
+    s->name = key.substr(0, bar);
+    int w = -1, p = -1;
+    char pattern[64] = "";
+    std::sscanf(key.c_str() + bar, "|w=%d|p=%d|%63s", &w, &p, pattern);
+    s->labels.worker = w;
+    s->labels.partition = p;
+    s->labels.pattern = pattern;
+  };
+
+  for (const auto& kv : counters_) {
+    MetricSample s;
+    parse_key(kv.first, &s);
+    s.kind = "counter";
+    s.value = kv.second->Value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& kv : gauges_) {
+    MetricSample s;
+    parse_key(kv.first, &s);
+    s.kind = "gauge";
+    s.value = kv.second->Value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& kv : timers_) {
+    MetricSample s;
+    parse_key(kv.first, &s);
+    s.kind = "timer_count";
+    s.value = kv.second->Count();
+    out.push_back(s);
+    s.kind = "timer_nanos";
+    s.value = kv.second->TotalNanos();
+    out.push_back(std::move(s));
+  }
+  for (const StatsEntry& entry : stats_) {
+    for (size_t i = 0; i < n; ++i) {
+      MetricSample s;
+      s.name = fields[i].name;
+      s.labels = entry.labels;
+      s.kind = "stats";
+      s.value = fields[i].get(*entry.stats).load();
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::vector<MetricSample> samples = Snapshot();
+  std::string json = "[";
+  char buf[256];
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const MetricSample& s = samples[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"worker\":%d,\"partition\":%d,\"pattern\":\"%s\","
+                  "\"kind\":\"%s\",\"value\":%lld}",
+                  i == 0 ? "" : ",", s.name.c_str(), s.labels.worker, s.labels.partition,
+                  s.labels.pattern.c_str(), s.kind, static_cast<long long>(s.value));
+    json += buf;
+  }
+  json += "]";
+  return json;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& kv : counters_) *kv.second = Counter();
+  for (auto& kv : gauges_) *kv.second = Gauge();
+  for (auto& kv : timers_) *kv.second = TimerMetric();
+  stats_.clear();
+}
+
+}  // namespace obs
+}  // namespace flowkv

@@ -1,0 +1,149 @@
+// Live metrics registry. Instruments (counters, gauges, timers) and
+// registered StoreStats blocks are owned by the process-wide registry and
+// labeled with the (worker, partition, pattern) context of the registering
+// thread. Hot-path updates are single-writer RelaxedCounter stores — no
+// locks, no contended cache lines under the SPE's thread-per-partition
+// contract — while the reporter thread snapshots them concurrently with
+// relaxed loads.
+//
+// Lookup (GetCounter etc.) takes a mutex; callers on hot paths should look
+// up once and cache the returned pointer, which stays valid for the life of
+// the process (instruments are never deallocated, only Reset() to zero).
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/relaxed_counter.h"
+#include "src/common/stats.h"
+
+namespace flowkv {
+namespace obs {
+
+// Label set attached to every instrument at creation time.
+struct MetricLabels {
+  int worker = -1;
+  int partition = -1;
+  std::string pattern;
+
+  std::string Key() const;  // canonical map-key / JSON fragment
+};
+
+// Monotonically increasing count (events, bytes, ...). Single writer.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) { v_ += delta; }
+  int64_t Value() const { return v_.load(); }
+
+ private:
+  RelaxedCounter v_;
+};
+
+// Last-write-wins level (queue depth, lag, ...). Single writer.
+class Gauge {
+ public:
+  void Set(int64_t value) { v_ = value; }
+  int64_t Value() const { return v_.load(); }
+
+ private:
+  RelaxedCounter v_;
+};
+
+// Duration accumulator: total nanoseconds and sample count. Use with
+// ScopedTimer via nanos() or Record() directly.
+class TimerMetric {
+ public:
+  void Record(int64_t nanos) {
+    count_ += 1;
+    nanos_ += nanos;
+  }
+  RelaxedCounter* nanos_sink() { return &nanos_; }
+  int64_t Count() const { return count_.load(); }
+  int64_t TotalNanos() const { return nanos_.load(); }
+
+ private:
+  RelaxedCounter count_;
+  RelaxedCounter nanos_;
+};
+
+// One row of a registry snapshot.
+struct MetricSample {
+  std::string name;
+  MetricLabels labels;
+  const char* kind;  // "counter" | "gauge" | "timer_count" | "timer_nanos" | "stats"
+  int64_t value = 0;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  // Instruments are keyed by (name, current thread-context labels); repeated
+  // calls with the same key return the same instrument.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  TimerMetric* GetTimer(const std::string& name);
+
+  // Registers a live StoreStats block for concurrent sampling, labeled with
+  // the calling thread's context plus the given pattern. The caller must
+  // Unregister before the stats block is destroyed (ScopedStatsRegistration
+  // does this). Returns a registration id.
+  uint64_t RegisterStoreStats(StoreStats* stats, const char* pattern);
+  void UnregisterStoreStats(uint64_t id);
+
+  // Sums the counter fields of every registered StoreStats (optionally only
+  // those labeled with `worker`; worker < 0 means all). Counters only — the
+  // embedded histogram is owner-written and is not sampled live.
+  StoreStats AggregateStoreStats(int worker = -1) const;
+
+  // Point-in-time view of every instrument and registered stats counter.
+  std::vector<MetricSample> Snapshot() const;
+  // Snapshot as a JSON array of {"name","worker","partition","pattern","kind","value"}.
+  std::string SnapshotJson() const;
+
+  // Zeroes instruments and drops stats registrations. Tests only — existing
+  // instrument pointers remain valid (they are zeroed, not freed).
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  struct StatsEntry {
+    uint64_t id;
+    StoreStats* stats;
+    MetricLabels labels;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<TimerMetric>> timers_;
+  std::vector<StatsEntry> stats_;
+  uint64_t next_stats_id_ = 1;
+};
+
+// RAII registration of a store's StoreStats with the global registry.
+// Constructed in store constructors (labels captured from the thread context
+// at that point, i.e. inside the enclosing PartitionScope).
+class ScopedStatsRegistration {
+ public:
+  ScopedStatsRegistration(StoreStats* stats, const char* pattern)
+      : id_(MetricsRegistry::Global().RegisterStoreStats(stats, pattern)) {}
+  ~ScopedStatsRegistration() { MetricsRegistry::Global().UnregisterStoreStats(id_); }
+
+  ScopedStatsRegistration(const ScopedStatsRegistration&) = delete;
+  ScopedStatsRegistration& operator=(const ScopedStatsRegistration&) = delete;
+
+ private:
+  uint64_t id_;
+};
+
+}  // namespace obs
+}  // namespace flowkv
+
+#endif  // SRC_OBS_METRICS_H_

@@ -1,0 +1,106 @@
+#include "src/obs/reporter.h"
+
+#include <chrono>
+
+#include "src/common/clock.h"
+#include "src/common/stats.h"
+#include "src/obs/metrics.h"
+
+namespace flowkv {
+namespace obs {
+
+PeriodicReporter::~PeriodicReporter() { Stop(); }
+
+WorkerProgress* PeriodicReporter::RegisterWorker(int worker) {
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  auto it = workers_.find(worker);
+  if (it == workers_.end()) {
+    it = workers_.emplace(worker, std::make_unique<WorkerProgress>()).first;
+  }
+  return it->second.get();
+}
+
+bool PeriodicReporter::Start(const std::string& path, int interval_ms) {
+  if (thread_.joinable()) return false;
+  out_ = std::fopen(path.c_str(), "a");
+  if (out_ == nullptr) return false;
+  interval_ms_ = interval_ms < 1 ? 1 : interval_ms;
+  start_nanos_ = MonotonicNanos();
+  stop_requested_ = false;
+  thread_ = std::thread(&PeriodicReporter::Run, this);
+  return true;
+}
+
+void PeriodicReporter::Stop() {
+  if (thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_requested_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    EmitSample();  // final sample so even sub-interval jobs emit data
+  }
+  if (out_ != nullptr) {
+    std::fclose(out_);
+    out_ = nullptr;
+  }
+}
+
+void PeriodicReporter::Run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                     [this] { return stop_requested_; })) {
+      break;
+    }
+    lock.unlock();
+    EmitSample();
+    lock.lock();
+  }
+}
+
+void PeriodicReporter::EmitSample() {
+  if (out_ == nullptr) return;
+  const int64_t now_ns = MonotonicNanos();
+  const int64_t ts_ms = now_ns / 1000000;
+
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  for (const auto& kv : workers_) {
+    const int worker = kv.first;
+    const WorkerProgress& progress = *kv.second;
+    const int64_t events_in = progress.events_in.load();
+
+    double throughput_eps = 0.0;
+    auto last = last_sample_.find(worker);
+    if (last != last_sample_.end()) {
+      const int64_t d_events = events_in - last->second.first;
+      const int64_t d_nanos = now_ns - last->second.second;
+      if (d_nanos > 0) throughput_eps = d_events * 1e9 / static_cast<double>(d_nanos);
+    } else if (now_ns > start_nanos_) {
+      throughput_eps = events_in * 1e9 / static_cast<double>(now_ns - start_nanos_);
+    }
+    last_sample_[worker] = {events_in, now_ns};
+
+    const StoreStats stats = MetricsRegistry::Global().AggregateStoreStats(worker);
+    std::fprintf(
+        out_,
+        "{\"ts_ms\":%lld,\"worker\":%d,\"events_in\":%lld,\"results_out\":%lld,"
+        "\"throughput_eps\":%.1f,\"lag_ms\":%lld,\"writes\":%lld,\"reads\":%lld,"
+        "\"prefetch_hit_ratio\":%.4f,\"read_amplification\":%.4f,"
+        "\"compaction_nanos\":%lld,\"flushes\":%lld,"
+        "\"io_bytes_read\":%lld,\"io_bytes_written\":%lld}\n",
+        static_cast<long long>(ts_ms), worker, static_cast<long long>(events_in),
+        static_cast<long long>(progress.results_out.load()),
+        throughput_eps, static_cast<long long>(progress.lag_ms.load()),
+        static_cast<long long>(stats.writes), static_cast<long long>(stats.reads),
+        stats.PrefetchHitRatio(), stats.ReadAmplification(),
+        static_cast<long long>(stats.compaction_nanos), static_cast<long long>(stats.flushes),
+        static_cast<long long>(stats.io.bytes_read),
+        static_cast<long long>(stats.io.bytes_written));
+  }
+  std::fflush(out_);
+}
+
+}  // namespace obs
+}  // namespace flowkv

@@ -1,0 +1,78 @@
+// Periodic metrics reporter: a background thread that samples every worker's
+// progress counters and registered store stats on a fixed interval and
+// appends one JSON object per worker per tick to a JSONL file. Workers
+// update their WorkerProgress with plain RelaxedCounter writes; the reporter
+// never blocks them.
+//
+// JSONL line schema (one object per line):
+//   {"ts_ms":<monotonic ms>, "worker":<id>, "events_in":N, "results_out":N,
+//    "throughput_eps":X, "lag_ms":N, "writes":N, "reads":N,
+//    "prefetch_hit_ratio":X, "read_amplification":X, "compaction_nanos":N,
+//    "flushes":N, "io_bytes_read":N, "io_bytes_written":N}
+// ts_ms comes from the monotonic clock, so timestamps never go backwards.
+#ifndef SRC_OBS_REPORTER_H_
+#define SRC_OBS_REPORTER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/relaxed_counter.h"
+
+namespace flowkv {
+namespace obs {
+
+// Per-worker live progress, updated by the worker thread only.
+struct WorkerProgress {
+  RelaxedCounter events_in;     // source events ingested
+  RelaxedCounter results_out;   // results emitted downstream
+  RelaxedCounter lag_ms;        // current processing lag vs the event-time rate
+};
+
+class PeriodicReporter {
+ public:
+  PeriodicReporter() = default;
+  ~PeriodicReporter();
+
+  // Returns the progress block for `worker`, creating it if needed. Valid
+  // until the reporter is destroyed. May be called before or after Start.
+  WorkerProgress* RegisterWorker(int worker);
+
+  // Opens `path` for append and starts the sampling thread. Returns false if
+  // the file cannot be opened or the reporter already runs.
+  bool Start(const std::string& path, int interval_ms);
+
+  // Emits one final sample (so short jobs still produce output), stops the
+  // thread, and closes the file. Idempotent.
+  void Stop();
+
+  bool running() const { return thread_.joinable(); }
+
+ private:
+  void Run();
+  void EmitSample();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+  std::FILE* out_ = nullptr;
+  int interval_ms_ = 100;
+  int64_t start_nanos_ = 0;
+
+  std::mutex workers_mu_;
+  std::map<int, std::unique_ptr<WorkerProgress>> workers_;
+  // Per worker: last sampled events_in and its timestamp, for throughput.
+  std::map<int, std::pair<int64_t, int64_t>> last_sample_;
+};
+
+}  // namespace obs
+}  // namespace flowkv
+
+#endif  // SRC_OBS_REPORTER_H_

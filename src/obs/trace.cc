@@ -1,0 +1,158 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/obs/context.h"
+
+namespace flowkv {
+namespace obs {
+namespace trace_internal {
+
+std::atomic<bool> g_enabled{false};
+
+// Fixed-capacity overwrite-oldest event buffer, written by exactly one
+// thread. The controller (below) owns all rings; a thread keeps a raw
+// pointer to its ring, revalidated via a generation tag across Reset cycles.
+class Ring {
+ public:
+  explicit Ring(size_t capacity, int32_t tid) : tid_(tid), slots_(capacity) {}
+
+  void Push(TraceEvent event) {
+    event.tid = tid_;
+    slots_[count_ % slots_.size()] = event;
+    ++count_;
+  }
+
+  // Buffered events, oldest first. Caller must ensure the writer quiesced.
+  void Collect(std::vector<TraceEvent>* out) const {
+    const size_t n = std::min(count_, slots_.size());
+    const size_t start = count_ - n;
+    for (size_t i = 0; i < n; ++i) {
+      out->push_back(slots_[(start + i) % slots_.size()]);
+    }
+  }
+
+  size_t size() const { return std::min(count_, slots_.size()); }
+
+ private:
+  int32_t tid_;
+  std::vector<TraceEvent> slots_;
+  size_t count_ = 0;
+};
+
+namespace {
+
+struct Controller {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Ring>> rings;
+  size_t ring_capacity = 64 * 1024;
+  uint64_t generation = 0;  // bumped on Enable/Reset to invalidate cached refs
+  int32_t next_anon_tid = 1000;
+};
+
+Controller& Ctl() {
+  static Controller* ctl = new Controller();  // never destroyed
+  return *ctl;
+}
+
+struct CachedRing {
+  Ring* ring = nullptr;
+  uint64_t generation = 0;
+};
+thread_local CachedRing t_ring;
+
+Ring* CurrentRing() {
+  Controller& ctl = Ctl();
+  std::lock_guard<std::mutex> lock(ctl.mu);
+  if (t_ring.ring != nullptr && t_ring.generation == ctl.generation) {
+    return t_ring.ring;
+  }
+  // Label this thread's track with the SPE worker id when inside a worker,
+  // else hand out synthetic ids so non-worker threads still get a track.
+  const int worker = CurrentContext().worker;
+  const int32_t tid = worker >= 0 ? worker : ctl.next_anon_tid++;
+  ctl.rings.push_back(std::make_unique<Ring>(ctl.ring_capacity, tid));
+  t_ring.ring = ctl.rings.back().get();
+  t_ring.generation = ctl.generation;
+  return t_ring.ring;
+}
+
+}  // namespace
+
+void Record(const TraceEvent& event) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  CurrentRing()->Push(event);
+}
+
+}  // namespace trace_internal
+
+void Tracing::Enable(size_t ring_capacity) {
+  auto& ctl = trace_internal::Ctl();
+  {
+    std::lock_guard<std::mutex> lock(ctl.mu);
+    ctl.rings.clear();
+    ctl.ring_capacity = ring_capacity == 0 ? 1 : ring_capacity;
+    ++ctl.generation;
+  }
+  trace_internal::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Tracing::Disable() { trace_internal::g_enabled.store(false, std::memory_order_relaxed); }
+
+void Tracing::Reset() {
+  Disable();
+  auto& ctl = trace_internal::Ctl();
+  std::lock_guard<std::mutex> lock(ctl.mu);
+  ctl.rings.clear();
+  ++ctl.generation;
+}
+
+size_t Tracing::EventCount() {
+  auto& ctl = trace_internal::Ctl();
+  std::lock_guard<std::mutex> lock(ctl.mu);
+  size_t n = 0;
+  for (const auto& ring : ctl.rings) n += ring->size();
+  return n;
+}
+
+bool Tracing::ExportChromeTrace(const std::string& path) {
+  std::vector<TraceEvent> events;
+  {
+    auto& ctl = trace_internal::Ctl();
+    std::lock_guard<std::mutex> lock(ctl.mu);
+    for (const auto& ring : ctl.rings) ring->Collect(&events);
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.ts_us < b.ts_us; });
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs("{\"traceEvents\":[", f);
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& ev = events[i];
+    std::fprintf(f, "%s\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",\"ts\":%lld,",
+                 i == 0 ? "" : ",", ev.name, ev.cat, ev.phase,
+                 static_cast<long long>(ev.ts_us));
+    if (ev.phase == 'X') {
+      std::fprintf(f, "\"dur\":%lld,", static_cast<long long>(ev.dur_us));
+    } else {
+      std::fputs("\"s\":\"t\",", f);  // instant scope: thread
+    }
+    std::fprintf(f, "\"pid\":1,\"tid\":%d,\"args\":{", ev.tid);
+    for (int a = 0; a < ev.n_args; ++a) {
+      std::fprintf(f, "%s\"%s\":%lld", a == 0 ? "" : ",", ev.arg_name[a],
+                   static_cast<long long>(ev.arg_val[a]));
+    }
+    std::fputs("}}", f);
+  }
+  std::fputs("\n]}\n", f);
+  const bool ok = std::fclose(f) == 0;
+  return ok;
+}
+
+}  // namespace obs
+}  // namespace flowkv

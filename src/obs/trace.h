@@ -1,0 +1,134 @@
+// Per-worker trace recorder: fixed-capacity ring buffers of typed events
+// exported as Chrome trace JSON (chrome://tracing / https://ui.perfetto.dev).
+//
+// Cost model: when tracing is disabled (the default) every TraceSpan /
+// TraceInstant reduces to one relaxed atomic load and a branch — no
+// allocation, no clock read. When enabled, each thread records into its own
+// ring buffer (no sharing, overwrite-oldest), so a hot store loop never
+// blocks on tracing. Defining FLOWKV_TRACE_DISABLED compiles the probes out
+// entirely.
+//
+// Event names/categories must be string literals (the recorder stores the
+// pointers, not copies).
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/common/clock.h"
+
+namespace flowkv {
+namespace obs {
+
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  char phase = 'X';       // 'X' complete span, 'i' instant
+  int32_t tid = 0;        // worker id, or a synthetic id for non-worker threads
+  int64_t ts_us = 0;      // monotonic microseconds
+  int64_t dur_us = 0;     // span duration ('X' only)
+  int n_args = 0;         // 0..2 typed int64 args
+  const char* arg_name[2] = {nullptr, nullptr};
+  int64_t arg_val[2] = {0, 0};
+};
+
+namespace trace_internal {
+class Ring;
+extern std::atomic<bool> g_enabled;
+// Appends to the calling thread's ring, creating it on first use. Only valid
+// while tracing is enabled.
+void Record(const TraceEvent& event);
+}  // namespace trace_internal
+
+class Tracing {
+ public:
+  // The only cost probes pay when tracing is off.
+  static bool enabled() {
+#if defined(FLOWKV_TRACE_DISABLED)
+    return false;
+#else
+    return trace_internal::g_enabled.load(std::memory_order_relaxed);
+#endif
+  }
+
+  // Starts recording; each thread that records gets a ring buffer holding the
+  // most recent `ring_capacity` events (oldest overwritten).
+  static void Enable(size_t ring_capacity = 64 * 1024);
+  // Stops recording; buffered events are kept for export until Reset/Enable.
+  static void Disable();
+  // Drops all buffered events and thread rings.
+  static void Reset();
+
+  // Writes all buffered events, sorted by timestamp, as Chrome trace JSON:
+  //   {"traceEvents":[{"name":...,"cat":...,"ph":"X","ts":...,"dur":...,
+  //                    "pid":1,"tid":...,"args":{...}}, ...]}
+  // Call after writers have quiesced (e.g. workers joined or Disable()d).
+  // Returns false if the file cannot be written.
+  static bool ExportChromeTrace(const std::string& path);
+
+  // Number of buffered events across all rings (dropped ones excluded).
+  static size_t EventCount();
+};
+
+// Records an instant event ('i') with up to two int64 args.
+inline void TraceInstant(const char* name, const char* cat, const char* arg0_name = nullptr,
+                         int64_t arg0 = 0, const char* arg1_name = nullptr, int64_t arg1 = 0) {
+  if (!Tracing::enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.phase = 'i';
+  ev.ts_us = MonotonicNanos() / 1000;
+  if (arg0_name != nullptr) {
+    ev.arg_name[ev.n_args] = arg0_name;
+    ev.arg_val[ev.n_args++] = arg0;
+  }
+  if (arg1_name != nullptr) {
+    ev.arg_name[ev.n_args] = arg1_name;
+    ev.arg_val[ev.n_args++] = arg1;
+  }
+  trace_internal::Record(ev);
+}
+
+// RAII complete-span event ('X') covering the enclosing scope. Args may be
+// attached any time before destruction (e.g. counts known only at the end).
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* cat) : armed_(Tracing::enabled()) {
+    if (armed_) {
+      start_ns_ = MonotonicNanos();
+      event_.name = name;
+      event_.cat = cat;
+    }
+  }
+
+  void AddArg(const char* name, int64_t value) {
+    if (armed_ && event_.n_args < 2) {
+      event_.arg_name[event_.n_args] = name;
+      event_.arg_val[event_.n_args++] = value;
+    }
+  }
+
+  ~TraceSpan() {
+    if (armed_) {
+      event_.ts_us = start_ns_ / 1000;
+      event_.dur_us = (MonotonicNanos() - start_ns_) / 1000;
+      trace_internal::Record(event_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool armed_;
+  int64_t start_ns_ = 0;
+  TraceEvent event_;
+};
+
+}  // namespace obs
+}  // namespace flowkv
+
+#endif  // SRC_OBS_TRACE_H_

@@ -5,6 +5,9 @@
 
 #include "src/common/clock.h"
 #include "src/common/logging.h"
+#include "src/obs/context.h"
+#include "src/obs/reporter.h"
+#include "src/obs/trace.h"
 
 namespace flowkv {
 
@@ -43,7 +46,11 @@ class SinkCollector : public Collector {
 
 WorkerReport RunWorker(const JobConfig& config, int worker, const SourceFactory& source_factory,
                        const PipelineFactory& pipeline_factory,
-                       StateBackendFactory* backend_factory) {
+                       StateBackendFactory* backend_factory,
+                       obs::WorkerProgress* progress) {
+  // Labels everything this thread creates/records (stores opened by
+  // pipeline.Open below, trace events, metrics) with the worker id.
+  obs::WorkerScope obs_scope(worker);
   WorkerReport report;
   Pipeline pipeline;
   report.status = pipeline_factory(worker, &pipeline);
@@ -75,9 +82,15 @@ WorkerReport RunWorker(const JobConfig& config, int worker, const SourceFactory&
       current_ideal_ns =
           start_ns + static_cast<int64_t>(static_cast<double>(report.events_in) * ns_per_event);
       const int64_t now = MonotonicNanos();
+      if (progress != nullptr) {
+        progress->lag_ms = now > current_ideal_ns ? (now - current_ideal_ns) / 1'000'000 : 0;
+      }
       if (now < current_ideal_ns) {
         std::this_thread::sleep_for(std::chrono::nanoseconds(current_ideal_ns - now));
       } else if ((now - current_ideal_ns) / 1'000'000 > config.fail_lag_ms) {
+        if (progress != nullptr) {
+          progress->lag_ms = (now - current_ideal_ns) / 1'000'000;
+        }
         report.status = Status::ResourceExhausted(
             "worker " + std::to_string(worker) + " fell " +
             std::to_string((now - current_ideal_ns) / 1'000'000) +
@@ -91,6 +104,10 @@ WorkerReport RunWorker(const JobConfig& config, int worker, const SourceFactory&
       break;
     }
     ++report.events_in;
+    if (progress != nullptr) {
+      progress->events_in = static_cast<int64_t>(report.events_in);
+      progress->results_out = static_cast<int64_t>(sink.count());
+    }
     if (config.max_wall_seconds > 0 && (report.events_in & 0x3ff) == 0 &&
         static_cast<double>(MonotonicNanos() - start_ns) / 1e9 > config.max_wall_seconds) {
       report.status = Status::ResourceExhausted(
@@ -100,6 +117,8 @@ WorkerReport RunWorker(const JobConfig& config, int worker, const SourceFactory&
     max_timestamp = std::max(max_timestamp, event.timestamp);
     if (++events_since_watermark >= config.watermark_interval_events) {
       events_since_watermark = 0;
+      obs::TraceInstant("watermark_advance", "spe", "watermark_ms",
+                        max_timestamp - config.allowed_lateness_ms);
       report.status = pipeline.AdvanceWatermark(max_timestamp - config.allowed_lateness_ms);
       if (!report.status.ok()) {
         break;
@@ -112,6 +131,9 @@ WorkerReport RunWorker(const JobConfig& config, int worker, const SourceFactory&
   report.wall_seconds = static_cast<double>(MonotonicNanos() - start_ns) / 1e9;
   report.cpu_seconds = static_cast<double>(ThreadCpuNanos() - start_cpu_ns) / 1e9;
   report.results_out = sink.count();
+  if (progress != nullptr) {
+    progress->results_out = static_cast<int64_t>(report.results_out);
+  }
   report.store_stats = pipeline.GatherStats();
   return report;
 }
@@ -175,20 +197,43 @@ JobReport RunJob(const JobConfig& config, const SourceFactory& source_factory,
                  const PipelineFactory& pipeline_factory, StateBackendFactory* backend_factory) {
   JobReport report;
   report.workers.resize(config.workers);
+
+  const bool tracing = !config.trace_out_path.empty();
+  if (tracing) {
+    obs::Tracing::Enable(config.trace_ring_capacity);
+  }
+  obs::PeriodicReporter reporter;
+  std::vector<obs::WorkerProgress*> progress(config.workers, nullptr);
+  if (!config.metrics_out_path.empty()) {
+    for (int w = 0; w < config.workers; ++w) {
+      progress[w] = reporter.RegisterWorker(w);
+    }
+    if (!reporter.Start(config.metrics_out_path, config.metrics_interval_ms)) {
+      FLOWKV_LOG(kWarn) << "cannot open metrics output " << config.metrics_out_path;
+    }
+  }
+
   if (config.workers == 1) {
     report.workers[0] =
-        RunWorker(config, 0, source_factory, pipeline_factory, backend_factory);
+        RunWorker(config, 0, source_factory, pipeline_factory, backend_factory, progress[0]);
   } else {
     std::vector<std::thread> threads;
     threads.reserve(config.workers);
     for (int w = 0; w < config.workers; ++w) {
       threads.emplace_back([&, w] {
         report.workers[w] =
-            RunWorker(config, w, source_factory, pipeline_factory, backend_factory);
+            RunWorker(config, w, source_factory, pipeline_factory, backend_factory, progress[w]);
       });
     }
     for (auto& t : threads) {
       t.join();
+    }
+  }
+  reporter.Stop();
+  if (tracing) {
+    obs::Tracing::Disable();
+    if (!obs::Tracing::ExportChromeTrace(config.trace_out_path)) {
+      FLOWKV_LOG(kWarn) << "cannot write trace output " << config.trace_out_path;
     }
   }
   report.status = Status::Ok();

@@ -60,6 +60,19 @@ struct JobConfig {
   // latency histogram (the paper likewise measures only after a warm-up of
   // one window length).
   uint64_t latency_warmup_events = 0;
+
+  // --- Observability (src/obs/) ---
+  // When non-empty, a PeriodicReporter thread samples every worker on this
+  // interval and appends one JSONL object per worker per tick to the file.
+  std::string metrics_out_path;
+  int metrics_interval_ms = 100;
+  // When non-empty, tracing is enabled for the duration of the job and a
+  // Chrome-trace JSON file (loadable in Perfetto) is written here after the
+  // workers join. Empty (default) keeps the trace probes to a single
+  // relaxed-load branch.
+  std::string trace_out_path;
+  // Per-thread ring capacity in events; oldest events are overwritten.
+  size_t trace_ring_capacity = 64 * 1024;
 };
 
 struct WorkerReport {

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 
 namespace flowkv {
 
@@ -259,6 +260,7 @@ Status WindowOperator::FireTimer(const Timer& timer, Collector* out) {
 }
 
 Status WindowOperator::FireAligned(const Window& w, Collector* out) {
+  obs::TraceInstant("window_fire", "window", "start_ms", w.start, "end_ms", w.end);
   // Gradual state loading (§4.1): drain the window chunk by chunk so only
   // one partition is in flight at a time.
   while (true) {
@@ -276,6 +278,7 @@ Status WindowOperator::FireAligned(const Window& w, Collector* out) {
 
 Status WindowOperator::FireUnaligned(const Slice& key, const Window& window,
                                      const Window& state_window, Collector* out) {
+  obs::TraceInstant("window_fire", "window", "start_ms", window.start, "end_ms", window.end);
   std::vector<std::string> values;
   Status s = aur_->Get(key, state_window, &values);
   if (s.IsNotFound()) {
@@ -294,6 +297,8 @@ Status WindowOperator::FireUnaligned(const Slice& key, const Window& window,
 
 Status WindowOperator::FireRmw(const Slice& key, const Window& state_window,
                                const Window& result_window, Collector* out) {
+  obs::TraceInstant("window_fire", "window", "start_ms", result_window.start, "end_ms",
+                    result_window.end);
   std::string acc;
   Status s = rmw_->Get(key, state_window, &acc);
   if (s.IsNotFound()) {

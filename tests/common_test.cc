@@ -2,7 +2,9 @@
 // filesystem env, file wrappers, histogram, LRU cache, arena, RNG.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -12,9 +14,11 @@
 #include "src/common/file.h"
 #include "src/common/hash.h"
 #include "src/common/histogram.h"
+#include "src/common/logging.h"
 #include "src/common/lru_cache.h"
 #include "src/common/random.h"
 #include "src/common/slice.h"
+#include "src/common/stats.h"
 #include "src/common/status.h"
 
 namespace flowkv {
@@ -290,6 +294,109 @@ TEST(HistogramTest, MergeCombines) {
   EXPECT_EQ(a.count(), 200u);
   EXPECT_LT(a.Percentile(25), 100);
   EXPECT_GT(a.Percentile(75), 500);
+}
+
+TEST(HistogramTest, EmptyPercentileIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0);
+  EXPECT_EQ(h.Percentile(99), 0);
+  EXPECT_EQ(h.Mean(), 0);
+  EXPECT_EQ(h.min(), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Add(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.Mean(), 42);
+  EXPECT_EQ(h.min(), 42);
+  EXPECT_EQ(h.max(), 42);
+  // Every percentile of a one-sample distribution is that sample (the
+  // interpolated value is clamped into [min, max]).
+  EXPECT_EQ(h.Percentile(1), 42);
+  EXPECT_EQ(h.Percentile(50), 42);
+  EXPECT_EQ(h.Percentile(99.9), 42);
+}
+
+TEST(HistogramTest, MergeDisjointRanges) {
+  Histogram low, high;
+  for (int i = 1; i <= 100; ++i) {
+    low.Add(i);          // [1, 100]
+    high.Add(10'000 + i);  // [10001, 10100]
+  }
+  low.Merge(high);
+  EXPECT_EQ(low.count(), 200u);
+  EXPECT_EQ(low.min(), 1);
+  EXPECT_EQ(low.max(), 10'100);
+  EXPECT_NEAR(low.Mean(), (5050.0 + 1'005'050.0) / 200.0, 1.0);
+  // The merged distribution is bimodal: p25 lands in the low range, p75 in
+  // the high range, and nothing lives in between.
+  EXPECT_LT(low.Percentile(25), 200);
+  EXPECT_GT(low.Percentile(75), 9'000);
+}
+
+TEST(HistogramTest, ValuesBeyondLastBucketLandInOverflowBucket) {
+  Histogram h;
+  h.Add(1e15);  // beyond the last finite limit (~1e13)
+  h.Add(2e15);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), 2e15);
+  // The overflow bucket's right edge is max_, so percentiles stay finite
+  // and within the observed range.
+  const double p99 = h.Percentile(99);
+  EXPECT_TRUE(std::isfinite(p99));
+  EXPECT_GE(p99, h.min());
+  EXPECT_LE(p99, h.max());
+}
+
+TEST(StoreStatsTest, MergeFromCoversEveryCounterField) {
+  // Give every counter in `other` a distinct nonzero value via the same
+  // visitor table MergeFrom is built on, then verify the merge carried each
+  // one. Combined with the sizeof static_assert in stats.cc, this fails if a
+  // field is ever added without being wired into CounterFields().
+  StoreStats other;
+  size_t n = 0;
+  const StoreStats::CounterField* fields = StoreStats::CounterFields(&n);
+  ASSERT_GT(n, 0u);
+  for (size_t i = 0; i < n; ++i) {
+    fields[i].get(other) = static_cast<int64_t>(i + 1);
+  }
+  other.ett_abs_error_ms.Add(7);
+
+  StoreStats merged;
+  for (size_t i = 0; i < n; ++i) {
+    fields[i].get(merged) = 100;  // pre-existing totals must be preserved
+  }
+  merged.MergeFrom(other);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(fields[i].get(merged).load(), 100 + static_cast<int64_t>(i + 1))
+        << "counter '" << fields[i].name << "' not merged";
+  }
+  EXPECT_EQ(merged.ett_abs_error_ms.count(), 1u);
+
+  // Every counter also appears by name in the JSON export.
+  const std::string json = other.ToJson();
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NE(json.find(std::string("\"") + fields[i].name + "\":"), std::string::npos)
+        << "counter '" << fields[i].name << "' missing from ToJson";
+  }
+}
+
+TEST(LoggingTest, SetLogLevelRoundTrip) {
+  const LogLevel original = CurrentLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(CurrentLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(CurrentLogLevel(), LogLevel::kError);
+  SetLogLevel(original);
+  EXPECT_EQ(CurrentLogLevel(), original);
+}
+
+TEST(LoggingTest, LogKvFormatsKeyValuePairs) {
+  std::ostringstream os;
+  os << LogKv("events", 42) << LogKv("query", "q7");
+  EXPECT_EQ(os.str(), "events=42 query=q7 ");
 }
 
 TEST(LruCacheTest, EvictsLeastRecentlyUsed) {

@@ -1,0 +1,416 @@
+// End-to-end observability test (the acceptance test of the obs subsystem):
+// runs a small two-worker NEXMark job with tracing and the periodic reporter
+// enabled, then parses the emitted Chrome-trace JSON and metrics JSONL and
+// checks they contain what the paper's plots are made of — prefetch spans,
+// compaction spans, ETT prediction outcomes, and monotonic report samples.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/backends/flowkv_backend.h"
+#include "src/common/env.h"
+#include "src/common/stats.h"
+#include "src/nexmark/generator.h"
+#include "src/nexmark/queries.h"
+#include "src/obs/context.h"
+#include "src/obs/metrics.h"
+#include "src/obs/reporter.h"
+#include "src/obs/trace.h"
+#include "src/spe/job_runner.h"
+
+namespace flowkv {
+namespace {
+
+// Minimal recursive-descent JSON well-formedness checker — no values are
+// materialized; it only verifies the grammar, which is what the trace/JSONL
+// consumers (Perfetto, jq) require.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : p_(text.data()), end_(p_ + text.size()) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) {
+      return false;
+    }
+    SkipWs();
+    return p_ == end_;
+  }
+
+ private:
+  void SkipWs() {
+    while (p_ < end_ && std::isspace(static_cast<unsigned char>(*p_))) {
+      ++p_;
+    }
+  }
+
+  bool Literal(const char* lit) {
+    const size_t n = std::strlen(lit);
+    if (static_cast<size_t>(end_ - p_) < n || std::strncmp(p_, lit, n) != 0) {
+      return false;
+    }
+    p_ += n;
+    return true;
+  }
+
+  bool String() {
+    if (p_ >= end_ || *p_ != '"') {
+      return false;
+    }
+    ++p_;
+    while (p_ < end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ >= end_) {
+          return false;
+        }
+      }
+      ++p_;
+    }
+    if (p_ >= end_) {
+      return false;
+    }
+    ++p_;  // closing quote
+    return true;
+  }
+
+  bool Number() {
+    const char* start = p_;
+    if (p_ < end_ && *p_ == '-') {
+      ++p_;
+    }
+    while (p_ < end_ && (std::isdigit(static_cast<unsigned char>(*p_)) || *p_ == '.' ||
+                         *p_ == 'e' || *p_ == 'E' || *p_ == '+' || *p_ == '-')) {
+      ++p_;
+    }
+    return p_ > start;
+  }
+
+  bool Value() {
+    SkipWs();
+    if (p_ >= end_) {
+      return false;
+    }
+    switch (*p_) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++p_;  // '{'
+    SkipWs();
+    if (p_ < end_ && *p_ == '}') {
+      ++p_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) {
+        return false;
+      }
+      SkipWs();
+      if (p_ >= end_ || *p_ != ':') {
+        return false;
+      }
+      ++p_;
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (p_ < end_ && *p_ == ',') {
+        ++p_;
+        continue;
+      }
+      break;
+    }
+    if (p_ >= end_ || *p_ != '}') {
+      return false;
+    }
+    ++p_;
+    return true;
+  }
+
+  bool Array() {
+    ++p_;  // '['
+    SkipWs();
+    if (p_ < end_ && *p_ == ']') {
+      ++p_;
+      return true;
+    }
+    while (true) {
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (p_ < end_ && *p_ == ',') {
+        ++p_;
+        continue;
+      }
+      break;
+    }
+    if (p_ >= end_ || *p_ != ']') {
+      return false;
+    }
+    ++p_;
+    return true;
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+bool ReadWholeFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      nl = text.size();
+    }
+    if (nl > start) {
+      lines.push_back(text.substr(start, nl - start));
+    }
+    start = nl + 1;
+  }
+  return lines;
+}
+
+// Extracts the integer value of `"key":<int>` from a JSON line (test-local;
+// assumes the field exists — asserted by the caller).
+bool ExtractInt(const std::string& json, const std::string& key, int64_t* out) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = json.find(needle);
+  if (pos == std::string::npos) {
+    return false;
+  }
+  *out = std::strtoll(json.c_str() + pos + needle.size(), nullptr, 10);
+  return true;
+}
+
+class ObsEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = MakeTempDir("obs_test"); }
+  void TearDown() override {
+    obs::Tracing::Reset();
+    RemoveDirRecursively(dir_);
+  }
+  std::string dir_;
+};
+
+TEST_F(ObsEndToEndTest, TwoWorkerJobEmitsTraceAndMetrics) {
+  const std::string trace_path = JoinPath(dir_, "trace.json");
+  const std::string metrics_path = JoinPath(dir_, "metrics.jsonl");
+
+  // Q7-Session on FlowKV = the AUR pattern: session windows trigger at
+  // data-dependent times, so Gets take the prefetch path, and fetch-and-
+  // remove consumption accumulates dead segments until the MSA threshold
+  // forces a compaction. A tiny write buffer pushes state to disk fast.
+  FlowKvOptions options;
+  options.write_buffer_bytes = 32 * 1024;
+
+  NexmarkConfig nexmark;
+  nexmark.events_per_worker = 30'000;
+  nexmark.num_people = 2'000;
+  nexmark.num_auctions = 300;
+  nexmark.inter_event_ms = 10;
+
+  QueryParams params;
+  params.session_gap_ms = 24'000;
+  params.window_size_ms = 480'000;
+
+  JobConfig config;
+  config.workers = 2;
+  config.watermark_interval_events = 256;
+  config.metrics_out_path = metrics_path;
+  config.metrics_interval_ms = 20;
+  config.trace_out_path = trace_path;
+
+  FlowKvBackendFactory factory(JoinPath(dir_, "store"), options);
+  JobReport report = RunJob(
+      config, MakeNexmarkSourceFactory(nexmark),
+      [&](int worker, Pipeline* pipeline) {
+        return BuildNexmarkQuery("q7-session", params, pipeline);
+      },
+      &factory);
+  ASSERT_TRUE(report.status.ok()) << report.status.ToString();
+  ASSERT_EQ(report.workers.size(), 2u);
+
+  const StoreStats stats = report.AggregateStoreStats();
+  // The workload must actually exercise the machinery the trace records.
+  ASSERT_GT(stats.prefetch_misses + stats.prefetch_hits, 0);
+  ASSERT_GT(stats.compactions, 0);
+  ASSERT_GT(stats.ett_predictions, 0);
+  EXPECT_GT(stats.ett_abs_error_ms.count(), 0u);
+  EXPECT_EQ(static_cast<uint64_t>(stats.ett_predictions.load()),
+            stats.ett_abs_error_ms.count());
+
+  // --- Chrome trace: well-formed JSON with the expected span/instant mix ---
+  std::string trace;
+  ASSERT_TRUE(ReadWholeFile(trace_path, &trace));
+  ASSERT_FALSE(trace.empty());
+  EXPECT_TRUE(JsonChecker(trace).Valid()) << "trace output is not well-formed JSON";
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+
+  // >= 1 prefetch span (predictive batch read) and >= 1 compaction span.
+  EXPECT_NE(trace.find("\"name\":\"predictive_batch_read\""), std::string::npos);
+  EXPECT_NE(trace.find("\"cat\":\"prefetch\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"compaction\""), std::string::npos);
+
+  // >= 1 ETT prediction record with both predicted and actual timestamps.
+  const size_t ett_pos = trace.find("\"name\":\"ett_outcome\"");
+  ASSERT_NE(ett_pos, std::string::npos);
+  const size_t ett_end = trace.find('}', trace.find("\"args\"", ett_pos));
+  const std::string ett_event = trace.substr(ett_pos, ett_end - ett_pos);
+  EXPECT_NE(ett_event.find("\"predicted_ms\":"), std::string::npos);
+  EXPECT_NE(ett_event.find("\"actual_ms\":"), std::string::npos);
+
+  // --- Metrics JSONL: every line valid JSON, timestamps never decrease ---
+  std::string jsonl;
+  ASSERT_TRUE(ReadWholeFile(metrics_path, &jsonl));
+  const std::vector<std::string> lines = SplitLines(jsonl);
+  ASSERT_GE(lines.size(), 2u) << "expected at least one sample per worker";
+  int64_t last_ts = 0;
+  bool saw_events = false;
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(JsonChecker(line).Valid()) << "bad JSONL line: " << line;
+    int64_t ts = 0, worker = -1, events_in = 0;
+    ASSERT_TRUE(ExtractInt(line, "ts_ms", &ts)) << line;
+    ASSERT_TRUE(ExtractInt(line, "worker", &worker)) << line;
+    ASSERT_TRUE(ExtractInt(line, "events_in", &events_in)) << line;
+    EXPECT_GE(ts, last_ts) << "report timestamps must be non-decreasing";
+    last_ts = ts;
+    EXPECT_TRUE(worker == 0 || worker == 1);
+    saw_events |= events_in > 0;
+  }
+  EXPECT_TRUE(saw_events);
+  // The final (post-join) samples must account for every ingested event:
+  // Stop() emits one last line per worker, so the last two lines are the
+  // final sample of each of the two workers.
+  ASSERT_GE(lines.size(), 2u);
+  int64_t w_last = -1, w_prev = -1, e_last = 0, e_prev = 0;
+  ASSERT_TRUE(ExtractInt(lines[lines.size() - 1], "worker", &w_last));
+  ASSERT_TRUE(ExtractInt(lines[lines.size() - 2], "worker", &w_prev));
+  ASSERT_TRUE(ExtractInt(lines[lines.size() - 1], "events_in", &e_last));
+  ASSERT_TRUE(ExtractInt(lines[lines.size() - 2], "events_in", &e_prev));
+  EXPECT_NE(w_last, w_prev);
+  EXPECT_EQ(report.TotalEventsIn(), static_cast<uint64_t>(e_last + e_prev));
+}
+
+TEST_F(ObsEndToEndTest, TracingDisabledRecordsNothing) {
+  obs::Tracing::Reset();
+  ASSERT_FALSE(obs::Tracing::enabled());
+  obs::TraceInstant("should_not_appear", "test");
+  {
+    obs::TraceSpan span("also_not", "test");
+    span.AddArg("x", 1);
+  }
+  EXPECT_EQ(obs::Tracing::EventCount(), 0u);
+}
+
+TEST_F(ObsEndToEndTest, TraceRingOverwritesOldest) {
+  obs::Tracing::Enable(/*ring_capacity=*/8);
+  for (int i = 0; i < 100; ++i) {
+    obs::TraceInstant("tick", "test", "i", i);
+  }
+  obs::Tracing::Disable();
+  EXPECT_EQ(obs::Tracing::EventCount(), 8u);
+  const std::string path = JoinPath(dir_, "ring.json");
+  ASSERT_TRUE(obs::Tracing::ExportChromeTrace(path));
+  std::string trace;
+  ASSERT_TRUE(ReadWholeFile(path, &trace));
+  EXPECT_TRUE(JsonChecker(trace).Valid());
+  // The most recent event survived; the first was overwritten.
+  EXPECT_NE(trace.find("\"i\":99"), std::string::npos);
+  EXPECT_EQ(trace.find("\"i\":0}"), std::string::npos);
+}
+
+TEST_F(ObsEndToEndTest, RegistrySnapshotJsonIsWellFormed) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::WorkerScope worker_scope(7);
+  obs::PartitionScope part_scope(3, "aur");
+  obs::Counter* counter = registry.GetCounter("obs_test_counter");
+  counter->Add(41);
+  counter->Add(1);
+  obs::Gauge* gauge = registry.GetGauge("obs_test_gauge");
+  gauge->Set(-5);
+  obs::TimerMetric* timer = registry.GetTimer("obs_test_timer");
+  timer->Record(1000);
+  EXPECT_EQ(counter->Value(), 42);
+  EXPECT_EQ(gauge->Value(), -5);
+  EXPECT_EQ(timer->Count(), 1);
+
+  const std::string json = registry.SnapshotJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"obs_test_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"partition\":3"), std::string::npos);
+
+  // Same name, different labels -> a distinct instrument.
+  {
+    obs::PartitionScope other(4, "aur");
+    obs::Counter* other_counter = registry.GetCounter("obs_test_counter");
+    EXPECT_NE(other_counter, counter);
+    // Same labels -> the same instrument back.
+    obs::PartitionScope same(3, "aur");
+    EXPECT_EQ(registry.GetCounter("obs_test_counter"), counter);
+  }
+}
+
+TEST_F(ObsEndToEndTest, RegistryAggregatesRegisteredStats) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  StoreStats a, b;
+  a.writes = 10;
+  a.prefetch_hits = 3;
+  b.writes = 5;
+  b.io.bytes_read = 1024;
+  obs::WorkerScope w0(0);
+  uint64_t id_a = registry.RegisterStoreStats(&a, "aur");
+  uint64_t id_b;
+  {
+    obs::WorkerScope w1(1);
+    id_b = registry.RegisterStoreStats(&b, "rmw");
+  }
+  StoreStats all = registry.AggregateStoreStats();
+  EXPECT_GE(all.writes.load(), 15);
+  StoreStats only_w1 = registry.AggregateStoreStats(/*worker=*/1);
+  EXPECT_EQ(only_w1.writes.load(), 5);
+  EXPECT_EQ(only_w1.io.bytes_read.load(), 1024);
+  EXPECT_EQ(only_w1.prefetch_hits.load(), 0);
+  registry.UnregisterStoreStats(id_a);
+  registry.UnregisterStoreStats(id_b);
+  StoreStats after = registry.AggregateStoreStats(/*worker=*/1);
+  EXPECT_EQ(after.writes.load(), 0);
+}
+
+}  // namespace
+}  // namespace flowkv

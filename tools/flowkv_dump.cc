@@ -213,10 +213,123 @@ int DumpStore(const std::string& dir) {
   return rc;
 }
 
+// Per-partition metrics computed from the on-disk artifacts alone (works on
+// live store directories and checkpoints, like the other modes).
+struct PartitionStats {
+  std::string pattern = "empty";
+  uint64_t files = 0;
+  uint64_t bytes = 0;
+  uint64_t segments = 0;  // AUR index entries / RMW records / AAR window logs
+  uint64_t tuples = 0;    // AUR/AAR tuples; RMW distinct live keys
+};
+
+bool CollectPartitionStats(const std::string& dir, PartitionStats* out) {
+  std::vector<std::string> names;
+  if (!ListDir(dir, &names).ok()) {
+    return false;
+  }
+  for (const auto& name : names) {
+    std::string contents;
+    if (name.rfind("aur_data_", 0) == 0) {
+      out->pattern = "aur";
+      uint64_t size = 0;
+      GetFileSize(JoinPath(dir, name), &size);
+      out->bytes += size;
+      ++out->files;
+    } else if (name.rfind("aur_index_", 0) == 0) {
+      out->pattern = "aur";
+      ++out->files;
+      if (!ReadFileToString(JoinPath(dir, name), &contents).ok()) {
+        continue;
+      }
+      out->bytes += contents.size();
+      Slice input(contents);
+      Slice sk;
+      uint64_t offset, length, count;
+      int64_t max_ts;
+      while (GetLengthPrefixed(&input, &sk) && GetFixed64(&input, &offset) &&
+             GetFixed64(&input, &length) && GetVarint64(&input, &count) &&
+             GetVarsigned64(&input, &max_ts)) {
+        ++out->segments;
+        out->tuples += count;
+      }
+    } else if (name.rfind("rmw_", 0) == 0 && name.find(".log") != std::string::npos) {
+      out->pattern = "rmw";
+      ++out->files;
+      if (!ReadFileToString(JoinPath(dir, name), &contents).ok()) {
+        continue;
+      }
+      out->bytes += contents.size();
+      Slice input(contents);
+      std::map<std::string, int> live;
+      Slice sk;
+      uint32_t vlen;
+      while (GetLengthPrefixed(&input, &sk) && GetFixed32(&input, &vlen) &&
+             input.size() >= vlen) {
+        input.RemovePrefix(vlen);
+        ++out->segments;
+        live[sk.ToString()] = 1;
+      }
+      out->tuples += live.size();
+    } else if (name.rfind("aar_", 0) == 0) {
+      out->pattern = "aar";
+      ++out->files;
+      ++out->segments;
+      if (!ReadFileToString(JoinPath(dir, name), &contents).ok()) {
+        continue;
+      }
+      out->bytes += contents.size();
+      Slice input(contents);
+      Slice key, value;
+      while (GetLengthPrefixed(&input, &key) && GetLengthPrefixed(&input, &value)) {
+        ++out->tuples;
+      }
+    }
+  }
+  return true;
+}
+
+// --stats: one JSON object with a per-partition metrics snapshot, suitable
+// for scripting (jq) against live stores or checkpoints.
+int DumpStats(const std::string& dir) {
+  std::vector<std::string> names;
+  if (!ListDir(dir, &names).ok()) {
+    std::fprintf(stderr, "cannot list %s\n", dir.c_str());
+    return 1;
+  }
+  // Partition subdirectories p0..pN, or treat `dir` itself as one partition.
+  std::map<int, std::string> partitions;
+  for (const auto& name : names) {
+    if (name.size() >= 2 && name[0] == 'p' &&
+        name.find_first_not_of("0123456789", 1) == std::string::npos) {
+      partitions[std::atoi(name.c_str() + 1)] = JoinPath(dir, name);
+    }
+  }
+  if (partitions.empty()) {
+    partitions[0] = dir;
+  }
+  std::printf("{\"dir\":\"%s\",\"partitions\":[", dir.c_str());
+  bool first = true;
+  for (const auto& [id, path] : partitions) {
+    PartitionStats stats;
+    if (!CollectPartitionStats(path, &stats)) {
+      continue;
+    }
+    std::printf("%s\n  {\"partition\":%d,\"pattern\":\"%s\",\"files\":%" PRIu64
+                ",\"bytes\":%" PRIu64 ",\"segments\":%" PRIu64 ",\"tuples\":%" PRIu64 "}",
+                first ? "" : ",", id, stats.pattern.c_str(), stats.files, stats.bytes,
+                stats.segments, stats.tuples);
+    first = false;
+  }
+  std::printf("\n]}\n");
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: flowkv_dump aar|aur|rmw|store <dir>\n"
-               "       flowkv_dump sst <file.sst>\n");
+               "       flowkv_dump sst <file.sst>\n"
+               "       flowkv_dump --stats <dir>   per-partition metrics snapshot as JSON\n");
   return 2;
 }
 
@@ -243,6 +356,9 @@ int main(int argc, char** argv) {
   }
   if (mode == "store") {
     return flowkv::DumpStore(target);
+  }
+  if (mode == "--stats" || mode == "stats") {
+    return flowkv::DumpStats(target);
   }
   return flowkv::Usage();
 }
