@@ -1,0 +1,215 @@
+#include "src/common/checkpoint.h"
+
+#include <memory>
+
+#include "src/common/coding.h"
+#include "src/common/env.h"
+#include "src/common/file.h"
+#include "src/common/hash.h"
+
+namespace flowkv {
+
+const char kCheckpointManifestName[] = "CHECKPOINT";
+
+namespace {
+
+constexpr uint32_t kManifestMagic = 0xc4ec9011;
+
+// Streams `src` into `dst` (created fresh), checksumming the bytes moved.
+Status CopyWithChecksum(const std::string& src, const std::string& dst, uint32_t* checksum,
+                        uint64_t* size) {
+  std::unique_ptr<SequentialFile> in;
+  FLOWKV_RETURN_IF_ERROR(SequentialFile::Open(src, &in));
+  std::unique_ptr<AppendFile> out;
+  FLOWKV_RETURN_IF_ERROR(AppendFile::Open(dst, /*reopen=*/false, &out));
+  std::string scratch;
+  scratch.resize(256 * 1024);
+  StreamingChecksum32 crc;
+  uint64_t total = 0;
+  while (true) {
+    Slice got;
+    FLOWKV_RETURN_IF_ERROR(in->Read(scratch.size(), &got, scratch.data()));
+    if (got.empty()) {
+      break;
+    }
+    crc.Update(got);
+    total += got.size();
+    FLOWKV_RETURN_IF_ERROR(out->Append(got));
+  }
+  FLOWKV_RETURN_IF_ERROR(out->Sync());
+  FLOWKV_RETURN_IF_ERROR(out->Close());
+  *checksum = crc.Finish();
+  *size = total;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ChecksumFile(const std::string& path, uint32_t* checksum, uint64_t* size) {
+  std::unique_ptr<SequentialFile> in;
+  FLOWKV_RETURN_IF_ERROR(SequentialFile::Open(path, &in));
+  std::string scratch;
+  scratch.resize(256 * 1024);
+  StreamingChecksum32 crc;
+  uint64_t total = 0;
+  while (true) {
+    Slice got;
+    FLOWKV_RETURN_IF_ERROR(in->Read(scratch.size(), &got, scratch.data()));
+    if (got.empty()) {
+      break;
+    }
+    crc.Update(got);
+    total += got.size();
+  }
+  *checksum = crc.Finish();
+  *size = total;
+  return Status::Ok();
+}
+
+// ---------------------------- CheckpointWriter ----------------------------
+
+CheckpointWriter::CheckpointWriter(std::string dir) : dir_(std::move(dir)) {}
+
+Status CheckpointWriter::Init() { return CreateDirs(dir_); }
+
+Status CheckpointWriter::AddFile(const std::string& src, const std::string& name) {
+  const std::string final_path = JoinPath(dir_, name);
+  const std::string tmp_path = final_path + ".tmp";
+  Entry entry;
+  entry.name = name;
+  FLOWKV_RETURN_IF_ERROR(CopyWithChecksum(src, tmp_path, &entry.checksum, &entry.size));
+  FLOWKV_RETURN_IF_ERROR(CommitFileRename(tmp_path, final_path));
+  entries_.push_back(std::move(entry));
+  return Status::Ok();
+}
+
+Status CheckpointWriter::AddBlob(const std::string& name, const Slice& contents) {
+  const std::string final_path = JoinPath(dir_, name);
+  FLOWKV_RETURN_IF_ERROR(WriteFileDurably(final_path, contents));
+  Entry entry;
+  entry.name = name;
+  entry.size = contents.size();
+  entry.checksum = Checksum32(contents);
+  entries_.push_back(std::move(entry));
+  return Status::Ok();
+}
+
+Status CheckpointWriter::Commit() {
+  if (committed_) {
+    return Status::FailedPrecondition("checkpoint " + dir_ + " already committed");
+  }
+  std::string manifest;
+  PutFixed32(&manifest, kManifestMagic);
+  PutVarint32(&manifest, static_cast<uint32_t>(entries_.size()));
+  for (const Entry& entry : entries_) {
+    PutLengthPrefixed(&manifest, entry.name);
+    PutVarint64(&manifest, entry.size);
+    PutFixed32(&manifest, entry.checksum);
+  }
+  PutFixed32(&manifest, Checksum32(manifest.data(), manifest.size()));
+  FLOWKV_RETURN_IF_ERROR(WriteFileDurably(JoinPath(dir_, kCheckpointManifestName), manifest));
+  committed_ = true;
+  return Status::Ok();
+}
+
+// ---------------------------- CheckpointReader ----------------------------
+
+Status CheckpointReader::Open(const std::string& dir, CheckpointReader* out) {
+  out->dir_ = dir;
+  out->entries_.clear();
+  const std::string manifest_path = JoinPath(dir, kCheckpointManifestName);
+  if (!FileExists(manifest_path)) {
+    return Status::NotFound("no committed checkpoint in " + dir);
+  }
+  std::string manifest;
+  FLOWKV_RETURN_IF_ERROR(ReadFileToString(manifest_path, &manifest));
+  if (manifest.size() < 8) {
+    return Status::Corruption("checkpoint manifest too short: " + manifest_path);
+  }
+  const uint32_t expected =
+      Checksum32(manifest.data(), manifest.size() - 4);
+  const uint32_t actual = DecodeFixed32(manifest.data() + manifest.size() - 4);
+  if (expected != actual) {
+    return Status::Corruption("checkpoint manifest checksum mismatch: " + manifest_path);
+  }
+  Slice input(manifest.data(), manifest.size() - 4);
+  uint32_t magic = 0;
+  if (!GetFixed32(&input, &magic) || magic != kManifestMagic) {
+    return Status::Corruption("bad checkpoint manifest magic: " + manifest_path);
+  }
+  uint32_t count = 0;
+  if (!GetVarint32(&input, &count)) {
+    return Status::Corruption("truncated checkpoint manifest: " + manifest_path);
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    Entry entry;
+    Slice name;
+    if (!GetLengthPrefixed(&input, &name) || !GetVarint64(&input, &entry.size)) {
+      return Status::Corruption("truncated checkpoint manifest: " + manifest_path);
+    }
+    if (!GetFixed32(&input, &entry.checksum)) {
+      return Status::Corruption("truncated checkpoint manifest: " + manifest_path);
+    }
+    entry.name.assign(name.data(), name.size());
+    out->entries_.push_back(std::move(entry));
+  }
+  return Status::Ok();
+}
+
+const CheckpointReader::Entry* CheckpointReader::Find(const std::string& name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+bool CheckpointReader::Has(const std::string& name) const { return Find(name) != nullptr; }
+
+std::vector<std::string> CheckpointReader::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    names.push_back(entry.name);
+  }
+  return names;
+}
+
+Status CheckpointReader::VerifyEntry(const std::string& name) const {
+  const Entry* entry = Find(name);
+  if (entry == nullptr) {
+    return Status::NotFound("entry " + name + " not in checkpoint " + dir_);
+  }
+  uint32_t checksum = 0;
+  uint64_t size = 0;
+  FLOWKV_RETURN_IF_ERROR(ChecksumFile(JoinPath(dir_, name), &checksum, &size));
+  if (size != entry->size) {
+    return Status::Corruption("checkpoint entry " + name + " has size " + std::to_string(size) +
+                              ", manifest says " + std::to_string(entry->size));
+  }
+  if (checksum != entry->checksum) {
+    return Status::Corruption("checkpoint entry " + name + " fails checksum");
+  }
+  return Status::Ok();
+}
+
+Status CheckpointReader::CopyOut(const std::string& name, const std::string& dst) const {
+  FLOWKV_RETURN_IF_ERROR(VerifyEntry(name));
+  return CopyFile(JoinPath(dir_, name), dst);
+}
+
+Status CheckpointReader::ReadEntry(const std::string& name, std::string* contents) const {
+  const Entry* entry = Find(name);
+  if (entry == nullptr) {
+    return Status::NotFound("entry " + name + " not in checkpoint " + dir_);
+  }
+  FLOWKV_RETURN_IF_ERROR(ReadFileToString(JoinPath(dir_, name), contents));
+  if (contents->size() != entry->size ||
+      Checksum32(contents->data(), contents->size()) != entry->checksum) {
+    return Status::Corruption("checkpoint entry " + name + " fails checksum");
+  }
+  return Status::Ok();
+}
+
+}  // namespace flowkv

@@ -1,0 +1,113 @@
+// Atomic multi-file checkpoint commit, shared by every store's
+// CheckpointTo/RestoreFrom pair and by Pipeline::Checkpoint.
+//
+// Protocol (write-temp → fsync → rename → fsync-dir, finished by a
+// CURRENT-style commit record):
+//
+//   CheckpointWriter w(dir);
+//   w.Init();                       // creates dir
+//   w.AddFile("store/data.log", "data.log");   // durable copy + CRC
+//   w.AddBlob("meta", serialized_meta);        // durable write + CRC
+//   w.Commit();                     // durably writes dir/CHECKPOINT
+//
+// Every Add* stages the payload under a .tmp name, fsyncs it, renames it
+// into place and fsyncs `dir`. Commit() then durably writes a manifest
+// (`CHECKPOINT`) listing each entry's name, size, and checksum, itself
+// protected by a trailing checksum. A crash anywhere before Commit()
+// finishes leaves a directory without a valid manifest, which
+// CheckpointReader::Open refuses to load — so a checkpoint is either fully
+// present or cleanly absent, never partially restored.
+//
+// CheckpointReader::Open validates the manifest; VerifyEntry/CopyOut
+// re-checksum payloads so torn or bit-rotted files surface as Corruption
+// instead of being silently restored.
+#ifndef SRC_COMMON_CHECKPOINT_H_
+#define SRC_COMMON_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/slice.h"
+#include "src/common/status.h"
+
+namespace flowkv {
+
+// Name of the commit-record file inside a checkpoint directory.
+extern const char kCheckpointManifestName[];
+
+class CheckpointWriter {
+ public:
+  explicit CheckpointWriter(std::string dir);
+
+  // Creates the checkpoint directory (and parents).
+  Status Init();
+
+  // Durably copies `src` into the checkpoint as `name`, recording its size
+  // and checksum in the pending manifest.
+  Status AddFile(const std::string& src, const std::string& name);
+
+  // Durably writes `contents` into the checkpoint as `name`.
+  Status AddBlob(const std::string& name, const Slice& contents);
+
+  // Durably writes the manifest. After an OK return the checkpoint is
+  // committed: a crash at any earlier point leaves no loadable checkpoint.
+  Status Commit();
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    uint64_t size = 0;
+    uint32_t checksum = 0;
+  };
+
+  std::string dir_;
+  std::vector<Entry> entries_;
+  bool committed_ = false;
+};
+
+class CheckpointReader {
+ public:
+  // Loads and validates dir/CHECKPOINT. Returns NotFound if the manifest is
+  // missing (checkpoint never committed) and Corruption if it is damaged.
+  static Status Open(const std::string& dir, CheckpointReader* out);
+
+  bool Has(const std::string& name) const;
+
+  // Names of all committed entries, in manifest order.
+  std::vector<std::string> Names() const;
+
+  // Re-reads entry `name` and checks its size and checksum against the
+  // manifest.
+  Status VerifyEntry(const std::string& name) const;
+
+  // Verifies entry `name`, then copies it to `dst` (plain copy; the caller
+  // owns the destination's durability).
+  Status CopyOut(const std::string& name, const std::string& dst) const;
+
+  // Verifies entry `name` and reads it into `contents`.
+  Status ReadEntry(const std::string& name, std::string* contents) const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    uint64_t size = 0;
+    uint32_t checksum = 0;
+  };
+
+  const Entry* Find(const std::string& name) const;
+
+  std::string dir_;
+  std::vector<Entry> entries_;
+};
+
+// Checksums `path` by streaming it; also returns its size.
+Status ChecksumFile(const std::string& path, uint32_t* checksum, uint64_t* size);
+
+}  // namespace flowkv
+
+#endif  // SRC_COMMON_CHECKPOINT_H_

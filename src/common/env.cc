@@ -1,6 +1,7 @@
 #include "src/common/env.h"
 
 #include <dirent.h>
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -11,6 +12,7 @@
 #include <cstdlib>
 
 #include "src/common/clock.h"
+#include "src/common/fs_hooks.h"
 
 namespace flowkv {
 
@@ -75,8 +77,14 @@ Status RemoveDirRecursively(const std::string& dir) {
 }
 
 Status RemoveFile(const std::string& path) {
+  if (FsHooks* hooks = GetFsHooks()) {
+    FLOWKV_RETURN_IF_ERROR(hooks->PreRemove(path));
+  }
   if (unlink(path.c_str()) != 0) {
     return Status::FromErrno("unlink " + path);
+  }
+  if (FsHooks* hooks = GetFsHooks()) {
+    hooks->DidRemove(path);
   }
   return Status::Ok();
 }
@@ -110,10 +118,60 @@ Status ListDir(const std::string& dir, std::vector<std::string>* names) {
 }
 
 Status RenameFile(const std::string& from, const std::string& to) {
+  if (FsHooks* hooks = GetFsHooks()) {
+    FLOWKV_RETURN_IF_ERROR(hooks->PreRename(from, to));
+  }
   if (rename(from.c_str(), to.c_str()) != 0) {
     return Status::FromErrno("rename " + from + " -> " + to);
   }
+  if (FsHooks* hooks = GetFsHooks()) {
+    hooks->DidRename(from, to);
+  }
   return Status::Ok();
+}
+
+Status SyncDir(const std::string& dir) {
+  if (FsHooks* hooks = GetFsHooks()) {
+    FLOWKV_RETURN_IF_ERROR(hooks->PreSyncDir(dir));
+  }
+  const int fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::FromErrno("open dir " + dir);
+  }
+  if (fsync(fd) != 0) {
+    const Status status = Status::FromErrno("fsync dir " + dir);
+    close(fd);
+    return status;
+  }
+  close(fd);
+  if (FsHooks* hooks = GetFsHooks()) {
+    hooks->DidSyncDir(dir);
+  }
+  return Status::Ok();
+}
+
+Status CommitFileRename(const std::string& from, const std::string& to) {
+  FLOWKV_RETURN_IF_ERROR(RenameFile(from, to));
+  const std::string dir = DirName(to);
+  return SyncDir(dir.empty() ? "." : dir);
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  if (truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Status::FromErrno("truncate " + path);
+  }
+  return Status::Ok();
+}
+
+std::string DirName(const std::string& path) {
+  const size_t pos = path.find_last_of('/');
+  if (pos == std::string::npos) {
+    return "";
+  }
+  if (pos == 0) {
+    return "/";
+  }
+  return path.substr(0, pos);
 }
 
 std::string JoinPath(const std::string& dir, const std::string& name) {

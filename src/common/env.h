@@ -28,8 +28,24 @@ Status GetFileSize(const std::string& path, uint64_t* size);
 // Names (not paths) of directory entries, excluding "." and "..".
 Status ListDir(const std::string& dir, std::vector<std::string>* names);
 
-// Atomically replaces `to` with `from` (rename(2)).
+// Atomically replaces `to` with `from` (rename(2)). Note: the rename itself
+// is only durable after SyncDir() on the parent directory; use
+// CommitFileRename() when durability is required.
 Status RenameFile(const std::string& from, const std::string& to);
+
+// fsyncs a directory so previously renamed/created/removed entries survive a
+// power failure.
+Status SyncDir(const std::string& dir);
+
+// RenameFile(from, to) followed by SyncDir(parent of to): the canonical
+// last step of the write-temp → fsync → rename → fsync-dir commit protocol.
+Status CommitFileRename(const std::string& from, const std::string& to);
+
+// Truncates `path` to exactly `size` bytes.
+Status TruncateFile(const std::string& path, uint64_t size);
+
+// Directory component of `path` ("" if none, "/" for root-level paths).
+std::string DirName(const std::string& path);
 
 // Joins path components with '/'.
 std::string JoinPath(const std::string& dir, const std::string& name);

@@ -1,0 +1,386 @@
+#include "src/common/fault_injection_fs.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/env.h"
+
+namespace flowkv {
+
+namespace {
+
+// Reads up to `limit` bytes of `path` into `out` without going through the
+// hooked file wrappers (used while journaling, when ops must not recurse).
+Status ReadPrefixRaw(const std::string& path, uint64_t limit, std::string* out) {
+  out->clear();
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::FromErrno("fopen " + path);
+  }
+  out->reserve(limit);
+  char buf[1 << 16];
+  while (out->size() < limit) {
+    const size_t want = std::min(sizeof(buf), static_cast<size_t>(limit - out->size()));
+    const size_t got = std::fread(buf, 1, want, f);
+    out->append(buf, got);
+    if (got < want) {
+      break;
+    }
+  }
+  std::fclose(f);
+  return Status::Ok();
+}
+
+Status WriteFileRaw(const std::string& path, const std::string& contents) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::FromErrno("fopen " + path);
+  }
+  const size_t put = std::fwrite(contents.data(), 1, contents.size(), f);
+  const int rc = std::fclose(f);
+  if (put != contents.size() || rc != 0) {
+    return Status::IOError("short write restoring " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+FaultInjectionFs::~FaultInjectionFs() {
+  if (GetFsHooks() == this) {
+    InstallFsHooks(nullptr);
+  }
+}
+
+void FaultInjectionFs::CrashAtSyncPoint(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_at_sync_point_ = n;
+}
+
+void FaultInjectionFs::FailSyncAt(uint64_t n, int err) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_sync_at_ = n;
+  fail_sync_errno_ = err;
+}
+
+void FaultInjectionFs::FailWriteAt(uint64_t n, int err) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_write_at_ = n;
+  fail_write_errno_ = err;
+}
+
+void FaultInjectionFs::FailRenameAt(uint64_t n, int err) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_rename_at_ = n;
+  fail_rename_errno_ = err;
+}
+
+void FaultInjectionFs::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_at_sync_point_ = 0;
+  fail_sync_at_ = fail_write_at_ = fail_rename_at_ = 0;
+}
+
+void FaultInjectionFs::SimulateCrash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = true;
+}
+
+bool FaultInjectionFs::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+uint64_t FaultInjectionFs::sync_points() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sync_point_count_;
+}
+
+void FaultInjectionFs::ResetTracking() {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.clear();
+  journal_.clear();
+  pending_opens_.clear();
+  pending_renames_.clear();
+  crashed_ = false;
+  sync_point_count_ = 0;
+  crash_at_sync_point_ = 0;
+  sync_seq_ = write_seq_ = rename_seq_ = 0;
+  fail_sync_at_ = fail_write_at_ = fail_rename_at_ = 0;
+}
+
+Status FaultInjectionFs::TruncateTail(const std::string& path, uint64_t n) {
+  uint64_t size = 0;
+  FLOWKV_RETURN_IF_ERROR(GetFileSize(path, &size));
+  const uint64_t keep = n >= size ? 0 : size - n;
+  return TruncateFile(path, keep);
+}
+
+Status FaultInjectionFs::CheckCrashed(const char* op, const std::string& path) const {
+  if (crashed_) {
+    return Status::IOError(std::string("simulated crash: ") + op + " " + path);
+  }
+  return Status::Ok();
+}
+
+Status FaultInjectionFs::SyncPointLocked(const char* op, const std::string& path) {
+  ++sync_point_count_;
+  if (crash_at_sync_point_ != 0 && sync_point_count_ == crash_at_sync_point_) {
+    crashed_ = true;
+    return Status::IOError(std::string("simulated crash at sync point ") +
+                           std::to_string(sync_point_count_) + ": " + op + " " + path);
+  }
+  ++sync_seq_;
+  if (fail_sync_at_ != 0 && sync_seq_ == fail_sync_at_) {
+    fail_sync_at_ = 0;
+    errno = fail_sync_errno_;
+    return Status::FromErrno(std::string("injected fault: ") + op + " " + path);
+  }
+  return Status::Ok();
+}
+
+void FaultInjectionFs::RekeyLocked(const std::string& from, const std::string& to) {
+  std::unordered_map<std::string, FileState> moved;
+  const std::string from_prefix = from + "/";
+  for (auto it = files_.begin(); it != files_.end();) {
+    if (it->first == from) {
+      moved.emplace(to, it->second);
+      it = files_.erase(it);
+    } else if (it->first.compare(0, from_prefix.size(), from_prefix) == 0) {
+      moved.emplace(to + "/" + it->first.substr(from_prefix.size()), it->second);
+      it = files_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& entry : moved) {
+    files_[entry.first] = entry.second;
+  }
+}
+
+Status FaultInjectionFs::PreOpenWrite(const std::string& path, bool truncate) {
+  (void)truncate;
+  std::lock_guard<std::mutex> lock(mu_);
+  FLOWKV_RETURN_IF_ERROR(CheckCrashed("open-write", path));
+  bool existed = FileExists(path);
+  uint64_t size = 0;
+  if (existed && !GetFileSize(path, &size).ok()) {
+    existed = false;
+  }
+  pending_opens_[path] = {existed, size};
+  return Status::Ok();
+}
+
+Status FaultInjectionFs::PreOpenRead(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CheckCrashed("open-read", path);
+}
+
+Status FaultInjectionFs::PreWrite(const std::string& path, size_t n) {
+  (void)n;
+  std::lock_guard<std::mutex> lock(mu_);
+  FLOWKV_RETURN_IF_ERROR(CheckCrashed("write", path));
+  ++write_seq_;
+  if (fail_write_at_ != 0 && write_seq_ == fail_write_at_) {
+    fail_write_at_ = 0;
+    errno = fail_write_errno_;
+    return Status::FromErrno("injected fault: write " + path);
+  }
+  return Status::Ok();
+}
+
+Status FaultInjectionFs::PreSync(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FLOWKV_RETURN_IF_ERROR(CheckCrashed("sync", path));
+  return SyncPointLocked("sync", path);
+}
+
+Status FaultInjectionFs::PreSyncDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FLOWKV_RETURN_IF_ERROR(CheckCrashed("syncdir", dir));
+  return SyncPointLocked("syncdir", dir);
+}
+
+Status FaultInjectionFs::PreRename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FLOWKV_RETURN_IF_ERROR(CheckCrashed("rename", from));
+  ++rename_seq_;
+  if (fail_rename_at_ != 0 && rename_seq_ == fail_rename_at_) {
+    fail_rename_at_ = 0;
+    errno = fail_rename_errno_;
+    return Status::FromErrno("injected fault: rename " + from + " -> " + to);
+  }
+  // Journal the rename so a crash before the parent-dir sync can revert it.
+  // If `to` exists with durable state, snapshot the durable prefix so the
+  // revert can restore the replaced file (e.g. an old CURRENT pointer).
+  RenameRecord rec;
+  rec.from = from;
+  rec.to = to;
+  auto from_it = files_.find(from);
+  rec.from_entry_durable = from_it == files_.end() || from_it->second.entry_durable;
+  auto to_it = files_.find(to);
+  const bool to_tracked = to_it != files_.end();
+  const bool to_durable = to_tracked ? to_it->second.entry_durable : FileExists(to);
+  if (to_durable && FileExists(to)) {
+    uint64_t size = 0;
+    if (GetFileSize(to, &size).ok()) {
+      const uint64_t durable_bytes = to_tracked ? std::min(to_it->second.durable_bytes, size) : size;
+      if (ReadPrefixRaw(to, durable_bytes, &rec.old_to_contents).ok()) {
+        rec.replaced_old_to = true;
+        rec.old_to_state.durable_bytes = rec.old_to_contents.size();
+        rec.old_to_state.entry_durable = true;
+      }
+    }
+  }
+  pending_renames_[to] = std::move(rec);
+  return Status::Ok();
+}
+
+Status FaultInjectionFs::PreRemove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CheckCrashed("remove", path);
+}
+
+void FaultInjectionFs::DidOpenWrite(const std::string& path, bool truncate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool existed = false;
+  uint64_t size = 0;
+  auto pending = pending_opens_.find(path);
+  if (pending != pending_opens_.end()) {
+    existed = pending->second.first;
+    size = pending->second.second;
+    pending_opens_.erase(pending);
+  }
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    // First sighting this era: a pre-existing file counts as durable
+    // baseline state; a newly created one has no durable entry or data.
+    FileState state;
+    state.entry_durable = existed;
+    state.durable_bytes = (existed && !truncate) ? size : 0;
+    files_.emplace(path, state);
+  } else if (truncate) {
+    it->second.durable_bytes = 0;
+  }
+}
+
+void FaultInjectionFs::DidSync(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t size = 0;
+  if (!GetFileSize(path, &size).ok()) {
+    return;
+  }
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    FileState state;
+    state.durable_bytes = size;
+    state.entry_durable = false;
+    files_.emplace(path, state);
+  } else {
+    it->second.durable_bytes = size;
+  }
+}
+
+void FaultInjectionFs::DidSyncDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : files_) {
+    if (DirName(entry.first) == dir) {
+      entry.second.entry_durable = true;
+    }
+  }
+  // Renames whose destination lives in `dir` are now durable.
+  for (auto it = journal_.begin(); it != journal_.end();) {
+    if (DirName(it->to) == dir) {
+      it = journal_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FaultInjectionFs::DidRename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RekeyLocked(from, to);
+  auto it = files_.find(to);
+  if (it == files_.end()) {
+    it = files_.emplace(to, FileState{}).first;
+  }
+  it->second.entry_durable = false;  // new name needs a dir sync
+  auto pending = pending_renames_.find(to);
+  if (pending != pending_renames_.end()) {
+    journal_.push_back(std::move(pending->second));
+    pending_renames_.erase(pending);
+  }
+}
+
+void FaultInjectionFs::DidRemove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.erase(path);
+  // A removed destination can no longer be reverted to; drop stale records.
+  for (auto it = journal_.begin(); it != journal_.end();) {
+    if (it->to == path || it->from == path) {
+      it = journal_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status FaultInjectionFs::RestoreCrashImage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status status;
+  // Revert non-durable renames newest-first so chained renames unwind
+  // correctly, then restore any replaced destinations from their snapshots.
+  for (auto it = journal_.rbegin(); it != journal_.rend(); ++it) {
+    if (FileExists(it->to)) {
+      if (rename(it->to.c_str(), it->from.c_str()) != 0) {
+        status = Status::FromErrno("revert rename " + it->to + " -> " + it->from);
+        break;
+      }
+      RekeyLocked(it->to, it->from);
+      auto fs = files_.find(it->from);
+      if (fs != files_.end()) {
+        fs->second.entry_durable = it->from_entry_durable;
+      }
+    }
+    if (it->replaced_old_to) {
+      const Status restore = WriteFileRaw(it->to, it->old_to_contents);
+      if (!restore.ok()) {
+        status = restore;
+        break;
+      }
+      files_[it->to] = it->old_to_state;
+    }
+  }
+  if (status.ok()) {
+    for (auto& entry : files_) {
+      if (!FileExists(entry.first)) {
+        continue;
+      }
+      if (!entry.second.entry_durable) {
+        if (unlink(entry.first.c_str()) != 0) {
+          status = Status::FromErrno("unlink " + entry.first);
+          break;
+        }
+      } else {
+        const Status trunc = TruncateFile(entry.first, entry.second.durable_bytes);
+        if (!trunc.ok()) {
+          status = trunc;
+          break;
+        }
+      }
+    }
+  }
+  files_.clear();
+  journal_.clear();
+  pending_opens_.clear();
+  pending_renames_.clear();
+  crashed_ = false;
+  crash_at_sync_point_ = 0;
+  fail_sync_at_ = fail_write_at_ = fail_rename_at_ = 0;
+  return status;
+}
+
+}  // namespace flowkv

@@ -1,0 +1,136 @@
+// A fault-injecting filesystem layer for crash-recovery testing. Installs as
+// the global FsHooks instance (fs_hooks.h) and models the two failure classes
+// a durable store must survive:
+//
+//  1. Injected errors: the Nth write/sync/rename fails with a chosen errno,
+//     exercising error-propagation paths.
+//  2. Simulated crashes: at a chosen sync point (or on demand) the
+//     "machine dies" — every subsequent operation fails, and
+//     RestoreCrashImage() then rewrites the real directory tree to what a
+//     power failure would have left behind:
+//       - renames never made durable by a parent-directory fsync are
+//         reverted (a replaced destination gets its old durable content
+//         back);
+//       - files whose directory entry was never fsynced disappear;
+//       - surviving files are truncated to their last fsynced size
+//         (unsynced page-cache data is dropped).
+//
+// The model is deliberately the worst case permitted by POSIX: fsync(file)
+// makes file *data* durable but not its directory entry; only SyncDir makes
+// names durable. Anything a store acknowledges as synced must therefore have
+// been through write → fsync → rename-into-place → fsync(parent dir).
+//
+// Thread-safe; stores follow a single-threaded contract but test reporters
+// may run concurrently. Era baseline: everything on disk when tracking
+// starts (install or ResetTracking) is considered durable.
+#ifndef SRC_COMMON_FAULT_INJECTION_FS_H_
+#define SRC_COMMON_FAULT_INJECTION_FS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/fs_hooks.h"
+
+namespace flowkv {
+
+class FaultInjectionFs : public FsHooks {
+ public:
+  FaultInjectionFs() = default;
+  ~FaultInjectionFs() override;
+
+  // ----- fault configuration (call from the test thread) -----
+
+  // The n-th sync point (fsync or directory fsync, 1-based, counted across
+  // the whole era) triggers a simulated crash. 0 disables.
+  void CrashAtSyncPoint(uint64_t n);
+
+  // The n-th file fsync / write / rename (1-based) fails once with `err`.
+  // 0 disables. Counting is per-era.
+  void FailSyncAt(uint64_t n, int err);
+  void FailWriteAt(uint64_t n, int err);
+  void FailRenameAt(uint64_t n, int err);
+
+  void ClearFaults();
+
+  // Immediately put the filesystem into the crashed state.
+  void SimulateCrash();
+
+  // ----- state -----
+
+  bool crashed() const;
+  // Sync points (fsync + dir-fsync) observed this era, including the one
+  // that crashed. A crash sweep is done once a run ends with fewer points
+  // than the configured crash point.
+  uint64_t sync_points() const;
+
+  // Applies the crash to disk (see file comment), then reboots: tracking is
+  // reset, faults cleared, operations succeed again. All store objects using
+  // the affected files must be destroyed first — open fds bypass the model.
+  Status RestoreCrashImage();
+
+  // Forgets tracked state and counters without touching disk.
+  void ResetTracking();
+
+  // Torn-write helper: chops the last `n` bytes off `path`.
+  static Status TruncateTail(const std::string& path, uint64_t n);
+
+  // ----- FsHooks -----
+  Status PreOpenWrite(const std::string& path, bool truncate) override;
+  Status PreOpenRead(const std::string& path) override;
+  Status PreWrite(const std::string& path, size_t n) override;
+  Status PreSync(const std::string& path) override;
+  Status PreSyncDir(const std::string& dir) override;
+  Status PreRename(const std::string& from, const std::string& to) override;
+  Status PreRemove(const std::string& path) override;
+  void DidOpenWrite(const std::string& path, bool truncate) override;
+  void DidSync(const std::string& path) override;
+  void DidSyncDir(const std::string& dir) override;
+  void DidRename(const std::string& from, const std::string& to) override;
+  void DidRemove(const std::string& path) override;
+
+ private:
+  struct FileState {
+    uint64_t durable_bytes = 0;
+    bool entry_durable = false;  // directory entry survives a crash
+  };
+
+  // One rename whose destination's directory entry is not yet durable.
+  struct RenameRecord {
+    std::string from;
+    std::string to;
+    bool from_entry_durable = false;  // restored on revert
+    bool replaced_old_to = false;     // `to` existed with a durable entry
+    std::string old_to_contents;      // durable prefix of the replaced file
+    FileState old_to_state;
+  };
+
+  Status CheckCrashed(const char* op, const std::string& path) const;  // mu_ held
+  // Counts a sync point and applies crash-at / fail-at faults. mu_ held.
+  Status SyncPointLocked(const char* op, const std::string& path);
+  // Moves tracking for `from` (and, for directories, everything under it)
+  // to `to`. mu_ held.
+  void RekeyLocked(const std::string& from, const std::string& to);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, FileState> files_;
+  std::vector<RenameRecord> journal_;  // renames awaiting a dir sync, oldest first
+
+  bool crashed_ = false;
+  uint64_t sync_point_count_ = 0;
+  uint64_t crash_at_sync_point_ = 0;
+
+  uint64_t sync_seq_ = 0, write_seq_ = 0, rename_seq_ = 0;
+  uint64_t fail_sync_at_ = 0, fail_write_at_ = 0, fail_rename_at_ = 0;
+  int fail_sync_errno_ = 0, fail_write_errno_ = 0, fail_rename_errno_ = 0;
+
+  // Stashed between PreOpenWrite/PreRename and the matching Did* call.
+  std::unordered_map<std::string, std::pair<bool, uint64_t>> pending_opens_;
+  std::unordered_map<std::string, RenameRecord> pending_renames_;  // keyed by `to`
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_COMMON_FAULT_INJECTION_FS_H_

@@ -7,6 +7,9 @@
 #include <cstring>
 
 #include "src/common/clock.h"
+#include "src/common/env.h"
+#include "src/common/fs_hooks.h"
+#include "src/common/logging.h"
 
 #if defined(__linux__)
 #include <sys/sendfile.h>
@@ -46,6 +49,9 @@ AppendFile::AppendFile(std::string path, int fd, uint64_t initial_size, IoStats*
 
 Status AppendFile::Open(const std::string& path, bool reopen, std::unique_ptr<AppendFile>* out,
                         IoStats* stats) {
+  if (FsHooks* hooks = GetFsHooks()) {
+    FLOWKV_RETURN_IF_ERROR(hooks->PreOpenWrite(path, /*truncate=*/!reopen));
+  }
   int flags = O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC;
   if (!reopen) {
     flags |= O_TRUNC;
@@ -64,10 +70,21 @@ Status AppendFile::Open(const std::string& path, bool reopen, std::unique_ptr<Ap
     initial = static_cast<uint64_t>(end);
   }
   out->reset(new AppendFile(path, fd, initial, stats));
+  if (FsHooks* hooks = GetFsHooks()) {
+    hooks->DidOpenWrite(path, /*truncate=*/!reopen);
+  }
   return Status::Ok();
 }
 
-AppendFile::~AppendFile() { Close(); }
+AppendFile::~AppendFile() {
+  // Destructor-path closes cannot propagate errors; writers that care about
+  // durability must call Close() (or Sync()) explicitly and check the status.
+  const Status status = Close();
+  if (!status.ok()) {
+    FLOWKV_LOG(kError) << "close of " << path_ << " failed in destructor, buffered data may be "
+                       << "lost: " << status.ToString();
+  }
+}
 
 Status AppendFile::Append(const Slice& data) {
   size_ += data.size();
@@ -95,6 +112,9 @@ Status AppendFile::Flush() {
 }
 
 Status AppendFile::WriteRaw(const char* data, size_t n) {
+  if (FsHooks* hooks = GetFsHooks()) {
+    FLOWKV_RETURN_IF_ERROR(hooks->PreWrite(path_, n));
+  }
   NanoScope scope(stats_, &IoStats::write_nanos);
   size_t written = 0;
   while (written < n) {
@@ -115,9 +135,15 @@ Status AppendFile::WriteRaw(const char* data, size_t n) {
 
 Status AppendFile::Sync() {
   FLOWKV_RETURN_IF_ERROR(Flush());
+  if (FsHooks* hooks = GetFsHooks()) {
+    FLOWKV_RETURN_IF_ERROR(hooks->PreSync(path_));
+  }
   NanoScope scope(stats_, &IoStats::sync_nanos);
   if (::fdatasync(fd_) != 0) {
     return Status::FromErrno("fdatasync " + path_);
+  }
+  if (FsHooks* hooks = GetFsHooks()) {
+    hooks->DidSync(path_);
   }
   return Status::Ok();
 }
@@ -141,6 +167,9 @@ RandomAccessFile::RandomAccessFile(std::string path, int fd, uint64_t size, IoSt
 
 Status RandomAccessFile::Open(const std::string& path, std::unique_ptr<RandomAccessFile>* out,
                               IoStats* stats) {
+  if (FsHooks* hooks = GetFsHooks()) {
+    FLOWKV_RETURN_IF_ERROR(hooks->PreOpenRead(path));
+  }
   int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
     return Status::FromErrno("open(read) " + path);
@@ -190,6 +219,9 @@ SequentialFile::SequentialFile(std::string path, int fd, IoStats* stats)
 
 Status SequentialFile::Open(const std::string& path, std::unique_ptr<SequentialFile>* out,
                             IoStats* stats) {
+  if (FsHooks* hooks = GetFsHooks()) {
+    FLOWKV_RETURN_IF_ERROR(hooks->PreOpenRead(path));
+  }
   int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
     return Status::FromErrno("open(seq) " + path);
@@ -249,7 +281,13 @@ Status ZeroCopyTransfer(const std::string& src_path, uint64_t src_offset, uint64
     // We need the raw destination fd; reconstruct via /proc is overkill —
     // copy_file_range requires it, so AppendFile exposes append-only
     // semantics through O_APPEND and we open a second fd on the same path.
-    int out_fd = ::open(dst->path().c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+    int out_fd = -1;
+    FsHooks* hooks = GetFsHooks();
+    // The kernel-space path writes around AppendFile's buffer; give the
+    // hooks the same visibility a WriteRaw would.
+    if (hooks == nullptr || hooks->PreWrite(dst->path(), remaining).ok()) {
+      out_fd = ::open(dst->path().c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+    }
     if (out_fd >= 0) {
       bool fell_back = false;
       while (remaining > 0) {
@@ -317,6 +355,16 @@ Status WriteStringToFile(const std::string& path, const Slice& contents) {
   FLOWKV_RETURN_IF_ERROR(AppendFile::Open(path, /*reopen=*/false, &f));
   FLOWKV_RETURN_IF_ERROR(f->Append(contents));
   return f->Close();
+}
+
+Status WriteFileDurably(const std::string& path, const Slice& contents) {
+  const std::string tmp = path + ".tmp";
+  std::unique_ptr<AppendFile> f;
+  FLOWKV_RETURN_IF_ERROR(AppendFile::Open(tmp, /*reopen=*/false, &f));
+  FLOWKV_RETURN_IF_ERROR(f->Append(contents));
+  FLOWKV_RETURN_IF_ERROR(f->Sync());
+  FLOWKV_RETURN_IF_ERROR(f->Close());
+  return CommitFileRename(tmp, path);
 }
 
 Status ReadFileToString(const std::string& path, std::string* contents) {

@@ -143,6 +143,12 @@ Status CopyFile(const std::string& src, const std::string& dst, IoStats* stats =
 Status WriteStringToFile(const std::string& path, const Slice& contents);
 Status ReadFileToString(const std::string& path, std::string* contents);
 
+// Crash-safe WriteStringToFile: writes `path`.tmp, fsyncs it, renames it
+// into place, and fsyncs the parent directory. After an OK return the file
+// (with exactly `contents`) survives a power failure; after a failure the
+// previous version of `path`, if any, is still intact.
+Status WriteFileDurably(const std::string& path, const Slice& contents);
+
 }  // namespace flowkv
 
 #endif  // SRC_COMMON_FILE_H_

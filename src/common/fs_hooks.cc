@@ -1,0 +1,15 @@
+#include "src/common/fs_hooks.h"
+
+#include <atomic>
+
+namespace flowkv {
+
+namespace {
+std::atomic<FsHooks*> g_hooks{nullptr};
+}  // namespace
+
+void InstallFsHooks(FsHooks* hooks) { g_hooks.store(hooks, std::memory_order_release); }
+
+FsHooks* GetFsHooks() { return g_hooks.load(std::memory_order_acquire); }
+
+}  // namespace flowkv

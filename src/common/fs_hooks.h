@@ -1,0 +1,54 @@
+// Filesystem interposition hooks. The file/env wrappers (file.cc, env.cc)
+// consult a single globally installed FsHooks instance around every
+// durability-relevant operation: opens, writes, syncs, renames, directory
+// syncs, and removals. Production runs install nothing and pay one relaxed
+// atomic load per operation; tests install a FaultInjectionFs (see
+// fault_injection_fs.h) to fail the Nth operation or simulate a crash that
+// drops everything not yet fsynced.
+//
+// Pre* hooks gate the operation: a non-OK return aborts it with that status
+// before any syscall runs. Did* hooks observe a successful operation.
+#ifndef SRC_COMMON_FS_HOOKS_H_
+#define SRC_COMMON_FS_HOOKS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace flowkv {
+
+class FsHooks {
+ public:
+  virtual ~FsHooks() = default;
+
+  // `truncate` mirrors AppendFile::Open's !reopen flag.
+  virtual Status PreOpenWrite(const std::string& path, bool truncate) { return Status::Ok(); }
+  virtual Status PreOpenRead(const std::string& path) { return Status::Ok(); }
+  virtual Status PreWrite(const std::string& path, size_t n) { return Status::Ok(); }
+  virtual Status PreSync(const std::string& path) { return Status::Ok(); }
+  virtual Status PreSyncDir(const std::string& dir) { return Status::Ok(); }
+  virtual Status PreRename(const std::string& from, const std::string& to) {
+    return Status::Ok();
+  }
+  virtual Status PreRemove(const std::string& path) { return Status::Ok(); }
+
+  virtual void DidOpenWrite(const std::string& path, bool truncate) {}
+  virtual void DidSync(const std::string& path) {}
+  virtual void DidSyncDir(const std::string& dir) {}
+  virtual void DidRename(const std::string& from, const std::string& to) {}
+  virtual void DidRemove(const std::string& path) {}
+};
+
+// Installs `hooks` globally (nullptr uninstalls). The caller keeps ownership
+// and must keep the object alive until uninstalled. Not intended for
+// concurrent installation; file operations racing an (un)install see either
+// the old or the new instance.
+void InstallFsHooks(FsHooks* hooks);
+
+// Currently installed hooks, or nullptr.
+FsHooks* GetFsHooks();
+
+}  // namespace flowkv
+
+#endif  // SRC_COMMON_FS_HOOKS_H_

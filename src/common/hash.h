@@ -38,6 +38,28 @@ uint32_t Checksum32(const char* data, size_t size);
 
 inline uint32_t Checksum32(const Slice& s) { return Checksum32(s.data(), s.size()); }
 
+// Incremental Checksum32: feeding the same bytes through Update() in any
+// chunking yields exactly Checksum32() of the concatenation. Used when
+// checksumming streamed file copies without buffering the whole payload.
+class StreamingChecksum32 {
+ public:
+  void Update(const char* data, size_t size) {
+    for (size_t i = 0; i < size; ++i) {
+      h_ ^= static_cast<uint8_t>(data[i]);
+      h_ *= 0x100000001b3ULL;
+    }
+  }
+  void Update(const Slice& s) { Update(s.data(), s.size()); }
+
+  uint32_t Finish() const {
+    const uint64_t h = MixHash64(h_);
+    return static_cast<uint32_t>(h ^ (h >> 32));
+  }
+
+ private:
+  uint64_t h_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis, as Checksum32
+};
+
 }  // namespace flowkv
 
 #endif  // SRC_COMMON_HASH_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/checkpoint.h"
 #include "src/common/clock.h"
 #include "src/common/coding.h"
 #include "src/common/env.h"
@@ -17,9 +18,62 @@ AarStore::AarStore(std::string dir, const FlowKvOptions& options)
 
 AarStore::~AarStore() = default;
 
+namespace {
+
+// A crash can leave a torn record at an AAR log's tail (records are
+// length-prefixed, not checksummed). Scan to the last complete record and
+// truncate the debris so reopen never poisons ReadPass.
+Status RepairTornTail(const std::string& path) {
+  std::unique_ptr<SequentialFile> file;
+  FLOWKV_RETURN_IF_ERROR(SequentialFile::Open(path, &file));
+  std::string carry;
+  std::string scratch;
+  scratch.resize(256 * 1024);
+  uint64_t valid_bytes = 0;
+  uint64_t read_bytes = 0;
+  while (true) {
+    Slice got;
+    FLOWKV_RETURN_IF_ERROR(file->Read(scratch.size(), &got, scratch.data()));
+    if (got.empty()) {
+      break;
+    }
+    read_bytes += got.size();
+    carry.append(got.data(), got.size());
+    Slice input(carry);
+    size_t consumed = 0;
+    while (true) {
+      Slice probe = input;
+      Slice key, value;
+      if (!GetLengthPrefixed(&probe, &key) || !GetLengthPrefixed(&probe, &value)) {
+        break;
+      }
+      consumed += input.size() - probe.size();
+      input = probe;
+    }
+    valid_bytes += consumed;
+    carry.erase(0, consumed);
+  }
+  file.reset();
+  if (!carry.empty()) {
+    FLOWKV_LOG(kWarn) << "aar: truncating torn tail of " << path << " from " << read_bytes
+                      << " to " << valid_bytes << " bytes";
+    return TruncateFile(path, valid_bytes);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 Status AarStore::Open(const std::string& dir, const FlowKvOptions& options,
                       std::unique_ptr<AarStore>* out) {
   FLOWKV_RETURN_IF_ERROR(CreateDirs(dir));
+  std::vector<std::string> names;
+  FLOWKV_RETURN_IF_ERROR(ListDir(dir, &names));
+  for (const auto& name : names) {
+    if (name.rfind("aar_", 0) == 0) {
+      FLOWKV_RETURN_IF_ERROR(RepairTornTail(JoinPath(dir, name)));
+    }
+  }
   out->reset(new AarStore(dir, options));
   return Status::Ok();
 }
@@ -182,34 +236,33 @@ Status AarStore::FinishRead(const Window& w) {
 }
 
 Status AarStore::CheckpointTo(const std::string& checkpoint_dir) {
-  FLOWKV_RETURN_IF_ERROR(CreateDirs(checkpoint_dir));
+  CheckpointWriter writer(checkpoint_dir);
+  FLOWKV_RETURN_IF_ERROR(writer.Init());
   FLOWKV_RETURN_IF_ERROR(FlushBuffer());
-  for (auto& [window, writer] : writers_) {
-    FLOWKV_RETURN_IF_ERROR(writer->Flush());
+  for (auto& [window, log] : writers_) {
+    FLOWKV_RETURN_IF_ERROR(log->Flush());
   }
   std::vector<std::string> names;
   FLOWKV_RETURN_IF_ERROR(ListDir(dir_, &names));
   for (const auto& name : names) {
     if (name.rfind("aar_", 0) == 0) {
-      FLOWKV_RETURN_IF_ERROR(
-          CopyFile(JoinPath(dir_, name), JoinPath(checkpoint_dir, name), &stats_.io));
+      FLOWKV_RETURN_IF_ERROR(writer.AddFile(JoinPath(dir_, name), name));
     }
   }
-  return Status::Ok();
+  return writer.Commit();
 }
 
 Status AarStore::RestoreFrom(const std::string& checkpoint_dir, const std::string& dir,
                              const FlowKvOptions& options, std::unique_ptr<AarStore>* out) {
-  FLOWKV_RETURN_IF_ERROR(Open(dir, options, out));
-  std::vector<std::string> names;
-  FLOWKV_RETURN_IF_ERROR(ListDir(checkpoint_dir, &names));
-  for (const auto& name : names) {
+  CheckpointReader reader;
+  FLOWKV_RETURN_IF_ERROR(CheckpointReader::Open(checkpoint_dir, &reader));
+  FLOWKV_RETURN_IF_ERROR(CreateDirs(dir));
+  for (const auto& name : reader.Names()) {
     if (name.rfind("aar_", 0) == 0) {
-      FLOWKV_RETURN_IF_ERROR(CopyFile(JoinPath(checkpoint_dir, name), JoinPath(dir, name),
-                                      &(*out)->stats_.io));
+      FLOWKV_RETURN_IF_ERROR(reader.CopyOut(name, JoinPath(dir, name)));
     }
   }
-  return Status::Ok();
+  return Open(dir, options, out);
 }
 
 Status AarStore::GetWindowChunk(const Window& w, std::vector<WindowChunkEntry>* chunk,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/checkpoint.h"
 #include "src/common/clock.h"
 #include "src/common/coding.h"
 #include "src/common/env.h"
@@ -40,17 +41,16 @@ Status AurStore::OpenLogs(bool reopen) {
 }
 
 Status AurStore::CheckpointTo(const std::string& checkpoint_dir) {
-  FLOWKV_RETURN_IF_ERROR(CreateDirs(checkpoint_dir));
+  CheckpointWriter writer(checkpoint_dir);
+  FLOWKV_RETURN_IF_ERROR(writer.Init());
   // Flush in-memory tuples, then compact so the snapshot is exactly the live
   // segments (dead_segments_ empty afterwards).
   FLOWKV_RETURN_IF_ERROR(FlushBuffer());
   FLOWKV_RETURN_IF_ERROR(Compact());
   FLOWKV_RETURN_IF_ERROR(data_log_->Flush());
   FLOWKV_RETURN_IF_ERROR(index_log_->Flush());
-  FLOWKV_RETURN_IF_ERROR(CopyFile(DataLogName(generation_),
-                                  JoinPath(checkpoint_dir, "aur_data.ckpt"), &stats_.io));
-  FLOWKV_RETURN_IF_ERROR(CopyFile(IndexLogName(generation_),
-                                  JoinPath(checkpoint_dir, "aur_index.ckpt"), &stats_.io));
+  FLOWKV_RETURN_IF_ERROR(writer.AddFile(DataLogName(generation_), "aur_data.ckpt"));
+  FLOWKV_RETURN_IF_ERROR(writer.AddFile(IndexLogName(generation_), "aur_index.ckpt"));
   std::string meta;
   PutVarint64(&meta, stat_.size());
   for (const auto& [sk, stat] : stat_) {
@@ -63,22 +63,23 @@ Status AurStore::CheckpointTo(const std::string& checkpoint_dir) {
     PutLengthPrefixed(&meta, sk);
     PutVarint64(&meta, bytes);
   }
-  return WriteStringToFile(JoinPath(checkpoint_dir, "aur_meta.ckpt"), meta);
+  FLOWKV_RETURN_IF_ERROR(writer.AddBlob("aur_meta.ckpt", meta));
+  return writer.Commit();
 }
 
 Status AurStore::RestoreFrom(const std::string& checkpoint_dir, const std::string& dir,
                              const FlowKvOptions& options,
                              std::unique_ptr<EttPredictor> predictor,
                              std::unique_ptr<AurStore>* out) {
+  CheckpointReader reader;
+  FLOWKV_RETURN_IF_ERROR(CheckpointReader::Open(checkpoint_dir, &reader));
   FLOWKV_RETURN_IF_ERROR(CreateDirs(dir));
   std::unique_ptr<AurStore> store(new AurStore(dir, options, std::move(predictor)));
-  FLOWKV_RETURN_IF_ERROR(CopyFile(JoinPath(checkpoint_dir, "aur_data.ckpt"),
-                                  store->DataLogName(0), &store->stats_.io));
-  FLOWKV_RETURN_IF_ERROR(CopyFile(JoinPath(checkpoint_dir, "aur_index.ckpt"),
-                                  store->IndexLogName(0), &store->stats_.io));
+  FLOWKV_RETURN_IF_ERROR(reader.CopyOut("aur_data.ckpt", store->DataLogName(0)));
+  FLOWKV_RETURN_IF_ERROR(reader.CopyOut("aur_index.ckpt", store->IndexLogName(0)));
   FLOWKV_RETURN_IF_ERROR(store->OpenLogs(/*reopen=*/true));
   std::string meta;
-  FLOWKV_RETURN_IF_ERROR(ReadFileToString(JoinPath(checkpoint_dir, "aur_meta.ckpt"), &meta));
+  FLOWKV_RETURN_IF_ERROR(reader.ReadEntry("aur_meta.ckpt", &meta));
   Slice input(meta);
   uint64_t count;
   if (!GetVarint64(&input, &count)) {

@@ -132,11 +132,6 @@ Status FlowKvStore::Remove(const Slice& key, const Window& w) {
 Status FlowKvStore::CheckpointTo(const std::string& checkpoint_dir) const {
   FLOWKV_RETURN_IF_ERROR(CreateDirs(checkpoint_dir));
   const int m = num_partitions();
-  std::string manifest;
-  manifest.push_back(static_cast<char>(pattern_));
-  PutVarint32(&manifest, static_cast<uint32_t>(m));
-  FLOWKV_RETURN_IF_ERROR(
-      WriteStringToFile(JoinPath(checkpoint_dir, "MANIFEST"), manifest));
   for (int i = 0; i < m; ++i) {
     const std::string part_dir = JoinPath(checkpoint_dir, "p" + std::to_string(i));
     switch (pattern_) {
@@ -151,15 +146,25 @@ Status FlowKvStore::CheckpointTo(const std::string& checkpoint_dir) const {
         break;
     }
   }
-  return Status::Ok();
+  // The manifest is the commit point: written durably only after every
+  // partition's own checkpoint committed, so a crash mid-checkpoint leaves a
+  // directory RestoreFrom cleanly refuses.
+  std::string manifest;
+  manifest.push_back(static_cast<char>(pattern_));
+  PutVarint32(&manifest, static_cast<uint32_t>(m));
+  return WriteFileDurably(JoinPath(checkpoint_dir, "MANIFEST"), manifest);
 }
 
 Status FlowKvStore::RestoreFrom(const std::string& checkpoint_dir, const std::string& dir,
                                 const FlowKvOptions& options, const OperatorStateSpec& spec,
                                 std::unique_ptr<FlowKvStore>* out,
                                 PredictorFactory predictor_override) {
+  const std::string manifest_path = JoinPath(checkpoint_dir, "MANIFEST");
+  if (!FileExists(manifest_path)) {
+    return Status::NotFound("no committed FlowKV checkpoint in " + checkpoint_dir);
+  }
   std::string manifest;
-  FLOWKV_RETURN_IF_ERROR(ReadFileToString(JoinPath(checkpoint_dir, "MANIFEST"), &manifest));
+  FLOWKV_RETURN_IF_ERROR(ReadFileToString(manifest_path, &manifest));
   Slice input(manifest);
   if (input.empty()) {
     return Status::Corruption("empty FlowKV checkpoint manifest");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/checkpoint.h"
 #include "src/common/clock.h"
 #include "src/common/coding.h"
 #include "src/common/env.h"
@@ -34,13 +35,13 @@ Status RmwStore::OpenLog(bool reopen) {
 }
 
 Status RmwStore::CheckpointTo(const std::string& checkpoint_dir) {
-  FLOWKV_RETURN_IF_ERROR(CreateDirs(checkpoint_dir));
+  CheckpointWriter writer(checkpoint_dir);
+  FLOWKV_RETURN_IF_ERROR(writer.Init());
   FLOWKV_RETURN_IF_ERROR(FlushBuffer());
   // Compacting first makes the snapshot exactly the live records.
   FLOWKV_RETURN_IF_ERROR(Compact());
   FLOWKV_RETURN_IF_ERROR(log_->Flush());
-  FLOWKV_RETURN_IF_ERROR(
-      CopyFile(LogName(generation_), JoinPath(checkpoint_dir, "rmw_log.ckpt"), &stats_.io));
+  FLOWKV_RETURN_IF_ERROR(writer.AddFile(LogName(generation_), "rmw_log.ckpt"));
   std::string meta;
   PutVarint64(&meta, index_.size());
   for (const auto& [sk, loc] : index_) {
@@ -48,19 +49,20 @@ Status RmwStore::CheckpointTo(const std::string& checkpoint_dir) {
     PutFixed64(&meta, loc.offset);
     PutFixed32(&meta, loc.length);
   }
-  return WriteStringToFile(JoinPath(checkpoint_dir, "rmw_meta.ckpt"), meta);
+  FLOWKV_RETURN_IF_ERROR(writer.AddBlob("rmw_meta.ckpt", meta));
+  return writer.Commit();
 }
 
 Status RmwStore::RestoreFrom(const std::string& checkpoint_dir, const std::string& dir,
                              const FlowKvOptions& options, std::unique_ptr<RmwStore>* out) {
+  CheckpointReader reader;
+  FLOWKV_RETURN_IF_ERROR(CheckpointReader::Open(checkpoint_dir, &reader));
   FLOWKV_RETURN_IF_ERROR(CreateDirs(dir));
   std::unique_ptr<RmwStore> store(new RmwStore(dir, options));
-  FLOWKV_RETURN_IF_ERROR(CopyFile(JoinPath(checkpoint_dir, "rmw_log.ckpt"),
-                                  store->LogName(0), &store->stats_.io));
+  FLOWKV_RETURN_IF_ERROR(reader.CopyOut("rmw_log.ckpt", store->LogName(0)));
   FLOWKV_RETURN_IF_ERROR(store->OpenLog(/*reopen=*/true));
   std::string meta;
-  FLOWKV_RETURN_IF_ERROR(
-      ReadFileToString(JoinPath(checkpoint_dir, "rmw_meta.ckpt"), &meta));
+  FLOWKV_RETURN_IF_ERROR(reader.ReadEntry("rmw_meta.ckpt", &meta));
   Slice input(meta);
   uint64_t count;
   if (!GetVarint64(&input, &count)) {

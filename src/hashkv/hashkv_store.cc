@@ -1,8 +1,11 @@
 #include "src/hashkv/hashkv_store.h"
 
 #include <bit>
+#include <unordered_map>
 
+#include "src/common/checkpoint.h"
 #include "src/common/clock.h"
+#include "src/common/coding.h"
 #include "src/common/env.h"
 #include "src/common/hash.h"
 #include "src/common/logging.h"
@@ -39,6 +42,77 @@ Status HashKvStore::OpenLog() {
 
 uint64_t HashKvStore::BucketOf(const Slice& key) const {
   return Hash64(key) & bucket_mask_;
+}
+
+Status HashKvStore::CheckpointTo(const std::string& checkpoint_dir) {
+  CheckpointWriter writer(checkpoint_dir);
+  FLOWKV_RETURN_IF_ERROR(writer.Init());
+  // The log has no single source file to copy while the tail lives in memory,
+  // so stage a full image locally and let the writer checksum it in.
+  const std::string staged = JoinPath(dir_, "hlog_snapshot.tmp");
+  FLOWKV_RETURN_IF_ERROR(log_->SnapshotTo(staged));
+  Status add = writer.AddFile(staged, "hlog.ckpt");
+  RemoveFile(staged);
+  FLOWKV_RETURN_IF_ERROR(add);
+  std::string meta;
+  PutFixed64(&meta, log_->tail());
+  FLOWKV_RETURN_IF_ERROR(writer.AddBlob("hashkv_meta.ckpt", meta));
+  return writer.Commit();
+}
+
+Status HashKvStore::RestoreFrom(const std::string& checkpoint_dir, const std::string& dir,
+                                const HashKvOptions& options,
+                                std::unique_ptr<HashKvStore>* out) {
+  CheckpointReader reader;
+  FLOWKV_RETURN_IF_ERROR(CheckpointReader::Open(checkpoint_dir, &reader));
+  FLOWKV_RETURN_IF_ERROR(CreateDirs(dir));
+  std::unique_ptr<HashKvStore> store(new HashKvStore(dir, options));
+  const std::string log_path = JoinPath(dir, "hlog_0.dat");
+  FLOWKV_RETURN_IF_ERROR(reader.CopyOut("hlog.ckpt", log_path));
+  std::string meta;
+  FLOWKV_RETURN_IF_ERROR(reader.ReadEntry("hashkv_meta.ckpt", &meta));
+  Slice input(meta);
+  uint64_t tail;
+  if (!GetFixed64(&input, &tail)) {
+    return Status::Corruption("malformed HashKV checkpoint metadata");
+  }
+  uint64_t size = 0;
+  FLOWKV_RETURN_IF_ERROR(GetFileSize(log_path, &size));
+  if (size != tail) {
+    return Status::Corruption("HashKV checkpoint log size does not match its metadata");
+  }
+  FLOWKV_RETURN_IF_ERROR(
+      HybridLog::OpenForRecovery(log_path, options, &store->log_, &store->stats_.io));
+  FLOWKV_RETURN_IF_ERROR(store->RebuildIndexFromLog());
+  *out = std::move(store);
+  return Status::Ok();
+}
+
+Status HashKvStore::RebuildIndexFromLog() {
+  // Forward scan: each record overwrites its bucket's head, so the newest
+  // version wins, and prev_addr chains are already correct on-log.
+  std::unordered_map<std::string, uint64_t> newest_bytes;
+  const uint64_t tail = log_->tail();
+  uint64_t addr = log_->begin();
+  std::string key;
+  while (addr < tail) {
+    LogRecordHeader h;
+    FLOWKV_RETURN_IF_ERROR(log_->ReadKeyAt(addr, &h, &key));
+    if (h.total_len != LogRecordHeader::kBytes + h.key_len + h.payload_value_len() ||
+        addr + h.total_len > tail || h.prev_addr >= addr) {
+      return Status::Corruption("torn record at address " + std::to_string(addr) +
+                                " in recovered hashkv log");
+    }
+    index_[BucketOf(key)].store(addr, std::memory_order_release);
+    newest_bytes[key] =
+        h.is_tombstone() ? 0 : LogRecordHeader::kBytes + h.key_len + h.payload_value_len();
+    addr += h.total_len;
+  }
+  live_bytes_ = 0;
+  for (const auto& [unused_key, bytes] : newest_bytes) {
+    live_bytes_ += bytes;
+  }
+  return Status::Ok();
 }
 
 Status HashKvStore::FindLatest(const Slice& key, uint64_t* address, LogRecordHeader* header,

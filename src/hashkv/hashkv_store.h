@@ -59,6 +59,15 @@ class HashKvStore {
   // automatically when space amplification exceeds the configured limit.
   Status Compact();
 
+  // Snapshots the full log (spilled prefix + in-memory tail) into a committed
+  // checkpoint directory.
+  Status CheckpointTo(const std::string& checkpoint_dir);
+
+  // Opens a store in `dir` from a committed checkpoint. The index and live
+  // byte estimate are rebuilt by a forward scan of the recovered log.
+  static Status RestoreFrom(const std::string& checkpoint_dir, const std::string& dir,
+                            const HashKvOptions& options, std::unique_ptr<HashKvStore>* out);
+
   uint64_t TotalLogBytes() const { return log_->TotalBytes(); }
   uint64_t LiveBytesEstimate() const { return live_bytes_; }
   const StoreStats& stats() const { return stats_; }
@@ -80,6 +89,10 @@ class HashKvStore {
   Status AppendVersion(const Slice& key, const Slice& value, bool tombstone);
 
   Status MaybeCompact();
+
+  // Rebuilds bucket heads and live_bytes_ by scanning the log forward from
+  // its first record; used after RestoreFrom.
+  Status RebuildIndexFromLog();
 
   std::string dir_;
   HashKvOptions options_;

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "src/common/coding.h"
+#include "src/common/env.h"
 
 namespace flowkv {
 
@@ -43,6 +44,53 @@ Status HybridLog::Open(const std::string& path, const HashKvOptions& options,
   log->begin_ = kPreambleBytes;
   *out = std::move(log);
   return Status::Ok();
+}
+
+Status HybridLog::OpenForRecovery(const std::string& path, const HashKvOptions& options,
+                                  std::unique_ptr<HybridLog>* out, IoStats* stats) {
+  uint64_t size = 0;
+  FLOWKV_RETURN_IF_ERROR(GetFileSize(path, &size));
+  if (size < kPreambleBytes) {
+    return Status::Corruption("hybrid log image shorter than its preamble: " + path);
+  }
+  std::unique_ptr<HybridLog> log(new HybridLog(path, options, stats));
+  FLOWKV_RETURN_IF_ERROR(AppendFile::Open(path, /*reopen=*/true, &log->file_, stats));
+  // The whole image is the frozen prefix; appends resume right after it in an
+  // empty open page, so disk offsets keep equalling logical addresses.
+  log->pages_.emplace_back();
+  log->mem_begin_ = size;
+  log->tail_ = size;
+  log->begin_ = kPreambleBytes;
+  *out = std::move(log);
+  return Status::Ok();
+}
+
+Status HybridLog::SnapshotTo(const std::string& path) {
+  // Push buffered spill bytes so the on-disk prefix really is [0, mem_begin_).
+  FLOWKV_RETURN_IF_ERROR(file_->Flush());
+  std::unique_ptr<AppendFile> out;
+  FLOWKV_RETURN_IF_ERROR(AppendFile::Open(path, /*reopen=*/false, &out, stats_));
+  if (mem_begin_ > 0) {
+    std::unique_ptr<SequentialFile> in;
+    FLOWKV_RETURN_IF_ERROR(SequentialFile::Open(path_, &in, stats_));
+    std::string scratch(256 * 1024, '\0');
+    uint64_t remaining = mem_begin_;
+    while (remaining > 0) {
+      Slice got;
+      FLOWKV_RETURN_IF_ERROR(
+          in->Read(std::min<uint64_t>(scratch.size(), remaining), &got, scratch.data()));
+      if (got.empty()) {
+        return Status::Corruption("hybrid log spill file shorter than its frozen prefix");
+      }
+      FLOWKV_RETURN_IF_ERROR(out->Append(got));
+      remaining -= got.size();
+    }
+  }
+  for (const auto& page : pages_) {
+    FLOWKV_RETURN_IF_ERROR(out->Append(page));
+  }
+  FLOWKV_RETURN_IF_ERROR(out->Sync());
+  return out->Close();
 }
 
 const char* HybridLog::MemPtr(uint64_t address) const {

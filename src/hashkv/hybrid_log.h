@@ -45,6 +45,12 @@ class HybridLog {
   static Status Open(const std::string& path, const HashKvOptions& options,
                      std::unique_ptr<HybridLog>* out, IoStats* stats = nullptr);
 
+  // Opens `path` as a recovered log: the whole file is the frozen prefix
+  // (mem_begin == tail == file size) and appends resume after it. The file
+  // must be a full logical image, e.g. one written by SnapshotTo.
+  static Status OpenForRecovery(const std::string& path, const HashKvOptions& options,
+                                std::unique_ptr<HybridLog>* out, IoStats* stats = nullptr);
+
   ~HybridLog() = default;
 
   HybridLog(const HybridLog&) = delete;
@@ -65,6 +71,11 @@ class HybridLog {
   // In-place overwrite of the value at `address`; only legal when
   // InMutableRegion(address) and the new value has exactly the stored size.
   Status UpdateInPlace(uint64_t address, const Slice& value);
+
+  // Writes the full logical image [0, tail) durably to `path`: the spilled
+  // prefix followed by the in-memory pages. The result round-trips through
+  // OpenForRecovery.
+  Status SnapshotTo(const std::string& path);
 
   bool InMemory(uint64_t address) const { return address >= mem_begin_; }
   bool InMutableRegion(uint64_t address) const;

@@ -3,13 +3,61 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <set>
 
 #include "src/common/clock.h"
+#include "src/common/coding.h"
 #include "src/common/env.h"
+#include "src/common/hash.h"
 #include "src/common/logging.h"
 #include "src/obs/trace.h"
 
 namespace flowkv {
+
+namespace {
+
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kQuarantineDirName[] = "quarantine";
+constexpr uint32_t kManifestMagic = 0x15bcafe7;
+
+// MANIFEST payload: magic, varint32 count, varint64 table numbers, trailing
+// Checksum32 of everything before it.
+std::string EncodeManifest(const std::vector<uint64_t>& numbers) {
+  std::string out;
+  PutFixed32(&out, kManifestMagic);
+  PutVarint32(&out, static_cast<uint32_t>(numbers.size()));
+  for (uint64_t number : numbers) {
+    PutVarint64(&out, number);
+  }
+  PutFixed32(&out, Checksum32(out.data(), out.size()));
+  return out;
+}
+
+bool DecodeManifest(const std::string& raw, std::vector<uint64_t>* numbers) {
+  if (raw.size() < 8) {
+    return false;
+  }
+  if (Checksum32(raw.data(), raw.size() - 4) != DecodeFixed32(raw.data() + raw.size() - 4)) {
+    return false;
+  }
+  Slice input(raw.data(), raw.size() - 4);
+  uint32_t magic = 0;
+  uint32_t count = 0;
+  if (!GetFixed32(&input, &magic) || magic != kManifestMagic || !GetVarint32(&input, &count)) {
+    return false;
+  }
+  numbers->clear();
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t number = 0;
+    if (!GetVarint64(&input, &number)) {
+      return false;
+    }
+    numbers->push_back(number);
+  }
+  return input.empty();
+}
+
+}  // namespace
 
 LsmStore::LsmStore(std::string dir, LsmOptions options,
                    std::unique_ptr<MergeOperator> merge_operator)
@@ -40,26 +88,104 @@ std::string LsmStore::TableFileName(uint64_t number) const {
   return JoinPath(dir_, buf);
 }
 
-Status LsmStore::Recover() {
-  std::vector<std::string> names;
-  FLOWKV_RETURN_IF_ERROR(ListDir(dir_, &names));
+Status LsmStore::WriteManifest() {
   std::vector<uint64_t> numbers;
-  for (const auto& name : names) {
-    uint64_t number;
+  numbers.reserve(tables_.size());
+  for (const auto& table : tables_) {
+    uint64_t number = 0;
+    const std::string name = table->path().substr(table->path().find_last_of('/') + 1);
     if (std::sscanf(name.c_str(), "tbl_%08" PRIu64 ".sst", &number) == 1) {
       numbers.push_back(number);
     }
   }
-  // Newest (highest number) first.
-  std::sort(numbers.rbegin(), numbers.rend());
-  for (uint64_t number : numbers) {
-    std::unique_ptr<SstReader> reader;
-    FLOWKV_RETURN_IF_ERROR(
-        SstReader::Open(TableFileName(number), block_cache_.get(), &reader, &stats_.io));
-    tables_.push_back(std::move(reader));
-    next_table_number_ = std::max(next_table_number_, number + 1);
-  }
+  return WriteFileDurably(JoinPath(dir_, kManifestName), EncodeManifest(numbers));
+}
+
+Status LsmStore::QuarantineFile(const std::string& name) {
+  const std::string qdir = JoinPath(dir_, kQuarantineDirName);
+  FLOWKV_RETURN_IF_ERROR(CreateDirs(qdir));
+  FLOWKV_RETURN_IF_ERROR(RenameFile(JoinPath(dir_, name), JoinPath(qdir, name)));
+  FLOWKV_LOG(kWarn) << "lsm recover: quarantined invalid or untracked file " << name << " under "
+                    << qdir;
   return Status::Ok();
+}
+
+Status LsmStore::Recover() {
+  std::vector<std::string> names;
+  FLOWKV_RETURN_IF_ERROR(ListDir(dir_, &names));
+
+  std::set<uint64_t> on_disk;
+  std::vector<std::string> stray;  // tbl-like names that are not live tables
+  for (const auto& name : names) {
+    uint64_t number;
+    if (std::sscanf(name.c_str(), "tbl_%08" PRIu64 ".sst", &number) == 1 &&
+        name.find(".tmp") == std::string::npos) {
+      on_disk.insert(number);
+    } else if (name.compare(0, 4, "tbl_") == 0) {
+      stray.push_back(name);  // e.g. a .tmp left by a crash mid-build
+    }
+  }
+
+  // The MANIFEST names the committed table set. Files it does not list (or
+  // that fail validation) are crash debris: quarantined, never loaded.
+  // Directories from before the MANIFEST existed fall back to opening every
+  // table, still validating each one.
+  std::vector<uint64_t> listed;
+  bool have_manifest = false;
+  const std::string manifest_path = JoinPath(dir_, kManifestName);
+  if (FileExists(manifest_path)) {
+    std::string raw;
+    FLOWKV_RETURN_IF_ERROR(ReadFileToString(manifest_path, &raw));
+    if (DecodeManifest(raw, &listed)) {
+      have_manifest = true;
+    } else {
+      FLOWKV_LOG(kWarn) << "lsm recover: corrupt MANIFEST in " << dir_
+                        << ", falling back to table scan";
+      FLOWKV_RETURN_IF_ERROR(QuarantineFile(kManifestName));
+    }
+  }
+  if (!have_manifest) {
+    listed.assign(on_disk.begin(), on_disk.end());
+  }
+
+  // Newest (highest number) first.
+  std::sort(listed.rbegin(), listed.rend());
+  for (uint64_t number : listed) {
+    next_table_number_ = std::max(next_table_number_, number + 1);
+    char name[32];
+    std::snprintf(name, sizeof(name), "tbl_%08" PRIu64 ".sst", number);
+    if (on_disk.erase(number) == 0) {
+      FLOWKV_LOG(kWarn) << "lsm recover: table " << name << " listed in MANIFEST but missing on "
+                        << "disk";
+      continue;
+    }
+    std::unique_ptr<SstReader> reader;
+    const Status status = SstReader::Open(TableFileName(number), block_cache_.get(), &reader,
+                                          &stats_.io);
+    if (!status.ok()) {
+      FLOWKV_LOG(kWarn) << "lsm recover: table " << name << " fails validation: "
+                        << status.ToString();
+      FLOWKV_RETURN_IF_ERROR(QuarantineFile(name));
+      continue;
+    }
+    tables_.push_back(std::move(reader));
+  }
+
+  // Anything left in on_disk is valid-looking but not committed (e.g. a
+  // flush that never reached the MANIFEST); stray covers partial temp files.
+  for (uint64_t number : on_disk) {
+    next_table_number_ = std::max(next_table_number_, number + 1);
+    char name[32];
+    std::snprintf(name, sizeof(name), "tbl_%08" PRIu64 ".sst", number);
+    FLOWKV_RETURN_IF_ERROR(QuarantineFile(name));
+  }
+  for (const auto& name : stray) {
+    FLOWKV_RETURN_IF_ERROR(QuarantineFile(name));
+  }
+
+  // Persist the (possibly repaired) table set so the next recovery starts
+  // from a clean MANIFEST.
+  return WriteManifest();
 }
 
 Status LsmStore::Put(const Slice& key, const Slice& value) {
@@ -122,6 +248,9 @@ Status LsmStore::FlushLocked() {
   std::unique_ptr<SstReader> reader;
   FLOWKV_RETURN_IF_ERROR(SstReader::Open(path, block_cache_.get(), &reader, &stats_.io));
   tables_.insert(tables_.begin(), std::move(reader));
+  // Commit the new table set; until the MANIFEST lists it, recovery treats
+  // the flushed table as crash debris.
+  FLOWKV_RETURN_IF_ERROR(WriteManifest());
   memtable_ = std::make_unique<MemTable>();
   ++stats_.flushes;
   obs::TraceInstant("memtable_flush", "store", "tables", static_cast<int64_t>(tables_.size()));
@@ -343,6 +472,9 @@ Status LsmStore::CompactAll() {
     FLOWKV_RETURN_IF_ERROR(writer.Finish(false));
     FLOWKV_RETURN_IF_ERROR(RemoveFile(path));
   }
+  // Commit the merged table set before unlinking its inputs: a crash in
+  // between must not resurrect folded-away tombstones from the old tables.
+  FLOWKV_RETURN_IF_ERROR(WriteManifest());
   for (const auto& old : old_paths) {
     FLOWKV_RETURN_IF_ERROR(RemoveFile(old));
   }

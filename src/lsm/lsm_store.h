@@ -76,6 +76,10 @@ class LsmStore {
   LsmStore(std::string dir, LsmOptions options, std::unique_ptr<MergeOperator> merge_operator);
 
   Status Recover();
+  // Durably records the current live table set in dir_/MANIFEST.
+  Status WriteManifest();
+  // Moves dir_/`name` into dir_/quarantine/ with a warning log.
+  Status QuarantineFile(const std::string& name);
   Status MaybeFlush();
   Status FlushLocked();
   Status MaybeCompact();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/coding.h"
+#include "src/common/env.h"
 #include "src/common/hash.h"
 
 namespace flowkv {
@@ -70,7 +71,9 @@ bool SstReader::ParseRecord(Slice* input, std::string* key, LsmEntry* entry) {
 
 SstWriter::SstWriter(std::string path, uint64_t block_bytes, IoStats* stats)
     : path_(std::move(path)), block_bytes_(block_bytes) {
-  open_status_ = AppendFile::Open(path_, /*reopen=*/false, &file_, stats);
+  // Build under a temp name; Finish() renames into place so a crash
+  // mid-write never leaves a partial table under the final name.
+  open_status_ = AppendFile::Open(path_ + ".tmp", /*reopen=*/false, &file_, stats);
 }
 
 Status SstWriter::Add(const Slice& key, const LsmEntry& entry) {
@@ -133,7 +136,13 @@ Status SstWriter::Finish(bool sync) {
   if (sync) {
     FLOWKV_RETURN_IF_ERROR(file_->Sync());
   }
-  return file_->Close();
+  FLOWKV_RETURN_IF_ERROR(file_->Close());
+  // Rename into place; with `sync` the table is fully committed (data and
+  // directory entry both durable), otherwise only atomically visible.
+  if (sync) {
+    return CommitFileRename(path_ + ".tmp", path_);
+  }
+  return RenameFile(path_ + ".tmp", path_);
 }
 
 uint64_t SstWriter::file_size() const { return file_ ? file_->size() : 0; }

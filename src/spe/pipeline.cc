@@ -1,6 +1,18 @@
 #include "src/spe/pipeline.h"
 
+#include <cstdlib>
+
+#include "src/common/env.h"
+#include "src/common/file.h"
+
 namespace flowkv {
+
+namespace {
+
+constexpr char kCurrentName[] = "CURRENT";
+constexpr char kEpochPrefix[] = "epoch_";
+
+}  // namespace
 
 Status Pipeline::Open(StateBackendFactory* factory, int worker, Collector* sink) {
   if (opened_) {
@@ -49,12 +61,44 @@ Status Pipeline::Finish() {
 }
 
 Status Pipeline::Checkpoint(const std::string& checkpoint_dir) const {
+  FLOWKV_RETURN_IF_ERROR(CreateDirs(checkpoint_dir));
+  // Next epoch = committed epoch + 1, derived from CURRENT so the sequence
+  // survives process restarts without any in-memory counter.
+  uint64_t epoch = 0;
+  std::string current;
+  const std::string current_path = JoinPath(checkpoint_dir, kCurrentName);
+  if (FileExists(current_path) && ReadFileToString(current_path, &current).ok() &&
+      current.rfind(kEpochPrefix, 0) == 0) {
+    epoch = std::strtoull(current.c_str() + sizeof(kEpochPrefix) - 1, nullptr, 10) + 1;
+  }
+  const std::string epoch_name = kEpochPrefix + std::to_string(epoch);
+  const std::string staged = JoinPath(checkpoint_dir, epoch_name);
   for (size_t i = 0; i < backends_.size(); ++i) {
     if (backends_[i] != nullptr) {
-      FLOWKV_RETURN_IF_ERROR(backends_[i]->CheckpointTo(
-          checkpoint_dir + "/op" + std::to_string(i)));
+      FLOWKV_RETURN_IF_ERROR(
+          backends_[i]->CheckpointTo(JoinPath(staged, "op" + std::to_string(i))));
     }
   }
+  // Commit point: CURRENT flips to the new epoch only after every operator's
+  // checkpoint is durable.
+  return WriteFileDurably(current_path, epoch_name);
+}
+
+Status Pipeline::LatestCheckpoint(const std::string& checkpoint_dir, std::string* epoch_dir) {
+  const std::string current_path = JoinPath(checkpoint_dir, kCurrentName);
+  if (!FileExists(current_path)) {
+    return Status::NotFound("no committed pipeline checkpoint in " + checkpoint_dir);
+  }
+  std::string current;
+  FLOWKV_RETURN_IF_ERROR(ReadFileToString(current_path, &current));
+  if (current.rfind(kEpochPrefix, 0) != 0 || current.find('/') != std::string::npos) {
+    return Status::Corruption("malformed CURRENT in " + checkpoint_dir);
+  }
+  const std::string resolved = JoinPath(checkpoint_dir, current);
+  if (!FileExists(resolved)) {
+    return Status::Corruption("CURRENT points at a missing checkpoint: " + resolved);
+  }
+  *epoch_dir = resolved;
   return Status::Ok();
 }
 

@@ -31,11 +31,18 @@ class Pipeline {
   Status AdvanceWatermark(int64_t watermark);
   Status Finish();
 
-  // Snapshots the state of every stateful operator into
-  // checkpoint_dir/op<i>/ (paper §8): with FlowKV backends this flushes the
-  // write buffers and copies the on-disk logs, so the directory can be
-  // uploaded to reliable storage asynchronously.
+  // Snapshots the state of every stateful operator (paper §8): with FlowKV
+  // backends this flushes the write buffers and copies the on-disk logs, so
+  // the directory can be uploaded to reliable storage asynchronously.
+  //
+  // The snapshot is staged into checkpoint_dir/epoch_<n>/op<i>/ and committed
+  // by durably rewriting checkpoint_dir/CURRENT, so a crash mid-checkpoint
+  // leaves CURRENT pointing at the previous complete epoch.
   Status Checkpoint(const std::string& checkpoint_dir) const;
+
+  // Resolves the epoch directory named by checkpoint_dir/CURRENT. NotFound
+  // when no checkpoint has ever committed there.
+  static Status LatestCheckpoint(const std::string& checkpoint_dir, std::string* epoch_dir);
 
   // Sums operation stats over all backends of this pipeline.
   StoreStats GatherStats() const;

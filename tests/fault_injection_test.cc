@@ -1,0 +1,585 @@
+// Crash-recovery tests built on the fault-injection filesystem
+// (fault_injection_fs.h). The core pattern is a *crash sweep*: run a workload
+// with a simulated power failure armed at sync point 1, 2, 3, ... until one
+// run completes without crashing. After every crash the on-disk tree is
+// rewritten to the worst-case POSIX crash image and the store is reopened;
+// it must come back cleanly and retain everything it acknowledged as synced.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/backends/flowkv_backend.h"
+#include "src/common/checkpoint.h"
+#include "src/common/env.h"
+#include "src/common/fault_injection_fs.h"
+#include "src/common/fs_hooks.h"
+#include "src/flowkv/aar_store.h"
+#include "src/flowkv/aur_store.h"
+#include "src/flowkv/rmw_store.h"
+#include "src/hashkv/hashkv_store.h"
+#include "src/lsm/lsm_store.h"
+#include "src/lsm/merge.h"
+#include "src/nexmark/aggregates.h"
+#include "src/spe/pipeline.h"
+#include "src/spe/window_operator.h"
+
+namespace flowkv {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fs_ = std::make_unique<FaultInjectionFs>();
+    InstallFsHooks(fs_.get());
+  }
+  void TearDown() override {
+    fs_->ResetTracking();
+    InstallFsHooks(nullptr);
+    for (const auto& dir : dirs_) {
+      RemoveDirRecursively(dir);
+    }
+  }
+
+  std::string TempDir(const std::string& tag) {
+    dirs_.push_back(MakeTempDir(tag));
+    return dirs_.back();
+  }
+
+  // Ends one sweep iteration: applies the crash image if the armed sync point
+  // was reached, otherwise just clears tracking. Returns whether it crashed.
+  bool FinishIteration() {
+    const bool crashed = fs_->crashed();
+    if (crashed) {
+      Status s = fs_->RestoreCrashImage();
+      EXPECT_TRUE(s.ok()) << s.ToString();
+    } else {
+      fs_->ResetTracking();
+    }
+    return crashed;
+  }
+
+  std::unique_ptr<FaultInjectionFs> fs_;
+  std::vector<std::string> dirs_;
+};
+
+std::string LsmKey(int batch, int i) {
+  return "b" + std::to_string(batch) + "_k" + std::to_string(i);
+}
+std::string LsmValue(int batch, int i) {
+  return "value_" + std::to_string(batch) + "_" + std::to_string(i);
+}
+
+// Crash at every sync point of an LSM run of three synced flush batches plus
+// a full compaction. Whatever the crash point, the store must reopen cleanly
+// and serve every batch whose Flush() was acknowledged.
+TEST_F(FaultInjectionTest, LsmCrashSweepRetainsSyncedBatches) {
+  constexpr int kBatches = 3;
+  constexpr int kPerBatch = 20;
+  LsmOptions options;
+  options.sync_on_flush = true;
+
+  for (uint64_t crash_point = 1;; ++crash_point) {
+    const std::string dir = TempDir("lsm_crash");
+    fs_->ResetTracking();
+    fs_->CrashAtSyncPoint(crash_point);
+
+    int acked_batches = 0;
+    {
+      std::unique_ptr<LsmStore> store;
+      Status s =
+          LsmStore::Open(dir, options, std::make_unique<ListAppendMergeOperator>(), &store);
+      if (s.ok()) {
+        for (int batch = 0; batch < kBatches; ++batch) {
+          bool wrote_all = true;
+          for (int i = 0; i < kPerBatch && wrote_all; ++i) {
+            wrote_all = store->Put(LsmKey(batch, i), LsmValue(batch, i)).ok();
+          }
+          if (!wrote_all || !store->Flush().ok()) {
+            break;
+          }
+          ++acked_batches;
+        }
+        if (acked_batches == kBatches) {
+          store->CompactAll().ok();  // the sweep also lands inside compaction
+        }
+      }
+    }
+    const bool crashed = FinishIteration();
+
+    std::unique_ptr<LsmStore> reopened;
+    Status ro =
+        LsmStore::Open(dir, options, std::make_unique<ListAppendMergeOperator>(), &reopened);
+    ASSERT_TRUE(ro.ok()) << "crash point " << crash_point << ": " << ro.ToString();
+    for (int batch = 0; batch < acked_batches; ++batch) {
+      for (int i = 0; i < kPerBatch; ++i) {
+        std::string value;
+        ASSERT_TRUE(reopened->Get(LsmKey(batch, i), &value).ok())
+            << "crash point " << crash_point << " lost acked key " << LsmKey(batch, i);
+        EXPECT_EQ(value, LsmValue(batch, i));
+      }
+    }
+    if (!crashed) {
+      ASSERT_GT(crash_point, 1u);  // the sweep actually covered sync points
+      break;
+    }
+  }
+}
+
+// A compaction that crashes after committing its output but before unlinking
+// its inputs must not resurrect deleted keys on reopen.
+TEST_F(FaultInjectionTest, LsmCrashSweepNeverResurrectsDeletes) {
+  LsmOptions options;
+  options.sync_on_flush = true;
+
+  for (uint64_t crash_point = 1;; ++crash_point) {
+    const std::string dir = TempDir("lsm_del");
+    fs_->ResetTracking();
+    fs_->CrashAtSyncPoint(crash_point);
+
+    bool deleted_acked = false;
+    {
+      std::unique_ptr<LsmStore> store;
+      Status s =
+          LsmStore::Open(dir, options, std::make_unique<ListAppendMergeOperator>(), &store);
+      if (s.ok() && store->Put("doomed", "x").ok() && store->Flush().ok() &&
+          store->Delete("doomed").ok() && store->Flush().ok()) {
+        deleted_acked = true;
+        store->CompactAll().ok();
+      }
+    }
+    const bool crashed = FinishIteration();
+
+    std::unique_ptr<LsmStore> reopened;
+    ASSERT_TRUE(
+        LsmStore::Open(dir, options, std::make_unique<ListAppendMergeOperator>(), &reopened)
+            .ok());
+    if (deleted_acked) {
+      std::string value;
+      EXPECT_TRUE(reopened->Get("doomed", &value).IsNotFound())
+          << "crash point " << crash_point << " resurrected a deleted key";
+    }
+    if (!crashed) {
+      break;
+    }
+  }
+}
+
+// Sweeps a crash across RmwStore::CheckpointTo. An acknowledged checkpoint
+// must always restore in full; an unacknowledged one must either restore in
+// full (the commit raced the crash) or be refused cleanly.
+TEST_F(FaultInjectionTest, RmwCheckpointCrashSweep) {
+  constexpr int kKeys = 40;
+  FlowKvOptions options;
+  options.write_buffer_bytes = 256;
+
+  for (uint64_t crash_point = 1;; ++crash_point) {
+    const std::string dir = TempDir("rmw_live");
+    const std::string ckpt = TempDir("rmw_ckpt");
+    fs_->ResetTracking();
+    fs_->CrashAtSyncPoint(crash_point);
+
+    bool acked = false;
+    {
+      std::unique_ptr<RmwStore> store;
+      if (RmwStore::Open(dir, options, &store).ok()) {
+        bool wrote_all = true;
+        for (int i = 0; i < kKeys && wrote_all; ++i) {
+          wrote_all =
+              store->Put("k" + std::to_string(i), Window(0, 100), "v" + std::to_string(i)).ok();
+        }
+        acked = wrote_all && store->CheckpointTo(ckpt).ok();
+      }
+    }
+    const bool crashed = FinishIteration();
+
+    std::unique_ptr<RmwStore> restored;
+    Status rs = RmwStore::RestoreFrom(ckpt, TempDir("rmw_rest"), options, &restored);
+    if (acked) {
+      ASSERT_TRUE(rs.ok()) << "crash point " << crash_point << ": " << rs.ToString();
+    }
+    if (rs.ok()) {
+      for (int i = 0; i < kKeys; ++i) {
+        std::string acc;
+        ASSERT_TRUE(restored->Get("k" + std::to_string(i), Window(0, 100), &acc).ok())
+            << "crash point " << crash_point << " key " << i;
+        EXPECT_EQ(acc, "v" + std::to_string(i));
+      }
+    }
+    if (!crashed) {
+      break;
+    }
+  }
+}
+
+// Same sweep over the AAR store (per-window logs copied into the checkpoint).
+TEST_F(FaultInjectionTest, AarCheckpointCrashSweep) {
+  constexpr int kTuples = 30;
+  FlowKvOptions options;
+  options.write_buffer_bytes = 1;  // flush every append
+  const Window w(0, 100);
+
+  for (uint64_t crash_point = 1;; ++crash_point) {
+    const std::string dir = TempDir("aar_live");
+    const std::string ckpt = TempDir("aar_ckpt");
+    fs_->ResetTracking();
+    fs_->CrashAtSyncPoint(crash_point);
+
+    bool acked = false;
+    {
+      std::unique_ptr<AarStore> store;
+      if (AarStore::Open(dir, options, &store).ok()) {
+        bool wrote_all = true;
+        for (int i = 0; i < kTuples && wrote_all; ++i) {
+          wrote_all = store->Append("k" + std::to_string(i % 5), "v" + std::to_string(i), w).ok();
+        }
+        acked = wrote_all && store->CheckpointTo(ckpt).ok();
+      }
+    }
+    const bool crashed = FinishIteration();
+
+    std::unique_ptr<AarStore> restored;
+    Status rs = AarStore::RestoreFrom(ckpt, TempDir("aar_rest"), options, &restored);
+    if (acked) {
+      ASSERT_TRUE(rs.ok()) << "crash point " << crash_point << ": " << rs.ToString();
+    }
+    if (rs.ok() && acked) {
+      int total = 0;
+      while (true) {
+        std::vector<WindowChunkEntry> chunk;
+        bool done = false;
+        ASSERT_TRUE(restored->GetWindowChunk(w, &chunk, &done).ok());
+        if (done) {
+          break;
+        }
+        for (const auto& entry : chunk) {
+          total += static_cast<int>(entry.values.size());
+        }
+      }
+      EXPECT_EQ(total, kTuples) << "crash point " << crash_point;
+    }
+    if (!crashed) {
+      break;
+    }
+  }
+}
+
+// Same sweep over the AUR store (data log + index log + meta blob).
+TEST_F(FaultInjectionTest, AurCheckpointCrashSweep) {
+  constexpr int kWindows = 20;
+  FlowKvOptions options;
+  options.write_buffer_bytes = 1;
+
+  for (uint64_t crash_point = 1;; ++crash_point) {
+    const std::string dir = TempDir("aur_live");
+    const std::string ckpt = TempDir("aur_ckpt");
+    fs_->ResetTracking();
+    fs_->CrashAtSyncPoint(crash_point);
+
+    bool acked = false;
+    {
+      std::unique_ptr<AurStore> store;
+      if (AurStore::Open(dir, options, std::make_unique<SessionEttPredictor>(100), &store)
+              .ok()) {
+        bool wrote_all = true;
+        for (int i = 0; i < kWindows && wrote_all; ++i) {
+          Window w(i * 1000, i * 1000 + 100);
+          wrote_all =
+              store->Append("k" + std::to_string(i), "v" + std::to_string(i), w, i * 1000).ok();
+        }
+        acked = wrote_all && store->CheckpointTo(ckpt).ok();
+      }
+    }
+    const bool crashed = FinishIteration();
+
+    std::unique_ptr<AurStore> restored;
+    Status rs = AurStore::RestoreFrom(ckpt, TempDir("aur_rest"), options,
+                                      std::make_unique<SessionEttPredictor>(100), &restored);
+    if (acked) {
+      ASSERT_TRUE(rs.ok()) << "crash point " << crash_point << ": " << rs.ToString();
+    }
+    if (rs.ok() && acked) {
+      for (int i = 0; i < kWindows; ++i) {
+        std::vector<std::string> values;
+        ASSERT_TRUE(restored
+                        ->Get("k" + std::to_string(i), Window(i * 1000, i * 1000 + 100), &values)
+                        .ok())
+            << "crash point " << crash_point << " window " << i;
+        EXPECT_EQ(values, (std::vector<std::string>{"v" + std::to_string(i)}));
+      }
+    }
+    if (!crashed) {
+      break;
+    }
+  }
+}
+
+// HashKV sweep covering two checkpoints with a log-generation rollover
+// (Compact) between them. The newest acknowledged checkpoint must restore in
+// full; an older acknowledged one stays restorable forever.
+TEST_F(FaultInjectionTest, HashKvCheckpointCrashSweepAcrossRollover) {
+  HashKvOptions options;
+  options.memory_bytes = 4096;  // force spill so snapshots cover both regions
+  options.page_bytes = 1024;
+  options.index_buckets = 64;
+
+  for (uint64_t crash_point = 1;; ++crash_point) {
+    const std::string dir = TempDir("hkv_live");
+    const std::string ckpt_a = TempDir("hkv_ckpt_a");
+    const std::string ckpt_b = TempDir("hkv_ckpt_b");
+    fs_->ResetTracking();
+    fs_->CrashAtSyncPoint(crash_point);
+
+    bool acked_a = false, acked_b = false;
+    {
+      std::unique_ptr<HashKvStore> store;
+      if (HashKvStore::Open(dir, options, &store).ok()) {
+        bool wrote_all = true;
+        for (int i = 0; i < 20 && wrote_all; ++i) {
+          wrote_all = store->Upsert("k" + std::to_string(i), "a" + std::to_string(i)).ok();
+        }
+        acked_a = wrote_all && store->CheckpointTo(ckpt_a).ok();
+        if (acked_a) {
+          for (int i = 0; i < 40 && wrote_all; ++i) {
+            wrote_all = store->Upsert("k" + std::to_string(i), "b" + std::to_string(i)).ok();
+          }
+          if (wrote_all && store->Delete("k0").ok() && store->Compact().ok()) {
+            acked_b = store->CheckpointTo(ckpt_b).ok();
+          }
+        }
+      }
+    }
+    const bool crashed = FinishIteration();
+
+    if (acked_b) {
+      std::unique_ptr<HashKvStore> restored;
+      Status rs = HashKvStore::RestoreFrom(ckpt_b, TempDir("hkv_rest_b"), options, &restored);
+      ASSERT_TRUE(rs.ok()) << "crash point " << crash_point << ": " << rs.ToString();
+      std::string value;
+      EXPECT_TRUE(restored->Read("k0", &value).IsNotFound());
+      for (int i = 1; i < 40; ++i) {
+        ASSERT_TRUE(restored->Read("k" + std::to_string(i), &value).ok())
+            << "crash point " << crash_point << " key " << i;
+        EXPECT_EQ(value, "b" + std::to_string(i));
+      }
+    } else if (acked_a) {
+      std::unique_ptr<HashKvStore> restored;
+      Status rs = HashKvStore::RestoreFrom(ckpt_a, TempDir("hkv_rest_a"), options, &restored);
+      ASSERT_TRUE(rs.ok()) << "crash point " << crash_point << ": " << rs.ToString();
+      std::string value;
+      for (int i = 0; i < 20; ++i) {
+        ASSERT_TRUE(restored->Read("k" + std::to_string(i), &value).ok())
+            << "crash point " << crash_point << " key " << i;
+        EXPECT_EQ(value, "a" + std::to_string(i));
+      }
+    }
+    if (!crashed) {
+      ASSERT_TRUE(acked_b);  // the clean run must reach the end
+      break;
+    }
+  }
+}
+
+// End-to-end: a pipeline checkpoints twice with processing in between; kill
+// it at every sync point. CURRENT must always resolve to a fully restorable
+// epoch whenever at least one Checkpoint() call was acknowledged.
+TEST_F(FaultInjectionTest, PipelineCheckpointKillRestoreSweep) {
+  FlowKvOptions options;
+  options.write_buffer_bytes = 1024;
+  OperatorStateSpec spec;
+  spec.name = "count";
+  spec.window_kind = WindowKind::kTumbling;
+  spec.incremental = true;
+
+  for (uint64_t crash_point = 1;; ++crash_point) {
+    const std::string dir = TempDir("pipe_live");
+    const std::string ckpt = TempDir("pipe_ckpt");
+    fs_->ResetTracking();
+    fs_->CrashAtSyncPoint(crash_point);
+
+    int acked_checkpoints = 0;
+    {
+      FlowKvBackendFactory factory(dir, options);
+      Pipeline pipeline;
+      WindowOperatorConfig config;
+      config.name = "count";
+      config.assigner = std::make_shared<TumblingWindowAssigner>(1'000'000);
+      config.aggregate = std::make_shared<CountAggregate>();
+      pipeline.AddOperator(std::make_unique<WindowOperator>(std::move(config)));
+      class NullSink : public Collector {
+       public:
+        Status Emit(const Event&) override { return Status::Ok(); }
+      } sink;
+      if (pipeline.Open(&factory, 0, &sink).ok()) {
+        bool alive = true;
+        for (int round = 0; round < 2 && alive; ++round) {
+          for (int i = 0; i < 100 && alive; ++i) {
+            alive = pipeline.Process(Event("k" + std::to_string(i % 10), "x", i)).ok();
+          }
+          if (alive && pipeline.Checkpoint(ckpt).ok()) {
+            ++acked_checkpoints;
+          } else {
+            alive = false;
+          }
+        }
+      }
+    }
+    const bool crashed = FinishIteration();
+
+    std::string epoch_dir;
+    Status latest = Pipeline::LatestCheckpoint(ckpt, &epoch_dir);
+    if (acked_checkpoints > 0) {
+      ASSERT_TRUE(latest.ok()) << "crash point " << crash_point << ": " << latest.ToString();
+    }
+    if (latest.ok()) {
+      std::unique_ptr<FlowKvStore> restored;
+      Status rs = FlowKvStore::RestoreFrom(JoinPath(epoch_dir, "op0/h0"), TempDir("pipe_rest"),
+                                           options, spec, &restored);
+      ASSERT_TRUE(rs.ok()) << "crash point " << crash_point << ": " << rs.ToString();
+      std::string acc;
+      ASSERT_TRUE(restored->Get("k0", Window(0, 1'000'000), &acc).ok())
+          << "crash point " << crash_point;
+    }
+    if (!crashed) {
+      ASSERT_EQ(acked_checkpoints, 2);
+      break;
+    }
+  }
+}
+
+// Injected-error paths: a failing fsync surfaces through Flush, and the store
+// keeps working once the fault clears.
+TEST_F(FaultInjectionTest, InjectedSyncErrorSurfacesAndClears) {
+  const std::string dir = TempDir("lsm_eio");
+  LsmOptions options;
+  options.sync_on_flush = true;
+  std::unique_ptr<LsmStore> store;
+  ASSERT_TRUE(
+      LsmStore::Open(dir, options, std::make_unique<ListAppendMergeOperator>(), &store).ok());
+  ASSERT_TRUE(store->Put("k", "v").ok());
+  fs_->ResetTracking();  // restart the era: opening the store already synced
+  fs_->FailSyncAt(1, EIO);
+  EXPECT_FALSE(store->Flush().ok());
+  fs_->ClearFaults();
+  ASSERT_TRUE(store->Put("k2", "v2").ok());
+  ASSERT_TRUE(store->Flush().ok());
+  std::string value;
+  ASSERT_TRUE(store->Get("k2", &value).ok());
+  EXPECT_EQ(value, "v2");
+}
+
+// A rename failure while committing a checkpoint leaves no committed
+// checkpoint behind.
+TEST_F(FaultInjectionTest, InjectedRenameErrorAbortsCheckpointCleanly) {
+  const std::string dir = TempDir("rmw_eperm");
+  const std::string ckpt = TempDir("rmw_eperm_ckpt");
+  FlowKvOptions options;
+  std::unique_ptr<RmwStore> store;
+  ASSERT_TRUE(RmwStore::Open(dir, options, &store).ok());
+  ASSERT_TRUE(store->Put("k", Window(0, 100), "v").ok());
+  fs_->FailRenameAt(1, EPERM);
+  EXPECT_FALSE(store->CheckpointTo(ckpt).ok());
+  std::unique_ptr<RmwStore> restored;
+  EXPECT_TRUE(RmwStore::RestoreFrom(ckpt, TempDir("rmw_eperm_rest"), options, &restored)
+                  .IsNotFound());
+  // The store itself is still healthy and can checkpoint after the fault.
+  fs_->ClearFaults();
+  const std::string ckpt2 = TempDir("rmw_eperm_ckpt2");
+  ASSERT_TRUE(store->CheckpointTo(ckpt2).ok());
+  ASSERT_TRUE(RmwStore::RestoreFrom(ckpt2, TempDir("rmw_eperm_rest2"), options, &restored).ok());
+}
+
+// A torn SSTable (simulated partial write) is quarantined on recovery, not
+// served and not fatal.
+TEST_F(FaultInjectionTest, TornSstableIsQuarantinedOnRecovery) {
+  const std::string dir = TempDir("lsm_torn");
+  LsmOptions options;
+  options.sync_on_flush = true;
+  {
+    std::unique_ptr<LsmStore> store;
+    ASSERT_TRUE(
+        LsmStore::Open(dir, options, std::make_unique<ListAppendMergeOperator>(), &store).ok());
+    ASSERT_TRUE(store->Put("k", "v").ok());
+    ASSERT_TRUE(store->Flush().ok());
+  }
+  std::vector<std::string> names;
+  ASSERT_TRUE(ListDir(dir, &names).ok());
+  std::string table;
+  for (const auto& name : names) {
+    if (name.rfind("tbl_", 0) == 0) {
+      table = name;
+    }
+  }
+  ASSERT_FALSE(table.empty());
+  ASSERT_TRUE(FaultInjectionFs::TruncateTail(JoinPath(dir, table), 5).ok());
+
+  std::unique_ptr<LsmStore> reopened;
+  ASSERT_TRUE(
+      LsmStore::Open(dir, options, std::make_unique<ListAppendMergeOperator>(), &reopened).ok());
+  std::string value;
+  EXPECT_TRUE(reopened->Get("k", &value).IsNotFound());
+  EXPECT_TRUE(FileExists(JoinPath(dir, JoinPath("quarantine", table))));
+}
+
+// A torn AAR log tail is repaired on open: complete records survive, the
+// partial one is dropped.
+TEST_F(FaultInjectionTest, TornAarTailIsRepairedOnOpen) {
+  const std::string dir = TempDir("aar_torn");
+  FlowKvOptions options;
+  options.write_buffer_bytes = 1;
+  const Window w(0, 100);
+  {
+    std::unique_ptr<AarStore> store;
+    ASSERT_TRUE(AarStore::Open(dir, options, &store).ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(store->Append("k" + std::to_string(i), "vvvv", w).ok());
+    }
+  }
+  std::vector<std::string> names;
+  ASSERT_TRUE(ListDir(dir, &names).ok());
+  std::string log;
+  for (const auto& name : names) {
+    if (name.rfind("aar_", 0) == 0) {
+      log = name;
+    }
+  }
+  ASSERT_FALSE(log.empty());
+  ASSERT_TRUE(FaultInjectionFs::TruncateTail(JoinPath(dir, log), 3).ok());
+
+  std::unique_ptr<AarStore> reopened;
+  ASSERT_TRUE(AarStore::Open(dir, options, &reopened).ok());
+  int total = 0;
+  while (true) {
+    std::vector<WindowChunkEntry> chunk;
+    bool done = false;
+    ASSERT_TRUE(reopened->GetWindowChunk(w, &chunk, &done).ok());
+    if (done) {
+      break;
+    }
+    for (const auto& entry : chunk) {
+      total += static_cast<int>(entry.values.size());
+    }
+  }
+  EXPECT_EQ(total, 9);  // the torn 10th record is gone, the rest are intact
+}
+
+// A torn checkpoint manifest is refused as corrupt rather than half-applied.
+TEST_F(FaultInjectionTest, TornCheckpointManifestIsRefused) {
+  const std::string dir = TempDir("rmw_torn");
+  const std::string ckpt = TempDir("rmw_torn_ckpt");
+  FlowKvOptions options;
+  std::unique_ptr<RmwStore> store;
+  ASSERT_TRUE(RmwStore::Open(dir, options, &store).ok());
+  ASSERT_TRUE(store->Put("k", Window(0, 100), "v").ok());
+  ASSERT_TRUE(store->CheckpointTo(ckpt).ok());
+  ASSERT_TRUE(
+      FaultInjectionFs::TruncateTail(JoinPath(ckpt, kCheckpointManifestName), 1).ok());
+  std::unique_ptr<RmwStore> restored;
+  EXPECT_TRUE(RmwStore::RestoreFrom(ckpt, TempDir("rmw_torn_rest"), options, &restored)
+                  .IsCorruption());
+}
+
+}  // namespace
+}  // namespace flowkv

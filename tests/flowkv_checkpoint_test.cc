@@ -208,19 +208,28 @@ TEST_F(CheckpointTest, PipelineCheckpointSnapshotsEveryOperator) {
   for (int i = 0; i < 500; ++i) {
     ASSERT_TRUE(pipeline.Process(Event("k" + std::to_string(i % 40), "x", i)).ok());
   }
+  std::string epoch_dir;
+  EXPECT_TRUE(Pipeline::LatestCheckpoint(ckpt_, &epoch_dir).IsNotFound());
   ASSERT_TRUE(pipeline.Checkpoint(ckpt_).ok());
-  // The checkpoint holds one FlowKV snapshot per stateful operator handle,
-  // restorable through the store-level API.
+  // CURRENT resolves to the committed epoch, which holds one FlowKV snapshot
+  // per stateful operator handle, restorable through the store-level API.
+  ASSERT_TRUE(Pipeline::LatestCheckpoint(ckpt_, &epoch_dir).ok());
+  EXPECT_EQ(epoch_dir, JoinPath(ckpt_, "epoch_0"));
   std::unique_ptr<FlowKvStore> restored;
   OperatorStateSpec spec;
   spec.name = "count";
   spec.window_kind = WindowKind::kTumbling;
   spec.incremental = true;
-  ASSERT_TRUE(FlowKvStore::RestoreFrom(JoinPath(ckpt_, "op0/h0"), restored_, options, spec,
+  ASSERT_TRUE(FlowKvStore::RestoreFrom(JoinPath(epoch_dir, "op0/h0"), restored_, options, spec,
                                        &restored)
                   .ok());
   std::string acc;
   ASSERT_TRUE(restored->Get("k0", Window(0, 1'000'000), &acc).ok());
+
+  // A second checkpoint lands in a fresh epoch and flips CURRENT.
+  ASSERT_TRUE(pipeline.Checkpoint(ckpt_).ok());
+  ASSERT_TRUE(Pipeline::LatestCheckpoint(ckpt_, &epoch_dir).ok());
+  EXPECT_EQ(epoch_dir, JoinPath(ckpt_, "epoch_1"));
 }
 
 TEST_F(CheckpointTest, MemoryBackendReportsUnimplemented) {
