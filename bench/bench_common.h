@@ -17,6 +17,7 @@
 #include "src/backends/hashkv_backend.h"
 #include "src/backends/lsm_backend.h"
 #include "src/backends/memory_backend.h"
+#include "src/backends/remote_backend.h"
 #include "src/common/env.h"
 #include "src/common/histogram.h"
 #include "src/nexmark/generator.h"
@@ -76,7 +77,7 @@ inline void ParseBenchFlags(int argc, char** argv) {
   }
 }
 
-enum class BackendSel { kMemory, kFlowKv, kLsm, kHashKv };
+enum class BackendSel { kMemory, kFlowKv, kLsm, kHashKv, kRemote };
 
 inline const char* BackendName(BackendSel sel) {
   switch (sel) {
@@ -88,6 +89,8 @@ inline const char* BackendName(BackendSel sel) {
       return "rocksdb-like";
     case BackendSel::kHashKv:
       return "faster-like";
+    case BackendSel::kRemote:
+      return "flowkv-remote";
   }
   return "?";
 }
@@ -115,6 +118,11 @@ struct BenchRun {
   FlowKvOptions flowkv;
   LsmOptions lsm;
   HashKvOptions hashkv;
+
+  // kRemote: a running flowkv_server (FLOWKV_BENCH_REMOTE=host:port points
+  // existing figure benches at one without recompiling).
+  std::string remote_host = "127.0.0.1";
+  int remote_port = 7330;
 
   BenchRun() {
     // ~2 MB of store memory each (the paper likewise gives every store
@@ -162,6 +170,23 @@ struct BenchResult {
 
 inline std::unique_ptr<StateBackendFactory> MakeBackendFactory(const BenchRun& run,
                                                                const std::string& dir) {
+  // FLOWKV_BENCH_REMOTE=host:port redirects the FlowKV rows of any figure
+  // bench through a running flowkv_server — an embedded-vs-disaggregated
+  // ablation with no recompile. Baseline rows (memory/lsm/hashkv) keep
+  // running locally for comparison.
+  if (run.backend == BackendSel::kFlowKv || run.backend == BackendSel::kRemote) {
+    if (const char* remote = std::getenv("FLOWKV_BENCH_REMOTE");
+        remote != nullptr && remote[0] != '\0') {
+      std::string spec(remote);
+      std::string host = run.remote_host;
+      int port = run.remote_port;
+      if (auto colon = spec.rfind(':'); colon != std::string::npos) {
+        host = spec.substr(0, colon);
+        port = std::atoi(spec.c_str() + colon + 1);
+      }
+      return std::make_unique<RemoteBackendFactory>(host, port);
+    }
+  }
   switch (run.backend) {
     case BackendSel::kMemory:
       return std::make_unique<MemoryBackendFactory>(run.memory_capacity_bytes);
@@ -171,6 +196,9 @@ inline std::unique_ptr<StateBackendFactory> MakeBackendFactory(const BenchRun& r
       return std::make_unique<LsmBackendFactory>(dir, run.lsm);
     case BackendSel::kHashKv:
       return std::make_unique<HashKvBackendFactory>(dir, run.hashkv);
+    case BackendSel::kRemote:
+      return std::make_unique<RemoteBackendFactory>(run.remote_host,
+                                                    run.remote_port);
   }
   return nullptr;
 }

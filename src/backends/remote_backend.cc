@@ -1,0 +1,180 @@
+#include "src/backends/remote_backend.h"
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "src/common/env.h"
+
+namespace flowkv {
+
+namespace {
+
+using net::Client;
+
+class RemoteAarState : public AppendAlignedState {
+ public:
+  RemoteAarState(std::shared_ptr<Client> client, uint64_t handle)
+      : client_(std::move(client)), handle_(handle) {}
+
+  Status Append(const Slice& key, const Slice& value, const Window& w) override {
+    return client_->AppendAligned(handle_, key, value, w);
+  }
+
+  Status GetWindowChunk(const Window& w, std::vector<WindowChunkEntry>* chunk,
+                        bool* done) override {
+    return client_->GetWindowChunk(handle_, w, chunk, done);
+  }
+
+ private:
+  std::shared_ptr<Client> client_;
+  uint64_t handle_;
+};
+
+class RemoteAurState : public AppendUnalignedState {
+ public:
+  RemoteAurState(std::shared_ptr<Client> client, uint64_t handle)
+      : client_(std::move(client)), handle_(handle) {}
+
+  Status Append(const Slice& key, const Slice& value, const Window& w,
+                int64_t timestamp) override {
+    return client_->AppendUnaligned(handle_, key, value, w, timestamp);
+  }
+
+  Status Get(const Slice& key, const Window& w, std::vector<std::string>* values) override {
+    return client_->GetUnaligned(handle_, key, w, values);
+  }
+
+  Status MergeWindows(const Slice& key, const std::vector<Window>& sources,
+                      const Window& dst) override {
+    return client_->MergeWindows(handle_, key, sources, dst);
+  }
+
+ private:
+  std::shared_ptr<Client> client_;
+  uint64_t handle_;
+};
+
+class RemoteRmwState : public RmwState {
+ public:
+  RemoteRmwState(std::shared_ptr<Client> client, uint64_t handle)
+      : client_(std::move(client)), handle_(handle) {}
+
+  Status Get(const Slice& key, const Window& w, std::string* accumulator) override {
+    return client_->RmwGet(handle_, key, w, accumulator);
+  }
+
+  Status Put(const Slice& key, const Window& w, const Slice& accumulator) override {
+    return client_->RmwPut(handle_, key, w, accumulator);
+  }
+
+  Status Remove(const Slice& key, const Window& w) override {
+    return client_->RmwRemove(handle_, key, w);
+  }
+
+ private:
+  std::shared_ptr<Client> client_;
+  uint64_t handle_;
+};
+
+class RemoteBackend : public StateBackend {
+ public:
+  RemoteBackend(std::shared_ptr<Client> client, std::string ns_prefix)
+      : client_(std::move(client)), ns_prefix_(std::move(ns_prefix)) {}
+
+  Status CreateAppendAligned(const OperatorStateSpec& spec,
+                             std::unique_ptr<AppendAlignedState>* out) override {
+    uint64_t handle = 0;
+    FLOWKV_RETURN_IF_ERROR(OpenStore(spec, StorePattern::kAppendAligned, &handle));
+    *out = std::make_unique<RemoteAarState>(client_, handle);
+    return Status::Ok();
+  }
+
+  Status CreateAppendUnaligned(const OperatorStateSpec& spec,
+                               std::unique_ptr<AppendUnalignedState>* out) override {
+    uint64_t handle = 0;
+    FLOWKV_RETURN_IF_ERROR(OpenStore(spec, StorePattern::kAppendUnaligned, &handle));
+    *out = std::make_unique<RemoteAurState>(client_, handle);
+    return Status::Ok();
+  }
+
+  Status CreateRmw(const OperatorStateSpec& spec, std::unique_ptr<RmwState>* out) override {
+    uint64_t handle = 0;
+    FLOWKV_RETURN_IF_ERROR(OpenStore(spec, StorePattern::kReadModifyWrite, &handle));
+    *out = std::make_unique<RemoteRmwState>(client_, handle);
+    return Status::Ok();
+  }
+
+  StoreStats GatherStats() const override {
+    StoreStats total;
+    size_t num_fields = 0;
+    const StoreStats::CounterField* fields = StoreStats::CounterFields(&num_fields);
+    for (uint64_t handle : handles_) {
+      std::vector<std::pair<std::string, int64_t>> remote;
+      if (!client_->GatherStats(handle, &remote).ok()) {
+        continue;  // stats are best-effort; a failed store contributes zero
+      }
+      for (const auto& [name, value] : remote) {
+        for (size_t i = 0; i < num_fields; ++i) {
+          if (name == fields[i].name) {
+            fields[i].get(total) += value;
+            break;
+          }
+        }
+      }
+    }
+    return total;
+  }
+
+  Status CheckpointTo(const std::string& checkpoint_dir) const override {
+    // Server-local path: meaningful when the server shares a filesystem with
+    // the engine (tests, single-box deployments). The server's own drain
+    // checkpoint is the durability mechanism for remote deployments.
+    for (size_t i = 0; i < handles_.size(); ++i) {
+      FLOWKV_RETURN_IF_ERROR(client_->Checkpoint(
+          handles_[i], JoinPath(checkpoint_dir, "h" + std::to_string(i))));
+    }
+    return Status::Ok();
+  }
+
+  std::string name() const override { return "remote"; }
+
+ private:
+  Status OpenStore(const OperatorStateSpec& spec, StorePattern expected,
+                   uint64_t* handle) {
+    const std::string ns = ns_prefix_ + ".h" + std::to_string(handles_.size());
+    StorePattern pattern = StorePattern::kReadModifyWrite;
+    FLOWKV_RETURN_IF_ERROR(client_->OpenStore(ns, spec, handle, &pattern));
+    if (pattern != expected) {
+      return Status::Internal("pattern classifier disagrees with the engine");
+    }
+    handles_.push_back(*handle);
+    return Status::Ok();
+  }
+
+  std::shared_ptr<Client> client_;
+  std::string ns_prefix_;
+  std::vector<uint64_t> handles_;
+};
+
+}  // namespace
+
+RemoteBackendFactory::RemoteBackendFactory(net::ClientOptions options)
+    : options_(std::move(options)) {}
+
+RemoteBackendFactory::RemoteBackendFactory(const std::string& host, int port) {
+  options_.host = host;
+  options_.port = port;
+}
+
+Status RemoteBackendFactory::CreateBackend(int worker, const std::string& operator_name,
+                                           std::unique_ptr<StateBackend>* out) {
+  std::unique_ptr<Client> client;
+  FLOWKV_RETURN_IF_ERROR(Client::Connect(options_, &client));
+  const std::string ns_prefix = "w" + std::to_string(worker) + "." + operator_name;
+  *out = std::make_unique<RemoteBackend>(std::shared_ptr<Client>(std::move(client)),
+                                         ns_prefix);
+  return Status::Ok();
+}
+
+}  // namespace flowkv

@@ -1,0 +1,39 @@
+// RemoteBackendFactory: a StateBackendFactory whose state lives in a
+// flowkv_server process reached over the src/net wire protocol, so existing
+// pipelines, queries, and benches run unmodified against a remote FlowKV
+// state service.
+//
+// Each CreateBackend() call opens its own client connection (the blocking
+// client is single-threaded, matching the one-backend-per-physical-operator
+// contract). Stores are namespaced "w<worker>.<operator>.h<n>" so every
+// physical operator's stores are distinct server-side.
+#ifndef SRC_BACKENDS_REMOTE_BACKEND_H_
+#define SRC_BACKENDS_REMOTE_BACKEND_H_
+
+#include <memory>
+#include <string>
+
+#include "src/net/client.h"
+#include "src/spe/state.h"
+
+namespace flowkv {
+
+class RemoteBackendFactory : public StateBackendFactory {
+ public:
+  // `options.host`/`options.port` locate the server; the rest tune timeouts,
+  // reconnect backoff, and write batching.
+  explicit RemoteBackendFactory(net::ClientOptions options);
+  RemoteBackendFactory(const std::string& host, int port);
+
+  Status CreateBackend(int worker, const std::string& operator_name,
+                       std::unique_ptr<StateBackend>* out) override;
+
+  std::string name() const override { return "remote"; }
+
+ private:
+  net::ClientOptions options_;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_BACKENDS_REMOTE_BACKEND_H_

@@ -25,8 +25,41 @@ const char* StatusCodeName(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kTimedOut:
+      return "TimedOut";
+    case StatusCode::kConnectionReset:
+      return "ConnectionReset";
   }
   return "Unknown";
+}
+
+Status Status::FromCode(uint8_t code, std::string msg) {
+  switch (static_cast<StatusCode>(code)) {
+    case StatusCode::kOk:
+      return Status::Ok();
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(msg));
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(msg));
+    case StatusCode::kIOError:
+      return Status::IOError(std::move(msg));
+    case StatusCode::kCorruption:
+      return Status::Corruption(std::move(msg));
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(msg));
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(std::move(msg));
+    case StatusCode::kUnimplemented:
+      return Status::Unimplemented(std::move(msg));
+    case StatusCode::kInternal:
+      return Status::Internal(std::move(msg));
+    case StatusCode::kTimedOut:
+      return Status::TimedOut(std::move(msg));
+    case StatusCode::kConnectionReset:
+      return Status::ConnectionReset(std::move(msg));
+  }
+  return Status::Internal("unknown status code " + std::to_string(code) +
+                          (msg.empty() ? "" : ": " + msg));
 }
 
 Status Status::FromErrno(const std::string& context) {

@@ -20,6 +20,11 @@ enum class StatusCode : uint8_t {
   kFailedPrecondition = 6,
   kUnimplemented = 7,
   kInternal = 8,
+  // Network-specific codes (src/net): a deadline expired while waiting on a
+  // peer, or the peer went away mid-conversation. Distinct from kIOError so
+  // callers can retry/reconnect without pattern-matching message strings.
+  kTimedOut = 9,
+  kConnectionReset = 10,
 };
 
 // Human-readable name of a status code ("OK", "NotFound", ...).
@@ -54,6 +59,17 @@ class Status {
   static Status Internal(std::string msg = "") {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status TimedOut(std::string msg = "") {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status ConnectionReset(std::string msg = "") {
+    return Status(StatusCode::kConnectionReset, std::move(msg));
+  }
+
+  // Rebuilds a Status from a (code, message) pair received over the wire.
+  // Unknown numeric codes map to kInternal so a newer peer cannot make an
+  // older client misreport success.
+  static Status FromCode(uint8_t code, std::string msg);
 
   // Wraps the current errno into an IOError status with context.
   static Status FromErrno(const std::string& context);
@@ -63,6 +79,8 @@ class Status {
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsResourceExhausted() const { return code_ == StatusCode::kResourceExhausted; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsConnectionReset() const { return code_ == StatusCode::kConnectionReset; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

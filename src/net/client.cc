@@ -1,0 +1,482 @@
+#include "src/net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "src/common/clock.h"
+#include "src/common/logging.h"
+
+namespace flowkv {
+namespace net {
+
+namespace {
+
+int64_t DeadlineFromNow(int timeout_ms) {
+  return MonotonicNanos() + static_cast<int64_t>(timeout_ms) * 1'000'000;
+}
+
+int PollTimeoutMs(int64_t deadline_nanos) {
+  const int64_t remaining = deadline_nanos - MonotonicNanos();
+  if (remaining <= 0) {
+    return 0;
+  }
+  return static_cast<int>(std::min<int64_t>(remaining / 1'000'000 + 1, 60'000));
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::FromErrno("fcntl(O_NONBLOCK)");
+  }
+  return Status::Ok();
+}
+
+// Rough wire footprint of a buffered op, for the batch byte threshold.
+size_t OpFootprint(const OpRequest& op) {
+  return 32 + op.key.size() + op.value.size() + op.ns.size() + op.path.size() +
+         op.sources.size() * 20;
+}
+
+}  // namespace
+
+Status Client::Connect(const ClientOptions& options, std::unique_ptr<Client>* out) {
+  auto client = std::unique_ptr<Client>(new Client(options));
+  FLOWKV_RETURN_IF_ERROR(client->ConnectSocket());
+  *out = std::move(client);
+  return Status::Ok();
+}
+
+Client::~Client() { CloseSocket(); }
+
+void Client::CloseSocket() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  inbuf_.clear();
+}
+
+Status Client::ConnectSocket() {
+  CloseSocket();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::FromErrno("socket");
+  }
+  Status s = SetNonBlocking(fd);
+  if (!s.ok()) {
+    ::close(fd);
+    return s;
+  }
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + options_.host);
+  }
+
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      const Status err = Status::FromErrno("connect " + options_.host);
+      ::close(fd);
+      return err;
+    }
+    // Non-blocking connect: wait for writability, then check SO_ERROR.
+    pollfd pfd = {fd, POLLOUT, 0};
+    const int n = ::poll(&pfd, 1, options_.connect_timeout_ms);
+    if (n == 0) {
+      ::close(fd);
+      return Status::TimedOut("connect to " + options_.host + ":" +
+                              std::to_string(options_.port));
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (n < 0 || ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+        so_error != 0) {
+      ::close(fd);
+      return Status::ConnectionReset("connect to " + options_.host + ":" +
+                                     std::to_string(options_.port) + ": " +
+                                     std::strerror(so_error != 0 ? so_error : errno));
+    }
+  }
+
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return Status::Ok();
+}
+
+Status Client::EnsureConnected() {
+  if (fd_ >= 0) {
+    return Status::Ok();
+  }
+  int backoff_ms = options_.reconnect_backoff_ms;
+  Status last = Status::ConnectionReset("not connected");
+  for (int attempt = 0; attempt < options_.max_reconnect_attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, options_.reconnect_backoff_max_ms);
+    }
+    last = ConnectSocket();
+    if (last.ok()) {
+      return ReopenStores();
+    }
+  }
+  return last;
+}
+
+Status Client::ReopenStores() {
+  // Server ids are not stable across a server restart; refresh the handle →
+  // server-id mapping by re-opening every registered store.
+  for (StoreReg& reg : stores_) {
+    std::vector<OpRequest> ops(1);
+    ops[0].type = OpType::kOpenStore;
+    ops[0].ns = reg.ns;
+    ops[0].spec = reg.spec;
+    std::vector<OpResult> results;
+    FLOWKV_RETURN_IF_ERROR(TryRequest(ops, &results));
+    FLOWKV_RETURN_IF_ERROR(results[0].status);
+    if (results[0].pattern != reg.pattern) {
+      return Status::Internal("store " + reg.ns + " changed pattern across reconnect");
+    }
+    reg.server_id = results[0].store_id;
+  }
+  return Status::Ok();
+}
+
+Status Client::WriteAll(const Slice& data, int64_t deadline_nanos) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + written, data.size() - written,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      written += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd = {fd_, POLLOUT, 0};
+      const int r = ::poll(&pfd, 1, PollTimeoutMs(deadline_nanos));
+      if (r == 0) {
+        return Status::TimedOut("request write");
+      }
+      if (r < 0 && errno != EINTR) {
+        return Status::FromErrno("poll");
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return Status::ConnectionReset("send: " + std::string(std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+Status Client::ReadResponse(int64_t deadline_nanos, ResponseMessage* response) {
+  while (true) {
+    Slice input(inbuf_);
+    Slice payload;
+    bool complete = false;
+    const size_t before = input.size();
+    FLOWKV_RETURN_IF_ERROR(
+        TryDecodeFrame(&input, &payload, &complete, options_.max_frame_bytes));
+    if (complete) {
+      const Status s = DecodeResponse(payload, response);
+      inbuf_.erase(0, before - input.size());
+      return s;
+    }
+
+    pollfd pfd = {fd_, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, PollTimeoutMs(deadline_nanos));
+    if (r == 0) {
+      return Status::TimedOut("response read");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::FromErrno("poll");
+    }
+    char buf[64 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      inbuf_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return Status::ConnectionReset("server closed connection");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      continue;
+    }
+    return Status::ConnectionReset("recv: " + std::string(std::strerror(errno)));
+  }
+}
+
+Status Client::TryRequest(const std::vector<OpRequest>& ops,
+                          std::vector<OpResult>* results) {
+  RequestMessage request;
+  request.request_id = next_request_id_++;
+  request.ops = ops;
+
+  std::string payload;
+  EncodeRequest(request, &payload);
+  if (payload.size() > options_.max_frame_bytes) {
+    return Status::InvalidArgument("request exceeds max frame size (" +
+                                   std::to_string(payload.size()) + " bytes)");
+  }
+  std::string frame;
+  frame.reserve(payload.size() + kFrameHeaderBytes);
+  AppendFrame(&frame, payload);
+
+  const int64_t deadline = DeadlineFromNow(options_.request_timeout_ms);
+  FLOWKV_RETURN_IF_ERROR(WriteAll(frame, deadline));
+
+  ResponseMessage response;
+  FLOWKV_RETURN_IF_ERROR(ReadResponse(deadline, &response));
+  if (response.request_id != request.request_id) {
+    return Status::Internal("response id mismatch");
+  }
+  if (response.results.size() != ops.size()) {
+    return Status::Internal("response arity mismatch");
+  }
+  *results = std::move(response.results);
+  return Status::Ok();
+}
+
+Status Client::SendRequest(std::vector<OpRequest> ops, std::vector<OpResult>* results) {
+  Status last;
+  for (int attempt = 0; attempt <= options_.max_reconnect_attempts; ++attempt) {
+    last = EnsureConnected();
+    if (last.ok()) {
+      // Translate client handles to the server ids of the current
+      // connection generation (they change across a server restart).
+      std::vector<OpRequest> wire = ops;
+      for (OpRequest& op : wire) {
+        if (op.type != OpType::kPing && op.type != OpType::kOpenStore) {
+          if (op.store_id >= stores_.size()) {
+            return Status::InvalidArgument("unknown store handle " +
+                                           std::to_string(op.store_id));
+          }
+          op.store_id = stores_[op.store_id].server_id;
+        }
+      }
+      last = TryRequest(wire, results);
+      if (last.ok()) {
+        return Status::Ok();
+      }
+    }
+    if (!last.IsConnectionReset()) {
+      // Timeouts and hard errors are not retried: the request may have been
+      // applied, and only the caller knows whether re-sending is safe.
+      return last;
+    }
+    CloseSocket();
+  }
+  return last;
+}
+
+// ---------------------------------------------------------------------------
+// Public ops
+// ---------------------------------------------------------------------------
+
+Status Client::Ping() {
+  FLOWKV_RETURN_IF_ERROR(Flush());
+  std::vector<OpRequest> ops(1);
+  ops[0].type = OpType::kPing;
+  std::vector<OpResult> results;
+  FLOWKV_RETURN_IF_ERROR(SendRequest(std::move(ops), &results));
+  return results[0].status;
+}
+
+Status Client::OpenStore(const std::string& ns, const OperatorStateSpec& spec,
+                         uint64_t* handle, StorePattern* pattern) {
+  FLOWKV_RETURN_IF_ERROR(Flush());
+  std::vector<OpRequest> ops(1);
+  ops[0].type = OpType::kOpenStore;
+  ops[0].ns = ns;
+  ops[0].spec = spec;
+  std::vector<OpResult> results;
+  FLOWKV_RETURN_IF_ERROR(SendRequest(std::move(ops), &results));
+  FLOWKV_RETURN_IF_ERROR(results[0].status);
+
+  StoreReg reg;
+  reg.ns = ns;
+  reg.spec = spec;
+  reg.server_id = results[0].store_id;
+  reg.pattern = results[0].pattern;
+  *handle = stores_.size();
+  if (pattern != nullptr) {
+    *pattern = reg.pattern;
+  }
+  stores_.push_back(std::move(reg));
+  return Status::Ok();
+}
+
+Status Client::BufferWrite(OpRequest op) {
+  batch_bytes_ += OpFootprint(op);
+  batch_.push_back(std::move(op));
+  if (batch_.size() >= options_.max_batch_ops || batch_bytes_ >= options_.max_batch_bytes) {
+    return Flush();
+  }
+  return Status::Ok();
+}
+
+Status Client::Flush() {
+  if (batch_.empty()) {
+    return Status::Ok();
+  }
+  std::vector<OpRequest> ops;
+  ops.swap(batch_);
+  batch_bytes_ = 0;
+  std::vector<OpResult> results;
+  FLOWKV_RETURN_IF_ERROR(SendRequest(std::move(ops), &results));
+  for (const OpResult& result : results) {
+    FLOWKV_RETURN_IF_ERROR(result.status);
+  }
+  return Status::Ok();
+}
+
+Status Client::RoundTripOne(OpRequest op, OpResult* result) {
+  FLOWKV_RETURN_IF_ERROR(Flush());
+  std::vector<OpRequest> ops;
+  ops.push_back(std::move(op));
+  std::vector<OpResult> results;
+  FLOWKV_RETURN_IF_ERROR(SendRequest(std::move(ops), &results));
+  *result = std::move(results[0]);
+  return Status::Ok();
+}
+
+Status Client::AppendAligned(uint64_t handle, const Slice& key, const Slice& value,
+                             const Window& w) {
+  OpRequest op;
+  op.type = OpType::kAppendAligned;
+  op.store_id = handle;
+  op.key = key.ToString();
+  op.value = value.ToString();
+  op.window = w;
+  return BufferWrite(std::move(op));
+}
+
+Status Client::AppendUnaligned(uint64_t handle, const Slice& key, const Slice& value,
+                               const Window& w, int64_t timestamp) {
+  OpRequest op;
+  op.type = OpType::kAppendUnaligned;
+  op.store_id = handle;
+  op.key = key.ToString();
+  op.value = value.ToString();
+  op.window = w;
+  op.timestamp = timestamp;
+  return BufferWrite(std::move(op));
+}
+
+Status Client::MergeWindows(uint64_t handle, const Slice& key,
+                            const std::vector<Window>& sources, const Window& dst) {
+  OpRequest op;
+  op.type = OpType::kMergeWindows;
+  op.store_id = handle;
+  op.key = key.ToString();
+  op.sources = sources;
+  op.window = dst;
+  return BufferWrite(std::move(op));
+}
+
+Status Client::RmwPut(uint64_t handle, const Slice& key, const Window& w,
+                      const Slice& accumulator) {
+  OpRequest op;
+  op.type = OpType::kRmwPut;
+  op.store_id = handle;
+  op.key = key.ToString();
+  op.value = accumulator.ToString();
+  op.window = w;
+  return BufferWrite(std::move(op));
+}
+
+Status Client::RmwRemove(uint64_t handle, const Slice& key, const Window& w) {
+  OpRequest op;
+  op.type = OpType::kRmwRemove;
+  op.store_id = handle;
+  op.key = key.ToString();
+  op.window = w;
+  return BufferWrite(std::move(op));
+}
+
+Status Client::GetWindowChunk(uint64_t handle, const Window& w,
+                              std::vector<WindowChunkEntry>* chunk, bool* done) {
+  OpRequest op;
+  op.type = OpType::kGetWindowChunk;
+  op.store_id = handle;
+  op.window = w;
+  OpResult result;
+  FLOWKV_RETURN_IF_ERROR(RoundTripOne(std::move(op), &result));
+  FLOWKV_RETURN_IF_ERROR(result.status);
+  *chunk = std::move(result.chunk);
+  *done = result.done;
+  return Status::Ok();
+}
+
+Status Client::GetUnaligned(uint64_t handle, const Slice& key, const Window& w,
+                            std::vector<std::string>* values) {
+  OpRequest op;
+  op.type = OpType::kGetUnaligned;
+  op.store_id = handle;
+  op.key = key.ToString();
+  op.window = w;
+  OpResult result;
+  FLOWKV_RETURN_IF_ERROR(RoundTripOne(std::move(op), &result));
+  if (result.status.ok() || result.status.IsNotFound()) {
+    *values = std::move(result.values);
+  }
+  return result.status;
+}
+
+Status Client::RmwGet(uint64_t handle, const Slice& key, const Window& w,
+                      std::string* accumulator) {
+  OpRequest op;
+  op.type = OpType::kRmwGet;
+  op.store_id = handle;
+  op.key = key.ToString();
+  op.window = w;
+  OpResult result;
+  FLOWKV_RETURN_IF_ERROR(RoundTripOne(std::move(op), &result));
+  if (result.status.ok()) {
+    *accumulator = std::move(result.accumulator);
+  }
+  return result.status;
+}
+
+Status Client::Checkpoint(uint64_t handle, const std::string& server_dir) {
+  OpRequest op;
+  op.type = OpType::kCheckpoint;
+  op.store_id = handle;
+  op.path = server_dir;
+  OpResult result;
+  FLOWKV_RETURN_IF_ERROR(RoundTripOne(std::move(op), &result));
+  return result.status;
+}
+
+Status Client::GatherStats(uint64_t handle,
+                           std::vector<std::pair<std::string, int64_t>>* fields) {
+  OpRequest op;
+  op.type = OpType::kGatherStats;
+  op.store_id = handle;
+  OpResult result;
+  FLOWKV_RETURN_IF_ERROR(RoundTripOne(std::move(op), &result));
+  FLOWKV_RETURN_IF_ERROR(result.status);
+  *fields = std::move(result.stat_fields);
+  return Status::Ok();
+}
+
+}  // namespace net
+}  // namespace flowkv

@@ -1,0 +1,148 @@
+// Blocking client for the FlowKV state server. One socket, one outstanding
+// request at a time; writes (appends, puts, merges, removes) are buffered
+// into a batch that flushes when it fills, when Flush() is called, or before
+// any read — so per-key op order is preserved end to end (a key always maps
+// to the same server shard, and a batch executes in op order per shard).
+//
+// Stores are addressed by client-side handles. The client remembers every
+// (namespace, spec) it opened; after a reconnect — exponential backoff, up
+// to ClientOptions::max_reconnect_attempts — it re-opens them and re-maps
+// handles to the server's (possibly new) store ids, so a server drain +
+// restart is transparent to callers.
+//
+// Retry policy: a request that fails with kConnectionReset is retried after
+// reconnecting (the server may have restarted); a kTimedOut request is NOT
+// retried — the op may have been applied, and the caller decides whether
+// re-sending is safe for its pattern.
+#ifndef SRC_NET_CLIENT_H_
+#define SRC_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/net/protocol.h"
+
+namespace flowkv {
+namespace net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+
+  int connect_timeout_ms = 2000;
+  // Per-request round-trip deadline (covers the whole batch).
+  int request_timeout_ms = 10000;
+
+  // Reconnect: exponential backoff starting at `reconnect_backoff_ms`,
+  // doubling up to `reconnect_backoff_max_ms`, at most
+  // `max_reconnect_attempts` tries per failed request.
+  int max_reconnect_attempts = 5;
+  int reconnect_backoff_ms = 20;
+  int reconnect_backoff_max_ms = 1000;
+
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  // Write-batch flush thresholds.
+  size_t max_batch_ops = 256;
+  size_t max_batch_bytes = 1u << 20;
+};
+
+class Client {
+ public:
+  // Connects (with timeout) and returns a ready client.
+  static Status Connect(const ClientOptions& options, std::unique_ptr<Client>* out);
+
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Round-trip no-op, for tests and liveness checks.
+  Status Ping();
+
+  // Opens (or re-attaches to) the server-side store for `ns` and returns a
+  // client handle plus the server-classified pattern.
+  Status OpenStore(const std::string& ns, const OperatorStateSpec& spec,
+                   uint64_t* handle, StorePattern* pattern);
+
+  // ----- buffered writes (flushed on batch-full / Flush() / any read) -----
+  Status AppendAligned(uint64_t handle, const Slice& key, const Slice& value,
+                       const Window& w);
+  Status AppendUnaligned(uint64_t handle, const Slice& key, const Slice& value,
+                         const Window& w, int64_t timestamp);
+  Status MergeWindows(uint64_t handle, const Slice& key,
+                      const std::vector<Window>& sources, const Window& dst);
+  Status RmwPut(uint64_t handle, const Slice& key, const Window& w,
+                const Slice& accumulator);
+  Status RmwRemove(uint64_t handle, const Slice& key, const Window& w);
+
+  // Sends any buffered writes and waits for their acks.
+  Status Flush();
+
+  // ----- reads (implicitly Flush() first) -----
+  Status GetWindowChunk(uint64_t handle, const Window& w,
+                        std::vector<WindowChunkEntry>* chunk, bool* done);
+  Status GetUnaligned(uint64_t handle, const Slice& key, const Window& w,
+                      std::vector<std::string>* values);
+  Status RmwGet(uint64_t handle, const Slice& key, const Window& w,
+                std::string* accumulator);
+
+  // ----- store management (implicitly Flush() first) -----
+  Status Checkpoint(uint64_t handle, const std::string& server_dir);
+  Status GatherStats(uint64_t handle,
+                     std::vector<std::pair<std::string, int64_t>>* fields);
+
+ private:
+  struct StoreReg {
+    std::string ns;
+    OperatorStateSpec spec;
+    uint64_t server_id = 0;
+    StorePattern pattern = StorePattern::kReadModifyWrite;
+  };
+
+  explicit Client(ClientOptions options) : options_(std::move(options)) {}
+
+  // Appends a write op to the batch, flushing if full.
+  Status BufferWrite(OpRequest op);
+  // Flush + single-op round trip; `*result` is the op's result.
+  Status RoundTripOne(OpRequest op, OpResult* result);
+
+  // Sends `ops` (store_id fields hold client handles; translated to server
+  // ids per attempt) and fills `results`. Reconnects + retries on
+  // kConnectionReset; returns kTimedOut without retrying.
+  Status SendRequest(std::vector<OpRequest> ops, std::vector<OpResult>* results);
+
+  // One attempt on the current socket.
+  Status TryRequest(const std::vector<OpRequest>& ops, std::vector<OpResult>* results);
+
+  Status EnsureConnected();
+  Status ConnectSocket();
+  // Re-opens every registered store on a fresh connection, updating
+  // server_id mappings.
+  Status ReopenStores();
+  void CloseSocket();
+
+  Status WriteAll(const Slice& data, int64_t deadline_nanos);
+  Status ReadResponse(int64_t deadline_nanos, ResponseMessage* response);
+
+  ClientOptions options_;
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+
+  std::vector<StoreReg> stores_;  // handle = index
+
+  std::vector<OpRequest> batch_;  // pending buffered writes
+  size_t batch_bytes_ = 0;
+
+  std::string inbuf_;  // bytes received but not yet framed
+};
+
+}  // namespace net
+}  // namespace flowkv
+
+#endif  // SRC_NET_CLIENT_H_

@@ -1,0 +1,95 @@
+#include "src/net/conn.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace flowkv {
+namespace net {
+
+namespace {
+constexpr size_t kReadChunkBytes = 64 * 1024;
+// Compact the input buffer once the parsed prefix dominates, so long-lived
+// connections do not accumulate an unbounded consumed prefix.
+constexpr size_t kCompactThresholdBytes = 256 * 1024;
+}  // namespace
+
+Connection::Connection(uint64_t id, int fd, size_t max_outbox_bytes)
+    : id_(id), fd_(fd), max_outbox_bytes_(max_outbox_bytes) {}
+
+Connection::~Connection() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Status Connection::ReadFromSocket(bool* eof) {
+  *eof = false;
+  char buf[kReadChunkBytes];
+  while (true) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      inbuf_.append(buf, static_cast<size_t>(n));
+      if (n < static_cast<ssize_t>(sizeof(buf))) {
+        return Status::Ok();  // drained the socket for now
+      }
+      continue;
+    }
+    if (n == 0) {
+      *eof = true;
+      return Status::Ok();
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Ok();
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return Status::ConnectionReset("recv: " + std::string(strerror(errno)));
+  }
+}
+
+void Connection::Consume(size_t n) {
+  consumed_ += n;
+  if (consumed_ == inbuf_.size()) {
+    inbuf_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > kCompactThresholdBytes && consumed_ > inbuf_.size() / 2) {
+    inbuf_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+}
+
+void Connection::QueueFrame(std::string frame) {
+  outbox_bytes_ += frame.size();
+  outbox_.push_back(std::move(frame));
+}
+
+Status Connection::FlushWrites() {
+  while (!outbox_.empty()) {
+    const std::string& front = outbox_.front();
+    const ssize_t n = ::send(fd_, front.data() + front_offset_,
+                             front.size() - front_offset_, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::Ok();
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::ConnectionReset("send: " + std::string(strerror(errno)));
+    }
+    front_offset_ += static_cast<size_t>(n);
+    outbox_bytes_ -= static_cast<size_t>(n);
+    if (front_offset_ == front.size()) {
+      outbox_.pop_front();
+      front_offset_ = 0;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace net
+}  // namespace flowkv

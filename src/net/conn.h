@@ -1,0 +1,78 @@
+// Per-connection state of the reactor server: a growable read buffer the
+// frame decoder slices from, and a bounded outbox of encoded response
+// frames. Both sides are owned by the reactor thread; shard workers never
+// touch a Connection (they hand results back through the completion queue).
+//
+// Backpressure: when the outbox exceeds its byte budget the reactor stops
+// polling the socket for readability, so a client that pipelines faster
+// than it drains responses is throttled by TCP flow control instead of
+// ballooning server memory.
+#ifndef SRC_NET_CONN_H_
+#define SRC_NET_CONN_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "src/common/slice.h"
+#include "src/common/status.h"
+
+namespace flowkv {
+namespace net {
+
+class Connection {
+ public:
+  // Takes ownership of `fd` (closed on destruction).
+  Connection(uint64_t id, int fd, size_t max_outbox_bytes);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  uint64_t id() const { return id_; }
+  int fd() const { return fd_; }
+
+  // Non-blocking read into the buffer. OK with *eof=true when the peer shut
+  // down cleanly; ConnectionReset on abrupt errors.
+  Status ReadFromSocket(bool* eof);
+
+  // Bytes currently buffered but not yet parsed into frames.
+  Slice buffered() const { return Slice(inbuf_.data() + consumed_, inbuf_.size() - consumed_); }
+  // Marks `n` leading buffered bytes as parsed.
+  void Consume(size_t n);
+
+  // Queues an encoded frame for writing.
+  void QueueFrame(std::string frame);
+
+  // Non-blocking write of as much of the outbox as the socket accepts.
+  Status FlushWrites();
+
+  bool has_pending_writes() const { return !outbox_.empty(); }
+  size_t outbox_bytes() const { return outbox_bytes_; }
+  // True when the outbox is over budget and reads should stay paused.
+  bool over_outbox_budget() const { return outbox_bytes_ > max_outbox_bytes_; }
+
+  // Close requested once the outbox drains (e.g. after a protocol error
+  // response, or during drain).
+  void set_close_after_flush() { close_after_flush_ = true; }
+  bool close_after_flush() const { return close_after_flush_; }
+
+ private:
+  uint64_t id_;
+  int fd_;
+  size_t max_outbox_bytes_;
+
+  std::string inbuf_;
+  size_t consumed_ = 0;
+
+  std::deque<std::string> outbox_;
+  size_t outbox_bytes_ = 0;
+  size_t front_offset_ = 0;  // bytes of outbox_.front() already written
+
+  bool close_after_flush_ = false;
+};
+
+}  // namespace net
+}  // namespace flowkv
+
+#endif  // SRC_NET_CONN_H_

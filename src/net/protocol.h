@@ -1,0 +1,137 @@
+// FlowKV wire protocol: a length-prefixed, CRC-checked binary framing that
+// carries the Listing-1 store API (Put/Get/ScanWindow/Merge/Delete plus
+// window metadata and ETT hints) between the SPE's RemoteBackend client and
+// the flowkv_server state service (docs/NETWORK.md).
+//
+// Frame layout on the socket (fixed little-endian header, varint body):
+//
+//   [u32 payload_len][u32 checksum][payload_len bytes of payload]
+//
+// checksum = Checksum32(payload). Both sides enforce a maximum payload size
+// (kDefaultMaxFrameBytes unless configured) so a corrupt or hostile length
+// prefix cannot trigger an unbounded allocation.
+//
+// A payload is either a RequestMessage (a pipelined batch of ops, executed
+// in op order per key shard) or a ResponseMessage (one OpResult per op, in
+// the same order). request_id correlates the two; responses to different
+// requests may interleave on a pipelined connection.
+#ifndef SRC_NET_PROTOCOL_H_
+#define SRC_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/spe/state.h"
+#include "src/spe/window.h"
+
+namespace flowkv {
+namespace net {
+
+// Default upper bound on a frame's payload. Large enough for a full write
+// batch or a read chunk (stores default to 4 MiB chunks), small enough to
+// bound per-connection memory.
+constexpr size_t kDefaultMaxFrameBytes = 16u << 20;
+
+// Bytes of framing overhead preceding every payload.
+constexpr size_t kFrameHeaderBytes = 8;
+
+enum class OpType : uint32_t {
+  kPing = 0,
+  // Registers (or looks up) a store for `ns` with the given operator spec;
+  // returns the server-assigned store id and the classified pattern.
+  kOpenStore = 1,
+  // AAR: Append(key, value, window) / chunked fetch-and-remove scan.
+  kAppendAligned = 2,
+  kGetWindowChunk = 3,
+  // AUR: Append carries the tuple timestamp as the ETT hint for predictive
+  // batch reads; Get fetch-and-removes (key, window); MergeWindows moves
+  // session state.
+  kAppendUnaligned = 4,
+  kGetUnaligned = 5,
+  kMergeWindows = 6,
+  // RMW: Get/Put/Remove of the (key, window) accumulator.
+  kRmwGet = 7,
+  kRmwPut = 8,
+  kRmwRemove = 9,
+  // Checkpoints the store's shards under a server-local directory.
+  kCheckpoint = 10,
+  // Returns the store's aggregated StoreStats counters as (name, value).
+  kGatherStats = 11,
+};
+
+const char* OpTypeName(OpType type);
+
+// One operation of a request batch. A single struct covers every op type;
+// only the fields listed for the type in the encoding are on the wire.
+struct OpRequest {
+  OpType type = OpType::kPing;
+  uint64_t store_id = 0;     // every op except kPing / kOpenStore
+  std::string ns;            // kOpenStore: unique store key, e.g. "w0.q7.h0"
+  OperatorStateSpec spec;    // kOpenStore: window metadata for classification
+  std::string key;
+  std::string value;
+  Window window;
+  std::vector<Window> sources;  // kMergeWindows
+  int64_t timestamp = 0;        // kAppendUnaligned ETT hint
+  std::string path;             // kCheckpoint target directory
+};
+
+// One operation's outcome. Field validity mirrors OpRequest.
+struct OpResult {
+  OpType type = OpType::kPing;
+  Status status;
+  uint64_t store_id = 0;                       // kOpenStore
+  StorePattern pattern = StorePattern::kReadModifyWrite;  // kOpenStore
+  bool done = false;                           // kGetWindowChunk
+  std::vector<WindowChunkEntry> chunk;         // kGetWindowChunk
+  std::vector<std::string> values;             // kGetUnaligned
+  std::string accumulator;                     // kRmwGet
+  std::vector<std::pair<std::string, int64_t>> stat_fields;  // kGatherStats
+};
+
+struct RequestMessage {
+  uint64_t request_id = 0;
+  std::vector<OpRequest> ops;
+};
+
+struct ResponseMessage {
+  uint64_t request_id = 0;
+  std::vector<OpResult> results;
+};
+
+// ----- Framing -----
+
+// Appends header + payload to `out` (ready to write to a socket).
+void AppendFrame(std::string* out, const Slice& payload);
+
+// Attempts to cut one frame off the front of `input`. Returns:
+//  - OK with *complete=true: `payload` points into `input`'s buffer (valid
+//    until the buffer is modified) and the frame's bytes were consumed.
+//  - OK with *complete=false: more bytes are needed; `input` is untouched.
+//  - InvalidArgument / Corruption: oversized length prefix or checksum
+//    mismatch; the connection should be dropped (resynchronization is not
+//    possible within a byte stream).
+Status TryDecodeFrame(Slice* input, Slice* payload, bool* complete,
+                      size_t max_payload_bytes = kDefaultMaxFrameBytes);
+
+// ----- Message bodies -----
+
+void EncodeRequest(const RequestMessage& msg, std::string* payload);
+Status DecodeRequest(Slice payload, RequestMessage* msg);
+
+void EncodeResponse(const ResponseMessage& msg, std::string* payload);
+Status DecodeResponse(Slice payload, ResponseMessage* msg);
+
+// Spec (window metadata) encoding, shared with the server's checkpoint
+// manifest so restored stores classify identically.
+void EncodeStateSpec(std::string* dst, const OperatorStateSpec& spec);
+bool DecodeStateSpec(Slice* input, OperatorStateSpec* spec);
+
+}  // namespace net
+}  // namespace flowkv
+
+#endif  // SRC_NET_PROTOCOL_H_

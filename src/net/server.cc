@@ -1,0 +1,1151 @@
+#include "src/net/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/common/clock.h"
+#include "src/common/coding.h"
+#include "src/common/env.h"
+#include "src/common/file.h"
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+#include "src/flowkv/flowkv_store.h"
+#include "src/net/conn.h"
+#include "src/obs/context.h"
+#include "src/obs/metrics.h"
+
+namespace flowkv {
+namespace net {
+
+namespace {
+
+constexpr char kCurrentName[] = "CURRENT";
+constexpr char kEpochPrefix[] = "epoch_";
+constexpr char kStoresMetaName[] = "stores.meta";
+constexpr uint32_t kStoresMetaMagic = 0x464b564d;  // "FKVM"
+
+// Jump consistent hash (Lamping & Veach): maps a key hash onto one of
+// `num_buckets` shard workers with minimal movement when the count changes.
+int JumpConsistentHash(uint64_t key, int num_buckets) {
+  int64_t b = -1;
+  int64_t j = 0;
+  while (j < num_buckets) {
+    b = j;
+    key = key * 2862933555777941757ULL + 1;
+    j = static_cast<int64_t>(
+        static_cast<double>(b + 1) *
+        (static_cast<double>(1LL << 31) / static_cast<double>((key >> 33) + 1)));
+  }
+  return static_cast<int>(b);
+}
+
+std::string SanitizeNs(const std::string& ns) {
+  std::string out = ns;
+  for (char& c : out) {
+    if (c == '/' || c == '\\' || c == '\0' || c == '.') {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::FromErrno("fcntl(O_NONBLOCK)");
+  }
+  return Status::Ok();
+}
+
+// Ops whose execution spans every shard rather than one key's shard.
+bool IsFanoutOp(OpType type) {
+  return type == OpType::kOpenStore || type == OpType::kCheckpoint ||
+         type == OpType::kGatherStats;
+}
+
+}  // namespace
+
+class Server::Impl {
+ public:
+  ~Impl() {
+    HardStop();
+    if (wakeup_pipe_[0] >= 0) ::close(wakeup_pipe_[0]);
+    if (wakeup_pipe_[1] >= 0) ::close(wakeup_pipe_[1]);
+  }
+
+  Status Init(const ServerOptions& options);
+
+  int port() const { return port_; }
+
+  void RequestDrain() {
+    // Async-signal-safe: an atomic flag plus a self-pipe write.
+    drain_requested_.store(true, std::memory_order_release);
+    Wake();
+  }
+
+  void HardStop() {
+    stop_requested_.store(true, std::memory_order_release);
+    Wake();
+    Join();
+  }
+
+  Status AwaitTermination() {
+    Join();
+    return final_status_;
+  }
+
+ private:
+  // ----- shared structures -----
+
+  struct StoreEntry {
+    uint64_t id = 0;
+    std::string ns;
+    OperatorStateSpec spec;
+    StorePattern pattern = StorePattern::kReadModifyWrite;
+    // Slot i is owned by shard thread i after dispatch; the vector itself is
+    // sized once by the reactor (or the pre-thread restore path) and never
+    // resized.
+    std::vector<std::unique_ptr<FlowKvStore>> shards;
+
+    // Per-shard cached instruments, labeled (worker=shard, op=spec.name).
+    struct ShardObs {
+      obs::Counter* ops = nullptr;
+      obs::Counter* errors = nullptr;
+      obs::HistogramMetric* latency_ms = nullptr;
+    };
+    std::vector<ShardObs> shard_obs;
+
+    // Reactor-only: which shard an aligned window scan is draining.
+    std::unordered_map<Window, size_t, WindowHash> chunk_cursor;
+  };
+
+  struct PendingRequest {
+    uint64_t conn_id = 0;
+    uint64_t request_id = 0;
+    int64_t start_nanos = 0;
+    std::vector<OpRequest> ops;
+    // Final result per op. Slots for shard-routed ops are written by exactly
+    // one shard thread; fan-out ops are assembled by the reactor from
+    // `fanout_partials[op][shard]` after completion.
+    std::vector<OpResult> results;
+    std::vector<std::vector<OpResult>> fanout_partials;
+    std::atomic<size_t> remaining{0};  // outstanding shard tasks
+  };
+
+  struct ShardWorkItem {
+    size_t op_index = 0;
+    StoreEntry* store = nullptr;  // resolved by the reactor; null for kOpenStore pre-open
+  };
+
+  struct Barrier {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining = 0;
+    Status status;
+
+    void Done(const Status& s) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (status.ok() && !s.ok()) status = s;
+      if (--remaining == 0) cv.notify_all();
+    }
+    Status Wait() {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [this] { return remaining == 0; });
+      return status;
+    }
+  };
+
+  struct ShardTask {
+    enum class Kind { kOps, kDrainCheckpoint, kStop };
+    Kind kind = Kind::kOps;
+    std::shared_ptr<PendingRequest> pending;  // kOps
+    std::vector<ShardWorkItem> items;         // kOps
+    // kDrainCheckpoint:
+    StoreEntry* store = nullptr;
+    std::string checkpoint_dir;
+    std::shared_ptr<Barrier> barrier;
+  };
+
+  struct ShardQueue {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<ShardTask> tasks;
+  };
+
+  // ----- threads -----
+
+  void ReactorMain();
+  void ShardMain(int shard);
+
+  // ----- reactor helpers (reactor thread only) -----
+
+  void AcceptNewConnections();
+  void HandleReadable(Connection* conn);
+  void HandleRequest(Connection* conn, RequestMessage request);
+  void ProcessCompletions();
+  void FinishPending(const std::shared_ptr<PendingRequest>& pending);
+  void CloseConn(uint64_t conn_id);
+  int ShardForKey(const Slice& key) const {
+    return JumpConsistentHash(Hash64(key), options_.num_shards);
+  }
+  StoreEntry* FindStore(uint64_t id) {
+    std::lock_guard<std::mutex> lock(stores_mu_);
+    return id < stores_.size() ? stores_[id].get() : nullptr;
+  }
+  StoreEntry* CreateStoreEntry(const std::string& ns, const OperatorStateSpec& spec);
+  Status DrainCheckpoint();
+
+  // ----- shard helpers (shard thread `shard` only) -----
+
+  void ExecuteShardOp(int shard, StoreEntry* store, const OpRequest& op, OpResult* out);
+  Status OpenShardStore(int shard, StoreEntry* store,
+                        const std::string& restore_from = std::string());
+
+  std::string ShardStoreDir(int shard, const std::string& ns) const {
+    return JoinPath(JoinPath(options_.data_dir, "s" + std::to_string(shard)),
+                    SanitizeNs(ns));
+  }
+
+  // ----- checkpoint metadata -----
+
+  std::string SerializeStoresMeta();
+  Status RestoreFromLatestCheckpoint();
+
+  void PushShardTask(int shard, ShardTask task) {
+    ShardQueue& q = *shard_queues_[shard];
+    {
+      std::lock_guard<std::mutex> lock(q.mu);
+      q.tasks.push_back(std::move(task));
+    }
+    q.cv.notify_one();
+  }
+
+  void Wake() {
+    const char byte = 'w';
+    [[maybe_unused]] ssize_t n = ::write(wakeup_pipe_[1], &byte, 1);
+  }
+
+  void Join() {
+    if (reactor_.joinable()) reactor_.join();
+    for (std::thread& t : shard_threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  friend class Server;
+
+  ServerOptions options_;
+  int port_ = 0;
+  int listen_fd_ = -1;
+  int wakeup_pipe_[2] = {-1, -1};
+
+  std::thread reactor_;
+  std::vector<std::thread> shard_threads_;
+  std::vector<std::unique_ptr<ShardQueue>> shard_queues_;
+
+  std::atomic<bool> drain_requested_{false};
+  std::atomic<bool> stop_requested_{false};
+  Status final_status_;
+
+  // Store registry. Mutated only by the reactor (and the pre-thread restore
+  // path); the mutex covers the vector/map shape for cross-thread lookup.
+  mutable std::mutex stores_mu_;
+  std::vector<std::unique_ptr<StoreEntry>> stores_;
+  std::map<std::string, uint64_t> store_ids_;
+
+  // Reactor-owned connection table.
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 1;
+  size_t pending_count_ = 0;
+
+  // Shard -> reactor completion channel.
+  std::mutex completions_mu_;
+  std::vector<std::shared_ptr<PendingRequest>> completions_;
+
+  // Reactor-side instruments (created on the starting thread, label w=-1).
+  obs::Counter* m_conns_ = nullptr;
+  obs::Counter* m_requests_ = nullptr;
+  obs::Counter* m_frames_in_ = nullptr;
+  obs::Counter* m_bytes_in_ = nullptr;
+  obs::Counter* m_bytes_out_ = nullptr;
+  obs::Counter* m_protocol_errors_ = nullptr;
+  obs::Gauge* m_open_conns_ = nullptr;
+  obs::Gauge* m_pending_ = nullptr;
+  obs::HistogramMetric* m_request_latency_ms_ = nullptr;
+};
+
+Status Server::Impl::Init(const ServerOptions& options) {
+  options_ = options;
+  if (options_.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (options_.data_dir.empty()) {
+    return Status::InvalidArgument("data_dir is required");
+  }
+  FLOWKV_RETURN_IF_ERROR(CreateDirs(options_.data_dir));
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  m_conns_ = reg.GetCounter("server.conns_accepted");
+  m_requests_ = reg.GetCounter("server.requests");
+  m_frames_in_ = reg.GetCounter("server.frames_in");
+  m_bytes_in_ = reg.GetCounter("server.bytes_in");
+  m_bytes_out_ = reg.GetCounter("server.bytes_out");
+  m_protocol_errors_ = reg.GetCounter("server.protocol_errors");
+  m_open_conns_ = reg.GetGauge("server.open_conns");
+  m_pending_ = reg.GetGauge("server.pending_requests");
+  m_request_latency_ms_ = reg.GetHistogram("server.request_latency_ms");
+
+  if (!options_.checkpoint_dir.empty() && options_.restore) {
+    FLOWKV_RETURN_IF_ERROR(RestoreFromLatestCheckpoint());
+  }
+
+  if (::pipe(wakeup_pipe_) != 0) {
+    return Status::FromErrno("pipe");
+  }
+  FLOWKV_RETURN_IF_ERROR(SetNonBlocking(wakeup_pipe_[0]));
+  FLOWKV_RETURN_IF_ERROR(SetNonBlocking(wakeup_pipe_[1]));
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::FromErrno("socket");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad bind address: " + options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Status::FromErrno("bind " + options_.bind_address + ":" +
+                             std::to_string(options_.port));
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    return Status::FromErrno("listen");
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    return Status::FromErrno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  FLOWKV_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
+
+  shard_queues_.reserve(static_cast<size_t>(options_.num_shards));
+  for (int i = 0; i < options_.num_shards; ++i) {
+    shard_queues_.push_back(std::make_unique<ShardQueue>());
+  }
+  for (int i = 0; i < options_.num_shards; ++i) {
+    shard_threads_.emplace_back(&Impl::ShardMain, this, i);
+  }
+  reactor_ = std::thread(&Impl::ReactorMain, this);
+
+  FLOWKV_LOG(kInfo) << "flowkv_server listening " << LogKv("port", port_)
+                    << LogKv("shards", options_.num_shards);
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint metadata
+// ---------------------------------------------------------------------------
+
+std::string Server::Impl::SerializeStoresMeta() {
+  std::string meta;
+  PutFixed32(&meta, kStoresMetaMagic);
+  PutVarint32(&meta, 1);  // version
+  PutVarint32(&meta, static_cast<uint32_t>(options_.num_shards));
+  std::lock_guard<std::mutex> lock(stores_mu_);
+  PutVarint32(&meta, static_cast<uint32_t>(stores_.size()));
+  for (const auto& store : stores_) {
+    PutVarint64(&meta, store->id);
+    PutLengthPrefixed(&meta, store->ns);
+    EncodeStateSpec(&meta, store->spec);
+  }
+  PutFixed32(&meta, Checksum32(meta));
+  return meta;
+}
+
+Status Server::Impl::RestoreFromLatestCheckpoint() {
+  const std::string current_path = JoinPath(options_.checkpoint_dir, kCurrentName);
+  if (!FileExists(current_path)) {
+    return Status::Ok();  // nothing committed yet
+  }
+  std::string epoch_name;
+  FLOWKV_RETURN_IF_ERROR(ReadFileToString(current_path, &epoch_name));
+  while (!epoch_name.empty() && (epoch_name.back() == '\n' || epoch_name.back() == '\0')) {
+    epoch_name.pop_back();
+  }
+  const std::string epoch_dir = JoinPath(options_.checkpoint_dir, epoch_name);
+  std::string meta;
+  FLOWKV_RETURN_IF_ERROR(ReadFileToString(JoinPath(epoch_dir, kStoresMetaName), &meta));
+  if (meta.size() < 8) {
+    return Status::Corruption("stores.meta too short");
+  }
+  const uint32_t expected = DecodeFixed32(meta.data() + meta.size() - 4);
+  if (Checksum32(Slice(meta.data(), meta.size() - 4)) != expected) {
+    return Status::Corruption("stores.meta checksum mismatch");
+  }
+  Slice input(meta.data(), meta.size() - 4);
+  uint32_t magic = 0, version = 0, num_shards = 0, num_stores = 0;
+  if (!GetFixed32(&input, &magic) || magic != kStoresMetaMagic ||
+      !GetVarint32(&input, &version) || version != 1 ||
+      !GetVarint32(&input, &num_shards) || !GetVarint32(&input, &num_stores)) {
+    return Status::Corruption("malformed stores.meta header");
+  }
+  if (static_cast<int>(num_shards) != options_.num_shards) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(num_shards) + " shards, server configured with " +
+        std::to_string(options_.num_shards));
+  }
+
+  // Pre-thread startup path: no shard threads run yet, so restoring every
+  // shard's store on this thread keeps the single-writer contract.
+  for (uint32_t i = 0; i < num_stores; ++i) {
+    uint64_t id = 0;
+    Slice ns;
+    OperatorStateSpec spec;
+    if (!GetVarint64(&input, &id) || !GetLengthPrefixed(&input, &ns) ||
+        !DecodeStateSpec(&input, &spec)) {
+      return Status::Corruption("malformed stores.meta entry");
+    }
+    auto entry = std::make_unique<StoreEntry>();
+    entry->id = stores_.size();
+    if (entry->id != id) {
+      return Status::Corruption("stores.meta ids are not dense");
+    }
+    entry->ns = ns.ToString();
+    entry->spec = spec;
+    entry->pattern = ClassifyPattern(spec.incremental, spec.window_kind, spec.alignment_hint);
+    entry->shards.resize(static_cast<size_t>(options_.num_shards));
+    entry->shard_obs.resize(static_cast<size_t>(options_.num_shards));
+    for (int shard = 0; shard < options_.num_shards; ++shard) {
+      const std::string src =
+          JoinPath(epoch_dir, "s" + std::to_string(shard) + "_st" + std::to_string(id));
+      FLOWKV_RETURN_IF_ERROR(OpenShardStore(shard, entry.get(), src));
+    }
+    store_ids_[entry->ns] = entry->id;
+    stores_.push_back(std::move(entry));
+  }
+  FLOWKV_LOG(kInfo) << "restored server state " << LogKv("epoch", epoch_name)
+                    << LogKv("stores", num_stores);
+  return Status::Ok();
+}
+
+Status Server::Impl::OpenShardStore(int shard, StoreEntry* store,
+                                    const std::string& restore_from) {
+  const std::string dir = ShardStoreDir(shard, store->ns);
+  obs::OperatorScope op_scope(store->spec.name);
+  std::unique_ptr<FlowKvStore> kv;
+  Status s;
+  if (!restore_from.empty()) {
+    // Checkpoint state is authoritative: drop any live data left behind.
+    FLOWKV_RETURN_IF_ERROR(RemoveDirRecursively(dir));
+    s = FlowKvStore::RestoreFrom(restore_from, dir, options_.store_options, store->spec, &kv);
+  } else {
+    s = FlowKvStore::Open(dir, options_.store_options, store->spec, &kv);
+  }
+  if (s.ok()) {
+    store->shards[static_cast<size_t>(shard)] = std::move(kv);
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Reactor
+// ---------------------------------------------------------------------------
+
+void Server::Impl::ReactorMain() {
+  bool draining = false;
+  int64_t drain_flush_deadline = 0;
+
+  std::vector<pollfd> pfds;
+  std::vector<uint64_t> pfd_conn_ids;
+
+  while (true) {
+    if (stop_requested_.load(std::memory_order_acquire)) {
+      break;
+    }
+    if (!draining && drain_requested_.load(std::memory_order_acquire)) {
+      draining = true;
+      drain_flush_deadline =
+          MonotonicNanos() + static_cast<int64_t>(options_.drain_grace_ms) * 1'000'000;
+      FLOWKV_LOG(kInfo) << "drain requested " << LogKv("open_conns", conns_.size())
+                        << LogKv("pending", pending_count_);
+    }
+
+    if (draining && pending_count_ == 0) {
+      // Phase 2: give outboxes a grace period to deliver the final acks.
+      bool outboxes_empty = true;
+      for (const auto& kv : conns_) {
+        if (kv.second->has_pending_writes()) outboxes_empty = false;
+      }
+      if (outboxes_empty || MonotonicNanos() >= drain_flush_deadline) {
+        break;
+      }
+    }
+
+    pfds.clear();
+    pfd_conn_ids.clear();
+    pfds.push_back({wakeup_pipe_[0], POLLIN, 0});
+    pfd_conn_ids.push_back(0);
+    if (!draining) {
+      pfds.push_back({listen_fd_, POLLIN, 0});
+      pfd_conn_ids.push_back(0);
+    }
+    for (const auto& kv : conns_) {
+      Connection* conn = kv.second.get();
+      short events = 0;
+      if (!draining && !conn->over_outbox_budget()) {
+        events |= POLLIN;
+      }
+      if (conn->has_pending_writes()) {
+        events |= POLLOUT;
+      }
+      pfds.push_back({conn->fd(), events, 0});
+      pfd_conn_ids.push_back(conn->id());
+    }
+
+    const int timeout_ms = draining ? 10 : 500;
+    const int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (n < 0 && errno != EINTR) {
+      final_status_ = Status::FromErrno("poll");
+      break;
+    }
+
+    // Wakeup pipe: shard completions and drain/stop requests.
+    if (pfds[0].revents & POLLIN) {
+      char buf[256];
+      while (::read(wakeup_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    ProcessCompletions();
+
+    size_t idx = 1;
+    if (!draining) {
+      if (pfds[idx].revents & POLLIN) {
+        AcceptNewConnections();
+      }
+      ++idx;
+    }
+
+    std::vector<uint64_t> to_close;
+    for (; idx < pfds.size(); ++idx) {
+      auto it = conns_.find(pfd_conn_ids[idx]);
+      if (it == conns_.end()) {
+        continue;
+      }
+      Connection* conn = it->second.get();
+      if (pfds[idx].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        to_close.push_back(conn->id());
+        continue;
+      }
+      if (pfds[idx].revents & POLLOUT) {
+        if (!conn->FlushWrites().ok()) {
+          to_close.push_back(conn->id());
+          continue;
+        }
+        if (!conn->has_pending_writes() && conn->close_after_flush()) {
+          to_close.push_back(conn->id());
+          continue;
+        }
+      }
+      if (pfds[idx].revents & POLLIN) {
+        HandleReadable(conn);
+      }
+    }
+    for (uint64_t id : to_close) {
+      CloseConn(id);
+    }
+  }
+
+  // Shutdown: close the listen socket, run the drain checkpoint if this was
+  // a drain (not a hard stop), then stop the shard threads.
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  const bool clean_drain = draining && !stop_requested_.load(std::memory_order_acquire);
+  for (auto& kv : conns_) {
+    if (clean_drain) {
+      kv.second->FlushWrites();  // best effort: deliver remaining acks
+    }
+  }
+  conns_.clear();
+  m_open_conns_->Set(0);
+
+  if (clean_drain && !options_.checkpoint_dir.empty()) {
+    final_status_ = DrainCheckpoint();
+    if (!final_status_.ok()) {
+      FLOWKV_LOG(kError) << "drain checkpoint failed "
+                         << LogKv("status", final_status_.ToString());
+    }
+  }
+
+  for (int i = 0; i < options_.num_shards; ++i) {
+    ShardTask stop;
+    stop.kind = ShardTask::Kind::kStop;
+    PushShardTask(i, std::move(stop));
+  }
+}
+
+void Server::Impl::AcceptNewConnections() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      return;  // EAGAIN or transient error; retry next poll round
+    }
+    if (!SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const uint64_t id = next_conn_id_++;
+    conns_.emplace(id, std::make_unique<Connection>(id, fd, options_.max_outbox_bytes));
+    m_conns_->Add(1);
+    m_open_conns_->Set(static_cast<int64_t>(conns_.size()));
+  }
+}
+
+void Server::Impl::HandleReadable(Connection* conn) {
+  bool eof = false;
+  const size_t before = conn->buffered().size();
+  if (!conn->ReadFromSocket(&eof).ok()) {
+    CloseConn(conn->id());
+    return;
+  }
+  m_bytes_in_->Add(static_cast<int64_t>(conn->buffered().size() - before));
+
+  while (true) {
+    Slice buffered = conn->buffered();
+    Slice payload;
+    bool complete = false;
+    const size_t size_before = buffered.size();
+    const Status s = TryDecodeFrame(&buffered, &payload, &complete, options_.max_frame_bytes);
+    if (!s.ok()) {
+      // Oversized or corrupt frame: the byte stream cannot be resynced.
+      m_protocol_errors_->Add(1);
+      FLOWKV_LOG(kWarn) << "dropping connection on bad frame "
+                        << LogKv("status", s.ToString());
+      CloseConn(conn->id());
+      return;
+    }
+    if (!complete) {
+      break;
+    }
+    m_frames_in_->Add(1);
+    RequestMessage request;
+    const Status decode_status = DecodeRequest(payload, &request);
+    // The payload slice points into the connection buffer; consume only
+    // after decoding copied what it needs.
+    conn->Consume(size_before - buffered.size());
+    if (!decode_status.ok()) {
+      m_protocol_errors_->Add(1);
+      CloseConn(conn->id());
+      return;
+    }
+    HandleRequest(conn, std::move(request));
+    // HandleRequest may have closed the connection on a fatal error.
+    if (conns_.find(conn->id()) == conns_.end()) {
+      return;
+    }
+  }
+
+  if (eof) {
+    if (conn->has_pending_writes()) {
+      conn->set_close_after_flush();
+    } else {
+      CloseConn(conn->id());
+    }
+  }
+}
+
+Server::Impl::StoreEntry* Server::Impl::CreateStoreEntry(const std::string& ns,
+                                                         const OperatorStateSpec& spec) {
+  auto entry = std::make_unique<StoreEntry>();
+  StoreEntry* raw = entry.get();
+  entry->ns = ns;
+  entry->spec = spec;
+  entry->pattern = ClassifyPattern(spec.incremental, spec.window_kind, spec.alignment_hint);
+  entry->shards.resize(static_cast<size_t>(options_.num_shards));
+  entry->shard_obs.resize(static_cast<size_t>(options_.num_shards));
+  std::lock_guard<std::mutex> lock(stores_mu_);
+  entry->id = stores_.size();
+  store_ids_[ns] = entry->id;
+  stores_.push_back(std::move(entry));
+  return raw;
+}
+
+void Server::Impl::HandleRequest(Connection* conn, RequestMessage request) {
+  m_requests_->Add(1);
+  auto pending = std::make_shared<PendingRequest>();
+  pending->conn_id = conn->id();
+  pending->request_id = request.request_id;
+  pending->start_nanos = MonotonicNanos();
+  pending->ops = std::move(request.ops);
+  pending->results.resize(pending->ops.size());
+  pending->fanout_partials.resize(pending->ops.size());
+
+  std::vector<std::vector<ShardWorkItem>> shard_items(
+      static_cast<size_t>(options_.num_shards));
+
+  for (size_t i = 0; i < pending->ops.size(); ++i) {
+    const OpRequest& op = pending->ops[i];
+    OpResult& result = pending->results[i];
+    result.type = op.type;
+
+    if (op.type == OpType::kPing) {
+      result.status = Status::Ok();
+      continue;
+    }
+
+    if (op.type == OpType::kOpenStore) {
+      if (op.ns.empty()) {
+        result.status = Status::InvalidArgument("empty store namespace");
+        continue;
+      }
+      StoreEntry* store = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(stores_mu_);
+        auto it = store_ids_.find(op.ns);
+        if (it != store_ids_.end()) {
+          store = stores_[it->second].get();
+        }
+      }
+      if (store != nullptr) {
+        // Idempotent re-open (e.g. a client reconnecting after a server or
+        // client restart): hand back the existing id if the spec agrees.
+        const StorePattern pattern =
+            ClassifyPattern(op.spec.incremental, op.spec.window_kind, op.spec.alignment_hint);
+        if (pattern != store->pattern) {
+          result.status = Status::InvalidArgument(
+              "store " + op.ns + " already open with pattern " +
+              StorePatternName(store->pattern));
+        } else {
+          result.status = Status::Ok();
+          result.store_id = store->id;
+          result.pattern = store->pattern;
+        }
+        continue;
+      }
+      store = CreateStoreEntry(op.ns, op.spec);
+      pending->fanout_partials[i].resize(static_cast<size_t>(options_.num_shards));
+      for (int shard = 0; shard < options_.num_shards; ++shard) {
+        shard_items[static_cast<size_t>(shard)].push_back({i, store});
+      }
+      continue;
+    }
+
+    StoreEntry* store = FindStore(op.store_id);
+    if (store == nullptr) {
+      result.status = Status::InvalidArgument("unknown store id " +
+                                              std::to_string(op.store_id));
+      continue;
+    }
+
+    if (IsFanoutOp(op.type)) {
+      pending->fanout_partials[i].resize(static_cast<size_t>(options_.num_shards));
+      for (int shard = 0; shard < options_.num_shards; ++shard) {
+        shard_items[static_cast<size_t>(shard)].push_back({i, store});
+      }
+      continue;
+    }
+
+    if (op.type == OpType::kGetWindowChunk) {
+      // Aligned scans drain the shards in turn: route to the shard the
+      // reactor-held cursor points at; advance on its `done`.
+      size_t cursor = 0;
+      auto it = store->chunk_cursor.find(op.window);
+      if (it != store->chunk_cursor.end()) {
+        cursor = it->second;
+      } else {
+        store->chunk_cursor[op.window] = 0;
+      }
+      shard_items[cursor].push_back({i, store});
+      continue;
+    }
+
+    shard_items[static_cast<size_t>(ShardForKey(op.key))].push_back({i, store});
+  }
+
+  size_t tasks = 0;
+  for (const auto& items : shard_items) {
+    if (!items.empty()) ++tasks;
+  }
+  if (tasks == 0) {
+    FinishPending(pending);
+    return;
+  }
+  pending->remaining.store(tasks, std::memory_order_relaxed);
+  ++pending_count_;
+  m_pending_->Set(static_cast<int64_t>(pending_count_));
+  for (int shard = 0; shard < options_.num_shards; ++shard) {
+    auto& items = shard_items[static_cast<size_t>(shard)];
+    if (items.empty()) continue;
+    ShardTask task;
+    task.kind = ShardTask::Kind::kOps;
+    task.pending = pending;
+    task.items = std::move(items);
+    PushShardTask(shard, std::move(task));
+  }
+}
+
+void Server::Impl::ProcessCompletions() {
+  std::vector<std::shared_ptr<PendingRequest>> done;
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    done.swap(completions_);
+  }
+  for (const auto& pending : done) {
+    --pending_count_;
+    m_pending_->Set(static_cast<int64_t>(pending_count_));
+    FinishPending(pending);
+  }
+}
+
+void Server::Impl::FinishPending(const std::shared_ptr<PendingRequest>& pending) {
+  struct ChunkHop {
+    size_t op_index;
+    StoreEntry* store;
+    size_t shard;
+  };
+  std::vector<ChunkHop> redispatch;
+
+  // Assemble fan-out results and advance aligned-scan cursors.
+  for (size_t i = 0; i < pending->ops.size(); ++i) {
+    const OpRequest& op = pending->ops[i];
+    OpResult& result = pending->results[i];
+    auto& partials = pending->fanout_partials[i];
+    if (!partials.empty()) {
+      result.type = op.type;
+      result.status = Status::Ok();
+      for (const OpResult& partial : partials) {
+        if (!partial.status.ok() && result.status.ok()) {
+          result.status = partial.status;
+        }
+      }
+      if (result.status.ok()) {
+        switch (op.type) {
+          case OpType::kOpenStore:
+            result.store_id = partials[0].store_id;
+            result.pattern = partials[0].pattern;
+            break;
+          case OpType::kGatherStats: {
+            std::map<std::string, int64_t> merged;
+            for (const OpResult& partial : partials) {
+              for (const auto& [name, value] : partial.stat_fields) {
+                merged[name] += value;
+              }
+            }
+            result.stat_fields.assign(merged.begin(), merged.end());
+            break;
+          }
+          default:
+            break;  // kCheckpoint: status only
+        }
+      }
+    }
+
+    if (op.type == OpType::kGetWindowChunk && result.status.ok()) {
+      StoreEntry* store = FindStore(op.store_id);
+      if (store != nullptr && result.done) {
+        auto it = store->chunk_cursor.find(op.window);
+        size_t cursor = (it != store->chunk_cursor.end()) ? it->second : 0;
+        ++cursor;
+        if (cursor < static_cast<size_t>(options_.num_shards)) {
+          store->chunk_cursor[op.window] = cursor;
+          if (result.chunk.empty()) {
+            // The shard had nothing for this window: keep the request in
+            // flight on the next shard rather than burn a round trip on an
+            // empty reply. Bounded: each hop advances the cursor.
+            redispatch.push_back({i, store, cursor});
+          } else {
+            // This shard is drained; the next call continues on the next one.
+            result.done = false;
+          }
+        } else {
+          store->chunk_cursor.erase(op.window);
+        }
+      }
+    }
+  }
+
+  if (!redispatch.empty()) {
+    pending->remaining.store(redispatch.size(), std::memory_order_relaxed);
+    ++pending_count_;
+    m_pending_->Set(static_cast<int64_t>(pending_count_));
+    for (const auto& rd : redispatch) {
+      pending->results[rd.op_index] = OpResult{};
+      pending->results[rd.op_index].type = OpType::kGetWindowChunk;
+      ShardTask task;
+      task.kind = ShardTask::Kind::kOps;
+      task.pending = pending;
+      task.items.push_back({rd.op_index, rd.store});
+      PushShardTask(static_cast<int>(rd.shard), std::move(task));
+    }
+    return;  // reply deferred until the hop completes
+  }
+
+  m_request_latency_ms_->Record(
+      static_cast<double>(MonotonicNanos() - pending->start_nanos) / 1e6);
+
+  auto it = conns_.find(pending->conn_id);
+  if (it == conns_.end()) {
+    return;  // client went away; drop the response
+  }
+  ResponseMessage response;
+  response.request_id = pending->request_id;
+  response.results = std::move(pending->results);
+  std::string payload;
+  EncodeResponse(response, &payload);
+  std::string frame;
+  frame.reserve(payload.size() + kFrameHeaderBytes);
+  AppendFrame(&frame, payload);
+  m_bytes_out_->Add(static_cast<int64_t>(frame.size()));
+  Connection* conn = it->second.get();
+  conn->QueueFrame(std::move(frame));
+  // Opportunistic flush; anything the socket refuses stays queued for the
+  // poll loop (POLLOUT) to deliver.
+  if (!conn->FlushWrites().ok()) {
+    CloseConn(conn->id());
+  }
+}
+
+void Server::Impl::CloseConn(uint64_t conn_id) {
+  conns_.erase(conn_id);
+  m_open_conns_->Set(static_cast<int64_t>(conns_.size()));
+}
+
+Status Server::Impl::DrainCheckpoint() {
+  FLOWKV_RETURN_IF_ERROR(CreateDirs(options_.checkpoint_dir));
+  const std::string current_path = JoinPath(options_.checkpoint_dir, kCurrentName);
+
+  uint64_t epoch = 0;
+  if (FileExists(current_path)) {
+    std::string current;
+    FLOWKV_RETURN_IF_ERROR(ReadFileToString(current_path, &current));
+    if (current.rfind(kEpochPrefix, 0) == 0) {
+      epoch = std::strtoull(current.c_str() + sizeof(kEpochPrefix) - 1, nullptr, 10) + 1;
+    }
+  }
+  const std::string epoch_name = kEpochPrefix + std::to_string(epoch);
+  const std::string staged = JoinPath(options_.checkpoint_dir, epoch_name);
+  FLOWKV_RETURN_IF_ERROR(CreateDirs(staged));
+
+  // Every shard checkpoints its half of every store on its own thread
+  // (preserving single-writer access), joined by a barrier.
+  std::vector<StoreEntry*> entries;
+  {
+    std::lock_guard<std::mutex> lock(stores_mu_);
+    for (const auto& store : stores_) {
+      entries.push_back(store.get());
+    }
+  }
+  auto barrier = std::make_shared<Barrier>();
+  barrier->remaining = entries.size() * static_cast<size_t>(options_.num_shards);
+  if (barrier->remaining > 0) {
+    for (StoreEntry* store : entries) {
+      for (int shard = 0; shard < options_.num_shards; ++shard) {
+        ShardTask task;
+        task.kind = ShardTask::Kind::kDrainCheckpoint;
+        task.store = store;
+        task.checkpoint_dir = JoinPath(
+            staged, "s" + std::to_string(shard) + "_st" + std::to_string(store->id));
+        task.barrier = barrier;
+        PushShardTask(shard, std::move(task));
+      }
+    }
+    FLOWKV_RETURN_IF_ERROR(barrier->Wait());
+  }
+
+  FLOWKV_RETURN_IF_ERROR(
+      WriteFileDurably(JoinPath(staged, kStoresMetaName), SerializeStoresMeta()));
+  // Commit point, exactly as Pipeline::Checkpoint: CURRENT flips only after
+  // every shard's checkpoint and the store manifest are durable.
+  FLOWKV_RETURN_IF_ERROR(WriteFileDurably(current_path, epoch_name));
+  FLOWKV_LOG(kInfo) << "drain checkpoint committed " << LogKv("epoch", epoch_name)
+                    << LogKv("stores", entries.size());
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Shard workers
+// ---------------------------------------------------------------------------
+
+void Server::Impl::ShardMain(int shard) {
+  // Shard workers label their metrics with worker = shard id.
+  obs::WorkerScope worker_scope(shard);
+  ShardQueue& queue = *shard_queues_[static_cast<size_t>(shard)];
+  while (true) {
+    ShardTask task;
+    {
+      std::unique_lock<std::mutex> lock(queue.mu);
+      queue.cv.wait(lock, [&queue] { return !queue.tasks.empty(); });
+      task = std::move(queue.tasks.front());
+      queue.tasks.pop_front();
+    }
+    switch (task.kind) {
+      case ShardTask::Kind::kStop:
+        return;
+      case ShardTask::Kind::kDrainCheckpoint: {
+        FlowKvStore* kv = task.store->shards[static_cast<size_t>(shard)].get();
+        task.barrier->Done(kv == nullptr
+                               ? Status::FailedPrecondition("store not open on shard")
+                               : kv->CheckpointTo(task.checkpoint_dir));
+        break;
+      }
+      case ShardTask::Kind::kOps: {
+        PendingRequest* pending = task.pending.get();
+        for (const ShardWorkItem& item : task.items) {
+          const OpRequest& op = pending->ops[item.op_index];
+          OpResult* out = pending->fanout_partials[item.op_index].empty()
+                              ? &pending->results[item.op_index]
+                              : &pending->fanout_partials[item.op_index]
+                                     [static_cast<size_t>(shard)];
+          ExecuteShardOp(shard, item.store, op, out);
+        }
+        // acq_rel: the reactor's reads of our result slots happen after it
+        // observes the completion (via the queue mutex), and our writes
+        // happen before the decrement.
+        if (pending->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          {
+            std::lock_guard<std::mutex> lock(completions_mu_);
+            completions_.push_back(std::move(task.pending));
+          }
+          Wake();
+        }
+        break;
+      }
+    }
+  }
+}
+
+void Server::Impl::ExecuteShardOp(int shard, StoreEntry* store, const OpRequest& op,
+                                  OpResult* out) {
+  out->type = op.type;
+
+  if (op.type == OpType::kOpenStore) {
+    out->status = OpenShardStore(shard, store);
+    if (out->status.ok()) {
+      out->store_id = store->id;
+      out->pattern = store->pattern;
+    }
+    return;
+  }
+
+  FlowKvStore* kv = store->shards[static_cast<size_t>(shard)].get();
+  if (kv == nullptr) {
+    out->status = Status::FailedPrecondition("store " + store->ns + " not open on shard " +
+                                             std::to_string(shard));
+    return;
+  }
+
+  // Per-operator request metrics, labeled (worker=shard, op=operator name).
+  StoreEntry::ShardObs& so = store->shard_obs[static_cast<size_t>(shard)];
+  if (so.ops == nullptr) {
+    obs::OperatorScope op_scope(store->spec.name);
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    so.ops = reg.GetCounter("server.store_ops");
+    so.errors = reg.GetCounter("server.store_errors");
+    so.latency_ms = reg.GetHistogram("server.op_latency_ms");
+  }
+  const int64_t start = MonotonicNanos();
+
+  switch (op.type) {
+    case OpType::kAppendAligned:
+      out->status = kv->Append(op.key, op.value, op.window);
+      break;
+    case OpType::kGetWindowChunk:
+      out->status = kv->GetWindowChunk(op.window, &out->chunk, &out->done);
+      break;
+    case OpType::kAppendUnaligned:
+      out->status = kv->Append(op.key, op.value, op.window, op.timestamp);
+      break;
+    case OpType::kGetUnaligned:
+      out->status = kv->Get(op.key, op.window, &out->values);
+      break;
+    case OpType::kMergeWindows:
+      out->status = kv->MergeWindows(op.key, op.sources, op.window);
+      break;
+    case OpType::kRmwGet:
+      out->status = kv->Get(op.key, op.window, &out->accumulator);
+      break;
+    case OpType::kRmwPut:
+      out->status = kv->Put(op.key, op.window, op.value);
+      break;
+    case OpType::kRmwRemove:
+      out->status = kv->Remove(op.key, op.window);
+      break;
+    case OpType::kCheckpoint:
+      out->status = kv->CheckpointTo(JoinPath(op.path, "s" + std::to_string(shard)));
+      break;
+    case OpType::kGatherStats: {
+      StoreStats stats = kv->GatherStats();
+      stats.ForEachCounter([out](const char* name, RelaxedCounter& value) {
+        out->stat_fields.emplace_back(name, value.load());
+      });
+      out->status = Status::Ok();
+      break;
+    }
+    case OpType::kPing:
+    case OpType::kOpenStore:
+      out->status = Status::Internal("op routed to shard unexpectedly");
+      break;
+  }
+
+  so.ops->Add(1);
+  if (!out->status.ok() && !out->status.IsNotFound()) {
+    so.errors->Add(1);
+  }
+  so.latency_ms->Record(static_cast<double>(MonotonicNanos() - start) / 1e6);
+}
+
+// ---------------------------------------------------------------------------
+// Public surface
+// ---------------------------------------------------------------------------
+
+Status Server::Start(const ServerOptions& options, std::unique_ptr<Server>* out) {
+  auto server = std::unique_ptr<Server>(new Server());
+  server->impl_ = std::make_unique<Impl>();
+  FLOWKV_RETURN_IF_ERROR(server->impl_->Init(options));
+  server->port_ = server->impl_->port();
+  *out = std::move(server);
+  return Status::Ok();
+}
+
+Server::~Server() {
+  if (impl_ != nullptr) {
+    impl_->HardStop();
+  }
+}
+
+void Server::RequestDrain() { impl_->RequestDrain(); }
+
+Status Server::AwaitTermination() { return impl_->AwaitTermination(); }
+
+Status Server::DrainAndStop() {
+  impl_->RequestDrain();
+  return impl_->AwaitTermination();
+}
+
+void Server::Stop() { impl_->HardStop(); }
+
+}  // namespace net
+}  // namespace flowkv

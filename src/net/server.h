@@ -1,0 +1,103 @@
+// The FlowKV state server: a poll-based reactor accepting length-prefixed
+// protocol frames, plus N shard worker threads that each own one
+// single-threaded FlowKvStore per registered store (docs/NETWORK.md).
+//
+// Sharding model: keys consistent-hash to one of `num_shards` shard workers
+// (the same Hash64 the stores use), so the paper's single-writer-per-
+// partition contract holds end to end — a (key, store) pair is only ever
+// touched by one shard thread. A request batch is split into per-shard
+// sub-batches executed in op order; aligned window scans drain the shards
+// one at a time through a reactor-held cursor.
+//
+// Backpressure: per-connection bounded outboxes (reads pause while a
+// connection's responses back up). Shutdown: RequestDrain() — what the
+// flowkv_server binary's SIGTERM handler triggers — stops accepting, lets
+// in-flight requests finish, flushes outboxes, checkpoints every shard of
+// every store through CheckpointWriter, commits the epoch via CURRENT, and
+// stops. A server started on the same directories restores the committed
+// epoch, so no acknowledged state is lost across a drain/restart cycle.
+#ifndef SRC_NET_SERVER_H_
+#define SRC_NET_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/flowkv/flowkv_options.h"
+#include "src/net/protocol.h"
+
+namespace flowkv {
+namespace net {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  int port = 0;  // 0 = pick an ephemeral port; see Server::port()
+
+  // Shard workers; each owns one single-threaded FlowKvStore per store.
+  int num_shards = 2;
+
+  // Live store data lives under data_dir/s<shard>/<store-ns>.
+  std::string data_dir;
+
+  // Drain checkpoints commit under checkpoint_dir/epoch_<n> + CURRENT;
+  // empty disables both drain checkpointing and startup restore.
+  std::string checkpoint_dir;
+  // Restore the latest committed epoch at startup when one exists.
+  bool restore = true;
+
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  // Outbox budget per connection before reads are paused (backpressure).
+  size_t max_outbox_bytes = 4u << 20;
+  // How long a drain waits for client outboxes to flush before
+  // checkpointing anyway.
+  int drain_grace_ms = 2000;
+
+  FlowKvOptions store_options;
+};
+
+class Server {
+ public:
+  // Binds, listens, restores from the latest checkpoint (when configured),
+  // and starts the reactor + shard threads.
+  static Status Start(const ServerOptions& options, std::unique_ptr<Server>* out);
+
+  // Hard-stops without checkpointing if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // The bound port (useful with options.port == 0).
+  int port() const { return port_; }
+
+  // Async-signal-safe drain trigger: a SIGTERM handler may call this
+  // directly. The reactor finishes in-flight requests, checkpoints, and
+  // stops; join with AwaitTermination().
+  void RequestDrain();
+
+  // Blocks until the reactor and shard threads exit; returns the drain
+  // checkpoint status (OK when checkpointing is disabled).
+  Status AwaitTermination();
+
+  // RequestDrain() + AwaitTermination().
+  Status DrainAndStop();
+
+  // Immediate stop: closes connections without a drain checkpoint.
+  void Stop();
+
+ private:
+  class Impl;
+
+  Server() = default;
+
+  std::unique_ptr<Impl> impl_;
+  int port_ = 0;
+};
+
+}  // namespace net
+}  // namespace flowkv
+
+#endif  // SRC_NET_SERVER_H_

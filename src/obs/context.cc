@@ -22,5 +22,10 @@ PartitionScope::~PartitionScope() {
   t_context.pattern = saved_pattern_;
 }
 
+OperatorScope::OperatorScope(std::string op) : saved_op_(std::move(t_context.op)) {
+  t_context.op = std::move(op);
+}
+OperatorScope::~OperatorScope() { t_context.op = std::move(saved_op_); }
+
 }  // namespace obs
 }  // namespace flowkv

@@ -5,6 +5,8 @@
 #ifndef SRC_OBS_CONTEXT_H_
 #define SRC_OBS_CONTEXT_H_
 
+#include <string>
+
 namespace flowkv {
 namespace obs {
 
@@ -12,6 +14,7 @@ struct ThreadContext {
   int worker = -1;          // SPE worker id, -1 outside a worker thread
   int partition = -1;       // store partition id, -1 outside a partition scope
   const char* pattern = ""; // store pattern label ("aar", "aur", "rmw", ...)
+  std::string op;           // logical operator name, "" outside an operator scope
 };
 
 // The calling thread's current context (mutable reference).
@@ -45,6 +48,21 @@ class PartitionScope {
  private:
   int saved_partition_;
   const char* saved_pattern_;
+};
+
+// Sets the logical-operator label for the lifetime of the scope. Installed
+// where a backend creates per-operator stores and around server-side request
+// execution, so metrics separate per operator rather than only per store.
+class OperatorScope {
+ public:
+  explicit OperatorScope(std::string op);
+  ~OperatorScope();
+
+  OperatorScope(const OperatorScope&) = delete;
+  OperatorScope& operator=(const OperatorScope&) = delete;
+
+ private:
+  std::string saved_op_;
 };
 
 }  // namespace obs

@@ -15,6 +15,7 @@ MetricLabels LabelsFromContext(const char* pattern_override = nullptr) {
   labels.worker = ctx.worker;
   labels.partition = ctx.partition;
   labels.pattern = pattern_override != nullptr ? pattern_override : ctx.pattern;
+  labels.op = ctx.op;
   return labels;
 }
 
@@ -27,12 +28,37 @@ T* FindOrCreate(std::map<std::string, std::unique_ptr<T>>* m, const std::string&
   return it->second.get();
 }
 
+// Inverse of MetricLabels::Key(): key = name + "|w=<w>|p=<p>|o=<op>|<pattern>".
+MetricLabels ParseKey(const std::string& key, std::string* name) {
+  MetricLabels labels;
+  const size_t bar = key.find('|');
+  *name = key.substr(0, bar);
+  if (bar == std::string::npos) return labels;
+  int w = -1, p = -1;
+  int consumed = 0;
+  if (std::sscanf(key.c_str() + bar, "|w=%d|p=%d|o=%n", &w, &p, &consumed) >= 2 &&
+      consumed > 0) {
+    labels.worker = w;
+    labels.partition = p;
+    const size_t op_start = bar + static_cast<size_t>(consumed);
+    const size_t op_end = key.find('|', op_start);
+    if (op_end != std::string::npos) {
+      labels.op = key.substr(op_start, op_end - op_start);
+      labels.pattern = key.substr(op_end + 1);
+    }
+  }
+  return labels;
+}
+
 }  // namespace
 
 std::string MetricLabels::Key() const {
-  char buf[96];
-  std::snprintf(buf, sizeof(buf), "|w=%d|p=%d|%s", worker, partition, pattern.c_str());
-  return buf;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "|w=%d|p=%d|o=", worker, partition);
+  // The operator name is user-controlled free text, so it goes last-but-one
+  // delimited by '|' (operator names containing '|' would corrupt the key;
+  // none of the engine's name sources allow it).
+  return buf + op + "|" + pattern;
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -53,6 +79,28 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 TimerMetric* MetricsRegistry::GetTimer(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   return FindOrCreate(&timers_, name + LabelsFromContext().Key());
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(&histograms_, name + LabelsFromContext().Key());
+}
+
+std::vector<HistogramSample> MetricsRegistry::HistogramSnapshots() const {
+  std::vector<HistogramSample> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& kv : histograms_) {
+    HistogramSample s;
+    s.labels = ParseKey(kv.first, &s.name);
+    const Histogram hist = kv.second->SnapshotHistogram();
+    s.count = hist.count();
+    s.p50 = hist.Percentile(50);
+    s.p95 = hist.Percentile(95);
+    s.p99 = hist.Percentile(99);
+    s.max = hist.max();
+    out.push_back(std::move(s));
+  }
+  return out;
 }
 
 uint64_t MetricsRegistry::RegisterStoreStats(StoreStats* stats, const char* pattern) {
@@ -98,17 +146,7 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
   const StoreStats::CounterField* fields = StoreStats::CounterFields(&n);
   std::lock_guard<std::mutex> lock(mu_);
 
-  auto parse_key = [](const std::string& key, MetricSample* s) {
-    // key = name + "|w=<w>|p=<p>|<pattern>"
-    size_t bar = key.find('|');
-    s->name = key.substr(0, bar);
-    int w = -1, p = -1;
-    char pattern[64] = "";
-    std::sscanf(key.c_str() + bar, "|w=%d|p=%d|%63s", &w, &p, pattern);
-    s->labels.worker = w;
-    s->labels.partition = p;
-    s->labels.pattern = pattern;
-  };
+  auto parse_key = [](const std::string& key, MetricSample* s) { s->labels = ParseKey(key, &s->name); };
 
   for (const auto& kv : counters_) {
     MetricSample s;
@@ -150,14 +188,15 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
 std::string MetricsRegistry::SnapshotJson() const {
   std::vector<MetricSample> samples = Snapshot();
   std::string json = "[";
-  char buf[256];
+  char buf[320];
   for (size_t i = 0; i < samples.size(); ++i) {
     const MetricSample& s = samples[i];
     std::snprintf(buf, sizeof(buf),
-                  "%s{\"name\":\"%s\",\"worker\":%d,\"partition\":%d,\"pattern\":\"%s\","
-                  "\"kind\":\"%s\",\"value\":%lld}",
+                  "%s{\"name\":\"%s\",\"worker\":%d,\"partition\":%d,\"op\":\"%s\","
+                  "\"pattern\":\"%s\",\"kind\":\"%s\",\"value\":%lld}",
                   i == 0 ? "" : ",", s.name.c_str(), s.labels.worker, s.labels.partition,
-                  s.labels.pattern.c_str(), s.kind, static_cast<long long>(s.value));
+                  s.labels.op.c_str(), s.labels.pattern.c_str(), s.kind,
+                  static_cast<long long>(s.value));
     json += buf;
   }
   json += "]";
@@ -169,6 +208,7 @@ void MetricsRegistry::Reset() {
   for (auto& kv : counters_) *kv.second = Counter();
   for (auto& kv : gauges_) *kv.second = Gauge();
   for (auto& kv : timers_) *kv.second = TimerMetric();
+  for (auto& kv : histograms_) kv.second->Clear();
   stats_.clear();
 }
 

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/histogram.h"
 #include "src/common/relaxed_counter.h"
 #include "src/common/stats.h"
 
@@ -30,6 +31,7 @@ struct MetricLabels {
   int worker = -1;
   int partition = -1;
   std::string pattern;
+  std::string op;  // logical operator name ("" when outside an OperatorScope)
 
   std::string Key() const;  // canonical map-key / JSON fragment
 };
@@ -71,12 +73,48 @@ class TimerMetric {
   RelaxedCounter nanos_;
 };
 
+// Mutex-guarded latency/size distribution. Unlike the single-writer
+// instruments above it accepts concurrent writers (server shard threads all
+// record into the same request-latency histogram); Record is a short
+// critical section, and the reporter copies the histogram under the same
+// lock to compute percentile snapshots.
+class HistogramMetric {
+ public:
+  void Record(double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.Add(value);
+  }
+  Histogram SnapshotHistogram() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_;
+  }
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.Clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Histogram hist_;
+};
+
 // One row of a registry snapshot.
 struct MetricSample {
   std::string name;
   MetricLabels labels;
   const char* kind;  // "counter" | "gauge" | "timer_count" | "timer_nanos" | "stats"
   int64_t value = 0;
+};
+
+// Point-in-time percentile summary of one HistogramMetric.
+struct HistogramSample {
+  std::string name;
+  MetricLabels labels;
+  uint64_t count = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double max = 0;
 };
 
 class MetricsRegistry {
@@ -88,6 +126,7 @@ class MetricsRegistry {
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
   TimerMetric* GetTimer(const std::string& name);
+  HistogramMetric* GetHistogram(const std::string& name);
 
   // Registers a live StoreStats block for concurrent sampling, labeled with
   // the calling thread's context plus the given pattern. The caller must
@@ -103,6 +142,9 @@ class MetricsRegistry {
 
   // Point-in-time view of every instrument and registered stats counter.
   std::vector<MetricSample> Snapshot() const;
+  // Percentile snapshots (p50/p95/p99) of every registered histogram; the
+  // periodic reporter embeds these in its JSONL stream.
+  std::vector<HistogramSample> HistogramSnapshots() const;
   // Snapshot as a JSON array of {"name","worker","partition","pattern","kind","value"}.
   std::string SnapshotJson() const;
 
@@ -123,6 +165,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<TimerMetric>> timers_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
   std::vector<StatsEntry> stats_;
   uint64_t next_stats_id_ = 1;
 };

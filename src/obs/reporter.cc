@@ -99,6 +99,18 @@ void PeriodicReporter::EmitSample() {
         static_cast<long long>(stats.io.bytes_read),
         static_cast<long long>(stats.io.bytes_written));
   }
+
+  // Histogram percentile snapshots (e.g. server request latency): one line
+  // per registered histogram per tick, so tails are visible live without a
+  // trace file.
+  for (const HistogramSample& h : MetricsRegistry::Global().HistogramSnapshots()) {
+    std::fprintf(out_,
+                 "{\"ts_ms\":%lld,\"hist\":\"%s\",\"worker\":%d,\"op\":\"%s\","
+                 "\"count\":%llu,\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f,\"max\":%.3f}\n",
+                 static_cast<long long>(ts_ms), h.name.c_str(), h.labels.worker,
+                 h.labels.op.c_str(), static_cast<unsigned long long>(h.count), h.p50, h.p95,
+                 h.p99, h.max);
+  }
   std::fflush(out_);
 }
 

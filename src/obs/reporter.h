@@ -9,6 +9,9 @@
 //    "throughput_eps":X, "lag_ms":N, "writes":N, "reads":N,
 //    "prefetch_hit_ratio":X, "read_amplification":X, "compaction_nanos":N,
 //    "flushes":N, "io_bytes_read":N, "io_bytes_written":N}
+// plus, per registered HistogramMetric, one percentile-snapshot line per tick:
+//   {"ts_ms":<ms>, "hist":<name>, "worker":<id>, "op":<operator>,
+//    "count":N, "p50":X, "p95":X, "p99":X, "max":X}
 // ts_ms comes from the monotonic clock, so timestamps never go backwards.
 #ifndef SRC_OBS_REPORTER_H_
 #define SRC_OBS_REPORTER_H_

@@ -40,6 +40,41 @@ TEST(StatusTest, CodesAndMessages) {
   EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
 }
 
+TEST(StatusTest, NetworkCodes) {
+  Status timeout = Status::TimedOut("deadline exceeded");
+  EXPECT_FALSE(timeout.ok());
+  EXPECT_TRUE(timeout.IsTimedOut());
+  EXPECT_FALSE(timeout.IsIOError());  // distinct code so callers can branch
+  EXPECT_EQ(timeout.ToString(), "TimedOut: deadline exceeded");
+
+  Status reset = Status::ConnectionReset("peer went away");
+  EXPECT_FALSE(reset.ok());
+  EXPECT_TRUE(reset.IsConnectionReset());
+  EXPECT_FALSE(reset.IsTimedOut());
+  EXPECT_EQ(reset.ToString(), "ConnectionReset: peer went away");
+
+  EXPECT_STREQ(StatusCodeName(StatusCode::kTimedOut), "TimedOut");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kConnectionReset), "ConnectionReset");
+}
+
+TEST(StatusTest, FromCodeRoundTrip) {
+  // Every factory-producible status survives a (code, message) round trip —
+  // the wire representation used by src/net responses.
+  const Status samples[] = {
+      Status::Ok(),           Status::NotFound("a"),        Status::InvalidArgument("b"),
+      Status::IOError("c"),   Status::Corruption("d"),      Status::ResourceExhausted("e"),
+      Status::FailedPrecondition("f"), Status::Unimplemented("g"), Status::Internal("h"),
+      Status::TimedOut("i"),  Status::ConnectionReset("j"),
+  };
+  for (const Status& s : samples) {
+    const Status back = Status::FromCode(static_cast<uint8_t>(s.code()), s.message());
+    EXPECT_EQ(back.code(), s.code());
+    EXPECT_EQ(back.message(), s.message());
+  }
+  // Unknown codes map to kInternal, never to success.
+  EXPECT_EQ(Status::FromCode(250, "future code").code(), StatusCode::kInternal);
+}
+
 TEST(StatusTest, ReturnIfErrorMacro) {
   auto fails = [] { return Status::InvalidArgument("bad"); };
   auto wrapper = [&]() -> Status {

@@ -1,0 +1,370 @@
+// Wire-protocol robustness: frame and message round-trips under randomized
+// inputs, plus rejection of truncated, corrupted, and oversized frames. The
+// decoder must never crash, over-allocate, or silently accept a damaged
+// frame — a corrupt byte stream is detected and surfaced as a Status.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/net/protocol.h"
+
+namespace flowkv {
+namespace net {
+namespace {
+
+std::string RandomBytes(Random* rng, size_t max_len) {
+  std::string out;
+  const size_t len = rng->Uniform(max_len + 1);
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>(rng->Uniform(256)));
+  }
+  return out;
+}
+
+Window RandomWindow(Random* rng) {
+  const int64_t start = rng->Range(-1'000'000, 1'000'000);
+  return Window(start, start + rng->Range(0, 100'000));
+}
+
+// Populates exactly the fields the wire carries for the chosen type (the
+// encoding is per-type sparse; off-wire fields stay at their defaults).
+OpRequest RandomOpRequest(Random* rng) {
+  OpRequest op;
+  op.type = static_cast<OpType>(rng->Uniform(12));
+  switch (op.type) {
+    case OpType::kPing:
+      break;
+    case OpType::kOpenStore:
+      op.ns = "w0.op" + std::to_string(rng->Uniform(100)) + ".h0";
+      op.spec.name = "op" + std::to_string(rng->Uniform(100));
+      op.spec.window_kind = static_cast<WindowKind>(rng->Uniform(6));
+      op.spec.incremental = rng->Bernoulli(0.5);
+      op.spec.window_size_ms = rng->Range(0, 100'000);
+      op.spec.session_gap_ms = rng->Range(0, 10'000);
+      op.spec.alignment_hint = static_cast<ReadAlignmentHint>(rng->Uniform(3));
+      break;
+    case OpType::kMergeWindows:
+      op.store_id = rng->Next() % 1000;
+      op.key = RandomBytes(rng, 64);
+      for (uint64_t i = 0, n = rng->Uniform(5); i < n; ++i) {
+        op.sources.push_back(RandomWindow(rng));
+      }
+      op.window = RandomWindow(rng);
+      break;
+    case OpType::kAppendAligned:
+    case OpType::kAppendUnaligned:
+    case OpType::kRmwPut:
+      op.store_id = rng->Next() % 1000;
+      op.key = RandomBytes(rng, 64);
+      op.value = RandomBytes(rng, 512);
+      op.window = RandomWindow(rng);
+      if (op.type == OpType::kAppendUnaligned) {
+        op.timestamp = rng->Range(-1'000'000, 1'000'000);
+      }
+      break;
+    case OpType::kCheckpoint:
+      op.store_id = rng->Next() % 1000;
+      op.path = "/tmp/ckpt/" + std::to_string(rng->Uniform(100));
+      break;
+    case OpType::kGatherStats:
+      op.store_id = rng->Next() % 1000;
+      break;
+    case OpType::kGetWindowChunk:
+      op.store_id = rng->Next() % 1000;
+      op.window = RandomWindow(rng);
+      break;
+    default:  // kGetUnaligned, kRmwGet, kRmwRemove
+      op.store_id = rng->Next() % 1000;
+      op.key = RandomBytes(rng, 64);
+      op.window = RandomWindow(rng);
+      break;
+  }
+  return op;
+}
+
+void ExpectOpEq(const OpRequest& a, const OpRequest& b) {
+  EXPECT_EQ(a.type, b.type);
+  EXPECT_EQ(a.store_id, b.store_id);
+  EXPECT_EQ(a.ns, b.ns);
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.window, b.window);
+  EXPECT_EQ(a.sources, b.sources);
+  EXPECT_EQ(a.timestamp, b.timestamp);
+  EXPECT_EQ(a.path, b.path);
+  EXPECT_EQ(a.spec.name, b.spec.name);
+  EXPECT_EQ(a.spec.window_kind, b.spec.window_kind);
+  EXPECT_EQ(a.spec.incremental, b.spec.incremental);
+  EXPECT_EQ(a.spec.window_size_ms, b.spec.window_size_ms);
+  EXPECT_EQ(a.spec.session_gap_ms, b.spec.session_gap_ms);
+  EXPECT_EQ(a.spec.alignment_hint, b.spec.alignment_hint);
+}
+
+TEST(NetFrameTest, RoundTrip) {
+  Random rng(7);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::string payload = RandomBytes(&rng, 4096);
+    std::string wire;
+    AppendFrame(&wire, payload);
+    ASSERT_EQ(wire.size(), payload.size() + kFrameHeaderBytes);
+
+    Slice input(wire);
+    Slice decoded;
+    bool complete = false;
+    ASSERT_TRUE(TryDecodeFrame(&input, &decoded, &complete).ok());
+    ASSERT_TRUE(complete);
+    EXPECT_EQ(decoded.ToString(), payload);
+    EXPECT_TRUE(input.empty());
+  }
+}
+
+TEST(NetFrameTest, TruncatedFramesNeedMoreBytes) {
+  Random rng(11);
+  const std::string payload = RandomBytes(&rng, 1024) + "tail";
+  std::string wire;
+  AppendFrame(&wire, payload);
+
+  // Every strict prefix must report "incomplete" without consuming input.
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    Slice input(wire.data(), cut);
+    Slice decoded;
+    bool complete = true;
+    ASSERT_TRUE(TryDecodeFrame(&input, &decoded, &complete).ok()) << "cut=" << cut;
+    EXPECT_FALSE(complete) << "cut=" << cut;
+    EXPECT_EQ(input.size(), cut) << "input must be untouched";
+  }
+}
+
+TEST(NetFrameTest, CorruptPayloadRejected) {
+  Random rng(13);
+  int corruption_checked = 0;
+  for (int iter = 0; iter < 64; ++iter) {
+    const std::string payload = RandomBytes(&rng, 256) + "x";  // never empty
+    std::string wire;
+    AppendFrame(&wire, payload);
+
+    // Flip one random payload byte: the checksum must catch it.
+    std::string damaged = wire;
+    const size_t victim = kFrameHeaderBytes + rng.Uniform(payload.size());
+    damaged[victim] = static_cast<char>(damaged[victim] ^ (1 + rng.Uniform(255)));
+
+    Slice input(damaged);
+    Slice decoded;
+    bool complete = false;
+    const Status s = TryDecodeFrame(&input, &decoded, &complete);
+    if (s.ok()) {
+      // A header-length byte flip may turn into "incomplete" — fine too, the
+      // frame is never accepted as valid.
+      EXPECT_FALSE(complete);
+    } else {
+      EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+      ++corruption_checked;
+    }
+  }
+  EXPECT_GT(corruption_checked, 0);
+}
+
+TEST(NetFrameTest, CorruptChecksumRejected) {
+  std::string wire;
+  AppendFrame(&wire, "hello frame");
+  wire[5] ^= 0x40;  // inside the checksum field
+  Slice input(wire);
+  Slice decoded;
+  bool complete = false;
+  const Status s = TryDecodeFrame(&input, &decoded, &complete);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+TEST(NetFrameTest, OversizedFrameRejected) {
+  std::string wire;
+  AppendFrame(&wire, std::string(1024, 'a'));
+  Slice input(wire);
+  Slice decoded;
+  bool complete = false;
+  // Limit below the payload size: reject before buffering/allocating.
+  const Status s = TryDecodeFrame(&input, &decoded, &complete, /*max_payload_bytes=*/512);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.ToString();
+
+  // The same frame passes with a sufficient limit.
+  Slice ok_input(wire);
+  ASSERT_TRUE(TryDecodeFrame(&ok_input, &decoded, &complete, 2048).ok());
+  EXPECT_TRUE(complete);
+}
+
+TEST(NetFrameTest, PipelinedFramesDecodeInOrder)
+{
+  std::string wire;
+  std::vector<std::string> payloads = {"first", "", "third frame with more bytes"};
+  for (const auto& p : payloads) {
+    AppendFrame(&wire, p);
+  }
+  Slice input(wire);
+  for (const auto& expected : payloads) {
+    Slice decoded;
+    bool complete = false;
+    ASSERT_TRUE(TryDecodeFrame(&input, &decoded, &complete).ok());
+    ASSERT_TRUE(complete);
+    EXPECT_EQ(decoded.ToString(), expected);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(NetMessageTest, RequestRoundTripProperty) {
+  Random rng(29);
+  for (int iter = 0; iter < 100; ++iter) {
+    RequestMessage msg;
+    msg.request_id = rng.Next();
+    const uint64_t num_ops = rng.Uniform(8);
+    for (uint64_t i = 0; i < num_ops; ++i) {
+      msg.ops.push_back(RandomOpRequest(&rng));
+    }
+
+    std::string payload;
+    EncodeRequest(msg, &payload);
+    RequestMessage decoded;
+    ASSERT_TRUE(DecodeRequest(payload, &decoded).ok());
+    ASSERT_EQ(decoded.request_id, msg.request_id);
+    ASSERT_EQ(decoded.ops.size(), msg.ops.size());
+    for (size_t i = 0; i < msg.ops.size(); ++i) {
+      ExpectOpEq(decoded.ops[i], msg.ops[i]);
+    }
+  }
+}
+
+TEST(NetMessageTest, ResponseRoundTripProperty) {
+  Random rng(31);
+  for (int iter = 0; iter < 100; ++iter) {
+    ResponseMessage msg;
+    msg.request_id = rng.Next();
+    const uint64_t num = rng.Uniform(6);
+    for (uint64_t i = 0; i < num; ++i) {
+      OpResult r;
+      switch (rng.Uniform(5)) {
+        case 0:
+          r.type = OpType::kGetWindowChunk;
+          r.done = rng.Bernoulli(0.5);
+          for (uint64_t k = 0, n = rng.Uniform(4); k < n; ++k) {
+            WindowChunkEntry e;
+            e.key = RandomBytes(&rng, 32);
+            for (uint64_t v = 0, m = rng.Uniform(4); v < m; ++v) {
+              e.values.push_back(RandomBytes(&rng, 64));
+            }
+            r.chunk.push_back(std::move(e));
+          }
+          break;
+        case 1:
+          r.type = OpType::kGetUnaligned;
+          for (uint64_t v = 0, m = rng.Uniform(5); v < m; ++v) {
+            r.values.push_back(RandomBytes(&rng, 64));
+          }
+          break;
+        case 2:
+          r.type = OpType::kRmwGet;
+          if (rng.Bernoulli(0.3)) {
+            r.status = Status::NotFound("missing");
+          } else {
+            r.accumulator = RandomBytes(&rng, 128);
+          }
+          break;
+        case 3:
+          r.type = OpType::kOpenStore;
+          r.store_id = rng.Next() % 100;
+          r.pattern = static_cast<StorePattern>(rng.Uniform(3));
+          break;
+        default:
+          r.type = OpType::kGatherStats;
+          if (rng.Bernoulli(0.3)) {
+            r.status = Status::TimedOut("deadline");
+          } else {
+            for (uint64_t f = 0, m = rng.Uniform(4); f < m; ++f) {
+              r.stat_fields.emplace_back("field" + std::to_string(f),
+                                         rng.Range(-1000, 1000));
+            }
+          }
+          break;
+      }
+      msg.results.push_back(std::move(r));
+    }
+
+    std::string payload;
+    EncodeResponse(msg, &payload);
+    ResponseMessage decoded;
+    ASSERT_TRUE(DecodeResponse(payload, &decoded).ok());
+    ASSERT_EQ(decoded.request_id, msg.request_id);
+    ASSERT_EQ(decoded.results.size(), msg.results.size());
+    for (size_t i = 0; i < msg.results.size(); ++i) {
+      const OpResult& a = msg.results[i];
+      const OpResult& b = decoded.results[i];
+      EXPECT_EQ(a.type, b.type);
+      EXPECT_EQ(a.status.code(), b.status.code());
+      EXPECT_EQ(a.status.message(), b.status.message());
+      if (a.status.ok() || a.status.IsNotFound()) {
+        EXPECT_EQ(a.store_id, b.store_id);
+        EXPECT_EQ(a.pattern, b.pattern);
+        EXPECT_EQ(a.done, b.done);
+        EXPECT_EQ(a.values, b.values);
+        EXPECT_EQ(a.accumulator, b.accumulator);
+        EXPECT_EQ(a.stat_fields, b.stat_fields);
+        ASSERT_EQ(a.chunk.size(), b.chunk.size());
+        for (size_t k = 0; k < a.chunk.size(); ++k) {
+          EXPECT_EQ(a.chunk[k].key, b.chunk[k].key);
+          EXPECT_EQ(a.chunk[k].values, b.chunk[k].values);
+        }
+      }
+    }
+  }
+}
+
+TEST(NetMessageTest, GarbagePayloadNeverCrashes) {
+  Random rng(37);
+  int rejected = 0;
+  for (int iter = 0; iter < 500; ++iter) {
+    const std::string garbage = RandomBytes(&rng, 256);
+    RequestMessage request;
+    ResponseMessage response;
+    if (!DecodeRequest(garbage, &request).ok()) ++rejected;
+    if (!DecodeResponse(garbage, &response).ok()) ++rejected;
+  }
+  // Random bytes must be overwhelmingly rejected (a handful may parse as a
+  // trivial empty message — that is fine, they are structurally valid).
+  EXPECT_GT(rejected, 900);
+}
+
+TEST(NetMessageTest, TruncatedMessageRejected) {
+  RequestMessage msg;
+  msg.request_id = 42;
+  OpRequest op;
+  op.type = OpType::kRmwPut;
+  op.store_id = 3;
+  op.key = "some-key";
+  op.value = "some-value";
+  op.window = Window(100, 200);
+  msg.ops.push_back(op);
+
+  std::string payload;
+  EncodeRequest(msg, &payload);
+  for (size_t cut = 1; cut < payload.size(); ++cut) {
+    RequestMessage decoded;
+    EXPECT_FALSE(DecodeRequest(Slice(payload.data(), cut), &decoded).ok())
+        << "cut=" << cut;
+  }
+}
+
+TEST(NetMessageTest, TrailingBytesRejected) {
+  RequestMessage msg;
+  msg.request_id = 1;
+  std::string payload;
+  EncodeRequest(msg, &payload);
+  payload.push_back('\0');
+  RequestMessage decoded;
+  EXPECT_FALSE(DecodeRequest(payload, &decoded).ok());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace flowkv

@@ -1,0 +1,127 @@
+// flowkv_server: standalone FlowKV state service. Serves the src/net wire
+// protocol over TCP; the SPE connects through RemoteBackendFactory.
+//
+//   flowkv_server --data-dir=/var/lib/flowkv [--port=7330] [--shards=4]
+//                 [--checkpoint-dir=DIR] [--no-restore]
+//                 [--metrics-out=FILE.jsonl] [--metrics-interval-ms=1000]
+//
+// SIGTERM / SIGINT trigger a graceful drain: in-flight requests finish,
+// responses flush, every shard of every store checkpoints, and the epoch
+// commits — a server restarted on the same directories resumes from it.
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/common/logging.h"
+#include "src/net/server.h"
+#include "src/obs/reporter.h"
+
+namespace {
+
+flowkv::net::Server* g_server = nullptr;
+
+void HandleSignal(int /*signo*/) {
+  // RequestDrain is async-signal-safe (atomic store + pipe write).
+  if (g_server != nullptr) {
+    g_server->RequestDrain();
+  }
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --data-dir=DIR [--port=N] [--shards=N] [--bind=ADDR]\n"
+               "          [--checkpoint-dir=DIR] [--no-restore] [--drain-grace-ms=N]\n"
+               "          [--metrics-out=FILE.jsonl] [--metrics-interval-ms=N]\n"
+               "          [--read-batch-ratio=F] [--write-buffer-bytes=N]\n"
+               "          [--partitions-per-store=N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  flowkv::net::ServerOptions options;
+  options.port = 7330;
+  std::string metrics_out;
+  int metrics_interval_ms = 1000;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--port", &value)) {
+      options.port = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--bind", &value)) {
+      options.bind_address = value;
+    } else if (ParseFlag(argv[i], "--shards", &value)) {
+      options.num_shards = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--data-dir", &value)) {
+      options.data_dir = value;
+    } else if (ParseFlag(argv[i], "--checkpoint-dir", &value)) {
+      options.checkpoint_dir = value;
+    } else if (std::strcmp(argv[i], "--no-restore") == 0) {
+      options.restore = false;
+    } else if (ParseFlag(argv[i], "--drain-grace-ms", &value)) {
+      options.drain_grace_ms = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--metrics-out", &value)) {
+      metrics_out = value;
+    } else if (ParseFlag(argv[i], "--metrics-interval-ms", &value)) {
+      metrics_interval_ms = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--read-batch-ratio", &value)) {
+      // Store tuning lives server-side under disaggregation (paper §6
+      // "FlowKV Configuration"); expose the paper's knobs so remote runs
+      // can mirror an embedded configuration.
+      options.store_options.read_batch_ratio = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--write-buffer-bytes", &value)) {
+      options.store_options.write_buffer_bytes =
+          std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--partitions-per-store", &value)) {
+      options.store_options.num_partitions = std::atoi(value.c_str());
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (options.data_dir.empty()) {
+    return Usage(argv[0]);
+  }
+
+  flowkv::obs::PeriodicReporter reporter;
+  if (!metrics_out.empty() && !reporter.Start(metrics_out, metrics_interval_ms)) {
+    std::fprintf(stderr, "cannot open metrics file: %s\n", metrics_out.c_str());
+    return 1;
+  }
+
+  std::unique_ptr<flowkv::net::Server> server;
+  const flowkv::Status start = flowkv::net::Server::Start(options, &server);
+  if (!start.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", start.ToString().c_str());
+    return 1;
+  }
+  g_server = server.get();
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleSignal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  const flowkv::Status final = server->AwaitTermination();
+  g_server = nullptr;
+  reporter.Stop();
+  if (!final.ok()) {
+    std::fprintf(stderr, "drain failed: %s\n", final.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
