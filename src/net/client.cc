@@ -276,13 +276,17 @@ Status Client::SendRequest(std::vector<OpRequest> ops, std::vector<OpResult>* re
       if (last.ok()) {
         return Status::Ok();
       }
+      // Any failed attempt leaves the stream in an unknown state (a late or
+      // half-read response may still be queued on the socket); drop the
+      // connection so the next request starts on a fresh one instead of
+      // reading a stale frame and failing with a spurious id mismatch.
+      CloseSocket();
     }
     if (!last.IsConnectionReset()) {
       // Timeouts and hard errors are not retried: the request may have been
       // applied, and only the caller knows whether re-sending is safe.
       return last;
     }
-    CloseSocket();
   }
   return last;
 }

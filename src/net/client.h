@@ -14,6 +14,15 @@
 // reconnecting (the server may have restarted); a kTimedOut request is NOT
 // retried — the op may have been applied, and the caller decides whether
 // re-sending is safe for its pattern.
+//
+// Delivery semantics: automatic reset retries make writes at-least-once. If
+// the connection drops after the server executed a batch but before the
+// response arrived, the replayed batch re-applies its ops — idempotent ops
+// (Put/Remove, OpenStore) are unaffected, but Append/Merge can duplicate
+// values. Callers that cannot tolerate duplicates should checkpoint/replay
+// at a higher level (as the SPE's exactly-once recovery does) rather than
+// rely on the transport. Any failed attempt also closes the socket, so a
+// late response can never be mis-read as the reply to the next request.
 #ifndef SRC_NET_CLIENT_H_
 #define SRC_NET_CLIENT_H_
 

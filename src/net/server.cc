@@ -54,11 +54,20 @@ int JumpConsistentHash(uint64_t key, int num_buckets) {
   return static_cast<int>(b);
 }
 
+// Injective: distinct namespaces always map to distinct directory names.
+// Disallowed bytes (and the escape char itself) become %XX hex escapes.
 std::string SanitizeNs(const std::string& ns) {
-  std::string out = ns;
-  for (char& c : out) {
-    if (c == '/' || c == '\\' || c == '\0' || c == '.') {
-      c = '_';
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(ns.size());
+  for (const char ch : ns) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    if (c == '/' || c == '\\' || c == '\0' || c == '.' || c == '%' || c < 0x20) {
+      out.push_back('%');
+      out.push_back(kHex[c >> 4]);
+      out.push_back(kHex[c & 0xf]);
+    } else {
+      out.push_back(ch);
     }
   }
   return out;
@@ -117,6 +126,12 @@ class Server::Impl {
     std::string ns;
     OperatorStateSpec spec;
     StorePattern pattern = StorePattern::kReadModifyWrite;
+    // Reactor-only open lifecycle. A failed fan-out open leaves some shard
+    // slots null; a later kOpenStore for the same ns re-dispatches the
+    // per-shard opens (shards already open are skipped) instead of taking
+    // the idempotent OK path against a half-open store.
+    enum class OpenState { kOpening, kOpen, kFailed };
+    OpenState open_state = OpenState::kOpening;
     // Slot i is owned by shard thread i after dispatch; the vector itself is
     // sized once by the reactor (or the pre-thread restore path) and never
     // resized.
@@ -433,6 +448,7 @@ Status Server::Impl::RestoreFromLatestCheckpoint() {
     entry->ns = ns.ToString();
     entry->spec = spec;
     entry->pattern = ClassifyPattern(spec.incremental, spec.window_kind, spec.alignment_hint);
+    entry->open_state = StoreEntry::OpenState::kOpen;
     entry->shards.resize(static_cast<size_t>(options_.num_shards));
     entry->shard_obs.resize(static_cast<size_t>(options_.num_shards));
     for (int shard = 0; shard < options_.num_shards; ++shard) {
@@ -625,10 +641,14 @@ void Server::Impl::AcceptNewConnections() {
 }
 
 void Server::Impl::HandleReadable(Connection* conn) {
+  // HandleRequest can complete synchronously and destroy the connection on a
+  // failed flush, so keep the id rather than dereferencing `conn` to check
+  // liveness afterwards.
+  const uint64_t conn_id = conn->id();
   bool eof = false;
   const size_t before = conn->buffered().size();
   if (!conn->ReadFromSocket(&eof).ok()) {
-    CloseConn(conn->id());
+    CloseConn(conn_id);
     return;
   }
   m_bytes_in_->Add(static_cast<int64_t>(conn->buffered().size() - before));
@@ -644,7 +664,7 @@ void Server::Impl::HandleReadable(Connection* conn) {
       m_protocol_errors_->Add(1);
       FLOWKV_LOG(kWarn) << "dropping connection on bad frame "
                         << LogKv("status", s.ToString());
-      CloseConn(conn->id());
+      CloseConn(conn_id);
       return;
     }
     if (!complete) {
@@ -658,12 +678,13 @@ void Server::Impl::HandleReadable(Connection* conn) {
     conn->Consume(size_before - buffered.size());
     if (!decode_status.ok()) {
       m_protocol_errors_->Add(1);
-      CloseConn(conn->id());
+      CloseConn(conn_id);
       return;
     }
     HandleRequest(conn, std::move(request));
-    // HandleRequest may have closed the connection on a fatal error.
-    if (conns_.find(conn->id()) == conns_.end()) {
+    // HandleRequest may have closed (and freed) the connection on a fatal
+    // error; re-check liveness by id, never through `conn`.
+    if (conns_.find(conn_id) == conns_.end()) {
       return;
     }
   }
@@ -672,7 +693,7 @@ void Server::Impl::HandleReadable(Connection* conn) {
     if (conn->has_pending_writes()) {
       conn->set_close_after_flush();
     } else {
-      CloseConn(conn->id());
+      CloseConn(conn_id);
     }
   }
 }
@@ -738,10 +759,21 @@ void Server::Impl::HandleRequest(Connection* conn, RequestMessage request) {
           result.status = Status::InvalidArgument(
               "store " + op.ns + " already open with pattern " +
               StorePatternName(store->pattern));
-        } else {
+          continue;
+        }
+        if (store->open_state == StoreEntry::OpenState::kOpen) {
           result.status = Status::Ok();
           result.store_id = store->id;
           result.pattern = store->pattern;
+          continue;
+        }
+        // Previous open failed (or is still in flight): retry the per-shard
+        // opens. Shards whose slot is already populated return OK without
+        // touching it, so a concurrent or repeated open is harmless.
+        store->open_state = StoreEntry::OpenState::kOpening;
+        pending->fanout_partials[i].resize(static_cast<size_t>(options_.num_shards));
+        for (int shard = 0; shard < options_.num_shards; ++shard) {
+          shard_items[static_cast<size_t>(shard)].push_back({i, store});
         }
         continue;
       }
@@ -839,6 +871,15 @@ void Server::Impl::FinishPending(const std::shared_ptr<PendingRequest>& pending)
       for (const OpResult& partial : partials) {
         if (!partial.status.ok() && result.status.ok()) {
           result.status = partial.status;
+        }
+      }
+      if (op.type == OpType::kOpenStore) {
+        std::lock_guard<std::mutex> lock(stores_mu_);
+        auto sit = store_ids_.find(op.ns);
+        if (sit != store_ids_.end()) {
+          stores_[sit->second]->open_state = result.status.ok()
+                                                 ? StoreEntry::OpenState::kOpen
+                                                 : StoreEntry::OpenState::kFailed;
         }
       }
       if (result.status.ok()) {
@@ -1042,7 +1083,11 @@ void Server::Impl::ExecuteShardOp(int shard, StoreEntry* store, const OpRequest&
   out->type = op.type;
 
   if (op.type == OpType::kOpenStore) {
-    out->status = OpenShardStore(shard, store);
+    // Retried opens only fill shards a previous attempt left null; this
+    // thread owns its slot, so the check is race-free.
+    out->status = store->shards[static_cast<size_t>(shard)] != nullptr
+                      ? Status::Ok()
+                      : OpenShardStore(shard, store);
     if (out->status.ok()) {
       out->store_id = store->id;
       out->pattern = store->pattern;

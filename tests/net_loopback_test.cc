@@ -6,14 +6,18 @@
 #include <gtest/gtest.h>
 
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/env.h"
@@ -303,6 +307,60 @@ TEST_F(NetLoopbackTest, ClientReconnectsAcrossRestart) {
   EXPECT_EQ(acc, "before");
 }
 
+TEST_F(NetLoopbackTest, DistinctNamespacesDoNotCollideOnDisk) {
+  // "w0.q7" and "w0_q7" used to sanitize to the same directory name, silently
+  // sharing one store's files; the escaping must be injective.
+  auto client = MakeClient();
+  uint64_t h1 = 0, h2 = 0;
+  ASSERT_TRUE(client->OpenStore("w0.q7", RmwSpec("collide-a"), &h1, nullptr).ok());
+  ASSERT_TRUE(client->OpenStore("w0_q7", RmwSpec("collide-b"), &h2, nullptr).ok());
+  const Window w(0, 1000);
+  ASSERT_TRUE(client->RmwPut(h1, "k", w, "from-dotted").ok());
+  ASSERT_TRUE(client->RmwPut(h2, "k", w, "from-underscored").ok());
+  ASSERT_TRUE(client->Flush().ok());
+
+  std::string acc;
+  ASSERT_TRUE(client->RmwGet(h1, "k", w, &acc).ok());
+  EXPECT_EQ(acc, "from-dotted");
+  ASSERT_TRUE(client->RmwGet(h2, "k", w, &acc).ok());
+  EXPECT_EQ(acc, "from-underscored");
+
+  // And the two stores occupy two distinct directories on every shard.
+  std::vector<std::string> entries;
+  ASSERT_TRUE(ListDir(JoinPath(options_.data_dir, "s0"), &entries).ok());
+  EXPECT_EQ(entries.size(), 2u) << "namespaces collided onto one directory";
+}
+
+TEST_F(NetLoopbackTest, FailedOpenIsRetriableNotPoisoned) {
+  // Plant a regular file where shard 0's store directory would go, so its
+  // per-shard open fails while the other shards succeed.
+  ASSERT_TRUE(CreateDirs(JoinPath(options_.data_dir, "s0")).ok());
+  const std::string blocker = JoinPath(JoinPath(options_.data_dir, "s0"), "failstore");
+  ASSERT_TRUE(WriteStringToFile(blocker, "in the way").ok());
+
+  auto client = MakeClient();
+  uint64_t h = 0;
+  EXPECT_FALSE(client->OpenStore("failstore", RmwSpec("fail-op"), &h, nullptr).ok());
+
+  // A half-open entry must not satisfy a later open idempotently: once the
+  // obstruction is gone, re-opening the same namespace retries the failed
+  // shards and the store becomes fully usable.
+  ASSERT_EQ(::unlink(blocker.c_str()), 0);
+  ASSERT_TRUE(client->OpenStore("failstore", RmwSpec("fail-op"), &h, nullptr).ok());
+  const Window w(0, 1000);
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    ASSERT_TRUE(client->RmwPut(h, key, w, "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(client->Flush().ok());
+  for (int i = 0; i < 50; ++i) {
+    std::string acc;
+    ASSERT_TRUE(client->RmwGet(h, "k" + std::to_string(i), w, &acc).ok())
+        << "op failed against a store that reported a successful open";
+    EXPECT_EQ(acc, "v" + std::to_string(i));
+  }
+}
+
 TEST_F(NetLoopbackTest, OversizedFrameDropsConnection) {
   // Handshake-free raw socket: claim a payload far beyond the server's limit.
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -329,6 +387,101 @@ TEST_F(NetLoopbackTest, OversizedFrameDropsConnection) {
   // And the server stays healthy for well-behaved clients.
   auto client = MakeClient();
   EXPECT_TRUE(client->Ping().ok());
+}
+
+// Blocking-socket helpers for the fake servers below.
+bool ReadOneRequest(int fd, RequestMessage* request) {
+  std::string buf;
+  char chunk[4096];
+  while (true) {
+    Slice input(buf);
+    Slice payload;
+    bool complete = false;
+    if (!TryDecodeFrame(&input, &payload, &complete).ok()) {
+      return false;
+    }
+    if (complete) {
+      return DecodeRequest(payload, request).ok();
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      return false;
+    }
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void WriteOkResponse(int fd, const RequestMessage& request) {
+  ResponseMessage response;
+  response.request_id = request.request_id;
+  response.results.resize(request.ops.size());
+  std::string payload;
+  EncodeResponse(response, &payload);
+  std::string frame;
+  AppendFrame(&frame, payload);
+  ::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+}
+
+TEST(NetClientStaleFrameTest, LateResponseAfterTimeoutDoesNotPoisonNextRequest) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(listen_fd, 2), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+
+  // Fake server: the first connection's reply lands only after the client
+  // gave up on it; a second connection is then served promptly.
+  std::atomic<bool> stale_sent{false};
+  std::thread fake([listen_fd, &stale_sent] {
+    const int c1 = ::accept(listen_fd, nullptr, nullptr);
+    if (c1 < 0) return;
+    RequestMessage req1;
+    if (ReadOneRequest(c1, &req1)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(600));
+      WriteOkResponse(c1, req1);  // stale: the client timed out long ago
+    }
+    stale_sent.store(true);
+    // Bounded wait for the reconnect, so a regression (client never
+    // reconnects) fails the test instead of hanging it on join().
+    pollfd pfd = {listen_fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 10'000) > 0) {
+      const int c2 = ::accept(listen_fd, nullptr, nullptr);
+      if (c2 >= 0) {
+        RequestMessage req2;
+        if (ReadOneRequest(c2, &req2)) {
+          WriteOkResponse(c2, req2);
+        }
+        ::close(c2);
+      }
+    }
+    ::close(c1);
+  });
+
+  ClientOptions copts;
+  copts.port = ntohs(addr.sin_port);
+  copts.request_timeout_ms = 300;
+  copts.reconnect_backoff_ms = 1;
+  std::unique_ptr<Client> client;
+  ASSERT_TRUE(Client::Connect(copts, &client).ok());
+  EXPECT_TRUE(client->Ping().IsTimedOut());
+
+  // Wait until the late frame is definitely queued, then issue the next
+  // request. The timed-out attempt must have dropped its connection —
+  // otherwise this reads the stale frame and fails with an id mismatch.
+  while (!stale_sent.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const Status s = client->Ping();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+
+  fake.join();
+  ::close(listen_fd);
 }
 
 TEST(NetClientTimeoutTest, UnresponsivePeerTimesOut) {
