@@ -1,10 +1,13 @@
 #include "src/backends/remote_backend.h"
 
 #include <cstring>
+#include <deque>
+#include <functional>
 #include <utility>
 #include <vector>
 
 #include "src/common/env.h"
+#include "src/obs/metrics.h"
 
 namespace flowkv {
 
@@ -12,81 +15,190 @@ namespace {
 
 using net::Client;
 
+// A service outage the buffer papers over: the connection is gone (and the
+// client's retries/failover ran dry) or the server shed the batch.
+bool IsOutage(const Status& s) { return s.IsConnectionReset() || s.IsOverloaded(); }
+
+// Bounded in-order replay buffer for a backend's writes. Single-threaded,
+// like the backend that owns it (one backend per physical operator).
+class ReplayBuffer {
+ public:
+  ReplayBuffer(std::shared_ptr<Client> client, size_t max_bytes)
+      : client_(std::move(client)), max_bytes_(max_bytes) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    m_buffered_ = reg.GetCounter("remote.buffered_writes");
+    m_replayed_ = reg.GetCounter("remote.replayed_writes");
+  }
+
+  // Executes `op` now, preserving order with anything already buffered; on
+  // an outage, holds it (within the byte bound) instead of failing the
+  // caller.
+  Status Write(std::function<Status(Client*)> op, size_t bytes) {
+    if (!ops_.empty()) {
+      const Status drained = Drain();
+      if (!drained.ok() && !IsOutage(drained)) {
+        return drained;
+      }
+      if (!ops_.empty()) {
+        return Buffer(std::move(op), bytes);  // still down; queue behind
+      }
+    }
+    const Status s = op(client_.get());
+    if (max_bytes_ > 0 && IsOutage(s)) {
+      return Buffer(std::move(op), bytes);
+    }
+    return s;
+  }
+
+  // Replays buffered writes in order. Reads call this first so they never
+  // observe state missing a buffered write. Returns the outage status while
+  // the service is still unreachable (ops stay queued); a non-outage replay
+  // failure drops the op and surfaces the error.
+  Status Drain() {
+    while (!ops_.empty()) {
+      const Status s = ops_.front().first(client_.get());
+      if (IsOutage(s)) {
+        return s;
+      }
+      buffered_bytes_ -= ops_.front().second;
+      ops_.pop_front();
+      m_replayed_->Add(1);
+      if (!s.ok()) {
+        return s;
+      }
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Status Buffer(std::function<Status(Client*)> op, size_t bytes) {
+    if (buffered_bytes_ + bytes > max_bytes_) {
+      return Status::ResourceExhausted(
+          "remote replay buffer full (" + std::to_string(buffered_bytes_) + " of " +
+          std::to_string(max_bytes_) + " bytes) and the state service is unreachable");
+    }
+    buffered_bytes_ += bytes;
+    ops_.emplace_back(std::move(op), bytes);
+    m_buffered_->Add(1);
+    return Status::Ok();
+  }
+
+  std::shared_ptr<Client> client_;
+  const size_t max_bytes_;
+  size_t buffered_bytes_ = 0;
+  std::deque<std::pair<std::function<Status(Client*)>, size_t>> ops_;
+  obs::Counter* m_buffered_ = nullptr;
+  obs::Counter* m_replayed_ = nullptr;
+};
+
+// Rough wire cost of a buffered op, for the byte bound.
+size_t OpCost(const Slice& key, const Slice& value) { return key.size() + value.size() + 64; }
+
 class RemoteAarState : public AppendAlignedState {
  public:
-  RemoteAarState(std::shared_ptr<Client> client, uint64_t handle)
-      : client_(std::move(client)), handle_(handle) {}
+  RemoteAarState(std::shared_ptr<Client> client, std::shared_ptr<ReplayBuffer> buffer,
+                 uint64_t handle)
+      : client_(std::move(client)), buffer_(std::move(buffer)), handle_(handle) {}
 
   Status Append(const Slice& key, const Slice& value, const Window& w) override {
-    return client_->AppendAligned(handle_, key, value, w);
+    return buffer_->Write(
+        [h = handle_, k = key.ToString(), v = value.ToString(), w](Client* c) {
+          return c->AppendAligned(h, k, v, w);
+        },
+        OpCost(key, value));
   }
 
   Status GetWindowChunk(const Window& w, std::vector<WindowChunkEntry>* chunk,
                         bool* done) override {
+    FLOWKV_RETURN_IF_ERROR(buffer_->Drain());
     return client_->GetWindowChunk(handle_, w, chunk, done);
   }
 
  private:
   std::shared_ptr<Client> client_;
+  std::shared_ptr<ReplayBuffer> buffer_;
   uint64_t handle_;
 };
 
 class RemoteAurState : public AppendUnalignedState {
  public:
-  RemoteAurState(std::shared_ptr<Client> client, uint64_t handle)
-      : client_(std::move(client)), handle_(handle) {}
+  RemoteAurState(std::shared_ptr<Client> client, std::shared_ptr<ReplayBuffer> buffer,
+                 uint64_t handle)
+      : client_(std::move(client)), buffer_(std::move(buffer)), handle_(handle) {}
 
   Status Append(const Slice& key, const Slice& value, const Window& w,
                 int64_t timestamp) override {
-    return client_->AppendUnaligned(handle_, key, value, w, timestamp);
+    return buffer_->Write(
+        [h = handle_, k = key.ToString(), v = value.ToString(), w, timestamp](Client* c) {
+          return c->AppendUnaligned(h, k, v, w, timestamp);
+        },
+        OpCost(key, value));
   }
 
   Status Get(const Slice& key, const Window& w, std::vector<std::string>* values) override {
+    FLOWKV_RETURN_IF_ERROR(buffer_->Drain());
     return client_->GetUnaligned(handle_, key, w, values);
   }
 
   Status MergeWindows(const Slice& key, const std::vector<Window>& sources,
                       const Window& dst) override {
-    return client_->MergeWindows(handle_, key, sources, dst);
+    return buffer_->Write(
+        [h = handle_, k = key.ToString(), sources, dst](Client* c) {
+          return c->MergeWindows(h, k, sources, dst);
+        },
+        OpCost(key, Slice()) + sources.size() * sizeof(Window));
   }
 
  private:
   std::shared_ptr<Client> client_;
+  std::shared_ptr<ReplayBuffer> buffer_;
   uint64_t handle_;
 };
 
 class RemoteRmwState : public RmwState {
  public:
-  RemoteRmwState(std::shared_ptr<Client> client, uint64_t handle)
-      : client_(std::move(client)), handle_(handle) {}
+  RemoteRmwState(std::shared_ptr<Client> client, std::shared_ptr<ReplayBuffer> buffer,
+                 uint64_t handle)
+      : client_(std::move(client)), buffer_(std::move(buffer)), handle_(handle) {}
 
   Status Get(const Slice& key, const Window& w, std::string* accumulator) override {
+    FLOWKV_RETURN_IF_ERROR(buffer_->Drain());
     return client_->RmwGet(handle_, key, w, accumulator);
   }
 
   Status Put(const Slice& key, const Window& w, const Slice& accumulator) override {
-    return client_->RmwPut(handle_, key, w, accumulator);
+    return buffer_->Write(
+        [h = handle_, k = key.ToString(), v = accumulator.ToString(), w](Client* c) {
+          return c->RmwPut(h, k, w, v);
+        },
+        OpCost(key, accumulator));
   }
 
   Status Remove(const Slice& key, const Window& w) override {
-    return client_->RmwRemove(handle_, key, w);
+    return buffer_->Write(
+        [h = handle_, k = key.ToString(), w](Client* c) { return c->RmwRemove(h, k, w); },
+        OpCost(key, Slice()));
   }
 
  private:
   std::shared_ptr<Client> client_;
+  std::shared_ptr<ReplayBuffer> buffer_;
   uint64_t handle_;
 };
 
 class RemoteBackend : public StateBackend {
  public:
-  RemoteBackend(std::shared_ptr<Client> client, std::string ns_prefix)
-      : client_(std::move(client)), ns_prefix_(std::move(ns_prefix)) {}
+  RemoteBackend(std::shared_ptr<Client> client, std::string ns_prefix,
+                size_t replay_buffer_bytes)
+      : client_(std::move(client)),
+        buffer_(std::make_shared<ReplayBuffer>(client_, replay_buffer_bytes)),
+        ns_prefix_(std::move(ns_prefix)) {}
 
   Status CreateAppendAligned(const OperatorStateSpec& spec,
                              std::unique_ptr<AppendAlignedState>* out) override {
     uint64_t handle = 0;
     FLOWKV_RETURN_IF_ERROR(OpenStore(spec, StorePattern::kAppendAligned, &handle));
-    *out = std::make_unique<RemoteAarState>(client_, handle);
+    *out = std::make_unique<RemoteAarState>(client_, buffer_, handle);
     return Status::Ok();
   }
 
@@ -94,14 +206,14 @@ class RemoteBackend : public StateBackend {
                                std::unique_ptr<AppendUnalignedState>* out) override {
     uint64_t handle = 0;
     FLOWKV_RETURN_IF_ERROR(OpenStore(spec, StorePattern::kAppendUnaligned, &handle));
-    *out = std::make_unique<RemoteAurState>(client_, handle);
+    *out = std::make_unique<RemoteAurState>(client_, buffer_, handle);
     return Status::Ok();
   }
 
   Status CreateRmw(const OperatorStateSpec& spec, std::unique_ptr<RmwState>* out) override {
     uint64_t handle = 0;
     FLOWKV_RETURN_IF_ERROR(OpenStore(spec, StorePattern::kReadModifyWrite, &handle));
-    *out = std::make_unique<RemoteRmwState>(client_, handle);
+    *out = std::make_unique<RemoteRmwState>(client_, buffer_, handle);
     return Status::Ok();
   }
 
@@ -127,6 +239,8 @@ class RemoteBackend : public StateBackend {
   }
 
   Status CheckpointTo(const std::string& checkpoint_dir) const override {
+    // A checkpoint must capture buffered writes, not skip over them.
+    FLOWKV_RETURN_IF_ERROR(buffer_->Drain());
     // Server-local path: meaningful when the server shares a filesystem with
     // the engine (tests, single-box deployments). The server's own drain
     // checkpoint is the durability mechanism for remote deployments.
@@ -153,6 +267,7 @@ class RemoteBackend : public StateBackend {
   }
 
   std::shared_ptr<Client> client_;
+  std::shared_ptr<ReplayBuffer> buffer_;
   std::string ns_prefix_;
   std::vector<uint64_t> handles_;
 };
@@ -173,7 +288,7 @@ Status RemoteBackendFactory::CreateBackend(int worker, const std::string& operat
   FLOWKV_RETURN_IF_ERROR(Client::Connect(options_, &client));
   const std::string ns_prefix = "w" + std::to_string(worker) + "." + operator_name;
   *out = std::make_unique<RemoteBackend>(std::shared_ptr<Client>(std::move(client)),
-                                         ns_prefix);
+                                         ns_prefix, replay_buffer_bytes_);
   return Status::Ok();
 }
 

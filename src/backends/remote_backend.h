@@ -21,9 +21,18 @@ namespace flowkv {
 class RemoteBackendFactory : public StateBackendFactory {
  public:
   // `options.host`/`options.port` locate the server; the rest tune timeouts,
-  // reconnect backoff, and write batching.
+  // reconnect backoff, retry budgets, and failover endpoints.
   explicit RemoteBackendFactory(net::ClientOptions options);
   RemoteBackendFactory(const std::string& host, int port);
+
+  // Optional bounded local buffering: when > 0, a write that still fails
+  // with kConnectionReset or kOverloaded after the client's own retries and
+  // failover is held locally (up to this many bytes per backend) and
+  // replayed, in order, before the next call that reaches the server. Reads
+  // drain the buffer first so they never observe a gap the buffer would
+  // later fill. Once the bound is hit writes fail with kResourceExhausted —
+  // backpressure, not silent loss. 0 (default) disables buffering.
+  void set_replay_buffer_bytes(size_t bytes) { replay_buffer_bytes_ = bytes; }
 
   Status CreateBackend(int worker, const std::string& operator_name,
                        std::unique_ptr<StateBackend>* out) override;
@@ -32,6 +41,7 @@ class RemoteBackendFactory : public StateBackendFactory {
 
  private:
   net::ClientOptions options_;
+  size_t replay_buffer_bytes_ = 0;
 };
 
 }  // namespace flowkv

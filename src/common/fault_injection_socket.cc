@@ -1,0 +1,167 @@
+#include "src/common/fault_injection_socket.h"
+
+#include <chrono>
+#include <thread>
+
+namespace flowkv {
+
+FaultInjectionSocket::FaultInjectionSocket(uint64_t seed) : rng_(seed) {}
+
+void FaultInjectionSocket::SetPlan(const SocketFaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = plan;
+  connect_fail_at_ = send_reset_at_ = recv_reset_at_ = -1;
+}
+
+void FaultInjectionSocket::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = SocketFaultPlan();
+  connect_fail_at_ = send_reset_at_ = recv_reset_at_ = -1;
+}
+
+void FaultInjectionSocket::FailConnectAt(int64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  connect_fail_at_ = n < 0 ? -1 : connects_ + n;
+}
+
+void FaultInjectionSocket::ResetSendAt(int64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  send_reset_at_ = n < 0 ? -1 : sends_ + n;
+}
+
+void FaultInjectionSocket::ResetRecvAt(int64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recv_reset_at_ = n < 0 ? -1 : recvs_ + n;
+}
+
+void FaultInjectionSocket::EnableCaptureFilter() {
+  std::lock_guard<std::mutex> lock(mu_);
+  capture_filter_ = true;
+  captured_fds_.clear();
+}
+
+void FaultInjectionSocket::DisableCaptureFilter() {
+  std::lock_guard<std::mutex> lock(mu_);
+  capture_filter_ = false;
+  captured_fds_.clear();
+}
+
+#define FLOWKV_FIS_COUNTER(name)                  \
+  int64_t FaultInjectionSocket::name() const {    \
+    std::lock_guard<std::mutex> lock(mu_);        \
+    return name##_;                               \
+  }
+FLOWKV_FIS_COUNTER(connects)
+FLOWKV_FIS_COUNTER(sends)
+FLOWKV_FIS_COUNTER(recvs)
+FLOWKV_FIS_COUNTER(injected_connect_failures)
+FLOWKV_FIS_COUNTER(injected_resets)
+FLOWKV_FIS_COUNTER(injected_short_ios)
+FLOWKV_FIS_COUNTER(injected_corruptions)
+FLOWKV_FIS_COUNTER(injected_delays)
+#undef FLOWKV_FIS_COUNTER
+
+bool FaultInjectionSocket::FdInScopeLocked(int fd) const {
+  return !capture_filter_ || captured_fds_.count(fd) > 0;
+}
+
+void FaultInjectionSocket::MaybeDelayLocked(std::unique_lock<std::mutex>* lock) {
+  if (plan_.latency_prob <= 0 || !rng_.Bernoulli(plan_.latency_prob)) {
+    return;
+  }
+  int64_t ms = rng_.Range(plan_.latency_min_ms, plan_.latency_max_ms);
+  ++injected_delays_;
+  lock->unlock();
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  lock->lock();
+}
+
+Status FaultInjectionSocket::PreConnect(const std::string& host, uint16_t port) {
+  std::unique_lock<std::mutex> lock(mu_);
+  int64_t seq = connects_++;
+  if (connect_fail_at_ >= 0 && seq == connect_fail_at_) {
+    connect_fail_at_ = -1;
+    ++injected_connect_failures_;
+    return Status::ConnectionReset("injected connect refusal to " + host + ":" +
+                                   std::to_string(port));
+  }
+  MaybeDelayLocked(&lock);
+  if (plan_.connect_refuse_prob > 0 && rng_.Bernoulli(plan_.connect_refuse_prob)) {
+    ++injected_connect_failures_;
+    return Status::ConnectionReset("injected connect refusal to " + host + ":" +
+                                   std::to_string(port));
+  }
+  return Status::Ok();
+}
+
+Status FaultInjectionSocket::PreSend(int fd, size_t* n) {
+  std::unique_lock<std::mutex> lock(mu_);
+  int64_t seq = sends_++;
+  if (!FdInScopeLocked(fd)) {
+    return Status::Ok();
+  }
+  if (send_reset_at_ >= 0 && seq >= send_reset_at_) {
+    send_reset_at_ = -1;
+    ++injected_resets_;
+    return Status::ConnectionReset("injected reset on send");
+  }
+  MaybeDelayLocked(&lock);
+  if (plan_.reset_on_send_prob > 0 && rng_.Bernoulli(plan_.reset_on_send_prob)) {
+    ++injected_resets_;
+    return Status::ConnectionReset("injected reset on send");
+  }
+  if (*n > 1 && plan_.short_send_prob > 0 && rng_.Bernoulli(plan_.short_send_prob)) {
+    *n = 1 + rng_.Uniform(*n - 1);
+    ++injected_short_ios_;
+  }
+  return Status::Ok();
+}
+
+Status FaultInjectionSocket::PreRecv(int fd, size_t* n) {
+  std::unique_lock<std::mutex> lock(mu_);
+  int64_t seq = recvs_++;
+  if (!FdInScopeLocked(fd)) {
+    return Status::Ok();
+  }
+  if (recv_reset_at_ >= 0 && seq >= recv_reset_at_) {
+    recv_reset_at_ = -1;
+    ++injected_resets_;
+    return Status::ConnectionReset("injected reset on recv");
+  }
+  MaybeDelayLocked(&lock);
+  if (plan_.reset_on_recv_prob > 0 && rng_.Bernoulli(plan_.reset_on_recv_prob)) {
+    ++injected_resets_;
+    return Status::ConnectionReset("injected reset on recv");
+  }
+  if (*n > 1 && plan_.short_recv_prob > 0 && rng_.Bernoulli(plan_.short_recv_prob)) {
+    *n = 1 + rng_.Uniform(*n - 1);
+    ++injected_short_ios_;
+  }
+  return Status::Ok();
+}
+
+void FaultInjectionSocket::DidConnect(int fd, const std::string& host, uint16_t port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capture_filter_) {
+    captured_fds_.insert(fd);
+  }
+}
+
+void FaultInjectionSocket::DidRecv(int fd, char* data, size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (n == 0 || !FdInScopeLocked(fd)) {
+    return;
+  }
+  if (plan_.corrupt_recv_prob > 0 && rng_.Bernoulli(plan_.corrupt_recv_prob)) {
+    size_t at = rng_.Uniform(n);
+    data[at] = static_cast<char>(data[at] ^ static_cast<char>(1 + rng_.Uniform(255)));
+    ++injected_corruptions_;
+  }
+}
+
+void FaultInjectionSocket::DidClose(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  captured_fds_.erase(fd);
+}
+
+}  // namespace flowkv

@@ -1,0 +1,113 @@
+// A NetHooks implementation that injects network faults on a schedule, for
+// chaos tests of the state server and client (tests/net_chaos_test.cc). Two
+// modes compose:
+//
+//  * A probabilistic plan (FaultPlan): every connect/send/recv rolls a seeded
+//    PRNG against per-fault probabilities — connect refusal, connection reset,
+//    short writes/reads, latency spikes, and in-place corruption of received
+//    bytes. Deterministic given the seed and the operation sequence.
+//  * Deterministic one-shot faults: fail exactly the Nth connect/send/recv,
+//    counted across the process, for pinpoint regression tests.
+//
+// The capture filter scopes faults to a subset of sockets: after
+// EnableCaptureFilter(), only fds whose DidConnect fires while the filter is
+// on are faulted; connections opened earlier (e.g. a standby's replication
+// link that must stay healthy while client traffic is tortured) are exempt.
+//
+// Thread-safe; all state sits behind one mutex. That serialises faulted I/O
+// paths, which is fine for tests.
+#ifndef SRC_COMMON_FAULT_INJECTION_SOCKET_H_
+#define SRC_COMMON_FAULT_INJECTION_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
+#include "src/common/net_hooks.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+
+namespace flowkv {
+
+// Probabilities are in [0, 1]; 0 disables that fault. Latency spikes sleep a
+// uniform duration in [latency_min_ms, latency_max_ms] before the operation.
+struct SocketFaultPlan {
+  double connect_refuse_prob = 0;
+  double reset_on_send_prob = 0;
+  double reset_on_recv_prob = 0;
+  double short_send_prob = 0;
+  double short_recv_prob = 0;
+  double corrupt_recv_prob = 0;
+  double latency_prob = 0;
+  int latency_min_ms = 1;
+  int latency_max_ms = 5;
+};
+
+class FaultInjectionSocket : public NetHooks {
+ public:
+  explicit FaultInjectionSocket(uint64_t seed = 42);
+
+  // Replaces the probabilistic plan (and clears one-shot faults).
+  void SetPlan(const SocketFaultPlan& plan);
+  // Disables all faults (plan zeroed, one-shots cleared); counters keep.
+  void ClearFaults();
+
+  // One-shot deterministic faults: fail the Nth future operation of that kind
+  // (N counts from the call, 0 = the very next one). -1 disarms.
+  void FailConnectAt(int64_t n);
+  void ResetSendAt(int64_t n);
+  void ResetRecvAt(int64_t n);
+
+  // After this call only fds connected afterwards are faulted; existing
+  // connections become exempt. DisableCaptureFilter() returns to all-fds.
+  void EnableCaptureFilter();
+  void DisableCaptureFilter();
+
+  // Operation and injected-fault counters (process lifetime).
+  int64_t connects() const;
+  int64_t sends() const;
+  int64_t recvs() const;
+  int64_t injected_connect_failures() const;
+  int64_t injected_resets() const;
+  int64_t injected_short_ios() const;
+  int64_t injected_corruptions() const;
+  int64_t injected_delays() const;
+
+  // NetHooks:
+  Status PreConnect(const std::string& host, uint16_t port) override;
+  Status PreSend(int fd, size_t* n) override;
+  Status PreRecv(int fd, size_t* n) override;
+  void DidConnect(int fd, const std::string& host, uint16_t port) override;
+  void DidRecv(int fd, char* data, size_t n) override;
+  void DidClose(int fd) override;
+
+ private:
+  bool FdInScopeLocked(int fd) const;
+  void MaybeDelayLocked(std::unique_lock<std::mutex>* lock);
+
+  mutable std::mutex mu_;
+  Random rng_;
+  SocketFaultPlan plan_;
+
+  int64_t connect_fail_at_ = -1;
+  int64_t send_reset_at_ = -1;
+  int64_t recv_reset_at_ = -1;
+
+  bool capture_filter_ = false;
+  std::unordered_set<int> captured_fds_;
+
+  int64_t connects_ = 0;
+  int64_t sends_ = 0;
+  int64_t recvs_ = 0;
+  int64_t injected_connect_failures_ = 0;
+  int64_t injected_resets_ = 0;
+  int64_t injected_short_ios_ = 0;
+  int64_t injected_corruptions_ = 0;
+  int64_t injected_delays_ = 0;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_COMMON_FAULT_INJECTION_SOCKET_H_

@@ -1,0 +1,15 @@
+#include "src/common/net_hooks.h"
+
+#include <atomic>
+
+namespace flowkv {
+
+namespace {
+std::atomic<NetHooks*> g_hooks{nullptr};
+}  // namespace
+
+void InstallNetHooks(NetHooks* hooks) { g_hooks.store(hooks, std::memory_order_release); }
+
+NetHooks* GetNetHooks() { return g_hooks.load(std::memory_order_acquire); }
+
+}  // namespace flowkv

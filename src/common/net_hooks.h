@@ -1,0 +1,53 @@
+// Socket interposition hooks, the network twin of fs_hooks. The connection
+// plumbing (src/net/conn.cc, src/net/client.cc) consults a single globally
+// installed NetHooks instance around every connect/send/recv/close. Production
+// runs install nothing and pay one relaxed atomic load per operation; tests
+// install a FaultInjectionSocket (see fault_injection_socket.h) to refuse
+// connects, reset connections mid-frame, truncate reads and writes, delay
+// I/O, or corrupt received bytes on a schedule.
+//
+// Pre* hooks gate the operation: a non-OK return aborts it with that status
+// before the syscall runs, and the caller treats it exactly like the
+// corresponding syscall failure (a failed PreSend/PreRecv behaves like a peer
+// reset). PreSend/PreRecv may also shrink the I/O size through `n` to force a
+// short write/read without failing. Did* hooks observe a completed operation;
+// DidRecv may rewrite the received bytes in place to model corruption on the
+// wire (the CRC framing layer is expected to catch it).
+#ifndef SRC_COMMON_NET_HOOKS_H_
+#define SRC_COMMON_NET_HOOKS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace flowkv {
+
+class NetHooks {
+ public:
+  virtual ~NetHooks() = default;
+
+  virtual Status PreConnect(const std::string& host, uint16_t port) { return Status::Ok(); }
+  // `n` is the number of bytes the caller is about to send/recv; the hook may
+  // reduce it (a short write/read) but must keep it >= 1.
+  virtual Status PreSend(int fd, size_t* n) { return Status::Ok(); }
+  virtual Status PreRecv(int fd, size_t* n) { return Status::Ok(); }
+
+  virtual void DidConnect(int fd, const std::string& host, uint16_t port) {}
+  // Observes bytes just received; may corrupt `data[0..n)` in place.
+  virtual void DidRecv(int fd, char* data, size_t n) {}
+  virtual void DidClose(int fd) {}
+};
+
+// Installs `hooks` globally (nullptr uninstalls). The caller keeps ownership
+// and must keep the object alive until uninstalled. Socket operations racing
+// an (un)install see either the old or the new instance.
+void InstallNetHooks(NetHooks* hooks);
+
+// Currently installed hooks, or nullptr.
+NetHooks* GetNetHooks();
+
+}  // namespace flowkv
+
+#endif  // SRC_COMMON_NET_HOOKS_H_

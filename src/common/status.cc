@@ -29,6 +29,8 @@ const char* StatusCodeName(StatusCode code) {
       return "TimedOut";
     case StatusCode::kConnectionReset:
       return "ConnectionReset";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }
@@ -57,6 +59,8 @@ Status Status::FromCode(uint8_t code, std::string msg) {
       return Status::TimedOut(std::move(msg));
     case StatusCode::kConnectionReset:
       return Status::ConnectionReset(std::move(msg));
+    case StatusCode::kOverloaded:
+      return Status::Overloaded(std::move(msg));
   }
   return Status::Internal("unknown status code " + std::to_string(code) +
                           (msg.empty() ? "" : ": " + msg));

@@ -25,6 +25,10 @@ enum class StatusCode : uint8_t {
   // callers can retry/reconnect without pattern-matching message strings.
   kTimedOut = 9,
   kConnectionReset = 10,
+  // The server refused the request before executing any of it because a
+  // shard's queue is over its bound. Unlike kTimedOut, an overloaded request
+  // is guaranteed un-applied, so retrying after backoff is always safe.
+  kOverloaded = 11,
 };
 
 // Human-readable name of a status code ("OK", "NotFound", ...).
@@ -65,6 +69,9 @@ class Status {
   static Status ConnectionReset(std::string msg = "") {
     return Status(StatusCode::kConnectionReset, std::move(msg));
   }
+  static Status Overloaded(std::string msg = "") {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   // Rebuilds a Status from a (code, message) pair received over the wire.
   // Unknown numeric codes map to kInternal so a newer peer cannot make an
@@ -81,6 +88,7 @@ class Status {
   bool IsResourceExhausted() const { return code_ == StatusCode::kResourceExhausted; }
   bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
   bool IsConnectionReset() const { return code_ == StatusCode::kConnectionReset; }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

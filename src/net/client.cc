@@ -16,6 +16,8 @@
 
 #include "src/common/clock.h"
 #include "src/common/logging.h"
+#include "src/common/net_hooks.h"
+#include "src/obs/metrics.h"
 
 namespace flowkv {
 namespace net {
@@ -50,9 +52,25 @@ size_t OpFootprint(const OpRequest& op) {
 
 }  // namespace
 
+Client::Client(ClientOptions options)
+    : options_(std::move(options)),
+      // Distinct seeds across clients is the point of the jitter; mix the
+      // object address with the clock unless the test pinned a seed.
+      backoff_rng_(options_.jitter_seed != 0
+                       ? options_.jitter_seed
+                       : static_cast<uint64_t>(MonotonicNanos()) ^
+                             reinterpret_cast<uintptr_t>(this)) {
+  primary_ = {options_.host, options_.port};
+}
+
+const Endpoint& Client::CurrentEndpoint() const {
+  return endpoint_index_ == 0 ? primary_ : options_.standbys[endpoint_index_ - 1];
+}
+
 Status Client::Connect(const ClientOptions& options, std::unique_ptr<Client>* out) {
   auto client = std::unique_ptr<Client>(new Client(options));
-  FLOWKV_RETURN_IF_ERROR(client->ConnectSocket());
+  FLOWKV_RETURN_IF_ERROR(
+      client->EnsureConnected(DeadlineFromNow(options.connect_timeout_ms)));
   *out = std::move(client);
   return Status::Ok();
 }
@@ -61,6 +79,9 @@ Client::~Client() { CloseSocket(); }
 
 void Client::CloseSocket() {
   if (fd_ >= 0) {
+    if (NetHooks* hooks = GetNetHooks()) {
+      hooks->DidClose(fd_);
+    }
     ::close(fd_);
     fd_ = -1;
   }
@@ -69,6 +90,10 @@ void Client::CloseSocket() {
 
 Status Client::ConnectSocket() {
   CloseSocket();
+  const Endpoint& ep = CurrentEndpoint();
+  if (NetHooks* hooks = GetNetHooks()) {
+    FLOWKV_RETURN_IF_ERROR(hooks->PreConnect(ep.host, static_cast<uint16_t>(ep.port)));
+  }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::FromErrno("socket");
@@ -82,15 +107,15 @@ Status Client::ConnectSocket() {
   sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
-  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+  addr.sin_port = htons(static_cast<uint16_t>(ep.port));
+  if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
     ::close(fd);
-    return Status::InvalidArgument("bad host address: " + options_.host);
+    return Status::InvalidArgument("bad host address: " + ep.host);
   }
 
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     if (errno != EINPROGRESS) {
-      const Status err = Status::FromErrno("connect " + options_.host);
+      const Status err = Status::FromErrno("connect " + ep.host);
       ::close(fd);
       return err;
     }
@@ -99,16 +124,15 @@ Status Client::ConnectSocket() {
     const int n = ::poll(&pfd, 1, options_.connect_timeout_ms);
     if (n == 0) {
       ::close(fd);
-      return Status::TimedOut("connect to " + options_.host + ":" +
-                              std::to_string(options_.port));
+      return Status::TimedOut("connect to " + ep.host + ":" + std::to_string(ep.port));
     }
     int so_error = 0;
     socklen_t len = sizeof(so_error);
     if (n < 0 || ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
         so_error != 0) {
       ::close(fd);
-      return Status::ConnectionReset("connect to " + options_.host + ":" +
-                                     std::to_string(options_.port) + ": " +
+      return Status::ConnectionReset("connect to " + ep.host + ":" +
+                                     std::to_string(ep.port) + ": " +
                                      std::strerror(so_error != 0 ? so_error : errno));
     }
   }
@@ -116,38 +140,79 @@ Status Client::ConnectSocket() {
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   fd_ = fd;
+  if (NetHooks* hooks = GetNetHooks()) {
+    hooks->DidConnect(fd, ep.host, static_cast<uint16_t>(ep.port));
+  }
   return Status::Ok();
 }
 
-Status Client::EnsureConnected() {
+bool Client::BackoffSleep(int* prev_sleep_ms, int64_t deadline_nanos) {
+  // Decorrelated jitter (Exponential Backoff And Jitter, AWS builders'
+  // library): sleep uniform in [base, min(cap, 3 * previous sleep)] — herds
+  // spread out instead of reconnecting in lockstep after a server restart.
+  const int base = std::max(1, options_.reconnect_backoff_ms);
+  const int cap = std::max(base, options_.reconnect_backoff_max_ms);
+  const int hi = std::max(base, std::min(cap, *prev_sleep_ms * 3));
+  int sleep_ms = static_cast<int>(backoff_rng_.Range(base, hi));
+  *prev_sleep_ms = sleep_ms;
+  const int64_t remaining_ms = (deadline_nanos - MonotonicNanos()) / 1'000'000;
+  if (remaining_ms <= 0) {
+    return false;
+  }
+  // Cap by the request deadline: sleeping past it just converts a retryable
+  // failure into a guaranteed timeout.
+  sleep_ms = static_cast<int>(std::min<int64_t>(sleep_ms, remaining_ms));
+  std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  return MonotonicNanos() < deadline_nanos;
+}
+
+Status Client::EnsureConnected(int64_t deadline_nanos) {
   if (fd_ >= 0) {
     return Status::Ok();
   }
-  int backoff_ms = options_.reconnect_backoff_ms;
+  obs::Counter* failovers = obs::MetricsRegistry::Global().GetCounter("client.failovers");
+  int prev_sleep_ms = options_.reconnect_backoff_ms;
   Status last = Status::ConnectionReset("not connected");
   for (int attempt = 0; attempt < options_.max_reconnect_attempts; ++attempt) {
     if (attempt > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-      backoff_ms = std::min(backoff_ms * 2, options_.reconnect_backoff_max_ms);
+      // The current endpoint refused us: advance round-robin through
+      // primary + standbys before the next try.
+      if (NumEndpoints() > 1) {
+        endpoint_index_ = (endpoint_index_ + 1) % NumEndpoints();
+        failovers->Add(1);
+        FLOWKV_LOG(kInfo) << "client failing over "
+                          << LogKv("endpoint", CurrentEndpoint().host + ":" +
+                                                   std::to_string(CurrentEndpoint().port));
+      }
+      if (!BackoffSleep(&prev_sleep_ms, deadline_nanos)) {
+        return Status::TimedOut("reconnect deadline exhausted: " + last.ToString());
+      }
     }
     last = ConnectSocket();
     if (last.ok()) {
-      return ReopenStores();
+      last = ReopenStores(deadline_nanos);
+      if (last.ok()) {
+        return Status::Ok();
+      }
+      CloseSocket();
+      if (!last.IsConnectionReset() && !last.IsOverloaded()) {
+        return last;
+      }
     }
   }
   return last;
 }
 
-Status Client::ReopenStores() {
-  // Server ids are not stable across a server restart; refresh the handle →
-  // server-id mapping by re-opening every registered store.
+Status Client::ReopenStores(int64_t deadline_nanos) {
+  // Server ids are not stable across a server restart or failover; refresh
+  // the handle → server-id mapping by re-opening every registered store.
   for (StoreReg& reg : stores_) {
     std::vector<OpRequest> ops(1);
     ops[0].type = OpType::kOpenStore;
     ops[0].ns = reg.ns;
     ops[0].spec = reg.spec;
     std::vector<OpResult> results;
-    FLOWKV_RETURN_IF_ERROR(TryRequest(ops, &results));
+    FLOWKV_RETURN_IF_ERROR(TryRequest(ops, &results, deadline_nanos));
     FLOWKV_RETURN_IF_ERROR(results[0].status);
     if (results[0].pattern != reg.pattern) {
       return Status::Internal("store " + reg.ns + " changed pattern across reconnect");
@@ -160,8 +225,11 @@ Status Client::ReopenStores() {
 Status Client::WriteAll(const Slice& data, int64_t deadline_nanos) {
   size_t written = 0;
   while (written < data.size()) {
-    const ssize_t n = ::send(fd_, data.data() + written, data.size() - written,
-                             MSG_NOSIGNAL);
+    size_t to_send = data.size() - written;
+    if (NetHooks* hooks = GetNetHooks()) {
+      FLOWKV_RETURN_IF_ERROR(hooks->PreSend(fd_, &to_send));
+    }
+    const ssize_t n = ::send(fd_, data.data() + written, to_send, MSG_NOSIGNAL);
     if (n > 0) {
       written += static_cast<size_t>(n);
       continue;
@@ -170,7 +238,12 @@ Status Client::WriteAll(const Slice& data, int64_t deadline_nanos) {
       pollfd pfd = {fd_, POLLOUT, 0};
       const int r = ::poll(&pfd, 1, PollTimeoutMs(deadline_nanos));
       if (r == 0) {
-        return Status::TimedOut("request write");
+        // poll slices are capped (PollTimeoutMs), so a zero return only
+        // means this slice elapsed — time out on the deadline, not the cap.
+        if (MonotonicNanos() >= deadline_nanos) {
+          return Status::TimedOut("request write");
+        }
+        continue;
       }
       if (r < 0 && errno != EINTR) {
         return Status::FromErrno("poll");
@@ -186,32 +259,71 @@ Status Client::WriteAll(const Slice& data, int64_t deadline_nanos) {
 }
 
 Status Client::ReadResponse(int64_t deadline_nanos, ResponseMessage* response) {
+  int64_t last_progress_nanos = MonotonicNanos();
   while (true) {
     Slice input(inbuf_);
     Slice payload;
     bool complete = false;
     const size_t before = input.size();
-    FLOWKV_RETURN_IF_ERROR(
-        TryDecodeFrame(&input, &payload, &complete, options_.max_frame_bytes));
+    const Status frame_status =
+        TryDecodeFrame(&input, &payload, &complete, options_.max_frame_bytes);
+    if (!frame_status.ok()) {
+      // A corrupt frame means the byte stream is unsyncable — the transport
+      // is broken, exactly like a peer reset, and equally safe to retry on a
+      // fresh connection.
+      return Status::ConnectionReset("corrupt response frame: " + frame_status.ToString());
+    }
     if (complete) {
       const Status s = DecodeResponse(payload, response);
       inbuf_.erase(0, before - input.size());
+      if (!s.ok()) {
+        return Status::ConnectionReset("corrupt response body: " + s.ToString());
+      }
       return s;
     }
 
+    // A partially-buffered frame is subject to the mid-frame stall bound:
+    // the server writes frames contiguously, so prolonged silence here means
+    // a broken (or length-corrupted) stream, not a slow response.
+    const bool mid_frame = !inbuf_.empty();
+    int timeout_ms = PollTimeoutMs(deadline_nanos);
+    if (mid_frame && options_.frame_stall_timeout_ms > 0) {
+      const int64_t stall_left_ms =
+          options_.frame_stall_timeout_ms -
+          (MonotonicNanos() - last_progress_nanos) / 1'000'000;
+      timeout_ms = static_cast<int>(
+          std::min<int64_t>(timeout_ms, std::max<int64_t>(stall_left_ms, 0)));
+    }
     pollfd pfd = {fd_, POLLIN, 0};
-    const int r = ::poll(&pfd, 1, PollTimeoutMs(deadline_nanos));
+    const int r = ::poll(&pfd, 1, timeout_ms);
     if (r == 0) {
-      return Status::TimedOut("response read");
+      // poll slices are capped, so a zero return is not itself the deadline.
+      if (MonotonicNanos() >= deadline_nanos) {
+        return Status::TimedOut("response read");
+      }
+      if (mid_frame && options_.frame_stall_timeout_ms > 0 &&
+          MonotonicNanos() - last_progress_nanos >=
+              static_cast<int64_t>(options_.frame_stall_timeout_ms) * 1'000'000) {
+        return Status::ConnectionReset("response frame stalled mid-read");
+      }
+      continue;
     }
     if (r < 0) {
       if (errno == EINTR) continue;
       return Status::FromErrno("poll");
     }
     char buf[64 * 1024];
-    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    size_t to_recv = sizeof(buf);
+    if (NetHooks* hooks = GetNetHooks()) {
+      FLOWKV_RETURN_IF_ERROR(hooks->PreRecv(fd_, &to_recv));
+    }
+    const ssize_t n = ::recv(fd_, buf, to_recv, 0);
     if (n > 0) {
+      if (NetHooks* hooks = GetNetHooks()) {
+        hooks->DidRecv(fd_, buf, static_cast<size_t>(n));
+      }
       inbuf_.append(buf, static_cast<size_t>(n));
+      last_progress_nanos = MonotonicNanos();
       continue;
     }
     if (n == 0) {
@@ -225,10 +337,17 @@ Status Client::ReadResponse(int64_t deadline_nanos, ResponseMessage* response) {
 }
 
 Status Client::TryRequest(const std::vector<OpRequest>& ops,
-                          std::vector<OpResult>* results) {
+                          std::vector<OpResult>* results, int64_t deadline_nanos) {
   RequestMessage request;
   request.request_id = next_request_id_++;
   request.ops = ops;
+  // Propagate the remaining time so the server can shed the batch once we
+  // have given up on it.
+  const int64_t remaining_ms = (deadline_nanos - MonotonicNanos()) / 1'000'000;
+  if (remaining_ms <= 0) {
+    return Status::TimedOut("request deadline exhausted before send");
+  }
+  request.deadline_ms = static_cast<uint32_t>(remaining_ms);
 
   std::string payload;
   EncodeRequest(request, &payload);
@@ -240,11 +359,10 @@ Status Client::TryRequest(const std::vector<OpRequest>& ops,
   frame.reserve(payload.size() + kFrameHeaderBytes);
   AppendFrame(&frame, payload);
 
-  const int64_t deadline = DeadlineFromNow(options_.request_timeout_ms);
-  FLOWKV_RETURN_IF_ERROR(WriteAll(frame, deadline));
+  FLOWKV_RETURN_IF_ERROR(WriteAll(frame, deadline_nanos));
 
   ResponseMessage response;
-  FLOWKV_RETURN_IF_ERROR(ReadResponse(deadline, &response));
+  FLOWKV_RETURN_IF_ERROR(ReadResponse(deadline_nanos, &response));
   if (response.request_id != request.request_id) {
     return Status::Internal("response id mismatch");
   }
@@ -255,25 +373,62 @@ Status Client::TryRequest(const std::vector<OpRequest>& ops,
   return Status::Ok();
 }
 
-Status Client::SendRequest(std::vector<OpRequest> ops, std::vector<OpResult>* results) {
+namespace {
+
+// A batch the server shed whole before dispatch: every result kOverloaded.
+// Guaranteed un-executed, so the client may retry it like a fresh request.
+bool ShedWhole(const std::vector<OpResult>& results) {
+  if (results.empty()) {
+    return false;
+  }
+  for (const OpResult& r : results) {
+    if (!r.status.IsOverloaded()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Status Client::SendRequest(std::vector<OpRequest> ops, std::vector<OpResult>* results,
+                           bool translate_handles) {
+  obs::Counter* retries = obs::MetricsRegistry::Global().GetCounter("client.retries");
+  const int64_t deadline = DeadlineFromNow(options_.request_timeout_ms);
+  int prev_sleep_ms = options_.reconnect_backoff_ms;
   Status last;
-  for (int attempt = 0; attempt <= options_.max_reconnect_attempts; ++attempt) {
-    last = EnsureConnected();
+  // One initial attempt plus up to max_retries re-sends, all under one
+  // deadline: a dead server costs one request_timeout_ms, not a livelock.
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      retries->Add(1);
+      if (!BackoffSleep(&prev_sleep_ms, deadline)) {
+        return Status::TimedOut("retry deadline exhausted: " + last.ToString());
+      }
+    }
+    last = EnsureConnected(deadline);
     if (last.ok()) {
       // Translate client handles to the server ids of the current
       // connection generation (they change across a server restart).
       std::vector<OpRequest> wire = ops;
-      for (OpRequest& op : wire) {
-        if (op.type != OpType::kPing && op.type != OpType::kOpenStore) {
-          if (op.store_id >= stores_.size()) {
-            return Status::InvalidArgument("unknown store handle " +
-                                           std::to_string(op.store_id));
+      if (translate_handles) {
+        for (OpRequest& op : wire) {
+          if (op.type != OpType::kPing && op.type != OpType::kOpenStore) {
+            if (op.store_id >= stores_.size()) {
+              return Status::InvalidArgument("unknown store handle " +
+                                             std::to_string(op.store_id));
+            }
+            op.store_id = stores_[op.store_id].server_id;
           }
-          op.store_id = stores_[op.store_id].server_id;
         }
       }
-      last = TryRequest(wire, results);
+      last = TryRequest(wire, results, deadline);
       if (last.ok()) {
+        if (ShedWhole(*results)) {
+          // Nothing executed; back off and re-send on the same connection.
+          last = Status::Overloaded("server shed the batch");
+          continue;
+        }
         return Status::Ok();
       }
       // Any failed attempt leaves the stream in an unknown state (a late or
@@ -282,13 +437,17 @@ Status Client::SendRequest(std::vector<OpRequest> ops, std::vector<OpResult>* re
       // reading a stale frame and failing with a spurious id mismatch.
       CloseSocket();
     }
-    if (!last.IsConnectionReset()) {
+    if (!last.IsConnectionReset() && !last.IsOverloaded()) {
       // Timeouts and hard errors are not retried: the request may have been
       // applied, and only the caller knows whether re-sending is safe.
       return last;
     }
   }
   return last;
+}
+
+Status Client::ExecuteRaw(std::vector<OpRequest> ops, std::vector<OpResult>* results) {
+  return SendRequest(std::move(ops), results, /*translate_handles=*/false);
 }
 
 // ---------------------------------------------------------------------------

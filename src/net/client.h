@@ -11,9 +11,19 @@
 // restart is transparent to callers.
 //
 // Retry policy: a request that fails with kConnectionReset is retried after
-// reconnecting (the server may have restarted); a kTimedOut request is NOT
-// retried — the op may have been applied, and the caller decides whether
-// re-sending is safe for its pattern.
+// reconnecting (the server may have restarted), and a batch the server shed
+// whole with kOverloaded is retried after backoff (shedding happens before
+// dispatch, so nothing was applied); a kTimedOut request is NOT retried —
+// the op may have been applied, and the caller decides whether re-sending is
+// safe for its pattern. All attempts of one request share a single deadline
+// (request_timeout_ms) and a retry budget; backoff sleeps use decorrelated
+// jitter and are capped so they never outlive the deadline.
+//
+// Failover: `standbys` lists fallback endpoints. When a connect attempt to
+// the current endpoint fails, the client advances round-robin through
+// primary + standbys and, once connected, re-opens every registered store —
+// so a primary killed mid-run degrades to a reconnect-and-replay against the
+// standby rather than an error surfacing to the SPE.
 //
 // Delivery semantics: automatic reset retries make writes at-least-once. If
 // the connection drops after the server executed a batch but before the
@@ -32,6 +42,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/random.h"
 #include "src/common/slice.h"
 #include "src/common/status.h"
 #include "src/net/protocol.h"
@@ -39,20 +50,50 @@
 namespace flowkv {
 namespace net {
 
+struct Endpoint {
+  std::string host;
+  int port = 0;
+};
+
 struct ClientOptions {
   std::string host = "127.0.0.1";
   int port = 0;
 
+  // Fallback endpoints tried round-robin (after host:port) when a connect
+  // attempt fails — typically the standby of a replicated pair.
+  std::vector<Endpoint> standbys;
+
   int connect_timeout_ms = 2000;
-  // Per-request round-trip deadline (covers the whole batch).
+  // Deadline for one request across ALL attempts (send, response, backoff
+  // sleeps, reconnects). Also propagated to the server in the frame header
+  // so it can shed the batch once the client has given up.
   int request_timeout_ms = 10000;
 
-  // Reconnect: exponential backoff starting at `reconnect_backoff_ms`,
-  // doubling up to `reconnect_backoff_max_ms`, at most
-  // `max_reconnect_attempts` tries per failed request.
+  // Retry budget per request: at most this many re-sends after a
+  // kConnectionReset or whole-batch kOverloaded, within the deadline.
+  int max_retries = 5;
+
+  // Reconnect: decorrelated-jitter backoff — each sleep is uniform in
+  // [reconnect_backoff_ms, min(3 * previous sleep, reconnect_backoff_max_ms)]
+  // — at most `max_reconnect_attempts` connect tries per EnsureConnected
+  // call, never sleeping past the request deadline.
   int max_reconnect_attempts = 5;
   int reconnect_backoff_ms = 20;
   int reconnect_backoff_max_ms = 1000;
+
+  // Seed for the backoff jitter PRNG; 0 = derive a per-client seed (distinct
+  // across clients, which is the point of the jitter). Tests pin it.
+  uint64_t jitter_seed = 0;
+
+  // Mid-frame progress bound: once part of a response frame has arrived, the
+  // rest follows within an RTT on a healthy stream — the server writes each
+  // frame contiguously. If no further bytes arrive for this long the stream
+  // is treated as broken (kConnectionReset, retryable under the at-least-
+  // once contract) instead of waiting out the full request deadline. This is
+  // what catches a corrupted length prefix that grew the frame: the client
+  // would otherwise block for bytes the server never sent. 0 disables the
+  // bound (stalls then run to the request deadline).
+  int frame_stall_timeout_ms = 10'000;
 
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
 
@@ -106,6 +147,14 @@ class Client {
   Status GatherStats(uint64_t handle,
                      std::vector<std::pair<std::string, int64_t>>* fields);
 
+  // Sends `ops` as-is — store_id fields are SERVER ids, not client handles,
+  // and no handles are translated or re-opened. Used by the standby's
+  // replication puller to apply forwarded ops against its own server.
+  Status ExecuteRaw(std::vector<OpRequest> ops, std::vector<OpResult>* results);
+
+  // The endpoint the current/most recent connection used (index 0 = primary).
+  size_t endpoint_index() const { return endpoint_index_; }
+
  private:
   struct StoreReg {
     std::string ns;
@@ -114,7 +163,7 @@ class Client {
     StorePattern pattern = StorePattern::kReadModifyWrite;
   };
 
-  explicit Client(ClientOptions options) : options_(std::move(options)) {}
+  explicit Client(ClientOptions options);
 
   // Appends a write op to the batch, flushing if full.
   Status BufferWrite(OpRequest op);
@@ -122,26 +171,41 @@ class Client {
   Status RoundTripOne(OpRequest op, OpResult* result);
 
   // Sends `ops` (store_id fields hold client handles; translated to server
-  // ids per attempt) and fills `results`. Reconnects + retries on
-  // kConnectionReset; returns kTimedOut without retrying.
-  Status SendRequest(std::vector<OpRequest> ops, std::vector<OpResult>* results);
+  // ids per attempt when `translate_handles`) and fills `results`. All
+  // attempts share one deadline; reconnects + retries on kConnectionReset
+  // and whole-batch kOverloaded up to the retry budget; returns kTimedOut
+  // without retrying.
+  Status SendRequest(std::vector<OpRequest> ops, std::vector<OpResult>* results,
+                     bool translate_handles = true);
 
-  // One attempt on the current socket.
-  Status TryRequest(const std::vector<OpRequest>& ops, std::vector<OpResult>* results);
+  // One attempt on the current socket, bounded by the absolute deadline.
+  Status TryRequest(const std::vector<OpRequest>& ops, std::vector<OpResult>* results,
+                    int64_t deadline_nanos);
 
-  Status EnsureConnected();
+  Status EnsureConnected(int64_t deadline_nanos);
   Status ConnectSocket();
   // Re-opens every registered store on a fresh connection, updating
   // server_id mappings.
-  Status ReopenStores();
+  Status ReopenStores(int64_t deadline_nanos);
   void CloseSocket();
+
+  // Decorrelated-jitter sleep; returns false (without sleeping the full
+  // duration) when the deadline would pass first.
+  bool BackoffSleep(int* prev_sleep_ms, int64_t deadline_nanos);
 
   Status WriteAll(const Slice& data, int64_t deadline_nanos);
   Status ReadResponse(int64_t deadline_nanos, ResponseMessage* response);
 
+  const Endpoint& CurrentEndpoint() const;
+  size_t NumEndpoints() const { return 1 + options_.standbys.size(); }
+
   ClientOptions options_;
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
+  size_t endpoint_index_ = 0;
+  Endpoint primary_;
+
+  Random backoff_rng_;
 
   std::vector<StoreReg> stores_;  // handle = index
 

@@ -6,6 +6,8 @@
 
 #include <cstring>
 
+#include "src/common/net_hooks.h"
+
 namespace flowkv {
 namespace net {
 
@@ -21,6 +23,9 @@ Connection::Connection(uint64_t id, int fd, size_t max_outbox_bytes)
 
 Connection::~Connection() {
   if (fd_ >= 0) {
+    if (NetHooks* hooks = GetNetHooks()) {
+      hooks->DidClose(fd_);
+    }
     ::close(fd_);
   }
 }
@@ -29,10 +34,17 @@ Status Connection::ReadFromSocket(bool* eof) {
   *eof = false;
   char buf[kReadChunkBytes];
   while (true) {
-    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    size_t to_recv = sizeof(buf);
+    if (NetHooks* hooks = GetNetHooks()) {
+      FLOWKV_RETURN_IF_ERROR(hooks->PreRecv(fd_, &to_recv));
+    }
+    const ssize_t n = ::recv(fd_, buf, to_recv, 0);
     if (n > 0) {
+      if (NetHooks* hooks = GetNetHooks()) {
+        hooks->DidRecv(fd_, buf, static_cast<size_t>(n));
+      }
       inbuf_.append(buf, static_cast<size_t>(n));
-      if (n < static_cast<ssize_t>(sizeof(buf))) {
+      if (n < static_cast<ssize_t>(to_recv)) {
         return Status::Ok();  // drained the socket for now
       }
       continue;
@@ -70,8 +82,11 @@ void Connection::QueueFrame(std::string frame) {
 Status Connection::FlushWrites() {
   while (!outbox_.empty()) {
     const std::string& front = outbox_.front();
-    const ssize_t n = ::send(fd_, front.data() + front_offset_,
-                             front.size() - front_offset_, MSG_NOSIGNAL);
+    size_t to_send = front.size() - front_offset_;
+    if (NetHooks* hooks = GetNetHooks()) {
+      FLOWKV_RETURN_IF_ERROR(hooks->PreSend(fd_, &to_send));
+    }
+    const ssize_t n = ::send(fd_, front.data() + front_offset_, to_send, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         return Status::Ok();

@@ -49,6 +49,14 @@ const char* OpTypeName(OpType type) {
       return "checkpoint";
     case OpType::kGatherStats:
       return "gather_stats";
+    case OpType::kReplicaSubscribe:
+      return "replica_subscribe";
+    case OpType::kSnapshotFile:
+      return "snapshot_file";
+    case OpType::kSnapshotDone:
+      return "snapshot_done";
+    case OpType::kRestoreStore:
+      return "restore_store";
   }
   return "?";
 }
@@ -115,8 +123,65 @@ bool DecodeStateSpec(Slice* input, OperatorStateSpec* spec) {
   return true;
 }
 
+namespace {
+constexpr uint32_t kStoresMetaMagic = 0x464b564d;  // "FKVM"
+}  // namespace
+
+std::string EncodeStoresMeta(const StoresMeta& meta) {
+  std::string out;
+  PutFixed32(&out, kStoresMetaMagic);
+  PutVarint32(&out, 1);  // version
+  PutVarint32(&out, static_cast<uint32_t>(meta.num_shards));
+  PutVarint32(&out, static_cast<uint32_t>(meta.stores.size()));
+  for (const StoreMetaEntry& store : meta.stores) {
+    PutVarint64(&out, store.id);
+    PutLengthPrefixed(&out, store.ns);
+    EncodeStateSpec(&out, store.spec);
+  }
+  PutFixed32(&out, Checksum32(out));
+  return out;
+}
+
+Status DecodeStoresMeta(const Slice& data, StoresMeta* meta) {
+  meta->stores.clear();
+  if (data.size() < 8) {
+    return Status::Corruption("stores.meta too short");
+  }
+  const uint32_t expected = DecodeFixed32(data.data() + data.size() - 4);
+  if (Checksum32(Slice(data.data(), data.size() - 4)) != expected) {
+    return Status::Corruption("stores.meta checksum mismatch");
+  }
+  Slice input(data.data(), data.size() - 4);
+  uint32_t magic = 0, version = 0, num_shards = 0, num_stores = 0;
+  if (!GetFixed32(&input, &magic) || magic != kStoresMetaMagic ||
+      !GetVarint32(&input, &version) || version != 1 ||
+      !GetVarint32(&input, &num_shards) || !GetVarint32(&input, &num_stores)) {
+    return Status::Corruption("malformed stores.meta header");
+  }
+  if (num_stores > input.size()) {
+    return Status::Corruption("malformed stores.meta store count");
+  }
+  meta->num_shards = static_cast<int>(num_shards);
+  meta->stores.reserve(num_stores);
+  for (uint32_t i = 0; i < num_stores; ++i) {
+    StoreMetaEntry entry;
+    Slice ns;
+    if (!GetVarint64(&input, &entry.id) || !GetLengthPrefixed(&input, &ns) ||
+        !DecodeStateSpec(&input, &entry.spec)) {
+      return Status::Corruption("malformed stores.meta entry");
+    }
+    if (entry.id != i) {
+      return Status::Corruption("stores.meta ids are not dense");
+    }
+    entry.ns = ns.ToString();
+    meta->stores.push_back(std::move(entry));
+  }
+  return Status::Ok();
+}
+
 void EncodeRequest(const RequestMessage& msg, std::string* payload) {
   PutVarint64(payload, msg.request_id);
+  PutVarint32(payload, msg.deadline_ms);
   PutVarint32(payload, static_cast<uint32_t>(msg.ops.size()));
   for (const OpRequest& op : msg.ops) {
     PutVarint32(payload, static_cast<uint32_t>(op.type));
@@ -177,6 +242,23 @@ void EncodeRequest(const RequestMessage& msg, std::string* payload) {
       case OpType::kGatherStats:
         PutVarint64(payload, op.store_id);
         break;
+      case OpType::kReplicaSubscribe:
+        PutVarsigned64(payload, op.timestamp);  // last applied sequence
+        break;
+      case OpType::kSnapshotFile:
+        PutLengthPrefixed(payload, op.path);
+        PutVarsigned64(payload, op.timestamp);  // byte offset
+        PutLengthPrefixed(payload, op.value);
+        break;
+      case OpType::kSnapshotDone:
+        PutLengthPrefixed(payload, op.path);  // epoch name
+        break;
+      case OpType::kRestoreStore:
+        PutVarint64(payload, op.store_id);
+        PutLengthPrefixed(payload, op.ns);
+        EncodeStateSpec(payload, op.spec);
+        PutLengthPrefixed(payload, op.path);
+        break;
     }
   }
 }
@@ -184,8 +266,14 @@ void EncodeRequest(const RequestMessage& msg, std::string* payload) {
 Status DecodeRequest(Slice payload, RequestMessage* msg) {
   msg->ops.clear();
   uint32_t num_ops = 0;
-  if (!GetVarint64(&payload, &msg->request_id) || !GetVarint32(&payload, &num_ops)) {
+  if (!GetVarint64(&payload, &msg->request_id) ||
+      !GetVarint32(&payload, &msg->deadline_ms) || !GetVarint32(&payload, &num_ops)) {
     return Truncated("request header");
+  }
+  // Every op costs at least its 1-byte type varint; bound the reserve so a
+  // corrupt count cannot trigger a huge allocation before the ops decode.
+  if (num_ops > payload.size()) {
+    return Truncated("op list");
   }
   msg->ops.reserve(num_ops);
   for (uint32_t i = 0; i < num_ops; ++i) {
@@ -194,7 +282,7 @@ Status DecodeRequest(Slice payload, RequestMessage* msg) {
     if (!GetVarint32(&payload, &type)) {
       return Truncated("op type");
     }
-    if (type > static_cast<uint32_t>(OpType::kGatherStats)) {
+    if (type > kMaxOpType) {
       return Status::Corruption("unknown op type " + std::to_string(type));
     }
     op.type = static_cast<OpType>(type);
@@ -256,6 +344,24 @@ Status DecodeRequest(Slice payload, RequestMessage* msg) {
       case OpType::kGatherStats:
         ok = GetVarint64(&payload, &op.store_id);
         break;
+      case OpType::kReplicaSubscribe:
+        ok = GetVarsigned64(&payload, &op.timestamp);
+        break;
+      case OpType::kSnapshotFile:
+        ok = GetLengthPrefixed(&payload, &path) &&
+             GetVarsigned64(&payload, &op.timestamp) && GetLengthPrefixed(&payload, &value);
+        op.path = path.ToString();
+        break;
+      case OpType::kSnapshotDone:
+        ok = GetLengthPrefixed(&payload, &path);
+        op.path = path.ToString();
+        break;
+      case OpType::kRestoreStore:
+        ok = GetVarint64(&payload, &op.store_id) && GetLengthPrefixed(&payload, &ns) &&
+             DecodeStateSpec(&payload, &op.spec) && GetLengthPrefixed(&payload, &path);
+        op.ns = ns.ToString();
+        op.path = path.ToString();
+        break;
     }
     if (!ok) {
       return Truncated(OpTypeName(op.type));
@@ -288,6 +394,10 @@ void EncodeResponse(const ResponseMessage& msg, std::string* payload) {
       case OpType::kRmwPut:
       case OpType::kRmwRemove:
       case OpType::kCheckpoint:
+      case OpType::kReplicaSubscribe:
+      case OpType::kSnapshotFile:
+      case OpType::kSnapshotDone:
+      case OpType::kRestoreStore:
         break;
       case OpType::kOpenStore:
         PutVarint64(payload, r.store_id);
@@ -330,6 +440,11 @@ Status DecodeResponse(Slice payload, ResponseMessage* msg) {
   if (!GetVarint64(&payload, &msg->request_id) || !GetVarint32(&payload, &num_results)) {
     return Truncated("response header");
   }
+  // Every result costs at least 3 bytes (type, code, empty message); bound
+  // the reserve so a corrupt count cannot trigger a huge allocation.
+  if (num_results > payload.size() / 3 + 1) {
+    return Truncated("result list");
+  }
   msg->results.reserve(num_results);
   for (uint32_t i = 0; i < num_results; ++i) {
     OpResult r;
@@ -339,7 +454,7 @@ Status DecodeResponse(Slice payload, ResponseMessage* msg) {
         !GetLengthPrefixed(&payload, &status_msg)) {
       return Truncated("result header");
     }
-    if (type > static_cast<uint32_t>(OpType::kGatherStats) || code > 255) {
+    if (type > kMaxOpType || code > 255) {
       return Status::Corruption("malformed result header");
     }
     r.type = static_cast<OpType>(type);
@@ -357,6 +472,10 @@ Status DecodeResponse(Slice payload, ResponseMessage* msg) {
       case OpType::kRmwPut:
       case OpType::kRmwRemove:
       case OpType::kCheckpoint:
+      case OpType::kReplicaSubscribe:
+      case OpType::kSnapshotFile:
+      case OpType::kSnapshotDone:
+      case OpType::kRestoreStore:
         break;
       case OpType::kOpenStore: {
         uint32_t pattern = 0;

@@ -61,7 +61,27 @@ enum class OpType : uint32_t {
   kCheckpoint = 10,
   // Returns the store's aggregated StoreStats counters as (name, value).
   kGatherStats = 11,
+  // ----- replication (src/net/replica.h) -----
+  // Standby -> primary: marks the connection as a replica sink. The primary
+  // answers not with a ResponseMessage but with a stream of RequestMessages:
+  // kSnapshotFile chunks of a fresh barrier checkpoint, kSnapshotDone, then
+  // sequenced forwarded write ops (request_id = log sequence); the standby
+  // acks each with an empty-status ResponseMessage carrying the sequence.
+  kReplicaSubscribe = 12,
+  // Primary -> standby: one chunk of a checkpoint file (path relative to the
+  // epoch dir, timestamp = byte offset, value = data).
+  kSnapshotFile = 13,
+  // Primary -> standby: the shipped epoch is complete; path = epoch name.
+  kSnapshotDone = 14,
+  // Standby-internal fan-out op (loopback client -> own server): open the
+  // store for `ns`/`spec` under the given id, restoring each shard from the
+  // shipped checkpoint under `path`. Requires ids assigned in order, which
+  // holds because the primary's stores.meta lists dense ids.
+  kRestoreStore = 15,
 };
+
+// Last valid OpType value, for decoder range checks.
+constexpr uint32_t kMaxOpType = static_cast<uint32_t>(OpType::kRestoreStore);
 
 const char* OpTypeName(OpType type);
 
@@ -78,6 +98,10 @@ struct OpRequest {
   std::vector<Window> sources;  // kMergeWindows
   int64_t timestamp = 0;        // kAppendUnaligned ETT hint
   std::string path;             // kCheckpoint target directory
+  // Replication ops reuse the fields above: kReplicaSubscribe carries the
+  // last applied sequence in `timestamp`; kSnapshotFile uses `path` (relative
+  // file), `timestamp` (offset) and `value` (data); kSnapshotDone uses `path`
+  // (epoch name); kRestoreStore uses `store_id`, `ns`, `spec` and `path`.
 };
 
 // One operation's outcome. Field validity mirrors OpRequest.
@@ -95,6 +119,11 @@ struct OpResult {
 
 struct RequestMessage {
   uint64_t request_id = 0;
+  // Relative deadline for the whole batch in milliseconds; 0 = none. The
+  // server pins it to an absolute deadline at decode time and sheds ops that
+  // are still queued when it passes (kTimedOut) instead of executing work
+  // the client has already given up on.
+  uint32_t deadline_ms = 0;
   std::vector<OpRequest> ops;
 };
 
@@ -130,6 +159,27 @@ Status DecodeResponse(Slice payload, ResponseMessage* msg);
 // manifest so restored stores classify identically.
 void EncodeStateSpec(std::string* dst, const OperatorStateSpec& spec);
 bool DecodeStateSpec(Slice* input, OperatorStateSpec* spec);
+
+// ----- Checkpoint store manifest (stores.meta) -----
+//
+// Written by the server's drain checkpoint and shipped verbatim to a standby
+// during snapshot replication, so both sides share one codec. The encoding is
+// magic + version + num_shards + per-store (id, ns, spec), wrapped in a
+// trailing Checksum32.
+
+struct StoreMetaEntry {
+  uint64_t id = 0;
+  std::string ns;
+  OperatorStateSpec spec;
+};
+
+struct StoresMeta {
+  int num_shards = 0;
+  std::vector<StoreMetaEntry> stores;  // ids are dense: stores[i].id == i
+};
+
+std::string EncodeStoresMeta(const StoresMeta& meta);
+Status DecodeStoresMeta(const Slice& data, StoresMeta* meta);
 
 }  // namespace net
 }  // namespace flowkv

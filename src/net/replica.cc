@@ -1,0 +1,375 @@
+#include "src/net/replica.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+#include "src/common/env.h"
+#include "src/common/file.h"
+#include "src/common/logging.h"
+#include "src/common/net_hooks.h"
+#include "src/net/client.h"
+#include "src/obs/metrics.h"
+#include "src/obs/reporter.h"
+
+namespace flowkv {
+namespace net {
+
+namespace {
+
+bool IsDirectory(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+}  // namespace
+
+Status ListFilesRecursively(const std::string& root, std::vector<std::string>* rel_paths) {
+  rel_paths->clear();
+  std::vector<std::string> dirs = {""};
+  while (!dirs.empty()) {
+    const std::string rel_dir = dirs.back();
+    dirs.pop_back();
+    const std::string abs_dir = rel_dir.empty() ? root : JoinPath(root, rel_dir);
+    std::vector<std::string> names;
+    FLOWKV_RETURN_IF_ERROR(ListDir(abs_dir, &names));
+    for (const std::string& name : names) {
+      const std::string rel = rel_dir.empty() ? name : rel_dir + "/" + name;
+      if (IsDirectory(JoinPath(root, rel))) {
+        dirs.push_back(rel);
+      } else {
+        rel_paths->push_back(rel);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// ReplicaPuller
+// ---------------------------------------------------------------------------
+
+Status ReplicaPuller::Start(const ReplicaOptions& options,
+                            std::unique_ptr<ReplicaPuller>* out) {
+  if (options.snapshot_dir.empty()) {
+    return Status::InvalidArgument("snapshot_dir is required");
+  }
+  if (options.primary_port <= 0 || options.self_port <= 0) {
+    return Status::InvalidArgument("primary_port and self_port are required");
+  }
+  auto puller = std::unique_ptr<ReplicaPuller>(new ReplicaPuller());
+  puller->options_ = options;
+  FLOWKV_RETURN_IF_ERROR(CreateDirs(options.snapshot_dir));
+  puller->thread_ = std::thread(&ReplicaPuller::Run, puller.get());
+  *out = std::move(puller);
+  return Status::Ok();
+}
+
+ReplicaPuller::~ReplicaPuller() { Stop(); }
+
+void ReplicaPuller::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void ReplicaPuller::Run() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    PullOnce();
+    if (stop_.load(std::memory_order_acquire)) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(options_.resubscribe_backoff_ms));
+  }
+}
+
+Status ReplicaPuller::DialPrimary(int* fd_out) {
+  if (NetHooks* hooks = GetNetHooks()) {
+    FLOWKV_RETURN_IF_ERROR(hooks->PreConnect(options_.primary_host,
+                                             static_cast<uint16_t>(options_.primary_port)));
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::FromErrno("socket");
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.primary_port));
+  if (::inet_pton(AF_INET, options_.primary_host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad primary address: " + options_.primary_host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status err = Status::ConnectionReset("connect primary: " +
+                                               std::string(std::strerror(errno)));
+    ::close(fd);
+    return err;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // Bounded recv so the thread notices Stop() while the primary is idle.
+  timeval tv{0, 200 * 1000};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  if (NetHooks* hooks = GetNetHooks()) {
+    hooks->DidConnect(fd, options_.primary_host,
+                      static_cast<uint16_t>(options_.primary_port));
+  }
+  *fd_out = fd;
+  return Status::Ok();
+}
+
+void ReplicaPuller::PullOnce() {
+  // The loopback client applies shipped state to our own server; keep it
+  // across cycles (it reconnects itself if the local server restarts).
+  if (loopback_ == nullptr) {
+    ClientOptions lo;
+    lo.host = options_.self_host;
+    lo.port = options_.self_port;
+    lo.connect_timeout_ms = options_.connect_timeout_ms;
+    if (!Client::Connect(lo, &loopback_).ok()) {
+      return;  // local server not up yet; retry next cycle
+    }
+  }
+
+  int fd = -1;
+  if (!DialPrimary(&fd).ok()) {
+    return;
+  }
+
+  obs::Counter* frames = obs::MetricsRegistry::Global().GetCounter("repl.frames_pulled");
+
+  // Subscribe. A fresh snapshot is always shipped, so the carried sequence is
+  // informational (logging/metrics on the primary).
+  {
+    RequestMessage sub;
+    sub.request_id = 1;
+    sub.ops.resize(1);
+    sub.ops[0].type = OpType::kReplicaSubscribe;
+    sub.ops[0].timestamp = static_cast<int64_t>(applied_seq());
+    std::string payload, frame;
+    EncodeRequest(sub, &payload);
+    AppendFrame(&frame, payload);
+    size_t written = 0;
+    while (written < frame.size()) {
+      const ssize_t n =
+          ::send(fd, frame.data() + written, frame.size() - written, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        ::close(fd);
+        return;
+      }
+      written += static_cast<size_t>(n);
+    }
+  }
+
+  pending_path_.clear();
+  pending_data_.clear();
+  snapshot_started_in_cycle_ = false;
+
+  std::string inbuf;
+  bool healthy = true;
+  while (healthy && !stop_.load(std::memory_order_acquire)) {
+    // Drain complete frames already buffered.
+    while (true) {
+      Slice input(inbuf);
+      Slice payload;
+      bool complete = false;
+      const size_t before = input.size();
+      const Status fs = TryDecodeFrame(&input, &payload, &complete, options_.max_frame_bytes);
+      if (!fs.ok()) {
+        FLOWKV_LOG(kWarn) << "replica stream corrupt; resubscribing "
+                          << LogKv("status", fs.ToString());
+        healthy = false;
+        break;
+      }
+      if (!complete) {
+        break;
+      }
+      RequestMessage frame;
+      Status s = DecodeRequest(payload, &frame);
+      inbuf.erase(0, before - input.size());
+      if (s.ok()) {
+        s = HandleFrame(fd, frame);
+        frames->Add(1);
+      }
+      if (!s.ok()) {
+        FLOWKV_LOG(kWarn) << "replica apply failed; resubscribing "
+                          << LogKv("status", s.ToString());
+        healthy = false;
+        break;
+      }
+    }
+    if (!healthy) {
+      break;
+    }
+
+    char buf[64 * 1024];
+    size_t to_recv = sizeof(buf);
+    if (NetHooks* hooks = GetNetHooks()) {
+      if (!hooks->PreRecv(fd, &to_recv).ok()) {
+        break;
+      }
+    }
+    const ssize_t n = ::recv(fd, buf, to_recv, 0);
+    if (n > 0) {
+      if (NetHooks* hooks = GetNetHooks()) {
+        hooks->DidRecv(fd, buf, static_cast<size_t>(n));
+      }
+      inbuf.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      break;  // primary went away
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      continue;  // recv timeout: re-check stop flag
+    }
+    break;
+  }
+
+  if (NetHooks* hooks = GetNetHooks()) {
+    hooks->DidClose(fd);
+  }
+  ::close(fd);
+}
+
+Status ReplicaPuller::HandleFrame(int fd, const RequestMessage& frame) {
+  // Snapshot frames are applied locally; anything else is a forwarded op
+  // batch applied through the loopback client. Every frame is acked with its
+  // sequence (= request_id) only after it is durably applied, because the
+  // primary releases client responses on our acks.
+  if (!frame.ops.empty() && frame.ops[0].type == OpType::kSnapshotFile) {
+    for (const OpRequest& op : frame.ops) {
+      if (op.type != OpType::kSnapshotFile) {
+        return Status::InvalidArgument("mixed snapshot frame");
+      }
+      FLOWKV_RETURN_IF_ERROR(ApplySnapshotChunk(op));
+    }
+    return SendAck(fd, frame.request_id);
+  }
+  if (!frame.ops.empty() && frame.ops[0].type == OpType::kSnapshotDone) {
+    FLOWKV_RETURN_IF_ERROR(FinishSnapshot());
+    FLOWKV_RETURN_IF_ERROR(SendAck(fd, frame.request_id));
+    FLOWKV_LOG(kInfo) << "standby restored snapshot "
+                      << LogKv("epoch", frame.ops[0].path);
+    return Status::Ok();
+  }
+
+  std::vector<OpResult> results;
+  FLOWKV_RETURN_IF_ERROR(loopback_->ExecuteRaw(frame.ops, &results));
+  // Per-op failures (e.g. NotFound on a replayed remove) are expected and do
+  // not break convergence; transport-level failure above does.
+  FLOWKV_RETURN_IF_ERROR(SendAck(fd, frame.request_id));
+  applied_seq_.store(frame.request_id, std::memory_order_release);
+  return Status::Ok();
+}
+
+Status ReplicaPuller::ApplySnapshotChunk(const OpRequest& op) {
+  if (op.path.empty() || op.path.find("..") != std::string::npos) {
+    return Status::InvalidArgument("bad snapshot path: " + op.path);
+  }
+  if (op.timestamp == 0) {
+    // New file begins: flush the previous one first. A fresh offset-0 chunk
+    // for the first file of a new snapshot also wipes the staging dir.
+    FLOWKV_RETURN_IF_ERROR(FlushPendingFile());
+    if (!snapshot_started_in_cycle_) {
+      FLOWKV_RETURN_IF_ERROR(RemoveDirRecursively(options_.snapshot_dir));
+      FLOWKV_RETURN_IF_ERROR(CreateDirs(options_.snapshot_dir));
+      snapshot_started_in_cycle_ = true;
+    }
+    pending_path_ = op.path;
+    pending_data_ = op.value;
+    return Status::Ok();
+  }
+  if (op.path != pending_path_ ||
+      static_cast<uint64_t>(op.timestamp) != pending_data_.size()) {
+    return Status::InvalidArgument("out-of-order snapshot chunk for " + op.path);
+  }
+  pending_data_ += op.value;
+  return Status::Ok();
+}
+
+Status ReplicaPuller::FlushPendingFile() {
+  if (pending_path_.empty()) {
+    return Status::Ok();
+  }
+  const std::string abs = JoinPath(options_.snapshot_dir, pending_path_);
+  const std::string dir = DirName(abs);
+  if (!dir.empty()) {
+    FLOWKV_RETURN_IF_ERROR(CreateDirs(dir));
+  }
+  FLOWKV_RETURN_IF_ERROR(WriteFileDurably(abs, pending_data_));
+  pending_path_.clear();
+  pending_data_.clear();
+  return Status::Ok();
+}
+
+Status ReplicaPuller::FinishSnapshot() {
+  FLOWKV_RETURN_IF_ERROR(FlushPendingFile());
+  snapshot_started_in_cycle_ = false;
+
+  std::string meta_bytes;
+  FLOWKV_RETURN_IF_ERROR(
+      ReadFileToString(JoinPath(options_.snapshot_dir, "stores.meta"), &meta_bytes));
+  StoresMeta meta;
+  FLOWKV_RETURN_IF_ERROR(DecodeStoresMeta(meta_bytes, &meta));
+
+  // Restore in id order so a fresh standby assigns the same dense ids the
+  // primary uses — forwarded ops reference them directly.
+  for (const StoreMetaEntry& store : meta.stores) {
+    std::vector<OpRequest> ops(1);
+    ops[0].type = OpType::kRestoreStore;
+    ops[0].store_id = store.id;
+    ops[0].ns = store.ns;
+    ops[0].spec = store.spec;
+    ops[0].path = options_.snapshot_dir;
+    std::vector<OpResult> results;
+    FLOWKV_RETURN_IF_ERROR(loopback_->ExecuteRaw(std::move(ops), &results));
+    FLOWKV_RETURN_IF_ERROR(results[0].status);
+  }
+  snapshot_loaded_.store(true, std::memory_order_release);
+  obs::MetricsRegistry::Global().GetCounter("repl.snapshots_restored")->Add(1);
+  return Status::Ok();
+}
+
+Status ReplicaPuller::SendAck(int fd, uint64_t seq) {
+  ResponseMessage ack;
+  ack.request_id = seq;
+  ack.results.resize(1);
+  ack.results[0].type = OpType::kReplicaSubscribe;
+  ack.results[0].status = Status::Ok();
+  std::string payload, frame;
+  EncodeResponse(ack, &payload);
+  AppendFrame(&frame, payload);
+  size_t written = 0;
+  while (written < frame.size()) {
+    size_t to_send = frame.size() - written;
+    if (NetHooks* hooks = GetNetHooks()) {
+      FLOWKV_RETURN_IF_ERROR(hooks->PreSend(fd, &to_send));
+    }
+    const ssize_t n = ::send(fd, frame.data() + written, to_send, MSG_NOSIGNAL);
+    if (n > 0) {
+      written += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return Status::ConnectionReset("ack send: " + std::string(std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace net
+}  // namespace flowkv

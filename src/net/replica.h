@@ -1,0 +1,120 @@
+// Primary → standby replication for the FlowKV state server.
+//
+// Protocol (all frames on one TCP connection the standby dials):
+//
+//   standby                               primary
+//   ───────────────────────────────────────────────────────────────────
+//   RequestMessage{kReplicaSubscribe}  →
+//                                      ←  RequestMessage{kSnapshotFile}*   (seq n)
+//                                      ←  RequestMessage{kSnapshotDone}    (seq n+1)
+//                                      ←  RequestMessage{forwarded ops}*   (seq ...)
+//   ResponseMessage{request_id=seq}    →                     (ack, per frame)
+//
+// On subscribe the primary runs a barrier checkpoint of every store shard,
+// ships the staged files, then forwards every mutating op it dispatches, in
+// dispatch order, tagged with a dense sequence. Replication is synchronous:
+// the primary parks a client's response until the standby acked the sequence
+// that carried its ops, so an acknowledged write is never lost by failing
+// over (see docs/NETWORK.md for the exact delivery semantics per op).
+//
+// The ReplicaPuller is the standby side: it subscribes, writes shipped
+// snapshot files to a local directory, restores them into its own server via
+// a loopback client (kRestoreStore), applies forwarded ops the same way, and
+// acks each frame. If the primary dies it re-subscribes with backoff — a
+// re-subscribe always ships a fresh snapshot, so a standby can never diverge
+// silently.
+#ifndef SRC_NET_REPLICA_H_
+#define SRC_NET_REPLICA_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/protocol.h"
+
+namespace flowkv {
+namespace net {
+
+// Regular files under `root`, recursively, as paths relative to `root`
+// ('/'-joined). Used by the primary to enumerate a staged checkpoint for
+// shipping; exposed for tests.
+Status ListFilesRecursively(const std::string& root, std::vector<std::string>* rel_paths);
+
+struct ReplicaOptions {
+  // The primary to subscribe to.
+  std::string primary_host = "127.0.0.1";
+  int primary_port = 0;
+
+  // The standby's own server, reached over loopback to apply state.
+  std::string self_host = "127.0.0.1";
+  int self_port = 0;
+
+  // Local directory shipped snapshot files are staged in (wiped per
+  // snapshot).
+  std::string snapshot_dir;
+
+  int connect_timeout_ms = 2000;
+  // Backoff between re-subscribe attempts after losing the primary.
+  int resubscribe_backoff_ms = 200;
+
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+class ReplicaPuller {
+ public:
+  // Starts the puller thread; it connects and re-subscribes in the
+  // background until Stop().
+  static Status Start(const ReplicaOptions& options, std::unique_ptr<ReplicaPuller>* out);
+
+  ~ReplicaPuller();
+
+  ReplicaPuller(const ReplicaPuller&) = delete;
+  ReplicaPuller& operator=(const ReplicaPuller&) = delete;
+
+  // Signals the thread and joins it.
+  void Stop();
+
+  // Highest forwarded sequence applied AND acked so far.
+  uint64_t applied_seq() const { return applied_seq_.load(std::memory_order_acquire); }
+  // True once at least one full snapshot was restored into the local server.
+  bool snapshot_loaded() const { return snapshot_loaded_.load(std::memory_order_acquire); }
+
+ private:
+  ReplicaPuller() = default;
+
+  void Run();
+  // One subscribe → stream → disconnect cycle. Returns when the connection
+  // breaks or stop is requested.
+  void PullOnce();
+  Status DialPrimary(int* fd);
+  Status HandleFrame(int fd, const RequestMessage& frame);
+  Status ApplySnapshotChunk(const OpRequest& op);
+  Status FinishSnapshot();
+  // Flushes the in-progress snapshot file accumulator, if any.
+  Status FlushPendingFile();
+  Status SendAck(int fd, uint64_t seq);
+
+  ReplicaOptions options_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> applied_seq_{0};
+  std::atomic<bool> snapshot_loaded_{false};
+
+  // Loopback client to the standby's own server (puller thread only).
+  std::unique_ptr<class Client> loopback_;
+
+  // Snapshot file accumulator (puller thread only). The staging dir is wiped
+  // once per subscribe cycle, on the first offset-0 chunk.
+  std::string pending_path_;
+  std::string pending_data_;
+  bool snapshot_started_in_cycle_ = false;
+};
+
+}  // namespace net
+}  // namespace flowkv
+
+#endif  // SRC_NET_REPLICA_H_

@@ -26,8 +26,10 @@
 #include "src/common/logging.h"
 #include "src/flowkv/flowkv_store.h"
 #include "src/net/conn.h"
+#include "src/net/replica.h"
 #include "src/obs/context.h"
 #include "src/obs/metrics.h"
+#include "src/obs/reporter.h"
 
 namespace flowkv {
 namespace net {
@@ -37,7 +39,9 @@ namespace {
 constexpr char kCurrentName[] = "CURRENT";
 constexpr char kEpochPrefix[] = "epoch_";
 constexpr char kStoresMetaName[] = "stores.meta";
-constexpr uint32_t kStoresMetaMagic = 0x464b564d;  // "FKVM"
+// Replication snapshots are staged under the data dir, not the checkpoint
+// dir: they are transient shipping state, never a commit point.
+constexpr char kReplSnapshotDirName[] = ".repl_snapshot";
 
 // Jump consistent hash (Lamping & Veach): maps a key hash onto one of
 // `num_buckets` shard workers with minimal movement when the count changes.
@@ -84,7 +88,26 @@ Status SetNonBlocking(int fd) {
 // Ops whose execution spans every shard rather than one key's shard.
 bool IsFanoutOp(OpType type) {
   return type == OpType::kOpenStore || type == OpType::kCheckpoint ||
-         type == OpType::kGatherStats;
+         type == OpType::kGatherStats || type == OpType::kRestoreStore;
+}
+
+// Ops forwarded to a subscribed standby: everything that mutates store state,
+// including the reads with remove side effects (GetUnaligned, GetWindowChunk)
+// and kOpenStore (so both sides assign the same dense ids in the same order).
+bool IsForwardedOp(OpType type) {
+  switch (type) {
+    case OpType::kOpenStore:
+    case OpType::kAppendAligned:
+    case OpType::kGetWindowChunk:
+    case OpType::kAppendUnaligned:
+    case OpType::kGetUnaligned:
+    case OpType::kMergeWindows:
+    case OpType::kRmwPut:
+    case OpType::kRmwRemove:
+      return true;
+    default:
+      return false;
+  }
 }
 
 }  // namespace
@@ -153,6 +176,15 @@ class Server::Impl {
     uint64_t conn_id = 0;
     uint64_t request_id = 0;
     int64_t start_nanos = 0;
+    // Absolute deadline derived from the request's relative deadline_ms at
+    // decode time; 0 = none. Shard workers shed expired requests (unless
+    // forwarded — see repl_seq).
+    int64_t deadline_nanos = 0;
+    // Replication sequence that carried this request's forwarded ops, or 0.
+    // Non-zero requests are never deadline-shed (the standby will execute
+    // them, so the primary must too) and their responses park until the
+    // standby acks the sequence.
+    uint64_t repl_seq = 0;
     std::vector<OpRequest> ops;
     // Final result per op. Slots for shard-routed ops are written by exactly
     // one shard thread; fan-out ops are assembled by the reactor from
@@ -200,6 +232,10 @@ class Server::Impl {
     std::mutex mu;
     std::condition_variable cv;
     std::deque<ShardTask> tasks;
+    // Mirror of tasks.size(), readable without the mutex for the reactor's
+    // overload check. Lossy by a task or two under race, which is fine for a
+    // shedding threshold.
+    std::atomic<size_t> depth{0};
   };
 
   // ----- threads -----
@@ -214,7 +250,19 @@ class Server::Impl {
   void HandleRequest(Connection* conn, RequestMessage request);
   void ProcessCompletions();
   void FinishPending(const std::shared_ptr<PendingRequest>& pending);
+  // The encode-and-queue tail of FinishPending, also used when a parked
+  // response is released.
+  void SendResponse(const std::shared_ptr<PendingRequest>& pending);
   void CloseConn(uint64_t conn_id);
+
+  // ----- replication, primary side (reactor thread only) -----
+
+  void HandleReplicaSubscribe(Connection* conn);
+  Status ShipSnapshot();
+  bool SendToReplica(const RequestMessage& message);
+  void HandleReplicaAck(uint64_t seq);
+  void DropReplica(const std::string& reason);
+  void ReleaseParked();
   int ShardForKey(const Slice& key) const {
     return JumpConsistentHash(Hash64(key), options_.num_shards);
   }
@@ -224,6 +272,10 @@ class Server::Impl {
   }
   StoreEntry* CreateStoreEntry(const std::string& ns, const OperatorStateSpec& spec);
   Status DrainCheckpoint();
+  // Barrier-checkpoints every shard of every store into `staged` (layout
+  // s<shard>_st<id>) and writes the stores.meta manifest there. Shared by
+  // the drain checkpoint and replication snapshot shipping.
+  Status CheckpointStoresTo(const std::string& staged);
 
   // ----- shard helpers (shard thread `shard` only) -----
 
@@ -247,6 +299,7 @@ class Server::Impl {
       std::lock_guard<std::mutex> lock(q.mu);
       q.tasks.push_back(std::move(task));
     }
+    q.depth.fetch_add(1, std::memory_order_relaxed);
     q.cv.notify_one();
   }
 
@@ -287,6 +340,18 @@ class Server::Impl {
   std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
   uint64_t next_conn_id_ = 1;
   size_t pending_count_ = 0;
+  // Reactor-only; a member (not a ReactorMain local) because FinishPending
+  // skips response parking once a drain begins.
+  bool draining_ = false;
+
+  // Replication state (reactor thread only). One standby at a time; a new
+  // subscriber supersedes the old one.
+  uint64_t replica_conn_id_ = 0;  // 0 = no standby subscribed
+  uint64_t repl_next_seq_ = 1;
+  uint64_t repl_acked_seq_ = 0;
+  int64_t repl_last_progress_nanos_ = 0;
+  // Responses parked until the standby acks their carrying sequence.
+  std::map<uint64_t, std::shared_ptr<PendingRequest>> parked_;
 
   // Shard -> reactor completion channel.
   std::mutex completions_mu_;
@@ -301,6 +366,10 @@ class Server::Impl {
   obs::Counter* m_protocol_errors_ = nullptr;
   obs::Gauge* m_open_conns_ = nullptr;
   obs::Gauge* m_pending_ = nullptr;
+  obs::Gauge* m_repl_parked_ = nullptr;
+  obs::Counter* m_shed_overload_ = nullptr;
+  obs::Counter* m_repl_forwarded_ = nullptr;
+  obs::Counter* m_repl_drops_ = nullptr;
   obs::HistogramMetric* m_request_latency_ms_ = nullptr;
 };
 
@@ -323,6 +392,10 @@ Status Server::Impl::Init(const ServerOptions& options) {
   m_protocol_errors_ = reg.GetCounter("server.protocol_errors");
   m_open_conns_ = reg.GetGauge("server.open_conns");
   m_pending_ = reg.GetGauge("server.pending_requests");
+  m_repl_parked_ = reg.GetGauge("server.repl_parked_responses");
+  m_shed_overload_ = reg.GetCounter("server.shed_overload");
+  m_repl_forwarded_ = reg.GetCounter("server.repl_frames_forwarded");
+  m_repl_drops_ = reg.GetCounter("server.repl_drops");
   m_request_latency_ms_ = reg.GetHistogram("server.request_latency_ms");
 
   if (!options_.checkpoint_dir.empty() && options_.restore) {
@@ -382,19 +455,13 @@ Status Server::Impl::Init(const ServerOptions& options) {
 // ---------------------------------------------------------------------------
 
 std::string Server::Impl::SerializeStoresMeta() {
-  std::string meta;
-  PutFixed32(&meta, kStoresMetaMagic);
-  PutVarint32(&meta, 1);  // version
-  PutVarint32(&meta, static_cast<uint32_t>(options_.num_shards));
+  StoresMeta meta;
+  meta.num_shards = options_.num_shards;
   std::lock_guard<std::mutex> lock(stores_mu_);
-  PutVarint32(&meta, static_cast<uint32_t>(stores_.size()));
   for (const auto& store : stores_) {
-    PutVarint64(&meta, store->id);
-    PutLengthPrefixed(&meta, store->ns);
-    EncodeStateSpec(&meta, store->spec);
+    meta.stores.push_back({store->id, store->ns, store->spec});
   }
-  PutFixed32(&meta, Checksum32(meta));
-  return meta;
+  return EncodeStoresMeta(meta);
 }
 
 Status Server::Impl::RestoreFromLatestCheckpoint() {
@@ -408,59 +475,39 @@ Status Server::Impl::RestoreFromLatestCheckpoint() {
     epoch_name.pop_back();
   }
   const std::string epoch_dir = JoinPath(options_.checkpoint_dir, epoch_name);
-  std::string meta;
-  FLOWKV_RETURN_IF_ERROR(ReadFileToString(JoinPath(epoch_dir, kStoresMetaName), &meta));
-  if (meta.size() < 8) {
-    return Status::Corruption("stores.meta too short");
-  }
-  const uint32_t expected = DecodeFixed32(meta.data() + meta.size() - 4);
-  if (Checksum32(Slice(meta.data(), meta.size() - 4)) != expected) {
-    return Status::Corruption("stores.meta checksum mismatch");
-  }
-  Slice input(meta.data(), meta.size() - 4);
-  uint32_t magic = 0, version = 0, num_shards = 0, num_stores = 0;
-  if (!GetFixed32(&input, &magic) || magic != kStoresMetaMagic ||
-      !GetVarint32(&input, &version) || version != 1 ||
-      !GetVarint32(&input, &num_shards) || !GetVarint32(&input, &num_stores)) {
-    return Status::Corruption("malformed stores.meta header");
-  }
-  if (static_cast<int>(num_shards) != options_.num_shards) {
+  std::string meta_bytes;
+  FLOWKV_RETURN_IF_ERROR(
+      ReadFileToString(JoinPath(epoch_dir, kStoresMetaName), &meta_bytes));
+  StoresMeta meta;
+  FLOWKV_RETURN_IF_ERROR(DecodeStoresMeta(meta_bytes, &meta));
+  if (meta.num_shards != options_.num_shards) {
     return Status::InvalidArgument(
-        "checkpoint has " + std::to_string(num_shards) + " shards, server configured with " +
-        std::to_string(options_.num_shards));
+        "checkpoint has " + std::to_string(meta.num_shards) +
+        " shards, server configured with " + std::to_string(options_.num_shards));
   }
 
   // Pre-thread startup path: no shard threads run yet, so restoring every
   // shard's store on this thread keeps the single-writer contract.
-  for (uint32_t i = 0; i < num_stores; ++i) {
-    uint64_t id = 0;
-    Slice ns;
-    OperatorStateSpec spec;
-    if (!GetVarint64(&input, &id) || !GetLengthPrefixed(&input, &ns) ||
-        !DecodeStateSpec(&input, &spec)) {
-      return Status::Corruption("malformed stores.meta entry");
-    }
+  for (const StoreMetaEntry& e : meta.stores) {
     auto entry = std::make_unique<StoreEntry>();
-    entry->id = stores_.size();
-    if (entry->id != id) {
-      return Status::Corruption("stores.meta ids are not dense");
-    }
-    entry->ns = ns.ToString();
-    entry->spec = spec;
-    entry->pattern = ClassifyPattern(spec.incremental, spec.window_kind, spec.alignment_hint);
+    entry->id = stores_.size();  // == e.id: DecodeStoresMeta enforces density
+    entry->ns = e.ns;
+    entry->spec = e.spec;
+    entry->pattern =
+        ClassifyPattern(e.spec.incremental, e.spec.window_kind, e.spec.alignment_hint);
     entry->open_state = StoreEntry::OpenState::kOpen;
     entry->shards.resize(static_cast<size_t>(options_.num_shards));
     entry->shard_obs.resize(static_cast<size_t>(options_.num_shards));
     for (int shard = 0; shard < options_.num_shards; ++shard) {
-      const std::string src =
-          JoinPath(epoch_dir, "s" + std::to_string(shard) + "_st" + std::to_string(id));
+      const std::string src = JoinPath(
+          epoch_dir, "s" + std::to_string(shard) + "_st" + std::to_string(e.id));
       FLOWKV_RETURN_IF_ERROR(OpenShardStore(shard, entry.get(), src));
     }
     store_ids_[entry->ns] = entry->id;
     stores_.push_back(std::move(entry));
   }
   FLOWKV_LOG(kInfo) << "restored server state " << LogKv("epoch", epoch_name)
-                    << LogKv("stores", num_stores);
+                    << LogKv("stores", meta.stores.size());
   return Status::Ok();
 }
 
@@ -488,7 +535,6 @@ Status Server::Impl::OpenShardStore(int shard, StoreEntry* store,
 // ---------------------------------------------------------------------------
 
 void Server::Impl::ReactorMain() {
-  bool draining = false;
   int64_t drain_flush_deadline = 0;
 
   std::vector<pollfd> pfds;
@@ -498,15 +544,26 @@ void Server::Impl::ReactorMain() {
     if (stop_requested_.load(std::memory_order_acquire)) {
       break;
     }
-    if (!draining && drain_requested_.load(std::memory_order_acquire)) {
-      draining = true;
+    if (!draining_ && drain_requested_.load(std::memory_order_acquire)) {
+      draining_ = true;
       drain_flush_deadline =
           MonotonicNanos() + static_cast<int64_t>(options_.drain_grace_ms) * 1'000'000;
       FLOWKV_LOG(kInfo) << "drain requested " << LogKv("open_conns", conns_.size())
                         << LogKv("pending", pending_count_);
+      // Stop waiting on standby acks: the drain checkpoint below makes the
+      // acknowledged state durable locally.
+      ReleaseParked();
     }
 
-    if (draining && pending_count_ == 0) {
+    // A standby that stops acking while responses are parked is dead weight:
+    // drop it and release the responses (the ops did execute here).
+    if (replica_conn_id_ != 0 && !parked_.empty() &&
+        MonotonicNanos() - repl_last_progress_nanos_ >
+            static_cast<int64_t>(options_.repl_ack_timeout_ms) * 1'000'000) {
+      DropReplica("ack timeout");
+    }
+
+    if (draining_ && pending_count_ == 0) {
       // Phase 2: give outboxes a grace period to deliver the final acks.
       bool outboxes_empty = true;
       for (const auto& kv : conns_) {
@@ -521,14 +578,19 @@ void Server::Impl::ReactorMain() {
     pfd_conn_ids.clear();
     pfds.push_back({wakeup_pipe_[0], POLLIN, 0});
     pfd_conn_ids.push_back(0);
-    if (!draining) {
+    if (!draining_) {
       pfds.push_back({listen_fd_, POLLIN, 0});
       pfd_conn_ids.push_back(0);
     }
     for (const auto& kv : conns_) {
       Connection* conn = kv.second.get();
       short events = 0;
-      if (!draining && !conn->over_outbox_budget()) {
+      // The replica connection must always stay readable: its inbound bytes
+      // are acks, and pausing them (outbox backpressure applies while a
+      // snapshot ships, drains pause client reads) would deadlock parked
+      // responses against the very acks that release them.
+      const bool is_replica = conn->id() == replica_conn_id_;
+      if ((!draining_ && !conn->over_outbox_budget()) || is_replica) {
         events |= POLLIN;
       }
       if (conn->has_pending_writes()) {
@@ -538,7 +600,7 @@ void Server::Impl::ReactorMain() {
       pfd_conn_ids.push_back(conn->id());
     }
 
-    const int timeout_ms = draining ? 10 : 500;
+    const int timeout_ms = draining_ ? 10 : 500;
     const int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
     if (n < 0 && errno != EINTR) {
       final_status_ = Status::FromErrno("poll");
@@ -554,7 +616,7 @@ void Server::Impl::ReactorMain() {
     ProcessCompletions();
 
     size_t idx = 1;
-    if (!draining) {
+    if (!draining_) {
       if (pfds[idx].revents & POLLIN) {
         AcceptNewConnections();
       }
@@ -597,7 +659,11 @@ void Server::Impl::ReactorMain() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  const bool clean_drain = draining && !stop_requested_.load(std::memory_order_acquire);
+  const bool clean_drain = draining_ && !stop_requested_.load(std::memory_order_acquire);
+  // Anything still parked (hard stop, or parked during the grace window)
+  // gets a best-effort response before connections close.
+  replica_conn_id_ = 0;
+  ReleaseParked();
   for (auto& kv : conns_) {
     if (clean_drain) {
       kv.second->FlushWrites();  // best effort: deliver remaining acks
@@ -611,6 +677,7 @@ void Server::Impl::ReactorMain() {
     if (!final_status_.ok()) {
       FLOWKV_LOG(kError) << "drain checkpoint failed "
                          << LogKv("status", final_status_.ToString());
+      obs::TriggerFlightRecord("drain checkpoint failed: " + final_status_.ToString());
     }
   }
 
@@ -671,6 +738,20 @@ void Server::Impl::HandleReadable(Connection* conn) {
       break;
     }
     m_frames_in_->Add(1);
+    if (conn_id == replica_conn_id_) {
+      // After subscribing, the standby only ever sends acks (ResponseMessage
+      // frames echoing the replication sequence).
+      ResponseMessage ack;
+      const Status ack_status = DecodeResponse(payload, &ack);
+      conn->Consume(size_before - buffered.size());
+      if (!ack_status.ok()) {
+        m_protocol_errors_->Add(1);
+        DropReplica("corrupt ack frame");
+        return;
+      }
+      HandleReplicaAck(ack.request_id);
+      continue;
+    }
     RequestMessage request;
     const Status decode_status = DecodeRequest(payload, &request);
     // The payload slice points into the connection buffer; consume only
@@ -716,10 +797,24 @@ Server::Impl::StoreEntry* Server::Impl::CreateStoreEntry(const std::string& ns,
 
 void Server::Impl::HandleRequest(Connection* conn, RequestMessage request) {
   m_requests_->Add(1);
+
+  // A standby announcing itself: the frame belongs to the replication
+  // stream, never the dispatch path.
+  if (request.ops.size() == 1 && request.ops[0].type == OpType::kReplicaSubscribe) {
+    HandleReplicaSubscribe(conn);
+    return;
+  }
+
   auto pending = std::make_shared<PendingRequest>();
   pending->conn_id = conn->id();
   pending->request_id = request.request_id;
   pending->start_nanos = MonotonicNanos();
+  if (request.deadline_ms > 0) {
+    // Pin the client's relative deadline to this server's clock at decode
+    // time; shard workers shed work that outlives it.
+    pending->deadline_nanos =
+        pending->start_nanos + static_cast<int64_t>(request.deadline_ms) * 1'000'000;
+  }
   pending->ops = std::move(request.ops);
   pending->results.resize(pending->ops.size());
   pending->fanout_partials.resize(pending->ops.size());
@@ -734,6 +829,51 @@ void Server::Impl::HandleRequest(Connection* conn, RequestMessage request) {
 
     if (op.type == OpType::kPing) {
       result.status = Status::Ok();
+      continue;
+    }
+
+    if (op.type == OpType::kReplicaSubscribe || op.type == OpType::kSnapshotFile ||
+        op.type == OpType::kSnapshotDone) {
+      result.status =
+          Status::InvalidArgument("replication frame outside a replica stream");
+      continue;
+    }
+
+    if (op.type == OpType::kRestoreStore) {
+      // Standby-side snapshot install (loopback from the ReplicaPuller):
+      // create-or-replace the store from a staged checkpoint directory. The
+      // primary's dense id is enforced so forwarded ops route unchanged.
+      if (op.ns.empty() || op.path.empty()) {
+        result.status = Status::InvalidArgument("kRestoreStore needs ns and path");
+        continue;
+      }
+      StoreEntry* store = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(stores_mu_);
+        auto it = store_ids_.find(op.ns);
+        if (it != store_ids_.end()) {
+          store = stores_[it->second].get();
+        }
+      }
+      if (store == nullptr) {
+        store = CreateStoreEntry(op.ns, op.spec);
+      }
+      if (store->id != op.store_id) {
+        result.status = Status::InvalidArgument(
+            "restore id mismatch for " + op.ns + ": have " +
+            std::to_string(store->id) + ", primary says " +
+            std::to_string(op.store_id));
+        continue;
+      }
+      store->spec = op.spec;
+      store->pattern =
+          ClassifyPattern(op.spec.incremental, op.spec.window_kind, op.spec.alignment_hint);
+      store->open_state = StoreEntry::OpenState::kOpening;
+      store->chunk_cursor.clear();  // cursors referred to the replaced state
+      pending->fanout_partials[i].resize(static_cast<size_t>(options_.num_shards));
+      for (int shard = 0; shard < options_.num_shards; ++shard) {
+        shard_items[static_cast<size_t>(shard)].push_back({i, store});
+      }
       continue;
     }
 
@@ -821,6 +961,52 @@ void Server::Impl::HandleRequest(Connection* conn, RequestMessage request) {
   for (const auto& items : shard_items) {
     if (!items.empty()) ++tasks;
   }
+
+  // Overload shedding happens before anything dispatches or forwards, so
+  // kOverloaded guarantees the batch executed nowhere — the one status a
+  // client may blindly retry.
+  if (tasks > 0 && options_.max_shard_queue_depth > 0) {
+    bool overloaded = false;
+    for (int shard = 0; shard < options_.num_shards; ++shard) {
+      if (!shard_items[static_cast<size_t>(shard)].empty() &&
+          shard_queues_[static_cast<size_t>(shard)]->depth.load(
+              std::memory_order_relaxed) >= options_.max_shard_queue_depth) {
+        overloaded = true;
+        break;
+      }
+    }
+    if (overloaded) {
+      m_shed_overload_->Add(1);
+      for (size_t i = 0; i < pending->ops.size(); ++i) {
+        pending->results[i] = OpResult{};
+        pending->results[i].type = pending->ops[i].type;
+        pending->results[i].status = Status::Overloaded("shard queue over bound");
+        pending->fanout_partials[i].clear();
+      }
+      FinishPending(pending);
+      return;
+    }
+  }
+
+  // Forward mutating ops to a subscribed standby, tagged with the next dense
+  // sequence, before local dispatch; FinishPending parks the response until
+  // the standby acks the sequence (synchronous replication).
+  if (replica_conn_id_ != 0) {
+    RequestMessage fwd;
+    for (const OpRequest& op : pending->ops) {
+      if (IsForwardedOp(op.type)) {
+        fwd.ops.push_back(op);
+      }
+    }
+    if (!fwd.ops.empty()) {
+      fwd.request_id = repl_next_seq_++;
+      pending->repl_seq = fwd.request_id;
+      if (!SendToReplica(fwd)) {
+        pending->repl_seq = 0;  // replica just dropped; proceed unreplicated
+      }
+    }
+  }
+
   if (tasks == 0) {
     FinishPending(pending);
     return;
@@ -873,7 +1059,7 @@ void Server::Impl::FinishPending(const std::shared_ptr<PendingRequest>& pending)
           result.status = partial.status;
         }
       }
-      if (op.type == OpType::kOpenStore) {
+      if (op.type == OpType::kOpenStore || op.type == OpType::kRestoreStore) {
         std::lock_guard<std::mutex> lock(stores_mu_);
         auto sit = store_ids_.find(op.ns);
         if (sit != store_ids_.end()) {
@@ -885,6 +1071,7 @@ void Server::Impl::FinishPending(const std::shared_ptr<PendingRequest>& pending)
       if (result.status.ok()) {
         switch (op.type) {
           case OpType::kOpenStore:
+          case OpType::kRestoreStore:
             result.store_id = partials[0].store_id;
             result.pattern = partials[0].pattern;
             break;
@@ -947,6 +1134,24 @@ void Server::Impl::FinishPending(const std::shared_ptr<PendingRequest>& pending)
   m_request_latency_ms_->Record(
       static_cast<double>(MonotonicNanos() - pending->start_nanos) / 1e6);
 
+  // Synchronous replication: a response whose ops were forwarded parks until
+  // the standby acks the carrying sequence, so an acknowledged write is never
+  // lost by failing over. A drain releases parked responses instead — the
+  // drain checkpoint makes them durable locally.
+  if (pending->repl_seq != 0 && replica_conn_id_ != 0 &&
+      pending->repl_seq > repl_acked_seq_ && !draining_) {
+    if (parked_.empty()) {
+      // The ack-timeout clock starts when there is something to wait for.
+      repl_last_progress_nanos_ = MonotonicNanos();
+    }
+    parked_[pending->repl_seq] = pending;
+    m_repl_parked_->Set(static_cast<int64_t>(parked_.size()));
+    return;
+  }
+  SendResponse(pending);
+}
+
+void Server::Impl::SendResponse(const std::shared_ptr<PendingRequest>& pending) {
   auto it = conns_.find(pending->conn_id);
   if (it == conns_.end()) {
     return;  // client went away; drop the response
@@ -972,6 +1177,136 @@ void Server::Impl::FinishPending(const std::shared_ptr<PendingRequest>& pending)
 void Server::Impl::CloseConn(uint64_t conn_id) {
   conns_.erase(conn_id);
   m_open_conns_->Set(static_cast<int64_t>(conns_.size()));
+  if (conn_id == replica_conn_id_) {
+    // DropReplica zeroes replica_conn_id_ before re-entering CloseConn, so
+    // this does not recurse.
+    DropReplica("connection closed");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Replication, primary side
+// ---------------------------------------------------------------------------
+
+void Server::Impl::HandleReplicaSubscribe(Connection* conn) {
+  if (replica_conn_id_ != 0 && replica_conn_id_ != conn->id()) {
+    DropReplica("superseded by a new subscriber");
+  }
+  replica_conn_id_ = conn->id();
+  repl_last_progress_nanos_ = MonotonicNanos();
+  FLOWKV_LOG(kInfo) << "replica subscribed " << LogKv("conn", conn->id());
+  const Status s = ShipSnapshot();
+  if (!s.ok()) {
+    FLOWKV_LOG(kWarn) << "snapshot ship failed " << LogKv("status", s.ToString());
+    DropReplica("snapshot ship failed: " + s.ToString());
+  }
+}
+
+Status Server::Impl::ShipSnapshot() {
+  const std::string staged = JoinPath(options_.data_dir, kReplSnapshotDirName);
+  RemoveDirRecursively(staged);  // best effort; CreateDirs reports real failures
+  FLOWKV_RETURN_IF_ERROR(CreateDirs(staged));
+  FLOWKV_RETURN_IF_ERROR(CheckpointStoresTo(staged));
+
+  std::vector<std::string> files;
+  FLOWKV_RETURN_IF_ERROR(ListFilesRecursively(staged, &files));
+  size_t shipped_bytes = 0;
+  for (const std::string& rel : files) {
+    std::string data;
+    FLOWKV_RETURN_IF_ERROR(ReadFileToString(JoinPath(staged, rel), &data));
+    size_t offset = 0;
+    do {  // do-while so empty files still ship one (empty) chunk
+      const size_t n = std::min(options_.repl_chunk_bytes, data.size() - offset);
+      RequestMessage m;
+      m.request_id = repl_next_seq_++;
+      OpRequest op;
+      op.type = OpType::kSnapshotFile;
+      op.path = rel;
+      op.timestamp = static_cast<int64_t>(offset);
+      op.value = data.substr(offset, n);
+      m.ops.push_back(std::move(op));
+      if (!SendToReplica(m)) {
+        return Status::ConnectionReset("replica went away mid-snapshot");
+      }
+      offset += n;
+      shipped_bytes += n;
+    } while (offset < data.size());
+  }
+  RequestMessage done;
+  done.request_id = repl_next_seq_++;
+  OpRequest done_op;
+  done_op.type = OpType::kSnapshotDone;
+  done.ops.push_back(std::move(done_op));
+  if (!SendToReplica(done)) {
+    return Status::ConnectionReset("replica went away mid-snapshot");
+  }
+  FLOWKV_LOG(kInfo) << "replication snapshot shipped " << LogKv("files", files.size())
+                    << LogKv("bytes", shipped_bytes);
+  return Status::Ok();
+}
+
+bool Server::Impl::SendToReplica(const RequestMessage& message) {
+  auto it = conns_.find(replica_conn_id_);
+  if (it == conns_.end()) {
+    DropReplica("connection missing");
+    return false;
+  }
+  std::string payload;
+  EncodeRequest(message, &payload);
+  std::string frame;
+  frame.reserve(payload.size() + kFrameHeaderBytes);
+  AppendFrame(&frame, payload);
+  m_bytes_out_->Add(static_cast<int64_t>(frame.size()));
+  m_repl_forwarded_->Add(1);
+  Connection* conn = it->second.get();
+  conn->QueueFrame(std::move(frame));
+  if (!conn->FlushWrites().ok()) {
+    DropReplica("send failed");
+    return false;
+  }
+  return true;
+}
+
+void Server::Impl::HandleReplicaAck(uint64_t seq) {
+  if (seq > repl_acked_seq_) {
+    repl_acked_seq_ = seq;
+  }
+  repl_last_progress_nanos_ = MonotonicNanos();
+  while (!parked_.empty() && parked_.begin()->first <= repl_acked_seq_) {
+    std::shared_ptr<PendingRequest> pending = std::move(parked_.begin()->second);
+    parked_.erase(parked_.begin());
+    SendResponse(pending);
+  }
+  m_repl_parked_->Set(static_cast<int64_t>(parked_.size()));
+}
+
+void Server::Impl::DropReplica(const std::string& reason) {
+  if (replica_conn_id_ == 0) {
+    return;
+  }
+  const uint64_t id = replica_conn_id_;
+  replica_conn_id_ = 0;
+  m_repl_drops_->Add(1);
+  FLOWKV_LOG(kWarn) << "dropping replica " << LogKv("conn", id)
+                    << LogKv("reason", reason);
+  // Nothing will ack the outstanding sequences now; release their responses.
+  // The ops did execute locally, so delivery is at-least-once across a later
+  // re-subscribe (docs/NETWORK.md).
+  ReleaseParked();
+  CloseConn(id);
+  obs::TriggerFlightRecord("replica dropped: " + reason);
+}
+
+void Server::Impl::ReleaseParked() {
+  if (parked_.empty()) {
+    return;
+  }
+  std::map<uint64_t, std::shared_ptr<PendingRequest>> parked;
+  parked.swap(parked_);
+  m_repl_parked_->Set(0);
+  for (auto& entry : parked) {
+    SendResponse(entry.second);
+  }
 }
 
 Status Server::Impl::DrainCheckpoint() {
@@ -990,6 +1325,15 @@ Status Server::Impl::DrainCheckpoint() {
   const std::string staged = JoinPath(options_.checkpoint_dir, epoch_name);
   FLOWKV_RETURN_IF_ERROR(CreateDirs(staged));
 
+  FLOWKV_RETURN_IF_ERROR(CheckpointStoresTo(staged));
+  // Commit point, exactly as Pipeline::Checkpoint: CURRENT flips only after
+  // every shard's checkpoint and the store manifest are durable.
+  FLOWKV_RETURN_IF_ERROR(WriteFileDurably(current_path, epoch_name));
+  FLOWKV_LOG(kInfo) << "drain checkpoint committed " << LogKv("epoch", epoch_name);
+  return Status::Ok();
+}
+
+Status Server::Impl::CheckpointStoresTo(const std::string& staged) {
   // Every shard checkpoints its half of every store on its own thread
   // (preserving single-writer access), joined by a barrier.
   std::vector<StoreEntry*> entries;
@@ -1015,15 +1359,7 @@ Status Server::Impl::DrainCheckpoint() {
     }
     FLOWKV_RETURN_IF_ERROR(barrier->Wait());
   }
-
-  FLOWKV_RETURN_IF_ERROR(
-      WriteFileDurably(JoinPath(staged, kStoresMetaName), SerializeStoresMeta()));
-  // Commit point, exactly as Pipeline::Checkpoint: CURRENT flips only after
-  // every shard's checkpoint and the store manifest are durable.
-  FLOWKV_RETURN_IF_ERROR(WriteFileDurably(current_path, epoch_name));
-  FLOWKV_LOG(kInfo) << "drain checkpoint committed " << LogKv("epoch", epoch_name)
-                    << LogKv("stores", entries.size());
-  return Status::Ok();
+  return WriteFileDurably(JoinPath(staged, kStoresMetaName), SerializeStoresMeta());
 }
 
 // ---------------------------------------------------------------------------
@@ -1033,6 +1369,9 @@ Status Server::Impl::DrainCheckpoint() {
 void Server::Impl::ShardMain(int shard) {
   // Shard workers label their metrics with worker = shard id.
   obs::WorkerScope worker_scope(shard);
+  // Per-worker instrument (RelaxedCounter is single-writer).
+  obs::Counter* shed_deadline =
+      obs::MetricsRegistry::Global().GetCounter("server.shed_deadline");
   ShardQueue& queue = *shard_queues_[static_cast<size_t>(shard)];
   while (true) {
     ShardTask task;
@@ -1042,6 +1381,7 @@ void Server::Impl::ShardMain(int shard) {
       task = std::move(queue.tasks.front());
       queue.tasks.pop_front();
     }
+    queue.depth.fetch_sub(1, std::memory_order_relaxed);
     switch (task.kind) {
       case ShardTask::Kind::kStop:
         return;
@@ -1054,12 +1394,25 @@ void Server::Impl::ShardMain(int shard) {
       }
       case ShardTask::Kind::kOps: {
         PendingRequest* pending = task.pending.get();
+        // Deadline shedding: skip work the client has already given up on —
+        // unless its ops were forwarded to a standby, which will execute
+        // them; the primary must stay in lockstep.
+        const bool shed = pending->deadline_nanos != 0 && pending->repl_seq == 0 &&
+                          MonotonicNanos() > pending->deadline_nanos;
+        if (shed) {
+          shed_deadline->Add(1);
+        }
         for (const ShardWorkItem& item : task.items) {
           const OpRequest& op = pending->ops[item.op_index];
           OpResult* out = pending->fanout_partials[item.op_index].empty()
                               ? &pending->results[item.op_index]
                               : &pending->fanout_partials[item.op_index]
                                      [static_cast<size_t>(shard)];
+          if (shed) {
+            out->type = op.type;
+            out->status = Status::TimedOut("deadline expired before execution");
+            continue;
+          }
           ExecuteShardOp(shard, item.store, op, out);
         }
         // acq_rel: the reactor's reads of our result slots happen after it
@@ -1088,6 +1441,20 @@ void Server::Impl::ExecuteShardOp(int shard, StoreEntry* store, const OpRequest&
     out->status = store->shards[static_cast<size_t>(shard)] != nullptr
                       ? Status::Ok()
                       : OpenShardStore(shard, store);
+    if (out->status.ok()) {
+      out->store_id = store->id;
+      out->pattern = store->pattern;
+    }
+    return;
+  }
+
+  if (op.type == OpType::kRestoreStore) {
+    // Replace this shard's slot from the shipped snapshot. The old store (if
+    // any) must close before OpenShardStore wipes its directory.
+    store->shards[static_cast<size_t>(shard)].reset();
+    out->status = OpenShardStore(
+        shard, store,
+        JoinPath(op.path, "s" + std::to_string(shard) + "_st" + std::to_string(store->id)));
     if (out->status.ok()) {
       out->store_id = store->id;
       out->pattern = store->pattern;
@@ -1151,6 +1518,10 @@ void Server::Impl::ExecuteShardOp(int shard, StoreEntry* store, const OpRequest&
     }
     case OpType::kPing:
     case OpType::kOpenStore:
+    case OpType::kRestoreStore:
+    case OpType::kReplicaSubscribe:
+    case OpType::kSnapshotFile:
+    case OpType::kSnapshotDone:
       out->status = Status::Internal("op routed to shard unexpectedly");
       break;
   }

@@ -55,6 +55,18 @@ struct ServerOptions {
   // checkpointing anyway.
   int drain_grace_ms = 2000;
 
+  // Overload shedding: a request targeting a shard whose queue is at least
+  // this deep is refused whole with kOverloaded before anything dispatches,
+  // so the client can safely retry after backoff. 0 disables.
+  size_t max_shard_queue_depth = 1024;
+
+  // Replication (active once a standby subscribes; see src/net/replica.h):
+  // how long parked client responses wait for a standby ack before the
+  // replica is dropped and the responses released, and the chunk size used
+  // when shipping snapshot files.
+  int repl_ack_timeout_ms = 5000;
+  size_t repl_chunk_bytes = 1u << 20;
+
   FlowKvOptions store_options;
 };
 

@@ -5,9 +5,86 @@
 #include "src/common/clock.h"
 #include "src/common/stats.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace flowkv {
 namespace obs {
+
+namespace {
+
+struct FlightRecorder {
+  std::mutex mu;
+  std::string path;
+};
+
+FlightRecorder& Flight() {
+  static FlightRecorder* recorder = new FlightRecorder();  // never destroyed
+  return *recorder;
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+void SetFlightRecordPath(const std::string& path) {
+  FlightRecorder& fr = Flight();
+  std::lock_guard<std::mutex> lock(fr.mu);
+  fr.path = path;
+}
+
+std::string FlightRecordPath() {
+  FlightRecorder& fr = Flight();
+  std::lock_guard<std::mutex> lock(fr.mu);
+  return fr.path;
+}
+
+bool TriggerFlightRecord(const std::string& reason) {
+  FlightRecorder& fr = Flight();
+  // Held across the write so concurrent triggers interleave whole records,
+  // not lines. Failure paths are cold; contention here is irrelevant.
+  std::lock_guard<std::mutex> lock(fr.mu);
+  if (fr.path.empty()) return false;
+  std::FILE* out = std::fopen(fr.path.c_str(), "a");
+  if (out == nullptr) return false;
+
+  const long long ts_ms = static_cast<long long>(MonotonicNanos() / 1000000);
+  std::string header = "{\"flight_record\":\"";
+  AppendJsonEscaped(&header, reason);
+  std::fprintf(out, "%s\",\"ts_ms\":%lld}\n", header.c_str(), ts_ms);
+
+  for (const MetricSample& m : MetricsRegistry::Global().Snapshot()) {
+    std::string name;
+    AppendJsonEscaped(&name, m.name);
+    std::fprintf(out,
+                 "{\"metric\":\"%s\",\"kind\":\"%s\",\"worker\":%d,\"op\":\"%s\","
+                 "\"value\":%lld}\n",
+                 name.c_str(), m.kind, m.labels.worker, m.labels.op.c_str(),
+                 static_cast<long long>(m.value));
+  }
+
+  for (const TraceEvent& ev : Tracing::SnapshotEvents()) {
+    std::fprintf(out,
+                 "{\"trace\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",\"tid\":%d,"
+                 "\"ts_us\":%lld,\"dur_us\":%lld}\n",
+                 ev.name, ev.cat, ev.phase, ev.tid, static_cast<long long>(ev.ts_us),
+                 static_cast<long long>(ev.dur_us));
+  }
+  std::fputs("{\"flight_record_end\":true}\n", out);
+  return std::fclose(out) == 0;
+}
 
 PeriodicReporter::~PeriodicReporter() { Stop(); }
 
@@ -27,6 +104,9 @@ bool PeriodicReporter::Start(const std::string& path, int interval_ms) {
   interval_ms_ = interval_ms < 1 ? 1 : interval_ms;
   start_nanos_ = MonotonicNanos();
   stop_requested_ = false;
+  if (FlightRecordPath().empty()) {
+    SetFlightRecordPath(path + ".flight");
+  }
   thread_ = std::thread(&PeriodicReporter::Run, this);
   return true;
 }

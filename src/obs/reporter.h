@@ -38,6 +38,20 @@ struct WorkerProgress {
   RelaxedCounter lag_ms;        // current processing lag vs the event-time rate
 };
 
+// ----- Flight recorder -----
+//
+// A post-mortem dump for failure events (replica dropped, drain checkpoint
+// failed, client failover): TriggerFlightRecord appends to the configured
+// JSONL file one header line with the reason, one line per metric in a full
+// registry snapshot, and one line per buffered trace event across every
+// worker's ring — so the moments leading up to the failure survive the
+// process. With no path configured it is a no-op returning false.
+// PeriodicReporter::Start configures `<path>.flight` automatically unless a
+// path was already set. Thread-safe; concurrent triggers serialize.
+void SetFlightRecordPath(const std::string& path);
+std::string FlightRecordPath();
+bool TriggerFlightRecord(const std::string& reason);
+
 class PeriodicReporter {
  public:
   PeriodicReporter() = default;

@@ -119,7 +119,7 @@ size_t Tracing::EventCount() {
   return n;
 }
 
-bool Tracing::ExportChromeTrace(const std::string& path) {
+std::vector<TraceEvent> Tracing::SnapshotEvents() {
   std::vector<TraceEvent> events;
   {
     auto& ctl = trace_internal::Ctl();
@@ -128,6 +128,11 @@ bool Tracing::ExportChromeTrace(const std::string& path) {
   }
   std::stable_sort(events.begin(), events.end(),
                    [](const TraceEvent& a, const TraceEvent& b) { return a.ts_us < b.ts_us; });
+  return events;
+}
+
+bool Tracing::ExportChromeTrace(const std::string& path) {
+  std::vector<TraceEvent> events = SnapshotEvents();
 
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;

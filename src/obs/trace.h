@@ -16,6 +16,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/common/clock.h"
 
@@ -70,6 +71,12 @@ class Tracing {
 
   // Number of buffered events across all rings (dropped ones excluded).
   static size_t EventCount();
+
+  // All buffered events across all rings, sorted by timestamp. Unlike
+  // ExportChromeTrace this is safe to call while writers are live (the
+  // flight recorder uses it mid-failure): events being written concurrently
+  // may come back torn, which a post-mortem dump tolerates.
+  static std::vector<TraceEvent> SnapshotEvents();
 };
 
 // Records an instant event ('i') with up to two int64 args.

@@ -33,11 +33,12 @@ Window RandomWindow(Random* rng) {
 // encoding is per-type sparse; off-wire fields stay at their defaults).
 OpRequest RandomOpRequest(Random* rng) {
   OpRequest op;
-  op.type = static_cast<OpType>(rng->Uniform(12));
+  op.type = static_cast<OpType>(rng->Uniform(kMaxOpType + 1));
   switch (op.type) {
     case OpType::kPing:
       break;
     case OpType::kOpenStore:
+    case OpType::kRestoreStore:
       op.ns = "w0.op" + std::to_string(rng->Uniform(100)) + ".h0";
       op.spec.name = "op" + std::to_string(rng->Uniform(100));
       op.spec.window_kind = static_cast<WindowKind>(rng->Uniform(6));
@@ -45,6 +46,21 @@ OpRequest RandomOpRequest(Random* rng) {
       op.spec.window_size_ms = rng->Range(0, 100'000);
       op.spec.session_gap_ms = rng->Range(0, 10'000);
       op.spec.alignment_hint = static_cast<ReadAlignmentHint>(rng->Uniform(3));
+      if (op.type == OpType::kRestoreStore) {
+        op.store_id = rng->Next() % 1000;
+        op.path = "/tmp/restore/" + std::to_string(rng->Uniform(100));
+      }
+      break;
+    case OpType::kReplicaSubscribe:
+      op.timestamp = rng->Range(0, 1'000'000);
+      break;
+    case OpType::kSnapshotFile:
+      op.path = "s0_st" + std::to_string(rng->Uniform(10)) + "/file";
+      op.timestamp = rng->Range(0, 1'000'000);
+      op.value = RandomBytes(rng, 512);
+      break;
+    case OpType::kSnapshotDone:
+      op.path = "epoch_" + std::to_string(rng->Uniform(10));
       break;
     case OpType::kMergeWindows:
       op.store_id = rng->Next() % 1000;
@@ -219,6 +235,7 @@ TEST(NetMessageTest, RequestRoundTripProperty) {
   for (int iter = 0; iter < 100; ++iter) {
     RequestMessage msg;
     msg.request_id = rng.Next();
+    msg.deadline_ms = static_cast<uint32_t>(rng.Uniform(120'000));
     const uint64_t num_ops = rng.Uniform(8);
     for (uint64_t i = 0; i < num_ops; ++i) {
       msg.ops.push_back(RandomOpRequest(&rng));
@@ -229,6 +246,7 @@ TEST(NetMessageTest, RequestRoundTripProperty) {
     RequestMessage decoded;
     ASSERT_TRUE(DecodeRequest(payload, &decoded).ok());
     ASSERT_EQ(decoded.request_id, msg.request_id);
+    ASSERT_EQ(decoded.deadline_ms, msg.deadline_ms);
     ASSERT_EQ(decoded.ops.size(), msg.ops.size());
     for (size_t i = 0; i < msg.ops.size(); ++i) {
       ExpectOpEq(decoded.ops[i], msg.ops[i]);
@@ -363,6 +381,184 @@ TEST(NetMessageTest, TrailingBytesRejected) {
   payload.push_back('\0');
   RequestMessage decoded;
   EXPECT_FALSE(DecodeRequest(payload, &decoded).ok());
+}
+
+StoresMeta RandomStoresMeta(Random* rng) {
+  StoresMeta meta;
+  meta.num_shards = static_cast<int>(1 + rng->Uniform(8));
+  const uint64_t n = rng->Uniform(5);
+  for (uint64_t i = 0; i < n; ++i) {
+    StoreMetaEntry entry;
+    entry.id = i;  // the codec enforces dense ids
+    entry.ns = "w0.op" + std::to_string(i) + ".h" + std::to_string(rng->Uniform(4));
+    entry.spec.name = "op" + std::to_string(rng->Uniform(100));
+    entry.spec.window_kind = static_cast<WindowKind>(rng->Uniform(6));
+    entry.spec.incremental = rng->Bernoulli(0.5);
+    entry.spec.window_size_ms = rng->Range(0, 100'000);
+    entry.spec.session_gap_ms = rng->Range(0, 10'000);
+    meta.stores.push_back(std::move(entry));
+  }
+  return meta;
+}
+
+TEST(StoresMetaTest, RoundTripProperty) {
+  Random rng(41);
+  for (int iter = 0; iter < 100; ++iter) {
+    const StoresMeta meta = RandomStoresMeta(&rng);
+    const std::string blob = EncodeStoresMeta(meta);
+    StoresMeta decoded;
+    ASSERT_TRUE(DecodeStoresMeta(blob, &decoded).ok());
+    ASSERT_EQ(decoded.num_shards, meta.num_shards);
+    ASSERT_EQ(decoded.stores.size(), meta.stores.size());
+    for (size_t i = 0; i < meta.stores.size(); ++i) {
+      EXPECT_EQ(decoded.stores[i].id, meta.stores[i].id);
+      EXPECT_EQ(decoded.stores[i].ns, meta.stores[i].ns);
+      EXPECT_EQ(decoded.stores[i].spec.name, meta.stores[i].spec.name);
+      EXPECT_EQ(decoded.stores[i].spec.window_kind, meta.stores[i].spec.window_kind);
+    }
+  }
+}
+
+// ----- S3: exhaustive truncation / bit-flip sweeps over a valid corpus -----
+//
+// Every decoder entry point must treat a damaged input as data, not trust:
+// the outcome is a clean Status (or "need more bytes" at the frame layer),
+// never a crash, an unbounded allocation, or a silent success that yields
+// different bytes than were sent.
+
+// A corpus of valid encoded payloads spanning every message kind.
+std::vector<std::string> BuildValidCorpus(Random* rng) {
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 8; ++i) {
+    RequestMessage req;
+    req.request_id = rng->Next();
+    req.deadline_ms = static_cast<uint32_t>(rng->Uniform(60'000));
+    for (uint64_t k = 0, n = 1 + rng->Uniform(5); k < n; ++k) {
+      req.ops.push_back(RandomOpRequest(rng));
+    }
+    std::string payload;
+    EncodeRequest(req, &payload);
+    corpus.push_back(std::move(payload));
+  }
+  for (int i = 0; i < 4; ++i) {
+    ResponseMessage resp;
+    resp.request_id = rng->Next();
+    OpResult r;
+    r.type = OpType::kRmwGet;
+    r.accumulator = RandomBytes(rng, 64);
+    resp.results.push_back(r);
+    OpResult err;
+    err.type = OpType::kAppendAligned;
+    err.status = Status::TimedOut("deadline expired before execution");
+    resp.results.push_back(err);
+    std::string payload;
+    EncodeResponse(resp, &payload);
+    corpus.push_back(std::move(payload));
+  }
+  return corpus;
+}
+
+// Decodes `payload` through every message decoder; the only requirement is
+// that each terminates with a Status (damage below the frame CRC may still
+// parse — the CRC, not the body codec, owns integrity).
+void DecodeAllWays(const Slice& payload, int* rejections) {
+  RequestMessage req;
+  if (!DecodeRequest(payload, &req).ok()) ++*rejections;
+  ResponseMessage resp;
+  if (!DecodeResponse(payload, &resp).ok()) ++*rejections;
+  StoresMeta meta;
+  if (!DecodeStoresMeta(payload, &meta).ok()) ++*rejections;
+}
+
+TEST(NetFuzzTest, EveryTruncationOfEveryCorpusPayloadIsClean) {
+  Random rng(53);
+  for (const std::string& payload : BuildValidCorpus(&rng)) {
+    // Message layer: every strict prefix of a valid body must be rejected
+    // (the codec length-prefixes everything and rejects trailing bytes, so a
+    // prefix can never masquerade as a complete message).
+    for (size_t cut = 0; cut < payload.size(); ++cut) {
+      int rejections = 0;
+      DecodeAllWays(Slice(payload.data(), cut), &rejections);
+      // At most one decoder may accept (a degenerate empty message).
+      EXPECT_GE(rejections, 2) << "cut=" << cut;
+    }
+    // Frame layer: every strict prefix of the framed payload reports
+    // "incomplete" without consuming bytes or allocating the full frame.
+    std::string wire;
+    AppendFrame(&wire, payload);
+    for (size_t cut = 0; cut < wire.size(); ++cut) {
+      Slice input(wire.data(), cut);
+      Slice decoded;
+      bool complete = true;
+      ASSERT_TRUE(TryDecodeFrame(&input, &decoded, &complete).ok()) << "cut=" << cut;
+      EXPECT_FALSE(complete) << "cut=" << cut;
+    }
+  }
+}
+
+TEST(NetFuzzTest, EveryBitFlipOfFramedCorpusIsCaughtOrIncomplete) {
+  Random rng(59);
+  int caught = 0;
+  for (const std::string& payload : BuildValidCorpus(&rng)) {
+    std::string wire;
+    AppendFrame(&wire, payload);
+    // Exhaustive over bytes, seeded-random over the bit within each byte —
+    // covers header (length + checksum) and every payload position.
+    for (size_t pos = 0; pos < wire.size(); ++pos) {
+      std::string damaged = wire;
+      damaged[pos] = static_cast<char>(damaged[pos] ^ (1u << rng.Uniform(8)));
+      Slice input(damaged);
+      Slice decoded;
+      bool complete = false;
+      const Status s = TryDecodeFrame(&input, &decoded, &complete);
+      if (s.ok() && complete) {
+        // "Complete" after a flip is only legal if the decode equals the
+        // original payload byte-for-byte — anything else is a silent success.
+        ASSERT_EQ(decoded.ToString(), payload) << "pos=" << pos;
+      } else if (!s.ok()) {
+        EXPECT_TRUE(s.IsCorruption() || s.code() == StatusCode::kInvalidArgument)
+            << s.ToString();
+        ++caught;
+      }
+      // s.ok() && !complete: the flip grew the length prefix — the reader
+      // would wait for bytes that never arrive and time out. Clean too.
+    }
+  }
+  EXPECT_GT(caught, 0);
+}
+
+TEST(NetFuzzTest, BitFlippedMessageBodiesNeverCrash) {
+  Random rng(61);
+  for (const std::string& payload : BuildValidCorpus(&rng)) {
+    if (payload.empty()) continue;
+    for (int iter = 0; iter < 256; ++iter) {
+      std::string damaged = payload;
+      // 1–4 random bit flips per iteration.
+      for (uint64_t f = 0, n = 1 + rng.Uniform(4); f < n; ++f) {
+        const size_t pos = rng.Uniform(damaged.size());
+        damaged[pos] = static_cast<char>(damaged[pos] ^ (1u << rng.Uniform(8)));
+      }
+      int rejections = 0;
+      DecodeAllWays(damaged, &rejections);  // must terminate, never crash/OOM
+    }
+  }
+}
+
+TEST(NetFuzzTest, StoresMetaCatchesEverySingleBitFlip) {
+  Random rng(67);
+  const StoresMeta meta = RandomStoresMeta(&rng);
+  const std::string blob = EncodeStoresMeta(meta);
+  // stores.meta carries its own trailing checksum, so unlike the message
+  // codecs every single-bit flip must be rejected outright.
+  for (size_t pos = 0; pos < blob.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string damaged = blob;
+      damaged[pos] = static_cast<char>(damaged[pos] ^ (1u << bit));
+      StoresMeta decoded;
+      EXPECT_FALSE(DecodeStoresMeta(damaged, &decoded).ok())
+          << "pos=" << pos << " bit=" << bit;
+    }
+  }
 }
 
 }  // namespace

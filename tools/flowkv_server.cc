@@ -4,10 +4,16 @@
 //   flowkv_server --data-dir=/var/lib/flowkv [--port=7330] [--shards=4]
 //                 [--checkpoint-dir=DIR] [--no-restore]
 //                 [--metrics-out=FILE.jsonl] [--metrics-interval-ms=1000]
+//                 [--standby-of=HOST:PORT]
 //
 // SIGTERM / SIGINT trigger a graceful drain: in-flight requests finish,
 // responses flush, every shard of every store checkpoints, and the epoch
 // commits — a server restarted on the same directories resumes from it.
+//
+// --standby-of=HOST:PORT runs this server as a hot standby: a ReplicaPuller
+// subscribes to the primary, restores its shipped snapshot, and applies its
+// forwarded op stream; clients list this server in ClientOptions::standbys
+// and fail over to it when the primary dies (docs/NETWORK.md).
 #include <signal.h>
 
 #include <cstdio>
@@ -15,7 +21,9 @@
 #include <cstring>
 #include <string>
 
+#include "src/common/env.h"
 #include "src/common/logging.h"
+#include "src/net/replica.h"
 #include "src/net/server.h"
 #include "src/obs/reporter.h"
 
@@ -45,7 +53,8 @@ int Usage(const char* argv0) {
                "          [--checkpoint-dir=DIR] [--no-restore] [--drain-grace-ms=N]\n"
                "          [--metrics-out=FILE.jsonl] [--metrics-interval-ms=N]\n"
                "          [--read-batch-ratio=F] [--write-buffer-bytes=N]\n"
-               "          [--partitions-per-store=N]\n",
+               "          [--partitions-per-store=N] [--standby-of=HOST:PORT]\n"
+               "          [--max-shard-queue-depth=N] [--repl-ack-timeout-ms=N]\n",
                argv0);
   return 2;
 }
@@ -56,6 +65,7 @@ int main(int argc, char** argv) {
   flowkv::net::ServerOptions options;
   options.port = 7330;
   std::string metrics_out;
+  std::string standby_of;
   int metrics_interval_ms = 1000;
 
   for (int i = 1; i < argc; ++i) {
@@ -88,6 +98,12 @@ int main(int argc, char** argv) {
           std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--partitions-per-store", &value)) {
       options.store_options.num_partitions = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--standby-of", &value)) {
+      standby_of = value;
+    } else if (ParseFlag(argv[i], "--max-shard-queue-depth", &value)) {
+      options.max_shard_queue_depth = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--repl-ack-timeout-ms", &value)) {
+      options.repl_ack_timeout_ms = std::atoi(value.c_str());
     } else {
       return Usage(argv[0]);
     }
@@ -110,6 +126,25 @@ int main(int argc, char** argv) {
   }
   g_server = server.get();
 
+  std::unique_ptr<flowkv::net::ReplicaPuller> puller;
+  if (!standby_of.empty()) {
+    const size_t colon = standby_of.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "--standby-of expects HOST:PORT, got %s\n", standby_of.c_str());
+      return Usage(argv[0]);
+    }
+    flowkv::net::ReplicaOptions repl;
+    repl.primary_host = standby_of.substr(0, colon);
+    repl.primary_port = std::atoi(standby_of.c_str() + colon + 1);
+    repl.self_port = server->port();
+    repl.snapshot_dir = flowkv::JoinPath(options.data_dir, ".standby_snapshot");
+    const flowkv::Status repl_status = flowkv::net::ReplicaPuller::Start(repl, &puller);
+    if (!repl_status.ok()) {
+      std::fprintf(stderr, "standby start failed: %s\n", repl_status.ToString().c_str());
+      return 1;
+    }
+  }
+
   struct sigaction sa;
   std::memset(&sa, 0, sizeof(sa));
   sa.sa_handler = HandleSignal;
@@ -118,6 +153,9 @@ int main(int argc, char** argv) {
 
   const flowkv::Status final = server->AwaitTermination();
   g_server = nullptr;
+  if (puller != nullptr) {
+    puller->Stop();  // before the loopback target is gone
+  }
   reporter.Stop();
   if (!final.ok()) {
     std::fprintf(stderr, "drain failed: %s\n", final.ToString().c_str());
