@@ -8,6 +8,7 @@
 
 #include "src/common/env.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace flowkv {
 
@@ -110,6 +111,9 @@ class RemoteAarState : public AppendAlignedState {
 
   Status GetWindowChunk(const Window& w, std::vector<WindowChunkEntry>* chunk,
                         bool* done) override {
+    // Top of the distributed timeline: this span encloses the client_batch
+    // span(s) of the round trip, which carry the propagated trace id.
+    obs::TraceSpan span("remote_read", "remote");
     FLOWKV_RETURN_IF_ERROR(buffer_->Drain());
     return client_->GetWindowChunk(handle_, w, chunk, done);
   }
@@ -136,6 +140,7 @@ class RemoteAurState : public AppendUnalignedState {
   }
 
   Status Get(const Slice& key, const Window& w, std::vector<std::string>* values) override {
+    obs::TraceSpan span("remote_read", "remote");
     FLOWKV_RETURN_IF_ERROR(buffer_->Drain());
     return client_->GetUnaligned(handle_, key, w, values);
   }
@@ -162,6 +167,7 @@ class RemoteRmwState : public RmwState {
       : client_(std::move(client)), buffer_(std::move(buffer)), handle_(handle) {}
 
   Status Get(const Slice& key, const Window& w, std::string* accumulator) override {
+    obs::TraceSpan span("remote_read", "remote");
     FLOWKV_RETURN_IF_ERROR(buffer_->Drain());
     return client_->RmwGet(handle_, key, w, accumulator);
   }

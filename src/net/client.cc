@@ -18,6 +18,7 @@
 #include "src/common/logging.h"
 #include "src/common/net_hooks.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace flowkv {
 namespace net {
@@ -140,6 +141,9 @@ Status Client::ConnectSocket() {
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   fd_ = fd;
+  // A fresh connection may be to a different (older) server — e.g. a
+  // failover standby — so the trace capability must be re-learned.
+  trace_cap_ = TraceCap::kUnknown;
   if (NetHooks* hooks = GetNetHooks()) {
     hooks->DidConnect(fd, ep.host, static_cast<uint16_t>(ep.port));
   }
@@ -192,6 +196,7 @@ Status Client::EnsureConnected(int64_t deadline_nanos) {
     if (last.ok()) {
       last = ReopenStores(deadline_nanos);
       if (last.ok()) {
+        ProbeTraceCap(deadline_nanos);
         return Status::Ok();
       }
       CloseSocket();
@@ -201,6 +206,24 @@ Status Client::EnsureConnected(int64_t deadline_nanos) {
     }
   }
   return last;
+}
+
+void Client::ProbeTraceCap(int64_t deadline_nanos) {
+  if (trace_cap_ != TraceCap::kUnknown || !obs::Tracing::enabled()) {
+    return;
+  }
+  std::vector<OpRequest> ops(1);
+  ops[0].type = OpType::kGatherStats;
+  ops[0].store_id = kProbeStoreId;
+  std::vector<OpResult> results;
+  const Status s = TryRequest(ops, &results, deadline_nanos);
+  if (!s.ok()) {
+    // A failed probe leaves the stream state unknown; drop the socket so the
+    // caller's retry machinery reconnects rather than reading a stale frame.
+    CloseSocket();
+    return;
+  }
+  trace_cap_ = results[0].status.ok() ? TraceCap::kYes : TraceCap::kNo;
 }
 
 Status Client::ReopenStores(int64_t deadline_nanos) {
@@ -348,6 +371,19 @@ Status Client::TryRequest(const std::vector<OpRequest>& ops,
     return Status::TimedOut("request deadline exhausted before send");
   }
   request.deadline_ms = static_cast<uint32_t>(remaining_ms);
+
+  // Distributed tracing: open a span covering this batch's round trip and
+  // propagate a fresh trace id — but only once the capability probe has
+  // confirmed the server accepts the extension block (old decoders reject
+  // trailing bytes and would drop the connection).
+  if (trace_cap_ == TraceCap::kYes && obs::Tracing::enabled()) {
+    request.trace_id = backoff_rng_.Next() | 1;  // nonzero: 0 means untraced
+    request.span_id = request.request_id;
+    request.trace_flags = 1;  // sampled
+  }
+  obs::TraceSpan batch_span("client_batch", "client");
+  batch_span.AddArg("trace_id", static_cast<int64_t>(request.trace_id));
+  batch_span.AddArg("ops", static_cast<int64_t>(ops.size()));
 
   std::string payload;
   EncodeRequest(request, &payload);
@@ -627,6 +663,18 @@ Status Client::Checkpoint(uint64_t handle, const std::string& server_dir) {
   OpResult result;
   FLOWKV_RETURN_IF_ERROR(RoundTripOne(std::move(op), &result));
   return result.status;
+}
+
+Status Client::Stats(std::string* json) {
+  FLOWKV_RETURN_IF_ERROR(Flush());
+  std::vector<OpRequest> ops(1);
+  ops[0].type = OpType::kStats;
+  std::vector<OpResult> results;
+  // No handle translation: kStats addresses the server, not a store.
+  FLOWKV_RETURN_IF_ERROR(SendRequest(std::move(ops), &results, /*translate_handles=*/false));
+  FLOWKV_RETURN_IF_ERROR(results[0].status);
+  *json = std::move(results[0].stats_json);
+  return Status::Ok();
 }
 
 Status Client::GatherStats(uint64_t handle,

@@ -147,6 +147,13 @@ class Client {
   Status GatherStats(uint64_t handle,
                      std::vector<std::pair<std::string, int64_t>>* fields);
 
+  // Fetches the server's live introspection snapshot (kStats) as one JSON
+  // document: per-shard req/s, queue depth, op latency percentiles,
+  // replication lag, connection table, and the slow-request log. Servers
+  // that predate the op drop the connection (unknown op type), surfacing
+  // here as kConnectionReset after the retry budget.
+  Status Stats(std::string* json);
+
   // Sends `ops` as-is — store_id fields are SERVER ids, not client handles,
   // and no handles are translated or re-opened. Used by the standby's
   // replication puller to apply forwarded ops against its own server.
@@ -184,6 +191,13 @@ class Client {
 
   Status EnsureConnected(int64_t deadline_nanos);
   Status ConnectSocket();
+  // One-shot per connection, only when tracing is enabled: sends the
+  // kGatherStats capability probe (protocol.h) to learn whether this server
+  // understands the trace-context extension. Old servers answer the probe
+  // with a per-op error (harmless), so mixed-version pairs interoperate with
+  // tracing silently off. Best-effort: a transport failure leaves the
+  // capability unknown and tracing off for the connection.
+  void ProbeTraceCap(int64_t deadline_nanos);
   // Re-opens every registered store on a fresh connection, updating
   // server_id mappings.
   Status ReopenStores(int64_t deadline_nanos);
@@ -204,6 +218,11 @@ class Client {
   uint64_t next_request_id_ = 1;
   size_t endpoint_index_ = 0;
   Endpoint primary_;
+
+  // Whether the connected server understands the trace-context extension;
+  // reset on every fresh connection (a failover peer may be older).
+  enum class TraceCap { kUnknown, kYes, kNo };
+  TraceCap trace_cap_ = TraceCap::kUnknown;
 
   Random backoff_rng_;
 

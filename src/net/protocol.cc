@@ -57,6 +57,8 @@ const char* OpTypeName(OpType type) {
       return "snapshot_done";
     case OpType::kRestoreStore:
       return "restore_store";
+    case OpType::kStats:
+      return "stats";
   }
   return "?";
 }
@@ -259,12 +261,25 @@ void EncodeRequest(const RequestMessage& msg, std::string* payload) {
         EncodeStateSpec(payload, op.spec);
         PutLengthPrefixed(payload, op.path);
         break;
+      case OpType::kStats:
+        break;  // no request fields: the snapshot is server-wide
     }
+  }
+  // Optional trace-context extension: only on the wire when tracing is live
+  // (trace_id nonzero), so untraced requests stay byte-identical to the
+  // pre-extension encoding and old decoders keep accepting them.
+  if (msg.trace_id != 0) {
+    PutVarint64(payload, msg.trace_id);
+    PutVarint64(payload, msg.span_id);
+    PutVarint32(payload, msg.trace_flags);
   }
 }
 
 Status DecodeRequest(Slice payload, RequestMessage* msg) {
   msg->ops.clear();
+  msg->trace_id = 0;
+  msg->span_id = 0;
+  msg->trace_flags = 0;
   uint32_t num_ops = 0;
   if (!GetVarint64(&payload, &msg->request_id) ||
       !GetVarint32(&payload, &msg->deadline_ms) || !GetVarint32(&payload, &num_ops)) {
@@ -362,6 +377,8 @@ Status DecodeRequest(Slice payload, RequestMessage* msg) {
         op.ns = ns.ToString();
         op.path = path.ToString();
         break;
+      case OpType::kStats:
+        break;
     }
     if (!ok) {
       return Truncated(OpTypeName(op.type));
@@ -371,7 +388,16 @@ Status DecodeRequest(Slice payload, RequestMessage* msg) {
     msg->ops.push_back(std::move(op));
   }
   if (!payload.empty()) {
-    return Status::Corruption("trailing bytes after request body");
+    // Trailing bytes are the optional trace-context block — anything else
+    // (truncated block, extra bytes after it, a zero trace id) is corruption,
+    // exactly as all trailing bytes were before the extension existed.
+    if (!GetVarint64(&payload, &msg->trace_id) || !GetVarint64(&payload, &msg->span_id) ||
+        !GetVarint32(&payload, &msg->trace_flags)) {
+      return Truncated("trace context");
+    }
+    if (msg->trace_id == 0 || !payload.empty()) {
+      return Status::Corruption("trailing bytes after request body");
+    }
   }
   return Status::Ok();
 }
@@ -429,6 +455,9 @@ void EncodeResponse(const ResponseMessage& msg, std::string* payload) {
           PutLengthPrefixed(payload, name);
           PutVarsigned64(payload, value);
         }
+        break;
+      case OpType::kStats:
+        PutLengthPrefixed(payload, r.stats_json);
         break;
     }
   }
@@ -540,6 +569,12 @@ Status DecodeResponse(Slice payload, ResponseMessage* msg) {
           ok = GetLengthPrefixed(&payload, &name) && GetVarsigned64(&payload, &value);
           if (ok) r.stat_fields.emplace_back(name.ToString(), value);
         }
+        break;
+      }
+      case OpType::kStats: {
+        Slice doc;
+        ok = GetLengthPrefixed(&payload, &doc);
+        if (ok) r.stats_json = doc.ToString();
         break;
       }
     }

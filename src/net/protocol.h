@@ -78,10 +78,28 @@ enum class OpType : uint32_t {
   // shipped checkpoint under `path`. Requires ids assigned in order, which
   // holds because the primary's stores.meta lists dense ids.
   kRestoreStore = 15,
+  // Admin op: a server-level introspection snapshot (per-shard queue depth,
+  // req/s, op latency percentiles, bytes in/out, replication lag, connection
+  // table, slow-request log) answered entirely by the reactor as one JSON
+  // document in OpResult::stats_json. Distinct from kGatherStats, which
+  // returns one store's StoreStats counters. Servers that predate this op
+  // reject the frame at decode (unknown op type) and drop the connection, so
+  // callers should confirm support via the capability probe below first.
+  kStats = 16,
 };
 
 // Last valid OpType value, for decoder range checks.
-constexpr uint32_t kMaxOpType = static_cast<uint32_t>(OpType::kRestoreStore);
+constexpr uint32_t kMaxOpType = static_cast<uint32_t>(OpType::kStats);
+
+// Capability probe: a kGatherStats op addressed to this reserved store id.
+// Servers that understand protocol extensions (trace context, kStats) answer
+// it with OK and a stat_fields entry ("caps.trace_context", 1); older servers
+// resolve the store, find nothing, and answer a per-op InvalidArgument — a
+// harmless negative probe that never drops the connection in either
+// direction. Store ids are dense indices, so the sentinel can never collide
+// with a real store.
+constexpr uint64_t kProbeStoreId = ~0ull;
+constexpr char kCapTraceContext[] = "caps.trace_context";
 
 const char* OpTypeName(OpType type);
 
@@ -115,6 +133,7 @@ struct OpResult {
   std::vector<std::string> values;             // kGetUnaligned
   std::string accumulator;                     // kRmwGet
   std::vector<std::pair<std::string, int64_t>> stat_fields;  // kGatherStats
+  std::string stats_json;                      // kStats introspection document
 };
 
 struct RequestMessage {
@@ -125,6 +144,16 @@ struct RequestMessage {
   // the client has already given up on.
   uint32_t deadline_ms = 0;
   std::vector<OpRequest> ops;
+  // Distributed-tracing context, encoded as an OPTIONAL extension block after
+  // the op list (trace_id, span_id, flags varints) — present iff trace_id is
+  // nonzero (0 = untraced, the wire convention). Decoders that predate the
+  // block reject trailing bytes, so a client must only emit it after the
+  // capability probe above confirms the server understands it; requests
+  // without the block are byte-identical to the pre-extension encoding, so
+  // old clients interoperate with new servers unchanged (tracing off).
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint32_t trace_flags = 0;
 };
 
 struct ResponseMessage {

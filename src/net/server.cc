@@ -9,8 +9,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
@@ -30,6 +32,7 @@
 #include "src/obs/context.h"
 #include "src/obs/metrics.h"
 #include "src/obs/reporter.h"
+#include "src/obs/trace.h"
 
 namespace flowkv {
 namespace net {
@@ -83,6 +86,31 @@ Status SetNonBlocking(int fd) {
     return Status::FromErrno("fcntl(O_NONBLOCK)");
   }
   return Status::Ok();
+}
+
+// Lock-free running maximum, for shard threads folding their per-task
+// timings into the shared PendingRequest (the critical-path shard defines
+// the request's queue-wait and execution windows).
+void AtomicMaxRelaxed(std::atomic<int64_t>* target, int64_t value) {
+  int64_t cur = target->load(std::memory_order_relaxed);
+  while (value > cur &&
+         !target->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
 }
 
 // Ops whose execution spans every shard rather than one key's shard.
@@ -185,6 +213,14 @@ class Server::Impl {
     // them, so the primary must too) and their responses park until the
     // standby acks the sequence.
     uint64_t repl_seq = 0;
+    // Client-propagated trace context (0 = untraced); stamped on every span
+    // this request produces so client and server traces merge on it.
+    uint64_t trace_id = 0;
+    uint64_t span_id = 0;
+    // Critical-path breakdown, written by shard threads (max across shards)
+    // and read by the reactor after the completion handoff.
+    std::atomic<int64_t> queue_wait_nanos{0};
+    std::atomic<int64_t> exec_nanos{0};
     std::vector<OpRequest> ops;
     // Final result per op. Slots for shard-routed ops are written by exactly
     // one shard thread; fan-out ops are assembled by the reactor from
@@ -220,6 +256,8 @@ class Server::Impl {
   struct ShardTask {
     enum class Kind { kOps, kDrainCheckpoint, kStop };
     Kind kind = Kind::kOps;
+    // Stamped by PushShardTask; dequeue time minus this is the queue wait.
+    int64_t enqueue_nanos = 0;
     std::shared_ptr<PendingRequest> pending;  // kOps
     std::vector<ShardWorkItem> items;         // kOps
     // kDrainCheckpoint:
@@ -248,6 +286,11 @@ class Server::Impl {
   void AcceptNewConnections();
   void HandleReadable(Connection* conn);
   void HandleRequest(Connection* conn, RequestMessage request);
+  // Renders the kStats introspection document (reactor thread only): server
+  // counters with windowed rates, per-shard queue depth / throughput / op
+  // latency percentiles, replication lag, the connection table, trace-ring
+  // health, and the slow-request log.
+  std::string BuildStatsJson();
   void ProcessCompletions();
   void FinishPending(const std::shared_ptr<PendingRequest>& pending);
   // The encode-and-queue tail of FinishPending, also used when a parked
@@ -295,6 +338,7 @@ class Server::Impl {
 
   void PushShardTask(int shard, ShardTask task) {
     ShardQueue& q = *shard_queues_[shard];
+    task.enqueue_nanos = MonotonicNanos();
     {
       std::lock_guard<std::mutex> lock(q.mu);
       q.tasks.push_back(std::move(task));
@@ -356,6 +400,25 @@ class Server::Impl {
   // Shard -> reactor completion channel.
   std::mutex completions_mu_;
   std::vector<std::shared_ptr<PendingRequest>> completions_;
+
+  // Slow-request log (reactor thread only): the slow_log_size slowest
+  // requests over slow_request_threshold_ms, with their span breakdowns.
+  struct SlowRequest {
+    uint64_t request_id = 0;
+    uint64_t conn_id = 0;
+    uint64_t trace_id = 0;
+    size_t num_ops = 0;
+    double total_ms = 0;
+    double queue_wait_ms = 0;
+    double exec_ms = 0;
+    int64_t ts_ms = 0;  // monotonic, when the request finished
+  };
+  std::vector<SlowRequest> slow_log_;
+
+  // Previous kStats sample, for windowed req/s rates (reactor thread only).
+  int64_t stats_prev_nanos_ = 0;
+  int64_t stats_prev_requests_ = 0;
+  std::vector<int64_t> stats_prev_shard_ops_;
 
   // Reactor-side instruments (created on the starting thread, label w=-1).
   obs::Counter* m_conns_ = nullptr;
@@ -435,6 +498,9 @@ Status Server::Impl::Init(const ServerOptions& options) {
   }
   port_ = ntohs(addr.sin_port);
   FLOWKV_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
+
+  stats_prev_nanos_ = MonotonicNanos();
+  stats_prev_shard_ops_.assign(static_cast<size_t>(options_.num_shards), 0);
 
   shard_queues_.reserve(static_cast<size_t>(options_.num_shards));
   for (int i = 0; i < options_.num_shards; ++i) {
@@ -762,6 +828,20 @@ void Server::Impl::HandleReadable(Connection* conn) {
       CloseConn(conn_id);
       return;
     }
+    if (options_.emulate_legacy_proto) {
+      // A pre-extension decoder rejects the trace block (trailing bytes) and
+      // the kStats op type (out of range) as corruption and drops the
+      // connection; reproduce that exactly.
+      bool unknown_to_legacy = request.trace_id != 0;
+      for (const OpRequest& op : request.ops) {
+        if (op.type == OpType::kStats) unknown_to_legacy = true;
+      }
+      if (unknown_to_legacy) {
+        m_protocol_errors_->Add(1);
+        CloseConn(conn_id);
+        return;
+      }
+    }
     HandleRequest(conn, std::move(request));
     // HandleRequest may have closed (and freed) the connection on a fatal
     // error; re-check liveness by id, never through `conn`.
@@ -815,9 +895,14 @@ void Server::Impl::HandleRequest(Connection* conn, RequestMessage request) {
     pending->deadline_nanos =
         pending->start_nanos + static_cast<int64_t>(request.deadline_ms) * 1'000'000;
   }
+  pending->trace_id = request.trace_id;
+  pending->span_id = request.span_id;
   pending->ops = std::move(request.ops);
   pending->results.resize(pending->ops.size());
   pending->fanout_partials.resize(pending->ops.size());
+  obs::TraceInstant("server_dispatch", "server", "trace_id",
+                    static_cast<int64_t>(pending->trace_id), "ops",
+                    static_cast<int64_t>(pending->ops.size()));
 
   std::vector<std::vector<ShardWorkItem>> shard_items(
       static_cast<size_t>(options_.num_shards));
@@ -829,6 +914,15 @@ void Server::Impl::HandleRequest(Connection* conn, RequestMessage request) {
 
     if (op.type == OpType::kPing) {
       result.status = Status::Ok();
+      continue;
+    }
+
+    if (op.type == OpType::kStats) {
+      // Server-level introspection: answered entirely on the reactor (all the
+      // inputs are reactor-owned or lock-free snapshots), so a stats poll
+      // never queues behind store work.
+      result.status = Status::Ok();
+      result.stats_json = BuildStatsJson();
       continue;
     }
 
@@ -922,6 +1016,16 @@ void Server::Impl::HandleRequest(Connection* conn, RequestMessage request) {
       for (int shard = 0; shard < options_.num_shards; ++shard) {
         shard_items[static_cast<size_t>(shard)].push_back({i, store});
       }
+      continue;
+    }
+
+    if (op.type == OpType::kGatherStats && op.store_id == kProbeStoreId &&
+        !options_.emulate_legacy_proto) {
+      // Capability probe (protocol.h): an old server falls through to the
+      // unknown-store-id error below; answering OK here tells the client the
+      // trace-context extension is safe to emit on this connection.
+      result.status = Status::Ok();
+      result.stat_fields.emplace_back(kCapTraceContext, 1);
       continue;
     }
 
@@ -1023,6 +1127,147 @@ void Server::Impl::HandleRequest(Connection* conn, RequestMessage request) {
     task.items = std::move(items);
     PushShardTask(shard, std::move(task));
   }
+}
+
+std::string Server::Impl::BuildStatsJson() {
+  const int64_t now = MonotonicNanos();
+  const double window_s = static_cast<double>(now - stats_prev_nanos_) / 1e9;
+
+  // One registry pass covers the per-shard execution counters (labeled
+  // worker=shard by the shard threads) and the deadline-shed total.
+  const int num_shards = options_.num_shards;
+  std::vector<int64_t> shard_ops(static_cast<size_t>(num_shards), 0);
+  std::vector<int64_t> shard_errors(static_cast<size_t>(num_shards), 0);
+  int64_t shed_deadline = 0;
+  for (const obs::MetricSample& s : obs::MetricsRegistry::Global().Snapshot()) {
+    const int w = s.labels.worker;
+    if (s.name == "server.store_ops" && w >= 0 && w < num_shards) {
+      shard_ops[static_cast<size_t>(w)] += s.value;
+    } else if (s.name == "server.store_errors" && w >= 0 && w < num_shards) {
+      shard_errors[static_cast<size_t>(w)] += s.value;
+    } else if (s.name == "server.shed_deadline") {
+      shed_deadline += s.value;
+    }
+  }
+  const std::vector<obs::HistogramSample> hists =
+      obs::MetricsRegistry::Global().HistogramSnapshots();
+
+  std::string j;
+  j.reserve(4096);
+  char buf[320];
+  auto add = [&j, &buf](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    j.append(buf);
+  };
+
+  const int64_t requests = m_requests_->Value();
+  const double req_per_sec =
+      window_s > 0 ? static_cast<double>(requests - stats_prev_requests_) / window_s : 0.0;
+
+  add("{\"ts_ms\":%lld,\"window_s\":%.3f,", static_cast<long long>(now / 1'000'000),
+      window_s);
+  add("\"server\":{\"port\":%d,\"num_shards\":%d,\"requests\":%lld,"
+      "\"req_per_sec\":%.1f,\"frames_in\":%lld,\"bytes_in\":%lld,\"bytes_out\":%lld,"
+      "\"open_conns\":%lld,\"pending_requests\":%llu,\"shed_overload\":%lld,"
+      "\"shed_deadline\":%lld,\"protocol_errors\":%lld",
+      port_, num_shards, static_cast<long long>(requests), req_per_sec,
+      static_cast<long long>(m_frames_in_->Value()),
+      static_cast<long long>(m_bytes_in_->Value()),
+      static_cast<long long>(m_bytes_out_->Value()),
+      static_cast<long long>(m_open_conns_->Value()),
+      static_cast<unsigned long long>(pending_count_),
+      static_cast<long long>(m_shed_overload_->Value()), static_cast<long long>(shed_deadline),
+      static_cast<long long>(m_protocol_errors_->Value()));
+  for (const obs::HistogramSample& h : hists) {
+    if (h.name == "server.request_latency_ms" && h.count > 0) {
+      add(",\"request_latency_ms\":{\"count\":%llu,\"p50\":%.3f,\"p95\":%.3f,"
+          "\"p99\":%.3f,\"max\":%.3f}",
+          static_cast<unsigned long long>(h.count), h.p50, h.p95, h.p99, h.max);
+      break;
+    }
+  }
+  j += "},";
+
+  const bool subscribed = replica_conn_id_ != 0;
+  const unsigned long long lag =
+      subscribed && repl_next_seq_ - 1 > repl_acked_seq_
+          ? static_cast<unsigned long long>(repl_next_seq_ - 1 - repl_acked_seq_)
+          : 0ull;
+  add("\"replication\":{\"subscribed\":%s,\"next_seq\":%llu,\"acked_seq\":%llu,"
+      "\"lag\":%llu,\"parked\":%llu},",
+      subscribed ? "true" : "false", static_cast<unsigned long long>(repl_next_seq_),
+      static_cast<unsigned long long>(repl_acked_seq_), lag,
+      static_cast<unsigned long long>(parked_.size()));
+
+  j += "\"shards\":[";
+  for (int shard = 0; shard < num_shards; ++shard) {
+    const size_t si = static_cast<size_t>(shard);
+    const double ops_per_sec =
+        window_s > 0
+            ? static_cast<double>(shard_ops[si] - stats_prev_shard_ops_[si]) / window_s
+            : 0.0;
+    add("%s{\"shard\":%d,\"queue_depth\":%llu,\"ops\":%lld,\"ops_per_sec\":%.1f,"
+        "\"errors\":%lld,\"op_latency_ms\":[",
+        shard == 0 ? "" : ",", shard,
+        static_cast<unsigned long long>(
+            shard_queues_[si]->depth.load(std::memory_order_relaxed)),
+        static_cast<long long>(shard_ops[si]), ops_per_sec,
+        static_cast<long long>(shard_errors[si]));
+    bool first = true;
+    for (const obs::HistogramSample& h : hists) {
+      if (h.name != "server.op_latency_ms" || h.labels.worker != shard || h.count == 0) {
+        continue;
+      }
+      j += first ? "{\"op\":\"" : ",{\"op\":\"";
+      first = false;
+      AppendJsonEscaped(&j, h.labels.op);
+      add("\",\"count\":%llu,\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f,\"max\":%.3f}",
+          static_cast<unsigned long long>(h.count), h.p50, h.p95, h.p99, h.max);
+    }
+    j += "]}";
+  }
+  j += "],";
+
+  j += "\"connections\":[";
+  bool first_conn = true;
+  for (const auto& kv : conns_) {
+    const Connection* conn = kv.second.get();
+    add("%s{\"id\":%llu,\"outbox_bytes\":%llu,\"is_replica\":%s}",
+        first_conn ? "" : ",", static_cast<unsigned long long>(conn->id()),
+        static_cast<unsigned long long>(conn->outbox_bytes()),
+        conn->id() == replica_conn_id_ ? "true" : "false");
+    first_conn = false;
+  }
+  j += "],";
+
+  add("\"trace\":{\"enabled\":%s,\"events\":%llu,\"dropped\":%llu},",
+      obs::Tracing::enabled() ? "true" : "false",
+      static_cast<unsigned long long>(obs::Tracing::EventCount()),
+      static_cast<unsigned long long>(obs::Tracing::DroppedCount()));
+
+  // Slowest first, so the head of the array is always the worst offender.
+  std::vector<SlowRequest> slow = slow_log_;
+  std::sort(slow.begin(), slow.end(), [](const SlowRequest& a, const SlowRequest& b) {
+    return a.total_ms > b.total_ms;
+  });
+  add("\"slow_threshold_ms\":%.3f,\"slow_requests\":[",
+      options_.slow_request_threshold_ms);
+  for (size_t i = 0; i < slow.size(); ++i) {
+    const SlowRequest& s = slow[i];
+    add("%s{\"request_id\":%llu,\"conn_id\":%llu,\"trace_id\":%llu,\"ops\":%llu,"
+        "\"total_ms\":%.3f,\"queue_wait_ms\":%.3f,\"exec_ms\":%.3f,\"ts_ms\":%lld}",
+        i == 0 ? "" : ",", static_cast<unsigned long long>(s.request_id),
+        static_cast<unsigned long long>(s.conn_id),
+        static_cast<unsigned long long>(s.trace_id),
+        static_cast<unsigned long long>(s.num_ops), s.total_ms, s.queue_wait_ms, s.exec_ms,
+        static_cast<long long>(s.ts_ms));
+  }
+  j += "]}";
+
+  stats_prev_nanos_ = now;
+  stats_prev_requests_ = requests;
+  stats_prev_shard_ops_ = shard_ops;
+  return j;
 }
 
 void Server::Impl::ProcessCompletions() {
@@ -1131,8 +1376,37 @@ void Server::Impl::FinishPending(const std::shared_ptr<PendingRequest>& pending)
     return;  // reply deferred until the hop completes
   }
 
-  m_request_latency_ms_->Record(
-      static_cast<double>(MonotonicNanos() - pending->start_nanos) / 1e6);
+  const int64_t finish_nanos = MonotonicNanos();
+  const double total_ms =
+      static_cast<double>(finish_nanos - pending->start_nanos) / 1e6;
+  m_request_latency_ms_->Record(total_ms);
+  obs::TraceCompleteSpan("server_request", "server", pending->start_nanos, finish_nanos,
+                         "trace_id", static_cast<int64_t>(pending->trace_id), "ops",
+                         static_cast<int64_t>(pending->ops.size()));
+
+  if (options_.slow_request_threshold_ms > 0 && options_.slow_log_size > 0 &&
+      total_ms >= options_.slow_request_threshold_ms) {
+    SlowRequest slow;
+    slow.request_id = pending->request_id;
+    slow.conn_id = pending->conn_id;
+    slow.trace_id = pending->trace_id;
+    slow.num_ops = pending->ops.size();
+    slow.total_ms = total_ms;
+    slow.queue_wait_ms =
+        static_cast<double>(pending->queue_wait_nanos.load(std::memory_order_relaxed)) / 1e6;
+    slow.exec_ms =
+        static_cast<double>(pending->exec_nanos.load(std::memory_order_relaxed)) / 1e6;
+    slow.ts_ms = finish_nanos / 1'000'000;
+    if (slow_log_.size() < options_.slow_log_size) {
+      slow_log_.push_back(slow);
+    } else {
+      // Full: keep the N slowest by displacing the current fastest entry.
+      auto fastest = std::min_element(
+          slow_log_.begin(), slow_log_.end(),
+          [](const SlowRequest& a, const SlowRequest& b) { return a.total_ms < b.total_ms; });
+      if (fastest->total_ms < slow.total_ms) *fastest = slow;
+    }
+  }
 
   // Synchronous replication: a response whose ops were forwarded parks until
   // the standby acks the carrying sequence, so an acknowledged write is never
@@ -1394,11 +1668,16 @@ void Server::Impl::ShardMain(int shard) {
       }
       case ShardTask::Kind::kOps: {
         PendingRequest* pending = task.pending.get();
+        const int64_t dequeue_nanos = MonotonicNanos();
+        obs::TraceCompleteSpan("server_queue_wait", "server", task.enqueue_nanos,
+                               dequeue_nanos, "trace_id",
+                               static_cast<int64_t>(pending->trace_id), "shard", shard);
+        AtomicMaxRelaxed(&pending->queue_wait_nanos, dequeue_nanos - task.enqueue_nanos);
         // Deadline shedding: skip work the client has already given up on —
         // unless its ops were forwarded to a standby, which will execute
         // them; the primary must stay in lockstep.
         const bool shed = pending->deadline_nanos != 0 && pending->repl_seq == 0 &&
-                          MonotonicNanos() > pending->deadline_nanos;
+                          dequeue_nanos > pending->deadline_nanos;
         if (shed) {
           shed_deadline->Add(1);
         }
@@ -1415,6 +1694,11 @@ void Server::Impl::ShardMain(int shard) {
           }
           ExecuteShardOp(shard, item.store, op, out);
         }
+        const int64_t exec_end_nanos = MonotonicNanos();
+        obs::TraceCompleteSpan("server_exec", "server", dequeue_nanos, exec_end_nanos,
+                               "trace_id", static_cast<int64_t>(pending->trace_id),
+                               "ops", static_cast<int64_t>(task.items.size()));
+        AtomicMaxRelaxed(&pending->exec_nanos, exec_end_nanos - dequeue_nanos);
         // acq_rel: the reactor's reads of our result slots happen after it
         // observes the completion (via the queue mutex), and our writes
         // happen before the decrement.
@@ -1522,6 +1806,7 @@ void Server::Impl::ExecuteShardOp(int shard, StoreEntry* store, const OpRequest&
     case OpType::kReplicaSubscribe:
     case OpType::kSnapshotFile:
     case OpType::kSnapshotDone:
+    case OpType::kStats:
       out->status = Status::Internal("op routed to shard unexpectedly");
       break;
   }

@@ -67,6 +67,20 @@ struct ServerOptions {
   int repl_ack_timeout_ms = 5000;
   size_t repl_chunk_bytes = 1u << 20;
 
+  // Slow-request log: a finished request whose end-to-end latency meets this
+  // threshold is recorded — with its queue-wait / execution breakdown and
+  // trace id — into a ring of the `slow_log_size` slowest, surfaced through
+  // the kStats introspection op. threshold <= 0 disables the log.
+  double slow_request_threshold_ms = 100.0;
+  size_t slow_log_size = 16;
+
+  // Test-only: behave byte-for-byte like a server that predates the protocol
+  // extensions — drop connections that send a trace-context block or a kStats
+  // op, and answer the capability probe with the legacy per-op error. Lets
+  // compatibility tests exercise a new client against old-server semantics
+  // without keeping an old binary around.
+  bool emulate_legacy_proto = false;
+
   FlowKvOptions store_options;
 };
 

@@ -82,6 +82,8 @@ bool TriggerFlightRecord(const std::string& reason) {
                  ev.name, ev.cat, ev.phase, ev.tid, static_cast<long long>(ev.ts_us),
                  static_cast<long long>(ev.dur_us));
   }
+  std::fprintf(out, "{\"trace_dropped\":%llu}\n",
+               static_cast<unsigned long long>(Tracing::DroppedCount()));
   std::fputs("{\"flight_record_end\":true}\n", out);
   return std::fclose(out) == 0;
 }
@@ -190,6 +192,14 @@ void PeriodicReporter::EmitSample() {
                  static_cast<long long>(ts_ms), h.name.c_str(), h.labels.worker,
                  h.labels.op.c_str(), static_cast<unsigned long long>(h.count), h.p50, h.p95,
                  h.p99, h.max);
+  }
+
+  // Trace-ring overwrite counter: nonzero means the per-thread rings wrapped
+  // and the Chrome export will have holes (raise the ring capacity).
+  if (Tracing::enabled() || Tracing::DroppedCount() > 0) {
+    std::fprintf(out_, "{\"ts_ms\":%lld,\"trace_dropped\":%llu}\n",
+                 static_cast<long long>(ts_ms),
+                 static_cast<unsigned long long>(Tracing::DroppedCount()));
   }
   std::fflush(out_);
 }

@@ -17,31 +17,44 @@ std::atomic<bool> g_enabled{false};
 // Fixed-capacity overwrite-oldest event buffer, written by exactly one
 // thread. The controller (below) owns all rings; a thread keeps a raw
 // pointer to its ring, revalidated via a generation tag across Reset cycles.
+// count_ is a single-writer relaxed atomic so the reporter thread can sample
+// size()/dropped() while the owner is still pushing; slot contents are only
+// safe to read (Collect) once the writer quiesced.
 class Ring {
  public:
   explicit Ring(size_t capacity, int32_t tid) : tid_(tid), slots_(capacity) {}
 
   void Push(TraceEvent event) {
     event.tid = tid_;
-    slots_[count_ % slots_.size()] = event;
-    ++count_;
+    const size_t count = count_.load(std::memory_order_relaxed);
+    slots_[count % slots_.size()] = event;
+    count_.store(count + 1, std::memory_order_relaxed);
   }
 
   // Buffered events, oldest first. Caller must ensure the writer quiesced.
   void Collect(std::vector<TraceEvent>* out) const {
-    const size_t n = std::min(count_, slots_.size());
-    const size_t start = count_ - n;
+    const size_t count = count_.load(std::memory_order_relaxed);
+    const size_t n = std::min(count, slots_.size());
+    const size_t start = count - n;
     for (size_t i = 0; i < n; ++i) {
       out->push_back(slots_[(start + i) % slots_.size()]);
     }
   }
 
-  size_t size() const { return std::min(count_, slots_.size()); }
+  size_t size() const {
+    return std::min(count_.load(std::memory_order_relaxed), slots_.size());
+  }
+
+  // Events overwritten since construction (silent loss without this signal).
+  uint64_t dropped() const {
+    const size_t count = count_.load(std::memory_order_relaxed);
+    return count > slots_.size() ? count - slots_.size() : 0;
+  }
 
  private:
   int32_t tid_;
   std::vector<TraceEvent> slots_;
-  size_t count_ = 0;
+  std::atomic<size_t> count_{0};
 };
 
 namespace {
@@ -52,6 +65,8 @@ struct Controller {
   size_t ring_capacity = 64 * 1024;
   uint64_t generation = 0;  // bumped on Enable/Reset to invalidate cached refs
   int32_t next_anon_tid = 1000;
+  int export_pid = 1;
+  const char* export_name = nullptr;  // process_name metadata, if set
 };
 
 Controller& Ctl() {
@@ -111,11 +126,26 @@ void Tracing::Reset() {
   ++ctl.generation;
 }
 
+void Tracing::SetExportProcess(int pid, const char* process_name) {
+  auto& ctl = trace_internal::Ctl();
+  std::lock_guard<std::mutex> lock(ctl.mu);
+  ctl.export_pid = pid;
+  ctl.export_name = process_name;
+}
+
 size_t Tracing::EventCount() {
   auto& ctl = trace_internal::Ctl();
   std::lock_guard<std::mutex> lock(ctl.mu);
   size_t n = 0;
   for (const auto& ring : ctl.rings) n += ring->size();
+  return n;
+}
+
+uint64_t Tracing::DroppedCount() {
+  auto& ctl = trace_internal::Ctl();
+  std::lock_guard<std::mutex> lock(ctl.mu);
+  uint64_t n = 0;
+  for (const auto& ring : ctl.rings) n += ring->dropped();
   return n;
 }
 
@@ -133,21 +163,38 @@ std::vector<TraceEvent> Tracing::SnapshotEvents() {
 
 bool Tracing::ExportChromeTrace(const std::string& path) {
   std::vector<TraceEvent> events = SnapshotEvents();
+  int pid = 1;
+  const char* process_name = nullptr;
+  {
+    auto& ctl = trace_internal::Ctl();
+    std::lock_guard<std::mutex> lock(ctl.mu);
+    pid = ctl.export_pid;
+    process_name = ctl.export_name;
+  }
 
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   std::fputs("{\"traceEvents\":[", f);
+  bool first = true;
+  if (process_name != nullptr) {
+    std::fprintf(f,
+                 "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                 "\"args\":{\"name\":\"%s\"}}",
+                 pid, process_name);
+    first = false;
+  }
   for (size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& ev = events[i];
     std::fprintf(f, "%s\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",\"ts\":%lld,",
-                 i == 0 ? "" : ",", ev.name, ev.cat, ev.phase,
+                 first ? "" : ",", ev.name, ev.cat, ev.phase,
                  static_cast<long long>(ev.ts_us));
+    first = false;
     if (ev.phase == 'X') {
       std::fprintf(f, "\"dur\":%lld,", static_cast<long long>(ev.dur_us));
     } else {
       std::fputs("\"s\":\"t\",", f);  // instant scope: thread
     }
-    std::fprintf(f, "\"pid\":1,\"tid\":%d,\"args\":{", ev.tid);
+    std::fprintf(f, "\"pid\":%d,\"tid\":%d,\"args\":{", pid, ev.tid);
     for (int a = 0; a < ev.n_args; ++a) {
       std::fprintf(f, "%s\"%s\":%lld", a == 0 ? "" : ",", ev.arg_name[a],
                    static_cast<long long>(ev.arg_val[a]));

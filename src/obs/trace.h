@@ -64,13 +64,26 @@ class Tracing {
 
   // Writes all buffered events, sorted by timestamp, as Chrome trace JSON:
   //   {"traceEvents":[{"name":...,"cat":...,"ph":"X","ts":...,"dur":...,
-  //                    "pid":1,"tid":...,"args":{...}}, ...]}
+  //                    "pid":P,"tid":...,"args":{...}}, ...]}
   // Call after writers have quiesced (e.g. workers joined or Disable()d).
   // Returns false if the file cannot be written.
   static bool ExportChromeTrace(const std::string& path);
 
+  // Sets the pid and process label stamped on exported events (default 1 /
+  // unnamed). Distinct pids let a client trace and a server trace be
+  // concatenated into one Chrome timeline without their thread tracks
+  // colliding; shared trace-id args then correlate spans across the two
+  // processes (docs/OBSERVABILITY.md "Distributed tracing"). `process_name`
+  // must be a string literal or otherwise outlive the export.
+  static void SetExportProcess(int pid, const char* process_name);
+
   // Number of buffered events across all rings (dropped ones excluded).
   static size_t EventCount();
+
+  // Number of events overwritten (oldest-first) across all rings since
+  // Enable/Reset. Nonzero means the exported trace has holes and the ring
+  // capacity should be raised.
+  static uint64_t DroppedCount();
 
   // All buffered events across all rings, sorted by timestamp. Unlike
   // ExportChromeTrace this is safe to call while writers are live (the
@@ -88,6 +101,32 @@ inline void TraceInstant(const char* name, const char* cat, const char* arg0_nam
   ev.cat = cat;
   ev.phase = 'i';
   ev.ts_us = MonotonicNanos() / 1000;
+  if (arg0_name != nullptr) {
+    ev.arg_name[ev.n_args] = arg0_name;
+    ev.arg_val[ev.n_args++] = arg0;
+  }
+  if (arg1_name != nullptr) {
+    ev.arg_name[ev.n_args] = arg1_name;
+    ev.arg_val[ev.n_args++] = arg1;
+  }
+  trace_internal::Record(ev);
+}
+
+// Records a complete span ('X') retroactively from explicit monotonic-clock
+// bounds. Used where a span's start is observed on one code path and its end
+// on another (e.g. the server stamps a request's queue-wait and execution
+// windows when the response is finalized), so a scoped TraceSpan cannot
+// bracket it.
+inline void TraceCompleteSpan(const char* name, const char* cat, int64_t start_ns,
+                              int64_t end_ns, const char* arg0_name = nullptr, int64_t arg0 = 0,
+                              const char* arg1_name = nullptr, int64_t arg1 = 0) {
+  if (!Tracing::enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.phase = 'X';
+  ev.ts_us = start_ns / 1000;
+  ev.dur_us = end_ns > start_ns ? (end_ns - start_ns) / 1000 : 0;
   if (arg0_name != nullptr) {
     ev.arg_name[ev.n_args] = arg0_name;
     ev.arg_val[ev.n_args++] = arg0;

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/coding.h"
 #include "src/common/random.h"
 #include "src/net/protocol.h"
 
@@ -88,6 +89,8 @@ OpRequest RandomOpRequest(Random* rng) {
     case OpType::kGatherStats:
       op.store_id = rng->Next() % 1000;
       break;
+    case OpType::kStats:
+      break;  // no request fields: the snapshot is server-wide
     case OpType::kGetWindowChunk:
       op.store_id = rng->Next() % 1000;
       op.window = RandomWindow(rng);
@@ -236,6 +239,12 @@ TEST(NetMessageTest, RequestRoundTripProperty) {
     RequestMessage msg;
     msg.request_id = rng.Next();
     msg.deadline_ms = static_cast<uint32_t>(rng.Uniform(120'000));
+    // Half the corpus carries the optional trace-context block.
+    if (rng.Bernoulli(0.5)) {
+      msg.trace_id = rng.Next() | 1;  // nonzero by construction
+      msg.span_id = rng.Next();
+      msg.trace_flags = 1;
+    }
     const uint64_t num_ops = rng.Uniform(8);
     for (uint64_t i = 0; i < num_ops; ++i) {
       msg.ops.push_back(RandomOpRequest(&rng));
@@ -247,11 +256,176 @@ TEST(NetMessageTest, RequestRoundTripProperty) {
     ASSERT_TRUE(DecodeRequest(payload, &decoded).ok());
     ASSERT_EQ(decoded.request_id, msg.request_id);
     ASSERT_EQ(decoded.deadline_ms, msg.deadline_ms);
+    ASSERT_EQ(decoded.trace_id, msg.trace_id);
+    ASSERT_EQ(decoded.span_id, msg.span_id);
+    ASSERT_EQ(decoded.trace_flags, msg.trace_flags);
     ASSERT_EQ(decoded.ops.size(), msg.ops.size());
     for (size_t i = 0; i < msg.ops.size(); ++i) {
       ExpectOpEq(decoded.ops[i], msg.ops[i]);
     }
   }
+}
+
+// ----- trace-context extension (backward-compatible trailing block) -----
+
+RequestMessage SampleRequest() {
+  RequestMessage msg;
+  msg.request_id = 77;
+  msg.deadline_ms = 1000;
+  OpRequest op;
+  op.type = OpType::kRmwPut;
+  op.store_id = 3;
+  op.key = "key";
+  op.value = "value";
+  op.window = Window(100, 200);
+  msg.ops.push_back(op);
+  return msg;
+}
+
+TEST(NetTraceContextTest, UntracedEncodingIsBytePrefixOfTraced) {
+  // The extension must cost zero bytes when tracing is off, and appending
+  // the block must be the ONLY change when it is on — that is what keeps
+  // old decoders accepting untraced requests unchanged.
+  RequestMessage msg = SampleRequest();
+  std::string untraced;
+  EncodeRequest(msg, &untraced);
+
+  msg.trace_id = 0xABCDEF;
+  msg.span_id = 42;
+  msg.trace_flags = 1;
+  std::string traced;
+  EncodeRequest(msg, &traced);
+
+  ASSERT_GT(traced.size(), untraced.size());
+  EXPECT_EQ(traced.substr(0, untraced.size()), untraced);
+}
+
+TEST(NetTraceContextTest, OldFormatGoldenDecodesWithTracingOff) {
+  // A pre-extension encoder's bytes, built by hand: header + one kPing op
+  // and nothing after the op list. A new decoder must accept it and leave
+  // the trace fields zeroed (tracing silently off).
+  std::string payload;
+  PutVarint64(&payload, 9);   // request_id
+  PutVarint32(&payload, 500);  // deadline_ms
+  PutVarint32(&payload, 1);   // num_ops
+  PutVarint32(&payload, static_cast<uint32_t>(OpType::kPing));
+
+  RequestMessage decoded;
+  ASSERT_TRUE(DecodeRequest(payload, &decoded).ok());
+  EXPECT_EQ(decoded.request_id, 9u);
+  EXPECT_EQ(decoded.deadline_ms, 500u);
+  ASSERT_EQ(decoded.ops.size(), 1u);
+  EXPECT_EQ(decoded.ops[0].type, OpType::kPing);
+  EXPECT_EQ(decoded.trace_id, 0u);
+  EXPECT_EQ(decoded.span_id, 0u);
+  EXPECT_EQ(decoded.trace_flags, 0u);
+}
+
+TEST(NetTraceContextTest, ZeroTraceIdInTrailingBlockIsCorruption) {
+  // trace_id == 0 means "no block"; explicit zero trailing bytes are the
+  // pre-extension "trailing garbage" case and must stay rejected.
+  RequestMessage msg = SampleRequest();
+  std::string payload;
+  EncodeRequest(msg, &payload);
+  PutVarint64(&payload, 0);  // trace_id = 0
+  PutVarint64(&payload, 1);
+  PutVarint32(&payload, 1);
+  RequestMessage decoded;
+  const Status s = DecodeRequest(payload, &decoded);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+TEST(NetTraceContextTest, TracedRequestTruncationSweep) {
+  // Every strict prefix of a traced request must be rejected — except the
+  // one prefix that ends exactly at the end of the op list, which is
+  // byte-identical to a valid untraced (old-format) request and therefore
+  // MUST decode, with tracing off. That ambiguity is the documented price
+  // of backward compatibility (the frame CRC owns truncation detection).
+  RequestMessage msg = SampleRequest();
+  std::string untraced;
+  EncodeRequest(msg, &untraced);
+  msg.trace_id = 0x1234'5678'9ABCull;
+  msg.span_id = 7;
+  msg.trace_flags = 1;
+  std::string traced;
+  EncodeRequest(msg, &traced);
+
+  for (size_t cut = 1; cut < traced.size(); ++cut) {
+    RequestMessage decoded;
+    const Status s = DecodeRequest(Slice(traced.data(), cut), &decoded);
+    if (cut == untraced.size()) {
+      ASSERT_TRUE(s.ok()) << "cut=" << cut;
+      EXPECT_EQ(decoded.trace_id, 0u);
+    } else {
+      EXPECT_FALSE(s.ok()) << "cut=" << cut;
+    }
+  }
+
+  // The full traced payload round-trips the ids.
+  RequestMessage decoded;
+  ASSERT_TRUE(DecodeRequest(traced, &decoded).ok());
+  EXPECT_EQ(decoded.trace_id, msg.trace_id);
+  EXPECT_EQ(decoded.span_id, msg.span_id);
+  EXPECT_EQ(decoded.trace_flags, msg.trace_flags);
+}
+
+TEST(NetTraceContextTest, BitFlippedTraceBlockNeverCrashes) {
+  RequestMessage msg = SampleRequest();
+  msg.trace_id = 0xDEAD'BEEFull;
+  msg.span_id = 0xFEEDull;
+  msg.trace_flags = 1;
+  std::string traced;
+  EncodeRequest(msg, &traced);
+  std::string untraced_equiv;
+  {
+    RequestMessage plain = SampleRequest();
+    EncodeRequest(plain, &untraced_equiv);
+  }
+  Random rng(71);
+  for (size_t pos = untraced_equiv.size(); pos < traced.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string damaged = traced;
+      damaged[pos] = static_cast<char>(damaged[pos] ^ (1u << bit));
+      RequestMessage decoded;
+      // Any outcome is legal except a crash or a decoded zero trace id
+      // claiming success with leftover bytes; assert only termination and
+      // the invariant that success never yields trace_id == 0 with a block.
+      const Status s = DecodeRequest(damaged, &decoded);
+      if (s.ok() && damaged.size() > untraced_equiv.size()) {
+        EXPECT_NE(decoded.trace_id, 0u) << "pos=" << pos << " bit=" << bit;
+      }
+    }
+  }
+}
+
+TEST(NetMessageTest, StatsRoundTrip) {
+  // kStats request: no op fields; kStats response: one opaque JSON document.
+  RequestMessage req;
+  req.request_id = 5;
+  OpRequest op;
+  op.type = OpType::kStats;
+  req.ops.push_back(op);
+  std::string payload;
+  EncodeRequest(req, &payload);
+  RequestMessage req_decoded;
+  ASSERT_TRUE(DecodeRequest(payload, &req_decoded).ok());
+  ASSERT_EQ(req_decoded.ops.size(), 1u);
+  EXPECT_EQ(req_decoded.ops[0].type, OpType::kStats);
+
+  ResponseMessage resp;
+  resp.request_id = 5;
+  OpResult r;
+  r.type = OpType::kStats;
+  r.stats_json = "{\"server\":{\"requests\":17},\"shards\":[]}";
+  resp.results.push_back(r);
+  payload.clear();
+  EncodeResponse(resp, &payload);
+  ResponseMessage resp_decoded;
+  ASSERT_TRUE(DecodeResponse(payload, &resp_decoded).ok());
+  ASSERT_EQ(resp_decoded.results.size(), 1u);
+  EXPECT_EQ(resp_decoded.results[0].type, OpType::kStats);
+  EXPECT_EQ(resp_decoded.results[0].stats_json, r.stats_json);
 }
 
 TEST(NetMessageTest, ResponseRoundTripProperty) {
@@ -262,7 +436,7 @@ TEST(NetMessageTest, ResponseRoundTripProperty) {
     const uint64_t num = rng.Uniform(6);
     for (uint64_t i = 0; i < num; ++i) {
       OpResult r;
-      switch (rng.Uniform(5)) {
+      switch (rng.Uniform(6)) {
         case 0:
           r.type = OpType::kGetWindowChunk;
           r.done = rng.Bernoulli(0.5);
@@ -294,7 +468,7 @@ TEST(NetMessageTest, ResponseRoundTripProperty) {
           r.store_id = rng.Next() % 100;
           r.pattern = static_cast<StorePattern>(rng.Uniform(3));
           break;
-        default:
+        case 4:
           r.type = OpType::kGatherStats;
           if (rng.Bernoulli(0.3)) {
             r.status = Status::TimedOut("deadline");
@@ -304,6 +478,10 @@ TEST(NetMessageTest, ResponseRoundTripProperty) {
                                          rng.Range(-1000, 1000));
             }
           }
+          break;
+        default:
+          r.type = OpType::kStats;
+          r.stats_json = RandomBytes(&rng, 256);  // opaque to the codec
           break;
       }
       msg.results.push_back(std::move(r));
@@ -328,6 +506,7 @@ TEST(NetMessageTest, ResponseRoundTripProperty) {
         EXPECT_EQ(a.values, b.values);
         EXPECT_EQ(a.accumulator, b.accumulator);
         EXPECT_EQ(a.stat_fields, b.stat_fields);
+        EXPECT_EQ(a.stats_json, b.stats_json);
         ASSERT_EQ(a.chunk.size(), b.chunk.size());
         for (size_t k = 0; k < a.chunk.size(); ++k) {
           EXPECT_EQ(a.chunk[k].key, b.chunk[k].key);
@@ -433,6 +612,13 @@ std::vector<std::string> BuildValidCorpus(Random* rng) {
     RequestMessage req;
     req.request_id = rng->Next();
     req.deadline_ms = static_cast<uint32_t>(rng->Uniform(60'000));
+    // Half the request corpus carries the trace-context extension block, so
+    // the truncation/bit-flip sweeps exercise the trailing-block parse too.
+    if (i % 2 == 1) {
+      req.trace_id = rng->Next() | 1;
+      req.span_id = rng->Next();
+      req.trace_flags = 1;
+    }
     for (uint64_t k = 0, n = 1 + rng->Uniform(5); k < n; ++k) {
       req.ops.push_back(RandomOpRequest(rng));
     }
@@ -451,6 +637,10 @@ std::vector<std::string> BuildValidCorpus(Random* rng) {
     err.type = OpType::kAppendAligned;
     err.status = Status::TimedOut("deadline expired before execution");
     resp.results.push_back(err);
+    OpResult stats;
+    stats.type = OpType::kStats;
+    stats.stats_json = "{\"server\":{\"requests\":" + std::to_string(i) + "}}";
+    resp.results.push_back(stats);
     std::string payload;
     EncodeResponse(resp, &payload);
     corpus.push_back(std::move(payload));

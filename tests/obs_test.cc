@@ -301,27 +301,40 @@ TEST_F(ObsEndToEndTest, TwoWorkerJobEmitsTraceAndMetrics) {
   ASSERT_GE(lines.size(), 2u) << "expected at least one sample per worker";
   int64_t last_ts = 0;
   bool saw_events = false;
+  bool saw_trace_health = false;
+  std::vector<std::string> worker_lines;
   for (const std::string& line : lines) {
     EXPECT_TRUE(JsonChecker(line).Valid()) << "bad JSONL line: " << line;
     int64_t ts = 0, worker = -1, events_in = 0;
     ASSERT_TRUE(ExtractInt(line, "ts_ms", &ts)) << line;
-    ASSERT_TRUE(ExtractInt(line, "worker", &worker)) << line;
-    ASSERT_TRUE(ExtractInt(line, "events_in", &events_in)) << line;
     EXPECT_GE(ts, last_ts) << "report timestamps must be non-decreasing";
     last_ts = ts;
+    // Trace-ring health lines interleave with the per-worker samples while
+    // tracing is on; they carry the dropped-event counter instead of worker
+    // progress.
+    int64_t dropped = -1;
+    if (ExtractInt(line, "trace_dropped", &dropped)) {
+      EXPECT_GE(dropped, 0);
+      saw_trace_health = true;
+      continue;
+    }
+    ASSERT_TRUE(ExtractInt(line, "worker", &worker)) << line;
+    ASSERT_TRUE(ExtractInt(line, "events_in", &events_in)) << line;
     EXPECT_TRUE(worker == 0 || worker == 1);
     saw_events |= events_in > 0;
+    worker_lines.push_back(line);
   }
   EXPECT_TRUE(saw_events);
+  EXPECT_TRUE(saw_trace_health) << "tracing was enabled, expected ring health lines";
   // The final (post-join) samples must account for every ingested event:
-  // Stop() emits one last line per worker, so the last two lines are the
-  // final sample of each of the two workers.
-  ASSERT_GE(lines.size(), 2u);
+  // Stop() emits one last line per worker, so the last two worker lines are
+  // the final sample of each of the two workers.
+  ASSERT_GE(worker_lines.size(), 2u);
   int64_t w_last = -1, w_prev = -1, e_last = 0, e_prev = 0;
-  ASSERT_TRUE(ExtractInt(lines[lines.size() - 1], "worker", &w_last));
-  ASSERT_TRUE(ExtractInt(lines[lines.size() - 2], "worker", &w_prev));
-  ASSERT_TRUE(ExtractInt(lines[lines.size() - 1], "events_in", &e_last));
-  ASSERT_TRUE(ExtractInt(lines[lines.size() - 2], "events_in", &e_prev));
+  ASSERT_TRUE(ExtractInt(worker_lines[worker_lines.size() - 1], "worker", &w_last));
+  ASSERT_TRUE(ExtractInt(worker_lines[worker_lines.size() - 2], "worker", &w_prev));
+  ASSERT_TRUE(ExtractInt(worker_lines[worker_lines.size() - 1], "events_in", &e_last));
+  ASSERT_TRUE(ExtractInt(worker_lines[worker_lines.size() - 2], "events_in", &e_prev));
   EXPECT_NE(w_last, w_prev);
   EXPECT_EQ(report.TotalEventsIn(), static_cast<uint64_t>(e_last + e_prev));
 }

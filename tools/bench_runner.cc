@@ -1,0 +1,29 @@
+// bench_runner: machine-readable perf baseline (bench/bench_runner.h).
+// Re-runs the fig08/fig09/fig13 configurations plus a loopback
+// server-saturation sweep and writes one schema-stable JSON document.
+//
+//   bench_runner [--out=FILE] [--quick]
+//
+// --quick trims every axis to a CI-smoke-sized subset (same schema, smaller
+// row sets); the default full run produces the committed BENCH_PR6.json
+// reference point. --out=- writes to stdout.
+#include <cstring>
+#include <string>
+
+#include "bench/bench_runner.h"
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_PR6.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--out=FILE|-] [--quick]\n", argv[0]);
+      return 2;
+    }
+  }
+  return flowkv::bench::RunBenchBaseline(quick, out_path);
+}

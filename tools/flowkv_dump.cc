@@ -7,6 +7,8 @@
 //   flowkv_dump rmw <store-dir>     RMW log records (includes dead versions)
 //   flowkv_dump sst <file.sst>      SSTable blocks/keys/bloom summary
 //   flowkv_dump store <dir>         auto-detect (FlowKV partition dirs)
+//   flowkv_dump --stats <dir>       per-partition metrics snapshot as JSON
+//   flowkv_dump --stats <host:port> live kStats snapshot from a running server
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -21,6 +23,7 @@
 #include "src/common/slice.h"
 #include "src/lsm/sstable.h"
 #include "src/spe/window.h"
+#include "tools/stat_format.h"
 
 namespace flowkv {
 namespace {
@@ -290,8 +293,17 @@ bool CollectPartitionStats(const std::string& dir, PartitionStats* out) {
 }
 
 // --stats: one JSON object with a per-partition metrics snapshot, suitable
-// for scripting (jq) against live stores or checkpoints.
+// for scripting (jq) against live stores or checkpoints. A HOST:PORT target
+// instead fetches the live kStats introspection document from a running
+// flowkv_server (same formatting as flowkv_stat).
 int DumpStats(const std::string& dir) {
+  {
+    std::string host;
+    int port = 0;
+    if (tools::ParseHostPort(dir, &host, &port)) {
+      return tools::PrintLiveStats(dir, /*raw_json=*/false, stdout);
+    }
+  }
   std::vector<std::string> names;
   if (!ListDir(dir, &names).ok()) {
     std::fprintf(stderr, "cannot list %s\n", dir.c_str());
@@ -329,7 +341,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: flowkv_dump aar|aur|rmw|store <dir>\n"
                "       flowkv_dump sst <file.sst>\n"
-               "       flowkv_dump --stats <dir>   per-partition metrics snapshot as JSON\n");
+               "       flowkv_dump --stats <dir>         per-partition metrics snapshot as JSON\n"
+               "       flowkv_dump --stats <host:port>   live server introspection (kStats)\n");
   return 2;
 }
 

@@ -10,32 +10,49 @@
 // responses flush, every shard of every store checkpoints, and the epoch
 // commits — a server restarted on the same directories resumes from it.
 //
+// SIGUSR1 triggers an on-demand flight-recorder dump (full metrics snapshot
+// plus the buffered trace ring) to the same `<metrics-out>.flight` JSONL
+// sink the failure paths use, without stopping the server.
+//
 // --standby-of=HOST:PORT runs this server as a hot standby: a ReplicaPuller
 // subscribes to the primary, restores its shipped snapshot, and applies its
 // forwarded op stream; clients list this server in ClientOptions::standbys
 // and fail over to it when the primary dies (docs/NETWORK.md).
 #include <signal.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "src/common/env.h"
 #include "src/common/logging.h"
 #include "src/net/replica.h"
 #include "src/net/server.h"
 #include "src/obs/reporter.h"
+#include "src/obs/trace.h"
 
 namespace {
 
 flowkv::net::Server* g_server = nullptr;
+
+// SIGUSR1 → flight-record request. TriggerFlightRecord takes locks and uses
+// stdio, so it is NOT async-signal-safe; the handler only sets this flag and
+// a small watcher thread performs the dump.
+std::atomic<bool> g_flight_requested{false};
 
 void HandleSignal(int /*signo*/) {
   // RequestDrain is async-signal-safe (atomic store + pipe write).
   if (g_server != nullptr) {
     g_server->RequestDrain();
   }
+}
+
+void HandleFlightSignal(int /*signo*/) {
+  g_flight_requested.store(true, std::memory_order_relaxed);
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
@@ -54,7 +71,9 @@ int Usage(const char* argv0) {
                "          [--metrics-out=FILE.jsonl] [--metrics-interval-ms=N]\n"
                "          [--read-batch-ratio=F] [--write-buffer-bytes=N]\n"
                "          [--partitions-per-store=N] [--standby-of=HOST:PORT]\n"
-               "          [--max-shard-queue-depth=N] [--repl-ack-timeout-ms=N]\n",
+               "          [--max-shard-queue-depth=N] [--repl-ack-timeout-ms=N]\n"
+               "          [--trace-out=FILE.json] [--slow-request-threshold-ms=F]\n"
+               "          [--slow-log-size=N]\n",
                argv0);
   return 2;
 }
@@ -66,6 +85,7 @@ int main(int argc, char** argv) {
   options.port = 7330;
   std::string metrics_out;
   std::string standby_of;
+  std::string trace_out;
   int metrics_interval_ms = 1000;
 
   for (int i = 1; i < argc; ++i) {
@@ -104,6 +124,12 @@ int main(int argc, char** argv) {
       options.max_shard_queue_depth = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--repl-ack-timeout-ms", &value)) {
       options.repl_ack_timeout_ms = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--trace-out", &value)) {
+      trace_out = value;
+    } else if (ParseFlag(argv[i], "--slow-request-threshold-ms", &value)) {
+      options.slow_request_threshold_ms = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--slow-log-size", &value)) {
+      options.slow_log_size = std::strtoull(value.c_str(), nullptr, 10);
     } else {
       return Usage(argv[0]);
     }
@@ -116,6 +142,17 @@ int main(int argc, char** argv) {
   if (!metrics_out.empty() && !reporter.Start(metrics_out, metrics_interval_ms)) {
     std::fprintf(stderr, "cannot open metrics file: %s\n", metrics_out.c_str());
     return 1;
+  }
+  if (flowkv::obs::FlightRecordPath().empty()) {
+    // SIGUSR1 dumps need a sink even when --metrics-out wasn't given.
+    flowkv::obs::SetFlightRecordPath(
+        flowkv::JoinPath(options.data_dir, "server.flight"));
+  }
+  if (!trace_out.empty()) {
+    flowkv::obs::Tracing::Enable();
+    // Distinct pid so a merged client+server Chrome trace shows two process
+    // rows sharing trace ids (docs/OBSERVABILITY.md "Distributed tracing").
+    flowkv::obs::Tracing::SetExportProcess(2, "flowkv_server");
   }
 
   std::unique_ptr<flowkv::net::Server> server;
@@ -150,9 +187,32 @@ int main(int argc, char** argv) {
   sa.sa_handler = HandleSignal;
   ::sigaction(SIGTERM, &sa, nullptr);
   ::sigaction(SIGINT, &sa, nullptr);
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleFlightSignal;
+  ::sigaction(SIGUSR1, &sa, nullptr);
+
+  // Drains SIGUSR1 requests off the signal handler (TriggerFlightRecord is
+  // not async-signal-safe). Polling keeps the handler one atomic store.
+  std::atomic<bool> watcher_stop{false};
+  std::thread flight_watcher([&watcher_stop] {
+    while (!watcher_stop.load(std::memory_order_relaxed)) {
+      if (g_flight_requested.exchange(false, std::memory_order_relaxed)) {
+        flowkv::obs::TriggerFlightRecord("SIGUSR1");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  });
 
   const flowkv::Status final = server->AwaitTermination();
   g_server = nullptr;
+  watcher_stop.store(true, std::memory_order_relaxed);
+  flight_watcher.join();
+  if (g_flight_requested.exchange(false, std::memory_order_relaxed)) {
+    flowkv::obs::TriggerFlightRecord("SIGUSR1");  // request raced shutdown
+  }
+  if (!trace_out.empty() && !flowkv::obs::Tracing::ExportChromeTrace(trace_out)) {
+    std::fprintf(stderr, "cannot write trace file: %s\n", trace_out.c_str());
+  }
   if (puller != nullptr) {
     puller->Stop();  // before the loopback target is gone
   }

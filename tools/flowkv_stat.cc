@@ -1,0 +1,63 @@
+// flowkv_stat: live introspection of a running flowkv_server via the kStats
+// admin op (docs/OBSERVABILITY.md "Live stats").
+//
+//   flowkv_stat HOST:PORT             one human-readable snapshot
+//   flowkv_stat HOST:PORT --json      raw kStats JSON document (for jq)
+//   flowkv_stat HOST:PORT --watch=N   re-poll every N seconds until killed
+//
+// Rates (req/s, ops/s) are windowed between consecutive kStats calls, so
+// under --watch each snapshot reports the rate since the previous one.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "tools/stat_format.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s HOST:PORT [--json] [--watch=SECONDS]\n", argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string endpoint;
+  bool raw_json = false;
+  double watch_s = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      raw_json = true;
+    } else if (std::strncmp(argv[i], "--watch=", 8) == 0) {
+      watch_s = std::atof(argv[i] + 8);
+      if (watch_s <= 0) {
+        return Usage(argv[0]);
+      }
+    } else if (argv[i][0] == '-') {
+      return Usage(argv[0]);
+    } else if (endpoint.empty()) {
+      endpoint = argv[i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (endpoint.empty()) {
+    return Usage(argv[0]);
+  }
+
+  while (true) {
+    const int rc = flowkv::tools::PrintLiveStats(endpoint, raw_json, stdout);
+    if (watch_s <= 0) {
+      return rc;
+    }
+    std::fprintf(stdout, "\n");
+    std::fflush(stdout);
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(watch_s * 1e6)));
+  }
+}

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Schema validator for bench_runner output (bench/bench_runner.h).
+
+Fails (exit 1) on missing keys, wrong types, empty row sets, or any
+non-finite number anywhere in the document — the properties CI's
+bench-smoke job guards. Absolute perf numbers are machine-local and are
+deliberately NOT checked.
+
+Usage: validate_bench_json.py BENCH.json
+"""
+import json
+import math
+import sys
+
+FIG_KEYS = {
+    "query": str,
+    "backend": str,
+    "window_s": (int, float),
+    "ok": bool,
+    "fail_reason": str,
+    "events": (int, float),
+    "events_per_sec": (int, float),
+}
+FIG_LATENCY_KEYS = {
+    "p50_ms": (int, float),
+    "p95_ms": (int, float),
+    "p99_ms": (int, float),
+    "bytes_per_op": (int, float),
+}
+CPU_KEYS = {
+    "write_s": (int, float),
+    "read_s": (int, float),
+    "compaction_s": (int, float),
+    "total_s": (int, float),
+}
+LOOPBACK_KEYS = {
+    "clients": (int, float),
+    "ok": bool,
+    "fail_reason": str,
+    "requests": (int, float),
+    "ops": (int, float),
+    "req_per_sec": (int, float),
+    "ops_per_sec": (int, float),
+    "p50_ms": (int, float),
+    "p99_ms": (int, float),
+    "bytes_in_per_op": (int, float),
+    "bytes_out_per_op": (int, float),
+}
+
+
+def fail(msg):
+    print(f"validate_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_keys(obj, keys, where):
+    for key, typ in keys.items():
+        if key not in obj:
+            fail(f"{where}: missing key {key!r}")
+        if not isinstance(obj[key], typ):
+            fail(f"{where}: key {key!r} has type {type(obj[key]).__name__}")
+
+
+def check_finite(value, path):
+    if isinstance(value, bool):
+        return
+    if isinstance(value, float) and not math.isfinite(value):
+        fail(f"non-finite number at {path}")
+    if isinstance(value, dict):
+        for k, v in value.items():
+            check_finite(v, f"{path}.{k}")
+    if isinstance(value, list):
+        for i, v in enumerate(value):
+            check_finite(v, f"{path}[{i}]")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except ValueError as e:
+            fail(f"{path}: not valid JSON: {e}")
+
+    if doc.get("schema_version") != 1:
+        fail(f"schema_version is {doc.get('schema_version')!r}, expected 1")
+    if doc.get("bench_scale") not in ("quick", "full"):
+        fail(f"bench_scale is {doc.get('bench_scale')!r}")
+    benches = doc.get("benches")
+    if not isinstance(benches, dict):
+        fail("benches is not an object")
+
+    for name in ("fig08", "fig09", "fig13", "loopback"):
+        rows = benches.get(name)
+        if not isinstance(rows, list) or not rows:
+            fail(f"benches.{name} missing or empty")
+
+    for name in ("fig08", "fig09"):
+        for i, row in enumerate(benches[name]):
+            where = f"{name}[{i}]"
+            check_keys(row, FIG_KEYS, where)
+            check_keys(row, FIG_LATENCY_KEYS, where)
+            check_keys(row.get("cpu", {}), CPU_KEYS, f"{where}.cpu")
+            if name == "fig09" and "rate" not in row:
+                fail(f"{where}: missing key 'rate'")
+    for i, row in enumerate(benches["fig13"]):
+        where = f"fig13[{i}]"
+        check_keys(row, FIG_KEYS, where)
+        if "workers" not in row or "cpu_events_per_sec" not in row:
+            fail(f"{where}: missing workers/cpu_events_per_sec")
+    for i, row in enumerate(benches["loopback"]):
+        check_keys(row, LOOPBACK_KEYS, f"loopback[{i}]")
+
+    check_finite(doc, "$")
+    print(f"validate_bench_json: OK: {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
