@@ -85,6 +85,7 @@ struct FigRow {
 
 struct LoopbackRow {
   int clients = 0;
+  int reactor_threads = 0;  // 0 = server default (min(shards, hw threads))
   bool ok = false;
   std::string fail_reason;
   uint64_t requests = 0;  // flushed round trips
@@ -198,13 +199,19 @@ inline std::vector<FigRow> RunFig13(const RunnerScale& scale) {
 // client-side, bytes/op come from the server's own kStats byte counters
 // (delta across the sweep, divided by ops executed).
 
-inline LoopbackRow RunLoopbackPoint(int clients, uint64_t ops_per_client) {
+inline LoopbackRow RunLoopbackPoint(int clients, uint64_t ops_per_client,
+                                    int reactor_threads = 0) {
   LoopbackRow row;
   row.clients = clients;
+  row.reactor_threads = reactor_threads;
 
   net::ServerOptions sopts;
   sopts.data_dir = MakeTempDir("bench_loopback");
   sopts.num_shards = 2;
+  sopts.reactor_threads = reactor_threads;
+  // Clients are in-process, so use the unix-socket transport for the data
+  // path (the stats fetch below stays on TCP). Same framing either way.
+  sopts.unix_socket_path = sopts.data_dir + "/bench.sock";
   std::unique_ptr<net::Server> server;
   Status s = net::Server::Start(sopts, &server);
   if (!s.ok()) {
@@ -243,6 +250,7 @@ inline LoopbackRow RunLoopbackPoint(int clients, uint64_t ops_per_client) {
     threads.emplace_back([&, c] {
       net::ClientOptions copts;
       copts.port = port;
+      copts.unix_socket_path = sopts.unix_socket_path;
       std::unique_ptr<net::Client> client;
       Status ts = net::Client::Connect(copts, &client);
       uint64_t handle = 0;
@@ -387,6 +395,8 @@ inline void AppendFigRow(std::string* out, const FigRow& row) {
 inline void AppendLoopbackRow(std::string* out, const LoopbackRow& row) {
   out->append("{\"clients\":");
   AppendInt(out, row.clients);
+  out->append(",\"reactor_threads\":");
+  AppendInt(out, row.reactor_threads);
   out->append(",\"ok\":");
   out->append(row.ok ? "true" : "false");
   out->append(",\"fail_reason\":");

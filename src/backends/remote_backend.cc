@@ -31,22 +31,26 @@ class ReplayBuffer {
     m_replayed_ = reg.GetCounter("remote.replayed_writes");
   }
 
-  // Executes `op` now, preserving order with anything already buffered; on
-  // an outage, holds it (within the byte bound) instead of failing the
-  // caller.
-  Status Write(std::function<Status(Client*)> op, size_t bytes) {
+  // Executes `fast` now, preserving order with anything already buffered; on
+  // an outage, holds the op (within the byte bound) instead of failing the
+  // caller. `fast` may borrow the caller's key/value slices — it only runs
+  // synchronously. `own` materializes the self-contained replay closure
+  // (copying key/value) and is invoked only when the op must actually queue,
+  // so the common healthy-path write never copies its arguments.
+  Status Write(const std::function<Status(Client*)>& fast,
+               const std::function<std::function<Status(Client*)>()>& own, size_t bytes) {
     if (!ops_.empty()) {
       const Status drained = Drain();
       if (!drained.ok() && !IsOutage(drained)) {
         return drained;
       }
       if (!ops_.empty()) {
-        return Buffer(std::move(op), bytes);  // still down; queue behind
+        return Buffer(own(), bytes);  // still down; queue behind
       }
     }
-    const Status s = op(client_.get());
+    const Status s = fast(client_.get());
     if (max_bytes_ > 0 && IsOutage(s)) {
-      return Buffer(std::move(op), bytes);
+      return Buffer(own(), bytes);
     }
     return s;
   }
@@ -103,8 +107,13 @@ class RemoteAarState : public AppendAlignedState {
 
   Status Append(const Slice& key, const Slice& value, const Window& w) override {
     return buffer_->Write(
-        [h = handle_, k = key.ToString(), v = value.ToString(), w](Client* c) {
-          return c->AppendAligned(h, k, v, w);
+        [h = handle_, &key, &value, w](Client* c) {
+          return c->AppendAligned(h, key, value, w);
+        },
+        [h = handle_, &key, &value, w]() -> std::function<Status(Client*)> {
+          return [h, k = key.ToString(), v = value.ToString(), w](Client* c) {
+            return c->AppendAligned(h, k, v, w);
+          };
         },
         OpCost(key, value));
   }
@@ -133,8 +142,13 @@ class RemoteAurState : public AppendUnalignedState {
   Status Append(const Slice& key, const Slice& value, const Window& w,
                 int64_t timestamp) override {
     return buffer_->Write(
-        [h = handle_, k = key.ToString(), v = value.ToString(), w, timestamp](Client* c) {
-          return c->AppendUnaligned(h, k, v, w, timestamp);
+        [h = handle_, &key, &value, w, timestamp](Client* c) {
+          return c->AppendUnaligned(h, key, value, w, timestamp);
+        },
+        [h = handle_, &key, &value, w, timestamp]() -> std::function<Status(Client*)> {
+          return [h, k = key.ToString(), v = value.ToString(), w, timestamp](Client* c) {
+            return c->AppendUnaligned(h, k, v, w, timestamp);
+          };
         },
         OpCost(key, value));
   }
@@ -148,8 +162,13 @@ class RemoteAurState : public AppendUnalignedState {
   Status MergeWindows(const Slice& key, const std::vector<Window>& sources,
                       const Window& dst) override {
     return buffer_->Write(
-        [h = handle_, k = key.ToString(), sources, dst](Client* c) {
-          return c->MergeWindows(h, k, sources, dst);
+        [h = handle_, &key, &sources, dst](Client* c) {
+          return c->MergeWindows(h, key, sources, dst);
+        },
+        [h = handle_, &key, &sources, dst]() -> std::function<Status(Client*)> {
+          return [h, k = key.ToString(), sources, dst](Client* c) {
+            return c->MergeWindows(h, k, sources, dst);
+          };
         },
         OpCost(key, Slice()) + sources.size() * sizeof(Window));
   }
@@ -174,15 +193,23 @@ class RemoteRmwState : public RmwState {
 
   Status Put(const Slice& key, const Window& w, const Slice& accumulator) override {
     return buffer_->Write(
-        [h = handle_, k = key.ToString(), v = accumulator.ToString(), w](Client* c) {
-          return c->RmwPut(h, k, w, v);
+        [h = handle_, &key, &accumulator, w](Client* c) {
+          return c->RmwPut(h, key, w, accumulator);
+        },
+        [h = handle_, &key, &accumulator, w]() -> std::function<Status(Client*)> {
+          return [h, k = key.ToString(), v = accumulator.ToString(), w](Client* c) {
+            return c->RmwPut(h, k, w, v);
+          };
         },
         OpCost(key, accumulator));
   }
 
   Status Remove(const Slice& key, const Window& w) override {
     return buffer_->Write(
-        [h = handle_, k = key.ToString(), w](Client* c) { return c->RmwRemove(h, k, w); },
+        [h = handle_, &key, w](Client* c) { return c->RmwRemove(h, key, w); },
+        [h = handle_, &key, w]() -> std::function<Status(Client*)> {
+          return [h, k = key.ToString(), w](Client* c) { return c->RmwRemove(h, k, w); };
+        },
         OpCost(key, Slice()));
   }
 

@@ -10,13 +10,13 @@ FaultInjectionSocket::FaultInjectionSocket(uint64_t seed) : rng_(seed) {}
 void FaultInjectionSocket::SetPlan(const SocketFaultPlan& plan) {
   std::lock_guard<std::mutex> lock(mu_);
   plan_ = plan;
-  connect_fail_at_ = send_reset_at_ = recv_reset_at_ = -1;
+  connect_fail_at_ = send_reset_at_ = send_stall_at_ = recv_reset_at_ = -1;
 }
 
 void FaultInjectionSocket::ClearFaults() {
   std::lock_guard<std::mutex> lock(mu_);
   plan_ = SocketFaultPlan();
-  connect_fail_at_ = send_reset_at_ = recv_reset_at_ = -1;
+  connect_fail_at_ = send_reset_at_ = send_stall_at_ = recv_reset_at_ = -1;
 }
 
 void FaultInjectionSocket::FailConnectAt(int64_t n) {
@@ -27,6 +27,11 @@ void FaultInjectionSocket::FailConnectAt(int64_t n) {
 void FaultInjectionSocket::ResetSendAt(int64_t n) {
   std::lock_guard<std::mutex> lock(mu_);
   send_reset_at_ = n < 0 ? -1 : sends_ + n;
+}
+
+void FaultInjectionSocket::StallSendAt(int64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  send_stall_at_ = n < 0 ? -1 : sends_ + n;
 }
 
 void FaultInjectionSocket::ResetRecvAt(int64_t n) {
@@ -104,6 +109,12 @@ Status FaultInjectionSocket::PreSend(int fd, size_t* n) {
     send_reset_at_ = -1;
     ++injected_resets_;
     return Status::ConnectionReset("injected reset on send");
+  }
+  if (send_stall_at_ >= 0 && seq >= send_stall_at_) {
+    send_stall_at_ = -1;
+    ++injected_short_ios_;
+    *n = 0;  // stalled socket: the caller must treat this as would-block
+    return Status::Ok();
   }
   MaybeDelayLocked(&lock);
   if (plan_.reset_on_send_prob > 0 && rng_.Bernoulli(plan_.reset_on_send_prob)) {

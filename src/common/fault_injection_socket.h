@@ -59,6 +59,11 @@ class FaultInjectionSocket : public NetHooks {
   void FailConnectAt(int64_t n);
   void ResetSendAt(int64_t n);
   void ResetRecvAt(int64_t n);
+  // Clamps the Nth future send to 0 bytes (a stalled socket that accepts
+  // nothing). Regression hook for the FlushWrites busy-spin: a zero-progress
+  // send must be treated as would-block, not retried in a tight loop or
+  // surfaced as an error.
+  void StallSendAt(int64_t n);
 
   // After this call only fds connected afterwards are faulted; existing
   // connections become exempt. DisableCaptureFilter() returns to all-fds.
@@ -93,6 +98,7 @@ class FaultInjectionSocket : public NetHooks {
 
   int64_t connect_fail_at_ = -1;
   int64_t send_reset_at_ = -1;
+  int64_t send_stall_at_ = -1;
   int64_t recv_reset_at_ = -1;
 
   bool capture_filter_ = false;

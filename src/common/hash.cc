@@ -31,12 +31,24 @@ uint64_t Hash64(const char* data, size_t size, uint64_t seed) {
 }
 
 uint32_t Checksum32(const char* data, size_t size) {
-  // FNV-1a over the bytes, followed by an avalanche so that checksums of
-  // short inputs still differ in all bit positions.
+  // FNV-style xor-multiply over 8-byte words with a bytewise tail, followed
+  // by an avalanche so that checksums of short inputs still differ in all
+  // bit positions. Must stay in lockstep with StreamingChecksum32 (hash.h),
+  // which processes the same word/tail split incrementally.
+  constexpr uint64_t kPrime = 0x100000001b3ULL;
   uint64_t h = 0xcbf29ce484222325ULL;
-  for (size_t i = 0; i < size; ++i) {
-    h ^= static_cast<uint8_t>(data[i]);
-    h *= 0x100000001b3ULL;
+  const char* p = data;
+  const char* end = data + size;
+  while (end - p >= 8) {
+    uint64_t k;
+    std::memcpy(&k, p, 8);
+    h = (h ^ k) * kPrime;
+    p += 8;
+  }
+  while (p < end) {
+    h ^= static_cast<uint8_t>(*p);
+    h *= kPrime;
+    ++p;
   }
   h = MixHash64(h);
   return static_cast<uint32_t>(h ^ (h >> 32));

@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 
 #include "src/common/slice.h"
 
@@ -32,8 +33,13 @@ inline uint64_t CombineHash64(uint64_t a, uint64_t b) {
   return MixHash64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
 }
 
-// CRC-free 32-bit checksum for on-disk block integrity (cheap FNV-based mix;
-// the stores only need corruption detection, not cryptographic strength).
+// CRC-free 32-bit checksum for on-disk block integrity and frame framing
+// (FNV-style xor-multiply over 8-byte words with a bytewise tail; the stores
+// and the wire only need corruption detection, not cryptographic strength).
+// Word-at-a-time keeps it off the profile of the network hot path, where
+// every frame is checksummed twice per direction. Each xor-multiply step is
+// invertible, so any single differing input of equal length changes the
+// pre-avalanche state.
 uint32_t Checksum32(const char* data, size_t size);
 
 inline uint32_t Checksum32(const Slice& s) { return Checksum32(s.data(), s.size()); }
@@ -41,23 +47,52 @@ inline uint32_t Checksum32(const Slice& s) { return Checksum32(s.data(), s.size(
 // Incremental Checksum32: feeding the same bytes through Update() in any
 // chunking yields exactly Checksum32() of the concatenation. Used when
 // checksumming streamed file copies without buffering the whole payload.
+// Buffers up to 7 bytes so word boundaries align with absolute offsets
+// regardless of how the input is chunked.
 class StreamingChecksum32 {
  public:
   void Update(const char* data, size_t size) {
-    for (size_t i = 0; i < size; ++i) {
-      h_ ^= static_cast<uint8_t>(data[i]);
-      h_ *= 0x100000001b3ULL;
+    const char* p = data;
+    const char* end = data + size;
+    if (buffered_ > 0) {
+      while (buffered_ < 8 && p < end) {
+        buf_[buffered_++] = *p++;
+      }
+      if (buffered_ < 8) {
+        return;
+      }
+      uint64_t k;
+      std::memcpy(&k, buf_, 8);
+      h_ = (h_ ^ k) * kPrime;
+      buffered_ = 0;
+    }
+    while (end - p >= 8) {
+      uint64_t k;
+      std::memcpy(&k, p, 8);
+      h_ = (h_ ^ k) * kPrime;
+      p += 8;
+    }
+    while (p < end) {
+      buf_[buffered_++] = *p++;
     }
   }
   void Update(const Slice& s) { Update(s.data(), s.size()); }
 
   uint32_t Finish() const {
-    const uint64_t h = MixHash64(h_);
+    uint64_t h = h_;
+    for (size_t i = 0; i < buffered_; ++i) {
+      h ^= static_cast<uint8_t>(buf_[i]);
+      h *= kPrime;
+    }
+    h = MixHash64(h);
     return static_cast<uint32_t>(h ^ (h >> 32));
   }
 
  private:
+  static constexpr uint64_t kPrime = 0x100000001b3ULL;
   uint64_t h_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis, as Checksum32
+  char buf_[8];
+  size_t buffered_ = 0;
 };
 
 }  // namespace flowkv

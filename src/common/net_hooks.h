@@ -30,7 +30,9 @@ class NetHooks {
 
   virtual Status PreConnect(const std::string& host, uint16_t port) { return Status::Ok(); }
   // `n` is the number of bytes the caller is about to send/recv; the hook may
-  // reduce it (a short write/read) but must keep it >= 1.
+  // reduce it to force a short write/read. PreRecv must keep it >= 1. PreSend
+  // may clamp all the way to 0 (a stalled socket): write paths treat zero
+  // progress as would-block — they back off and retry, never spin or fail.
   virtual Status PreSend(int fd, size_t* n) { return Status::Ok(); }
   virtual Status PreRecv(int fd, size_t* n) { return Status::Ok(); }
 

@@ -7,6 +7,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -92,10 +93,13 @@ void Client::CloseSocket() {
 Status Client::ConnectSocket() {
   CloseSocket();
   const Endpoint& ep = CurrentEndpoint();
+  // The unix path only replaces the primary endpoint; standby failover
+  // stays on TCP (a standby is, by definition, on another host).
+  const bool use_unix = endpoint_index_ == 0 && !options_.unix_socket_path.empty();
   if (NetHooks* hooks = GetNetHooks()) {
     FLOWKV_RETURN_IF_ERROR(hooks->PreConnect(ep.host, static_cast<uint16_t>(ep.port)));
   }
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const int fd = ::socket(use_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::FromErrno("socket");
   }
@@ -105,32 +109,65 @@ Status Client::ConnectSocket() {
     return s;
   }
 
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(ep.port));
-  if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return Status::InvalidArgument("bad host address: " + ep.host);
+  sockaddr_storage addr_storage;
+  std::memset(&addr_storage, 0, sizeof(addr_storage));
+  socklen_t addr_len = 0;
+  if (use_unix) {
+    auto* uaddr = reinterpret_cast<sockaddr_un*>(&addr_storage);
+    uaddr->sun_family = AF_UNIX;
+    if (options_.unix_socket_path.size() >= sizeof(uaddr->sun_path)) {
+      ::close(fd);
+      return Status::InvalidArgument("unix socket path too long: " +
+                                     options_.unix_socket_path);
+    }
+    std::memcpy(uaddr->sun_path, options_.unix_socket_path.c_str(),
+                options_.unix_socket_path.size() + 1);
+    addr_len = sizeof(sockaddr_un);
+  } else {
+    auto* iaddr = reinterpret_cast<sockaddr_in*>(&addr_storage);
+    iaddr->sin_family = AF_INET;
+    iaddr->sin_port = htons(static_cast<uint16_t>(ep.port));
+    if (::inet_pton(AF_INET, ep.host.c_str(), &iaddr->sin_addr) != 1) {
+      ::close(fd);
+      return Status::InvalidArgument("bad host address: " + ep.host);
+    }
+    addr_len = sizeof(sockaddr_in);
   }
 
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    if (errno != EINPROGRESS) {
+  // EINTR on a non-blocking connect() means the attempt proceeds
+  // asynchronously, exactly like EINPROGRESS (POSIX) — treating it as a
+  // failure would leak a half-open socket on every signal-heavy host.
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr_storage), addr_len) != 0) {
+    if (errno != EINPROGRESS && errno != EINTR) {
       const Status err = Status::FromErrno("connect " + ep.host);
       ::close(fd);
       return err;
     }
-    // Non-blocking connect: wait for writability, then check SO_ERROR.
-    pollfd pfd = {fd, POLLOUT, 0};
-    const int n = ::poll(&pfd, 1, options_.connect_timeout_ms);
-    if (n == 0) {
-      ::close(fd);
-      return Status::TimedOut("connect to " + ep.host + ":" + std::to_string(ep.port));
+    // Non-blocking connect: wait for writability, then check SO_ERROR. The
+    // wait runs against one absolute deadline so a signal interrupting
+    // poll() resumes with the time remaining rather than restarting the full
+    // timeout (or, worse, surfacing EINTR as a connection failure).
+    const int64_t deadline_nanos = DeadlineFromNow(options_.connect_timeout_ms);
+    while (true) {
+      pollfd pfd = {fd, POLLOUT, 0};
+      const int n = ::poll(&pfd, 1, PollTimeoutMs(deadline_nanos));
+      if (n > 0) {
+        break;
+      }
+      if (n < 0 && errno != EINTR) {
+        const Status err = Status::FromErrno("poll(connect " + ep.host + ")");
+        ::close(fd);
+        return err;
+      }
+      if (MonotonicNanos() >= deadline_nanos) {
+        ::close(fd);
+        return Status::TimedOut("connect to " + ep.host + ":" + std::to_string(ep.port));
+      }
+      // EINTR, or a zero return from a capped poll slice: keep waiting.
     }
     int so_error = 0;
     socklen_t len = sizeof(so_error);
-    if (n < 0 || ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
-        so_error != 0) {
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 || so_error != 0) {
       ::close(fd);
       return Status::ConnectionReset("connect to " + ep.host + ":" +
                                      std::to_string(ep.port) + ": " +
@@ -138,8 +175,10 @@ Status Client::ConnectSocket() {
     }
   }
 
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (!use_unix) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
   fd_ = fd;
   // A fresh connection may be to a different (older) server — e.g. a
   // failover standby — so the trace capability must be re-learned.

@@ -59,6 +59,13 @@ struct ClientOptions {
   std::string host = "127.0.0.1";
   int port = 0;
 
+  // When non-empty, connect over AF_UNIX to this socket path instead of
+  // host:port (the server must have been started with the matching
+  // ServerOptions::unix_socket_path). Identical wire protocol; skips the
+  // TCP loopback stack for co-located clients. Standby failover still uses
+  // the TCP endpoints in `standbys`.
+  std::string unix_socket_path;
+
   // Fallback endpoints tried round-robin (after host:port) when a connect
   // attempt fails — typically the standby of a replicated pair.
   std::vector<Endpoint> standbys;

@@ -2,8 +2,10 @@
 
 #include <errno.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/common/net_hooks.h"
@@ -16,6 +18,9 @@ constexpr size_t kReadChunkBytes = 64 * 1024;
 // Compact the input buffer once the parsed prefix dominates, so long-lived
 // connections do not accumulate an unbounded consumed prefix.
 constexpr size_t kCompactThresholdBytes = 256 * 1024;
+// Upper bound on buffers gathered into one sendmsg(). Far below IOV_MAX;
+// 64 buffers is 32 pipelined responses per kernel round trip.
+constexpr size_t kMaxFlushIovecs = 64;
 }  // namespace
 
 Connection::Connection(uint64_t id, int fd, size_t max_outbox_bytes)
@@ -75,18 +80,64 @@ void Connection::Consume(size_t n) {
 }
 
 void Connection::QueueFrame(std::string frame) {
-  outbox_bytes_ += frame.size();
+  if (frame.empty()) {
+    return;  // zero-length buffers would stall the iovec flush loop
+  }
+  outbox_bytes_.fetch_add(frame.size(), std::memory_order_relaxed);
   outbox_.push_back(std::move(frame));
+}
+
+void Connection::QueueFrameParts(std::string header, std::string payload) {
+  QueueFrame(std::move(header));
+  QueueFrame(std::move(payload));
 }
 
 Status Connection::FlushWrites() {
   while (!outbox_.empty()) {
-    const std::string& front = outbox_.front();
-    size_t to_send = front.size() - front_offset_;
+    // Gather as many queued buffers as fit into one scatter list.
+    struct iovec iov[kMaxFlushIovecs];
+    size_t niov = 0;
+    size_t total = 0;
+    size_t offset = front_offset_;
+    for (const std::string& buf : outbox_) {
+      if (niov == kMaxFlushIovecs) {
+        break;
+      }
+      iov[niov].iov_base = const_cast<char*>(buf.data()) + offset;
+      iov[niov].iov_len = buf.size() - offset;
+      total += iov[niov].iov_len;
+      ++niov;
+      offset = 0;
+    }
+    size_t to_send = total;
     if (NetHooks* hooks = GetNetHooks()) {
       FLOWKV_RETURN_IF_ERROR(hooks->PreSend(fd_, &to_send));
     }
-    const ssize_t n = ::send(fd_, front.data() + front_offset_, to_send, MSG_NOSIGNAL);
+    if (to_send == 0) {
+      // A fault hook clamped the send to nothing. Issuing a zero-byte send
+      // would report 0 bytes written and loop forever; treat zero progress
+      // as would-block and let the next writable event retry.
+      return Status::Ok();
+    }
+    if (to_send < total) {
+      // Trim the scatter list so the kernel sees exactly to_send bytes.
+      size_t remaining = to_send;
+      size_t trimmed = 0;
+      for (size_t k = 0; k < niov && remaining > 0; ++k) {
+        const size_t take = std::min(remaining, static_cast<size_t>(iov[k].iov_len));
+        iov[k].iov_len = take;
+        remaining -= take;
+        ++trimmed;
+      }
+      niov = trimmed;
+    }
+    struct msghdr mh;
+    std::memset(&mh, 0, sizeof(mh));
+    mh.msg_iov = iov;
+    mh.msg_iovlen = niov;
+    // sendmsg rather than writev: writev has no flags argument, and SIGPIPE
+    // on a dead peer must stay suppressed (MSG_NOSIGNAL).
+    const ssize_t n = ::sendmsg(fd_, &mh, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         return Status::Ok();
@@ -96,11 +147,25 @@ Status Connection::FlushWrites() {
       }
       return Status::ConnectionReset("send: " + std::string(strerror(errno)));
     }
-    front_offset_ += static_cast<size_t>(n);
-    outbox_bytes_ -= static_cast<size_t>(n);
-    if (front_offset_ == front.size()) {
-      outbox_.pop_front();
-      front_offset_ = 0;
+    if (n == 0) {
+      return Status::Ok();  // zero progress: same would-block treatment
+    }
+    size_t advanced = static_cast<size_t>(n);
+    outbox_bytes_.fetch_sub(advanced, std::memory_order_relaxed);
+    while (advanced > 0) {
+      std::string& front = outbox_.front();
+      const size_t left = front.size() - front_offset_;
+      if (advanced >= left) {
+        advanced -= left;
+        outbox_.pop_front();
+        front_offset_ = 0;
+      } else {
+        front_offset_ += advanced;
+        advanced = 0;
+      }
+    }
+    if (static_cast<size_t>(n) < to_send) {
+      return Status::Ok();  // partial write: the socket buffer is full
     }
   }
   return Status::Ok();

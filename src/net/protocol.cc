@@ -63,10 +63,14 @@ const char* OpTypeName(OpType type) {
   return "?";
 }
 
+void EncodeFrameHeader(const Slice& payload, char out[kFrameHeaderBytes]) {
+  EncodeFixed32(out, static_cast<uint32_t>(payload.size()));
+  EncodeFixed32(out + 4, Checksum32(payload));
+}
+
 void AppendFrame(std::string* out, const Slice& payload) {
   char header[kFrameHeaderBytes];
-  EncodeFixed32(header, static_cast<uint32_t>(payload.size()));
-  EncodeFixed32(header + 4, Checksum32(payload));
+  EncodeFrameHeader(payload, header);
   out->append(header, kFrameHeaderBytes);
   out->append(payload.data(), payload.size());
 }
@@ -196,8 +200,8 @@ void EncodeRequest(const RequestMessage& msg, std::string* payload) {
         break;
       case OpType::kAppendAligned:
         PutVarint64(payload, op.store_id);
-        PutLengthPrefixed(payload, op.key);
-        PutLengthPrefixed(payload, op.value);
+        PutLengthPrefixed(payload, op.key_view());
+        PutLengthPrefixed(payload, op.value_view());
         PutWindow(payload, op.window);
         break;
       case OpType::kGetWindowChunk:
@@ -206,19 +210,19 @@ void EncodeRequest(const RequestMessage& msg, std::string* payload) {
         break;
       case OpType::kAppendUnaligned:
         PutVarint64(payload, op.store_id);
-        PutLengthPrefixed(payload, op.key);
-        PutLengthPrefixed(payload, op.value);
+        PutLengthPrefixed(payload, op.key_view());
+        PutLengthPrefixed(payload, op.value_view());
         PutWindow(payload, op.window);
         PutVarsigned64(payload, op.timestamp);
         break;
       case OpType::kGetUnaligned:
         PutVarint64(payload, op.store_id);
-        PutLengthPrefixed(payload, op.key);
+        PutLengthPrefixed(payload, op.key_view());
         PutWindow(payload, op.window);
         break;
       case OpType::kMergeWindows:
         PutVarint64(payload, op.store_id);
-        PutLengthPrefixed(payload, op.key);
+        PutLengthPrefixed(payload, op.key_view());
         PutVarint32(payload, static_cast<uint32_t>(op.sources.size()));
         for (const Window& w : op.sources) {
           PutWindow(payload, w);
@@ -228,14 +232,14 @@ void EncodeRequest(const RequestMessage& msg, std::string* payload) {
       case OpType::kRmwGet:
       case OpType::kRmwRemove:
         PutVarint64(payload, op.store_id);
-        PutLengthPrefixed(payload, op.key);
+        PutLengthPrefixed(payload, op.key_view());
         PutWindow(payload, op.window);
         break;
       case OpType::kRmwPut:
         PutVarint64(payload, op.store_id);
-        PutLengthPrefixed(payload, op.key);
+        PutLengthPrefixed(payload, op.key_view());
         PutWindow(payload, op.window);
-        PutLengthPrefixed(payload, op.value);
+        PutLengthPrefixed(payload, op.value_view());
         break;
       case OpType::kCheckpoint:
         PutVarint64(payload, op.store_id);
@@ -250,7 +254,7 @@ void EncodeRequest(const RequestMessage& msg, std::string* payload) {
       case OpType::kSnapshotFile:
         PutLengthPrefixed(payload, op.path);
         PutVarsigned64(payload, op.timestamp);  // byte offset
-        PutLengthPrefixed(payload, op.value);
+        PutLengthPrefixed(payload, op.value_view());
         break;
       case OpType::kSnapshotDone:
         PutLengthPrefixed(payload, op.path);  // epoch name
@@ -275,7 +279,9 @@ void EncodeRequest(const RequestMessage& msg, std::string* payload) {
   }
 }
 
-Status DecodeRequest(Slice payload, RequestMessage* msg) {
+namespace {
+
+Status DecodeRequestInternal(Slice payload, RequestMessage* msg, bool borrow) {
   msg->ops.clear();
   msg->trace_id = 0;
   msg->span_id = 0;
@@ -383,8 +389,13 @@ Status DecodeRequest(Slice payload, RequestMessage* msg) {
     if (!ok) {
       return Truncated(OpTypeName(op.type));
     }
-    op.key = key.ToString();
-    op.value = value.ToString();
+    if (borrow) {
+      op.SetKeyBorrowed(key);
+      op.SetValueBorrowed(value);
+    } else {
+      op.key = key.ToString();
+      op.value = value.ToString();
+    }
     msg->ops.push_back(std::move(op));
   }
   if (!payload.empty()) {
@@ -400,6 +411,16 @@ Status DecodeRequest(Slice payload, RequestMessage* msg) {
     }
   }
   return Status::Ok();
+}
+
+}  // namespace
+
+Status DecodeRequest(Slice payload, RequestMessage* msg) {
+  return DecodeRequestInternal(payload, msg, /*borrow=*/false);
+}
+
+Status DecodeRequestBorrowed(Slice payload, RequestMessage* msg) {
+  return DecodeRequestInternal(payload, msg, /*borrow=*/true);
 }
 
 void EncodeResponse(const ResponseMessage& msg, std::string* payload) {

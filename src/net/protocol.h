@@ -19,6 +19,7 @@
 #define SRC_NET_PROTOCOL_H_
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
@@ -38,6 +39,14 @@ constexpr size_t kDefaultMaxFrameBytes = 16u << 20;
 
 // Bytes of framing overhead preceding every payload.
 constexpr size_t kFrameHeaderBytes = 8;
+
+// Zero-copy decode: key/value fields no longer than this are copied into the
+// OpRequest's inline arrays (no heap allocation); longer fields stay as
+// Slices aliasing the decode buffer until MaterializeRefs() is called. 64 B
+// covers the overwhelming majority of stream-processing keys and small
+// accumulators. This is a decoder-side representation choice only — the
+// bytes on the wire are unchanged.
+constexpr size_t kInlineFieldBytes = 64;
 
 enum class OpType : uint32_t {
   kPing = 0,
@@ -105,7 +114,21 @@ const char* OpTypeName(OpType type);
 
 // One operation of a request batch. A single struct covers every op type;
 // only the fields listed for the type in the encoding are on the wire.
+//
+// The key and value fields have three representations so the server's hot
+// path can decode without copying (DecodeRequestBorrowed):
+//   - owned: the `key`/`value` strings (what setters and the owning decoder
+//     produce; always safe).
+//   - inline: fields of at most kInlineFieldBytes bytes land in the inline
+//     arrays — no heap allocation, no external lifetime.
+//   - borrowed: longer fields alias the decode buffer through `key_ref` /
+//     `value_ref`, valid only until that buffer is mutated.
+// Readers must go through key_view()/value_view(); an op that may outlive
+// the decode buffer (cross-thread handoff, parking, re-encode later) must
+// call MaterializeRefs() first.
 struct OpRequest {
+  enum class FieldRep : uint8_t { kOwned, kInline, kBorrowed };
+
   OpType type = OpType::kPing;
   uint64_t store_id = 0;     // every op except kPing / kOpenStore
   std::string ns;            // kOpenStore: unique store key, e.g. "w0.q7.h0"
@@ -120,6 +143,79 @@ struct OpRequest {
   // last applied sequence in `timestamp`; kSnapshotFile uses `path` (relative
   // file), `timestamp` (offset) and `value` (data); kSnapshotDone uses `path`
   // (epoch name); kRestoreStore uses `store_id`, `ns`, `spec` and `path`.
+
+  // Zero-copy decode state (see the struct comment). Only the borrowed
+  // decoder writes these; default-constructed ops are plain owned strings.
+  Slice key_ref;
+  Slice value_ref;
+  char key_inline[kInlineFieldBytes];
+  char value_inline[kInlineFieldBytes];
+  uint8_t key_inline_len = 0;
+  uint8_t value_inline_len = 0;
+  FieldRep key_rep = FieldRep::kOwned;
+  FieldRep value_rep = FieldRep::kOwned;
+
+  Slice key_view() const {
+    switch (key_rep) {
+      case FieldRep::kInline:
+        return Slice(key_inline, key_inline_len);
+      case FieldRep::kBorrowed:
+        return key_ref;
+      default:
+        return Slice(key);
+    }
+  }
+  Slice value_view() const {
+    switch (value_rep) {
+      case FieldRep::kInline:
+        return Slice(value_inline, value_inline_len);
+      case FieldRep::kBorrowed:
+        return value_ref;
+      default:
+        return Slice(value);
+    }
+  }
+
+  // Adopts a decoded field without copying when possible: small fields are
+  // inlined, larger ones alias `s`'s storage (borrowed).
+  void SetKeyBorrowed(const Slice& s) {
+    if (s.size() <= kInlineFieldBytes) {
+      std::memcpy(key_inline, s.data(), s.size());
+      key_inline_len = static_cast<uint8_t>(s.size());
+      key_rep = FieldRep::kInline;
+    } else {
+      key_ref = s;
+      key_rep = FieldRep::kBorrowed;
+    }
+  }
+  void SetValueBorrowed(const Slice& s) {
+    if (s.size() <= kInlineFieldBytes) {
+      std::memcpy(value_inline, s.data(), s.size());
+      value_inline_len = static_cast<uint8_t>(s.size());
+      value_rep = FieldRep::kInline;
+    } else {
+      value_ref = s;
+      value_rep = FieldRep::kBorrowed;
+    }
+  }
+
+  // True when any field still aliases the decode buffer.
+  bool borrows_buffer() const {
+    return key_rep == FieldRep::kBorrowed || value_rep == FieldRep::kBorrowed;
+  }
+
+  // Copies borrowed fields into owned storage so the op no longer references
+  // the decode buffer. Inline fields are already self-contained.
+  void MaterializeRefs() {
+    if (key_rep == FieldRep::kBorrowed) {
+      key.assign(key_ref.data(), key_ref.size());
+      key_rep = FieldRep::kOwned;
+    }
+    if (value_rep == FieldRep::kBorrowed) {
+      value.assign(value_ref.data(), value_ref.size());
+      value_rep = FieldRep::kOwned;
+    }
+  }
 };
 
 // One operation's outcome. Field validity mirrors OpRequest.
@@ -166,6 +262,11 @@ struct ResponseMessage {
 // Appends header + payload to `out` (ready to write to a socket).
 void AppendFrame(std::string* out, const Slice& payload);
 
+// Writes just the 8-byte frame header for `payload` into `out`, so callers
+// can hand header and payload to the socket as separate buffers (scatter-
+// gather writev) instead of assembling one contiguous frame string.
+void EncodeFrameHeader(const Slice& payload, char out[kFrameHeaderBytes]);
+
 // Attempts to cut one frame off the front of `input`. Returns:
 //  - OK with *complete=true: `payload` points into `input`'s buffer (valid
 //    until the buffer is modified) and the frame's bytes were consumed.
@@ -180,6 +281,14 @@ Status TryDecodeFrame(Slice* input, Slice* payload, bool* complete,
 
 void EncodeRequest(const RequestMessage& msg, std::string* payload);
 Status DecodeRequest(Slice payload, RequestMessage* msg);
+
+// Zero-copy variant of DecodeRequest: key/value fields come back inline (at
+// most kInlineFieldBytes) or as Slices aliasing `payload`'s storage. The
+// decoded ops are valid only while that buffer is unmodified; call
+// OpRequest::MaterializeRefs() on any op that must outlive it. The wire
+// format is byte-identical to DecodeRequest — this changes only the decoded
+// representation.
+Status DecodeRequestBorrowed(Slice payload, RequestMessage* msg);
 
 void EncodeResponse(const ResponseMessage& msg, std::string* payload);
 Status DecodeResponse(Slice payload, ResponseMessage* msg);

@@ -6,11 +6,14 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/stat.h>
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
+#include <thread>
 #include <cstring>
 
 #include "src/common/env.h"
@@ -349,22 +352,60 @@ Status ReplicaPuller::SendAck(int fd, uint64_t seq) {
   ack.results.resize(1);
   ack.results[0].type = OpType::kReplicaSubscribe;
   ack.results[0].status = Status::Ok();
-  std::string payload, frame;
+  std::string payload;
   EncodeResponse(ack, &payload);
-  AppendFrame(&frame, payload);
+  // Header and payload stay separate buffers (the server's scatter-gather
+  // framing convention); stitch them on the wire per send call.
+  char header[kFrameHeaderBytes];
+  EncodeFrameHeader(Slice(payload), header);
+  const size_t total = kFrameHeaderBytes + payload.size();
   size_t written = 0;
-  while (written < frame.size()) {
-    size_t to_send = frame.size() - written;
+  while (written < total) {
+    size_t to_send = total - written;
     if (NetHooks* hooks = GetNetHooks()) {
       FLOWKV_RETURN_IF_ERROR(hooks->PreSend(fd, &to_send));
     }
-    const ssize_t n = ::send(fd, frame.data() + written, to_send, MSG_NOSIGNAL);
+    if (to_send == 0) {
+      // A fault hook clamped the send to nothing. A zero-byte send() reports
+      // 0 bytes written — previously misread as a dead peer, killing the
+      // replication stream on an injected stall. Re-ask the hook instead.
+      std::this_thread::yield();
+      continue;
+    }
+    struct iovec iov[2];
+    size_t niov = 0;
+    if (written < kFrameHeaderBytes) {
+      iov[niov].iov_base = header + written;
+      iov[niov].iov_len = kFrameHeaderBytes - written;
+      ++niov;
+      iov[niov].iov_base = const_cast<char*>(payload.data());
+      iov[niov].iov_len = payload.size();
+      ++niov;
+    } else {
+      iov[niov].iov_base = const_cast<char*>(payload.data()) + (written - kFrameHeaderBytes);
+      iov[niov].iov_len = payload.size() - (written - kFrameHeaderBytes);
+      ++niov;
+    }
+    // Trim the scatter list to the (possibly clamped) send size.
+    size_t remaining = to_send;
+    size_t trimmed = 0;
+    for (size_t k = 0; k < niov && remaining > 0; ++k) {
+      const size_t take = std::min(remaining, static_cast<size_t>(iov[k].iov_len));
+      iov[k].iov_len = take;
+      remaining -= take;
+      ++trimmed;
+    }
+    struct msghdr mh;
+    std::memset(&mh, 0, sizeof(mh));
+    mh.msg_iov = iov;
+    mh.msg_iovlen = trimmed;
+    const ssize_t n = ::sendmsg(fd, &mh, MSG_NOSIGNAL);
     if (n > 0) {
       written += static_cast<size_t>(n);
       continue;
     }
-    if (n < 0 && errno == EINTR) {
-      continue;
+    if (n == 0 || (n < 0 && errno == EINTR)) {
+      continue;  // zero progress or a signal: retry, not a dead peer
     }
     return Status::ConnectionReset("ack send: " + std::string(std::strerror(errno)));
   }

@@ -5,12 +5,15 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +21,7 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 
 #include "src/common/clock.h"
@@ -46,8 +50,19 @@ constexpr char kStoresMetaName[] = "stores.meta";
 // dir: they are transient shipping state, never a commit point.
 constexpr char kReplSnapshotDirName[] = ".repl_snapshot";
 
+// epoll user-data tags for the two non-connection fds each reactor watches.
+// Connection ids start at 1 and count up, so the top of the id space is free.
+constexpr uint64_t kWakeTag = ~0ull;
+constexpr uint64_t kListenTag = ~0ull - 1;
+constexpr uint64_t kUnixListenTag = ~0ull - 2;
+
+// Index of the reactor running on this thread, -1 off the reactor pool.
+// Lets completion handoffs skip the task queue when the finishing thread
+// already owns the connection.
+thread_local int tl_reactor = -1;
+
 // Jump consistent hash (Lamping & Veach): maps a key hash onto one of
-// `num_buckets` shard workers with minimal movement when the count changes.
+// `num_buckets` shards with minimal movement when the count changes.
 int JumpConsistentHash(uint64_t key, int num_buckets) {
   int64_t b = -1;
   int64_t j = 0;
@@ -88,9 +103,9 @@ Status SetNonBlocking(int fd) {
   return Status::Ok();
 }
 
-// Lock-free running maximum, for shard threads folding their per-task
-// timings into the shared PendingRequest (the critical-path shard defines
-// the request's queue-wait and execution windows).
+// Lock-free running maximum, for reactors folding per-shard timings into the
+// shared PendingRequest (the critical-path shard defines the request's
+// queue-wait and execution windows).
 void AtomicMaxRelaxed(std::atomic<int64_t>* target, int64_t value) {
   int64_t cur = target->load(std::memory_order_relaxed);
   while (value > cur &&
@@ -144,8 +159,8 @@ class Server::Impl {
  public:
   ~Impl() {
     HardStop();
-    if (wakeup_pipe_[0] >= 0) ::close(wakeup_pipe_[0]);
-    if (wakeup_pipe_[1] >= 0) ::close(wakeup_pipe_[1]);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    CloseUnixListener();
   }
 
   Status Init(const ServerOptions& options);
@@ -153,19 +168,24 @@ class Server::Impl {
   int port() const { return port_; }
 
   void RequestDrain() {
-    // Async-signal-safe: an atomic flag plus a self-pipe write.
+    // Async-signal-safe: an atomic flag plus eventfd writes. wake_fds_ is
+    // immutable after Init, and write(2) is on the signal-safe list.
     drain_requested_.store(true, std::memory_order_release);
-    Wake();
+    const uint64_t one = 1;
+    for (const int fd : wake_fds_) {
+      [[maybe_unused]] ssize_t n = ::write(fd, &one, sizeof(one));
+    }
   }
 
   void HardStop() {
     stop_requested_.store(true, std::memory_order_release);
-    Wake();
+    WakeAll();
     Join();
   }
 
   Status AwaitTermination() {
     Join();
+    std::lock_guard<std::mutex> lock(status_mu_);
     return final_status_;
   }
 
@@ -177,18 +197,20 @@ class Server::Impl {
     std::string ns;
     OperatorStateSpec spec;
     StorePattern pattern = StorePattern::kReadModifyWrite;
-    // Reactor-only open lifecycle. A failed fan-out open leaves some shard
-    // slots null; a later kOpenStore for the same ns re-dispatches the
-    // per-shard opens (shards already open are skipped) instead of taking
-    // the idempotent OK path against a half-open store.
+    // Open lifecycle, guarded by stores_mu_ (any reactor can route an open).
+    // A failed fan-out open leaves some shard slots null; a later kOpenStore
+    // for the same ns re-dispatches the per-shard opens (shards already open
+    // are skipped) instead of taking the idempotent OK path against a
+    // half-open store.
     enum class OpenState { kOpening, kOpen, kFailed };
     OpenState open_state = OpenState::kOpening;
-    // Slot i is owned by shard thread i after dispatch; the vector itself is
-    // sized once by the reactor (or the pre-thread restore path) and never
-    // resized.
+    // Slot i is owned by shard i's owning reactor after dispatch; the vector
+    // itself is sized once at creation (or by the pre-thread restore path)
+    // and never resized.
     std::vector<std::unique_ptr<FlowKvStore>> shards;
 
-    // Per-shard cached instruments, labeled (worker=shard, op=spec.name).
+    // Per-shard cached instruments, labeled (worker=shard, op=spec.name);
+    // slot i only ever touched by shard i's owning reactor.
     struct ShardObs {
       obs::Counter* ops = nullptr;
       obs::Counter* errors = nullptr;
@@ -196,16 +218,19 @@ class Server::Impl {
     };
     std::vector<ShardObs> shard_obs;
 
-    // Reactor-only: which shard an aligned window scan is draining.
+    // Which shard an aligned window scan is draining; guarded by stores_mu_
+    // (routing and cursor advance can run on different reactors).
     std::unordered_map<Window, size_t, WindowHash> chunk_cursor;
   };
 
   struct PendingRequest {
     uint64_t conn_id = 0;
+    // Reactor owning the connection; responses must be sent from its thread.
+    int conn_reactor = 0;
     uint64_t request_id = 0;
     int64_t start_nanos = 0;
     // Absolute deadline derived from the request's relative deadline_ms at
-    // decode time; 0 = none. Shard workers shed expired requests (unless
+    // decode time; 0 = none. Execution sheds expired requests (unless
     // forwarded — see repl_seq).
     int64_t deadline_nanos = 0;
     // Replication sequence that carried this request's forwarded ops, or 0.
@@ -217,22 +242,25 @@ class Server::Impl {
     // this request produces so client and server traces merge on it.
     uint64_t trace_id = 0;
     uint64_t span_id = 0;
-    // Critical-path breakdown, written by shard threads (max across shards)
-    // and read by the reactor after the completion handoff.
+    // Whether this request holds a unit of pending_count_ (dropped by
+    // FinishPending; the count gates drain completion and snapshot attach).
+    bool counted = false;
+    // Critical-path breakdown, written by executing reactors (max across
+    // shards) and read by the owner after the completion handoff.
     std::atomic<int64_t> queue_wait_nanos{0};
     std::atomic<int64_t> exec_nanos{0};
     std::vector<OpRequest> ops;
     // Final result per op. Slots for shard-routed ops are written by exactly
-    // one shard thread; fan-out ops are assembled by the reactor from
+    // one reactor; fan-out ops are assembled by the owner from
     // `fanout_partials[op][shard]` after completion.
     std::vector<OpResult> results;
     std::vector<std::vector<OpResult>> fanout_partials;
-    std::atomic<size_t> remaining{0};  // outstanding shard tasks
+    std::atomic<size_t> remaining{0};  // outstanding shard tasks (+1 dispatcher ref)
   };
 
   struct ShardWorkItem {
     size_t op_index = 0;
-    StoreEntry* store = nullptr;  // resolved by the reactor; null for kOpenStore pre-open
+    StoreEntry* store = nullptr;  // resolved at routing; never null here
   };
 
   struct Barrier {
@@ -253,74 +281,188 @@ class Server::Impl {
     }
   };
 
-  struct ShardTask {
-    enum class Kind { kOps, kDrainCheckpoint, kStop };
-    Kind kind = Kind::kOps;
-    // Stamped by PushShardTask; dequeue time minus this is the queue wait.
-    int64_t enqueue_nanos = 0;
-    std::shared_ptr<PendingRequest> pending;  // kOps
-    std::vector<ShardWorkItem> items;         // kOps
-    // kDrainCheckpoint:
-    StoreEntry* store = nullptr;
-    std::string checkpoint_dir;
-    std::shared_ptr<Barrier> barrier;
+  // A unit of cross-reactor work. Everything a reactor does besides socket
+  // I/O arrives through its task queue, so connection and shard state stay
+  // single-threaded without further locking.
+  struct ReactorTask {
+    enum class Kind {
+      kAdoptConn,        // register a freshly accepted connection
+      kShardOps,         // execute a request's ops for one owned shard
+      kFinish,           // run FinishPending on the connection's owner
+      kSendResponse,     // deliver a released parked response
+      kReplicaSend,      // write a pre-encoded frame to the replica conn
+      kCloseConn,        // close a connection owned by this reactor
+      kCheckpointShard,  // checkpoint one store's shard, then Done(barrier)
+      kAttachResume,     // replay deferred requests after a snapshot attach
+    };
+    Kind kind = Kind::kShardOps;
+    std::shared_ptr<Connection> conn;  // kAdoptConn
+    int shard = 0;                     // kShardOps, kCheckpointShard
+    int64_t enqueue_nanos = 0;         // kShardOps: queue-wait start
+    std::shared_ptr<PendingRequest> pending;  // kShardOps, kFinish, kSendResponse
+    std::vector<ShardWorkItem> items;         // kShardOps
+    uint64_t conn_id = 0;                     // kReplicaSend, kCloseConn
+    std::string frame_header;                 // kReplicaSend
+    std::string frame_payload;                // kReplicaSend
+    StoreEntry* store = nullptr;              // kCheckpointShard
+    std::string checkpoint_dir;               // kCheckpointShard
+    std::shared_ptr<Barrier> barrier;         // kCheckpointShard
   };
 
-  struct ShardQueue {
+  // Counters are RelaxedCounter (single-writer): each reactor gets its own
+  // instances, created on the Init thread under WorkerScope(reactor index)
+  // before the threads start, and only ever incremented by that reactor.
+  // The stats builder sums across reactors.
+  struct ReactorMetrics {
+    obs::Counter* conns_accepted = nullptr;
+    obs::Counter* requests = nullptr;
+    obs::Counter* frames_in = nullptr;
+    obs::Counter* bytes_in = nullptr;
+    obs::Counter* bytes_out = nullptr;
+    obs::Counter* protocol_errors = nullptr;
+    obs::Counter* shed_overload = nullptr;
+    obs::Counter* repl_forwarded = nullptr;
+  };
+
+  struct Reactor {
+    ~Reactor() {
+      if (epfd >= 0) ::close(epfd);
+      if (wake_fd >= 0) ::close(wake_fd);
+    }
+
+    int index = 0;
+    int epfd = -1;
+    int wake_fd = -1;  // eventfd; writes coalesce into one wake
+    std::thread thread;
+
+    // Task queue. `closed` flips once the reactor exits its loop; PostTask
+    // then refuses the task and the producer aborts it, so nothing blocks on
+    // a queue nobody will drain.
     std::mutex mu;
-    std::condition_variable cv;
-    std::deque<ShardTask> tasks;
-    // Mirror of tasks.size(), readable without the mutex for the reactor's
-    // overload check. Lossy by a task or two under race, which is fine for a
-    // shedding threshold.
+    bool closed = false;
+    std::deque<ReactorTask> tasks;
+    std::atomic<size_t> task_count{0};
+
+    // True when this reactor has no queued tasks and no unflushed outbox
+    // bytes; reactor 0 waits for every flag during a drain.
+    std::atomic<bool> idle{false};
+
+    struct ConnState {
+      std::shared_ptr<Connection> conn;
+      uint32_t events = 0;  // epoll interest currently registered
+    };
+    // Owner-thread-only (plus the post-join single-threaded epilogue).
+    std::unordered_map<uint64_t, ConnState> conns;
+
+    // Requests parked while a snapshot attach quiesces the server; replayed
+    // in arrival order by kAttachResume. Owner-thread-only.
+    std::vector<std::pair<uint64_t, RequestMessage>> attach_deferred;
+
+    ReactorMetrics metrics;
+  };
+
+  // Per-shard dispatch state, padded so neighboring shards' queue depths do
+  // not false-share.
+  struct alignas(64) ShardState {
+    // Tasks queued (not yet dequeued) for this shard, across all reactors.
+    // Gates inline execution: the owner may only run ops in place when the
+    // shard's queue is empty, otherwise a queued older op could be overtaken.
     std::atomic<size_t> depth{0};
+    // Single-writer (the owning reactor), created under WorkerScope(shard).
+    obs::Counter* shed_deadline = nullptr;
+  };
+
+  // What a replica drop must do outside repl_mu_: close the old connection
+  // on its owner and deliver the responses its acks would have released.
+  struct ReplicaDropActions {
+    uint64_t close_conn_id = 0;
+    int close_reactor = -1;
+    std::vector<std::shared_ptr<PendingRequest>> released;
+    std::string record;  // flight-record reason; empty = nothing dropped
   };
 
   // ----- threads -----
 
-  void ReactorMain();
-  void ShardMain(int shard);
+  void ReactorMain(int reactor_index);
+  void ReactorShutdownTail(Reactor& r, bool local_draining);
 
-  // ----- reactor helpers (reactor thread only) -----
+  // ----- reactor helpers (owner thread only unless noted) -----
 
-  void AcceptNewConnections();
-  void HandleReadable(Connection* conn);
-  void HandleRequest(Connection* conn, RequestMessage request);
-  // Renders the kStats introspection document (reactor thread only): server
-  // counters with windowed rates, per-shard queue depth / throughput / op
-  // latency percentiles, replication lag, the connection table, trace-ring
-  // health, and the slow-request log.
+  void AcceptNewConnections(Reactor& r, int listen_fd, bool tcp);
+  void CloseUnixListener();
+  void AdoptConn(Reactor& r, std::shared_ptr<Connection> conn);
+  void UpdateConnEvents(Reactor& r, Reactor::ConnState& cs);
+  void HandleReadable(Reactor& r, uint64_t conn_id);
+  // Decodes and dispatches every complete frame buffered on the connection.
+  // Returns false when the connection was closed along the way.
+  bool ProcessBufferedFrames(Reactor& r, uint64_t conn_id);
+  void HandleRequest(Reactor& r, Connection* conn, RequestMessage request);
+  void DeferForAttach(Reactor& r, Connection* conn, RequestMessage request);
+  void DispatchReplicated(Reactor& r, const std::shared_ptr<PendingRequest>& pending,
+                          std::vector<std::vector<ShardWorkItem>>* shard_items);
+  // Renders the kStats introspection document (callable from any reactor).
   std::string BuildStatsJson();
-  void ProcessCompletions();
   void FinishPending(const std::shared_ptr<PendingRequest>& pending);
-  // The encode-and-queue tail of FinishPending, also used when a parked
-  // response is released.
+  // The encode-and-queue tail of FinishPending; must run on the connection's
+  // owner (or after the pool is joined).
   void SendResponse(const std::shared_ptr<PendingRequest>& pending);
-  void CloseConn(uint64_t conn_id);
+  // Routes a response to its owner thread: direct call when already there,
+  // kSendResponse task otherwise.
+  void DeliverResponse(const std::shared_ptr<PendingRequest>& pending);
+  void CloseConnLocal(Reactor& r, uint64_t conn_id);
 
-  // ----- replication, primary side (reactor thread only) -----
+  // ----- task plumbing -----
 
-  void HandleReplicaSubscribe(Connection* conn);
-  Status ShipSnapshot();
-  bool SendToReplica(const RequestMessage& message);
-  void HandleReplicaAck(uint64_t seq);
+  bool PostTask(int reactor_index, ReactorTask task);
+  bool PostShardOps(int shard, const std::shared_ptr<PendingRequest>& pending,
+                    std::vector<ShardWorkItem> items);
+  void DrainTasks(Reactor& r);
+  void RunTask(Reactor& r, ReactorTask& task);
+  void AbortTask(ReactorTask& task);
+  // Runs the per-shard sub-batch; caller handles the `remaining` decrement.
+  void ExecuteShardItems(int shard, int64_t enqueue_nanos, PendingRequest* pending,
+                         const std::vector<ShardWorkItem>& items);
+  void CompleteRequest(const std::shared_ptr<PendingRequest>& pending);
+  void WakeReactor(int reactor_index) {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t n =
+        ::write(reactors_[static_cast<size_t>(reactor_index)]->wake_fd, &one, sizeof(one));
+  }
+  void WakeAll() {
+    for (size_t i = 0; i < reactors_.size(); ++i) WakeReactor(static_cast<int>(i));
+  }
+
+  // ----- replication, primary side -----
+
+  void HandleReplicaSubscribe(Reactor& r, Connection* conn);
+  Status ShipSnapshot(Reactor& r);
+  bool SendReplicaFrame(Reactor& r, const RequestMessage& message);
+  void HandleReplicaAck(Reactor& r, uint64_t seq);
+  ReplicaDropActions DropReplicaLocked(const std::string& reason);  // repl_mu_ held
+  void ApplyReplicaDrop(ReplicaDropActions actions);
   void DropReplica(const std::string& reason);
-  void ReleaseParked();
+  void CheckReplicaAckTimeout();
+  void ReleaseParkedForDrain();
+  void ResumeAfterAttach(Reactor& r);
+
   int ShardForKey(const Slice& key) const {
     return JumpConsistentHash(Hash64(key), options_.num_shards);
   }
+  int OwnerReactor(int shard) const { return shard % num_reactors_; }
   StoreEntry* FindStore(uint64_t id) {
     std::lock_guard<std::mutex> lock(stores_mu_);
     return id < stores_.size() ? stores_[id].get() : nullptr;
   }
-  StoreEntry* CreateStoreEntry(const std::string& ns, const OperatorStateSpec& spec);
+  StoreEntry* FindOrCreateStore(const std::string& ns, const OperatorStateSpec& spec,
+                                bool* created);
   Status DrainCheckpoint();
-  // Barrier-checkpoints every shard of every store into `staged` (layout
-  // s<shard>_st<id>) and writes the stores.meta manifest there. Shared by
-  // the drain checkpoint and replication snapshot shipping.
+  // Checkpoints every shard of every store into `staged` (layout
+  // s<shard>_st<id>) and writes the stores.meta manifest there. Owned shards
+  // checkpoint on the calling reactor, the rest via kCheckpointShard tasks
+  // joined by a barrier; after the pool is joined everything runs direct.
   Status CheckpointStoresTo(const std::string& staged);
 
-  // ----- shard helpers (shard thread `shard` only) -----
+  // ----- shard execution (shard's owner thread only) -----
 
   void ExecuteShardOp(int shard, StoreEntry* store, const OpRequest& op, OpResult* out);
   Status OpenShardStore(int shard, StoreEntry* store,
@@ -336,73 +478,90 @@ class Server::Impl {
   std::string SerializeStoresMeta();
   Status RestoreFromLatestCheckpoint();
 
-  void PushShardTask(int shard, ShardTask task) {
-    ShardQueue& q = *shard_queues_[shard];
-    task.enqueue_nanos = MonotonicNanos();
-    {
-      std::lock_guard<std::mutex> lock(q.mu);
-      q.tasks.push_back(std::move(task));
-    }
-    q.depth.fetch_add(1, std::memory_order_relaxed);
-    q.cv.notify_one();
-  }
-
-  void Wake() {
-    const char byte = 'w';
-    [[maybe_unused]] ssize_t n = ::write(wakeup_pipe_[1], &byte, 1);
+  void SetFinalStatus(const Status& s) {
+    std::lock_guard<std::mutex> lock(status_mu_);
+    if (final_status_.ok()) final_status_ = s;
   }
 
   void Join() {
-    if (reactor_.joinable()) reactor_.join();
-    for (std::thread& t : shard_threads_) {
-      if (t.joinable()) t.join();
+    std::lock_guard<std::mutex> lock(join_mu_);
+    // Reactor 0 joins 1..N-1 in its shutdown tail; joining it joins the pool.
+    if (!reactors_.empty() && reactors_[0]->thread.joinable()) {
+      reactors_[0]->thread.join();
+    }
+    for (auto& r : reactors_) {
+      if (r->thread.joinable()) r->thread.join();
     }
   }
 
   friend class Server;
 
   ServerOptions options_;
+  int num_reactors_ = 1;
   int port_ = 0;
   int listen_fd_ = -1;
-  int wakeup_pipe_[2] = {-1, -1};
+  int unix_listen_fd_ = -1;  // AF_UNIX listener, -1 when not configured
 
-  std::thread reactor_;
-  std::vector<std::thread> shard_threads_;
-  std::vector<std::unique_ptr<ShardQueue>> shard_queues_;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  // Immutable after Init; read by the async-signal-safe RequestDrain().
+  std::vector<int> wake_fds_;
+  std::unique_ptr<ShardState[]> shard_state_;
+
+  std::atomic<uint64_t> next_conn_id_{1};
+  std::atomic<uint32_t> next_reactor_rr_{0};
 
   std::atomic<bool> drain_requested_{false};
   std::atomic<bool> stop_requested_{false};
-  Status final_status_;
+  // Reactor 0 observed the drain request and began coordinating it.
+  std::atomic<bool> draining_{false};
+  // Reactor 0 decided the drain is complete (or timed out); everyone exits.
+  std::atomic<bool> loop_exit_{false};
+  // Set by reactor 0 after joining the pool: the epilogue may touch any
+  // reactor's connections directly.
+  bool single_threaded_ = false;
 
-  // Store registry. Mutated only by the reactor (and the pre-thread restore
-  // path); the mutex covers the vector/map shape for cross-thread lookup.
+  // Requests between dispatch and FinishPending. seq_cst pairs with the
+  // repl_attach_ seqlock in HandleRequest so a snapshot attach can quiesce.
+  std::atomic<size_t> pending_count_{0};
+
+  std::mutex status_mu_;
+  Status final_status_;
+  std::mutex join_mu_;
+
+  // Store registry; the mutex covers the vector/map shape, open lifecycle,
+  // and chunk cursors (any reactor routes).
   mutable std::mutex stores_mu_;
   std::vector<std::unique_ptr<StoreEntry>> stores_;
   std::map<std::string, uint64_t> store_ids_;
 
-  // Reactor-owned connection table.
-  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
-  uint64_t next_conn_id_ = 1;
-  size_t pending_count_ = 0;
-  // Reactor-only; a member (not a ReactorMain local) because FinishPending
-  // skips response parking once a drain begins.
-  bool draining_ = false;
+  // Connection directory for cross-reactor consumers (stats, accept); the
+  // owning reactor's `conns` map remains the source of truth.
+  struct ConnRef {
+    int reactor = 0;
+    std::shared_ptr<Connection> conn;
+  };
+  mutable std::mutex registry_mu_;
+  std::map<uint64_t, ConnRef> conn_registry_;
 
-  // Replication state (reactor thread only). One standby at a time; a new
-  // subscriber supersedes the old one.
+  // Replication state. One standby at a time; a new subscriber supersedes
+  // the old one. The mutex orders sequence assignment with the per-shard
+  // task pushes so queue order always equals sequence order.
+  std::mutex repl_mu_;
   uint64_t replica_conn_id_ = 0;  // 0 = no standby subscribed
+  int replica_reactor_ = -1;
   uint64_t repl_next_seq_ = 1;
   uint64_t repl_acked_seq_ = 0;
   int64_t repl_last_progress_nanos_ = 0;
   // Responses parked until the standby acks their carrying sequence.
   std::map<uint64_t, std::shared_ptr<PendingRequest>> parked_;
+  // Guarded by repl_mu_ (multi-thread increments would race RelaxedCounter).
+  obs::Counter* m_repl_drops_ = nullptr;
+  // Lock-free mirrors for the hot-path subscribed/attach checks.
+  std::atomic<uint64_t> replica_conn_id_atomic_{0};
+  std::atomic<bool> repl_attach_{false};
 
-  // Shard -> reactor completion channel.
-  std::mutex completions_mu_;
-  std::vector<std::shared_ptr<PendingRequest>> completions_;
-
-  // Slow-request log (reactor thread only): the slow_log_size slowest
-  // requests over slow_request_threshold_ms, with their span breakdowns.
+  // Slow-request log and windowed-rate state for kStats, guarded by
+  // stats_mu_ (kStats may be served by any reactor).
   struct SlowRequest {
     uint64_t request_id = 0;
     uint64_t conn_id = 0;
@@ -413,26 +572,17 @@ class Server::Impl {
     double exec_ms = 0;
     int64_t ts_ms = 0;  // monotonic, when the request finished
   };
+  std::mutex stats_mu_;
   std::vector<SlowRequest> slow_log_;
-
-  // Previous kStats sample, for windowed req/s rates (reactor thread only).
   int64_t stats_prev_nanos_ = 0;
   int64_t stats_prev_requests_ = 0;
   std::vector<int64_t> stats_prev_shard_ops_;
 
-  // Reactor-side instruments (created on the starting thread, label w=-1).
-  obs::Counter* m_conns_ = nullptr;
-  obs::Counter* m_requests_ = nullptr;
-  obs::Counter* m_frames_in_ = nullptr;
-  obs::Counter* m_bytes_in_ = nullptr;
-  obs::Counter* m_bytes_out_ = nullptr;
-  obs::Counter* m_protocol_errors_ = nullptr;
+  // Shared instruments that stay safe across threads: gauges are plain
+  // atomic stores, the histogram is internally locked.
   obs::Gauge* m_open_conns_ = nullptr;
   obs::Gauge* m_pending_ = nullptr;
   obs::Gauge* m_repl_parked_ = nullptr;
-  obs::Counter* m_shed_overload_ = nullptr;
-  obs::Counter* m_repl_forwarded_ = nullptr;
-  obs::Counter* m_repl_drops_ = nullptr;
   obs::HistogramMetric* m_request_latency_ms_ = nullptr;
 };
 
@@ -441,35 +591,75 @@ Status Server::Impl::Init(const ServerOptions& options) {
   if (options_.num_shards < 1) {
     return Status::InvalidArgument("num_shards must be >= 1");
   }
+  if (options_.reactor_threads < 0) {
+    return Status::InvalidArgument("reactor_threads must be >= 0");
+  }
   if (options_.data_dir.empty()) {
     return Status::InvalidArgument("data_dir is required");
   }
   FLOWKV_RETURN_IF_ERROR(CreateDirs(options_.data_dir));
 
+  num_reactors_ = options_.reactor_threads;
+  if (num_reactors_ == 0) {
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    num_reactors_ = std::min(options_.num_shards, std::max(1, hw));
+  }
+
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
-  m_conns_ = reg.GetCounter("server.conns_accepted");
-  m_requests_ = reg.GetCounter("server.requests");
-  m_frames_in_ = reg.GetCounter("server.frames_in");
-  m_bytes_in_ = reg.GetCounter("server.bytes_in");
-  m_bytes_out_ = reg.GetCounter("server.bytes_out");
-  m_protocol_errors_ = reg.GetCounter("server.protocol_errors");
   m_open_conns_ = reg.GetGauge("server.open_conns");
   m_pending_ = reg.GetGauge("server.pending_requests");
   m_repl_parked_ = reg.GetGauge("server.repl_parked_responses");
-  m_shed_overload_ = reg.GetCounter("server.shed_overload");
-  m_repl_forwarded_ = reg.GetCounter("server.repl_frames_forwarded");
   m_repl_drops_ = reg.GetCounter("server.repl_drops");
   m_request_latency_ms_ = reg.GetHistogram("server.request_latency_ms");
+
+  shard_state_ = std::make_unique<ShardState[]>(static_cast<size_t>(options_.num_shards));
+  for (int s = 0; s < options_.num_shards; ++s) {
+    // Created here (before the threads start) so the owning reactor's later
+    // increments happen-after creation; labeled worker=shard like the rest
+    // of the per-shard execution metrics.
+    obs::WorkerScope worker_scope(s);
+    shard_state_[s].shed_deadline = reg.GetCounter("server.shed_deadline");
+  }
+
+  reactors_.reserve(static_cast<size_t>(num_reactors_));
+  for (int i = 0; i < num_reactors_; ++i) {
+    auto r = std::make_unique<Reactor>();
+    r->index = i;
+    r->epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (r->epfd < 0) {
+      return Status::FromErrno("epoll_create1");
+    }
+    r->wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (r->wake_fd < 0) {
+      return Status::FromErrno("eventfd");
+    }
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeTag;
+    if (::epoll_ctl(r->epfd, EPOLL_CTL_ADD, r->wake_fd, &ev) != 0) {
+      return Status::FromErrno("epoll_ctl(wake)");
+    }
+    {
+      // Distinct single-writer counter instances per reactor, created on this
+      // thread so every reactor (and the stats builder) sees them published.
+      obs::WorkerScope worker_scope(i);
+      r->metrics.conns_accepted = reg.GetCounter("server.conns_accepted");
+      r->metrics.requests = reg.GetCounter("server.requests");
+      r->metrics.frames_in = reg.GetCounter("server.frames_in");
+      r->metrics.bytes_in = reg.GetCounter("server.bytes_in");
+      r->metrics.bytes_out = reg.GetCounter("server.bytes_out");
+      r->metrics.protocol_errors = reg.GetCounter("server.protocol_errors");
+      r->metrics.shed_overload = reg.GetCounter("server.shed_overload");
+      r->metrics.repl_forwarded = reg.GetCounter("server.repl_frames_forwarded");
+    }
+    wake_fds_.push_back(r->wake_fd);
+    reactors_.push_back(std::move(r));
+  }
 
   if (!options_.checkpoint_dir.empty() && options_.restore) {
     FLOWKV_RETURN_IF_ERROR(RestoreFromLatestCheckpoint());
   }
-
-  if (::pipe(wakeup_pipe_) != 0) {
-    return Status::FromErrno("pipe");
-  }
-  FLOWKV_RETURN_IF_ERROR(SetNonBlocking(wakeup_pipe_[0]));
-  FLOWKV_RETURN_IF_ERROR(SetNonBlocking(wakeup_pipe_[1]));
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -499,20 +689,56 @@ Status Server::Impl::Init(const ServerOptions& options) {
   port_ = ntohs(addr.sin_port);
   FLOWKV_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
 
+  // Reactor 0 is the acceptor.
+  epoll_event lev;
+  std::memset(&lev, 0, sizeof(lev));
+  lev.events = EPOLLIN;
+  lev.data.u64 = kListenTag;
+  if (::epoll_ctl(reactors_[0]->epfd, EPOLL_CTL_ADD, listen_fd_, &lev) != 0) {
+    return Status::FromErrno("epoll_ctl(listen)");
+  }
+
+  if (!options_.unix_socket_path.empty()) {
+    sockaddr_un uaddr;
+    std::memset(&uaddr, 0, sizeof(uaddr));
+    uaddr.sun_family = AF_UNIX;
+    if (options_.unix_socket_path.size() >= sizeof(uaddr.sun_path)) {
+      return Status::InvalidArgument("unix socket path too long: " +
+                                     options_.unix_socket_path);
+    }
+    std::memcpy(uaddr.sun_path, options_.unix_socket_path.c_str(),
+                options_.unix_socket_path.size() + 1);
+    unix_listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unix_listen_fd_ < 0) {
+      return Status::FromErrno("socket(AF_UNIX)");
+    }
+    ::unlink(options_.unix_socket_path.c_str());  // stale file from a crash
+    if (::bind(unix_listen_fd_, reinterpret_cast<sockaddr*>(&uaddr), sizeof(uaddr)) != 0) {
+      return Status::FromErrno("bind " + options_.unix_socket_path);
+    }
+    if (::listen(unix_listen_fd_, 128) != 0) {
+      return Status::FromErrno("listen(unix)");
+    }
+    FLOWKV_RETURN_IF_ERROR(SetNonBlocking(unix_listen_fd_));
+    epoll_event ulev;
+    std::memset(&ulev, 0, sizeof(ulev));
+    ulev.events = EPOLLIN;
+    ulev.data.u64 = kUnixListenTag;
+    if (::epoll_ctl(reactors_[0]->epfd, EPOLL_CTL_ADD, unix_listen_fd_, &ulev) != 0) {
+      return Status::FromErrno("epoll_ctl(unix listen)");
+    }
+  }
+
   stats_prev_nanos_ = MonotonicNanos();
   stats_prev_shard_ops_.assign(static_cast<size_t>(options_.num_shards), 0);
 
-  shard_queues_.reserve(static_cast<size_t>(options_.num_shards));
-  for (int i = 0; i < options_.num_shards; ++i) {
-    shard_queues_.push_back(std::make_unique<ShardQueue>());
+  for (int i = 0; i < num_reactors_; ++i) {
+    reactors_[static_cast<size_t>(i)]->thread = std::thread(&Impl::ReactorMain, this, i);
   }
-  for (int i = 0; i < options_.num_shards; ++i) {
-    shard_threads_.emplace_back(&Impl::ShardMain, this, i);
-  }
-  reactor_ = std::thread(&Impl::ReactorMain, this);
 
   FLOWKV_LOG(kInfo) << "flowkv_server listening " << LogKv("port", port_)
-                    << LogKv("shards", options_.num_shards);
+                    << LogKv("shards", options_.num_shards)
+                    << LogKv("reactors", num_reactors_);
   return Status::Ok();
 }
 
@@ -552,8 +778,8 @@ Status Server::Impl::RestoreFromLatestCheckpoint() {
         " shards, server configured with " + std::to_string(options_.num_shards));
   }
 
-  // Pre-thread startup path: no shard threads run yet, so restoring every
-  // shard's store on this thread keeps the single-writer contract.
+  // Pre-thread startup path: no reactors run yet, so restoring every shard's
+  // store on this thread keeps the single-writer contract.
   for (const StoreMetaEntry& e : meta.stores) {
     auto entry = std::make_unique<StoreEntry>();
     entry->id = stores_.size();  // == e.id: DecodeStoresMeta enforces density
@@ -597,196 +823,356 @@ Status Server::Impl::OpenShardStore(int shard, StoreEntry* store,
 }
 
 // ---------------------------------------------------------------------------
-// Reactor
+// Reactor event loop
 // ---------------------------------------------------------------------------
 
-void Server::Impl::ReactorMain() {
+void Server::Impl::ReactorMain(int reactor_index) {
+  tl_reactor = reactor_index;
+  Reactor& r = *reactors_[static_cast<size_t>(reactor_index)];
+  bool local_draining = false;
   int64_t drain_flush_deadline = 0;
-
-  std::vector<pollfd> pfds;
-  std::vector<uint64_t> pfd_conn_ids;
+  std::vector<epoll_event> events(128);
 
   while (true) {
-    if (stop_requested_.load(std::memory_order_acquire)) {
+    if (stop_requested_.load(std::memory_order_acquire) ||
+        loop_exit_.load(std::memory_order_acquire)) {
       break;
     }
-    if (!draining_ && drain_requested_.load(std::memory_order_acquire)) {
-      draining_ = true;
-      drain_flush_deadline =
-          MonotonicNanos() + static_cast<int64_t>(options_.drain_grace_ms) * 1'000'000;
-      FLOWKV_LOG(kInfo) << "drain requested " << LogKv("open_conns", conns_.size())
-                        << LogKv("pending", pending_count_);
-      // Stop waiting on standby acks: the drain checkpoint below makes the
-      // acknowledged state durable locally.
-      ReleaseParked();
-    }
 
-    // A standby that stops acking while responses are parked is dead weight:
-    // drop it and release the responses (the ops did execute here).
-    if (replica_conn_id_ != 0 && !parked_.empty() &&
-        MonotonicNanos() - repl_last_progress_nanos_ >
-            static_cast<int64_t>(options_.repl_ack_timeout_ms) * 1'000'000) {
-      DropReplica("ack timeout");
-    }
-
-    if (draining_ && pending_count_ == 0) {
-      // Phase 2: give outboxes a grace period to deliver the final acks.
-      bool outboxes_empty = true;
-      for (const auto& kv : conns_) {
-        if (kv.second->has_pending_writes()) outboxes_empty = false;
+    if (!local_draining && drain_requested_.load(std::memory_order_acquire)) {
+      local_draining = true;
+      if (r.index == 0) {
+        draining_.store(true, std::memory_order_release);
+        drain_flush_deadline =
+            MonotonicNanos() + static_cast<int64_t>(options_.drain_grace_ms) * 1'000'000;
+        FLOWKV_LOG(kInfo) << "drain requested "
+                          << LogKv("pending", pending_count_.load(std::memory_order_relaxed));
+        // Stop accepting and stop waiting on standby acks: the drain
+        // checkpoint below makes the acknowledged state durable locally.
+        if (listen_fd_ >= 0) {
+          ::epoll_ctl(r.epfd, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        }
+        if (unix_listen_fd_ >= 0) {
+          ::epoll_ctl(r.epfd, EPOLL_CTL_DEL, unix_listen_fd_, nullptr);
+        }
+        ReleaseParkedForDrain();
+        WakeAll();
       }
-      if (outboxes_empty || MonotonicNanos() >= drain_flush_deadline) {
-        break;
+      // Pause client reads; in-flight requests finish, nothing new starts.
+      for (auto& kv : r.conns) {
+        UpdateConnEvents(r, kv.second);
       }
     }
 
-    pfds.clear();
-    pfd_conn_ids.clear();
-    pfds.push_back({wakeup_pipe_[0], POLLIN, 0});
-    pfd_conn_ids.push_back(0);
-    if (!draining_) {
-      pfds.push_back({listen_fd_, POLLIN, 0});
-      pfd_conn_ids.push_back(0);
-    }
-    for (const auto& kv : conns_) {
-      Connection* conn = kv.second.get();
-      short events = 0;
-      // The replica connection must always stay readable: its inbound bytes
-      // are acks, and pausing them (outbox backpressure applies while a
-      // snapshot ships, drains pause client reads) would deadlock parked
-      // responses against the very acks that release them.
-      const bool is_replica = conn->id() == replica_conn_id_;
-      if ((!draining_ && !conn->over_outbox_budget()) || is_replica) {
-        events |= POLLIN;
+    if (r.index == 0) {
+      CheckReplicaAckTimeout();
+      if (local_draining) {
+        bool done = pending_count_.load(std::memory_order_seq_cst) == 0;
+        for (size_t i = 0; done && i < reactors_.size(); ++i) {
+          if (!reactors_[i]->idle.load(std::memory_order_acquire)) done = false;
+        }
+        if (done || MonotonicNanos() >= drain_flush_deadline) {
+          loop_exit_.store(true, std::memory_order_release);
+          WakeAll();
+          break;
+        }
       }
-      if (conn->has_pending_writes()) {
-        events |= POLLOUT;
-      }
-      pfds.push_back({conn->fd(), events, 0});
-      pfd_conn_ids.push_back(conn->id());
     }
 
-    const int timeout_ms = draining_ ? 10 : 500;
-    const int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    const int timeout_ms = local_draining ? 10 : 500;
+    const int n = ::epoll_wait(r.epfd, events.data(), static_cast<int>(events.size()),
+                               timeout_ms);
     if (n < 0 && errno != EINTR) {
-      final_status_ = Status::FromErrno("poll");
+      SetFinalStatus(Status::FromErrno("epoll_wait"));
+      stop_requested_.store(true, std::memory_order_release);
+      WakeAll();
       break;
-    }
-
-    // Wakeup pipe: shard completions and drain/stop requests.
-    if (pfds[0].revents & POLLIN) {
-      char buf[256];
-      while (::read(wakeup_pipe_[0], buf, sizeof(buf)) > 0) {
-      }
-    }
-    ProcessCompletions();
-
-    size_t idx = 1;
-    if (!draining_) {
-      if (pfds[idx].revents & POLLIN) {
-        AcceptNewConnections();
-      }
-      ++idx;
     }
 
     std::vector<uint64_t> to_close;
-    for (; idx < pfds.size(); ++idx) {
-      auto it = conns_.find(pfd_conn_ids[idx]);
-      if (it == conns_.end()) {
+    for (int i = 0; i < std::max(n, 0); ++i) {
+      const uint64_t tag = events[static_cast<size_t>(i)].data.u64;
+      const uint32_t ev = events[static_cast<size_t>(i)].events;
+      if (tag == kWakeTag) {
+        uint64_t v;
+        [[maybe_unused]] ssize_t rd = ::read(r.wake_fd, &v, sizeof(v));
         continue;
       }
-      Connection* conn = it->second.get();
-      if (pfds[idx].revents & (POLLERR | POLLHUP | POLLNVAL)) {
-        to_close.push_back(conn->id());
+      if (tag == kListenTag) {
+        if (!local_draining) AcceptNewConnections(r, listen_fd_, /*tcp=*/true);
         continue;
       }
-      if (pfds[idx].revents & POLLOUT) {
+      if (tag == kUnixListenTag) {
+        if (!local_draining) AcceptNewConnections(r, unix_listen_fd_, /*tcp=*/false);
+        continue;
+      }
+      auto it = r.conns.find(tag);
+      if (it == r.conns.end()) {
+        continue;  // closed earlier this round
+      }
+      Connection* conn = it->second.conn.get();
+      if (ev & (EPOLLERR | EPOLLHUP)) {
+        to_close.push_back(tag);
+        continue;
+      }
+      if (ev & EPOLLOUT) {
         if (!conn->FlushWrites().ok()) {
-          to_close.push_back(conn->id());
+          to_close.push_back(tag);
           continue;
         }
         if (!conn->has_pending_writes() && conn->close_after_flush()) {
-          to_close.push_back(conn->id());
+          to_close.push_back(tag);
           continue;
         }
       }
-      if (pfds[idx].revents & POLLIN) {
-        HandleReadable(conn);
+      if (ev & EPOLLIN) {
+        HandleReadable(r, tag);
+      }
+      auto it2 = r.conns.find(tag);
+      if (it2 != r.conns.end()) {
+        UpdateConnEvents(r, it2->second);
       }
     }
-    for (uint64_t id : to_close) {
-      CloseConn(id);
+    for (const uint64_t id : to_close) {
+      CloseConnLocal(r, id);
+    }
+
+    DrainTasks(r);
+
+    bool idle = r.task_count.load(std::memory_order_acquire) == 0;
+    if (idle) {
+      for (const auto& kv : r.conns) {
+        if (kv.second.conn->has_pending_writes()) {
+          idle = false;
+          break;
+        }
+      }
+    }
+    r.idle.store(idle, std::memory_order_release);
+  }
+
+  ReactorShutdownTail(r, local_draining);
+}
+
+void Server::Impl::ReactorShutdownTail(Reactor& r, bool local_draining) {
+  // Refuse new tasks, then abort what is already queued: a producer blocked
+  // on a barrier (snapshot attach) must not wait on a queue nobody drains.
+  {
+    std::deque<ReactorTask> leftover;
+    {
+      std::lock_guard<std::mutex> lock(r.mu);
+      r.closed = true;
+      leftover.swap(r.tasks);
+      r.task_count.store(0, std::memory_order_relaxed);
+    }
+    for (ReactorTask& t : leftover) {
+      AbortTask(t);
     }
   }
 
-  // Shutdown: close the listen socket, run the drain checkpoint if this was
-  // a drain (not a hard stop), then stop the shard threads.
+  if (r.index != 0) {
+    return;
+  }
+
+  // Reactor 0 epilogue: join the pool, then finish shutdown single-threaded.
+  for (size_t i = 1; i < reactors_.size(); ++i) {
+    if (reactors_[i]->thread.joinable()) reactors_[i]->thread.join();
+  }
+  single_threaded_ = true;
+
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  const bool clean_drain = draining_ && !stop_requested_.load(std::memory_order_acquire);
+  CloseUnixListener();
+  const bool clean_drain = local_draining && !stop_requested_.load(std::memory_order_acquire);
+
   // Anything still parked (hard stop, or parked during the grace window)
   // gets a best-effort response before connections close.
-  replica_conn_id_ = 0;
-  ReleaseParked();
-  for (auto& kv : conns_) {
-    if (clean_drain) {
-      kv.second->FlushWrites();  // best effort: deliver remaining acks
+  std::vector<std::shared_ptr<PendingRequest>> released;
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    replica_conn_id_ = 0;
+    replica_reactor_ = -1;
+    replica_conn_id_atomic_.store(0, std::memory_order_release);
+    for (auto& entry : parked_) {
+      released.push_back(std::move(entry.second));
     }
+    parked_.clear();
+    m_repl_parked_->Set(0);
   }
-  conns_.clear();
+  for (const auto& pending : released) {
+    SendResponse(pending);
+  }
+
+  for (auto& reactor : reactors_) {
+    for (auto& kv : reactor->conns) {
+      if (clean_drain) {
+        kv.second.conn->FlushWrites();  // best effort: deliver remaining acks
+      }
+    }
+    reactor->conns.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    conn_registry_.clear();
+  }
   m_open_conns_->Set(0);
 
   if (clean_drain && !options_.checkpoint_dir.empty()) {
-    final_status_ = DrainCheckpoint();
-    if (!final_status_.ok()) {
-      FLOWKV_LOG(kError) << "drain checkpoint failed "
-                         << LogKv("status", final_status_.ToString());
-      obs::TriggerFlightRecord("drain checkpoint failed: " + final_status_.ToString());
+    const Status s = DrainCheckpoint();
+    SetFinalStatus(s);
+    if (!s.ok()) {
+      FLOWKV_LOG(kError) << "drain checkpoint failed " << LogKv("status", s.ToString());
+      obs::TriggerFlightRecord("drain checkpoint failed: " + s.ToString());
     }
-  }
-
-  for (int i = 0; i < options_.num_shards; ++i) {
-    ShardTask stop;
-    stop.kind = ShardTask::Kind::kStop;
-    PushShardTask(i, std::move(stop));
   }
 }
 
-void Server::Impl::AcceptNewConnections() {
+// ---------------------------------------------------------------------------
+// Connections
+// ---------------------------------------------------------------------------
+
+void Server::Impl::CloseUnixListener() {
+  if (unix_listen_fd_ >= 0) {
+    ::close(unix_listen_fd_);
+    unix_listen_fd_ = -1;
+    ::unlink(options_.unix_socket_path.c_str());
+  }
+}
+
+void Server::Impl::AcceptNewConnections(Reactor& r, int listen_fd, bool tcp) {
   while (true) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
-      return;  // EAGAIN or transient error; retry next poll round
+      return;  // EAGAIN or transient error; retry next event
     }
     if (!SetNonBlocking(fd).ok()) {
       ::close(fd);
       continue;
     }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    const uint64_t id = next_conn_id_++;
-    conns_.emplace(id, std::make_unique<Connection>(id, fd, options_.max_outbox_bytes));
-    m_conns_->Add(1);
-    m_open_conns_->Set(static_cast<int64_t>(conns_.size()));
+    if (tcp) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    const uint64_t id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_shared<Connection>(id, fd, options_.max_outbox_bytes);
+    const int target =
+        static_cast<int>(next_reactor_rr_.fetch_add(1, std::memory_order_relaxed) %
+                         static_cast<uint32_t>(num_reactors_));
+    {
+      std::lock_guard<std::mutex> lock(registry_mu_);
+      conn_registry_[id] = {target, conn};
+      m_open_conns_->Set(static_cast<int64_t>(conn_registry_.size()));
+    }
+    r.metrics.conns_accepted->Add(1);
+    if (target == r.index) {
+      AdoptConn(r, std::move(conn));
+      continue;
+    }
+    ReactorTask task;
+    task.kind = ReactorTask::Kind::kAdoptConn;
+    task.conn = std::move(conn);
+    if (!PostTask(target, std::move(task))) {
+      // Target reactor already shut down (stop in flight): drop the conn.
+      std::lock_guard<std::mutex> lock(registry_mu_);
+      conn_registry_.erase(id);
+      m_open_conns_->Set(static_cast<int64_t>(conn_registry_.size()));
+    }
   }
 }
 
-void Server::Impl::HandleReadable(Connection* conn) {
-  // HandleRequest can complete synchronously and destroy the connection on a
-  // failed flush, so keep the id rather than dereferencing `conn` to check
-  // liveness afterwards.
-  const uint64_t conn_id = conn->id();
+void Server::Impl::AdoptConn(Reactor& r, std::shared_ptr<Connection> conn) {
+  const uint64_t id = conn->id();
+  const int fd = conn->fd();
+  auto res = r.conns.emplace(id, Reactor::ConnState{std::move(conn), 0});
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = 0;
+  ev.data.u64 = id;
+  if (::epoll_ctl(r.epfd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    CloseConnLocal(r, id);
+    return;
+  }
+  UpdateConnEvents(r, res.first->second);
+}
+
+void Server::Impl::UpdateConnEvents(Reactor& r, Reactor::ConnState& cs) {
+  Connection* conn = cs.conn.get();
+  const bool is_replica =
+      conn->id() != 0 &&
+      conn->id() == replica_conn_id_atomic_.load(std::memory_order_relaxed);
+  uint32_t want = 0;
+  // The replica connection must always stay readable: its inbound bytes are
+  // acks, and pausing them (outbox backpressure applies while a snapshot
+  // ships, drains pause client reads) would deadlock parked responses
+  // against the very acks that release them.
+  if (is_replica ||
+      (!conn->over_outbox_budget() && !drain_requested_.load(std::memory_order_relaxed) &&
+       !repl_attach_.load(std::memory_order_relaxed))) {
+    want |= EPOLLIN;
+  }
+  if (conn->has_pending_writes()) {
+    want |= EPOLLOUT;
+  }
+  if (want == cs.events) {
+    return;
+  }
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = want;
+  ev.data.u64 = conn->id();
+  if (::epoll_ctl(r.epfd, EPOLL_CTL_MOD, conn->fd(), &ev) == 0) {
+    cs.events = want;
+  }
+}
+
+void Server::Impl::HandleReadable(Reactor& r, uint64_t conn_id) {
+  auto it = r.conns.find(conn_id);
+  if (it == r.conns.end()) {
+    return;
+  }
+  Connection* conn = it->second.conn.get();
   bool eof = false;
   const size_t before = conn->buffered().size();
   if (!conn->ReadFromSocket(&eof).ok()) {
-    CloseConn(conn_id);
+    CloseConnLocal(r, conn_id);
     return;
   }
-  m_bytes_in_->Add(static_cast<int64_t>(conn->buffered().size() - before));
+  r.metrics.bytes_in->Add(static_cast<int64_t>(conn->buffered().size() - before));
 
+  if (!ProcessBufferedFrames(r, conn_id)) {
+    return;  // closed while dispatching
+  }
+
+  if (eof) {
+    auto it2 = r.conns.find(conn_id);
+    if (it2 == r.conns.end()) {
+      return;
+    }
+    if (it2->second.conn->has_pending_writes()) {
+      it2->second.conn->set_close_after_flush();
+    } else {
+      CloseConnLocal(r, conn_id);
+    }
+  }
+}
+
+bool Server::Impl::ProcessBufferedFrames(Reactor& r, uint64_t conn_id) {
   while (true) {
+    auto it = r.conns.find(conn_id);
+    if (it == r.conns.end()) {
+      return false;
+    }
+    Connection* conn = it->second.conn.get();
+    const bool is_replica =
+        conn_id != 0 &&
+        conn_id == replica_conn_id_atomic_.load(std::memory_order_relaxed);
+    if (repl_attach_.load(std::memory_order_acquire) && !is_replica) {
+      // A snapshot attach is quiescing the server: leave the bytes buffered
+      // (reads get re-armed and the frames replayed by kAttachResume).
+      return true;
+    }
     Slice buffered = conn->buffered();
     Slice payload;
     bool complete = false;
@@ -794,39 +1180,44 @@ void Server::Impl::HandleReadable(Connection* conn) {
     const Status s = TryDecodeFrame(&buffered, &payload, &complete, options_.max_frame_bytes);
     if (!s.ok()) {
       // Oversized or corrupt frame: the byte stream cannot be resynced.
-      m_protocol_errors_->Add(1);
+      r.metrics.protocol_errors->Add(1);
       FLOWKV_LOG(kWarn) << "dropping connection on bad frame "
                         << LogKv("status", s.ToString());
-      CloseConn(conn_id);
-      return;
+      CloseConnLocal(r, conn_id);
+      return false;
     }
     if (!complete) {
-      break;
+      return true;
     }
-    m_frames_in_->Add(1);
-    if (conn_id == replica_conn_id_) {
+    r.metrics.frames_in->Add(1);
+    const size_t frame_bytes = size_before - buffered.size();
+
+    if (is_replica) {
       // After subscribing, the standby only ever sends acks (ResponseMessage
       // frames echoing the replication sequence).
       ResponseMessage ack;
       const Status ack_status = DecodeResponse(payload, &ack);
-      conn->Consume(size_before - buffered.size());
+      conn->Consume(frame_bytes);
       if (!ack_status.ok()) {
-        m_protocol_errors_->Add(1);
+        r.metrics.protocol_errors->Add(1);
         DropReplica("corrupt ack frame");
-        return;
+        return false;
       }
-      HandleReplicaAck(ack.request_id);
+      HandleReplicaAck(r, ack.request_id);
       continue;
     }
+
+    // Zero-copy decode: key/value fields either inline into the OpRequest
+    // (<= kInlineFieldBytes) or borrow from the connection buffer. Borrowed
+    // slices stay valid until Consume() below, so dispatch must either
+    // finish inline or materialize before queueing.
     RequestMessage request;
-    const Status decode_status = DecodeRequest(payload, &request);
-    // The payload slice points into the connection buffer; consume only
-    // after decoding copied what it needs.
-    conn->Consume(size_before - buffered.size());
+    const Status decode_status = DecodeRequestBorrowed(payload, &request);
     if (!decode_status.ok()) {
-      m_protocol_errors_->Add(1);
-      CloseConn(conn_id);
-      return;
+      conn->Consume(frame_bytes);
+      r.metrics.protocol_errors->Add(1);
+      CloseConnLocal(r, conn_id);
+      return false;
     }
     if (options_.emulate_legacy_proto) {
       // A pre-extension decoder rejects the trace block (trailing bytes) and
@@ -837,61 +1228,107 @@ void Server::Impl::HandleReadable(Connection* conn) {
         if (op.type == OpType::kStats) unknown_to_legacy = true;
       }
       if (unknown_to_legacy) {
-        m_protocol_errors_->Add(1);
-        CloseConn(conn_id);
-        return;
+        conn->Consume(frame_bytes);
+        r.metrics.protocol_errors->Add(1);
+        CloseConnLocal(r, conn_id);
+        return false;
       }
     }
-    HandleRequest(conn, std::move(request));
+    if (request.ops.size() == 1 && request.ops[0].type == OpType::kReplicaSubscribe) {
+      // Consume the subscribe frame BEFORE dispatching: HandleReplicaSubscribe
+      // runs the whole attach inline and finishes by re-entering
+      // ProcessBufferedFrames on this very connection (by then flagged as the
+      // replica) — a still-buffered subscribe frame would decode as a corrupt
+      // ack. The op has no borrowed key/value, so consuming first is safe.
+      for (OpRequest& op : request.ops) {
+        op.MaterializeRefs();
+      }
+      conn->Consume(frame_bytes);
+      HandleRequest(r, conn, std::move(request));
+      if (r.conns.find(conn_id) == r.conns.end()) {
+        return false;
+      }
+      continue;
+    }
+    HandleRequest(r, conn, std::move(request));
     // HandleRequest may have closed (and freed) the connection on a fatal
     // error; re-check liveness by id, never through `conn`.
-    if (conns_.find(conn_id) == conns_.end()) {
-      return;
+    auto it2 = r.conns.find(conn_id);
+    if (it2 == r.conns.end()) {
+      return false;
     }
-  }
-
-  if (eof) {
-    if (conn->has_pending_writes()) {
-      conn->set_close_after_flush();
-    } else {
-      CloseConn(conn_id);
-    }
+    it2->second.conn->Consume(frame_bytes);
   }
 }
 
-Server::Impl::StoreEntry* Server::Impl::CreateStoreEntry(const std::string& ns,
-                                                         const OperatorStateSpec& spec) {
-  auto entry = std::make_unique<StoreEntry>();
-  StoreEntry* raw = entry.get();
-  entry->ns = ns;
-  entry->spec = spec;
-  entry->pattern = ClassifyPattern(spec.incremental, spec.window_kind, spec.alignment_hint);
-  entry->shards.resize(static_cast<size_t>(options_.num_shards));
-  entry->shard_obs.resize(static_cast<size_t>(options_.num_shards));
-  std::lock_guard<std::mutex> lock(stores_mu_);
-  entry->id = stores_.size();
-  store_ids_[ns] = entry->id;
-  stores_.push_back(std::move(entry));
-  return raw;
+void Server::Impl::CloseConnLocal(Reactor& r, uint64_t conn_id) {
+  auto it = r.conns.find(conn_id);
+  if (it == r.conns.end()) {
+    return;
+  }
+  // Deregister explicitly: stats snapshots may hold shared_ptr refs that
+  // defer the fd close past this point.
+  ::epoll_ctl(r.epfd, EPOLL_CTL_DEL, it->second.conn->fd(), nullptr);
+  r.conns.erase(it);
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    conn_registry_.erase(conn_id);
+    m_open_conns_->Set(static_cast<int64_t>(conn_registry_.size()));
+  }
+  if (conn_id == replica_conn_id_atomic_.load(std::memory_order_relaxed)) {
+    // DropReplica zeroes the id before closing, so this does not recurse.
+    DropReplica("connection closed");
+  }
 }
 
-void Server::Impl::HandleRequest(Connection* conn, RequestMessage request) {
-  m_requests_->Add(1);
+// ---------------------------------------------------------------------------
+// Request dispatch
+// ---------------------------------------------------------------------------
 
+void Server::Impl::DeferForAttach(Reactor& r, Connection* conn, RequestMessage request) {
+  // The rx buffer will be consumed before the replay; own every field now.
+  for (OpRequest& op : request.ops) {
+    op.MaterializeRefs();
+  }
+  r.attach_deferred.emplace_back(conn->id(), std::move(request));
+}
+
+void Server::Impl::HandleRequest(Reactor& r, Connection* conn, RequestMessage request) {
   // A standby announcing itself: the frame belongs to the replication
   // stream, never the dispatch path.
   if (request.ops.size() == 1 && request.ops[0].type == OpType::kReplicaSubscribe) {
-    HandleReplicaSubscribe(conn);
+    r.metrics.requests->Add(1);
+    HandleReplicaSubscribe(r, conn);
     return;
   }
 
+  // Snapshot-attach gate, seqlock-style against the quiesce in
+  // HandleReplicaSubscribe: (1) check, (2) publish intent via
+  // pending_count_, (3) re-check. The attach sets the flag and then waits
+  // for pending_count_ to hit zero; seq_cst totals the four accesses, so a
+  // request either defers or is visible to the quiesce loop.
+  if (repl_attach_.load(std::memory_order_seq_cst)) {
+    DeferForAttach(r, conn, std::move(request));
+    return;
+  }
+  pending_count_.fetch_add(1, std::memory_order_seq_cst);
+  if (repl_attach_.load(std::memory_order_seq_cst)) {
+    pending_count_.fetch_sub(1, std::memory_order_seq_cst);
+    DeferForAttach(r, conn, std::move(request));
+    return;
+  }
+  r.metrics.requests->Add(1);
+  m_pending_->Set(static_cast<int64_t>(pending_count_.load(std::memory_order_relaxed)));
+
   auto pending = std::make_shared<PendingRequest>();
   pending->conn_id = conn->id();
+  pending->conn_reactor = r.index;
+  pending->counted = true;
   pending->request_id = request.request_id;
   pending->start_nanos = MonotonicNanos();
   if (request.deadline_ms > 0) {
     // Pin the client's relative deadline to this server's clock at decode
-    // time; shard workers shed work that outlives it.
+    // time; execution sheds work that outlives it.
     pending->deadline_nanos =
         pending->start_nanos + static_cast<int64_t>(request.deadline_ms) * 1'000'000;
   }
@@ -918,9 +1355,9 @@ void Server::Impl::HandleRequest(Connection* conn, RequestMessage request) {
     }
 
     if (op.type == OpType::kStats) {
-      // Server-level introspection: answered entirely on the reactor (all the
-      // inputs are reactor-owned or lock-free snapshots), so a stats poll
-      // never queues behind store work.
+      // Server-level introspection: answered entirely on this reactor (all
+      // the inputs are locked or lock-free snapshots), so a stats poll never
+      // queues behind store work.
       result.status = Status::Ok();
       result.stats_json = BuildStatsJson();
       continue;
@@ -941,17 +1378,8 @@ void Server::Impl::HandleRequest(Connection* conn, RequestMessage request) {
         result.status = Status::InvalidArgument("kRestoreStore needs ns and path");
         continue;
       }
-      StoreEntry* store = nullptr;
-      {
-        std::lock_guard<std::mutex> lock(stores_mu_);
-        auto it = store_ids_.find(op.ns);
-        if (it != store_ids_.end()) {
-          store = stores_[it->second].get();
-        }
-      }
-      if (store == nullptr) {
-        store = CreateStoreEntry(op.ns, op.spec);
-      }
+      bool created = false;
+      StoreEntry* store = FindOrCreateStore(op.ns, op.spec, &created);
       if (store->id != op.store_id) {
         result.status = Status::InvalidArgument(
             "restore id mismatch for " + op.ns + ": have " +
@@ -959,11 +1387,14 @@ void Server::Impl::HandleRequest(Connection* conn, RequestMessage request) {
             std::to_string(op.store_id));
         continue;
       }
-      store->spec = op.spec;
-      store->pattern =
-          ClassifyPattern(op.spec.incremental, op.spec.window_kind, op.spec.alignment_hint);
-      store->open_state = StoreEntry::OpenState::kOpening;
-      store->chunk_cursor.clear();  // cursors referred to the replaced state
+      {
+        std::lock_guard<std::mutex> lock(stores_mu_);
+        store->spec = op.spec;
+        store->pattern = ClassifyPattern(op.spec.incremental, op.spec.window_kind,
+                                         op.spec.alignment_hint);
+        store->open_state = StoreEntry::OpenState::kOpening;
+        store->chunk_cursor.clear();  // cursors referred to the replaced state
+      }
       pending->fanout_partials[i].resize(static_cast<size_t>(options_.num_shards));
       for (int shard = 0; shard < options_.num_shards; ++shard) {
         shard_items[static_cast<size_t>(shard)].push_back({i, store});
@@ -976,42 +1407,39 @@ void Server::Impl::HandleRequest(Connection* conn, RequestMessage request) {
         result.status = Status::InvalidArgument("empty store namespace");
         continue;
       }
-      StoreEntry* store = nullptr;
-      {
-        std::lock_guard<std::mutex> lock(stores_mu_);
-        auto it = store_ids_.find(op.ns);
-        if (it != store_ids_.end()) {
-          store = stores_[it->second].get();
-        }
-      }
-      if (store != nullptr) {
+      bool created = false;
+      StoreEntry* store = FindOrCreateStore(op.ns, op.spec, &created);
+      if (!created) {
         // Idempotent re-open (e.g. a client reconnecting after a server or
         // client restart): hand back the existing id if the spec agrees.
         const StorePattern pattern =
             ClassifyPattern(op.spec.incremental, op.spec.window_kind, op.spec.alignment_hint);
-        if (pattern != store->pattern) {
-          result.status = Status::InvalidArgument(
-              "store " + op.ns + " already open with pattern " +
-              StorePatternName(store->pattern));
-          continue;
+        bool already_open = false;
+        {
+          std::lock_guard<std::mutex> lock(stores_mu_);
+          if (pattern != store->pattern) {
+            result.status = Status::InvalidArgument(
+                "store " + op.ns + " already open with pattern " +
+                StorePatternName(store->pattern));
+            continue;
+          }
+          if (store->open_state == StoreEntry::OpenState::kOpen) {
+            already_open = true;
+          } else {
+            // Previous open failed (or is still in flight): retry the
+            // per-shard opens. Shards whose slot is already populated return
+            // OK without touching it, so a concurrent or repeated open is
+            // harmless.
+            store->open_state = StoreEntry::OpenState::kOpening;
+          }
         }
-        if (store->open_state == StoreEntry::OpenState::kOpen) {
+        if (already_open) {
           result.status = Status::Ok();
           result.store_id = store->id;
           result.pattern = store->pattern;
           continue;
         }
-        // Previous open failed (or is still in flight): retry the per-shard
-        // opens. Shards whose slot is already populated return OK without
-        // touching it, so a concurrent or repeated open is harmless.
-        store->open_state = StoreEntry::OpenState::kOpening;
-        pending->fanout_partials[i].resize(static_cast<size_t>(options_.num_shards));
-        for (int shard = 0; shard < options_.num_shards; ++shard) {
-          shard_items[static_cast<size_t>(shard)].push_back({i, store});
-        }
-        continue;
       }
-      store = CreateStoreEntry(op.ns, op.spec);
       pending->fanout_partials[i].resize(static_cast<size_t>(options_.num_shards));
       for (int shard = 0; shard < options_.num_shards; ++shard) {
         shard_items[static_cast<size_t>(shard)].push_back({i, store});
@@ -1046,19 +1474,22 @@ void Server::Impl::HandleRequest(Connection* conn, RequestMessage request) {
 
     if (op.type == OpType::kGetWindowChunk) {
       // Aligned scans drain the shards in turn: route to the shard the
-      // reactor-held cursor points at; advance on its `done`.
+      // cursor points at; FinishPending advances it on `done`.
       size_t cursor = 0;
-      auto it = store->chunk_cursor.find(op.window);
-      if (it != store->chunk_cursor.end()) {
-        cursor = it->second;
-      } else {
-        store->chunk_cursor[op.window] = 0;
+      {
+        std::lock_guard<std::mutex> lock(stores_mu_);
+        auto cit = store->chunk_cursor.find(op.window);
+        if (cit != store->chunk_cursor.end()) {
+          cursor = cit->second;
+        } else {
+          store->chunk_cursor[op.window] = 0;
+        }
       }
       shard_items[cursor].push_back({i, store});
       continue;
     }
 
-    shard_items[static_cast<size_t>(ShardForKey(op.key))].push_back({i, store});
+    shard_items[static_cast<size_t>(ShardForKey(op.key_view()))].push_back({i, store});
   }
 
   size_t tasks = 0;
@@ -1073,14 +1504,14 @@ void Server::Impl::HandleRequest(Connection* conn, RequestMessage request) {
     bool overloaded = false;
     for (int shard = 0; shard < options_.num_shards; ++shard) {
       if (!shard_items[static_cast<size_t>(shard)].empty() &&
-          shard_queues_[static_cast<size_t>(shard)]->depth.load(
-              std::memory_order_relaxed) >= options_.max_shard_queue_depth) {
+          shard_state_[shard].depth.load(std::memory_order_relaxed) >=
+              options_.max_shard_queue_depth) {
         overloaded = true;
         break;
       }
     }
     if (overloaded) {
-      m_shed_overload_->Add(1);
+      r.metrics.shed_overload->Add(1);
       for (size_t i = 0; i < pending->ops.size(); ++i) {
         pending->results[i] = OpResult{};
         pending->results[i].type = pending->ops[i].type;
@@ -1092,196 +1523,342 @@ void Server::Impl::HandleRequest(Connection* conn, RequestMessage request) {
     }
   }
 
-  // Forward mutating ops to a subscribed standby, tagged with the next dense
-  // sequence, before local dispatch; FinishPending parks the response until
-  // the standby acks the sequence (synchronous replication).
-  if (replica_conn_id_ != 0) {
-    RequestMessage fwd;
-    for (const OpRequest& op : pending->ops) {
-      if (IsForwardedOp(op.type)) {
-        fwd.ops.push_back(op);
-      }
-    }
-    if (!fwd.ops.empty()) {
-      fwd.request_id = repl_next_seq_++;
-      pending->repl_seq = fwd.request_id;
-      if (!SendToReplica(fwd)) {
-        pending->repl_seq = 0;  // replica just dropped; proceed unreplicated
-      }
-    }
-  }
-
   if (tasks == 0) {
     FinishPending(pending);
     return;
   }
-  pending->remaining.store(tasks, std::memory_order_relaxed);
-  ++pending_count_;
-  m_pending_->Set(static_cast<int64_t>(pending_count_));
+
+  if (replica_conn_id_atomic_.load(std::memory_order_acquire) != 0) {
+    // Subscribed: sequence assignment and the per-shard pushes must happen
+    // under one lock so queue order equals sequence order everywhere.
+    DispatchReplicated(r, pending, &shard_items);
+    return;
+  }
+
+  // Fast path. Shards owned by this reactor whose queue is empty execute
+  // inline — no queue hop, no materialization, borrowed slices read straight
+  // from the rx buffer. Everything else takes the single-writer queue path.
+  // The dispatcher holds one unit of `remaining` so a queued shard finishing
+  // first cannot race FinishPending against the inline execution.
+  bool any_queued = false;
+  for (int shard = 0; shard < options_.num_shards; ++shard) {
+    if (shard_items[static_cast<size_t>(shard)].empty()) continue;
+    if (OwnerReactor(shard) != r.index ||
+        shard_state_[shard].depth.load(std::memory_order_acquire) != 0) {
+      any_queued = true;
+    }
+  }
+  pending->remaining.store(tasks + 1, std::memory_order_relaxed);
+  if (any_queued) {
+    // Queued sub-batches outlive this stack frame (and the rx buffer).
+    for (OpRequest& op : pending->ops) {
+      op.MaterializeRefs();
+    }
+  }
+  const int64_t dispatch_nanos = MonotonicNanos();
   for (int shard = 0; shard < options_.num_shards; ++shard) {
     auto& items = shard_items[static_cast<size_t>(shard)];
     if (items.empty()) continue;
-    ShardTask task;
-    task.kind = ShardTask::Kind::kOps;
-    task.pending = pending;
-    task.items = std::move(items);
-    PushShardTask(shard, std::move(task));
+    const bool inline_ok = OwnerReactor(shard) == r.index &&
+                           shard_state_[shard].depth.load(std::memory_order_acquire) == 0;
+    if (inline_ok) {
+      ExecuteShardItems(shard, dispatch_nanos, pending.get(), items);
+      pending->remaining.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+    if (!PostShardOps(shard, pending, std::move(items))) {
+      // Reactor already gone (hard stop): nobody will run it.
+      pending->remaining.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+  if (pending->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    CompleteRequest(pending);
   }
 }
 
-std::string Server::Impl::BuildStatsJson() {
-  const int64_t now = MonotonicNanos();
-  const double window_s = static_cast<double>(now - stats_prev_nanos_) / 1e9;
+void Server::Impl::DispatchReplicated(Reactor& r,
+                                      const std::shared_ptr<PendingRequest>& pending,
+                                      std::vector<std::vector<ShardWorkItem>>* shard_items) {
+  // Every sub-batch goes through the queues (inline execution could overtake
+  // an older queued op for the same shard), so own every field first.
+  for (OpRequest& op : pending->ops) {
+    op.MaterializeRefs();
+  }
+  size_t tasks = 0;
+  for (const auto& items : *shard_items) {
+    if (!items.empty()) ++tasks;
+  }
+  pending->remaining.store(tasks + 1, std::memory_order_relaxed);
 
-  // One registry pass covers the per-shard execution counters (labeled
-  // worker=shard by the shard threads) and the deadline-shed total.
-  const int num_shards = options_.num_shards;
-  std::vector<int64_t> shard_ops(static_cast<size_t>(num_shards), 0);
-  std::vector<int64_t> shard_errors(static_cast<size_t>(num_shards), 0);
-  int64_t shed_deadline = 0;
-  for (const obs::MetricSample& s : obs::MetricsRegistry::Global().Snapshot()) {
-    const int w = s.labels.worker;
-    if (s.name == "server.store_ops" && w >= 0 && w < num_shards) {
-      shard_ops[static_cast<size_t>(w)] += s.value;
-    } else if (s.name == "server.store_errors" && w >= 0 && w < num_shards) {
-      shard_errors[static_cast<size_t>(w)] += s.value;
-    } else if (s.name == "server.shed_deadline") {
-      shed_deadline += s.value;
+  ReplicaDropActions drop;
+  bool dropped = false;
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    if (replica_conn_id_ != 0) {
+      RequestMessage fwd;
+      for (const OpRequest& op : pending->ops) {
+        if (IsForwardedOp(op.type)) {
+          fwd.ops.push_back(op);
+        }
+      }
+      if (!fwd.ops.empty()) {
+        // Forward before local dispatch, tagged with the next dense
+        // sequence; FinishPending parks the response until the standby acks
+        // it (synchronous replication).
+        fwd.request_id = repl_next_seq_++;
+        pending->repl_seq = fwd.request_id;
+        if (!SendReplicaFrame(r, fwd)) {
+          pending->repl_seq = 0;  // replica just dropped; proceed unreplicated
+          drop = DropReplicaLocked("send failed");
+          dropped = true;
+        }
+      }
+    }
+    for (int shard = 0; shard < options_.num_shards; ++shard) {
+      auto& items = (*shard_items)[static_cast<size_t>(shard)];
+      if (items.empty()) continue;
+      if (!PostShardOps(shard, pending, std::move(items))) {
+        pending->remaining.fetch_sub(1, std::memory_order_acq_rel);
+      }
     }
   }
-  const std::vector<obs::HistogramSample> hists =
-      obs::MetricsRegistry::Global().HistogramSnapshots();
+  if (dropped) {
+    ApplyReplicaDrop(std::move(drop));
+  }
+  if (pending->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    CompleteRequest(pending);
+  }
+}
 
-  std::string j;
-  j.reserve(4096);
-  char buf[320];
-  auto add = [&j, &buf](const char* fmt, auto... args) {
-    std::snprintf(buf, sizeof(buf), fmt, args...);
-    j.append(buf);
-  };
+Server::Impl::StoreEntry* Server::Impl::FindOrCreateStore(const std::string& ns,
+                                                          const OperatorStateSpec& spec,
+                                                          bool* created) {
+  std::lock_guard<std::mutex> lock(stores_mu_);
+  auto it = store_ids_.find(ns);
+  if (it != store_ids_.end()) {
+    *created = false;
+    return stores_[it->second].get();
+  }
+  *created = true;
+  auto entry = std::make_unique<StoreEntry>();
+  StoreEntry* raw = entry.get();
+  entry->ns = ns;
+  entry->spec = spec;
+  entry->pattern = ClassifyPattern(spec.incremental, spec.window_kind, spec.alignment_hint);
+  entry->shards.resize(static_cast<size_t>(options_.num_shards));
+  entry->shard_obs.resize(static_cast<size_t>(options_.num_shards));
+  entry->id = stores_.size();
+  store_ids_[ns] = entry->id;
+  stores_.push_back(std::move(entry));
+  return raw;
+}
 
-  const int64_t requests = m_requests_->Value();
-  const double req_per_sec =
-      window_s > 0 ? static_cast<double>(requests - stats_prev_requests_) / window_s : 0.0;
+// ---------------------------------------------------------------------------
+// Task plumbing
+// ---------------------------------------------------------------------------
 
-  add("{\"ts_ms\":%lld,\"window_s\":%.3f,", static_cast<long long>(now / 1'000'000),
-      window_s);
-  add("\"server\":{\"port\":%d,\"num_shards\":%d,\"requests\":%lld,"
-      "\"req_per_sec\":%.1f,\"frames_in\":%lld,\"bytes_in\":%lld,\"bytes_out\":%lld,"
-      "\"open_conns\":%lld,\"pending_requests\":%llu,\"shed_overload\":%lld,"
-      "\"shed_deadline\":%lld,\"protocol_errors\":%lld",
-      port_, num_shards, static_cast<long long>(requests), req_per_sec,
-      static_cast<long long>(m_frames_in_->Value()),
-      static_cast<long long>(m_bytes_in_->Value()),
-      static_cast<long long>(m_bytes_out_->Value()),
-      static_cast<long long>(m_open_conns_->Value()),
-      static_cast<unsigned long long>(pending_count_),
-      static_cast<long long>(m_shed_overload_->Value()), static_cast<long long>(shed_deadline),
-      static_cast<long long>(m_protocol_errors_->Value()));
-  for (const obs::HistogramSample& h : hists) {
-    if (h.name == "server.request_latency_ms" && h.count > 0) {
-      add(",\"request_latency_ms\":{\"count\":%llu,\"p50\":%.3f,\"p95\":%.3f,"
-          "\"p99\":%.3f,\"max\":%.3f}",
-          static_cast<unsigned long long>(h.count), h.p50, h.p95, h.p99, h.max);
+bool Server::Impl::PostTask(int reactor_index, ReactorTask task) {
+  Reactor& r = *reactors_[static_cast<size_t>(reactor_index)];
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    if (r.closed) {
+      return false;
+    }
+    r.tasks.push_back(std::move(task));
+    // Inside the lock so reactor 0's drain check can never observe
+    // task_count == 0 with a task already visible in the deque (or vice
+    // versa) — the idle flag and the count move together.
+    r.task_count.fetch_add(1, std::memory_order_relaxed);
+    r.idle.store(false, std::memory_order_relaxed);
+  }
+  WakeReactor(reactor_index);
+  return true;
+}
+
+bool Server::Impl::PostShardOps(int shard, const std::shared_ptr<PendingRequest>& pending,
+                                std::vector<ShardWorkItem> items) {
+  ReactorTask task;
+  task.kind = ReactorTask::Kind::kShardOps;
+  task.shard = shard;
+  task.enqueue_nanos = MonotonicNanos();
+  task.pending = pending;
+  task.items = std::move(items);
+  // Raise the depth before the task is visible: the owner's inline gate reads
+  // it with acquire, so a non-zero depth reliably forces later requests for
+  // this shard onto the queue behind us.
+  shard_state_[shard].depth.fetch_add(1, std::memory_order_release);
+  if (!PostTask(OwnerReactor(shard), std::move(task))) {
+    shard_state_[shard].depth.fetch_sub(1, std::memory_order_release);
+    return false;
+  }
+  return true;
+}
+
+void Server::Impl::DrainTasks(Reactor& r) {
+  while (true) {
+    std::deque<ReactorTask> batch;
+    {
+      std::lock_guard<std::mutex> lock(r.mu);
+      if (r.tasks.empty()) {
+        return;
+      }
+      batch.swap(r.tasks);
+      r.task_count.fetch_sub(batch.size(), std::memory_order_relaxed);
+    }
+    for (ReactorTask& task : batch) {
+      RunTask(r, task);
+    }
+  }
+}
+
+void Server::Impl::RunTask(Reactor& r, ReactorTask& task) {
+  switch (task.kind) {
+    case ReactorTask::Kind::kAdoptConn:
+      AdoptConn(r, std::move(task.conn));
+      break;
+    case ReactorTask::Kind::kShardOps: {
+      shard_state_[task.shard].depth.fetch_sub(1, std::memory_order_release);
+      ExecuteShardItems(task.shard, task.enqueue_nanos, task.pending.get(), task.items);
+      if (task.pending->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        CompleteRequest(task.pending);
+      }
       break;
     }
-  }
-  j += "},";
-
-  const bool subscribed = replica_conn_id_ != 0;
-  const unsigned long long lag =
-      subscribed && repl_next_seq_ - 1 > repl_acked_seq_
-          ? static_cast<unsigned long long>(repl_next_seq_ - 1 - repl_acked_seq_)
-          : 0ull;
-  add("\"replication\":{\"subscribed\":%s,\"next_seq\":%llu,\"acked_seq\":%llu,"
-      "\"lag\":%llu,\"parked\":%llu},",
-      subscribed ? "true" : "false", static_cast<unsigned long long>(repl_next_seq_),
-      static_cast<unsigned long long>(repl_acked_seq_), lag,
-      static_cast<unsigned long long>(parked_.size()));
-
-  j += "\"shards\":[";
-  for (int shard = 0; shard < num_shards; ++shard) {
-    const size_t si = static_cast<size_t>(shard);
-    const double ops_per_sec =
-        window_s > 0
-            ? static_cast<double>(shard_ops[si] - stats_prev_shard_ops_[si]) / window_s
-            : 0.0;
-    add("%s{\"shard\":%d,\"queue_depth\":%llu,\"ops\":%lld,\"ops_per_sec\":%.1f,"
-        "\"errors\":%lld,\"op_latency_ms\":[",
-        shard == 0 ? "" : ",", shard,
-        static_cast<unsigned long long>(
-            shard_queues_[si]->depth.load(std::memory_order_relaxed)),
-        static_cast<long long>(shard_ops[si]), ops_per_sec,
-        static_cast<long long>(shard_errors[si]));
-    bool first = true;
-    for (const obs::HistogramSample& h : hists) {
-      if (h.name != "server.op_latency_ms" || h.labels.worker != shard || h.count == 0) {
-        continue;
+    case ReactorTask::Kind::kFinish:
+      FinishPending(task.pending);
+      break;
+    case ReactorTask::Kind::kSendResponse:
+      SendResponse(task.pending);
+      break;
+    case ReactorTask::Kind::kReplicaSend: {
+      auto it = r.conns.find(task.conn_id);
+      if (it == r.conns.end()) {
+        DropReplica("connection missing");
+        break;
       }
-      j += first ? "{\"op\":\"" : ",{\"op\":\"";
-      first = false;
-      AppendJsonEscaped(&j, h.labels.op);
-      add("\",\"count\":%llu,\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f,\"max\":%.3f}",
-          static_cast<unsigned long long>(h.count), h.p50, h.p95, h.p99, h.max);
+      Connection* conn = it->second.conn.get();
+      r.metrics.bytes_out->Add(
+          static_cast<int64_t>(task.frame_header.size() + task.frame_payload.size()));
+      r.metrics.repl_forwarded->Add(1);
+      conn->QueueFrameParts(std::move(task.frame_header), std::move(task.frame_payload));
+      if (!conn->FlushWrites().ok()) {
+        DropReplica("send failed");
+        break;
+      }
+      UpdateConnEvents(r, it->second);
+      break;
     }
-    j += "]}";
+    case ReactorTask::Kind::kCloseConn:
+      CloseConnLocal(r, task.conn_id);
+      break;
+    case ReactorTask::Kind::kCheckpointShard: {
+      obs::WorkerScope worker_scope(task.shard);
+      FlowKvStore* kv = task.store->shards[static_cast<size_t>(task.shard)].get();
+      task.barrier->Done(kv == nullptr
+                             ? Status::FailedPrecondition("store not open on shard")
+                             : kv->CheckpointTo(task.checkpoint_dir));
+      break;
+    }
+    case ReactorTask::Kind::kAttachResume:
+      ResumeAfterAttach(r);
+      break;
   }
-  j += "],";
-
-  j += "\"connections\":[";
-  bool first_conn = true;
-  for (const auto& kv : conns_) {
-    const Connection* conn = kv.second.get();
-    add("%s{\"id\":%llu,\"outbox_bytes\":%llu,\"is_replica\":%s}",
-        first_conn ? "" : ",", static_cast<unsigned long long>(conn->id()),
-        static_cast<unsigned long long>(conn->outbox_bytes()),
-        conn->id() == replica_conn_id_ ? "true" : "false");
-    first_conn = false;
-  }
-  j += "],";
-
-  add("\"trace\":{\"enabled\":%s,\"events\":%llu,\"dropped\":%llu},",
-      obs::Tracing::enabled() ? "true" : "false",
-      static_cast<unsigned long long>(obs::Tracing::EventCount()),
-      static_cast<unsigned long long>(obs::Tracing::DroppedCount()));
-
-  // Slowest first, so the head of the array is always the worst offender.
-  std::vector<SlowRequest> slow = slow_log_;
-  std::sort(slow.begin(), slow.end(), [](const SlowRequest& a, const SlowRequest& b) {
-    return a.total_ms > b.total_ms;
-  });
-  add("\"slow_threshold_ms\":%.3f,\"slow_requests\":[",
-      options_.slow_request_threshold_ms);
-  for (size_t i = 0; i < slow.size(); ++i) {
-    const SlowRequest& s = slow[i];
-    add("%s{\"request_id\":%llu,\"conn_id\":%llu,\"trace_id\":%llu,\"ops\":%llu,"
-        "\"total_ms\":%.3f,\"queue_wait_ms\":%.3f,\"exec_ms\":%.3f,\"ts_ms\":%lld}",
-        i == 0 ? "" : ",", static_cast<unsigned long long>(s.request_id),
-        static_cast<unsigned long long>(s.conn_id),
-        static_cast<unsigned long long>(s.trace_id),
-        static_cast<unsigned long long>(s.num_ops), s.total_ms, s.queue_wait_ms, s.exec_ms,
-        static_cast<long long>(s.ts_ms));
-  }
-  j += "]}";
-
-  stats_prev_nanos_ = now;
-  stats_prev_requests_ = requests;
-  stats_prev_shard_ops_ = shard_ops;
-  return j;
 }
 
-void Server::Impl::ProcessCompletions() {
-  std::vector<std::shared_ptr<PendingRequest>> done;
-  {
-    std::lock_guard<std::mutex> lock(completions_mu_);
-    done.swap(completions_);
+void Server::Impl::AbortTask(ReactorTask& task) {
+  switch (task.kind) {
+    case ReactorTask::Kind::kCheckpointShard:
+      // Someone is blocked in Barrier::Wait; a silent drop would hang them.
+      task.barrier->Done(Status::FailedPrecondition("server stopping"));
+      break;
+    case ReactorTask::Kind::kAdoptConn: {
+      std::lock_guard<std::mutex> lock(registry_mu_);
+      conn_registry_.erase(task.conn->id());
+      m_open_conns_->Set(static_cast<int64_t>(conn_registry_.size()));
+      break;
+    }
+    case ReactorTask::Kind::kShardOps:
+      shard_state_[task.shard].depth.fetch_sub(1, std::memory_order_release);
+      if (task.pending->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+          task.pending->counted) {
+        task.pending->counted = false;
+        pending_count_.fetch_sub(1, std::memory_order_seq_cst);
+      }
+      break;
+    case ReactorTask::Kind::kFinish:
+      if (task.pending->counted) {
+        task.pending->counted = false;
+        pending_count_.fetch_sub(1, std::memory_order_seq_cst);
+      }
+      break;
+    default:
+      break;  // responses/closes/resumes: nothing waits on them at hard stop
   }
-  for (const auto& pending : done) {
-    --pending_count_;
-    m_pending_->Set(static_cast<int64_t>(pending_count_));
+}
+
+void Server::Impl::ExecuteShardItems(int shard, int64_t enqueue_nanos,
+                                     PendingRequest* pending,
+                                     const std::vector<ShardWorkItem>& items) {
+  // Store execution metrics are labeled worker = shard regardless of which
+  // reactor thread runs the shard.
+  obs::WorkerScope worker_scope(shard);
+  const int64_t dequeue_nanos = MonotonicNanos();
+  // Inline execution emits a zero-length queue-wait span (enqueue == now), so
+  // a request's trace always shows the dispatch→execute handoff either way.
+  obs::TraceCompleteSpan("server_queue_wait", "server", enqueue_nanos, dequeue_nanos,
+                         "trace_id", static_cast<int64_t>(pending->trace_id), "shard",
+                         shard);
+  AtomicMaxRelaxed(&pending->queue_wait_nanos, dequeue_nanos - enqueue_nanos);
+  // Deadline shedding: skip work the client has already given up on — unless
+  // its ops were forwarded to a standby, which will execute them; the primary
+  // must stay in lockstep.
+  const bool shed = pending->deadline_nanos != 0 && pending->repl_seq == 0 &&
+                    dequeue_nanos > pending->deadline_nanos;
+  if (shed) {
+    shard_state_[shard].shed_deadline->Add(1);
+  }
+  for (const ShardWorkItem& item : items) {
+    const OpRequest& op = pending->ops[item.op_index];
+    OpResult* out = pending->fanout_partials[item.op_index].empty()
+                        ? &pending->results[item.op_index]
+                        : &pending->fanout_partials[item.op_index][static_cast<size_t>(shard)];
+    if (shed) {
+      out->type = op.type;
+      out->status = Status::TimedOut("deadline expired before execution");
+      continue;
+    }
+    ExecuteShardOp(shard, item.store, op, out);
+  }
+  const int64_t exec_end_nanos = MonotonicNanos();
+  obs::TraceCompleteSpan("server_exec", "server", dequeue_nanos, exec_end_nanos,
+                         "trace_id", static_cast<int64_t>(pending->trace_id), "ops",
+                         static_cast<int64_t>(items.size()));
+  AtomicMaxRelaxed(&pending->exec_nanos, exec_end_nanos - dequeue_nanos);
+}
+
+void Server::Impl::CompleteRequest(const std::shared_ptr<PendingRequest>& pending) {
+  // Fan-out assembly, cursor advance, parking and the response encode all
+  // belong to the connection's owner thread.
+  if (single_threaded_ || tl_reactor == pending->conn_reactor) {
     FinishPending(pending);
+    return;
+  }
+  ReactorTask task;
+  task.kind = ReactorTask::Kind::kFinish;
+  task.pending = pending;
+  if (!PostTask(pending->conn_reactor, std::move(task))) {
+    // Owner already gone (hard stop): nobody will reply; release the count so
+    // a concurrent drain/attach does not wait on it.
+    if (pending->counted) {
+      pending->counted = false;
+      pending_count_.fetch_sub(1, std::memory_order_seq_cst);
+    }
   }
 }
+
+// ---------------------------------------------------------------------------
+// Completion
+// ---------------------------------------------------------------------------
 
 void Server::Impl::FinishPending(const std::shared_ptr<PendingRequest>& pending) {
   struct ChunkHop {
@@ -1337,7 +1914,9 @@ void Server::Impl::FinishPending(const std::shared_ptr<PendingRequest>& pending)
     }
 
     if (op.type == OpType::kGetWindowChunk && result.status.ok()) {
-      StoreEntry* store = FindStore(op.store_id);
+      std::lock_guard<std::mutex> lock(stores_mu_);
+      StoreEntry* store =
+          op.store_id < stores_.size() ? stores_[op.store_id].get() : nullptr;
       if (store != nullptr && result.done) {
         auto it = store->chunk_cursor.find(op.window);
         size_t cursor = (it != store->chunk_cursor.end()) ? it->second : 0;
@@ -1361,17 +1940,25 @@ void Server::Impl::FinishPending(const std::shared_ptr<PendingRequest>& pending)
   }
 
   if (!redispatch.empty()) {
-    pending->remaining.store(redispatch.size(), std::memory_order_relaxed);
-    ++pending_count_;
-    m_pending_->Set(static_cast<int64_t>(pending_count_));
+    // The request stays pending (and keeps its pending_count_ unit) across
+    // the hop. All hops go through the queues — even to a shard this reactor
+    // owns — because the redispatch originates outside the dispatch path and
+    // the inline-ordering gate does not apply here.
+    for (OpRequest& op : pending->ops) {
+      op.MaterializeRefs();
+    }
+    pending->remaining.store(redispatch.size() + 1, std::memory_order_relaxed);
     for (const auto& rd : redispatch) {
       pending->results[rd.op_index] = OpResult{};
       pending->results[rd.op_index].type = OpType::kGetWindowChunk;
-      ShardTask task;
-      task.kind = ShardTask::Kind::kOps;
-      task.pending = pending;
-      task.items.push_back({rd.op_index, rd.store});
-      PushShardTask(static_cast<int>(rd.shard), std::move(task));
+      std::vector<ShardWorkItem> items;
+      items.push_back({rd.op_index, rd.store});
+      if (!PostShardOps(static_cast<int>(rd.shard), pending, std::move(items))) {
+        pending->remaining.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    }
+    if (pending->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      CompleteRequest(pending);
     }
     return;  // reply deferred until the hop completes
   }
@@ -1383,6 +1970,12 @@ void Server::Impl::FinishPending(const std::shared_ptr<PendingRequest>& pending)
   obs::TraceCompleteSpan("server_request", "server", pending->start_nanos, finish_nanos,
                          "trace_id", static_cast<int64_t>(pending->trace_id), "ops",
                          static_cast<int64_t>(pending->ops.size()));
+
+  if (pending->counted) {
+    pending->counted = false;
+    pending_count_.fetch_sub(1, std::memory_order_seq_cst);
+    m_pending_->Set(static_cast<int64_t>(pending_count_.load(std::memory_order_relaxed)));
+  }
 
   if (options_.slow_request_threshold_ms > 0 && options_.slow_log_size > 0 &&
       total_ms >= options_.slow_request_threshold_ms) {
@@ -1397,6 +1990,7 @@ void Server::Impl::FinishPending(const std::shared_ptr<PendingRequest>& pending)
     slow.exec_ms =
         static_cast<double>(pending->exec_nanos.load(std::memory_order_relaxed)) / 1e6;
     slow.ts_ms = finish_nanos / 1'000'000;
+    std::lock_guard<std::mutex> lock(stats_mu_);
     if (slow_log_.size() < options_.slow_log_size) {
       slow_log_.push_back(slow);
     } else {
@@ -1412,22 +2006,25 @@ void Server::Impl::FinishPending(const std::shared_ptr<PendingRequest>& pending)
   // the standby acks the carrying sequence, so an acknowledged write is never
   // lost by failing over. A drain releases parked responses instead — the
   // drain checkpoint makes them durable locally.
-  if (pending->repl_seq != 0 && replica_conn_id_ != 0 &&
-      pending->repl_seq > repl_acked_seq_ && !draining_) {
-    if (parked_.empty()) {
-      // The ack-timeout clock starts when there is something to wait for.
-      repl_last_progress_nanos_ = MonotonicNanos();
+  if (pending->repl_seq != 0 && !draining_.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    if (replica_conn_id_ != 0 && pending->repl_seq > repl_acked_seq_) {
+      if (parked_.empty()) {
+        // The ack-timeout clock starts when there is something to wait for.
+        repl_last_progress_nanos_ = MonotonicNanos();
+      }
+      parked_[pending->repl_seq] = pending;
+      m_repl_parked_->Set(static_cast<int64_t>(parked_.size()));
+      return;
     }
-    parked_[pending->repl_seq] = pending;
-    m_repl_parked_->Set(static_cast<int64_t>(parked_.size()));
-    return;
   }
   SendResponse(pending);
 }
 
 void Server::Impl::SendResponse(const std::shared_ptr<PendingRequest>& pending) {
-  auto it = conns_.find(pending->conn_id);
-  if (it == conns_.end()) {
+  Reactor& r = *reactors_[static_cast<size_t>(pending->conn_reactor)];
+  auto it = r.conns.find(pending->conn_id);
+  if (it == r.conns.end()) {
     return;  // client went away; drop the response
   }
   ResponseMessage response;
@@ -1435,48 +2032,317 @@ void Server::Impl::SendResponse(const std::shared_ptr<PendingRequest>& pending) 
   response.results = std::move(pending->results);
   std::string payload;
   EncodeResponse(response, &payload);
-  std::string frame;
-  frame.reserve(payload.size() + kFrameHeaderBytes);
-  AppendFrame(&frame, payload);
-  m_bytes_out_->Add(static_cast<int64_t>(frame.size()));
-  Connection* conn = it->second.get();
-  conn->QueueFrame(std::move(frame));
+  // Zero-copy framing: the fixed header and the payload are queued as two
+  // buffers and stitched together by sendmsg(); the payload string is never
+  // copied into a combined frame.
+  char header[kFrameHeaderBytes];
+  EncodeFrameHeader(Slice(payload), header);
+  r.metrics.bytes_out->Add(static_cast<int64_t>(kFrameHeaderBytes + payload.size()));
+  Connection* conn = it->second.conn.get();
+  conn->QueueFrameParts(std::string(header, kFrameHeaderBytes), std::move(payload));
   // Opportunistic flush; anything the socket refuses stays queued for the
-  // poll loop (POLLOUT) to deliver.
+  // event loop (EPOLLOUT) to deliver.
   if (!conn->FlushWrites().ok()) {
-    CloseConn(conn->id());
+    CloseConnLocal(r, pending->conn_id);
+    return;
+  }
+  if (!single_threaded_) {
+    UpdateConnEvents(r, it->second);
   }
 }
 
-void Server::Impl::CloseConn(uint64_t conn_id) {
-  conns_.erase(conn_id);
-  m_open_conns_->Set(static_cast<int64_t>(conns_.size()));
-  if (conn_id == replica_conn_id_) {
-    // DropReplica zeroes replica_conn_id_ before re-entering CloseConn, so
-    // this does not recurse.
-    DropReplica("connection closed");
+void Server::Impl::DeliverResponse(const std::shared_ptr<PendingRequest>& pending) {
+  if (single_threaded_ || tl_reactor == pending->conn_reactor) {
+    SendResponse(pending);
+    return;
   }
+  ReactorTask task;
+  task.kind = ReactorTask::Kind::kSendResponse;
+  task.pending = pending;
+  if (!PostTask(pending->conn_reactor, std::move(task))) {
+    // Owner gone; the connection is gone with it.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+std::string Server::Impl::BuildStatsJson() {
+  const int64_t now = MonotonicNanos();
+
+  // One registry pass covers the per-shard execution counters (labeled
+  // worker=shard) and the deadline-shed total.
+  const int num_shards = options_.num_shards;
+  std::vector<int64_t> shard_ops(static_cast<size_t>(num_shards), 0);
+  std::vector<int64_t> shard_errors(static_cast<size_t>(num_shards), 0);
+  int64_t shed_deadline = 0;
+  for (const obs::MetricSample& s : obs::MetricsRegistry::Global().Snapshot()) {
+    const int w = s.labels.worker;
+    if (s.name == "server.store_ops" && w >= 0 && w < num_shards) {
+      shard_ops[static_cast<size_t>(w)] += s.value;
+    } else if (s.name == "server.store_errors" && w >= 0 && w < num_shards) {
+      shard_errors[static_cast<size_t>(w)] += s.value;
+    } else if (s.name == "server.shed_deadline") {
+      shed_deadline += s.value;
+    }
+  }
+  const std::vector<obs::HistogramSample> hists =
+      obs::MetricsRegistry::Global().HistogramSnapshots();
+
+  // Reactor-scoped counters sum across the pool.
+  int64_t requests = 0, frames_in = 0, bytes_in = 0, bytes_out = 0;
+  int64_t protocol_errors = 0, shed_overload = 0;
+  for (const auto& r : reactors_) {
+    requests += r->metrics.requests->Value();
+    frames_in += r->metrics.frames_in->Value();
+    bytes_in += r->metrics.bytes_in->Value();
+    bytes_out += r->metrics.bytes_out->Value();
+    protocol_errors += r->metrics.protocol_errors->Value();
+    shed_overload += r->metrics.shed_overload->Value();
+  }
+
+  std::string j;
+  j.reserve(4096);
+  char buf[320];
+  auto add = [&j, &buf](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    j.append(buf);
+  };
+
+  double window_s = 0;
+  double req_per_sec = 0;
+  std::vector<double> shard_ops_per_sec(static_cast<size_t>(num_shards), 0);
+  std::vector<SlowRequest> slow;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    window_s = static_cast<double>(now - stats_prev_nanos_) / 1e9;
+    if (window_s > 0) {
+      req_per_sec = static_cast<double>(requests - stats_prev_requests_) / window_s;
+      for (int s = 0; s < num_shards; ++s) {
+        shard_ops_per_sec[static_cast<size_t>(s)] =
+            static_cast<double>(shard_ops[static_cast<size_t>(s)] -
+                                stats_prev_shard_ops_[static_cast<size_t>(s)]) /
+            window_s;
+      }
+    }
+    slow = slow_log_;
+    stats_prev_nanos_ = now;
+    stats_prev_requests_ = requests;
+    stats_prev_shard_ops_ = shard_ops;
+  }
+
+  add("{\"ts_ms\":%lld,\"window_s\":%.3f,", static_cast<long long>(now / 1'000'000),
+      window_s);
+  add("\"server\":{\"port\":%d,\"num_shards\":%d,\"reactor_threads\":%d,"
+      "\"requests\":%lld,\"req_per_sec\":%.1f,\"frames_in\":%lld,\"bytes_in\":%lld,"
+      "\"bytes_out\":%lld,\"open_conns\":%lld,\"pending_requests\":%llu,"
+      "\"shed_overload\":%lld,\"shed_deadline\":%lld,\"protocol_errors\":%lld",
+      port_, num_shards, num_reactors_, static_cast<long long>(requests), req_per_sec,
+      static_cast<long long>(frames_in), static_cast<long long>(bytes_in),
+      static_cast<long long>(bytes_out),
+      static_cast<long long>(m_open_conns_->Value()),
+      static_cast<unsigned long long>(pending_count_.load(std::memory_order_relaxed)),
+      static_cast<long long>(shed_overload), static_cast<long long>(shed_deadline),
+      static_cast<long long>(protocol_errors));
+  for (const obs::HistogramSample& h : hists) {
+    if (h.name == "server.request_latency_ms" && h.count > 0) {
+      add(",\"request_latency_ms\":{\"count\":%llu,\"p50\":%.3f,\"p95\":%.3f,"
+          "\"p99\":%.3f,\"max\":%.3f}",
+          static_cast<unsigned long long>(h.count), h.p50, h.p95, h.p99, h.max);
+      break;
+    }
+  }
+  j += "},";
+
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    const bool subscribed = replica_conn_id_ != 0;
+    const unsigned long long lag =
+        subscribed && repl_next_seq_ - 1 > repl_acked_seq_
+            ? static_cast<unsigned long long>(repl_next_seq_ - 1 - repl_acked_seq_)
+            : 0ull;
+    add("\"replication\":{\"subscribed\":%s,\"next_seq\":%llu,\"acked_seq\":%llu,"
+        "\"lag\":%llu,\"parked\":%llu},",
+        subscribed ? "true" : "false", static_cast<unsigned long long>(repl_next_seq_),
+        static_cast<unsigned long long>(repl_acked_seq_), lag,
+        static_cast<unsigned long long>(parked_.size()));
+  }
+
+  j += "\"shards\":[";
+  for (int shard = 0; shard < num_shards; ++shard) {
+    const size_t si = static_cast<size_t>(shard);
+    add("%s{\"shard\":%d,\"queue_depth\":%llu,\"ops\":%lld,\"ops_per_sec\":%.1f,"
+        "\"errors\":%lld,\"op_latency_ms\":[",
+        shard == 0 ? "" : ",", shard,
+        static_cast<unsigned long long>(
+            shard_state_[shard].depth.load(std::memory_order_relaxed)),
+        static_cast<long long>(shard_ops[si]), shard_ops_per_sec[si],
+        static_cast<long long>(shard_errors[si]));
+    bool first = true;
+    for (const obs::HistogramSample& h : hists) {
+      if (h.name != "server.op_latency_ms" || h.labels.worker != shard || h.count == 0) {
+        continue;
+      }
+      j += first ? "{\"op\":\"" : ",{\"op\":\"";
+      first = false;
+      AppendJsonEscaped(&j, h.labels.op);
+      add("\",\"count\":%llu,\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f,\"max\":%.3f}",
+          static_cast<unsigned long long>(h.count), h.p50, h.p95, h.p99, h.max);
+    }
+    j += "]}";
+  }
+  j += "],";
+
+  j += "\"connections\":[";
+  {
+    // The registry (not the per-reactor maps) so any reactor can render the
+    // whole directory; outbox_bytes() is the connection's one atomic field.
+    const uint64_t replica_id = replica_conn_id_atomic_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    bool first_conn = true;
+    for (const auto& kv : conn_registry_) {
+      const Connection* conn = kv.second.conn.get();
+      add("%s{\"id\":%llu,\"outbox_bytes\":%llu,\"is_replica\":%s}",
+          first_conn ? "" : ",", static_cast<unsigned long long>(conn->id()),
+          static_cast<unsigned long long>(conn->outbox_bytes()),
+          conn->id() == replica_id ? "true" : "false");
+      first_conn = false;
+    }
+  }
+  j += "],";
+
+  add("\"trace\":{\"enabled\":%s,\"events\":%llu,\"dropped\":%llu},",
+      obs::Tracing::enabled() ? "true" : "false",
+      static_cast<unsigned long long>(obs::Tracing::EventCount()),
+      static_cast<unsigned long long>(obs::Tracing::DroppedCount()));
+
+  // Slowest first, so the head of the array is always the worst offender.
+  std::sort(slow.begin(), slow.end(), [](const SlowRequest& a, const SlowRequest& b) {
+    return a.total_ms > b.total_ms;
+  });
+  add("\"slow_threshold_ms\":%.3f,\"slow_requests\":[",
+      options_.slow_request_threshold_ms);
+  for (size_t i = 0; i < slow.size(); ++i) {
+    const SlowRequest& s = slow[i];
+    add("%s{\"request_id\":%llu,\"conn_id\":%llu,\"trace_id\":%llu,\"ops\":%llu,"
+        "\"total_ms\":%.3f,\"queue_wait_ms\":%.3f,\"exec_ms\":%.3f,\"ts_ms\":%lld}",
+        i == 0 ? "" : ",", static_cast<unsigned long long>(s.request_id),
+        static_cast<unsigned long long>(s.conn_id),
+        static_cast<unsigned long long>(s.trace_id),
+        static_cast<unsigned long long>(s.num_ops), s.total_ms, s.queue_wait_ms, s.exec_ms,
+        static_cast<long long>(s.ts_ms));
+  }
+  j += "]}";
+  return j;
 }
 
 // ---------------------------------------------------------------------------
 // Replication, primary side
 // ---------------------------------------------------------------------------
 
-void Server::Impl::HandleReplicaSubscribe(Connection* conn) {
-  if (replica_conn_id_ != 0 && replica_conn_id_ != conn->id()) {
-    DropReplica("superseded by a new subscriber");
+void Server::Impl::HandleReplicaSubscribe(Reactor& r, Connection* conn) {
+  const uint64_t conn_id = conn->id();
+  ReplicaDropActions drop;
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    if (repl_attach_.load(std::memory_order_relaxed)) {
+      // An attach is already quiescing the server (necessarily for another
+      // connection: this one's frames were paused). One standby at a time.
+      FLOWKV_LOG(kWarn) << "rejecting replica subscribe during attach "
+                        << LogKv("conn", conn_id);
+      CloseConnLocal(r, conn_id);
+      return;
+    }
+    if (replica_conn_id_ != 0 && replica_conn_id_ != conn_id) {
+      drop = DropReplicaLocked("superseded by a new subscriber");
+    }
+    // Gate up: HandleRequest's seqlock now routes new requests to the
+    // deferred queues, and ProcessBufferedFrames stops decoding client
+    // frames.
+    repl_attach_.store(true, std::memory_order_seq_cst);
   }
-  replica_conn_id_ = conn->id();
-  repl_last_progress_nanos_ = MonotonicNanos();
-  FLOWKV_LOG(kInfo) << "replica subscribed " << LogKv("conn", conn->id());
-  const Status s = ShipSnapshot();
+  ApplyReplicaDrop(std::move(drop));
+
+  // Quiesce: wait out every in-flight request so the snapshot captures a
+  // point-in-time state no concurrent mutation can straddle. This reactor
+  // keeps pumping its own tasks (other reactors may be handing it shard
+  // completions); the rest of the pool runs normally and drains on its own.
+  while (pending_count_.load(std::memory_order_seq_cst) != 0) {
+    if (stop_requested_.load(std::memory_order_relaxed) ||
+        loop_exit_.load(std::memory_order_relaxed)) {
+      repl_attach_.store(false, std::memory_order_seq_cst);
+      CloseConnLocal(r, conn_id);
+      return;
+    }
+    DrainTasks(r);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  if (r.conns.find(conn_id) == r.conns.end()) {
+    // The subscriber hung up while we quiesced.
+    repl_attach_.store(false, std::memory_order_seq_cst);
+    ResumeAfterAttach(r);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    replica_conn_id_ = conn_id;
+    replica_reactor_ = r.index;
+    repl_last_progress_nanos_ = MonotonicNanos();
+    replica_conn_id_atomic_.store(conn_id, std::memory_order_release);
+  }
+  FLOWKV_LOG(kInfo) << "replica subscribed " << LogKv("conn", conn_id);
+
+  const Status s = ShipSnapshot(r);
   if (!s.ok()) {
     FLOWKV_LOG(kWarn) << "snapshot ship failed " << LogKv("status", s.ToString());
     DropReplica("snapshot ship failed: " + s.ToString());
   }
+
+  // Gate down, then replay: deferred requests first (arrival order), then
+  // whatever bytes sat buffered on paused connections.
+  repl_attach_.store(false, std::memory_order_seq_cst);
+  for (int i = 0; i < num_reactors_; ++i) {
+    if (i == r.index) continue;
+    ReactorTask task;
+    task.kind = ReactorTask::Kind::kAttachResume;
+    PostTask(i, std::move(task));
+  }
+  ResumeAfterAttach(r);
 }
 
-Status Server::Impl::ShipSnapshot() {
+void Server::Impl::ResumeAfterAttach(Reactor& r) {
+  auto deferred = std::move(r.attach_deferred);
+  r.attach_deferred.clear();
+  for (auto& entry : deferred) {
+    auto it = r.conns.find(entry.first);
+    if (it == r.conns.end()) {
+      continue;  // the client gave up while the attach ran
+    }
+    HandleRequest(r, it->second.conn.get(), std::move(entry.second));
+  }
+  // Frames that arrived while reads were live but decode was paused are
+  // still in the connection buffers; ids snapshot first because dispatch can
+  // close connections under us.
+  std::vector<uint64_t> ids;
+  ids.reserve(r.conns.size());
+  for (const auto& kv : r.conns) {
+    ids.push_back(kv.first);
+  }
+  for (const uint64_t id : ids) {
+    if (!ProcessBufferedFrames(r, id)) {
+      continue;
+    }
+    auto it = r.conns.find(id);
+    if (it != r.conns.end()) {
+      UpdateConnEvents(r, it->second);  // re-arm EPOLLIN dropped by the gate
+    }
+  }
+}
+
+Status Server::Impl::ShipSnapshot(Reactor& r) {
   const std::string staged = JoinPath(options_.data_dir, kReplSnapshotDirName);
   RemoveDirRecursively(staged);  // best effort; CreateDirs reports real failures
   FLOWKV_RETURN_IF_ERROR(CreateDirs(staged));
@@ -1490,98 +2356,196 @@ Status Server::Impl::ShipSnapshot() {
     FLOWKV_RETURN_IF_ERROR(ReadFileToString(JoinPath(staged, rel), &data));
     size_t offset = 0;
     do {  // do-while so empty files still ship one (empty) chunk
+      if (stop_requested_.load(std::memory_order_relaxed)) {
+        return Status::FailedPrecondition("server stopping");
+      }
       const size_t n = std::min(options_.repl_chunk_bytes, data.size() - offset);
       RequestMessage m;
-      m.request_id = repl_next_seq_++;
       OpRequest op;
       op.type = OpType::kSnapshotFile;
       op.path = rel;
       op.timestamp = static_cast<int64_t>(offset);
       op.value = data.substr(offset, n);
       m.ops.push_back(std::move(op));
-      if (!SendToReplica(m)) {
-        return Status::ConnectionReset("replica went away mid-snapshot");
+      {
+        std::lock_guard<std::mutex> lock(repl_mu_);
+        if (replica_conn_id_ == 0) {
+          return Status::ConnectionReset("replica went away mid-snapshot");
+        }
+        m.request_id = repl_next_seq_++;
+        if (!SendReplicaFrame(r, m)) {
+          return Status::ConnectionReset("replica went away mid-snapshot");
+        }
       }
       offset += n;
       shipped_bytes += n;
     } while (offset < data.size());
   }
   RequestMessage done;
-  done.request_id = repl_next_seq_++;
   OpRequest done_op;
   done_op.type = OpType::kSnapshotDone;
   done.ops.push_back(std::move(done_op));
-  if (!SendToReplica(done)) {
-    return Status::ConnectionReset("replica went away mid-snapshot");
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    if (replica_conn_id_ == 0) {
+      return Status::ConnectionReset("replica went away mid-snapshot");
+    }
+    done.request_id = repl_next_seq_++;
+    if (!SendReplicaFrame(r, done)) {
+      return Status::ConnectionReset("replica went away mid-snapshot");
+    }
   }
   FLOWKV_LOG(kInfo) << "replication snapshot shipped " << LogKv("files", files.size())
                     << LogKv("bytes", shipped_bytes);
   return Status::Ok();
 }
 
-bool Server::Impl::SendToReplica(const RequestMessage& message) {
-  auto it = conns_.find(replica_conn_id_);
-  if (it == conns_.end()) {
-    DropReplica("connection missing");
-    return false;
-  }
+bool Server::Impl::SendReplicaFrame(Reactor& r, const RequestMessage& message) {
+  // Caller holds repl_mu_ (sequence assignment and the send stay ordered).
+  (void)r;
   std::string payload;
   EncodeRequest(message, &payload);
-  std::string frame;
-  frame.reserve(payload.size() + kFrameHeaderBytes);
-  AppendFrame(&frame, payload);
-  m_bytes_out_->Add(static_cast<int64_t>(frame.size()));
-  m_repl_forwarded_->Add(1);
-  Connection* conn = it->second.get();
-  conn->QueueFrame(std::move(frame));
-  if (!conn->FlushWrites().ok()) {
-    DropReplica("send failed");
-    return false;
+  char header[kFrameHeaderBytes];
+  EncodeFrameHeader(Slice(payload), header);
+
+  if (tl_reactor == replica_reactor_ || single_threaded_) {
+    Reactor& rr = *reactors_[static_cast<size_t>(replica_reactor_)];
+    auto it = rr.conns.find(replica_conn_id_);
+    if (it == rr.conns.end()) {
+      return false;
+    }
+    rr.metrics.bytes_out->Add(static_cast<int64_t>(kFrameHeaderBytes + payload.size()));
+    rr.metrics.repl_forwarded->Add(1);
+    Connection* conn = it->second.conn.get();
+    conn->QueueFrameParts(std::string(header, kFrameHeaderBytes), std::move(payload));
+    return conn->FlushWrites().ok();
   }
-  return true;
+  // Cross-reactor forward: hand the encoded frame to the replica's owner.
+  // Queue order on that reactor preserves sequence order (we hold repl_mu_).
+  ReactorTask task;
+  task.kind = ReactorTask::Kind::kReplicaSend;
+  task.conn_id = replica_conn_id_;
+  task.frame_header.assign(header, kFrameHeaderBytes);
+  task.frame_payload = std::move(payload);
+  return PostTask(replica_reactor_, std::move(task));
 }
 
-void Server::Impl::HandleReplicaAck(uint64_t seq) {
-  if (seq > repl_acked_seq_) {
-    repl_acked_seq_ = seq;
+void Server::Impl::HandleReplicaAck(Reactor& r, uint64_t seq) {
+  (void)r;
+  std::vector<std::shared_ptr<PendingRequest>> released;
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    if (seq > repl_acked_seq_) {
+      repl_acked_seq_ = seq;
+    }
+    repl_last_progress_nanos_ = MonotonicNanos();
+    while (!parked_.empty() && parked_.begin()->first <= repl_acked_seq_) {
+      released.push_back(std::move(parked_.begin()->second));
+      parked_.erase(parked_.begin());
+    }
+    m_repl_parked_->Set(static_cast<int64_t>(parked_.size()));
   }
-  repl_last_progress_nanos_ = MonotonicNanos();
-  while (!parked_.empty() && parked_.begin()->first <= repl_acked_seq_) {
-    std::shared_ptr<PendingRequest> pending = std::move(parked_.begin()->second);
-    parked_.erase(parked_.begin());
-    SendResponse(pending);
+  for (const auto& pending : released) {
+    DeliverResponse(pending);
   }
-  m_repl_parked_->Set(static_cast<int64_t>(parked_.size()));
 }
 
-void Server::Impl::DropReplica(const std::string& reason) {
+Server::Impl::ReplicaDropActions Server::Impl::DropReplicaLocked(const std::string& reason) {
+  ReplicaDropActions actions;
   if (replica_conn_id_ == 0) {
-    return;
+    return actions;
   }
-  const uint64_t id = replica_conn_id_;
+  actions.close_conn_id = replica_conn_id_;
+  actions.close_reactor = replica_reactor_;
   replica_conn_id_ = 0;
+  replica_reactor_ = -1;
+  replica_conn_id_atomic_.store(0, std::memory_order_release);
   m_repl_drops_->Add(1);
-  FLOWKV_LOG(kWarn) << "dropping replica " << LogKv("conn", id)
+  FLOWKV_LOG(kWarn) << "dropping replica " << LogKv("conn", actions.close_conn_id)
                     << LogKv("reason", reason);
   // Nothing will ack the outstanding sequences now; release their responses.
   // The ops did execute locally, so delivery is at-least-once across a later
   // re-subscribe (docs/NETWORK.md).
-  ReleaseParked();
-  CloseConn(id);
-  obs::TriggerFlightRecord("replica dropped: " + reason);
+  for (auto& entry : parked_) {
+    actions.released.push_back(std::move(entry.second));
+  }
+  parked_.clear();
+  m_repl_parked_->Set(0);
+  actions.record = "replica dropped: " + reason;
+  return actions;
 }
 
-void Server::Impl::ReleaseParked() {
-  if (parked_.empty()) {
+void Server::Impl::ApplyReplicaDrop(ReplicaDropActions actions) {
+  if (actions.record.empty()) {
     return;
   }
-  std::map<uint64_t, std::shared_ptr<PendingRequest>> parked;
-  parked.swap(parked_);
-  m_repl_parked_->Set(0);
-  for (auto& entry : parked) {
-    SendResponse(entry.second);
+  for (const auto& pending : actions.released) {
+    DeliverResponse(pending);
+  }
+  if (actions.close_conn_id != 0 && actions.close_reactor >= 0) {
+    if (single_threaded_ || tl_reactor == actions.close_reactor) {
+      // replica_conn_id_ is already zeroed, so this close cannot recurse
+      // back into DropReplica.
+      CloseConnLocal(*reactors_[static_cast<size_t>(actions.close_reactor)],
+                     actions.close_conn_id);
+    } else {
+      ReactorTask task;
+      task.kind = ReactorTask::Kind::kCloseConn;
+      task.conn_id = actions.close_conn_id;
+      if (!PostTask(actions.close_reactor, std::move(task))) {
+        std::lock_guard<std::mutex> lock(registry_mu_);
+        conn_registry_.erase(actions.close_conn_id);
+        m_open_conns_->Set(static_cast<int64_t>(conn_registry_.size()));
+      }
+    }
+  }
+  obs::TriggerFlightRecord(actions.record);
+}
+
+void Server::Impl::DropReplica(const std::string& reason) {
+  ReplicaDropActions actions;
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    actions = DropReplicaLocked(reason);
+  }
+  ApplyReplicaDrop(std::move(actions));
+}
+
+void Server::Impl::CheckReplicaAckTimeout() {
+  ReplicaDropActions actions;
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    if (replica_conn_id_ == 0 || parked_.empty()) {
+      return;  // the timeout clock only runs while something waits for an ack
+    }
+    const int64_t now = MonotonicNanos();
+    if (now - repl_last_progress_nanos_ <
+        static_cast<int64_t>(options_.repl_ack_timeout_ms) * 1'000'000) {
+      return;
+    }
+    actions = DropReplicaLocked("ack timeout");
+  }
+  ApplyReplicaDrop(std::move(actions));
+}
+
+void Server::Impl::ReleaseParkedForDrain() {
+  std::vector<std::shared_ptr<PendingRequest>> released;
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    for (auto& entry : parked_) {
+      released.push_back(std::move(entry.second));
+    }
+    parked_.clear();
+    m_repl_parked_->Set(0);
+  }
+  for (const auto& pending : released) {
+    DeliverResponse(pending);
   }
 }
+
+// ---------------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------------
 
 Status Server::Impl::DrainCheckpoint() {
   FLOWKV_RETURN_IF_ERROR(CreateDirs(options_.checkpoint_dir));
@@ -1608,8 +2572,6 @@ Status Server::Impl::DrainCheckpoint() {
 }
 
 Status Server::Impl::CheckpointStoresTo(const std::string& staged) {
-  // Every shard checkpoints its half of every store on its own thread
-  // (preserving single-writer access), joined by a barrier.
   std::vector<StoreEntry*> entries;
   {
     std::lock_guard<std::mutex> lock(stores_mu_);
@@ -1617,18 +2579,51 @@ Status Server::Impl::CheckpointStoresTo(const std::string& staged) {
       entries.push_back(store.get());
     }
   }
+
+  if (single_threaded_) {
+    // Post-join epilogue (drain checkpoint): no pool left, run everything
+    // here.
+    for (StoreEntry* store : entries) {
+      for (int shard = 0; shard < options_.num_shards; ++shard) {
+        obs::WorkerScope worker_scope(shard);
+        FlowKvStore* kv = store->shards[static_cast<size_t>(shard)].get();
+        if (kv == nullptr) {
+          return Status::FailedPrecondition("store not open on shard");
+        }
+        FLOWKV_RETURN_IF_ERROR(kv->CheckpointTo(JoinPath(
+            staged, "s" + std::to_string(shard) + "_st" + std::to_string(store->id))));
+      }
+    }
+    return WriteFileDurably(JoinPath(staged, kStoresMetaName), SerializeStoresMeta());
+  }
+
+  // Live pool (snapshot attach): every shard checkpoints on its owning
+  // reactor — owned shards right here, the rest via tasks joined by a
+  // barrier. Single-writer access to the stores is preserved either way.
   auto barrier = std::make_shared<Barrier>();
   barrier->remaining = entries.size() * static_cast<size_t>(options_.num_shards);
   if (barrier->remaining > 0) {
     for (StoreEntry* store : entries) {
       for (int shard = 0; shard < options_.num_shards; ++shard) {
-        ShardTask task;
-        task.kind = ShardTask::Kind::kDrainCheckpoint;
-        task.store = store;
-        task.checkpoint_dir = JoinPath(
+        const std::string dir = JoinPath(
             staged, "s" + std::to_string(shard) + "_st" + std::to_string(store->id));
+        if (OwnerReactor(shard) == tl_reactor) {
+          obs::WorkerScope worker_scope(shard);
+          FlowKvStore* kv = store->shards[static_cast<size_t>(shard)].get();
+          barrier->Done(kv == nullptr
+                            ? Status::FailedPrecondition("store not open on shard")
+                            : kv->CheckpointTo(dir));
+          continue;
+        }
+        ReactorTask task;
+        task.kind = ReactorTask::Kind::kCheckpointShard;
+        task.shard = shard;
+        task.store = store;
+        task.checkpoint_dir = dir;
         task.barrier = barrier;
-        PushShardTask(shard, std::move(task));
+        if (!PostTask(OwnerReactor(shard), std::move(task))) {
+          barrier->Done(Status::FailedPrecondition("server stopping"));
+        }
       }
     }
     FLOWKV_RETURN_IF_ERROR(barrier->Wait());
@@ -1637,83 +2632,8 @@ Status Server::Impl::CheckpointStoresTo(const std::string& staged) {
 }
 
 // ---------------------------------------------------------------------------
-// Shard workers
+// Shard execution
 // ---------------------------------------------------------------------------
-
-void Server::Impl::ShardMain(int shard) {
-  // Shard workers label their metrics with worker = shard id.
-  obs::WorkerScope worker_scope(shard);
-  // Per-worker instrument (RelaxedCounter is single-writer).
-  obs::Counter* shed_deadline =
-      obs::MetricsRegistry::Global().GetCounter("server.shed_deadline");
-  ShardQueue& queue = *shard_queues_[static_cast<size_t>(shard)];
-  while (true) {
-    ShardTask task;
-    {
-      std::unique_lock<std::mutex> lock(queue.mu);
-      queue.cv.wait(lock, [&queue] { return !queue.tasks.empty(); });
-      task = std::move(queue.tasks.front());
-      queue.tasks.pop_front();
-    }
-    queue.depth.fetch_sub(1, std::memory_order_relaxed);
-    switch (task.kind) {
-      case ShardTask::Kind::kStop:
-        return;
-      case ShardTask::Kind::kDrainCheckpoint: {
-        FlowKvStore* kv = task.store->shards[static_cast<size_t>(shard)].get();
-        task.barrier->Done(kv == nullptr
-                               ? Status::FailedPrecondition("store not open on shard")
-                               : kv->CheckpointTo(task.checkpoint_dir));
-        break;
-      }
-      case ShardTask::Kind::kOps: {
-        PendingRequest* pending = task.pending.get();
-        const int64_t dequeue_nanos = MonotonicNanos();
-        obs::TraceCompleteSpan("server_queue_wait", "server", task.enqueue_nanos,
-                               dequeue_nanos, "trace_id",
-                               static_cast<int64_t>(pending->trace_id), "shard", shard);
-        AtomicMaxRelaxed(&pending->queue_wait_nanos, dequeue_nanos - task.enqueue_nanos);
-        // Deadline shedding: skip work the client has already given up on —
-        // unless its ops were forwarded to a standby, which will execute
-        // them; the primary must stay in lockstep.
-        const bool shed = pending->deadline_nanos != 0 && pending->repl_seq == 0 &&
-                          dequeue_nanos > pending->deadline_nanos;
-        if (shed) {
-          shed_deadline->Add(1);
-        }
-        for (const ShardWorkItem& item : task.items) {
-          const OpRequest& op = pending->ops[item.op_index];
-          OpResult* out = pending->fanout_partials[item.op_index].empty()
-                              ? &pending->results[item.op_index]
-                              : &pending->fanout_partials[item.op_index]
-                                     [static_cast<size_t>(shard)];
-          if (shed) {
-            out->type = op.type;
-            out->status = Status::TimedOut("deadline expired before execution");
-            continue;
-          }
-          ExecuteShardOp(shard, item.store, op, out);
-        }
-        const int64_t exec_end_nanos = MonotonicNanos();
-        obs::TraceCompleteSpan("server_exec", "server", dequeue_nanos, exec_end_nanos,
-                               "trace_id", static_cast<int64_t>(pending->trace_id),
-                               "ops", static_cast<int64_t>(task.items.size()));
-        AtomicMaxRelaxed(&pending->exec_nanos, exec_end_nanos - dequeue_nanos);
-        // acq_rel: the reactor's reads of our result slots happen after it
-        // observes the completion (via the queue mutex), and our writes
-        // happen before the decrement.
-        if (pending->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          {
-            std::lock_guard<std::mutex> lock(completions_mu_);
-            completions_.push_back(std::move(task.pending));
-          }
-          Wake();
-        }
-        break;
-      }
-    }
-  }
-}
 
 void Server::Impl::ExecuteShardOp(int shard, StoreEntry* store, const OpRequest& op,
                                   OpResult* out) {
@@ -1721,7 +2641,7 @@ void Server::Impl::ExecuteShardOp(int shard, StoreEntry* store, const OpRequest&
 
   if (op.type == OpType::kOpenStore) {
     // Retried opens only fill shards a previous attempt left null; this
-    // thread owns its slot, so the check is race-free.
+    // reactor owns its slot, so the check is race-free.
     out->status = store->shards[static_cast<size_t>(shard)] != nullptr
                       ? Status::Ok()
                       : OpenShardStore(shard, store);
@@ -1764,30 +2684,33 @@ void Server::Impl::ExecuteShardOp(int shard, StoreEntry* store, const OpRequest&
   }
   const int64_t start = MonotonicNanos();
 
+  // key_view()/value_view() hand the store borrowed slices directly — on the
+  // inline path these still point into the connection's rx buffer; the store
+  // API is Slice-in, so no copy happens until the store itself keeps data.
   switch (op.type) {
     case OpType::kAppendAligned:
-      out->status = kv->Append(op.key, op.value, op.window);
+      out->status = kv->Append(op.key_view(), op.value_view(), op.window);
       break;
     case OpType::kGetWindowChunk:
       out->status = kv->GetWindowChunk(op.window, &out->chunk, &out->done);
       break;
     case OpType::kAppendUnaligned:
-      out->status = kv->Append(op.key, op.value, op.window, op.timestamp);
+      out->status = kv->Append(op.key_view(), op.value_view(), op.window, op.timestamp);
       break;
     case OpType::kGetUnaligned:
-      out->status = kv->Get(op.key, op.window, &out->values);
+      out->status = kv->Get(op.key_view(), op.window, &out->values);
       break;
     case OpType::kMergeWindows:
-      out->status = kv->MergeWindows(op.key, op.sources, op.window);
+      out->status = kv->MergeWindows(op.key_view(), op.sources, op.window);
       break;
     case OpType::kRmwGet:
-      out->status = kv->Get(op.key, op.window, &out->accumulator);
+      out->status = kv->Get(op.key_view(), op.window, &out->accumulator);
       break;
     case OpType::kRmwPut:
-      out->status = kv->Put(op.key, op.window, op.value);
+      out->status = kv->Put(op.key_view(), op.window, op.value_view());
       break;
     case OpType::kRmwRemove:
-      out->status = kv->Remove(op.key, op.window);
+      out->status = kv->Remove(op.key_view(), op.window);
       break;
     case OpType::kCheckpoint:
       out->status = kv->CheckpointTo(JoinPath(op.path, "s" + std::to_string(shard)));

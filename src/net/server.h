@@ -1,21 +1,27 @@
-// The FlowKV state server: a poll-based reactor accepting length-prefixed
-// protocol frames, plus N shard worker threads that each own one
-// single-threaded FlowKvStore per registered store (docs/NETWORK.md).
+// The FlowKV state server: an epoll-based, thread-per-core reactor pool
+// accepting length-prefixed protocol frames (docs/NETWORK.md). Each of the
+// `reactor_threads` reactors owns one epoll instance; accepted connections
+// are pinned round-robin to a reactor for life, and shard `s` of every store
+// is owned by reactor `s % reactor_threads`.
 //
-// Sharding model: keys consistent-hash to one of `num_shards` shard workers
-// (the same Hash64 the stores use), so the paper's single-writer-per-
-// partition contract holds end to end — a (key, store) pair is only ever
-// touched by one shard thread. A request batch is split into per-shard
-// sub-batches executed in op order; aligned window scans drain the shards
-// one at a time through a reactor-held cursor.
+// Sharding model: keys consistent-hash to one of `num_shards` shards (the
+// same Hash64 the stores use), so the paper's single-writer-per-partition
+// contract holds end to end — a (key, store) pair is only ever touched by
+// its owning reactor thread. When a request arrives on the reactor that owns
+// the target shard, it executes inline with no queue hop; requests for
+// shards owned by another reactor keep the single-writer queue path (a FIFO
+// task posted to the owning reactor). A request batch is split into
+// per-shard sub-batches executed in op order; aligned window scans drain the
+// shards one at a time through a cursor.
 //
 // Backpressure: per-connection bounded outboxes (reads pause while a
 // connection's responses back up). Shutdown: RequestDrain() — what the
 // flowkv_server binary's SIGTERM handler triggers — stops accepting, lets
-// in-flight requests finish, flushes outboxes, checkpoints every shard of
-// every store through CheckpointWriter, commits the epoch via CURRENT, and
-// stops. A server started on the same directories restores the committed
-// epoch, so no acknowledged state is lost across a drain/restart cycle.
+// in-flight requests finish, flushes outboxes, joins the reactor pool,
+// checkpoints every shard of every store through CheckpointWriter, commits
+// the epoch via CURRENT, and stops. A server started on the same directories
+// restores the committed epoch, so no acknowledged state is lost across a
+// drain/restart cycle.
 #ifndef SRC_NET_SERVER_H_
 #define SRC_NET_SERVER_H_
 
@@ -36,8 +42,21 @@ struct ServerOptions {
   std::string bind_address = "127.0.0.1";
   int port = 0;  // 0 = pick an ephemeral port; see Server::port()
 
-  // Shard workers; each owns one single-threaded FlowKvStore per store.
+  // Optional AF_UNIX listener alongside the TCP one. Same wire protocol;
+  // saves the TCP loopback per-round-trip overhead for co-located clients
+  // (the loopback bench connects here). A stale socket file at this path is
+  // unlinked on startup, and the file is removed again at shutdown. Empty
+  // disables.
+  std::string unix_socket_path;
+
+  // Key shards; shard s is owned by reactor s % reactor_threads, which runs
+  // that shard's single-threaded FlowKvStore instances.
   int num_shards = 2;
+
+  // Reactor (event-loop) threads. 0 = min(num_shards, hardware threads).
+  // Values above num_shards are allowed: the extra reactors own no shards
+  // and serve pure connection I/O.
+  int reactor_threads = 0;
 
   // Live store data lives under data_dir/s<shard>/<store-ns>.
   std::string data_dir;
@@ -87,7 +106,7 @@ struct ServerOptions {
 class Server {
  public:
   // Binds, listens, restores from the latest checkpoint (when configured),
-  // and starts the reactor + shard threads.
+  // and starts the reactor pool.
   static Status Start(const ServerOptions& options, std::unique_ptr<Server>* out);
 
   // Hard-stops without checkpointing if still running.
@@ -100,12 +119,12 @@ class Server {
   int port() const { return port_; }
 
   // Async-signal-safe drain trigger: a SIGTERM handler may call this
-  // directly. The reactor finishes in-flight requests, checkpoints, and
-  // stops; join with AwaitTermination().
+  // directly. The reactors finish in-flight requests, checkpoint, and
+  // stop; join with AwaitTermination().
   void RequestDrain();
 
-  // Blocks until the reactor and shard threads exit; returns the drain
-  // checkpoint status (OK when checkpointing is disabled).
+  // Blocks until the reactor threads exit; returns the drain checkpoint
+  // status (OK when checkpointing is disabled).
   Status AwaitTermination();
 
   // RequestDrain() + AwaitTermination().

@@ -197,6 +197,28 @@ TEST(HashTest, ChecksumDetectsFlips) {
   EXPECT_NE(base, Checksum32(data.data(), data.size()));
 }
 
+TEST(HashTest, StreamingChecksumMatchesOneShotUnderAnyChunking) {
+  // The word-at-a-time checksum must be chunking-invariant: Update() calls
+  // split at arbitrary (including mid-word and zero-length) boundaries have
+  // to reproduce the one-shot value exactly.
+  std::string data;
+  for (int i = 0; i < 300; ++i) data.push_back(static_cast<char>(i * 31 + 7));
+  for (size_t len : {0ul, 1ul, 7ul, 8ul, 9ul, 63ul, 64ul, 65ul, 300ul}) {
+    const uint32_t oneshot = Checksum32(data.data(), len);
+    for (size_t chunk : {1ul, 3ul, 7ul, 8ul, 13ul, 64ul}) {
+      StreamingChecksum32 crc;
+      for (size_t off = 0; off < len; off += chunk) {
+        crc.Update(data.data() + off, std::min(chunk, len - off));
+      }
+      crc.Update(data.data(), 0);  // zero-length update is a no-op
+      EXPECT_EQ(oneshot, crc.Finish()) << "len=" << len << " chunk=" << chunk;
+    }
+    StreamingChecksum32 whole;
+    whole.Update(data.data(), len);
+    EXPECT_EQ(oneshot, whole.Finish()) << "len=" << len;
+  }
+}
+
 TEST(EnvTest, CreateListRemove) {
   std::string dir = MakeTempDir("env_test");
   EXPECT_TRUE(FileExists(dir));

@@ -12,9 +12,16 @@
 // exactly when the drain reported success.
 #include <gtest/gtest.h>
 
+#include <pthread.h>
+#include <signal.h>
+
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -163,6 +170,55 @@ TEST_F(NetChaosTest, RefusedConnectIsRetriedWithinTimeout) {
   ASSERT_TRUE(net::Client::Connect(RetryingOptions(), &client).ok());
   EXPECT_TRUE(client->Ping().ok());
   EXPECT_GE(faults_->injected_connect_failures(), 1);
+}
+
+TEST_F(NetChaosTest, SignalStormOnlyInterruptsNeverFails) {
+  // SIGUSR1 fired at the client thread every few hundred microseconds while
+  // latency faults widen every poll window, so connect()/poll()/send()/recv()
+  // keep returning EINTR mid-request. Interrupted waits must resume against
+  // the same absolute deadline — no spurious failures, no lost responses.
+  struct sigaction sa;
+  struct sigaction old_sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = [](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART: syscalls must see EINTR
+  ASSERT_EQ(0, ::sigaction(SIGUSR1, &sa, &old_sa));
+
+  SocketFaultPlan plan;
+  plan.latency_prob = 0.2;
+  plan.latency_min_ms = 1;
+  plan.latency_max_ms = 4;
+  faults_->SetPlan(plan);
+
+  std::atomic<bool> stop{false};
+  const pthread_t victim = pthread_self();
+  std::thread storm([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      ::pthread_kill(victim, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+  });
+
+  std::unique_ptr<net::Client> client;
+  ASSERT_TRUE(net::Client::Connect(RetryingOptions(), &client).ok());
+  uint64_t handle = 0;
+  ASSERT_TRUE(client->OpenStore("chaos.eintr.h0", RmwSpec("chaos"), &handle, nullptr).ok());
+  const Window w(0, 1000);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(client->RmwPut(handle, "k" + std::to_string(i), w, "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(client->Flush().ok());
+  for (int i = 0; i < 200; ++i) {
+    std::string value;
+    ASSERT_TRUE(client->RmwGet(handle, "k" + std::to_string(i), w, &value).ok());
+    EXPECT_EQ(value, "v" + std::to_string(i));
+  }
+
+  stop.store(true);
+  storm.join();
+  ::sigaction(SIGUSR1, &old_sa, nullptr);
+  faults_->ClearFaults();
 }
 
 TEST_F(NetChaosTest, SendResetIsRetriedAndIdempotentWritesSurvive) {

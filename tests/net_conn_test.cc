@@ -1,0 +1,286 @@
+// Unit tests for the reactor server's per-connection buffer management
+// (src/net/conn.{h,cc}): read-buffer Consume/compaction boundaries, partial
+// writes across FlushWrites calls, exact outbox byte accounting, and the
+// zero-progress send regression (a stalled socket must be treated as
+// would-block, never spun on or surfaced as an error).
+#include "src/net/conn.h"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/common/fault_injection_socket.h"
+#include "src/common/net_hooks.h"
+#include "src/common/status.h"
+
+namespace flowkv {
+namespace net {
+namespace {
+
+// A connected AF_UNIX pair; `conn` owns one end (nonblocking), the test
+// drives the other end directly.
+class ConnPair {
+ public:
+  ConnPair(size_t max_outbox_bytes = 1 << 20) {
+    int fds[2];
+    EXPECT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+    const int flags = ::fcntl(fds[0], F_GETFL, 0);
+    ::fcntl(fds[0], F_SETFL, flags | O_NONBLOCK);
+    conn_fd_ = fds[0];
+    peer_fd_ = fds[1];
+    conn_ = new Connection(/*id=*/1, conn_fd_, max_outbox_bytes);
+  }
+  ~ConnPair() {
+    delete conn_;  // closes conn_fd_
+    ::close(peer_fd_);
+  }
+
+  Connection& conn() { return *conn_; }
+  int peer_fd() const { return peer_fd_; }
+
+  void PeerSend(const std::string& data) {
+    size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::send(peer_fd_, data.data() + off, data.size() - off, 0);
+      ASSERT_GT(n, 0);
+      off += static_cast<size_t>(n);
+    }
+  }
+
+  // Drains everything currently readable on the peer end.
+  std::string PeerRecvAll() {
+    const int flags = ::fcntl(peer_fd_, F_GETFL, 0);
+    ::fcntl(peer_fd_, F_SETFL, flags | O_NONBLOCK);
+    std::string out;
+    char buf[4096];
+    while (true) {
+      const ssize_t n = ::recv(peer_fd_, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+    ::fcntl(peer_fd_, F_SETFL, flags);
+    return out;
+  }
+
+ private:
+  int conn_fd_;
+  int peer_fd_;
+  Connection* conn_;
+};
+
+// Installs hooks for the test body, uninstalls on scope exit.
+class ScopedNetHooks {
+ public:
+  explicit ScopedNetHooks(NetHooks* hooks) { InstallNetHooks(hooks); }
+  ~ScopedNetHooks() { InstallNetHooks(nullptr); }
+};
+
+char PatternByte(size_t i) { return static_cast<char>('a' + (i % 23)); }
+
+std::string PatternString(size_t offset, size_t n) {
+  std::string s(n, 0);
+  for (size_t i = 0; i < n; ++i) s[i] = PatternByte(offset + i);
+  return s;
+}
+
+TEST(NetConnTest, ConsumeTracksBufferedWindow) {
+  ConnPair p;
+  p.PeerSend("hello world");
+  bool eof = false;
+  ASSERT_TRUE(p.conn().ReadFromSocket(&eof).ok());
+  ASSERT_FALSE(eof);
+  ASSERT_EQ("hello world", p.conn().buffered().ToString());
+
+  p.conn().Consume(6);
+  EXPECT_EQ("world", p.conn().buffered().ToString());
+
+  // Consuming everything resets the buffer entirely.
+  p.conn().Consume(5);
+  EXPECT_EQ(0u, p.conn().buffered().size());
+
+  // New bytes land in a fresh window.
+  p.PeerSend("again");
+  ASSERT_TRUE(p.conn().ReadFromSocket(&eof).ok());
+  EXPECT_EQ("again", p.conn().buffered().ToString());
+}
+
+TEST(NetConnTest, ConsumeCompactionPreservesUnparsedSuffix) {
+  // Accumulate well past the 256 KiB compaction threshold, then consume a
+  // prefix large enough to trigger compaction (consumed > threshold and
+  // consumed > half the buffer). The unparsed suffix must survive byte-exact.
+  ConnPair p;
+  constexpr size_t kTotal = 600 * 1024;
+  constexpr size_t kChunk = 32 * 1024;
+  size_t sent = 0;
+  bool eof = false;
+  while (sent < kTotal) {
+    const size_t n = std::min(kChunk, kTotal - sent);
+    p.PeerSend(PatternString(sent, n));
+    ASSERT_TRUE(p.conn().ReadFromSocket(&eof).ok());
+    ASSERT_FALSE(eof);
+    sent += n;
+  }
+  ASSERT_EQ(kTotal, p.conn().buffered().size());
+
+  // Small consume: below the threshold, no compaction, window just narrows.
+  p.conn().Consume(100);
+  ASSERT_EQ(kTotal - 100, p.conn().buffered().size());
+  EXPECT_EQ(PatternByte(100), p.conn().buffered().data()[0]);
+
+  // Push cumulative consumption past 256 KiB and past half the buffer.
+  constexpr size_t kPrefix = 320 * 1024;
+  p.conn().Consume(kPrefix - 100);
+  ASSERT_EQ(kTotal - kPrefix, p.conn().buffered().size());
+  const Slice rest = p.conn().buffered();
+  for (size_t i = 0; i < rest.size(); ++i) {
+    ASSERT_EQ(PatternByte(kPrefix + i), rest.data()[i]) << "at offset " << i;
+  }
+
+  // Consume the remainder across the (possibly compacted) buffer.
+  p.conn().Consume(rest.size());
+  EXPECT_EQ(0u, p.conn().buffered().size());
+}
+
+TEST(NetConnTest, OutboxByteAccountingIsExact) {
+  ConnPair p;
+  EXPECT_EQ(0u, p.conn().outbox_bytes());
+  EXPECT_FALSE(p.conn().has_pending_writes());
+
+  p.conn().QueueFrameParts(std::string(8, 'h'), std::string(100, 'p'));
+  EXPECT_EQ(108u, p.conn().outbox_bytes());
+  // An empty payload queues only the header.
+  p.conn().QueueFrameParts(std::string(8, 'H'), "");
+  EXPECT_EQ(116u, p.conn().outbox_bytes());
+  p.conn().QueueFrame(std::string(40, 'f'));
+  EXPECT_EQ(156u, p.conn().outbox_bytes());
+  EXPECT_TRUE(p.conn().has_pending_writes());
+
+  ASSERT_TRUE(p.conn().FlushWrites().ok());
+  EXPECT_EQ(0u, p.conn().outbox_bytes());
+  EXPECT_FALSE(p.conn().has_pending_writes());
+
+  const std::string wire = p.PeerRecvAll();
+  EXPECT_EQ(std::string(8, 'h') + std::string(100, 'p') + std::string(8, 'H') +
+                std::string(40, 'f'),
+            wire);
+}
+
+TEST(NetConnTest, OverOutboxBudgetAndManyBuffers) {
+  // More buffers than one sendmsg gathers (kMaxFlushIovecs = 64): the flush
+  // loop must issue several gathers and still deliver every byte in order.
+  ConnPair p(/*max_outbox_bytes=*/64);
+  std::string expect;
+  for (int i = 0; i < 100; ++i) {
+    std::string frame = PatternString(static_cast<size_t>(i) * 7, 7);
+    expect += frame;
+    p.conn().QueueFrame(std::move(frame));
+  }
+  EXPECT_EQ(700u, p.conn().outbox_bytes());
+  EXPECT_TRUE(p.conn().over_outbox_budget());
+
+  ASSERT_TRUE(p.conn().FlushWrites().ok());
+  EXPECT_EQ(0u, p.conn().outbox_bytes());
+  EXPECT_FALSE(p.conn().over_outbox_budget());
+  EXPECT_EQ(expect, p.PeerRecvAll());
+}
+
+// Clamps every send to a fixed byte count, so a frame is forced through the
+// socket in slivers and partial-progress bookkeeping (front_offset_, the
+// iovec trim) is exercised on every call.
+class ClampSendHooks : public NetHooks {
+ public:
+  explicit ClampSendHooks(size_t clamp) : clamp_(clamp) {}
+  Status PreSend(int fd, size_t* n) override {
+    ++calls_;
+    *n = std::min(*n, clamp_);
+    return Status::Ok();
+  }
+  int calls() const { return calls_; }
+
+ private:
+  size_t clamp_;
+  int calls_ = 0;
+};
+
+TEST(NetConnTest, PartialWritesAcrossFlushes) {
+  ConnPair p;
+  ClampSendHooks clamp(/*clamp=*/7);
+  ScopedNetHooks scoped(&clamp);
+
+  const std::string header(8, 'h');
+  const std::string payload = PatternString(0, 95);
+  p.conn().QueueFrameParts(header, payload);
+  ASSERT_EQ(103u, p.conn().outbox_bytes());
+
+  // One FlushWrites drains everything in 7-byte slivers — 103 bytes is 15
+  // sends — and the accounting lands on exactly zero.
+  ASSERT_TRUE(p.conn().FlushWrites().ok());
+  EXPECT_EQ(0u, p.conn().outbox_bytes());
+  EXPECT_FALSE(p.conn().has_pending_writes());
+  EXPECT_GE(clamp.calls(), 15);
+  EXPECT_EQ(header + payload, p.PeerRecvAll());
+}
+
+// Clamps every send to zero: the socket accepts nothing, forever.
+class StallAllSendsHooks : public NetHooks {
+ public:
+  Status PreSend(int fd, size_t* n) override {
+    ++calls_;
+    *n = 0;
+    return Status::Ok();
+  }
+  int calls() const { return calls_; }
+
+ private:
+  int calls_ = 0;
+};
+
+TEST(NetConnTest, ZeroProgressSendIsWouldBlockNotASpin) {
+  ConnPair p;
+  StallAllSendsHooks stall;
+  ScopedNetHooks scoped(&stall);
+
+  p.conn().QueueFrameParts(std::string(8, 'h'), std::string(32, 'p'));
+  // The stall persists across retries, so a FlushWrites that treated zero
+  // progress as "try again" would loop forever. It must instead return Ok
+  // after a single probe, leaving the outbox intact for the next writable
+  // event.
+  ASSERT_TRUE(p.conn().FlushWrites().ok());
+  EXPECT_EQ(1, stall.calls());
+  EXPECT_TRUE(p.conn().has_pending_writes());
+  EXPECT_EQ(40u, p.conn().outbox_bytes());
+}
+
+TEST(NetConnTest, FlushRecoversAfterOneShotStall) {
+  // Same regression through the real chaos hook: FaultInjectionSocket's
+  // one-shot StallSendAt clamps the next send to 0 bytes; the flush must
+  // report would-block, keep the frame queued, and deliver it on the retry.
+  ConnPair p;
+  FaultInjectionSocket faults;
+  ScopedNetHooks scoped(&faults);
+
+  const std::string header(8, 'h');
+  const std::string payload = PatternString(3, 64);
+  p.conn().QueueFrameParts(header, payload);
+
+  faults.StallSendAt(0);  // the very next send
+  ASSERT_TRUE(p.conn().FlushWrites().ok());
+  EXPECT_EQ(1, faults.injected_short_ios());
+  EXPECT_TRUE(p.conn().has_pending_writes());
+  EXPECT_EQ(72u, p.conn().outbox_bytes());
+  EXPECT_EQ("", p.PeerRecvAll());
+
+  // Next writable event: the stall was one-shot, the frame goes through.
+  ASSERT_TRUE(p.conn().FlushWrites().ok());
+  EXPECT_FALSE(p.conn().has_pending_writes());
+  EXPECT_EQ(0u, p.conn().outbox_bytes());
+  EXPECT_EQ(header + payload, p.PeerRecvAll());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace flowkv

@@ -519,6 +519,132 @@ TEST(NetClientConnectTest, RefusedConnectionFails) {
   EXPECT_FALSE(s.ok());
 }
 
+// The same multi-client workload against explicit reactor pool sizes:
+// 1 reactor (every shard owned by one thread, everything inline), 3 reactors
+// (one shard each with num_shards=3), and 5 (more reactors than shards, so
+// some connections land on pure-I/O reactors and every request they carry is
+// a cross-reactor hop).
+class NetReactorThreadsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NetReactorThreadsTest, ConcurrentClientsAcrossShards) {
+  const std::string dir = MakeTempDir("net_reactors");
+  ServerOptions sopts;
+  sopts.num_shards = 3;
+  sopts.reactor_threads = GetParam();
+  sopts.data_dir = JoinPath(dir, "data");
+  sopts.checkpoint_dir = JoinPath(dir, "ckpt");
+  std::unique_ptr<Server> server;
+  ASSERT_TRUE(Server::Start(sopts, &server).ok());
+
+  constexpr int kClients = 4;
+  constexpr int kOpsPerClient = 200;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientOptions copts;
+      copts.port = server->port();
+      copts.request_timeout_ms = 20'000;
+      std::unique_ptr<Client> client;
+      if (!Client::Connect(copts, &client).ok()) {
+        ++failures;
+        return;
+      }
+      uint64_t h = 0;
+      const std::string name = "t.reactors.c" + std::to_string(c);
+      if (!client->OpenStore(name, RmwSpec(name), &h, nullptr).ok()) {
+        ++failures;
+        return;
+      }
+      const Window w(0, 1000);
+      for (int i = 0; i < kOpsPerClient; ++i) {
+        const std::string key = "k" + std::to_string(i);  // spreads over shards
+        if (!client->RmwPut(h, key, w, "v" + std::to_string(i)).ok()) {
+          ++failures;
+          return;
+        }
+      }
+      if (!client->Flush().ok()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < kOpsPerClient; ++i) {
+        std::string acc;
+        if (!client->RmwGet(h, "k" + std::to_string(i), w, &acc).ok() ||
+            acc != "v" + std::to_string(i)) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(0, failures.load()) << "with reactor_threads=" << GetParam();
+
+  server->Stop();
+  RemoveDirRecursively(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(ReactorPoolSizes, NetReactorThreadsTest,
+                         ::testing::Values(1, 3, 5));
+
+// The AF_UNIX transport speaks the exact same protocol as TCP: a client
+// connected over the socket file and one connected over 127.0.0.1 see each
+// other's writes, and the socket file is removed once the server stops.
+TEST(NetUnixSocketTest, UnixAndTcpClientsShareState) {
+  const std::string dir = MakeTempDir("net_unix");
+  ServerOptions sopts;
+  sopts.num_shards = 2;
+  sopts.data_dir = JoinPath(dir, "data");
+  sopts.unix_socket_path = JoinPath(dir, "flowkv.sock");
+  std::unique_ptr<Server> server;
+  ASSERT_TRUE(Server::Start(sopts, &server).ok());
+
+  ClientOptions uopts;
+  uopts.unix_socket_path = sopts.unix_socket_path;
+  uopts.request_timeout_ms = 20'000;
+  std::unique_ptr<Client> unix_client;
+  ASSERT_TRUE(Client::Connect(uopts, &unix_client).ok());
+
+  ClientOptions topts;
+  topts.port = server->port();
+  topts.request_timeout_ms = 20'000;
+  std::unique_ptr<Client> tcp_client;
+  ASSERT_TRUE(Client::Connect(topts, &tcp_client).ok());
+
+  const std::string name = "t.unix";
+  uint64_t uh = 0, th = 0;
+  ASSERT_TRUE(unix_client->OpenStore(name, RmwSpec(name), &uh, nullptr).ok());
+  ASSERT_TRUE(tcp_client->OpenStore(name, RmwSpec(name), &th, nullptr).ok());
+
+  const Window w(0, 1000);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(unix_client->RmwPut(uh, "uk" + std::to_string(i), w,
+                                    "uv" + std::to_string(i))
+                    .ok());
+  }
+  ASSERT_TRUE(unix_client->Flush().ok());
+
+  for (int i = 0; i < 64; ++i) {
+    std::string acc;
+    ASSERT_TRUE(tcp_client->RmwGet(th, "uk" + std::to_string(i), w, &acc).ok());
+    EXPECT_EQ("uv" + std::to_string(i), acc);
+  }
+  std::string acc;
+  ASSERT_TRUE(tcp_client->RmwPut(th, "tk", w, "tv").ok());
+  ASSERT_TRUE(tcp_client->Flush().ok());
+  ASSERT_TRUE(unix_client->RmwGet(uh, "tk", w, &acc).ok());
+  EXPECT_EQ("tv", acc);
+
+  unix_client.reset();
+  tcp_client.reset();
+  server->Stop();
+  EXPECT_FALSE(FileExists(sopts.unix_socket_path))
+      << "socket file should be unlinked at shutdown";
+  server.reset();
+  RemoveDirRecursively(dir);
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace flowkv

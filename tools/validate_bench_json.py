@@ -1,16 +1,26 @@
 #!/usr/bin/env python3
-"""Schema validator for bench_runner output (bench/bench_runner.h).
+"""Schema validator and baseline comparator for bench_runner output
+(bench/bench_runner.h).
 
-Fails (exit 1) on missing keys, wrong types, empty row sets, or any
-non-finite number anywhere in the document — the properties CI's
+Validate mode fails (exit 1) on missing keys, wrong types, empty row sets,
+or any non-finite number anywhere in the document — the properties CI's
 bench-smoke job guards. Absolute perf numbers are machine-local and are
 deliberately NOT checked.
 
+Compare mode diffs two documents' throughput rows (fig08/fig09/fig13
+events_per_sec, loopback req_per_sec) and emits a GitHub `::warning::`
+annotation for every row regressing by more than 10%. Regressions are
+advisory — CI runners are noisy — so compare mode always exits 0 unless a
+file is unreadable.
+
 Usage: validate_bench_json.py BENCH.json
+       validate_bench_json.py --compare NEW.json BASELINE.json
 """
 import json
 import math
 import sys
+
+REGRESSION_THRESHOLD = 0.10  # fractional throughput drop that draws a warning
 
 FIG_KEYS = {
     "query": str,
@@ -74,7 +84,69 @@ def check_finite(value, path):
             check_finite(v, f"{path}[{i}]")
 
 
+def row_key(bench, row):
+    """Identity of a row within its bench, for matching across documents."""
+    if bench == "fig08":
+        return (row.get("query"), row.get("backend"), row.get("window_s"))
+    if bench == "fig09":
+        return (row.get("query"), row.get("backend"), row.get("window_s"),
+                row.get("rate"))
+    if bench == "fig13":
+        return (row.get("query"), row.get("backend"), row.get("workers"))
+    # loopback: keyed by client count only, so documents written before the
+    # reactor_threads field still match.
+    return (row.get("clients"),)
+
+
+def compare(new_path, base_path):
+    with open(new_path) as f:
+        new_doc = json.load(f)
+    with open(base_path) as f:
+        base_doc = json.load(f)
+
+    metric_by_bench = {
+        "fig08": "events_per_sec",
+        "fig09": "events_per_sec",
+        "fig13": "events_per_sec",
+        "loopback": "req_per_sec",
+    }
+    compared = 0
+    regressed = 0
+    for bench, metric in metric_by_bench.items():
+        base_rows = {}
+        for row in base_doc.get("benches", {}).get(bench, []):
+            base_rows[row_key(bench, row)] = row
+        for row in new_doc.get("benches", {}).get(bench, []):
+            base = base_rows.get(row_key(bench, row))
+            if base is None:
+                continue  # new configuration point; nothing to compare against
+            if not (row.get("ok") and base.get("ok")):
+                continue
+            old_v = base.get(metric)
+            new_v = row.get(metric)
+            if not isinstance(old_v, (int, float)) or old_v <= 0:
+                continue
+            if not isinstance(new_v, (int, float)):
+                continue
+            compared += 1
+            delta = new_v / old_v - 1
+            label = f"{bench}{list(row_key(bench, row))}"
+            if -delta > REGRESSION_THRESHOLD:
+                regressed += 1
+                print(f"::warning title=bench regression::{label} {metric} "
+                      f"{old_v:.1f} -> {new_v:.1f} ({delta:+.1%} vs "
+                      f"{base_path})")
+            else:
+                print(f"validate_bench_json: {label} {metric} "
+                      f"{old_v:.1f} -> {new_v:.1f} ({delta:+.1%})")
+    print(f"validate_bench_json: compared {compared} rows, "
+          f"{regressed} regressed >{REGRESSION_THRESHOLD:.0%}")
+    return 0
+
+
 def main():
+    if len(sys.argv) == 4 and sys.argv[1] == "--compare":
+        return compare(sys.argv[2], sys.argv[3])
     if len(sys.argv) != 2:
         print(__doc__, file=sys.stderr)
         return 2
