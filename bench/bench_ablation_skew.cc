@@ -39,7 +39,7 @@ BenchResult RunSkewed(const BenchRun& base, double skew) {
   }
   result.throughput = report.Throughput();
   result.stats = report.AggregateStoreStats();
-  RemoveDirRecursively(dir);
+  RemoveDirRecursively(dir).IgnoreError();
   return result;
 }
 

@@ -262,7 +262,7 @@ inline BenchResult ExecuteBench(const BenchRun& run) {
     result.p95_latency_ms = latency.Percentile(95);
     result.p99_latency_ms = latency.Percentile(99);
   }
-  RemoveDirRecursively(dir);
+  RemoveDirRecursively(dir).IgnoreError();
   return result;
 }
 

@@ -4,6 +4,8 @@
 // and the m-partition ablation (compaction pause smoothing, paper §3).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -27,40 +29,50 @@ namespace {
 
 std::string Key(uint64_t i) { return "key" + std::to_string(i); }
 
+// Benchmarks dereference the store right after Open; a silent Open failure
+// would crash with a useless null-deref, so abort with the status instead.
+void CheckOk(const Status& s, const char* what) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, s.ToString().c_str());
+    std::abort();
+  }
+}
+
 // ----------------------------- RMW pattern ops -----------------------------
 
 void BM_LsmRmwPut(benchmark::State& state) {
   const std::string dir = MakeTempDir("bm_lsm");
   std::unique_ptr<LsmStore> store;
-  LsmStore::Open(dir, LsmOptions{}, std::make_unique<ListAppendMergeOperator>(), &store);
+  CheckOk(LsmStore::Open(dir, LsmOptions{}, std::make_unique<ListAppendMergeOperator>(), &store),
+          "open lsm");
   Random rng(1);
   const std::string value(16, 'v');
   for (auto _ : state) {
     benchmark::DoNotOptimize(store->Put(Key(rng.Uniform(10'000)), value));
   }
   state.SetItemsProcessed(state.iterations());
-  RemoveDirRecursively(dir);
+  RemoveDirRecursively(dir).IgnoreError();
 }
 BENCHMARK(BM_LsmRmwPut);
 
 void BM_HashKvRmwUpsert(benchmark::State& state) {
   const std::string dir = MakeTempDir("bm_hkv");
   std::unique_ptr<HashKvStore> store;
-  HashKvStore::Open(dir, HashKvOptions{}, &store);
+  CheckOk(HashKvStore::Open(dir, HashKvOptions{}, &store), "open hashkv");
   Random rng(1);
   const std::string value(16, 'v');
   for (auto _ : state) {
     benchmark::DoNotOptimize(store->Upsert(Key(rng.Uniform(10'000)), value));
   }
   state.SetItemsProcessed(state.iterations());
-  RemoveDirRecursively(dir);
+  RemoveDirRecursively(dir).IgnoreError();
 }
 BENCHMARK(BM_HashKvRmwUpsert);
 
 void BM_FlowKvRmwPut(benchmark::State& state) {
   const std::string dir = MakeTempDir("bm_frmw");
   std::unique_ptr<RmwStore> store;
-  RmwStore::Open(dir, FlowKvOptions{}, &store);
+  CheckOk(RmwStore::Open(dir, FlowKvOptions{}, &store), "open rmw");
   Random rng(1);
   const std::string value(16, 'v');
   const Window w(0, 1'000'000);
@@ -68,7 +80,7 @@ void BM_FlowKvRmwPut(benchmark::State& state) {
     benchmark::DoNotOptimize(store->Put(Key(rng.Uniform(10'000)), w, value));
   }
   state.SetItemsProcessed(state.iterations());
-  RemoveDirRecursively(dir);
+  RemoveDirRecursively(dir).IgnoreError();
 }
 BENCHMARK(BM_FlowKvRmwPut);
 
@@ -79,7 +91,8 @@ BENCHMARK(BM_FlowKvRmwPut);
 void BM_LsmAppend(benchmark::State& state) {
   const std::string dir = MakeTempDir("bm_lsma");
   std::unique_ptr<LsmStore> store;
-  LsmStore::Open(dir, LsmOptions{}, std::make_unique<ListAppendMergeOperator>(), &store);
+  CheckOk(LsmStore::Open(dir, LsmOptions{}, std::make_unique<ListAppendMergeOperator>(), &store),
+          "open lsm");
   const int64_t keys = state.range(0);
   std::string element;
   EncodeListElement(&element, std::string(84, 'b'));
@@ -88,14 +101,14 @@ void BM_LsmAppend(benchmark::State& state) {
     benchmark::DoNotOptimize(store->Merge(Key(i++ % keys), element));
   }
   state.SetItemsProcessed(state.iterations());
-  RemoveDirRecursively(dir);
+  RemoveDirRecursively(dir).IgnoreError();
 }
 BENCHMARK(BM_LsmAppend)->Arg(1000)->Arg(100)->Arg(10);
 
 void BM_HashKvAppend(benchmark::State& state) {
   const std::string dir = MakeTempDir("bm_hkva");
   std::unique_ptr<HashKvStore> store;
-  HashKvStore::Open(dir, HashKvOptions{}, &store);
+  CheckOk(HashKvStore::Open(dir, HashKvOptions{}, &store), "open hashkv");
   const int64_t keys = state.range(0);
   std::string element;
   EncodeListElement(&element, std::string(84, 'b'));
@@ -109,14 +122,14 @@ void BM_HashKvAppend(benchmark::State& state) {
     benchmark::DoNotOptimize(s);
   }
   state.SetItemsProcessed(state.iterations());
-  RemoveDirRecursively(dir);
+  RemoveDirRecursively(dir).IgnoreError();
 }
 BENCHMARK(BM_HashKvAppend)->Arg(1000)->Arg(100)->Arg(10);
 
 void BM_FlowKvAarAppend(benchmark::State& state) {
   const std::string dir = MakeTempDir("bm_faar");
   std::unique_ptr<AarStore> store;
-  AarStore::Open(dir, FlowKvOptions{}, &store);
+  CheckOk(AarStore::Open(dir, FlowKvOptions{}, &store), "open aar");
   const int64_t keys = state.range(0);
   const std::string value(84, 'b');
   const Window w(0, 1'000'000);
@@ -125,14 +138,15 @@ void BM_FlowKvAarAppend(benchmark::State& state) {
     benchmark::DoNotOptimize(store->Append(Key(i++ % keys), value, w));
   }
   state.SetItemsProcessed(state.iterations());
-  RemoveDirRecursively(dir);
+  RemoveDirRecursively(dir).IgnoreError();
 }
 BENCHMARK(BM_FlowKvAarAppend)->Arg(1000)->Arg(100)->Arg(10);
 
 void BM_FlowKvAurAppend(benchmark::State& state) {
   const std::string dir = MakeTempDir("bm_faur");
   std::unique_ptr<AurStore> store;
-  AurStore::Open(dir, FlowKvOptions{}, std::make_unique<SessionEttPredictor>(1000), &store);
+  CheckOk(AurStore::Open(dir, FlowKvOptions{}, std::make_unique<SessionEttPredictor>(1000), &store),
+          "open aur");
   const int64_t keys = state.range(0);
   const std::string value(84, 'b');
   uint64_t i = 0;
@@ -144,7 +158,7 @@ void BM_FlowKvAurAppend(benchmark::State& state) {
                                             static_cast<int64_t>(k) * 1000 + 1000), ts++));
   }
   state.SetItemsProcessed(state.iterations());
-  RemoveDirRecursively(dir);
+  RemoveDirRecursively(dir).IgnoreError();
 }
 BENCHMARK(BM_FlowKvAurAppend)->Arg(1000)->Arg(100)->Arg(10);
 
@@ -164,7 +178,7 @@ void BM_FlowKvPartitionPause(benchmark::State& state) {
   options.write_buffer_bytes = 64 * 1024;
   options.max_space_amplification = 1.3;
   std::unique_ptr<FlowKvStore> store;
-  FlowKvStore::Open(dir, options, spec, &store);
+  CheckOk(FlowKvStore::Open(dir, options, spec, &store), "open flowkv");
   Random rng(1);
   const Window w(0, 1'000'000);
   const std::string value(64, 'v');
@@ -177,7 +191,7 @@ void BM_FlowKvPartitionPause(benchmark::State& state) {
   state.counters["max_pause_us"] =
       benchmark::Counter(static_cast<double>(max_pause_ns) / 1e3);
   state.SetItemsProcessed(state.iterations());
-  RemoveDirRecursively(dir);
+  RemoveDirRecursively(dir).IgnoreError();
 }
 BENCHMARK(BM_FlowKvPartitionPause)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
@@ -189,10 +203,12 @@ void BM_FlowKvAurGetPrefetched(benchmark::State& state) {
   options.write_buffer_bytes = 1;  // everything on disk
   options.read_batch_ratio = 0.05;
   std::unique_ptr<AurStore> store;
-  AurStore::Open(dir, options, std::make_unique<SessionEttPredictor>(10), &store);
+  CheckOk(AurStore::Open(dir, options, std::make_unique<SessionEttPredictor>(10), &store),
+          "open aur");
   const int kWindows = 4096;
   for (int i = 0; i < kWindows; ++i) {
-    store->Append(Key(i), std::string(84, 'b'), Window(i * 100, i * 100 + 100), i * 100);
+    CheckOk(store->Append(Key(i), std::string(84, 'b'), Window(i * 100, i * 100 + 100), i * 100),
+            "seed append");
   }
   int i = 0;
   std::vector<std::string> values;
@@ -201,7 +217,8 @@ void BM_FlowKvAurGetPrefetched(benchmark::State& state) {
       // Refill outside timing once drained.
       state.PauseTiming();
       for (int j = 0; j < kWindows; ++j) {
-        store->Append(Key(j), std::string(84, 'b'), Window(j * 100, j * 100 + 100), j * 100);
+        CheckOk(store->Append(Key(j), std::string(84, 'b'), Window(j * 100, j * 100 + 100), j * 100),
+                "refill append");
       }
       i = 0;
       state.ResumeTiming();
@@ -211,7 +228,7 @@ void BM_FlowKvAurGetPrefetched(benchmark::State& state) {
   }
   state.counters["hit_ratio"] = benchmark::Counter(store->stats().PrefetchHitRatio());
   state.SetItemsProcessed(state.iterations());
-  RemoveDirRecursively(dir);
+  RemoveDirRecursively(dir).IgnoreError();
 }
 BENCHMARK(BM_FlowKvAurGetPrefetched);
 

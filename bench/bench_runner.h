@@ -216,7 +216,7 @@ inline LoopbackRow RunLoopbackPoint(int clients, uint64_t ops_per_client,
   Status s = net::Server::Start(sopts, &server);
   if (!s.ok()) {
     row.fail_reason = s.ToString();
-    RemoveDirRecursively(sopts.data_dir);
+    RemoveDirRecursively(sopts.data_dir).IgnoreError();
     return row;
   }
   const int port = server->port();
@@ -308,8 +308,11 @@ inline LoopbackRow RunLoopbackPoint(int clients, uint64_t ops_per_client,
   double bytes_in_after = 0, bytes_out_after = 0;
   const bool have_bytes = fetch_bytes(&bytes_in_after, &bytes_out_after);
 
-  server->DrainAndStop();
-  RemoveDirRecursively(sopts.data_dir);
+  const Status stop_status = server->DrainAndStop();
+  if (!stop_status.ok()) {
+    std::fprintf(stderr, "bench: DrainAndStop: %s\n", stop_status.ToString().c_str());
+  }
+  RemoveDirRecursively(sopts.data_dir).IgnoreError();
 
   row.requests = total_requests;
   row.ops = total_ops;

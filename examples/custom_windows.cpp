@@ -73,14 +73,18 @@ void RunOnce(const char* label, flowkv::ReadAlignmentHint hint,
       return;
     }
     if (i % 128 == 0) {
-      pipeline.AdvanceWatermark(ts);
+      if (!pipeline.AdvanceWatermark(ts).ok()) {
+        return;
+      }
     }
   }
-  pipeline.Finish();
+  if (!pipeline.Finish().ok()) {
+    return;
+  }
   StoreStats stats = pipeline.GatherStats();
   std::printf("%-28s results=%-6d hit_ratio=%.3f prefetched=%lld\n", label, sink.results,
               stats.PrefetchHitRatio(), static_cast<long long>(stats.prefetched_entries));
-  RemoveDirRecursively(dir);
+  RemoveDirRecursively(dir).IgnoreError();  // best-effort demo cleanup
 }
 
 }  // namespace

@@ -68,13 +68,17 @@ int main() {
         return 1;
       }
     }
-    pipeline.AdvanceWatermark(t);
+    if (!pipeline.AdvanceWatermark(t).ok()) {
+      return 1;
+    }
   }
-  pipeline.Finish();  // flush the final partial window
+  if (!pipeline.Finish().ok()) {  // flush the final partial window
+    return 1;
+  }
 
   // 4. Store-side statistics collected by FlowKV.
   StoreStats stats = pipeline.GatherStats();
   std::printf("\nFlowKV stats: %s\n", stats.ToString().c_str());
-  RemoveDirRecursively(state_dir);
+  RemoveDirRecursively(state_dir).IgnoreError();  // best-effort demo cleanup
   return 0;
 }

@@ -91,10 +91,14 @@ int main() {
       return 1;
     }
     if (i % 256 == 0) {
-      pipeline.AdvanceWatermark(t);
+      if (!pipeline.AdvanceWatermark(t).ok()) {
+        return 1;
+      }
     }
   }
-  pipeline.Finish();
+  if (!pipeline.Finish().ok()) {
+    return 1;
+  }
 
   StoreStats stats = pipeline.GatherStats();
   std::printf("\n%d sessions closed in total\n", sink.sessions);
@@ -105,6 +109,6 @@ int main() {
       "                  ratio r; long sessions here evict prefetched state often,\n"
       "                  so the Get-level ratio above understates r)\n");
   std::printf("full stats: %s\n", stats.ToString().c_str());
-  RemoveDirRecursively(state_dir);
+  RemoveDirRecursively(state_dir).IgnoreError();  // best-effort demo cleanup
   return 0;
 }

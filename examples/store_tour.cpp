@@ -4,6 +4,7 @@
 //
 //   $ ./store_tour
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 #include "src/common/coding.h"
@@ -23,6 +24,13 @@ flowkv::OperatorStateSpec MakeSpec(const char* name, flowkv::WindowKind kind,
   return spec;
 }
 
+void Check(const flowkv::Status& s, const char* what) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -36,15 +44,16 @@ int main() {
   // a log file that is read once at trigger time and then deleted.
   {
     std::unique_ptr<FlowKvStore> store;
-    FlowKvStore::Open(JoinPath(root, "aar"), options,
-                      MakeSpec("collect", WindowKind::kTumbling, /*incremental=*/false),
-                      &store);
+    Check(FlowKvStore::Open(JoinPath(root, "aar"), options,
+                            MakeSpec("collect", WindowKind::kTumbling, /*incremental=*/false),
+                            &store),
+          "open aar store");
     std::printf("tumbling + full-list aggregate  -> pattern %s\n",
                 StorePatternName(store->pattern()));
     const Window w(0, 1000);
-    store->Append("user1", "click-a", w);
-    store->Append("user2", "click-b", w);
-    store->Append("user1", "click-c", w);
+    Check(store->Append("user1", "click-a", w), "append");
+    Check(store->Append("user2", "click-b", w), "append");
+    Check(store->Append("user1", "click-c", w), "append");
     // Gradual state loading: chunked, key-complete fetch-and-remove.
     std::vector<WindowChunkEntry> chunk;
     bool done = false;
@@ -61,15 +70,17 @@ int main() {
   // feed the estimated-trigger-time (ETT) table driving predictive reads.
   {
     std::unique_ptr<FlowKvStore> store;
-    FlowKvStore::Open(JoinPath(root, "aur"), options,
-                      MakeSpec("sessions", WindowKind::kSession, false, /*gap=*/100), &store);
+    Check(FlowKvStore::Open(JoinPath(root, "aur"), options,
+                            MakeSpec("sessions", WindowKind::kSession, false, /*gap=*/100),
+                            &store),
+          "open aur store");
     std::printf("session  + full-list aggregate  -> pattern %s\n",
                 StorePatternName(store->pattern()));
     const Window session(0, 100);  // initial boundary of user1's session
-    store->Append("user1", "page-1", session, 10);
-    store->Append("user1", "page-2", session, 60);  // ETT becomes 60+gap=160
+    Check(store->Append("user1", "page-1", session, 10), "append");
+    Check(store->Append("user1", "page-2", session, 60), "append");  // ETT = 60+gap = 160
     std::vector<std::string> values;
-    store->Get("user1", session, &values);  // fetch-and-remove at trigger
+    Check(store->Get("user1", session, &values), "get session");  // fetch-and-remove
     std::printf("  Get(user1, session) -> %zu values\n", values.size());
   }
 
@@ -78,8 +89,10 @@ int main() {
   // trigger, hash-index + log on disk.
   {
     std::unique_ptr<FlowKvStore> store;
-    FlowKvStore::Open(JoinPath(root, "rmw"), options,
-                      MakeSpec("counts", WindowKind::kSliding, /*incremental=*/true), &store);
+    Check(FlowKvStore::Open(JoinPath(root, "rmw"), options,
+                            MakeSpec("counts", WindowKind::kSliding, /*incremental=*/true),
+                            &store),
+          "open rmw store");
     std::printf("sliding  + incremental agg      -> pattern %s\n",
                 StorePatternName(store->pattern()));
     const Window w(0, 1000);
@@ -91,15 +104,15 @@ int main() {
       }
       acc.clear();
       PutFixed64(&acc, count + 1);
-      store->Put("user1", w, acc);
+      Check(store->Put("user1", w, acc), "put");
     }
     std::string acc;
-    store->Get("user1", w, &acc);
+    Check(store->Get("user1", w, &acc), "get aggregate");
     std::printf("  aggregate after 5 RMW cycles: %llu\n",
                 static_cast<unsigned long long>(DecodeFixed64(acc.data())));
-    store->Remove("user1", w);
+    Check(store->Remove("user1", w), "remove");
   }
 
-  RemoveDirRecursively(root);
+  RemoveDirRecursively(root).IgnoreError();  // best-effort demo cleanup
   return 0;
 }

@@ -78,15 +78,19 @@ int main(int argc, char** argv) {
     max_ts = event.timestamp;
     if (++since_watermark == 256) {
       since_watermark = 0;
-      pipeline.AdvanceWatermark(max_ts);
+      if (!pipeline.AdvanceWatermark(max_ts).ok()) {
+        return 1;
+      }
     }
   }
-  pipeline.Finish();
+  if (!pipeline.Finish().ok()) {
+    return 1;
+  }
   const double seconds = static_cast<double>(MonotonicNanos() - start) / 1e9;
 
   std::printf("\n%d window results in %.2fs (%.2fM events/s)\n", sink.windows, seconds,
               static_cast<double>(num_events) / seconds / 1e6);
   std::printf("store stats: %s\n", pipeline.GatherStats().ToString().c_str());
-  RemoveDirRecursively(state_dir);
+  RemoveDirRecursively(state_dir).IgnoreError();  // best-effort demo cleanup
   return 0;
 }

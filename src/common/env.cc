@@ -191,7 +191,12 @@ std::string MakeTempDir(const std::string& prefix) {
   std::string path = JoinPath(root, prefix + "_" + std::to_string(::getpid()) + "_" +
                                         std::to_string(MonotonicNanos()) + "_" +
                                         std::to_string(counter.fetch_add(1)));
-  CreateDirs(path);
+  const Status s = CreateDirs(path);
+  if (!s.ok()) {
+    // No error channel here (the helper returns a path); fail loudly so the
+    // caller's first use of the missing directory is attributable.
+    std::fprintf(stderr, "MakeTempDir: %s\n", s.ToString().c_str());
+  }
   return path;
 }
 

@@ -55,51 +55,51 @@ FaultInjectionFs::~FaultInjectionFs() {
 }
 
 void FaultInjectionFs::CrashAtSyncPoint(uint64_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   crash_at_sync_point_ = n;
 }
 
 void FaultInjectionFs::FailSyncAt(uint64_t n, int err) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   fail_sync_at_ = n;
   fail_sync_errno_ = err;
 }
 
 void FaultInjectionFs::FailWriteAt(uint64_t n, int err) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   fail_write_at_ = n;
   fail_write_errno_ = err;
 }
 
 void FaultInjectionFs::FailRenameAt(uint64_t n, int err) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   fail_rename_at_ = n;
   fail_rename_errno_ = err;
 }
 
 void FaultInjectionFs::ClearFaults() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   crash_at_sync_point_ = 0;
   fail_sync_at_ = fail_write_at_ = fail_rename_at_ = 0;
 }
 
 void FaultInjectionFs::SimulateCrash() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   crashed_ = true;
 }
 
 bool FaultInjectionFs::crashed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return crashed_;
 }
 
 uint64_t FaultInjectionFs::sync_points() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return sync_point_count_;
 }
 
 void FaultInjectionFs::ResetTracking() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   files_.clear();
   journal_.clear();
   pending_opens_.clear();
@@ -162,7 +162,7 @@ void FaultInjectionFs::RekeyLocked(const std::string& from, const std::string& t
 
 Status FaultInjectionFs::PreOpenWrite(const std::string& path, bool truncate) {
   (void)truncate;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   FLOWKV_RETURN_IF_ERROR(CheckCrashed("open-write", path));
   bool existed = FileExists(path);
   uint64_t size = 0;
@@ -174,13 +174,13 @@ Status FaultInjectionFs::PreOpenWrite(const std::string& path, bool truncate) {
 }
 
 Status FaultInjectionFs::PreOpenRead(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return CheckCrashed("open-read", path);
 }
 
 Status FaultInjectionFs::PreWrite(const std::string& path, size_t n) {
   (void)n;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   FLOWKV_RETURN_IF_ERROR(CheckCrashed("write", path));
   ++write_seq_;
   if (fail_write_at_ != 0 && write_seq_ == fail_write_at_) {
@@ -192,19 +192,19 @@ Status FaultInjectionFs::PreWrite(const std::string& path, size_t n) {
 }
 
 Status FaultInjectionFs::PreSync(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   FLOWKV_RETURN_IF_ERROR(CheckCrashed("sync", path));
   return SyncPointLocked("sync", path);
 }
 
 Status FaultInjectionFs::PreSyncDir(const std::string& dir) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   FLOWKV_RETURN_IF_ERROR(CheckCrashed("syncdir", dir));
   return SyncPointLocked("syncdir", dir);
 }
 
 Status FaultInjectionFs::PreRename(const std::string& from, const std::string& to) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   FLOWKV_RETURN_IF_ERROR(CheckCrashed("rename", from));
   ++rename_seq_;
   if (fail_rename_at_ != 0 && rename_seq_ == fail_rename_at_) {
@@ -239,12 +239,12 @@ Status FaultInjectionFs::PreRename(const std::string& from, const std::string& t
 }
 
 Status FaultInjectionFs::PreRemove(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return CheckCrashed("remove", path);
 }
 
 void FaultInjectionFs::DidOpenWrite(const std::string& path, bool truncate) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   bool existed = false;
   uint64_t size = 0;
   auto pending = pending_opens_.find(path);
@@ -267,7 +267,7 @@ void FaultInjectionFs::DidOpenWrite(const std::string& path, bool truncate) {
 }
 
 void FaultInjectionFs::DidSync(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t size = 0;
   if (!GetFileSize(path, &size).ok()) {
     return;
@@ -284,7 +284,7 @@ void FaultInjectionFs::DidSync(const std::string& path) {
 }
 
 void FaultInjectionFs::DidSyncDir(const std::string& dir) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& entry : files_) {
     if (DirName(entry.first) == dir) {
       entry.second.entry_durable = true;
@@ -301,7 +301,7 @@ void FaultInjectionFs::DidSyncDir(const std::string& dir) {
 }
 
 void FaultInjectionFs::DidRename(const std::string& from, const std::string& to) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   RekeyLocked(from, to);
   auto it = files_.find(to);
   if (it == files_.end()) {
@@ -316,7 +316,7 @@ void FaultInjectionFs::DidRename(const std::string& from, const std::string& to)
 }
 
 void FaultInjectionFs::DidRemove(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   files_.erase(path);
   // A removed destination can no longer be reverted to; drop stale records.
   for (auto it = journal_.begin(); it != journal_.end();) {
@@ -329,7 +329,7 @@ void FaultInjectionFs::DidRemove(const std::string& path) {
 }
 
 Status FaultInjectionFs::RestoreCrashImage() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Status status;
   // Revert non-durable renames newest-first so chained renames unwind
   // correctly, then restore any replaced destinations from their snapshots.

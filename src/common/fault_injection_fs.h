@@ -27,12 +27,12 @@
 #define SRC_COMMON_FAULT_INJECTION_FS_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/fs_hooks.h"
+#include "src/common/thread_annotations.h"
 
 namespace flowkv {
 
@@ -107,28 +107,35 @@ class FaultInjectionFs : public FsHooks {
     FileState old_to_state;
   };
 
-  Status CheckCrashed(const char* op, const std::string& path) const;  // mu_ held
-  // Counts a sync point and applies crash-at / fail-at faults. mu_ held.
-  Status SyncPointLocked(const char* op, const std::string& path);
+  Status CheckCrashed(const char* op, const std::string& path) const REQUIRES(mu_);
+  // Counts a sync point and applies crash-at / fail-at faults.
+  Status SyncPointLocked(const char* op, const std::string& path) REQUIRES(mu_);
   // Moves tracking for `from` (and, for directories, everything under it)
-  // to `to`. mu_ held.
-  void RekeyLocked(const std::string& from, const std::string& to);
+  // to `to`.
+  void RekeyLocked(const std::string& from, const std::string& to) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, FileState> files_;
-  std::vector<RenameRecord> journal_;  // renames awaiting a dir sync, oldest first
+  mutable Mutex mu_;
+  std::unordered_map<std::string, FileState> files_ GUARDED_BY(mu_);
+  // Renames awaiting a dir sync, oldest first.
+  std::vector<RenameRecord> journal_ GUARDED_BY(mu_);
 
-  bool crashed_ = false;
-  uint64_t sync_point_count_ = 0;
-  uint64_t crash_at_sync_point_ = 0;
+  bool crashed_ GUARDED_BY(mu_) = false;
+  uint64_t sync_point_count_ GUARDED_BY(mu_) = 0;
+  uint64_t crash_at_sync_point_ GUARDED_BY(mu_) = 0;
 
-  uint64_t sync_seq_ = 0, write_seq_ = 0, rename_seq_ = 0;
-  uint64_t fail_sync_at_ = 0, fail_write_at_ = 0, fail_rename_at_ = 0;
-  int fail_sync_errno_ = 0, fail_write_errno_ = 0, fail_rename_errno_ = 0;
+  uint64_t sync_seq_ GUARDED_BY(mu_) = 0;
+  uint64_t write_seq_ GUARDED_BY(mu_) = 0;
+  uint64_t rename_seq_ GUARDED_BY(mu_) = 0;
+  uint64_t fail_sync_at_ GUARDED_BY(mu_) = 0;
+  uint64_t fail_write_at_ GUARDED_BY(mu_) = 0;
+  uint64_t fail_rename_at_ GUARDED_BY(mu_) = 0;
+  int fail_sync_errno_ GUARDED_BY(mu_) = 0;
+  int fail_write_errno_ GUARDED_BY(mu_) = 0;
+  int fail_rename_errno_ GUARDED_BY(mu_) = 0;
 
   // Stashed between PreOpenWrite/PreRename and the matching Did* call.
-  std::unordered_map<std::string, std::pair<bool, uint64_t>> pending_opens_;
-  std::unordered_map<std::string, RenameRecord> pending_renames_;  // keyed by `to`
+  std::unordered_map<std::string, std::pair<bool, uint64_t>> pending_opens_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, RenameRecord> pending_renames_ GUARDED_BY(mu_);  // keyed by `to`
 };
 
 }  // namespace flowkv

@@ -8,52 +8,52 @@ namespace flowkv {
 FaultInjectionSocket::FaultInjectionSocket(uint64_t seed) : rng_(seed) {}
 
 void FaultInjectionSocket::SetPlan(const SocketFaultPlan& plan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   plan_ = plan;
   connect_fail_at_ = send_reset_at_ = send_stall_at_ = recv_reset_at_ = -1;
 }
 
 void FaultInjectionSocket::ClearFaults() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   plan_ = SocketFaultPlan();
   connect_fail_at_ = send_reset_at_ = send_stall_at_ = recv_reset_at_ = -1;
 }
 
 void FaultInjectionSocket::FailConnectAt(int64_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   connect_fail_at_ = n < 0 ? -1 : connects_ + n;
 }
 
 void FaultInjectionSocket::ResetSendAt(int64_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   send_reset_at_ = n < 0 ? -1 : sends_ + n;
 }
 
 void FaultInjectionSocket::StallSendAt(int64_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   send_stall_at_ = n < 0 ? -1 : sends_ + n;
 }
 
 void FaultInjectionSocket::ResetRecvAt(int64_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   recv_reset_at_ = n < 0 ? -1 : recvs_ + n;
 }
 
 void FaultInjectionSocket::EnableCaptureFilter() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   capture_filter_ = true;
   captured_fds_.clear();
 }
 
 void FaultInjectionSocket::DisableCaptureFilter() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   capture_filter_ = false;
   captured_fds_.clear();
 }
 
 #define FLOWKV_FIS_COUNTER(name)                  \
   int64_t FaultInjectionSocket::name() const {    \
-    std::lock_guard<std::mutex> lock(mu_);        \
+    MutexLock lock(&mu_);        \
     return name##_;                               \
   }
 FLOWKV_FIS_COUNTER(connects)
@@ -70,19 +70,16 @@ bool FaultInjectionSocket::FdInScopeLocked(int fd) const {
   return !capture_filter_ || captured_fds_.count(fd) > 0;
 }
 
-void FaultInjectionSocket::MaybeDelayLocked(std::unique_lock<std::mutex>* lock) {
+int64_t FaultInjectionSocket::DelayMsLocked() {
   if (plan_.latency_prob <= 0 || !rng_.Bernoulli(plan_.latency_prob)) {
-    return;
+    return 0;
   }
-  int64_t ms = rng_.Range(plan_.latency_min_ms, plan_.latency_max_ms);
   ++injected_delays_;
-  lock->unlock();
-  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
-  lock->lock();
+  return rng_.Range(plan_.latency_min_ms, plan_.latency_max_ms);
 }
 
 Status FaultInjectionSocket::PreConnect(const std::string& host, uint16_t port) {
-  std::unique_lock<std::mutex> lock(mu_);
+  ReleasableMutexLock lock(&mu_);
   int64_t seq = connects_++;
   if (connect_fail_at_ >= 0 && seq == connect_fail_at_) {
     connect_fail_at_ = -1;
@@ -90,7 +87,11 @@ Status FaultInjectionSocket::PreConnect(const std::string& host, uint16_t port) 
     return Status::ConnectionReset("injected connect refusal to " + host + ":" +
                                    std::to_string(port));
   }
-  MaybeDelayLocked(&lock);
+  if (const int64_t delay_ms = DelayMsLocked(); delay_ms > 0) {
+    lock.Unlock();
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    lock.Lock();
+  }
   if (plan_.connect_refuse_prob > 0 && rng_.Bernoulli(plan_.connect_refuse_prob)) {
     ++injected_connect_failures_;
     return Status::ConnectionReset("injected connect refusal to " + host + ":" +
@@ -100,7 +101,7 @@ Status FaultInjectionSocket::PreConnect(const std::string& host, uint16_t port) 
 }
 
 Status FaultInjectionSocket::PreSend(int fd, size_t* n) {
-  std::unique_lock<std::mutex> lock(mu_);
+  ReleasableMutexLock lock(&mu_);
   int64_t seq = sends_++;
   if (!FdInScopeLocked(fd)) {
     return Status::Ok();
@@ -116,7 +117,11 @@ Status FaultInjectionSocket::PreSend(int fd, size_t* n) {
     *n = 0;  // stalled socket: the caller must treat this as would-block
     return Status::Ok();
   }
-  MaybeDelayLocked(&lock);
+  if (const int64_t delay_ms = DelayMsLocked(); delay_ms > 0) {
+    lock.Unlock();
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    lock.Lock();
+  }
   if (plan_.reset_on_send_prob > 0 && rng_.Bernoulli(plan_.reset_on_send_prob)) {
     ++injected_resets_;
     return Status::ConnectionReset("injected reset on send");
@@ -129,7 +134,7 @@ Status FaultInjectionSocket::PreSend(int fd, size_t* n) {
 }
 
 Status FaultInjectionSocket::PreRecv(int fd, size_t* n) {
-  std::unique_lock<std::mutex> lock(mu_);
+  ReleasableMutexLock lock(&mu_);
   int64_t seq = recvs_++;
   if (!FdInScopeLocked(fd)) {
     return Status::Ok();
@@ -139,7 +144,11 @@ Status FaultInjectionSocket::PreRecv(int fd, size_t* n) {
     ++injected_resets_;
     return Status::ConnectionReset("injected reset on recv");
   }
-  MaybeDelayLocked(&lock);
+  if (const int64_t delay_ms = DelayMsLocked(); delay_ms > 0) {
+    lock.Unlock();
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    lock.Lock();
+  }
   if (plan_.reset_on_recv_prob > 0 && rng_.Bernoulli(plan_.reset_on_recv_prob)) {
     ++injected_resets_;
     return Status::ConnectionReset("injected reset on recv");
@@ -152,14 +161,14 @@ Status FaultInjectionSocket::PreRecv(int fd, size_t* n) {
 }
 
 void FaultInjectionSocket::DidConnect(int fd, const std::string& host, uint16_t port) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (capture_filter_) {
     captured_fds_.insert(fd);
   }
 }
 
 void FaultInjectionSocket::DidRecv(int fd, char* data, size_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (n == 0 || !FdInScopeLocked(fd)) {
     return;
   }
@@ -171,7 +180,7 @@ void FaultInjectionSocket::DidRecv(int fd, char* data, size_t n) {
 }
 
 void FaultInjectionSocket::DidClose(int fd) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   captured_fds_.erase(fd);
 }
 

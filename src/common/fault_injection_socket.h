@@ -21,13 +21,13 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_set>
 
 #include "src/common/net_hooks.h"
 #include "src/common/random.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 
 namespace flowkv {
 
@@ -89,29 +89,32 @@ class FaultInjectionSocket : public NetHooks {
   void DidClose(int fd) override;
 
  private:
-  bool FdInScopeLocked(int fd) const;
-  void MaybeDelayLocked(std::unique_lock<std::mutex>* lock);
+  bool FdInScopeLocked(int fd) const REQUIRES(mu_);
+  // Rolls the latency fault; returns how long the caller should sleep in ms
+  // (0 = no delay) and counts the injection. The caller drops the lock for
+  // the sleep itself so other faulted operations can proceed meanwhile.
+  int64_t DelayMsLocked() REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  Random rng_;
-  SocketFaultPlan plan_;
+  mutable Mutex mu_;
+  Random rng_ GUARDED_BY(mu_);
+  SocketFaultPlan plan_ GUARDED_BY(mu_);
 
-  int64_t connect_fail_at_ = -1;
-  int64_t send_reset_at_ = -1;
-  int64_t send_stall_at_ = -1;
-  int64_t recv_reset_at_ = -1;
+  int64_t connect_fail_at_ GUARDED_BY(mu_) = -1;
+  int64_t send_reset_at_ GUARDED_BY(mu_) = -1;
+  int64_t send_stall_at_ GUARDED_BY(mu_) = -1;
+  int64_t recv_reset_at_ GUARDED_BY(mu_) = -1;
 
-  bool capture_filter_ = false;
-  std::unordered_set<int> captured_fds_;
+  bool capture_filter_ GUARDED_BY(mu_) = false;
+  std::unordered_set<int> captured_fds_ GUARDED_BY(mu_);
 
-  int64_t connects_ = 0;
-  int64_t sends_ = 0;
-  int64_t recvs_ = 0;
-  int64_t injected_connect_failures_ = 0;
-  int64_t injected_resets_ = 0;
-  int64_t injected_short_ios_ = 0;
-  int64_t injected_corruptions_ = 0;
-  int64_t injected_delays_ = 0;
+  int64_t connects_ GUARDED_BY(mu_) = 0;
+  int64_t sends_ GUARDED_BY(mu_) = 0;
+  int64_t recvs_ GUARDED_BY(mu_) = 0;
+  int64_t injected_connect_failures_ GUARDED_BY(mu_) = 0;
+  int64_t injected_resets_ GUARDED_BY(mu_) = 0;
+  int64_t injected_short_ios_ GUARDED_BY(mu_) = 0;
+  int64_t injected_corruptions_ GUARDED_BY(mu_) = 0;
+  int64_t injected_delays_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace flowkv

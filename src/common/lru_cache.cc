@@ -65,26 +65,26 @@ ShardedLruCache::Shard* ShardedLruCache::PickShard(const std::string& key) {
 void ShardedLruCache::Insert(const std::string& key,
                              std::shared_ptr<const std::string> value) {
   Shard* shard = PickShard(key);
-  std::lock_guard<std::mutex> lock(shard->mu);
+  MutexLock lock(&shard->mu);
   shard->cache->Insert(key, std::move(value));
 }
 
 std::shared_ptr<const std::string> ShardedLruCache::Lookup(const std::string& key) {
   Shard* shard = PickShard(key);
-  std::lock_guard<std::mutex> lock(shard->mu);
+  MutexLock lock(&shard->mu);
   return shard->cache->Lookup(key);
 }
 
 void ShardedLruCache::Erase(const std::string& key) {
   Shard* shard = PickShard(key);
-  std::lock_guard<std::mutex> lock(shard->mu);
+  MutexLock lock(&shard->mu);
   shard->cache->Erase(key);
 }
 
 uint64_t ShardedLruCache::usage() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     total += shard->cache->usage();
   }
   return total;

@@ -9,10 +9,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "src/common/thread_annotations.h"
 
 namespace flowkv {
 
@@ -64,8 +65,8 @@ class ShardedLruCache {
 
  private:
   struct Shard {
-    std::mutex mu;
-    std::unique_ptr<LruCache> cache;
+    Mutex mu;
+    std::unique_ptr<LruCache> cache PT_GUARDED_BY(mu);
   };
 
   Shard* PickShard(const std::string& key);

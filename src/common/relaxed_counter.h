@@ -45,6 +45,12 @@ class RelaxedCounter {
   operator int64_t() const { return load(); }  // NOLINT: implicit by design
 
  private:
+  // INVARIANT(single-writer): every mutating member runs on the owning
+  // thread only — the load+store pair is not an atomic RMW, so a second
+  // concurrent writer would lose increments. Cross-thread readers must go
+  // through load(); the atomic makes those reads tear-free, nothing more.
+  // This contract is not expressible with GUARDED_BY (there is no mutex);
+  // the clang -Wthread-safety pass cannot check it, reviewers must.
   std::atomic<int64_t> v_{0};
 };
 

@@ -34,7 +34,12 @@ enum class StatusCode : uint8_t {
 // Human-readable name of a status code ("OK", "NotFound", ...).
 const char* StatusCodeName(StatusCode code);
 
-class Status {
+// [[nodiscard]]: a Status that is neither checked nor explicitly ignored is
+// a bug — GCC/Clang surface it via -Wunused-result, and the flowkv-lint
+// unchecked-status check enforces it in CI. Call sites that legitimately
+// drop a Status (best-effort cleanup on an already-failing path) must say so
+// with IgnoreError(), which documents the decision at the call site.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 
@@ -95,6 +100,11 @@ class Status {
 
   // "NotFound: key missing" style rendering for logs and tests.
   std::string ToString() const;
+
+  // Explicitly discards this Status. The only sanctioned way to drop one:
+  // it defeats [[nodiscard]] *and* the flowkv-lint unchecked-status check,
+  // so every use should carry a comment saying why failure is acceptable.
+  void IgnoreError() const {}
 
   bool operator==(const Status& other) const { return code_ == other.code_; }
 

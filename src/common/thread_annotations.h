@@ -1,0 +1,131 @@
+// Clang Thread Safety Analysis annotations (-Wthread-safety) plus the
+// annotated Mutex/MutexLock wrappers the rest of the tree locks through.
+//
+// The share-nothing design makes most hot paths single-threaded by contract
+// (one reactor per shard, one writer per RelaxedCounter); the residual
+// cross-thread state — registries, fault-injection hooks, replication
+// bookkeeping — is mutex-guarded. These macros let the compiler prove, at
+// build time, that every access to a GUARDED_BY field happens with its mutex
+// held, that REQUIRES contracts hold at every call site, and that lock/unlock
+// pairs balance. Under compilers without the attributes (GCC) everything
+// expands to nothing and Mutex/MutexLock behave exactly like
+// std::mutex/std::lock_guard, so the annotations cost nothing outside the
+// dedicated -Werror=thread-safety CI build (docs/STATIC_ANALYSIS.md).
+//
+// Conventions:
+//  * Guarded members are declared `T field GUARDED_BY(mu_);` and only read
+//    or written inside a MutexLock scope (or a REQUIRES(mu_) function).
+//  * Private helpers that assume the lock is held are suffixed `Locked` and
+//    annotated REQUIRES(mu).
+//  * Guards that cross an ownership boundary the analysis cannot express
+//    (e.g. a nested struct's field guarded by the enclosing class's mutex)
+//    keep a `// guarded by` comment instead; docs/STATIC_ANALYSIS.md lists
+//    them.
+#ifndef SRC_COMMON_THREAD_ANNOTATIONS_H_
+#define SRC_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define FLOWKV_TSA(x) __attribute__((x))
+#endif
+#endif
+#ifndef FLOWKV_TSA
+#define FLOWKV_TSA(x)  // no-op outside clang
+#endif
+
+// A type that acts as a lock (our Mutex below).
+#define CAPABILITY(x) FLOWKV_TSA(capability(x))
+// RAII types that hold a capability for their lifetime (MutexLock).
+#define SCOPED_CAPABILITY FLOWKV_TSA(scoped_lockable)
+
+// Data members that may only be touched with the given mutex held.
+#define GUARDED_BY(x) FLOWKV_TSA(guarded_by(x))
+// Pointer members whose *pointee* is guarded (the pointer itself is not).
+#define PT_GUARDED_BY(x) FLOWKV_TSA(pt_guarded_by(x))
+
+// Functions that must be called with the mutex held / not held.
+#define REQUIRES(...) FLOWKV_TSA(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) FLOWKV_TSA(requires_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) FLOWKV_TSA(locks_excluded(__VA_ARGS__))
+
+// Functions that acquire / release the mutex as a side effect.
+#define ACQUIRE(...) FLOWKV_TSA(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) FLOWKV_TSA(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) FLOWKV_TSA(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) FLOWKV_TSA(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) FLOWKV_TSA(try_acquire_capability(__VA_ARGS__))
+
+// Lock-ordering declaration (deadlock prevention).
+#define ACQUIRED_BEFORE(...) FLOWKV_TSA(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) FLOWKV_TSA(acquired_after(__VA_ARGS__))
+
+// Returns a reference to the guarding mutex (lets accessors hand out guards).
+#define RETURN_CAPABILITY(x) FLOWKV_TSA(lock_returned(x))
+
+// Escape hatch for code the analysis cannot follow (e.g. lock handoff across
+// threads). Every use needs a justifying comment; see the suppression policy
+// in docs/STATIC_ANALYSIS.md.
+#define NO_THREAD_SAFETY_ANALYSIS FLOWKV_TSA(no_thread_safety_analysis)
+
+namespace flowkv {
+
+// std::mutex with the capability attribute the analysis needs. Exposes both
+// Lock()/Unlock() (annotated, for MutexLock) and the BasicLockable lowercase
+// spelling so std::condition_variable_any can wait on it directly.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // BasicLockable, for std::condition_variable_any::wait(mutex). The waiting
+  // pattern keeps the analysis state correct: the mutex is held both before
+  // and after a wait, and the transient unlock inside is invisible to the
+  // caller (see docs/STATIC_ANALYSIS.md "Condition variables").
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// Annotated std::lock_guard equivalent: holds `mu` for the enclosing scope.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+// MutexLock that can drop and retake the lock mid-scope (fault-injection
+// latency sleeps release the lock while sleeping). Must be locked at
+// destruction — callers re-Lock() after the last Unlock().
+class SCOPED_CAPABILITY ReleasableMutexLock {
+ public:
+  explicit ReleasableMutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~ReleasableMutexLock() RELEASE() { mu_->Unlock(); }
+
+  void Unlock() RELEASE() { mu_->Unlock(); }
+  void Lock() ACQUIRE() { mu_->Lock(); }
+
+  ReleasableMutexLock(const ReleasableMutexLock&) = delete;
+  ReleasableMutexLock& operator=(const ReleasableMutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+}  // namespace flowkv
+
+#endif  // SRC_COMMON_THREAD_ANNOTATIONS_H_

@@ -9,8 +9,9 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <vector>
+
+#include "src/common/thread_annotations.h"
 
 namespace flowkv {
 
@@ -53,7 +54,7 @@ class EpochManager {
   // Drain() executes the ones that became safe.
   void BumpWithAction(std::function<void()> action) {
     uint64_t epoch = Bump();
-    std::lock_guard<std::mutex> lock(actions_mu_);
+    MutexLock lock(&actions_mu_);
     pending_actions_.push_back({epoch, std::move(action)});
   }
 
@@ -61,7 +62,7 @@ class EpochManager {
     uint64_t safe = SafeEpoch();
     std::vector<std::function<void()>> runnable;
     {
-      std::lock_guard<std::mutex> lock(actions_mu_);
+      MutexLock lock(&actions_mu_);
       auto it = pending_actions_.begin();
       while (it != pending_actions_.end()) {
         if (it->epoch < safe) {
@@ -85,8 +86,8 @@ class EpochManager {
 
   std::atomic<uint64_t> current_epoch_;
   std::atomic<uint64_t> slots_[kMaxThreads];
-  std::mutex actions_mu_;
-  std::vector<PendingAction> pending_actions_;
+  Mutex actions_mu_;
+  std::vector<PendingAction> pending_actions_ GUARDED_BY(actions_mu_);
 };
 
 }  // namespace flowkv

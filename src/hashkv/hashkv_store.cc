@@ -52,7 +52,9 @@ Status HashKvStore::CheckpointTo(const std::string& checkpoint_dir) {
   const std::string staged = JoinPath(dir_, "hlog_snapshot.tmp");
   FLOWKV_RETURN_IF_ERROR(log_->SnapshotTo(staged));
   Status add = writer.AddFile(staged, "hlog.ckpt");
-  RemoveFile(staged);
+  // Best-effort cleanup of the staging file; `add` carries the real outcome
+  // and a leftover .tmp is overwritten by the next checkpoint.
+  RemoveFile(staged).IgnoreError();
   FLOWKV_RETURN_IF_ERROR(add);
   std::string meta;
   PutFixed64(&meta, log_->tail());
@@ -327,7 +329,9 @@ Status HashKvStore::Compact() {
   std::string dead_path =
       JoinPath(old_path_dir, "hlog_" + std::to_string(log_generation_ - 1) + ".dat");
   old_log.reset();
-  epoch_.BumpWithAction([dead_path] { RemoveFile(dead_path); });
+  // Best-effort unlink: a dead log that survives (e.g. EACCES) wastes disk
+  // but is never read again — generation numbering skips it on reopen.
+  epoch_.BumpWithAction([dead_path] { RemoveFile(dead_path).IgnoreError(); });
   epoch_.Drain();
   FLOWKV_LOG(kDebug) << "hashkv compaction: live=" << new_live << "B";
   return Status::Ok();

@@ -220,6 +220,12 @@ class Client {
   const Endpoint& CurrentEndpoint() const;
   size_t NumEndpoints() const { return 1 + options_.standbys.size(); }
 
+  // INVARIANT(single-threaded): a Client is confined to one caller thread —
+  // every field below, fd_ included, is read and written without
+  // synchronization. Concurrent use of one Client is a caller bug; open one
+  // Client per thread instead. Nothing here carries a GUARDED_BY because
+  // there is no mutex; the clang -Wthread-safety pass cannot check this
+  // contract, reviewers must.
   ClientOptions options_;
   int fd_ = -1;
   uint64_t next_request_id_ = 1;

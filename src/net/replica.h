@@ -98,6 +98,13 @@ class ReplicaPuller {
   Status FlushPendingFile();
   Status SendAck(int fd, uint64_t seq);
 
+  // INVARIANT(thread-contract): the three atomics below are the only fields
+  // shared between the puller thread and its controller — stop_ is the
+  // controller's one-way shutdown signal, applied_seq_/snapshot_loaded_ are
+  // the puller's progress exports. Everything else is puller-thread-only
+  // (options_/thread_ are set before the thread starts and ordered by the
+  // create/join edges). No mutex, so no GUARDED_BY: the clang
+  // -Wthread-safety pass cannot check this split, reviewers must.
   ReplicaOptions options_;
   std::thread thread_;
   std::atomic<bool> stop_{false};

@@ -20,7 +20,6 @@
 #include <cstring>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
@@ -30,6 +29,7 @@
 #include "src/common/file.h"
 #include "src/common/hash.h"
 #include "src/common/logging.h"
+#include "src/common/thread_annotations.h"
 #include "src/flowkv/flowkv_store.h"
 #include "src/net/conn.h"
 #include "src/net/replica.h"
@@ -185,7 +185,7 @@ class Server::Impl {
 
   Status AwaitTermination() {
     Join();
-    std::lock_guard<std::mutex> lock(status_mu_);
+    MutexLock lock(&status_mu_);
     return final_status_;
   }
 
@@ -264,19 +264,23 @@ class Server::Impl {
   };
 
   struct Barrier {
-    std::mutex mu;
-    std::condition_variable cv;
-    size_t remaining = 0;
-    Status status;
+    Mutex mu;
+    std::condition_variable_any cv;
+    size_t remaining GUARDED_BY(mu) = 0;
+    Status status GUARDED_BY(mu);
 
     void Done(const Status& s) {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(&mu);
       if (status.ok() && !s.ok()) status = s;
       if (--remaining == 0) cv.notify_all();
     }
     Status Wait() {
-      std::unique_lock<std::mutex> lock(mu);
-      cv.wait(lock, [this] { return remaining == 0; });
+      // Explicit wait loop (no predicate lambda): the thread-safety analysis
+      // cannot see that a lambda body runs with mu held, a plain loop it can.
+      MutexLock lock(&mu);
+      while (remaining != 0) {
+        cv.wait(mu);
+      }
       return status;
     }
   };
@@ -338,9 +342,9 @@ class Server::Impl {
     // Task queue. `closed` flips once the reactor exits its loop; PostTask
     // then refuses the task and the producer aborts it, so nothing blocks on
     // a queue nobody will drain.
-    std::mutex mu;
-    bool closed = false;
-    std::deque<ReactorTask> tasks;
+    Mutex mu;
+    bool closed GUARDED_BY(mu) = false;
+    std::deque<ReactorTask> tasks GUARDED_BY(mu);
     std::atomic<size_t> task_count{0};
 
     // True when this reactor has no queued tasks and no unflushed outbox
@@ -435,14 +439,15 @@ class Server::Impl {
   // ----- replication, primary side -----
 
   void HandleReplicaSubscribe(Reactor& r, Connection* conn);
-  Status ShipSnapshot(Reactor& r);
-  bool SendReplicaFrame(Reactor& r, const RequestMessage& message);
-  void HandleReplicaAck(Reactor& r, uint64_t seq);
-  ReplicaDropActions DropReplicaLocked(const std::string& reason);  // repl_mu_ held
-  void ApplyReplicaDrop(ReplicaDropActions actions);
-  void DropReplica(const std::string& reason);
-  void CheckReplicaAckTimeout();
-  void ReleaseParkedForDrain();
+  Status ShipSnapshot(Reactor& r) EXCLUDES(repl_mu_);
+  // Sequence assignment and the send stay ordered under the caller's lock.
+  bool SendReplicaFrame(Reactor& r, const RequestMessage& message) REQUIRES(repl_mu_);
+  void HandleReplicaAck(Reactor& r, uint64_t seq) EXCLUDES(repl_mu_);
+  ReplicaDropActions DropReplicaLocked(const std::string& reason) REQUIRES(repl_mu_);
+  void ApplyReplicaDrop(ReplicaDropActions actions) EXCLUDES(repl_mu_);
+  void DropReplica(const std::string& reason) EXCLUDES(repl_mu_);
+  void CheckReplicaAckTimeout() EXCLUDES(repl_mu_);
+  void ReleaseParkedForDrain() EXCLUDES(repl_mu_);
   void ResumeAfterAttach(Reactor& r);
 
   int ShardForKey(const Slice& key) const {
@@ -450,7 +455,7 @@ class Server::Impl {
   }
   int OwnerReactor(int shard) const { return shard % num_reactors_; }
   StoreEntry* FindStore(uint64_t id) {
-    std::lock_guard<std::mutex> lock(stores_mu_);
+    MutexLock lock(&stores_mu_);
     return id < stores_.size() ? stores_[id].get() : nullptr;
   }
   StoreEntry* FindOrCreateStore(const std::string& ns, const OperatorStateSpec& spec,
@@ -479,12 +484,12 @@ class Server::Impl {
   Status RestoreFromLatestCheckpoint();
 
   void SetFinalStatus(const Status& s) {
-    std::lock_guard<std::mutex> lock(status_mu_);
+    MutexLock lock(&status_mu_);
     if (final_status_.ok()) final_status_ = s;
   }
 
   void Join() {
-    std::lock_guard<std::mutex> lock(join_mu_);
+    MutexLock lock(&join_mu_);
     // Reactor 0 joins 1..N-1 in its shutdown tail; joining it joins the pool.
     if (!reactors_.empty() && reactors_[0]->thread.joinable()) {
       reactors_[0]->thread.join();
@@ -524,15 +529,18 @@ class Server::Impl {
   // repl_attach_ seqlock in HandleRequest so a snapshot attach can quiesce.
   std::atomic<size_t> pending_count_{0};
 
-  std::mutex status_mu_;
-  Status final_status_;
-  std::mutex join_mu_;
+  Mutex status_mu_;
+  Status final_status_ GUARDED_BY(status_mu_);
+  Mutex join_mu_;  // serializes concurrent Join() callers; guards no data
 
   // Store registry; the mutex covers the vector/map shape, open lifecycle,
-  // and chunk cursors (any reactor routes).
-  mutable std::mutex stores_mu_;
-  std::vector<std::unique_ptr<StoreEntry>> stores_;
-  std::map<std::string, uint64_t> store_ids_;
+  // and chunk cursors (any reactor routes). StoreEntry::open_state and
+  // StoreEntry::chunk_cursor are guarded by it too — a nested struct's
+  // fields cannot name the enclosing object's mutex in a GUARDED_BY, so
+  // those two keep comment-only guards (docs/STATIC_ANALYSIS.md).
+  mutable Mutex stores_mu_;
+  std::vector<std::unique_ptr<StoreEntry>> stores_ GUARDED_BY(stores_mu_);
+  std::map<std::string, uint64_t> store_ids_ GUARDED_BY(stores_mu_);
 
   // Connection directory for cross-reactor consumers (stats, accept); the
   // owning reactor's `conns` map remains the source of truth.
@@ -540,22 +548,22 @@ class Server::Impl {
     int reactor = 0;
     std::shared_ptr<Connection> conn;
   };
-  mutable std::mutex registry_mu_;
-  std::map<uint64_t, ConnRef> conn_registry_;
+  mutable Mutex registry_mu_;
+  std::map<uint64_t, ConnRef> conn_registry_ GUARDED_BY(registry_mu_);
 
   // Replication state. One standby at a time; a new subscriber supersedes
   // the old one. The mutex orders sequence assignment with the per-shard
   // task pushes so queue order always equals sequence order.
-  std::mutex repl_mu_;
-  uint64_t replica_conn_id_ = 0;  // 0 = no standby subscribed
-  int replica_reactor_ = -1;
-  uint64_t repl_next_seq_ = 1;
-  uint64_t repl_acked_seq_ = 0;
-  int64_t repl_last_progress_nanos_ = 0;
+  Mutex repl_mu_;
+  uint64_t replica_conn_id_ GUARDED_BY(repl_mu_) = 0;  // 0 = no standby subscribed
+  int replica_reactor_ GUARDED_BY(repl_mu_) = -1;
+  uint64_t repl_next_seq_ GUARDED_BY(repl_mu_) = 1;
+  uint64_t repl_acked_seq_ GUARDED_BY(repl_mu_) = 0;
+  int64_t repl_last_progress_nanos_ GUARDED_BY(repl_mu_) = 0;
   // Responses parked until the standby acks their carrying sequence.
-  std::map<uint64_t, std::shared_ptr<PendingRequest>> parked_;
+  std::map<uint64_t, std::shared_ptr<PendingRequest>> parked_ GUARDED_BY(repl_mu_);
   // Guarded by repl_mu_ (multi-thread increments would race RelaxedCounter).
-  obs::Counter* m_repl_drops_ = nullptr;
+  obs::Counter* m_repl_drops_ GUARDED_BY(repl_mu_) = nullptr;
   // Lock-free mirrors for the hot-path subscribed/attach checks.
   std::atomic<uint64_t> replica_conn_id_atomic_{0};
   std::atomic<bool> repl_attach_{false};
@@ -572,11 +580,11 @@ class Server::Impl {
     double exec_ms = 0;
     int64_t ts_ms = 0;  // monotonic, when the request finished
   };
-  std::mutex stats_mu_;
-  std::vector<SlowRequest> slow_log_;
-  int64_t stats_prev_nanos_ = 0;
-  int64_t stats_prev_requests_ = 0;
-  std::vector<int64_t> stats_prev_shard_ops_;
+  Mutex stats_mu_;
+  std::vector<SlowRequest> slow_log_ GUARDED_BY(stats_mu_);
+  int64_t stats_prev_nanos_ GUARDED_BY(stats_mu_) = 0;
+  int64_t stats_prev_requests_ GUARDED_BY(stats_mu_) = 0;
+  std::vector<int64_t> stats_prev_shard_ops_ GUARDED_BY(stats_mu_);
 
   // Shared instruments that stay safe across threads: gauges are plain
   // atomic stores, the histogram is internally locked.
@@ -729,8 +737,11 @@ Status Server::Impl::Init(const ServerOptions& options) {
     }
   }
 
-  stats_prev_nanos_ = MonotonicNanos();
-  stats_prev_shard_ops_.assign(static_cast<size_t>(options_.num_shards), 0);
+  {
+    MutexLock lock(&stats_mu_);  // uncontended: reactors start below
+    stats_prev_nanos_ = MonotonicNanos();
+    stats_prev_shard_ops_.assign(static_cast<size_t>(options_.num_shards), 0);
+  }
 
   for (int i = 0; i < num_reactors_; ++i) {
     reactors_[static_cast<size_t>(i)]->thread = std::thread(&Impl::ReactorMain, this, i);
@@ -749,7 +760,7 @@ Status Server::Impl::Init(const ServerOptions& options) {
 std::string Server::Impl::SerializeStoresMeta() {
   StoresMeta meta;
   meta.num_shards = options_.num_shards;
-  std::lock_guard<std::mutex> lock(stores_mu_);
+  MutexLock lock(&stores_mu_);
   for (const auto& store : stores_) {
     meta.stores.push_back({store->id, store->ns, store->spec});
   }
@@ -779,7 +790,10 @@ Status Server::Impl::RestoreFromLatestCheckpoint() {
   }
 
   // Pre-thread startup path: no reactors run yet, so restoring every shard's
-  // store on this thread keeps the single-writer contract.
+  // store on this thread keeps the single-writer contract. The registry lock
+  // is uncontended here; holding it across the per-shard opens is harmless
+  // and keeps the guarded-field accesses below analyzable.
+  MutexLock lock(&stores_mu_);
   for (const StoreMetaEntry& e : meta.stores) {
     auto entry = std::make_unique<StoreEntry>();
     entry->id = stores_.size();  // == e.id: DecodeStoresMeta enforces density
@@ -960,7 +974,7 @@ void Server::Impl::ReactorShutdownTail(Reactor& r, bool local_draining) {
   {
     std::deque<ReactorTask> leftover;
     {
-      std::lock_guard<std::mutex> lock(r.mu);
+      MutexLock lock(&r.mu);
       r.closed = true;
       leftover.swap(r.tasks);
       r.task_count.store(0, std::memory_order_relaxed);
@@ -991,7 +1005,7 @@ void Server::Impl::ReactorShutdownTail(Reactor& r, bool local_draining) {
   // gets a best-effort response before connections close.
   std::vector<std::shared_ptr<PendingRequest>> released;
   {
-    std::lock_guard<std::mutex> lock(repl_mu_);
+    MutexLock lock(&repl_mu_);
     replica_conn_id_ = 0;
     replica_reactor_ = -1;
     replica_conn_id_atomic_.store(0, std::memory_order_release);
@@ -1008,13 +1022,14 @@ void Server::Impl::ReactorShutdownTail(Reactor& r, bool local_draining) {
   for (auto& reactor : reactors_) {
     for (auto& kv : reactor->conns) {
       if (clean_drain) {
-        kv.second.conn->FlushWrites();  // best effort: deliver remaining acks
+        // Best effort: deliver remaining acks; the socket closes either way.
+        kv.second.conn->FlushWrites().IgnoreError();
       }
     }
     reactor->conns.clear();
   }
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(&registry_mu_);
     conn_registry_.clear();
   }
   m_open_conns_->Set(0);
@@ -1061,7 +1076,7 @@ void Server::Impl::AcceptNewConnections(Reactor& r, int listen_fd, bool tcp) {
         static_cast<int>(next_reactor_rr_.fetch_add(1, std::memory_order_relaxed) %
                          static_cast<uint32_t>(num_reactors_));
     {
-      std::lock_guard<std::mutex> lock(registry_mu_);
+      MutexLock lock(&registry_mu_);
       conn_registry_[id] = {target, conn};
       m_open_conns_->Set(static_cast<int64_t>(conn_registry_.size()));
     }
@@ -1075,7 +1090,7 @@ void Server::Impl::AcceptNewConnections(Reactor& r, int listen_fd, bool tcp) {
     task.conn = std::move(conn);
     if (!PostTask(target, std::move(task))) {
       // Target reactor already shut down (stop in flight): drop the conn.
-      std::lock_guard<std::mutex> lock(registry_mu_);
+      MutexLock lock(&registry_mu_);
       conn_registry_.erase(id);
       m_open_conns_->Set(static_cast<int64_t>(conn_registry_.size()));
     }
@@ -1271,7 +1286,7 @@ void Server::Impl::CloseConnLocal(Reactor& r, uint64_t conn_id) {
   ::epoll_ctl(r.epfd, EPOLL_CTL_DEL, it->second.conn->fd(), nullptr);
   r.conns.erase(it);
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(&registry_mu_);
     conn_registry_.erase(conn_id);
     m_open_conns_->Set(static_cast<int64_t>(conn_registry_.size()));
   }
@@ -1388,7 +1403,7 @@ void Server::Impl::HandleRequest(Reactor& r, Connection* conn, RequestMessage re
         continue;
       }
       {
-        std::lock_guard<std::mutex> lock(stores_mu_);
+        MutexLock lock(&stores_mu_);
         store->spec = op.spec;
         store->pattern = ClassifyPattern(op.spec.incremental, op.spec.window_kind,
                                          op.spec.alignment_hint);
@@ -1416,7 +1431,7 @@ void Server::Impl::HandleRequest(Reactor& r, Connection* conn, RequestMessage re
             ClassifyPattern(op.spec.incremental, op.spec.window_kind, op.spec.alignment_hint);
         bool already_open = false;
         {
-          std::lock_guard<std::mutex> lock(stores_mu_);
+          MutexLock lock(&stores_mu_);
           if (pattern != store->pattern) {
             result.status = Status::InvalidArgument(
                 "store " + op.ns + " already open with pattern " +
@@ -1477,7 +1492,7 @@ void Server::Impl::HandleRequest(Reactor& r, Connection* conn, RequestMessage re
       // cursor points at; FinishPending advances it on `done`.
       size_t cursor = 0;
       {
-        std::lock_guard<std::mutex> lock(stores_mu_);
+        MutexLock lock(&stores_mu_);
         auto cit = store->chunk_cursor.find(op.window);
         if (cit != store->chunk_cursor.end()) {
           cursor = cit->second;
@@ -1593,7 +1608,7 @@ void Server::Impl::DispatchReplicated(Reactor& r,
   ReplicaDropActions drop;
   bool dropped = false;
   {
-    std::lock_guard<std::mutex> lock(repl_mu_);
+    MutexLock lock(&repl_mu_);
     if (replica_conn_id_ != 0) {
       RequestMessage fwd;
       for (const OpRequest& op : pending->ops) {
@@ -1633,7 +1648,7 @@ void Server::Impl::DispatchReplicated(Reactor& r,
 Server::Impl::StoreEntry* Server::Impl::FindOrCreateStore(const std::string& ns,
                                                           const OperatorStateSpec& spec,
                                                           bool* created) {
-  std::lock_guard<std::mutex> lock(stores_mu_);
+  MutexLock lock(&stores_mu_);
   auto it = store_ids_.find(ns);
   if (it != store_ids_.end()) {
     *created = false;
@@ -1660,7 +1675,7 @@ Server::Impl::StoreEntry* Server::Impl::FindOrCreateStore(const std::string& ns,
 bool Server::Impl::PostTask(int reactor_index, ReactorTask task) {
   Reactor& r = *reactors_[static_cast<size_t>(reactor_index)];
   {
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(&r.mu);
     if (r.closed) {
       return false;
     }
@@ -1698,7 +1713,7 @@ void Server::Impl::DrainTasks(Reactor& r) {
   while (true) {
     std::deque<ReactorTask> batch;
     {
-      std::lock_guard<std::mutex> lock(r.mu);
+      MutexLock lock(&r.mu);
       if (r.tasks.empty()) {
         return;
       }
@@ -1772,7 +1787,7 @@ void Server::Impl::AbortTask(ReactorTask& task) {
       task.barrier->Done(Status::FailedPrecondition("server stopping"));
       break;
     case ReactorTask::Kind::kAdoptConn: {
-      std::lock_guard<std::mutex> lock(registry_mu_);
+      MutexLock lock(&registry_mu_);
       conn_registry_.erase(task.conn->id());
       m_open_conns_->Set(static_cast<int64_t>(conn_registry_.size()));
       break;
@@ -1882,7 +1897,7 @@ void Server::Impl::FinishPending(const std::shared_ptr<PendingRequest>& pending)
         }
       }
       if (op.type == OpType::kOpenStore || op.type == OpType::kRestoreStore) {
-        std::lock_guard<std::mutex> lock(stores_mu_);
+        MutexLock lock(&stores_mu_);
         auto sit = store_ids_.find(op.ns);
         if (sit != store_ids_.end()) {
           stores_[sit->second]->open_state = result.status.ok()
@@ -1914,7 +1929,7 @@ void Server::Impl::FinishPending(const std::shared_ptr<PendingRequest>& pending)
     }
 
     if (op.type == OpType::kGetWindowChunk && result.status.ok()) {
-      std::lock_guard<std::mutex> lock(stores_mu_);
+      MutexLock lock(&stores_mu_);
       StoreEntry* store =
           op.store_id < stores_.size() ? stores_[op.store_id].get() : nullptr;
       if (store != nullptr && result.done) {
@@ -1990,7 +2005,7 @@ void Server::Impl::FinishPending(const std::shared_ptr<PendingRequest>& pending)
     slow.exec_ms =
         static_cast<double>(pending->exec_nanos.load(std::memory_order_relaxed)) / 1e6;
     slow.ts_ms = finish_nanos / 1'000'000;
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     if (slow_log_.size() < options_.slow_log_size) {
       slow_log_.push_back(slow);
     } else {
@@ -2007,7 +2022,7 @@ void Server::Impl::FinishPending(const std::shared_ptr<PendingRequest>& pending)
   // lost by failing over. A drain releases parked responses instead — the
   // drain checkpoint makes them durable locally.
   if (pending->repl_seq != 0 && !draining_.load(std::memory_order_relaxed)) {
-    std::lock_guard<std::mutex> lock(repl_mu_);
+    MutexLock lock(&repl_mu_);
     if (replica_conn_id_ != 0 && pending->repl_seq > repl_acked_seq_) {
       if (parked_.empty()) {
         // The ack-timeout clock starts when there is something to wait for.
@@ -2115,7 +2130,7 @@ std::string Server::Impl::BuildStatsJson() {
   std::vector<double> shard_ops_per_sec(static_cast<size_t>(num_shards), 0);
   std::vector<SlowRequest> slow;
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     window_s = static_cast<double>(now - stats_prev_nanos_) / 1e9;
     if (window_s > 0) {
       req_per_sec = static_cast<double>(requests - stats_prev_requests_) / window_s;
@@ -2156,7 +2171,7 @@ std::string Server::Impl::BuildStatsJson() {
   j += "},";
 
   {
-    std::lock_guard<std::mutex> lock(repl_mu_);
+    MutexLock lock(&repl_mu_);
     const bool subscribed = replica_conn_id_ != 0;
     const unsigned long long lag =
         subscribed && repl_next_seq_ - 1 > repl_acked_seq_
@@ -2199,7 +2214,7 @@ std::string Server::Impl::BuildStatsJson() {
     // The registry (not the per-reactor maps) so any reactor can render the
     // whole directory; outbox_bytes() is the connection's one atomic field.
     const uint64_t replica_id = replica_conn_id_atomic_.load(std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(&registry_mu_);
     bool first_conn = true;
     for (const auto& kv : conn_registry_) {
       const Connection* conn = kv.second.conn.get();
@@ -2244,23 +2259,30 @@ std::string Server::Impl::BuildStatsJson() {
 void Server::Impl::HandleReplicaSubscribe(Reactor& r, Connection* conn) {
   const uint64_t conn_id = conn->id();
   ReplicaDropActions drop;
+  bool reject = false;
   {
-    std::lock_guard<std::mutex> lock(repl_mu_);
+    MutexLock lock(&repl_mu_);
     if (repl_attach_.load(std::memory_order_relaxed)) {
       // An attach is already quiescing the server (necessarily for another
       // connection: this one's frames were paused). One standby at a time.
-      FLOWKV_LOG(kWarn) << "rejecting replica subscribe during attach "
-                        << LogKv("conn", conn_id);
-      CloseConnLocal(r, conn_id);
-      return;
-    }
-    if (replica_conn_id_ != 0 && replica_conn_id_ != conn_id) {
+      // The close happens after the lock drops: CloseConnLocal can re-enter
+      // DropReplica (which takes repl_mu_) when the id matches the replica.
+      reject = true;
+    } else if (replica_conn_id_ != 0 && replica_conn_id_ != conn_id) {
       drop = DropReplicaLocked("superseded by a new subscriber");
     }
-    // Gate up: HandleRequest's seqlock now routes new requests to the
-    // deferred queues, and ProcessBufferedFrames stops decoding client
-    // frames.
-    repl_attach_.store(true, std::memory_order_seq_cst);
+    if (!reject) {
+      // Gate up: HandleRequest's seqlock now routes new requests to the
+      // deferred queues, and ProcessBufferedFrames stops decoding client
+      // frames.
+      repl_attach_.store(true, std::memory_order_seq_cst);
+    }
+  }
+  if (reject) {
+    FLOWKV_LOG(kWarn) << "rejecting replica subscribe during attach "
+                      << LogKv("conn", conn_id);
+    CloseConnLocal(r, conn_id);
+    return;
   }
   ApplyReplicaDrop(std::move(drop));
 
@@ -2287,7 +2309,7 @@ void Server::Impl::HandleReplicaSubscribe(Reactor& r, Connection* conn) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(repl_mu_);
+    MutexLock lock(&repl_mu_);
     replica_conn_id_ = conn_id;
     replica_reactor_ = r.index;
     repl_last_progress_nanos_ = MonotonicNanos();
@@ -2344,7 +2366,8 @@ void Server::Impl::ResumeAfterAttach(Reactor& r) {
 
 Status Server::Impl::ShipSnapshot(Reactor& r) {
   const std::string staged = JoinPath(options_.data_dir, kReplSnapshotDirName);
-  RemoveDirRecursively(staged);  // best effort; CreateDirs reports real failures
+  // Best effort; CreateDirs below reports real failures.
+  RemoveDirRecursively(staged).IgnoreError();
   FLOWKV_RETURN_IF_ERROR(CreateDirs(staged));
   FLOWKV_RETURN_IF_ERROR(CheckpointStoresTo(staged));
 
@@ -2368,7 +2391,7 @@ Status Server::Impl::ShipSnapshot(Reactor& r) {
       op.value = data.substr(offset, n);
       m.ops.push_back(std::move(op));
       {
-        std::lock_guard<std::mutex> lock(repl_mu_);
+        MutexLock lock(&repl_mu_);
         if (replica_conn_id_ == 0) {
           return Status::ConnectionReset("replica went away mid-snapshot");
         }
@@ -2386,7 +2409,7 @@ Status Server::Impl::ShipSnapshot(Reactor& r) {
   done_op.type = OpType::kSnapshotDone;
   done.ops.push_back(std::move(done_op));
   {
-    std::lock_guard<std::mutex> lock(repl_mu_);
+    MutexLock lock(&repl_mu_);
     if (replica_conn_id_ == 0) {
       return Status::ConnectionReset("replica went away mid-snapshot");
     }
@@ -2401,7 +2424,6 @@ Status Server::Impl::ShipSnapshot(Reactor& r) {
 }
 
 bool Server::Impl::SendReplicaFrame(Reactor& r, const RequestMessage& message) {
-  // Caller holds repl_mu_ (sequence assignment and the send stay ordered).
   (void)r;
   std::string payload;
   EncodeRequest(message, &payload);
@@ -2434,7 +2456,7 @@ void Server::Impl::HandleReplicaAck(Reactor& r, uint64_t seq) {
   (void)r;
   std::vector<std::shared_ptr<PendingRequest>> released;
   {
-    std::lock_guard<std::mutex> lock(repl_mu_);
+    MutexLock lock(&repl_mu_);
     if (seq > repl_acked_seq_) {
       repl_acked_seq_ = seq;
     }
@@ -2493,7 +2515,7 @@ void Server::Impl::ApplyReplicaDrop(ReplicaDropActions actions) {
       task.kind = ReactorTask::Kind::kCloseConn;
       task.conn_id = actions.close_conn_id;
       if (!PostTask(actions.close_reactor, std::move(task))) {
-        std::lock_guard<std::mutex> lock(registry_mu_);
+        MutexLock lock(&registry_mu_);
         conn_registry_.erase(actions.close_conn_id);
         m_open_conns_->Set(static_cast<int64_t>(conn_registry_.size()));
       }
@@ -2505,7 +2527,7 @@ void Server::Impl::ApplyReplicaDrop(ReplicaDropActions actions) {
 void Server::Impl::DropReplica(const std::string& reason) {
   ReplicaDropActions actions;
   {
-    std::lock_guard<std::mutex> lock(repl_mu_);
+    MutexLock lock(&repl_mu_);
     actions = DropReplicaLocked(reason);
   }
   ApplyReplicaDrop(std::move(actions));
@@ -2514,7 +2536,7 @@ void Server::Impl::DropReplica(const std::string& reason) {
 void Server::Impl::CheckReplicaAckTimeout() {
   ReplicaDropActions actions;
   {
-    std::lock_guard<std::mutex> lock(repl_mu_);
+    MutexLock lock(&repl_mu_);
     if (replica_conn_id_ == 0 || parked_.empty()) {
       return;  // the timeout clock only runs while something waits for an ack
     }
@@ -2531,7 +2553,7 @@ void Server::Impl::CheckReplicaAckTimeout() {
 void Server::Impl::ReleaseParkedForDrain() {
   std::vector<std::shared_ptr<PendingRequest>> released;
   {
-    std::lock_guard<std::mutex> lock(repl_mu_);
+    MutexLock lock(&repl_mu_);
     for (auto& entry : parked_) {
       released.push_back(std::move(entry.second));
     }
@@ -2574,7 +2596,7 @@ Status Server::Impl::DrainCheckpoint() {
 Status Server::Impl::CheckpointStoresTo(const std::string& staged) {
   std::vector<StoreEntry*> entries;
   {
-    std::lock_guard<std::mutex> lock(stores_mu_);
+    MutexLock lock(&stores_mu_);
     for (const auto& store : stores_) {
       entries.push_back(store.get());
     }

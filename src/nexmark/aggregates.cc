@@ -63,7 +63,10 @@ std::string TopAuctionAggregate::CreateAccumulator() const {
 }
 
 void TopAuctionAggregate::Add(const Slice& value, std::string* accumulator) const {
-  uint64_t best_auction, best_count, auction, count;
+  // A short/corrupt accumulator decodes as the neutral element (any real bid
+  // beats it) instead of feeding uninitialized values into the comparison.
+  uint64_t best_auction = UINT64_MAX, best_count = 0;
+  uint64_t auction, count;
   DecodeAuctionCount(*accumulator, &best_auction, &best_count);
   if (DecodeAuctionCount(value, &auction, &count) &&
       PairBeats(best_auction, best_count, auction, count)) {
@@ -76,7 +79,8 @@ std::string TopAuctionAggregate::GetResult(const Slice& accumulator) const {
 }
 
 std::string TopAuctionAggregate::MergeAccumulators(const Slice& a, const Slice& b) const {
-  uint64_t auction_a, count_a, auction_b, count_b;
+  // As in Add: a side that fails to decode is the neutral element and loses.
+  uint64_t auction_a = UINT64_MAX, count_a = 0, auction_b = UINT64_MAX, count_b = 0;
   DecodeAuctionCount(a, &auction_a, &count_a);
   DecodeAuctionCount(b, &auction_b, &count_b);
   return PairBeats(auction_a, count_a, auction_b, count_b) ? b.ToString() : a.ToString();

@@ -67,28 +67,28 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return FindOrCreate(&counters_, name + LabelsFromContext().Key());
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return FindOrCreate(&gauges_, name + LabelsFromContext().Key());
 }
 
 TimerMetric* MetricsRegistry::GetTimer(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return FindOrCreate(&timers_, name + LabelsFromContext().Key());
 }
 
 HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return FindOrCreate(&histograms_, name + LabelsFromContext().Key());
 }
 
 std::vector<HistogramSample> MetricsRegistry::HistogramSnapshots() const {
   std::vector<HistogramSample> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& kv : histograms_) {
     HistogramSample s;
     s.labels = ParseKey(kv.first, &s.name);
@@ -104,7 +104,7 @@ std::vector<HistogramSample> MetricsRegistry::HistogramSnapshots() const {
 }
 
 uint64_t MetricsRegistry::RegisterStoreStats(StoreStats* stats, const char* pattern) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   StatsEntry entry;
   entry.id = next_stats_id_++;
   entry.stats = stats;
@@ -114,7 +114,7 @@ uint64_t MetricsRegistry::RegisterStoreStats(StoreStats* stats, const char* patt
 }
 
 void MetricsRegistry::UnregisterStoreStats(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (size_t i = 0; i < stats_.size(); ++i) {
     if (stats_[i].id == id) {
       stats_.erase(stats_.begin() + static_cast<ptrdiff_t>(i));
@@ -127,7 +127,7 @@ StoreStats MetricsRegistry::AggregateStoreStats(int worker) const {
   StoreStats agg;
   size_t n = 0;
   const StoreStats::CounterField* fields = StoreStats::CounterFields(&n);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const StatsEntry& entry : stats_) {
     if (worker >= 0 && entry.labels.worker != worker) continue;
     // Counters only: relaxed loads are race-free against the owning worker;
@@ -144,7 +144,7 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
   std::vector<MetricSample> out;
   size_t n = 0;
   const StoreStats::CounterField* fields = StoreStats::CounterFields(&n);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
 
   auto parse_key = [](const std::string& key, MetricSample* s) { s->labels = ParseKey(key, &s->name); };
 
@@ -204,7 +204,7 @@ std::string MetricsRegistry::SnapshotJson() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& kv : counters_) *kv.second = Counter();
   for (auto& kv : gauges_) *kv.second = Gauge();
   for (auto& kv : timers_) *kv.second = TimerMetric();

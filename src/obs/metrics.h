@@ -15,13 +15,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/histogram.h"
 #include "src/common/relaxed_counter.h"
 #include "src/common/stats.h"
+#include "src/common/thread_annotations.h"
 
 namespace flowkv {
 namespace obs {
@@ -81,21 +81,21 @@ class TimerMetric {
 class HistogramMetric {
  public:
   void Record(double value) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     hist_.Add(value);
   }
   Histogram SnapshotHistogram() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return hist_;
   }
   void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     hist_.Clear();
   }
 
  private:
-  mutable std::mutex mu_;
-  Histogram hist_;
+  mutable Mutex mu_;
+  Histogram hist_ GUARDED_BY(mu_);
 };
 
 // One row of a registry snapshot.
@@ -161,13 +161,16 @@ class MetricsRegistry {
     MetricLabels labels;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<TimerMetric>> timers_;
-  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
-  std::vector<StatsEntry> stats_;
-  uint64_t next_stats_id_ = 1;
+  // The mutex guards the registry's *shape* (the maps and the stats list);
+  // the instruments the map values point at are updated lock-free by their
+  // single-writer owners and sampled with relaxed loads.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<TimerMetric>> timers_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_ GUARDED_BY(mu_);
+  std::vector<StatsEntry> stats_ GUARDED_BY(mu_);
+  uint64_t next_stats_id_ GUARDED_BY(mu_) = 1;
 };
 
 // RAII registration of a store's StoreStats with the global registry.

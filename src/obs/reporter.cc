@@ -13,8 +13,8 @@ namespace obs {
 namespace {
 
 struct FlightRecorder {
-  std::mutex mu;
-  std::string path;
+  Mutex mu;
+  std::string path GUARDED_BY(mu);
 };
 
 FlightRecorder& Flight() {
@@ -41,13 +41,13 @@ void AppendJsonEscaped(std::string* out, const std::string& s) {
 
 void SetFlightRecordPath(const std::string& path) {
   FlightRecorder& fr = Flight();
-  std::lock_guard<std::mutex> lock(fr.mu);
+  MutexLock lock(&fr.mu);
   fr.path = path;
 }
 
 std::string FlightRecordPath() {
   FlightRecorder& fr = Flight();
-  std::lock_guard<std::mutex> lock(fr.mu);
+  MutexLock lock(&fr.mu);
   return fr.path;
 }
 
@@ -55,7 +55,7 @@ bool TriggerFlightRecord(const std::string& reason) {
   FlightRecorder& fr = Flight();
   // Held across the write so concurrent triggers interleave whole records,
   // not lines. Failure paths are cold; contention here is irrelevant.
-  std::lock_guard<std::mutex> lock(fr.mu);
+  MutexLock lock(&fr.mu);
   if (fr.path.empty()) return false;
   std::FILE* out = std::fopen(fr.path.c_str(), "a");
   if (out == nullptr) return false;
@@ -91,7 +91,7 @@ bool TriggerFlightRecord(const std::string& reason) {
 PeriodicReporter::~PeriodicReporter() { Stop(); }
 
 WorkerProgress* PeriodicReporter::RegisterWorker(int worker) {
-  std::lock_guard<std::mutex> lock(workers_mu_);
+  MutexLock lock(&workers_mu_);
   auto it = workers_.find(worker);
   if (it == workers_.end()) {
     it = workers_.emplace(worker, std::make_unique<WorkerProgress>()).first;
@@ -105,7 +105,10 @@ bool PeriodicReporter::Start(const std::string& path, int interval_ms) {
   if (out_ == nullptr) return false;
   interval_ms_ = interval_ms < 1 ? 1 : interval_ms;
   start_nanos_ = MonotonicNanos();
-  stop_requested_ = false;
+  {
+    MutexLock lock(&mu_);
+    stop_requested_ = false;
+  }
   if (FlightRecordPath().empty()) {
     SetFlightRecordPath(path + ".flight");
   }
@@ -116,7 +119,7 @@ bool PeriodicReporter::Start(const std::string& path, int interval_ms) {
 void PeriodicReporter::Stop() {
   if (thread_.joinable()) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       stop_requested_ = true;
     }
     cv_.notify_all();
@@ -130,15 +133,18 @@ void PeriodicReporter::Stop() {
 }
 
 void PeriodicReporter::Run() {
-  std::unique_lock<std::mutex> lock(mu_);
+  // Explicit wait loop (no predicate lambda): the thread-safety analysis
+  // cannot see that a lambda body runs with mu_ held, a plain loop it can.
+  ReleasableMutexLock lock(&mu_);
   while (!stop_requested_) {
-    if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
-                     [this] { return stop_requested_; })) {
-      break;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(interval_ms_);
+    while (!stop_requested_ && cv_.wait_until(mu_, deadline) != std::cv_status::timeout) {
     }
-    lock.unlock();
+    if (stop_requested_) break;
+    lock.Unlock();
     EmitSample();
-    lock.lock();
+    lock.Lock();
   }
 }
 
@@ -147,7 +153,7 @@ void PeriodicReporter::EmitSample() {
   const int64_t now_ns = MonotonicNanos();
   const int64_t ts_ms = now_ns / 1000000;
 
-  std::lock_guard<std::mutex> lock(workers_mu_);
+  MutexLock lock(&workers_mu_);
   for (const auto& kv : workers_) {
     const int worker = kv.first;
     const WorkerProgress& progress = *kv.second;

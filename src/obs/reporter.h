@@ -21,12 +21,12 @@
 #include <cstdio>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/common/relaxed_counter.h"
+#include "src/common/thread_annotations.h"
 
 namespace flowkv {
 namespace obs {
@@ -75,18 +75,20 @@ class PeriodicReporter {
   void Run();
   void EmitSample();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_requested_ = false;
+  Mutex mu_;
+  std::condition_variable_any cv_;
+  bool stop_requested_ GUARDED_BY(mu_) = false;
   std::thread thread_;
+  // Written by Start()/Stop() only while the sampling thread is not running;
+  // the thread-creation/join edges order them against Run()'s reads.
   std::FILE* out_ = nullptr;
   int interval_ms_ = 100;
   int64_t start_nanos_ = 0;
 
-  std::mutex workers_mu_;
-  std::map<int, std::unique_ptr<WorkerProgress>> workers_;
+  Mutex workers_mu_;
+  std::map<int, std::unique_ptr<WorkerProgress>> workers_ GUARDED_BY(workers_mu_);
   // Per worker: last sampled events_in and its timestamp, for throughput.
-  std::map<int, std::pair<int64_t, int64_t>> last_sample_;
+  std::map<int, std::pair<int64_t, int64_t>> last_sample_ GUARDED_BY(workers_mu_);
 };
 
 }  // namespace obs

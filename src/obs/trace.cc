@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/obs/context.h"
 
 namespace flowkv {
@@ -52,6 +52,14 @@ class Ring {
   }
 
  private:
+  // INVARIANT(single-writer): Push runs only on the ring's owning thread
+  // (each thread records into its thread-local ring), so the unsynchronized
+  // slot write followed by the relaxed count_ bump never races another
+  // writer. Collect/size/dropped may run on other threads but only after
+  // the writer quiesced (export paths stop tracing first) — the Controller
+  // mutex guards the ring *directory*, never the slot contents. Not
+  // expressible with GUARDED_BY; the clang -Wthread-safety pass cannot
+  // check it, reviewers must.
   int32_t tid_;
   std::vector<TraceEvent> slots_;
   std::atomic<size_t> count_{0};
@@ -60,13 +68,17 @@ class Ring {
 namespace {
 
 struct Controller {
-  std::mutex mu;
-  std::vector<std::unique_ptr<Ring>> rings;
-  size_t ring_capacity = 64 * 1024;
-  uint64_t generation = 0;  // bumped on Enable/Reset to invalidate cached refs
-  int32_t next_anon_tid = 1000;
-  int export_pid = 1;
-  const char* export_name = nullptr;  // process_name metadata, if set
+  Mutex mu;
+  // The mutex guards the controller bookkeeping (ring list shape, generation,
+  // export metadata). Ring *contents* are single-writer: each ring is pushed
+  // to by exactly one thread (the one that created it) and only read back
+  // once that writer quiesced — see the Ring comment above.
+  std::vector<std::unique_ptr<Ring>> rings GUARDED_BY(mu);
+  size_t ring_capacity GUARDED_BY(mu) = 64 * 1024;
+  uint64_t generation GUARDED_BY(mu) = 0;  // bumped on Enable/Reset to invalidate cached refs
+  int32_t next_anon_tid GUARDED_BY(mu) = 1000;
+  int export_pid GUARDED_BY(mu) = 1;
+  const char* export_name GUARDED_BY(mu) = nullptr;  // process_name metadata, if set
 };
 
 Controller& Ctl() {
@@ -82,7 +94,7 @@ thread_local CachedRing t_ring;
 
 Ring* CurrentRing() {
   Controller& ctl = Ctl();
-  std::lock_guard<std::mutex> lock(ctl.mu);
+  MutexLock lock(&ctl.mu);
   if (t_ring.ring != nullptr && t_ring.generation == ctl.generation) {
     return t_ring.ring;
   }
@@ -108,7 +120,7 @@ void Record(const TraceEvent& event) {
 void Tracing::Enable(size_t ring_capacity) {
   auto& ctl = trace_internal::Ctl();
   {
-    std::lock_guard<std::mutex> lock(ctl.mu);
+    MutexLock lock(&ctl.mu);
     ctl.rings.clear();
     ctl.ring_capacity = ring_capacity == 0 ? 1 : ring_capacity;
     ++ctl.generation;
@@ -121,21 +133,21 @@ void Tracing::Disable() { trace_internal::g_enabled.store(false, std::memory_ord
 void Tracing::Reset() {
   Disable();
   auto& ctl = trace_internal::Ctl();
-  std::lock_guard<std::mutex> lock(ctl.mu);
+  MutexLock lock(&ctl.mu);
   ctl.rings.clear();
   ++ctl.generation;
 }
 
 void Tracing::SetExportProcess(int pid, const char* process_name) {
   auto& ctl = trace_internal::Ctl();
-  std::lock_guard<std::mutex> lock(ctl.mu);
+  MutexLock lock(&ctl.mu);
   ctl.export_pid = pid;
   ctl.export_name = process_name;
 }
 
 size_t Tracing::EventCount() {
   auto& ctl = trace_internal::Ctl();
-  std::lock_guard<std::mutex> lock(ctl.mu);
+  MutexLock lock(&ctl.mu);
   size_t n = 0;
   for (const auto& ring : ctl.rings) n += ring->size();
   return n;
@@ -143,7 +155,7 @@ size_t Tracing::EventCount() {
 
 uint64_t Tracing::DroppedCount() {
   auto& ctl = trace_internal::Ctl();
-  std::lock_guard<std::mutex> lock(ctl.mu);
+  MutexLock lock(&ctl.mu);
   uint64_t n = 0;
   for (const auto& ring : ctl.rings) n += ring->dropped();
   return n;
@@ -153,7 +165,7 @@ std::vector<TraceEvent> Tracing::SnapshotEvents() {
   std::vector<TraceEvent> events;
   {
     auto& ctl = trace_internal::Ctl();
-    std::lock_guard<std::mutex> lock(ctl.mu);
+    MutexLock lock(&ctl.mu);
     for (const auto& ring : ctl.rings) ring->Collect(&events);
   }
   std::stable_sort(events.begin(), events.end(),
@@ -167,7 +179,7 @@ bool Tracing::ExportChromeTrace(const std::string& path) {
   const char* process_name = nullptr;
   {
     auto& ctl = trace_internal::Ctl();
-    std::lock_guard<std::mutex> lock(ctl.mu);
+    MutexLock lock(&ctl.mu);
     pid = ctl.export_pid;
     process_name = ctl.export_name;
   }

@@ -68,7 +68,7 @@ class BackendsTest : public ::testing::TestWithParam<BackendKind> {
     ASSERT_TRUE(factory_->CreateBackend(0, "op", &backend_).ok());
   }
 
-  void TearDown() override { RemoveDirRecursively(dir_); }
+  void TearDown() override { RemoveDirRecursively(dir_).IgnoreError(); }
 
   OperatorStateSpec Spec(WindowKind kind, bool incremental) {
     OperatorStateSpec spec;

@@ -259,7 +259,7 @@ TEST(FileTest, AppendAndReadBack) {
   ASSERT_TRUE(in->Read(6, 5, &got, scratch).ok());
   EXPECT_EQ(got.ToString(), "world");
   EXPECT_FALSE(in->Read(8, 10, &got, scratch).ok());  // beyond EOF
-  RemoveDirRecursively(dir);
+  RemoveDirRecursively(dir).IgnoreError();
 }
 
 TEST(FileTest, ReopenAppends) {
@@ -279,7 +279,7 @@ TEST(FileTest, ReopenAppends) {
   std::string contents;
   ASSERT_TRUE(ReadFileToString(path, &contents).ok());
   EXPECT_EQ(contents, "abcdef");
-  RemoveDirRecursively(dir);
+  RemoveDirRecursively(dir).IgnoreError();
 }
 
 TEST(FileTest, LargeWritesBypassBuffer) {
@@ -297,7 +297,7 @@ TEST(FileTest, LargeWritesBypassBuffer) {
   EXPECT_EQ(contents.size(), big.size() + 7);
   EXPECT_EQ(contents.substr(0, 3), "pre");
   EXPECT_EQ(contents.substr(contents.size() - 4), "post");
-  RemoveDirRecursively(dir);
+  RemoveDirRecursively(dir).IgnoreError();
 }
 
 TEST(FileTest, ZeroCopyTransferMovesRange) {
@@ -314,7 +314,7 @@ TEST(FileTest, ZeroCopyTransferMovesRange) {
   std::string contents;
   ASSERT_TRUE(ReadFileToString(dst_path, &contents).ok());
   EXPECT_EQ(contents, "HEAD:456789ab");
-  RemoveDirRecursively(dir);
+  RemoveDirRecursively(dir).IgnoreError();
 }
 
 TEST(FileTest, ZeroCopyTransferRejectsBeyondEof) {
@@ -324,7 +324,7 @@ TEST(FileTest, ZeroCopyTransferRejectsBeyondEof) {
   std::unique_ptr<AppendFile> dst;
   ASSERT_TRUE(AppendFile::Open(JoinPath(dir, "dst"), false, &dst).ok());
   EXPECT_FALSE(ZeroCopyTransfer(src, 2, 100, dst.get()).ok());
-  RemoveDirRecursively(dir);
+  RemoveDirRecursively(dir).IgnoreError();
 }
 
 TEST(HistogramTest, PercentilesOrdered) {

@@ -39,7 +39,7 @@ class FaultInjectionTest : public ::testing::Test {
     fs_->ResetTracking();
     InstallFsHooks(nullptr);
     for (const auto& dir : dirs_) {
-      RemoveDirRecursively(dir);
+      RemoveDirRecursively(dir).IgnoreError();
     }
   }
 

@@ -16,7 +16,7 @@ namespace {
 class AarStoreTest : public ::testing::Test {
  protected:
   void SetUp() override { dir_ = MakeTempDir("aar_test"); }
-  void TearDown() override { RemoveDirRecursively(dir_); }
+  void TearDown() override { RemoveDirRecursively(dir_).IgnoreError(); }
 
   std::unique_ptr<AarStore> OpenStore(FlowKvOptions options = {}) {
     std::unique_ptr<AarStore> store;

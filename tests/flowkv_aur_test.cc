@@ -18,7 +18,7 @@ namespace {
 class AurStoreTest : public ::testing::Test {
  protected:
   void SetUp() override { dir_ = MakeTempDir("aur_test"); }
-  void TearDown() override { RemoveDirRecursively(dir_); }
+  void TearDown() override { RemoveDirRecursively(dir_).IgnoreError(); }
 
   std::unique_ptr<AurStore> OpenStore(FlowKvOptions options = {}, int64_t session_gap = 100) {
     std::unique_ptr<AurStore> store;

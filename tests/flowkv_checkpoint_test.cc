@@ -30,9 +30,9 @@ class CheckpointTest : public ::testing::Test {
     restored_ = MakeTempDir("ckpt_dst");
   }
   void TearDown() override {
-    RemoveDirRecursively(dir_);
-    RemoveDirRecursively(ckpt_);
-    RemoveDirRecursively(restored_);
+    RemoveDirRecursively(dir_).IgnoreError();
+    RemoveDirRecursively(ckpt_).IgnoreError();
+    RemoveDirRecursively(restored_).IgnoreError();
   }
 
   std::string dir_, ckpt_, restored_;
@@ -185,8 +185,8 @@ TEST_F(CheckpointTest, RepeatedCheckpointsAreIndependent) {
   EXPECT_EQ(acc, "v1");
   ASSERT_TRUE(r2->Get("k", Window(0, 100), &acc).ok());
   EXPECT_EQ(acc, "v2");
-  RemoveDirRecursively(ckpt2);
-  RemoveDirRecursively(restored2);
+  RemoveDirRecursively(ckpt2).IgnoreError();
+  RemoveDirRecursively(restored2).IgnoreError();
 }
 
 TEST_F(CheckpointTest, PipelineCheckpointSnapshotsEveryOperator) {

@@ -16,7 +16,7 @@ namespace {
 class FlowKvStoreTest : public ::testing::Test {
  protected:
   void SetUp() override { dir_ = MakeTempDir("flowkv_test"); }
-  void TearDown() override { RemoveDirRecursively(dir_); }
+  void TearDown() override { RemoveDirRecursively(dir_).IgnoreError(); }
 
   OperatorStateSpec Spec(WindowKind kind, bool incremental) {
     OperatorStateSpec spec;
@@ -42,11 +42,11 @@ class FlowKvStoreTest : public ::testing::Test {
 TEST_F(FlowKvStoreTest, PatternDeterminationAtLaunch) {
   EXPECT_EQ(OpenStore(WindowKind::kTumbling, true)->pattern(),
             StorePattern::kReadModifyWrite);
-  RemoveDirRecursively(dir_);
+  RemoveDirRecursively(dir_).IgnoreError();
   dir_ = MakeTempDir("flowkv_test");
   EXPECT_EQ(OpenStore(WindowKind::kTumbling, false)->pattern(),
             StorePattern::kAppendAligned);
-  RemoveDirRecursively(dir_);
+  RemoveDirRecursively(dir_).IgnoreError();
   dir_ = MakeTempDir("flowkv_test");
   EXPECT_EQ(OpenStore(WindowKind::kSession, false)->pattern(),
             StorePattern::kAppendUnaligned);

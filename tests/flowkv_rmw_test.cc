@@ -14,7 +14,7 @@ namespace {
 class RmwStoreTest : public ::testing::Test {
  protected:
   void SetUp() override { dir_ = MakeTempDir("rmw_test"); }
-  void TearDown() override { RemoveDirRecursively(dir_); }
+  void TearDown() override { RemoveDirRecursively(dir_).IgnoreError(); }
 
   std::unique_ptr<RmwStore> OpenStore(FlowKvOptions options = {}) {
     std::unique_ptr<RmwStore> store;

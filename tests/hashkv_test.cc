@@ -17,7 +17,7 @@ namespace {
 class HashKvTest : public ::testing::Test {
  protected:
   void SetUp() override { dir_ = MakeTempDir("hashkv_test"); }
-  void TearDown() override { RemoveDirRecursively(dir_); }
+  void TearDown() override { RemoveDirRecursively(dir_).IgnoreError(); }
 
   std::unique_ptr<HashKvStore> OpenStore(HashKvOptions options = {}) {
     std::unique_ptr<HashKvStore> store;

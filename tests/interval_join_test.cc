@@ -172,7 +172,7 @@ TEST(IntervalJoinBackendTest, FlowKvMatchesMemory) {
   FlowKvBackendFactory flowkv(dir, options);
   auto actual = run(&flowkv);
   EXPECT_EQ(actual, expected);
-  RemoveDirRecursively(dir);
+  RemoveDirRecursively(dir).IgnoreError();
 }
 
 }  // namespace

@@ -1,0 +1,65 @@
+// Lint fixture — NOT compiled. Seeded violations for the
+// flowkv-borrowed-slice-escape check; every line marked BAD below must
+// produce exactly one diagnostic (see borrowed_escape_bad.expected).
+//
+// The shapes mirror src/net/server.cc: a RequestMessage filled by
+// DecodeRequestBorrowed aliases the connection rx buffer, so storing,
+// queueing, or capturing it without MaterializeRefs() is a use-after-free
+// in waiting.
+
+#include "src/net/protocol.h"
+
+namespace flowkv {
+
+class Session {
+ public:
+  void QueueWithoutMaterialize(Slice payload);
+  void StoreIntoMember(Slice payload);
+  void CaptureInLambda(Slice payload);
+  void MaterializeTooLate(Slice payload);
+
+ private:
+  std::deque<RequestMessage> deferred_;
+  RequestMessage last_request_;
+  std::function<void()> replay_;
+};
+
+// Queued into a container that outlives the rx buffer.
+void Session::QueueWithoutMaterialize(Slice payload) {
+  RequestMessage request;
+  const Status s = DecodeRequestBorrowed(payload, &request);
+  if (!s.ok()) {
+    return;
+  }
+  deferred_.push_back(std::move(request));  // BAD: queued while borrowed
+}
+
+// Stored into a long-lived member field.
+void Session::StoreIntoMember(Slice payload) {
+  RequestMessage request;
+  if (!DecodeRequestBorrowed(payload, &request).ok()) {
+    return;
+  }
+  last_request_ = std::move(request);  // BAD: stored while borrowed
+}
+
+// Captured by a lambda that runs after the frame is consumed. Capturing by
+// copy does not help: copying a RequestMessage copies its borrowed Slices.
+void Session::CaptureInLambda(Slice payload) {
+  RequestMessage request;
+  const Status s = DecodeRequestBorrowed(payload, &request);
+  PostToReactor([request]() { Replay(request); });  // BAD: captured while borrowed
+}
+
+// MaterializeRefs() after the escape does not help: the queue already holds
+// the borrowed slices.
+void Session::MaterializeTooLate(Slice payload) {
+  RequestMessage request;
+  const Status s = DecodeRequestBorrowed(payload, &request);
+  deferred_.push_back(std::move(request));  // BAD: materialized too late
+  for (OpRequest& op : deferred_.back().ops) {
+    op.MaterializeRefs();
+  }
+}
+
+}  // namespace flowkv

@@ -1,0 +1,62 @@
+// Lint fixture — NOT compiled. Patterns the flowkv-borrowed-slice-escape
+// check must ACCEPT: this file lints clean (borrowed_escape_good.expected is
+// empty).
+
+#include "src/net/protocol.h"
+
+namespace flowkv {
+
+class Session {
+ public:
+  void MaterializeThenQueue(Slice payload);
+  void InlineHandoff(Slice payload);
+  void ReadOnlyUse(Slice payload);
+  void DocumentedSuppression(Slice payload);
+
+ private:
+  std::deque<RequestMessage> deferred_;
+  size_t op_count_ = 0;
+};
+
+// The canonical pattern: own every field, then queue.
+void Session::MaterializeThenQueue(Slice payload) {
+  RequestMessage request;
+  const Status s = DecodeRequestBorrowed(payload, &request);
+  if (!s.ok()) {
+    return;
+  }
+  for (OpRequest& op : request.ops) {
+    op.MaterializeRefs();
+  }
+  deferred_.push_back(std::move(request));  // ok: materialized above
+}
+
+// Passing the message as a call argument — including std::move — keeps the
+// handoff on this stack, above the rx buffer's Consume().
+void Session::InlineHandoff(Slice payload) {
+  RequestMessage request;
+  if (!DecodeRequestBorrowed(payload, &request).ok()) {
+    return;
+  }
+  HandleRequest(std::move(request));  // ok: inline dispatch
+}
+
+// Plain reads of a borrowed message never escape.
+void Session::ReadOnlyUse(Slice payload) {
+  RequestMessage request;
+  const Status s = DecodeRequestBorrowed(payload, &request);
+  if (request.ops.size() > 1) {
+    op_count_ += request.ops.size();
+  }
+}
+
+// A deliberate escape can be suppressed inline; every real-tree suppression
+// must be listed in docs/STATIC_ANALYSIS.md.
+void Session::DocumentedSuppression(Slice payload) {
+  RequestMessage request;
+  const Status s = DecodeRequestBorrowed(payload, &request);
+  // Safe here: the queue is drained before Consume() on this same stack.
+  deferred_.push_back(std::move(request));  // NOLINT(flowkv-borrowed-slice-escape)
+}
+
+}  // namespace flowkv

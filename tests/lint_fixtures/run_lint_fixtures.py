@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Asserts flowkv_lint's exact diagnostics over the fixture corpus.
+
+Each `<name>.cc` fixture has a sibling `<name>.expected` holding the exact
+stdout the lint must produce for it (empty file = must lint clean). Fixtures
+are linted one at a time from this directory so diagnostics carry bare file
+names and the .expected files stay path-independent.
+
+Usage: run_lint_fixtures.py <path-to-flowkv_lint> [fixture-dir]
+Exit:  0 all fixtures match, 1 any mismatch, 2 usage/setup error.
+"""
+import pathlib
+import subprocess
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    lint = pathlib.Path(sys.argv[1]).resolve()
+    fixture_dir = (
+        pathlib.Path(sys.argv[2]) if len(sys.argv) > 2
+        else pathlib.Path(__file__).resolve().parent
+    )
+    if not lint.is_file():
+        print(f"lint binary not found: {lint}", file=sys.stderr)
+        return 2
+    fixtures = sorted(fixture_dir.glob("*.cc"))
+    if not fixtures:
+        print(f"no fixtures under {fixture_dir}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for src in fixtures:
+        expected_path = src.with_suffix(".expected")
+        if not expected_path.exists():
+            print(f"FAIL {src.name}: missing {expected_path.name}", file=sys.stderr)
+            failures += 1
+            continue
+        expected = expected_path.read_text()
+        proc = subprocess.run(
+            [str(lint), src.name],
+            cwd=fixture_dir,
+            capture_output=True,
+            text=True,
+        )
+        want_rc = 1 if expected.strip() else 0
+        ok = proc.stdout == expected and proc.returncode == want_rc
+        print(f"{'ok  ' if ok else 'FAIL'} {src.name}")
+        if not ok:
+            failures += 1
+            sys.stderr.write(
+                f"--- {src.name}: expected (exit {want_rc}):\n{expected}"
+                f"--- got (exit {proc.returncode}):\n{proc.stdout}{proc.stderr}"
+            )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+// Lint fixture — NOT compiled. Seeded violations for the
+// flowkv-unchecked-status check; every line marked BAD below must produce
+// exactly one diagnostic (see unchecked_status_bad.expected).
+
+namespace flowkv {
+
+class Status {
+ public:
+  bool ok() const;
+  void IgnoreError() const;
+};
+
+Status DoThing();
+Status Flush(int fd);
+Store* MakeStore();
+
+class Store {
+ public:
+  Status Open(const char* path);
+  Status Close();
+};
+
+void Caller(Store* store) {
+  DoThing();          // BAD: free-function result dropped
+  store->Open("x");   // BAD: member-call result dropped
+  store->Close();     // BAD: member-call result dropped
+  Flush(3);           // BAD: result dropped despite argument use
+  MakeStore()->Open("y");  // BAD: trailing call in a chain dropped
+}
+
+}  // namespace flowkv

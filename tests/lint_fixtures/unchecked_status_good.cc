@@ -1,0 +1,41 @@
+// Lint fixture — NOT compiled. Patterns the flowkv-unchecked-status check
+// must ACCEPT: this file lints clean (unchecked_status_good.expected is
+// empty).
+
+namespace flowkv {
+
+class Status {
+ public:
+  bool ok() const;
+  void IgnoreError() const;
+};
+
+Status DoThing();
+
+// `Add` is declared with both a Status and a non-Status return type, so it is
+// ambiguous at token level and never flagged — [[nodiscard]] on Status is the
+// compiler-side backstop for such names.
+void Add(int delta);
+
+class Counter {
+ public:
+  Status Add(long delta);
+};
+
+Status Forward() {
+  return DoThing();  // ok: returned
+}
+
+void Caller(Counter* counter) {
+  Status s = DoThing();  // ok: assigned
+  if (!DoThing().ok()) {  // ok: checked
+    return;
+  }
+  DoThing().IgnoreError();  // ok: explicit, documented drop
+  FLOWKV_RETURN_IF_ERROR(DoThing());  // ok: macro consumes the status
+  counter->Add(1);  // ok: ambiguous name (see above)
+  DoThing();  // NOLINT(flowkv-unchecked-status) fixture: suppression works
+  (void)s;
+}
+
+}  // namespace flowkv

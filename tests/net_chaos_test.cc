@@ -140,7 +140,7 @@ class NetChaosTest : public ::testing::Test {
     if (server_ != nullptr) {
       server_->Stop();
     }
-    RemoveDirRecursively(dir_);
+    RemoveDirRecursively(dir_).IgnoreError();
   }
 
   net::ClientOptions RetryingOptions() {
@@ -413,7 +413,7 @@ class DrainCrashSweepTest : public ::testing::Test {
     fs_->ResetTracking();
     InstallFsHooks(nullptr);
     for (const auto& dir : dirs_) {
-      RemoveDirRecursively(dir);
+      RemoveDirRecursively(dir).IgnoreError();
     }
   }
 

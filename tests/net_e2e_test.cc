@@ -90,7 +90,7 @@ class RemoteEquivalenceTest : public ::testing::TestWithParam<std::string> {
     if (server_ != nullptr) {
       server_->Stop();
     }
-    RemoveDirRecursively(dir_);
+    RemoveDirRecursively(dir_).IgnoreError();
   }
 
   std::string dir_;

@@ -126,7 +126,7 @@ class NetFailoverTest : public ::testing::Test {
     if (primary_ != nullptr) {
       primary_->Stop();
     }
-    RemoveDirRecursively(dir_);
+    RemoveDirRecursively(dir_).IgnoreError();
   }
 
   // Subscribes the standby to the primary and waits for the initial snapshot

@@ -71,7 +71,7 @@ class NetLoopbackTest : public ::testing::Test {
     if (server_ != nullptr) {
       server_->Stop();
     }
-    RemoveDirRecursively(dir_);
+    RemoveDirRecursively(dir_).IgnoreError();
   }
 
   std::unique_ptr<Client> MakeClient() {
@@ -582,7 +582,7 @@ TEST_P(NetReactorThreadsTest, ConcurrentClientsAcrossShards) {
   EXPECT_EQ(0, failures.load()) << "with reactor_threads=" << GetParam();
 
   server->Stop();
-  RemoveDirRecursively(dir);
+  RemoveDirRecursively(dir).IgnoreError();
 }
 
 INSTANTIATE_TEST_SUITE_P(ReactorPoolSizes, NetReactorThreadsTest,
@@ -642,7 +642,7 @@ TEST(NetUnixSocketTest, UnixAndTcpClientsShareState) {
   EXPECT_FALSE(FileExists(sopts.unix_socket_path))
       << "socket file should be unlinked at shutdown";
   server.reset();
-  RemoveDirRecursively(dir);
+  RemoveDirRecursively(dir).IgnoreError();
 }
 
 }  // namespace

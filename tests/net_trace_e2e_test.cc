@@ -85,7 +85,7 @@ class NetTraceE2eTest : public ::testing::Test {
     }
     obs::Tracing::Disable();
     obs::Tracing::Reset();
-    RemoveDirRecursively(dir_);
+    RemoveDirRecursively(dir_).IgnoreError();
   }
 
   void StartServer(net::ServerOptions options) {

@@ -222,7 +222,7 @@ class ObsEndToEndTest : public ::testing::Test {
   void SetUp() override { dir_ = MakeTempDir("obs_test"); }
   void TearDown() override {
     obs::Tracing::Reset();
-    RemoveDirRecursively(dir_);
+    RemoveDirRecursively(dir_).IgnoreError();
   }
   std::string dir_;
 };

@@ -44,7 +44,7 @@ struct AurParams {
 class AurPropertyTest : public ::testing::TestWithParam<AurParams> {
  protected:
   void SetUp() override { dir_ = MakeTempDir("aur_prop"); }
-  void TearDown() override { RemoveDirRecursively(dir_); }
+  void TearDown() override { RemoveDirRecursively(dir_).IgnoreError(); }
   std::string dir_;
 };
 
@@ -124,7 +124,7 @@ std::shared_ptr<WindowAssigner> MakeAssigner(const StreamParams& p);
 class OperatorPropertyTest : public ::testing::TestWithParam<StreamParams> {
  protected:
   void SetUp() override { dir_ = MakeTempDir("op_prop"); }
-  void TearDown() override { RemoveDirRecursively(dir_); }
+  void TearDown() override { RemoveDirRecursively(dir_).IgnoreError(); }
 
   std::string dir_;
 };
@@ -258,7 +258,7 @@ struct LsmSweepParams {
 class LsmPropertyTest : public ::testing::TestWithParam<LsmSweepParams> {
  protected:
   void SetUp() override { dir_ = MakeTempDir("lsm_prop"); }
-  void TearDown() override { RemoveDirRecursively(dir_); }
+  void TearDown() override { RemoveDirRecursively(dir_).IgnoreError(); }
   std::string dir_;
 };
 
@@ -331,7 +331,7 @@ struct HashKvSweepParams {
 class HashKvPropertyTest : public ::testing::TestWithParam<HashKvSweepParams> {
  protected:
   void SetUp() override { dir_ = MakeTempDir("hkv_prop"); }
-  void TearDown() override { RemoveDirRecursively(dir_); }
+  void TearDown() override { RemoveDirRecursively(dir_).IgnoreError(); }
   std::string dir_;
 };
 

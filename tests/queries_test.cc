@@ -80,7 +80,7 @@ RunOutcome RunQueryOn(const std::string& query, StateBackendFactory* factory,
 class QueryEquivalenceTest : public ::testing::TestWithParam<std::string> {
  protected:
   void SetUp() override { dir_ = MakeTempDir("queries_test"); }
-  void TearDown() override { RemoveDirRecursively(dir_); }
+  void TearDown() override { RemoveDirRecursively(dir_).IgnoreError(); }
   std::string dir_;
 };
 

@@ -236,7 +236,8 @@ bool CollectPartitionStats(const std::string& dir, PartitionStats* out) {
     if (name.rfind("aur_data_", 0) == 0) {
       out->pattern = "aur";
       uint64_t size = 0;
-      GetFileSize(JoinPath(dir, name), &size);
+      // Best-effort listing: a file racing with compaction reports size 0.
+      GetFileSize(JoinPath(dir, name), &size).IgnoreError();
       out->bytes += size;
       ++out->files;
     } else if (name.rfind("aur_index_", 0) == 0) {
