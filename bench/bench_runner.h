@@ -17,7 +17,10 @@
 //                "cpu_events_per_sec"}],
 //      "loopback":[{"clients","ok","fail_reason","requests","ops",
 //                   "req_per_sec","ops_per_sec","p50_ms","p99_ms",
-//                   "bytes_in_per_op","bytes_out_per_op"}]}}
+//                   "bytes_in_per_op","bytes_out_per_op"}],
+//      "remote_prefetch":[{"prefetch","ok","fail_reason","windows","reads",
+//                          "reads_per_sec","read_p50_ms","read_p99_ms",
+//                          "cache_hits","cache_misses","pushes"}]}}
 // Every number is finite (NaN/inf are clamped to 0 at emission), so
 // downstream consumers can parse with a strict JSON parser.
 #ifndef BENCH_BENCH_RUNNER_H_
@@ -33,8 +36,10 @@
 
 #include "bench/bench_common.h"
 #include "src/common/clock.h"
+#include "src/net/async_client.h"
 #include "src/net/client.h"
 #include "src/net/server.h"
+#include "src/net/store_client.h"
 #include "tools/stat_format.h"
 
 namespace flowkv {
@@ -342,6 +347,148 @@ inline std::vector<LoopbackRow> RunLoopbackSweep(const RunnerScale& scale) {
   return rows;
 }
 
+// ----- remote read tail latency: ETT-driven prefetch on vs off -----
+//
+// The fig09 question asked of the remote path: a client appends tumbling AAR
+// windows into an in-process flowkv_server and drains each window right
+// after event time closes it — the trigger read of the paper's §4.2. With
+// prefetch off every drain is a remote round trip; with prefetch on the
+// server has already pushed the closed window's chunk, so the drain is
+// served from the read-ahead cache. The rows differ only in that flag, so
+// read_p99_ms off-vs-on is the measured prefetch win.
+
+struct RemotePrefetchRow {
+  bool prefetch = false;
+  bool ok = false;
+  std::string fail_reason;
+  uint64_t windows = 0;
+  uint64_t reads = 0;  // window drains measured
+  double seconds = 0;
+  double reads_per_sec = 0;
+  double read_p50_ms = 0;
+  double read_p99_ms = 0;
+  // Client cache counters (zero when prefetch is off).
+  long long cache_hits = 0;
+  long long cache_misses = 0;
+  long long pushes = 0;
+};
+
+inline RemotePrefetchRow RunRemotePrefetchPoint(bool prefetch_on, uint64_t windows,
+                                                int keys_per_window,
+                                                int values_per_key) {
+  RemotePrefetchRow row;
+  row.prefetch = prefetch_on;
+  row.windows = windows;
+
+  net::ServerOptions sopts;
+  sopts.data_dir = MakeTempDir("bench_prefetch");
+  sopts.num_shards = 2;
+  sopts.unix_socket_path = sopts.data_dir + "/bench.sock";
+  std::unique_ptr<net::Server> server;
+  Status s = net::Server::Start(sopts, &server);
+  if (!s.ok()) {
+    row.fail_reason = s.ToString();
+    RemoveDirRecursively(sopts.data_dir).IgnoreError();
+    return row;
+  }
+
+  net::ClientOptions copts;
+  copts.port = server->port();
+  copts.unix_socket_path = sopts.unix_socket_path;
+  copts.enable_prefetch_push = prefetch_on;
+  std::unique_ptr<net::StoreClient> client;
+  net::AsyncClient* async = nullptr;
+  if (prefetch_on) {
+    std::unique_ptr<net::AsyncClient> ac;
+    s = net::AsyncClient::Connect(copts, &ac);
+    async = ac.get();
+    client = std::move(ac);
+  } else {
+    std::unique_ptr<net::Client> bc;
+    s = net::Client::Connect(copts, &bc);
+    client = std::move(bc);
+  }
+
+  uint64_t handle = 0;
+  if (s.ok()) {
+    OperatorStateSpec spec;
+    spec.name = "bench.prefetch";
+    spec.window_kind = WindowKind::kTumbling;
+    spec.incremental = false;
+    spec.window_size_ms = 1000;
+    StorePattern pattern;
+    s = client->OpenStore(spec.name, spec, &handle, &pattern);
+  }
+
+  Histogram read_latency;  // full window drain, ms
+  uint64_t reads = 0;
+  const int64_t start_nanos = MonotonicNanos();
+  const std::string value(64, 'v');
+  for (uint64_t i = 0; s.ok() && i < windows; ++i) {
+    const Window w(static_cast<int64_t>(i) * 1000, static_cast<int64_t>(i + 1) * 1000);
+    for (int k = 0; s.ok() && k < keys_per_window; ++k) {
+      const std::string key = "k" + std::to_string(k);
+      for (int v = 0; s.ok() && v < values_per_key; ++v) {
+        s = client->AppendAligned(handle, key, value, w);
+      }
+    }
+    if (s.ok()) {
+      s = client->Flush();
+    }
+    if (!s.ok() || i == 0) {
+      continue;
+    }
+    // This window's appends advanced event time past the previous window's
+    // end: drain it now, exactly as a triggered operator would.
+    const Window prev(static_cast<int64_t>(i - 1) * 1000, static_cast<int64_t>(i) * 1000);
+    const int64_t t0 = MonotonicNanos();
+    bool done = false;
+    while (s.ok() && !done) {
+      std::vector<WindowChunkEntry> chunk;
+      s = client->GetWindowChunk(handle, prev, &chunk, &done);
+    }
+    if (s.ok()) {
+      read_latency.Add(static_cast<double>(MonotonicNanos() - t0) / 1e6);
+      ++reads;
+    }
+  }
+  row.seconds = static_cast<double>(MonotonicNanos() - start_nanos) / 1e9;
+
+  if (async != nullptr) {
+    const net::ReadAheadCounters counters = async->cache_counters();
+    row.cache_hits = counters.hits;
+    row.cache_misses = counters.misses;
+    row.pushes = counters.pushes;
+  }
+  client.reset();
+  const Status stop_status = server->DrainAndStop();
+  if (!stop_status.ok()) {
+    std::fprintf(stderr, "bench: DrainAndStop: %s\n", stop_status.ToString().c_str());
+  }
+  RemoveDirRecursively(sopts.data_dir).IgnoreError();
+
+  if (!s.ok()) {
+    row.fail_reason = s.ToString();
+    return row;
+  }
+  row.ok = reads > 0;
+  row.reads = reads;
+  if (row.seconds > 0) {
+    row.reads_per_sec = static_cast<double>(reads) / row.seconds;
+  }
+  row.read_p50_ms = read_latency.Percentile(50);
+  row.read_p99_ms = read_latency.Percentile(99);
+  return row;
+}
+
+inline std::vector<RemotePrefetchRow> RunRemotePrefetchSweep(bool quick) {
+  const uint64_t windows = quick ? 128 : 512;
+  std::vector<RemotePrefetchRow> rows;
+  rows.push_back(RunRemotePrefetchPoint(false, windows, 16, 4));
+  rows.push_back(RunRemotePrefetchPoint(true, windows, 16, 4));
+  return rows;
+}
+
 // ----- document assembly -----
 
 inline void AppendFigRow(std::string* out, const FigRow& row) {
@@ -423,11 +570,38 @@ inline void AppendLoopbackRow(std::string* out, const LoopbackRow& row) {
   out->append("}");
 }
 
+inline void AppendRemotePrefetchRow(std::string* out, const RemotePrefetchRow& row) {
+  out->append("{\"prefetch\":");
+  out->append(row.prefetch ? "true" : "false");
+  out->append(",\"ok\":");
+  out->append(row.ok ? "true" : "false");
+  out->append(",\"fail_reason\":");
+  AppendStr(out, row.fail_reason);
+  out->append(",\"windows\":");
+  AppendInt(out, static_cast<long long>(row.windows));
+  out->append(",\"reads\":");
+  AppendInt(out, static_cast<long long>(row.reads));
+  out->append(",\"reads_per_sec\":");
+  AppendNum(out, row.reads_per_sec);
+  out->append(",\"read_p50_ms\":");
+  AppendNum(out, row.read_p50_ms);
+  out->append(",\"read_p99_ms\":");
+  AppendNum(out, row.read_p99_ms);
+  out->append(",\"cache_hits\":");
+  AppendInt(out, row.cache_hits);
+  out->append(",\"cache_misses\":");
+  AppendInt(out, row.cache_misses);
+  out->append(",\"pushes\":");
+  AppendInt(out, row.pushes);
+  out->append("}");
+}
+
 inline std::string BuildBaselineJson(const RunnerScale& scale,
                                      const std::vector<FigRow>& fig08,
                                      const std::vector<FigRow>& fig09,
                                      const std::vector<FigRow>& fig13,
-                                     const std::vector<LoopbackRow>& loopback) {
+                                     const std::vector<LoopbackRow>& loopback,
+                                     const std::vector<RemotePrefetchRow>& remote_prefetch) {
   std::string out;
   out.append("{\"schema_version\":1,\"bench_scale\":");
   AppendStr(&out, scale.name);
@@ -454,6 +628,13 @@ inline std::string BuildBaselineJson(const RunnerScale& scale,
     out.append("\n  ");
     AppendLoopbackRow(&out, loopback[i]);
   }
+  out.append("]");
+  out.append(",\"remote_prefetch\":[");
+  for (size_t i = 0; i < remote_prefetch.size(); ++i) {
+    if (i > 0) out.append(",");
+    out.append("\n  ");
+    AppendRemotePrefetchRow(&out, remote_prefetch[i]);
+  }
   out.append("]}}\n");
   return out;
 }
@@ -470,8 +651,11 @@ inline int RunBenchBaseline(bool quick, const std::string& out_path) {
   const std::vector<FigRow> fig13 = RunFig13(scale);
   std::fprintf(stderr, "bench_runner: loopback saturation sweep...\n");
   const std::vector<LoopbackRow> loopback = RunLoopbackSweep(scale);
+  std::fprintf(stderr, "bench_runner: remote prefetch on/off...\n");
+  const std::vector<RemotePrefetchRow> remote_prefetch = RunRemotePrefetchSweep(quick);
 
-  const std::string doc = BuildBaselineJson(scale, fig08, fig09, fig13, loopback);
+  const std::string doc =
+      BuildBaselineJson(scale, fig08, fig09, fig13, loopback, remote_prefetch);
   if (out_path.empty() || out_path == "-") {
     std::fwrite(doc.data(), 1, doc.size(), stdout);
     return 0;

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "src/common/env.h"
+#include "src/net/async_client.h"
+#include "src/net/store_client.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -14,7 +16,7 @@ namespace flowkv {
 
 namespace {
 
-using net::Client;
+using net::StoreClient;
 
 // A service outage the buffer papers over: the connection is gone (and the
 // client's retries/failover ran dry) or the server shed the batch.
@@ -24,7 +26,7 @@ bool IsOutage(const Status& s) { return s.IsConnectionReset() || s.IsOverloaded(
 // like the backend that owns it (one backend per physical operator).
 class ReplayBuffer {
  public:
-  ReplayBuffer(std::shared_ptr<Client> client, size_t max_bytes)
+  ReplayBuffer(std::shared_ptr<StoreClient> client, size_t max_bytes)
       : client_(std::move(client)), max_bytes_(max_bytes) {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
     m_buffered_ = reg.GetCounter("remote.buffered_writes");
@@ -37,8 +39,8 @@ class ReplayBuffer {
   // synchronously. `own` materializes the self-contained replay closure
   // (copying key/value) and is invoked only when the op must actually queue,
   // so the common healthy-path write never copies its arguments.
-  Status Write(const std::function<Status(Client*)>& fast,
-               const std::function<std::function<Status(Client*)>()>& own, size_t bytes) {
+  Status Write(const std::function<Status(StoreClient*)>& fast,
+               const std::function<std::function<Status(StoreClient*)>()>& own, size_t bytes) {
     if (!ops_.empty()) {
       const Status drained = Drain();
       if (!drained.ok() && !IsOutage(drained)) {
@@ -76,7 +78,7 @@ class ReplayBuffer {
   }
 
  private:
-  Status Buffer(std::function<Status(Client*)> op, size_t bytes) {
+  Status Buffer(std::function<Status(StoreClient*)> op, size_t bytes) {
     if (buffered_bytes_ + bytes > max_bytes_) {
       return Status::ResourceExhausted(
           "remote replay buffer full (" + std::to_string(buffered_bytes_) + " of " +
@@ -88,10 +90,10 @@ class ReplayBuffer {
     return Status::Ok();
   }
 
-  std::shared_ptr<Client> client_;
+  std::shared_ptr<StoreClient> client_;
   const size_t max_bytes_;
   size_t buffered_bytes_ = 0;
-  std::deque<std::pair<std::function<Status(Client*)>, size_t>> ops_;
+  std::deque<std::pair<std::function<Status(StoreClient*)>, size_t>> ops_;
   obs::Counter* m_buffered_ = nullptr;
   obs::Counter* m_replayed_ = nullptr;
 };
@@ -101,17 +103,17 @@ size_t OpCost(const Slice& key, const Slice& value) { return key.size() + value.
 
 class RemoteAarState : public AppendAlignedState {
  public:
-  RemoteAarState(std::shared_ptr<Client> client, std::shared_ptr<ReplayBuffer> buffer,
+  RemoteAarState(std::shared_ptr<StoreClient> client, std::shared_ptr<ReplayBuffer> buffer,
                  uint64_t handle)
       : client_(std::move(client)), buffer_(std::move(buffer)), handle_(handle) {}
 
   Status Append(const Slice& key, const Slice& value, const Window& w) override {
     return buffer_->Write(
-        [h = handle_, &key, &value, w](Client* c) {
+        [h = handle_, &key, &value, w](StoreClient* c) {
           return c->AppendAligned(h, key, value, w);
         },
-        [h = handle_, &key, &value, w]() -> std::function<Status(Client*)> {
-          return [h, k = key.ToString(), v = value.ToString(), w](Client* c) {
+        [h = handle_, &key, &value, w]() -> std::function<Status(StoreClient*)> {
+          return [h, k = key.ToString(), v = value.ToString(), w](StoreClient* c) {
             return c->AppendAligned(h, k, v, w);
           };
         },
@@ -128,25 +130,25 @@ class RemoteAarState : public AppendAlignedState {
   }
 
  private:
-  std::shared_ptr<Client> client_;
+  std::shared_ptr<StoreClient> client_;
   std::shared_ptr<ReplayBuffer> buffer_;
   uint64_t handle_;
 };
 
 class RemoteAurState : public AppendUnalignedState {
  public:
-  RemoteAurState(std::shared_ptr<Client> client, std::shared_ptr<ReplayBuffer> buffer,
+  RemoteAurState(std::shared_ptr<StoreClient> client, std::shared_ptr<ReplayBuffer> buffer,
                  uint64_t handle)
       : client_(std::move(client)), buffer_(std::move(buffer)), handle_(handle) {}
 
   Status Append(const Slice& key, const Slice& value, const Window& w,
                 int64_t timestamp) override {
     return buffer_->Write(
-        [h = handle_, &key, &value, w, timestamp](Client* c) {
+        [h = handle_, &key, &value, w, timestamp](StoreClient* c) {
           return c->AppendUnaligned(h, key, value, w, timestamp);
         },
-        [h = handle_, &key, &value, w, timestamp]() -> std::function<Status(Client*)> {
-          return [h, k = key.ToString(), v = value.ToString(), w, timestamp](Client* c) {
+        [h = handle_, &key, &value, w, timestamp]() -> std::function<Status(StoreClient*)> {
+          return [h, k = key.ToString(), v = value.ToString(), w, timestamp](StoreClient* c) {
             return c->AppendUnaligned(h, k, v, w, timestamp);
           };
         },
@@ -162,11 +164,11 @@ class RemoteAurState : public AppendUnalignedState {
   Status MergeWindows(const Slice& key, const std::vector<Window>& sources,
                       const Window& dst) override {
     return buffer_->Write(
-        [h = handle_, &key, &sources, dst](Client* c) {
+        [h = handle_, &key, &sources, dst](StoreClient* c) {
           return c->MergeWindows(h, key, sources, dst);
         },
-        [h = handle_, &key, &sources, dst]() -> std::function<Status(Client*)> {
-          return [h, k = key.ToString(), sources, dst](Client* c) {
+        [h = handle_, &key, &sources, dst]() -> std::function<Status(StoreClient*)> {
+          return [h, k = key.ToString(), sources, dst](StoreClient* c) {
             return c->MergeWindows(h, k, sources, dst);
           };
         },
@@ -174,14 +176,14 @@ class RemoteAurState : public AppendUnalignedState {
   }
 
  private:
-  std::shared_ptr<Client> client_;
+  std::shared_ptr<StoreClient> client_;
   std::shared_ptr<ReplayBuffer> buffer_;
   uint64_t handle_;
 };
 
 class RemoteRmwState : public RmwState {
  public:
-  RemoteRmwState(std::shared_ptr<Client> client, std::shared_ptr<ReplayBuffer> buffer,
+  RemoteRmwState(std::shared_ptr<StoreClient> client, std::shared_ptr<ReplayBuffer> buffer,
                  uint64_t handle)
       : client_(std::move(client)), buffer_(std::move(buffer)), handle_(handle) {}
 
@@ -193,11 +195,11 @@ class RemoteRmwState : public RmwState {
 
   Status Put(const Slice& key, const Window& w, const Slice& accumulator) override {
     return buffer_->Write(
-        [h = handle_, &key, &accumulator, w](Client* c) {
+        [h = handle_, &key, &accumulator, w](StoreClient* c) {
           return c->RmwPut(h, key, w, accumulator);
         },
-        [h = handle_, &key, &accumulator, w]() -> std::function<Status(Client*)> {
-          return [h, k = key.ToString(), v = accumulator.ToString(), w](Client* c) {
+        [h = handle_, &key, &accumulator, w]() -> std::function<Status(StoreClient*)> {
+          return [h, k = key.ToString(), v = accumulator.ToString(), w](StoreClient* c) {
             return c->RmwPut(h, k, w, v);
           };
         },
@@ -206,22 +208,22 @@ class RemoteRmwState : public RmwState {
 
   Status Remove(const Slice& key, const Window& w) override {
     return buffer_->Write(
-        [h = handle_, &key, w](Client* c) { return c->RmwRemove(h, key, w); },
-        [h = handle_, &key, w]() -> std::function<Status(Client*)> {
-          return [h, k = key.ToString(), w](Client* c) { return c->RmwRemove(h, k, w); };
+        [h = handle_, &key, w](StoreClient* c) { return c->RmwRemove(h, key, w); },
+        [h = handle_, &key, w]() -> std::function<Status(StoreClient*)> {
+          return [h, k = key.ToString(), w](StoreClient* c) { return c->RmwRemove(h, k, w); };
         },
         OpCost(key, Slice()));
   }
 
  private:
-  std::shared_ptr<Client> client_;
+  std::shared_ptr<StoreClient> client_;
   std::shared_ptr<ReplayBuffer> buffer_;
   uint64_t handle_;
 };
 
 class RemoteBackend : public StateBackend {
  public:
-  RemoteBackend(std::shared_ptr<Client> client, std::string ns_prefix,
+  RemoteBackend(std::shared_ptr<StoreClient> client, std::string ns_prefix,
                 size_t replay_buffer_bytes)
       : client_(std::move(client)),
         buffer_(std::make_shared<ReplayBuffer>(client_, replay_buffer_bytes)),
@@ -299,7 +301,7 @@ class RemoteBackend : public StateBackend {
     return Status::Ok();
   }
 
-  std::shared_ptr<Client> client_;
+  std::shared_ptr<StoreClient> client_;
   std::shared_ptr<ReplayBuffer> buffer_;
   std::string ns_prefix_;
   std::vector<uint64_t> handles_;
@@ -317,11 +319,21 @@ RemoteBackendFactory::RemoteBackendFactory(const std::string& host, int port) {
 
 Status RemoteBackendFactory::CreateBackend(int worker, const std::string& operator_name,
                                            std::unique_ptr<StateBackend>* out) {
-  std::unique_ptr<Client> client;
-  FLOWKV_RETURN_IF_ERROR(Client::Connect(options_, &client));
+  // Transport choice: the prefetch push path needs a reader thread to demux
+  // unsolicited kPushChunk frames, so it rides the AsyncClient; without it
+  // the simpler blocking client is strictly less machinery per operator.
+  std::shared_ptr<net::StoreClient> client;
+  if (options_.enable_prefetch_push) {
+    std::unique_ptr<net::AsyncClient> async;
+    FLOWKV_RETURN_IF_ERROR(net::AsyncClient::Connect(options_, &async));
+    client = std::move(async);
+  } else {
+    std::unique_ptr<net::Client> blocking;
+    FLOWKV_RETURN_IF_ERROR(net::Client::Connect(options_, &blocking));
+    client = std::move(blocking);
+  }
   const std::string ns_prefix = "w" + std::to_string(worker) + "." + operator_name;
-  *out = std::make_unique<RemoteBackend>(std::shared_ptr<Client>(std::move(client)),
-                                         ns_prefix, replay_buffer_bytes_);
+  *out = std::make_unique<RemoteBackend>(std::move(client), ns_prefix, replay_buffer_bytes_);
   return Status::Ok();
 }
 

@@ -3,10 +3,14 @@
 // pipelines, queries, and benches run unmodified against a remote FlowKV
 // state service.
 //
-// Each CreateBackend() call opens its own client connection (the blocking
-// client is single-threaded, matching the one-backend-per-physical-operator
-// contract). Stores are namespaced "w<worker>.<operator>.h<n>" so every
-// physical operator's stores are distinct server-side.
+// Each CreateBackend() call opens its own client connection (one caller
+// thread per client, matching the one-backend-per-physical-operator
+// contract). When ClientOptions::enable_prefetch_push is set the connection
+// is an AsyncClient — a reader thread demuxes server pushes of closed AAR
+// windows into a read-ahead cache, so window reads can be served from client
+// memory (src/net/prefetch.h); otherwise it is the plain blocking Client.
+// Stores are namespaced "w<worker>.<operator>.h<n>" so every physical
+// operator's stores are distinct server-side.
 #ifndef SRC_BACKENDS_REMOTE_BACKEND_H_
 #define SRC_BACKENDS_REMOTE_BACKEND_H_
 

@@ -235,6 +235,27 @@ Status AarStore::FinishRead(const Window& w) {
   return Status::Ok();
 }
 
+Status AarStore::DropWindow(const Window& w) {
+  auto buffer_it = buffer_.find(w);
+  if (buffer_it != buffer_.end()) {
+    for (const auto& [key, value] : buffer_it->second) {
+      buffered_bytes_ -= std::min<uint64_t>(buffered_bytes_, key.size() + value.size() + 32);
+    }
+    buffer_.erase(buffer_it);
+  }
+  auto writer_it = writers_.find(w);
+  if (writer_it != writers_.end()) {
+    FLOWKV_RETURN_IF_ERROR(writer_it->second->Close());
+    writers_.erase(writer_it);
+  }
+  read_cursors_.erase(w);
+  const std::string path = LogFileName(w);
+  if (FileExists(path)) {
+    FLOWKV_RETURN_IF_ERROR(RemoveFile(path));
+  }
+  return Status::Ok();
+}
+
 Status AarStore::CheckpointTo(const std::string& checkpoint_dir) {
   CheckpointWriter writer(checkpoint_dir);
   FLOWKV_RETURN_IF_ERROR(writer.Init());

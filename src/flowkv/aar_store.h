@@ -55,6 +55,13 @@ class AarStore {
   // file is unlinked and its buckets dropped).
   Status GetWindowChunk(const Window& w, std::vector<WindowChunkEntry>* chunk, bool* done);
 
+  // Discards the window's state without reading it: drops the write-buffer
+  // bucket, closes the log writer, unlinks the log file, and forgets any
+  // in-progress read cursor. O(bucket) — no I/O beyond the unlink. Used by
+  // the state server when a prefetch-cached client consumes a window it
+  // already holds (kDropWindow).
+  Status DropWindow(const Window& w);
+
   // Snapshots the store's full state into `checkpoint_dir` (paper §8: the
   // write buffer is flushed first so the on-disk files are the snapshot).
   Status CheckpointTo(const std::string& checkpoint_dir);

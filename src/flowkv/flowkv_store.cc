@@ -85,6 +85,17 @@ Status FlowKvStore::GetWindowChunk(const Window& w, std::vector<WindowChunkEntry
   return Status::Ok();
 }
 
+Status FlowKvStore::DropWindow(const Window& w) {
+  if (pattern_ != StorePattern::kAppendAligned) {
+    return Status::FailedPrecondition("DropWindow on a non-AAR store");
+  }
+  for (auto& part : aar_) {
+    FLOWKV_RETURN_IF_ERROR(part->DropWindow(w));
+  }
+  aligned_read_cursor_.erase(w);
+  return Status::Ok();
+}
+
 Status FlowKvStore::Append(const Slice& key, const Slice& value, const Window& w,
                            int64_t timestamp) {
   if (pattern_ != StorePattern::kAppendUnaligned) {

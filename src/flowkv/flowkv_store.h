@@ -50,6 +50,9 @@ class FlowKvStore {
   // ----- AAR API (valid when pattern() == kAppendAligned) -----
   Status Append(const Slice& key, const Slice& value, const Window& w);
   Status GetWindowChunk(const Window& w, std::vector<WindowChunkEntry>* chunk, bool* done);
+  // Discards the window's state in every partition without reading it (the
+  // consume path for prefetch-pushed windows the client already holds).
+  Status DropWindow(const Window& w);
 
   // ----- AUR API (valid when pattern() == kAppendUnaligned) -----
   Status Append(const Slice& key, const Slice& value, const Window& w, int64_t timestamp);

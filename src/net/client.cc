@@ -90,12 +90,8 @@ void Client::CloseSocket() {
   inbuf_.clear();
 }
 
-Status Client::ConnectSocket() {
-  CloseSocket();
-  const Endpoint& ep = CurrentEndpoint();
-  // The unix path only replaces the primary endpoint; standby failover
-  // stays on TCP (a standby is, by definition, on another host).
-  const bool use_unix = endpoint_index_ == 0 && !options_.unix_socket_path.empty();
+Status ConnectStreamSocket(const ClientOptions& options, const Endpoint& ep, bool use_unix,
+                           int* fd_out) {
   if (NetHooks* hooks = GetNetHooks()) {
     FLOWKV_RETURN_IF_ERROR(hooks->PreConnect(ep.host, static_cast<uint16_t>(ep.port)));
   }
@@ -115,13 +111,13 @@ Status Client::ConnectSocket() {
   if (use_unix) {
     auto* uaddr = reinterpret_cast<sockaddr_un*>(&addr_storage);
     uaddr->sun_family = AF_UNIX;
-    if (options_.unix_socket_path.size() >= sizeof(uaddr->sun_path)) {
+    if (options.unix_socket_path.size() >= sizeof(uaddr->sun_path)) {
       ::close(fd);
       return Status::InvalidArgument("unix socket path too long: " +
-                                     options_.unix_socket_path);
+                                     options.unix_socket_path);
     }
-    std::memcpy(uaddr->sun_path, options_.unix_socket_path.c_str(),
-                options_.unix_socket_path.size() + 1);
+    std::memcpy(uaddr->sun_path, options.unix_socket_path.c_str(),
+                options.unix_socket_path.size() + 1);
     addr_len = sizeof(sockaddr_un);
   } else {
     auto* iaddr = reinterpret_cast<sockaddr_in*>(&addr_storage);
@@ -147,7 +143,7 @@ Status Client::ConnectSocket() {
     // wait runs against one absolute deadline so a signal interrupting
     // poll() resumes with the time remaining rather than restarting the full
     // timeout (or, worse, surfacing EINTR as a connection failure).
-    const int64_t deadline_nanos = DeadlineFromNow(options_.connect_timeout_ms);
+    const int64_t deadline_nanos = DeadlineFromNow(options.connect_timeout_ms);
     while (true) {
       pollfd pfd = {fd, POLLOUT, 0};
       const int n = ::poll(&pfd, 1, PollTimeoutMs(deadline_nanos));
@@ -179,13 +175,25 @@ Status Client::ConnectSocket() {
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   }
+  if (NetHooks* hooks = GetNetHooks()) {
+    hooks->DidConnect(fd, ep.host, static_cast<uint16_t>(ep.port));
+  }
+  *fd_out = fd;
+  return Status::Ok();
+}
+
+Status Client::ConnectSocket() {
+  CloseSocket();
+  const Endpoint& ep = CurrentEndpoint();
+  // The unix path only replaces the primary endpoint; standby failover
+  // stays on TCP (a standby is, by definition, on another host).
+  const bool use_unix = endpoint_index_ == 0 && !options_.unix_socket_path.empty();
+  int fd = -1;
+  FLOWKV_RETURN_IF_ERROR(ConnectStreamSocket(options_, ep, use_unix, &fd));
   fd_ = fd;
   // A fresh connection may be to a different (older) server — e.g. a
   // failover standby — so the trace capability must be re-learned.
   trace_cap_ = TraceCap::kUnknown;
-  if (NetHooks* hooks = GetNetHooks()) {
-    hooks->DidConnect(fd, ep.host, static_cast<uint16_t>(ep.port));
-  }
   return Status::Ok();
 }
 

@@ -46,6 +46,7 @@
 #include "src/common/slice.h"
 #include "src/common/status.h"
 #include "src/net/protocol.h"
+#include "src/net/store_client.h"
 
 namespace flowkv {
 namespace net {
@@ -107,59 +108,78 @@ struct ClientOptions {
   // Write-batch flush thresholds.
   size_t max_batch_ops = 256;
   size_t max_batch_bytes = 1u << 20;
+
+  // ----- prefetch push (AsyncClient only; the blocking Client ignores both) -----
+
+  // Subscribe to server pushes of closed AAR windows (kEttRegister /
+  // kPushChunk, docs/NETWORK.md) and serve window reads from the client-side
+  // read-ahead cache when the pushed chunk provably matches local history.
+  // Only takes effect after the capability probe confirms the connected
+  // server answers caps.prefetch_push, so legacy servers degrade silently.
+  bool enable_prefetch_push = false;
+  // Capacity bound for the read-ahead cache (LRU eviction past it).
+  size_t read_ahead_cache_bytes = 16u << 20;
 };
 
-class Client {
+// Opens a non-blocking SOCK_STREAM connection to `ep` — or to
+// `options.unix_socket_path` when `use_unix` — applying
+// options.connect_timeout_ms and the net-hooks fault points. On success the
+// connected fd (TCP_NODELAY set for TCP) is stored in `*fd_out`. Shared by
+// Client and AsyncClient.
+Status ConnectStreamSocket(const ClientOptions& options, const Endpoint& ep, bool use_unix,
+                           int* fd_out);
+
+class Client : public StoreClient {
  public:
   // Connects (with timeout) and returns a ready client.
   static Status Connect(const ClientOptions& options, std::unique_ptr<Client>* out);
 
-  ~Client();
+  ~Client() override;
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
   // Round-trip no-op, for tests and liveness checks.
-  Status Ping();
+  Status Ping() override;
 
   // Opens (or re-attaches to) the server-side store for `ns` and returns a
   // client handle plus the server-classified pattern.
   Status OpenStore(const std::string& ns, const OperatorStateSpec& spec,
-                   uint64_t* handle, StorePattern* pattern);
+                   uint64_t* handle, StorePattern* pattern) override;
 
   // ----- buffered writes (flushed on batch-full / Flush() / any read) -----
   Status AppendAligned(uint64_t handle, const Slice& key, const Slice& value,
-                       const Window& w);
+                       const Window& w) override;
   Status AppendUnaligned(uint64_t handle, const Slice& key, const Slice& value,
-                         const Window& w, int64_t timestamp);
+                         const Window& w, int64_t timestamp) override;
   Status MergeWindows(uint64_t handle, const Slice& key,
-                      const std::vector<Window>& sources, const Window& dst);
+                      const std::vector<Window>& sources, const Window& dst) override;
   Status RmwPut(uint64_t handle, const Slice& key, const Window& w,
-                const Slice& accumulator);
-  Status RmwRemove(uint64_t handle, const Slice& key, const Window& w);
+                const Slice& accumulator) override;
+  Status RmwRemove(uint64_t handle, const Slice& key, const Window& w) override;
 
   // Sends any buffered writes and waits for their acks.
-  Status Flush();
+  Status Flush() override;
 
   // ----- reads (implicitly Flush() first) -----
   Status GetWindowChunk(uint64_t handle, const Window& w,
-                        std::vector<WindowChunkEntry>* chunk, bool* done);
+                        std::vector<WindowChunkEntry>* chunk, bool* done) override;
   Status GetUnaligned(uint64_t handle, const Slice& key, const Window& w,
-                      std::vector<std::string>* values);
+                      std::vector<std::string>* values) override;
   Status RmwGet(uint64_t handle, const Slice& key, const Window& w,
-                std::string* accumulator);
+                std::string* accumulator) override;
 
   // ----- store management (implicitly Flush() first) -----
-  Status Checkpoint(uint64_t handle, const std::string& server_dir);
+  Status Checkpoint(uint64_t handle, const std::string& server_dir) override;
   Status GatherStats(uint64_t handle,
-                     std::vector<std::pair<std::string, int64_t>>* fields);
+                     std::vector<std::pair<std::string, int64_t>>* fields) override;
 
   // Fetches the server's live introspection snapshot (kStats) as one JSON
   // document: per-shard req/s, queue depth, op latency percentiles,
   // replication lag, connection table, and the slow-request log. Servers
   // that predate the op drop the connection (unknown op type), surfacing
   // here as kConnectionReset after the retry budget.
-  Status Stats(std::string* json);
+  Status Stats(std::string* json) override;
 
   // Sends `ops` as-is — store_id fields are SERVER ids, not client handles,
   // and no handles are translated or re-opened. Used by the standby's

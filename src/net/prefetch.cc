@@ -1,0 +1,337 @@
+#include "src/net/prefetch.h"
+
+#include <algorithm>
+
+#include "src/common/clock.h"
+
+namespace flowkv {
+namespace net {
+
+namespace {
+
+// Shadow/cache accounting cost of one (key, value) pair: the string bytes
+// plus container overhead, mirroring the AAR write buffer's own estimate.
+size_t PairCost(size_t key_bytes, size_t value_bytes) { return key_bytes + value_bytes + 32; }
+
+size_t ChunkCost(const std::vector<WindowChunkEntry>& chunk) {
+  size_t bytes = 0;
+  for (const WindowChunkEntry& entry : chunk) {
+    for (const std::string& v : entry.values) {
+      bytes += PairCost(entry.key.size(), v.size());
+    }
+  }
+  return bytes;
+}
+
+int64_t ChunkValues(const std::vector<WindowChunkEntry>& chunk) {
+  int64_t n = 0;
+  for (const WindowChunkEntry& entry : chunk) {
+    n += static_cast<int64_t>(entry.values.size());
+  }
+  return n;
+}
+
+}  // namespace
+
+// ----- ShardPrefetchScheduler -----
+
+void ShardPrefetchScheduler::Register(uint64_t conn_id, uint64_t store_id) {
+  StoreState& st = stores_[store_id];
+  if (std::find(st.subscribers.begin(), st.subscribers.end(), conn_id) ==
+      st.subscribers.end()) {
+    st.subscribers.push_back(conn_id);
+    if (m_.registrations != nullptr) {
+      m_.registrations->Add(1);
+    }
+  }
+}
+
+void ShardPrefetchScheduler::Unregister(uint64_t conn_id) {
+  for (auto it = stores_.begin(); it != stores_.end();) {
+    StoreState& st = it->second;
+    st.subscribers.erase(std::remove(st.subscribers.begin(), st.subscribers.end(), conn_id),
+                         st.subscribers.end());
+    if (st.subscribers.empty()) {
+      // Nobody left to push to: the shadows are dead weight.
+      for (const auto& [w, shadow] : st.shadows) {
+        shadow_bytes_ -= shadow.bytes;
+        if (m_.waste != nullptr) {
+          m_.waste->Add(ChunkValues(shadow.chunk));
+        }
+      }
+      it = stores_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (m_.shadow_bytes != nullptr) {
+    m_.shadow_bytes->Set(static_cast<int64_t>(shadow_bytes_));
+  }
+}
+
+bool ShardPrefetchScheduler::HasSubscribers(uint64_t store_id) const {
+  auto it = stores_.find(store_id);
+  return it != stores_.end() && !it->second.subscribers.empty();
+}
+
+void ShardPrefetchScheduler::OnAppend(uint64_t store_id, const Slice& key,
+                                      const Slice& value, const Window& w) {
+  auto it = stores_.find(store_id);
+  if (it == stores_.end() || it->second.subscribers.empty()) {
+    return;
+  }
+  StoreState& st = it->second;
+  // A tuple in [w.start, w.end) proves event time has reached w.start.
+  st.hiwater = std::max(st.hiwater, w.start);
+  if (w.end <= st.hiwater) {
+    // Late write into a window that already fired (or could have): whatever
+    // was pushed is now short one value — the client's count check turns the
+    // push into a safe miss. Cancel any shadow still pending.
+    if (m_.invalidated != nullptr) {
+      m_.invalidated->Add(1);
+    }
+    auto shadow_it = st.shadows.find(w);
+    if (shadow_it != st.shadows.end()) {
+      shadow_bytes_ -= shadow_it->second.bytes;
+      st.shadows.erase(shadow_it);
+      st.abandoned.insert(w);
+      if (m_.shadow_bytes != nullptr) {
+        m_.shadow_bytes->Set(static_cast<int64_t>(shadow_bytes_));
+      }
+    }
+    FireReady(store_id, &st);
+    return;
+  }
+  if (st.abandoned.count(w) == 0) {
+    const size_t cost = PairCost(key.size(), value.size());
+    if (budget_bytes_ > 0 && shadow_bytes_ + cost > budget_bytes_) {
+      // Over budget: abandon this window's shadow outright (a partial push
+      // would never satisfy the client's count check anyway).
+      auto shadow_it = st.shadows.find(w);
+      if (shadow_it != st.shadows.end()) {
+        shadow_bytes_ -= shadow_it->second.bytes;
+        st.shadows.erase(shadow_it);
+      }
+      st.abandoned.insert(w);
+      if (m_.overflow != nullptr) {
+        m_.overflow->Add(1);
+      }
+      if (m_.shadow_bytes != nullptr) {
+        m_.shadow_bytes->Set(static_cast<int64_t>(shadow_bytes_));
+      }
+    } else {
+      ShadowWindow& shadow = st.shadows[w];
+      auto [key_it, inserted] = shadow.key_index.try_emplace(key.ToString(), shadow.chunk.size());
+      if (inserted) {
+        shadow.chunk.push_back(WindowChunkEntry{key.ToString(), {}});
+      }
+      shadow.chunk[key_it->second].values.push_back(value.ToString());
+      shadow.bytes += cost;
+      shadow_bytes_ += cost;
+      if (m_.shadow_bytes != nullptr) {
+        m_.shadow_bytes->Set(static_cast<int64_t>(shadow_bytes_));
+      }
+    }
+  }
+  FireReady(store_id, &st);
+}
+
+void ShardPrefetchScheduler::FireReady(uint64_t store_id, StoreState* st) {
+  // EDF: shadows is ordered by window end, so ready windows sit at the front.
+  while (!st->shadows.empty() && st->shadows.begin()->first.end <= st->hiwater) {
+    auto shadow_it = st->shadows.begin();
+    FiredPush push;
+    push.store_id = store_id;
+    push.window = shadow_it->first;
+    push.push_seq = st->next_seq++;
+    push.conn_ids = st->subscribers;
+    push.chunk = std::move(shadow_it->second.chunk);
+    push.bytes = shadow_it->second.bytes;
+    shadow_bytes_ -= shadow_it->second.bytes;
+    st->shadows.erase(shadow_it);
+    if (m_.fired != nullptr) {
+      m_.fired->Add(1);
+    }
+    if (m_.fired_entries != nullptr) {
+      m_.fired_entries->Add(ChunkValues(push.chunk));
+    }
+    if (m_.fired_bytes != nullptr) {
+      m_.fired_bytes->Add(static_cast<int64_t>(push.bytes));
+    }
+    fired_.push_back(std::move(push));
+  }
+  if (m_.shadow_bytes != nullptr) {
+    m_.shadow_bytes->Set(static_cast<int64_t>(shadow_bytes_));
+  }
+}
+
+void ShardPrefetchScheduler::OnWindowConsumed(uint64_t store_id, const Window& w) {
+  auto it = stores_.find(store_id);
+  if (it == stores_.end()) {
+    return;
+  }
+  StoreState& st = it->second;
+  auto shadow_it = st.shadows.find(w);
+  if (shadow_it != st.shadows.end()) {
+    // The client read (or dropped) the window before it fired: the shadow
+    // copy was pure waste.
+    shadow_bytes_ -= shadow_it->second.bytes;
+    if (m_.waste != nullptr) {
+      m_.waste->Add(ChunkValues(shadow_it->second.chunk));
+    }
+    st.shadows.erase(shadow_it);
+    if (m_.shadow_bytes != nullptr) {
+      m_.shadow_bytes->Set(static_cast<int64_t>(shadow_bytes_));
+    }
+  }
+  st.abandoned.erase(w);
+}
+
+void ShardPrefetchScheduler::TakeFired(std::vector<FiredPush>* out) {
+  if (out->empty()) {
+    *out = std::move(fired_);
+    fired_.clear();
+  } else {
+    for (FiredPush& p : fired_) {
+      out->push_back(std::move(p));
+    }
+    fired_.clear();
+  }
+}
+
+// ----- ReadAheadCache -----
+
+ReadAheadCache::ReadAheadCache(size_t capacity_bytes) : capacity_bytes_(capacity_bytes) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  m_hits_ = reg.GetCounter("client.prefetch_hits");
+  m_misses_ = reg.GetCounter("client.prefetch_misses");
+  m_waste_ = reg.GetCounter("client.prefetch_waste");
+  m_stale_ = reg.GetCounter("client.prefetch_stale");
+  m_evictions_ = reg.GetCounter("client.prefetch_evictions");
+  m_pushes_ = reg.GetCounter("client.prefetch_pushes");
+  m_push_lag_ms_ = reg.GetHistogram("client.push_lag_ms");
+}
+
+void ReadAheadCache::OnLocalAppend(uint64_t handle, const Window& w) {
+  MutexLock lock(&mu_);
+  ++local_counts_[Key{handle, w}];
+}
+
+void ReadAheadCache::OnPush(uint64_t handle, const Window& w, uint64_t push_seq,
+                            std::vector<WindowChunkEntry> chunk) {
+  (void)push_seq;  // ordering/debug only; coherence is by counting
+  const size_t cost = ChunkCost(chunk);
+  const int64_t values = ChunkValues(chunk);
+  MutexLock lock(&mu_);
+  const Key key{handle, w};
+  auto count_it = local_counts_.find(key);
+  if (count_it == local_counts_.end() || count_it->second == 0) {
+    // A push for a window this client never appended to: either the window
+    // was already consumed locally or the server is confused. Either way the
+    // entry could never pass the count check — drop it now.
+    ++counters_.stale;
+    m_stale_->Add(1);
+    return;
+  }
+  ++counters_.pushes;
+  m_pushes_->Add(1);
+  Entry& entry = entries_[key];
+  if (entry.chunk.empty()) {
+    entry.chunk = std::move(chunk);
+  } else {
+    // Keys hash to exactly one shard, so shard chunks never share keys and a
+    // plain concatenation stays key-complete.
+    for (WindowChunkEntry& e : chunk) {
+      entry.chunk.push_back(std::move(e));
+    }
+  }
+  entry.values += values;
+  entry.bytes += cost;
+  entry.last_push_nanos = MonotonicNanos();
+  entry.lru_tick = ++lru_tick_;
+  bytes_ += cost;
+  EvictUntilWithinCapacityLocked();
+}
+
+bool ReadAheadCache::TryServe(uint64_t handle, const Window& w,
+                              std::vector<WindowChunkEntry>* chunk) {
+  MutexLock lock(&mu_);
+  const Key key{handle, w};
+  auto count_it = local_counts_.find(key);
+  if (count_it == local_counts_.end() || count_it->second == 0) {
+    // Nothing was appended locally; the remote read will come back empty.
+    // Not counted as a miss — there was nothing to prefetch.
+    return false;
+  }
+  auto entry_it = entries_.find(key);
+  if (entry_it == entries_.end() || entry_it->second.values != count_it->second) {
+    ++counters_.misses;
+    m_misses_->Add(1);
+    return false;
+  }
+  Entry& entry = entry_it->second;
+  ++counters_.hits;
+  m_hits_->Add(1);
+  m_push_lag_ms_->Record(
+      static_cast<double>(MonotonicNanos() - entry.last_push_nanos) / 1e6);
+  *chunk = std::move(entry.chunk);
+  bytes_ -= entry.bytes;
+  entries_.erase(entry_it);
+  local_counts_.erase(count_it);
+  return true;
+}
+
+void ReadAheadCache::OnRemoteReadDone(uint64_t handle, const Window& w) {
+  MutexLock lock(&mu_);
+  const Key key{handle, w};
+  auto entry_it = entries_.find(key);
+  if (entry_it != entries_.end()) {
+    counters_.waste += entry_it->second.values;
+    m_waste_->Add(entry_it->second.values);
+    bytes_ -= entry_it->second.bytes;
+    entries_.erase(entry_it);
+  }
+  local_counts_.erase(key);
+}
+
+void ReadAheadCache::Clear() {
+  MutexLock lock(&mu_);
+  for (const auto& [key, entry] : entries_) {
+    counters_.waste += entry.values;
+    m_waste_->Add(entry.values);
+  }
+  entries_.clear();
+  bytes_ = 0;
+}
+
+ReadAheadCounters ReadAheadCache::counters() const {
+  MutexLock lock(&mu_);
+  return counters_;
+}
+
+size_t ReadAheadCache::bytes() const {
+  MutexLock lock(&mu_);
+  return bytes_;
+}
+
+void ReadAheadCache::EvictUntilWithinCapacityLocked() {
+  while (capacity_bytes_ > 0 && bytes_ > capacity_bytes_ && entries_.size() > 1) {
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.lru_tick < victim->second.lru_tick) {
+        victim = it;
+      }
+    }
+    counters_.waste += victim->second.values;
+    m_waste_->Add(victim->second.values);
+    ++counters_.evictions;
+    m_evictions_->Add(1);
+    bytes_ -= victim->second.bytes;
+    entries_.erase(victim);
+  }
+  // A single over-budget entry is allowed to stand (evicting the chunk we
+  // just completed would defeat the prefetch); the bound is a soft target.
+}
+
+}  // namespace net
+}  // namespace flowkv

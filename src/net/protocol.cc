@@ -59,6 +59,12 @@ const char* OpTypeName(OpType type) {
       return "restore_store";
     case OpType::kStats:
       return "stats";
+    case OpType::kEttRegister:
+      return "ett_register";
+    case OpType::kPushChunk:
+      return "push_chunk";
+    case OpType::kDropWindow:
+      return "drop_window";
   }
   return "?";
 }
@@ -267,6 +273,17 @@ void EncodeRequest(const RequestMessage& msg, std::string* payload) {
         break;
       case OpType::kStats:
         break;  // no request fields: the snapshot is server-wide
+      case OpType::kEttRegister:
+        PutVarint64(payload, op.store_id);
+        PutWindow(payload, op.window);           // first expected read window
+        PutVarsigned64(payload, op.timestamp);   // next-ETT estimate hint
+        break;
+      case OpType::kPushChunk:
+        break;  // server->client only; carries no request fields
+      case OpType::kDropWindow:
+        PutVarint64(payload, op.store_id);
+        PutWindow(payload, op.window);
+        break;
     }
   }
   // Optional trace-context extension: only on the wire when tracing is live
@@ -385,6 +402,15 @@ Status DecodeRequestInternal(Slice payload, RequestMessage* msg, bool borrow) {
         break;
       case OpType::kStats:
         break;
+      case OpType::kEttRegister:
+        ok = GetVarint64(&payload, &op.store_id) && GetWindow(&payload, &op.window) &&
+             GetVarsigned64(&payload, &op.timestamp);
+        break;
+      case OpType::kPushChunk:
+        break;  // decodes to an empty op; the server rejects it per-op
+      case OpType::kDropWindow:
+        ok = GetVarint64(&payload, &op.store_id) && GetWindow(&payload, &op.window);
+        break;
     }
     if (!ok) {
       return Truncated(OpTypeName(op.type));
@@ -445,11 +471,18 @@ void EncodeResponse(const ResponseMessage& msg, std::string* payload) {
       case OpType::kSnapshotFile:
       case OpType::kSnapshotDone:
       case OpType::kRestoreStore:
+      case OpType::kEttRegister:
+      case OpType::kDropWindow:
         break;
       case OpType::kOpenStore:
         PutVarint64(payload, r.store_id);
         PutVarint32(payload, static_cast<uint32_t>(r.pattern));
         break;
+      case OpType::kPushChunk:
+        PutVarint64(payload, r.store_id);
+        PutWindow(payload, r.window);
+        PutVarint64(payload, r.push_seq);
+        [[fallthrough]];  // the pushed payload reuses the chunk encoding
       case OpType::kGetWindowChunk:
         PutVarint32(payload, r.done ? 1 : 0);
         PutVarint32(payload, static_cast<uint32_t>(r.chunk.size()));
@@ -526,6 +559,8 @@ Status DecodeResponse(Slice payload, ResponseMessage* msg) {
       case OpType::kSnapshotFile:
       case OpType::kSnapshotDone:
       case OpType::kRestoreStore:
+      case OpType::kEttRegister:
+      case OpType::kDropWindow:
         break;
       case OpType::kOpenStore: {
         uint32_t pattern = 0;
@@ -534,6 +569,13 @@ Status DecodeResponse(Slice payload, ResponseMessage* msg) {
         if (ok) r.pattern = static_cast<StorePattern>(pattern);
         break;
       }
+      case OpType::kPushChunk:
+        ok = GetVarint64(&payload, &r.store_id) && GetWindow(&payload, &r.window) &&
+             GetVarint64(&payload, &r.push_seq);
+        if (!ok) {
+          break;
+        }
+        [[fallthrough]];  // the pushed payload reuses the chunk encoding
       case OpType::kGetWindowChunk: {
         uint32_t done = 0, num_entries = 0;
         ok = GetVarint32(&payload, &done) && GetVarint32(&payload, &num_entries);

@@ -95,10 +95,39 @@ enum class OpType : uint32_t {
   // reject the frame at decode (unknown op type) and drop the connection, so
   // callers should confirm support via the capability probe below first.
   kStats = 16,
+  // ----- ETT-driven prefetch (src/net/prefetch.h) -----
+  // Client -> server: registers the connection for window-chunk pushes on an
+  // AAR store. Carries the store id, the first window the client expects to
+  // read (`window`) and the next estimated trigger time (`timestamp`, an ETT
+  // hint — informational; the server's scheduler fires on observed event-time
+  // progress). Fans out to every shard so each shard's scheduler starts
+  // shadowing appends for the (connection, store) pair. Gated behind the
+  // kCapPrefetchPush capability probe: servers that predate the op reject the
+  // frame at decode and drop the connection, so clients must probe first.
+  kEttRegister = 17,
+  // Server -> client ONLY, and never as a request op: one materialized window
+  // chunk pushed ahead of the client's read. Appears as an OpResult (type
+  // kPushChunk) inside an unsolicited ResponseMessage whose request_id is
+  // kPushRequestId (0) — client request ids start at 1, so pushes demux
+  // unambiguously from responses on the same socket. The result carries the
+  // store id, the window boundary, a per-(store, window) shard sequence
+  // number (`push_seq`) and the chunk payload. A server never decodes this as
+  // a request op (kInvalidArgument).
+  kPushChunk = 18,
+  // Client -> server: discards a window's AAR state on every shard without
+  // reading it — how a client consumes server-side state after serving the
+  // window from its read-ahead cache. A write op (buffered, ordered with
+  // appends, forwarded to a standby like other writes).
+  kDropWindow = 19,
 };
 
 // Last valid OpType value, for decoder range checks.
-constexpr uint32_t kMaxOpType = static_cast<uint32_t>(OpType::kStats);
+constexpr uint32_t kMaxOpType = static_cast<uint32_t>(OpType::kDropWindow);
+
+// request_id of an unsolicited push frame (ResponseMessage carrying
+// kPushChunk results). Clients number real requests from 1, so 0 can never
+// collide with a pending response.
+constexpr uint64_t kPushRequestId = 0;
 
 // Capability probe: a kGatherStats op addressed to this reserved store id.
 // Servers that understand protocol extensions (trace context, kStats) answer
@@ -109,6 +138,11 @@ constexpr uint32_t kMaxOpType = static_cast<uint32_t>(OpType::kStats);
 // with a real store.
 constexpr uint64_t kProbeStoreId = ~0ull;
 constexpr char kCapTraceContext[] = "caps.trace_context";
+// Present (value 1) in the probe answer of servers that understand
+// kEttRegister/kPushChunk/kDropWindow. A client must never send a prefetch
+// op to a server that did not advertise this — old decoders treat the op
+// type as corruption and drop the connection.
+constexpr char kCapPrefetchPush[] = "caps.prefetch_push";
 
 const char* OpTypeName(OpType type);
 
@@ -225,11 +259,13 @@ struct OpResult {
   uint64_t store_id = 0;                       // kOpenStore
   StorePattern pattern = StorePattern::kReadModifyWrite;  // kOpenStore
   bool done = false;                           // kGetWindowChunk
-  std::vector<WindowChunkEntry> chunk;         // kGetWindowChunk
+  std::vector<WindowChunkEntry> chunk;         // kGetWindowChunk, kPushChunk
   std::vector<std::string> values;             // kGetUnaligned
   std::string accumulator;                     // kRmwGet
   std::vector<std::pair<std::string, int64_t>> stat_fields;  // kGatherStats
   std::string stats_json;                      // kStats introspection document
+  Window window;                               // kPushChunk: pushed boundary
+  uint64_t push_seq = 0;                       // kPushChunk: shard sequence
 };
 
 struct RequestMessage {

@@ -32,6 +32,7 @@
 #include "src/common/thread_annotations.h"
 #include "src/flowkv/flowkv_store.h"
 #include "src/net/conn.h"
+#include "src/net/prefetch.h"
 #include "src/net/replica.h"
 #include "src/obs/context.h"
 #include "src/obs/metrics.h"
@@ -129,9 +130,13 @@ void AppendJsonEscaped(std::string* out, const std::string& s) {
 }
 
 // Ops whose execution spans every shard rather than one key's shard.
+// kEttRegister and kDropWindow qualify because a store's keys hash across
+// all shards: a push subscription must reach every shard's scheduler, and a
+// window drop must discard every shard's slice of the window.
 bool IsFanoutOp(OpType type) {
   return type == OpType::kOpenStore || type == OpType::kCheckpoint ||
-         type == OpType::kGatherStats || type == OpType::kRestoreStore;
+         type == OpType::kGatherStats || type == OpType::kRestoreStore ||
+         type == OpType::kEttRegister || type == OpType::kDropWindow;
 }
 
 // Ops forwarded to a subscribed standby: everything that mutates store state,
@@ -147,7 +152,11 @@ bool IsForwardedOp(OpType type) {
     case OpType::kMergeWindows:
     case OpType::kRmwPut:
     case OpType::kRmwRemove:
+    case OpType::kDropWindow:
       return true;
+    // kEttRegister is deliberately NOT forwarded: subscriptions are
+    // connection-scoped primary state; a promoted standby starts with no
+    // subscribers and the client re-registers after reconnecting.
     default:
       return false;
   }
@@ -298,6 +307,8 @@ class Server::Impl {
       kCloseConn,        // close a connection owned by this reactor
       kCheckpointShard,  // checkpoint one store's shard, then Done(barrier)
       kAttachResume,     // replay deferred requests after a snapshot attach
+      kPushSend,         // queue a pre-encoded kPushChunk frame on a conn
+      kPrefetchUnsub,    // drop a closed conn's push subscriptions
     };
     Kind kind = Kind::kShardOps;
     std::shared_ptr<Connection> conn;  // kAdoptConn
@@ -305,9 +316,10 @@ class Server::Impl {
     int64_t enqueue_nanos = 0;         // kShardOps: queue-wait start
     std::shared_ptr<PendingRequest> pending;  // kShardOps, kFinish, kSendResponse
     std::vector<ShardWorkItem> items;         // kShardOps
-    uint64_t conn_id = 0;                     // kReplicaSend, kCloseConn
-    std::string frame_header;                 // kReplicaSend
-    std::string frame_payload;                // kReplicaSend
+    uint64_t conn_id = 0;                     // kReplicaSend, kCloseConn, kPushSend,
+                                              // kPrefetchUnsub
+    std::string frame_header;                 // kReplicaSend, kPushSend
+    std::string frame_payload;                // kReplicaSend, kPushSend
     StoreEntry* store = nullptr;              // kCheckpointShard
     std::string checkpoint_dir;               // kCheckpointShard
     std::shared_ptr<Barrier> barrier;         // kCheckpointShard
@@ -326,6 +338,8 @@ class Server::Impl {
     obs::Counter* protocol_errors = nullptr;
     obs::Counter* shed_overload = nullptr;
     obs::Counter* repl_forwarded = nullptr;
+    obs::Counter* pushes_sent = nullptr;     // kPushChunk frames queued
+    obs::Counter* pushes_dropped = nullptr;  // pushes shed at the outbox bound
   };
 
   struct Reactor {
@@ -374,6 +388,12 @@ class Server::Impl {
     std::atomic<size_t> depth{0};
     // Single-writer (the owning reactor), created under WorkerScope(shard).
     obs::Counter* shed_deadline = nullptr;
+    // Push scheduler; same reactor-confined contract as the shard's stores
+    // (only the owning reactor touches it). Null when prefetch is disabled.
+    std::unique_ptr<ShardPrefetchScheduler> prefetch;
+    // Instrument copies kept so BuildStatsJson can sum without a registry
+    // scan (Counter/Gauge reads are plain relaxed loads, safe cross-thread).
+    PrefetchShardMetrics prefetch_metrics;
   };
 
   // What a replica drop must do outside repl_mu_: close the old connection
@@ -427,6 +447,22 @@ class Server::Impl {
   void ExecuteShardItems(int shard, int64_t enqueue_nanos, PendingRequest* pending,
                          const std::vector<ShardWorkItem>& items);
   void CompleteRequest(const std::shared_ptr<PendingRequest>& pending);
+
+  // ----- prefetch push (see src/net/prefetch.h) -----
+
+  // Encodes and routes every window the shard's scheduler fired. Runs on the
+  // shard's owner thread at the tail of ExecuteShardItems — BEFORE the
+  // triggering request's kFinish is posted — so on any one connection the
+  // push frame always precedes the ack of the append that closed the window
+  // (inline: queued directly on this reactor's conn; cross-reactor: the
+  // kPushSend task is posted ahead of kFinish and per-pair task order is
+  // FIFO). A client that has seen its Flush() return has therefore already
+  // been handed the push.
+  void DispatchFiredPushes(int shard);
+  // Queues one pre-encoded push frame on a connection this reactor owns;
+  // sheds the push (counted) instead of queueing past the outbox budget so a
+  // slow consumer degrades to remote reads rather than unbounded buffering.
+  void SendPushLocal(Reactor& r, uint64_t conn_id, std::string header, std::string payload);
   void WakeReactor(int reactor_index) {
     const uint64_t one = 1;
     [[maybe_unused]] ssize_t n =
@@ -469,7 +505,8 @@ class Server::Impl {
 
   // ----- shard execution (shard's owner thread only) -----
 
-  void ExecuteShardOp(int shard, StoreEntry* store, const OpRequest& op, OpResult* out);
+  void ExecuteShardOp(int shard, StoreEntry* store, const OpRequest& op, uint64_t conn_id,
+                      OpResult* out);
   Status OpenShardStore(int shard, StoreEntry* store,
                         const std::string& restore_from = std::string());
 
@@ -579,6 +616,10 @@ class Server::Impl {
     double queue_wait_ms = 0;
     double exec_ms = 0;
     int64_t ts_ms = 0;  // monotonic, when the request finished
+    // Read-path attribution: "cache-hit" when the batch consumed a pushed
+    // window (kDropWindow), "remote-miss" when it paid a server-side window
+    // read (kGetWindowChunk), "" for batches with neither.
+    const char* read_path = "";
   };
   Mutex stats_mu_;
   std::vector<SlowRequest> slow_log_ GUARDED_BY(stats_mu_);
@@ -627,6 +668,19 @@ Status Server::Impl::Init(const ServerOptions& options) {
     // of the per-shard execution metrics.
     obs::WorkerScope worker_scope(s);
     shard_state_[s].shed_deadline = reg.GetCounter("server.shed_deadline");
+    if (options_.enable_prefetch_push && !options_.emulate_legacy_proto) {
+      PrefetchShardMetrics& pm = shard_state_[s].prefetch_metrics;
+      pm.registrations = reg.GetCounter("server.prefetch_registrations");
+      pm.fired = reg.GetCounter("server.prefetch_fired");
+      pm.fired_entries = reg.GetCounter("server.prefetch_fired_entries");
+      pm.fired_bytes = reg.GetCounter("server.prefetch_fired_bytes");
+      pm.invalidated = reg.GetCounter("server.prefetch_invalidated");
+      pm.overflow = reg.GetCounter("server.prefetch_overflow");
+      pm.waste = reg.GetCounter("server.prefetch_waste");
+      pm.shadow_bytes = reg.GetGauge("server.prefetch_shadow_bytes");
+      shard_state_[s].prefetch = std::make_unique<ShardPrefetchScheduler>(
+          options_.prefetch_shadow_bytes, pm);
+    }
   }
 
   reactors_.reserve(static_cast<size_t>(num_reactors_));
@@ -660,6 +714,8 @@ Status Server::Impl::Init(const ServerOptions& options) {
       r->metrics.protocol_errors = reg.GetCounter("server.protocol_errors");
       r->metrics.shed_overload = reg.GetCounter("server.shed_overload");
       r->metrics.repl_forwarded = reg.GetCounter("server.repl_frames_forwarded");
+      r->metrics.pushes_sent = reg.GetCounter("server.pushes_sent");
+      r->metrics.pushes_dropped = reg.GetCounter("server.pushes_dropped");
     }
     wake_fds_.push_back(r->wake_fd);
     reactors_.push_back(std::move(r));
@@ -1236,11 +1292,12 @@ bool Server::Impl::ProcessBufferedFrames(Reactor& r, uint64_t conn_id) {
     }
     if (options_.emulate_legacy_proto) {
       // A pre-extension decoder rejects the trace block (trailing bytes) and
-      // the kStats op type (out of range) as corruption and drops the
+      // any op type past its own kMaxOpType (kStats and everything newer —
+      // kEttRegister, kPushChunk, kDropWindow) as corruption and drops the
       // connection; reproduce that exactly.
       bool unknown_to_legacy = request.trace_id != 0;
       for (const OpRequest& op : request.ops) {
-        if (op.type == OpType::kStats) unknown_to_legacy = true;
+        if (op.type >= OpType::kStats) unknown_to_legacy = true;
       }
       if (unknown_to_legacy) {
         conn->Consume(frame_bytes);
@@ -1293,6 +1350,26 @@ void Server::Impl::CloseConnLocal(Reactor& r, uint64_t conn_id) {
   if (conn_id == replica_conn_id_atomic_.load(std::memory_order_relaxed)) {
     // DropReplica zeroes the id before closing, so this does not recurse.
     DropReplica("connection closed");
+  }
+  if (options_.enable_prefetch_push && !options_.emulate_legacy_proto) {
+    // Push subscriptions die with the connection. This reactor's shards
+    // unregister inline; the rest get a best-effort task (a reactor already
+    // closed is shutting down and its schedulers die with it).
+    for (int s = 0; s < options_.num_shards; ++s) {
+      if ((single_threaded_ || OwnerReactor(s) == r.index) &&
+          shard_state_[s].prefetch != nullptr) {
+        shard_state_[s].prefetch->Unregister(conn_id);
+      }
+    }
+    if (!single_threaded_) {
+      for (int i = 0; i < num_reactors_; ++i) {
+        if (i == r.index) continue;
+        ReactorTask task;
+        task.kind = ReactorTask::Kind::kPrefetchUnsub;
+        task.conn_id = conn_id;
+        PostTask(i, std::move(task));
+      }
+    }
   }
 }
 
@@ -1385,6 +1462,12 @@ void Server::Impl::HandleRequest(Reactor& r, Connection* conn, RequestMessage re
       continue;
     }
 
+    if (op.type == OpType::kPushChunk) {
+      // Server-push only: it never appears as a request op.
+      result.status = Status::InvalidArgument("kPushChunk is a server-push frame");
+      continue;
+    }
+
     if (op.type == OpType::kRestoreStore) {
       // Standby-side snapshot install (loopback from the ReplicaPuller):
       // create-or-replace the store from a staged checkpoint directory. The
@@ -1465,10 +1548,13 @@ void Server::Impl::HandleRequest(Reactor& r, Connection* conn, RequestMessage re
     if (op.type == OpType::kGatherStats && op.store_id == kProbeStoreId &&
         !options_.emulate_legacy_proto) {
       // Capability probe (protocol.h): an old server falls through to the
-      // unknown-store-id error below; answering OK here tells the client the
-      // trace-context extension is safe to emit on this connection.
+      // unknown-store-id error below; answering OK here tells the client
+      // which protocol extensions are safe to use on this connection.
       result.status = Status::Ok();
       result.stat_fields.emplace_back(kCapTraceContext, 1);
+      if (options_.enable_prefetch_push) {
+        result.stat_fields.emplace_back(kCapPrefetchPush, 1);
+      }
       continue;
     }
 
@@ -1480,6 +1566,12 @@ void Server::Impl::HandleRequest(Reactor& r, Connection* conn, RequestMessage re
     }
 
     if (IsFanoutOp(op.type)) {
+      if (op.type == OpType::kDropWindow) {
+        // The window's state is going away on every shard; a stale aligned-
+        // scan cursor would otherwise resume a dead scan mid-shard.
+        MutexLock lock(&stores_mu_);
+        store->chunk_cursor.erase(op.window);
+      }
       pending->fanout_partials[i].resize(static_cast<size_t>(options_.num_shards));
       for (int shard = 0; shard < options_.num_shards; ++shard) {
         shard_items[static_cast<size_t>(shard)].push_back({i, store});
@@ -1777,6 +1869,19 @@ void Server::Impl::RunTask(Reactor& r, ReactorTask& task) {
     case ReactorTask::Kind::kAttachResume:
       ResumeAfterAttach(r);
       break;
+    case ReactorTask::Kind::kPushSend:
+      SendPushLocal(r, task.conn_id, std::move(task.frame_header),
+                    std::move(task.frame_payload));
+      break;
+    case ReactorTask::Kind::kPrefetchUnsub:
+      // Drop the closed connection's subscriptions from every shard this
+      // reactor owns (schedulers are confined to their shard's owner).
+      for (int s = 0; s < options_.num_shards; ++s) {
+        if (OwnerReactor(s) == r.index && shard_state_[s].prefetch != nullptr) {
+          shard_state_[s].prefetch->Unregister(task.conn_id);
+        }
+      }
+      break;
   }
 }
 
@@ -1842,8 +1947,11 @@ void Server::Impl::ExecuteShardItems(int shard, int64_t enqueue_nanos,
       out->status = Status::TimedOut("deadline expired before execution");
       continue;
     }
-    ExecuteShardOp(shard, item.store, op, out);
+    ExecuteShardOp(shard, item.store, op, pending->conn_id, out);
   }
+  // Fired windows go out before the caller posts kFinish for this request,
+  // so on any one connection the push precedes the triggering append's ack.
+  DispatchFiredPushes(shard);
   const int64_t exec_end_nanos = MonotonicNanos();
   obs::TraceCompleteSpan("server_exec", "server", dequeue_nanos, exec_end_nanos,
                          "trace_id", static_cast<int64_t>(pending->trace_id), "ops",
@@ -1868,6 +1976,90 @@ void Server::Impl::CompleteRequest(const std::shared_ptr<PendingRequest>& pendin
       pending->counted = false;
       pending_count_.fetch_sub(1, std::memory_order_seq_cst);
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Prefetch push
+// ---------------------------------------------------------------------------
+
+void Server::Impl::DispatchFiredPushes(int shard) {
+  ShardPrefetchScheduler* sched = shard_state_[shard].prefetch.get();
+  if (sched == nullptr || !sched->has_fired()) {
+    return;
+  }
+  std::vector<FiredPush> fired;
+  sched->TakeFired(&fired);
+  for (FiredPush& push : fired) {
+    // One encode per fired window; per-subscriber payload copies only when
+    // there is more than one subscriber (rare — one worker per store).
+    ResponseMessage msg;
+    msg.request_id = kPushRequestId;
+    msg.results.resize(1);
+    OpResult& res = msg.results[0];
+    res.type = OpType::kPushChunk;
+    res.status = Status::Ok();
+    res.store_id = push.store_id;
+    res.window = push.window;
+    res.push_seq = push.push_seq;
+    res.done = true;
+    res.chunk = std::move(push.chunk);
+    std::string payload;
+    EncodeResponse(msg, &payload);
+    char header[kFrameHeaderBytes];
+    EncodeFrameHeader(Slice(payload), header);
+    for (size_t k = 0; k < push.conn_ids.size(); ++k) {
+      const uint64_t conn_id = push.conn_ids[k];
+      int target = -1;
+      {
+        MutexLock lock(&registry_mu_);
+        auto it = conn_registry_.find(conn_id);
+        if (it == conn_registry_.end()) {
+          continue;  // subscriber raced a close; the unsub task is in flight
+        }
+        target = it->second.reactor;
+      }
+      std::string body = k + 1 == push.conn_ids.size() ? std::move(payload) : payload;
+      if (single_threaded_ || target == tl_reactor) {
+        SendPushLocal(*reactors_[static_cast<size_t>(target)], conn_id,
+                      std::string(header, kFrameHeaderBytes), std::move(body));
+        continue;
+      }
+      ReactorTask task;
+      task.kind = ReactorTask::Kind::kPushSend;
+      task.conn_id = conn_id;
+      task.frame_header.assign(header, kFrameHeaderBytes);
+      task.frame_payload = std::move(body);
+      // Best-effort: a reactor refusing tasks is stopping, and its
+      // connections are going away with it.
+      PostTask(target, std::move(task));
+    }
+  }
+}
+
+void Server::Impl::SendPushLocal(Reactor& r, uint64_t conn_id, std::string header,
+                                 std::string payload) {
+  auto it = r.conns.find(conn_id);
+  if (it == r.conns.end()) {
+    return;  // closed between fire and delivery; client degrades to a miss
+  }
+  Connection* conn = it->second.conn.get();
+  const size_t frame_bytes = header.size() + payload.size();
+  if (conn->outbox_bytes() + frame_bytes > options_.max_outbox_bytes) {
+    // Never let optimistic pushes wedge a connection past its backpressure
+    // budget: shed the push, the client's count check turns it into a miss.
+    r.metrics.pushes_dropped->Add(1);
+    return;
+  }
+  r.metrics.bytes_out->Add(static_cast<int64_t>(frame_bytes));
+  r.metrics.pushes_sent->Add(1);
+  conn->QueueFrameParts(std::move(header), std::move(payload));
+  if (!conn->FlushWrites().ok()) {
+    CloseConnLocal(r, conn_id);
+    return;
+  }
+  if (!single_threaded_) {
+    UpdateConnEvents(r, it->second);
   }
 }
 
@@ -2005,6 +2197,15 @@ void Server::Impl::FinishPending(const std::shared_ptr<PendingRequest>& pending)
     slow.exec_ms =
         static_cast<double>(pending->exec_nanos.load(std::memory_order_relaxed)) / 1e6;
     slow.ts_ms = finish_nanos / 1'000'000;
+    for (const OpRequest& op : pending->ops) {
+      if (op.type == OpType::kDropWindow) {
+        // A drop consumes a window the client already holds from a push; a
+        // batch that also re-read remotely still counts as the miss.
+        if (slow.read_path[0] == '\0') slow.read_path = "cache-hit";
+      } else if (op.type == OpType::kGetWindowChunk) {
+        slow.read_path = "remote-miss";
+      }
+    }
     MutexLock lock(&stats_mu_);
     if (slow_log_.size() < options_.slow_log_size) {
       slow_log_.push_back(slow);
@@ -2119,7 +2320,7 @@ std::string Server::Impl::BuildStatsJson() {
 
   std::string j;
   j.reserve(4096);
-  char buf[320];
+  char buf[512];
   auto add = [&j, &buf](const char* fmt, auto... args) {
     std::snprintf(buf, sizeof(buf), fmt, args...);
     j.append(buf);
@@ -2184,6 +2385,42 @@ std::string Server::Impl::BuildStatsJson() {
         static_cast<unsigned long long>(parked_.size()));
   }
 
+  {
+    // Prefetch-push rollup across shards (scheduler counters are per-shard
+    // single-writer; reading them here is a relaxed load) and reactors.
+    int64_t p_reg = 0, p_fired = 0, p_entries = 0, p_bytes = 0;
+    int64_t p_inval = 0, p_overflow = 0, p_waste = 0, p_shadow = 0;
+    bool enabled = false;
+    for (int s = 0; s < num_shards; ++s) {
+      const PrefetchShardMetrics& pm = shard_state_[s].prefetch_metrics;
+      if (pm.fired == nullptr) continue;
+      enabled = true;
+      p_reg += pm.registrations->Value();
+      p_fired += pm.fired->Value();
+      p_entries += pm.fired_entries->Value();
+      p_bytes += pm.fired_bytes->Value();
+      p_inval += pm.invalidated->Value();
+      p_overflow += pm.overflow->Value();
+      p_waste += pm.waste->Value();
+      p_shadow += pm.shadow_bytes->Value();
+    }
+    int64_t pushes_sent = 0, pushes_dropped = 0;
+    for (const auto& r : reactors_) {
+      pushes_sent += r->metrics.pushes_sent->Value();
+      pushes_dropped += r->metrics.pushes_dropped->Value();
+    }
+    add("\"prefetch\":{\"enabled\":%s,\"registrations\":%lld,\"fired\":%lld,"
+        "\"fired_entries\":%lld,\"fired_bytes\":%lld,\"invalidated\":%lld,"
+        "\"overflow\":%lld,\"waste\":%lld,\"shadow_bytes\":%lld,"
+        "\"pushes_sent\":%lld,\"pushes_dropped\":%lld},",
+        enabled ? "true" : "false", static_cast<long long>(p_reg),
+        static_cast<long long>(p_fired), static_cast<long long>(p_entries),
+        static_cast<long long>(p_bytes), static_cast<long long>(p_inval),
+        static_cast<long long>(p_overflow), static_cast<long long>(p_waste),
+        static_cast<long long>(p_shadow), static_cast<long long>(pushes_sent),
+        static_cast<long long>(pushes_dropped));
+  }
+
   j += "\"shards\":[";
   for (int shard = 0; shard < num_shards; ++shard) {
     const size_t si = static_cast<size_t>(shard);
@@ -2241,12 +2478,13 @@ std::string Server::Impl::BuildStatsJson() {
   for (size_t i = 0; i < slow.size(); ++i) {
     const SlowRequest& s = slow[i];
     add("%s{\"request_id\":%llu,\"conn_id\":%llu,\"trace_id\":%llu,\"ops\":%llu,"
-        "\"total_ms\":%.3f,\"queue_wait_ms\":%.3f,\"exec_ms\":%.3f,\"ts_ms\":%lld}",
+        "\"total_ms\":%.3f,\"queue_wait_ms\":%.3f,\"exec_ms\":%.3f,\"ts_ms\":%lld,"
+        "\"read_path\":\"%s\"}",
         i == 0 ? "" : ",", static_cast<unsigned long long>(s.request_id),
         static_cast<unsigned long long>(s.conn_id),
         static_cast<unsigned long long>(s.trace_id),
         static_cast<unsigned long long>(s.num_ops), s.total_ms, s.queue_wait_ms, s.exec_ms,
-        static_cast<long long>(s.ts_ms));
+        static_cast<long long>(s.ts_ms), s.read_path);
   }
   j += "]}";
   return j;
@@ -2658,7 +2896,7 @@ Status Server::Impl::CheckpointStoresTo(const std::string& staged) {
 // ---------------------------------------------------------------------------
 
 void Server::Impl::ExecuteShardOp(int shard, StoreEntry* store, const OpRequest& op,
-                                  OpResult* out) {
+                                  uint64_t conn_id, OpResult* out) {
   out->type = op.type;
 
   if (op.type == OpType::kOpenStore) {
@@ -2709,12 +2947,41 @@ void Server::Impl::ExecuteShardOp(int shard, StoreEntry* store, const OpRequest&
   // key_view()/value_view() hand the store borrowed slices directly — on the
   // inline path these still point into the connection's rx buffer; the store
   // API is Slice-in, so no copy happens until the store itself keeps data.
+  ShardPrefetchScheduler* sched = shard_state_[shard].prefetch.get();
   switch (op.type) {
     case OpType::kAppendAligned:
       out->status = kv->Append(op.key_view(), op.value_view(), op.window);
+      if (out->status.ok() && sched != nullptr) {
+        // Shadow-copy for the push scheduler (no-op without subscribers) and
+        // advance the store's event-time high-water mark, possibly firing
+        // closed windows (drained by DispatchFiredPushes after the batch).
+        sched->OnAppend(store->id, op.key_view(), op.value_view(), op.window);
+      }
       break;
     case OpType::kGetWindowChunk:
       out->status = kv->GetWindowChunk(op.window, &out->chunk, &out->done);
+      if (sched != nullptr) {
+        // The client went to the read path: any unpushed shadow is waste.
+        sched->OnWindowConsumed(store->id, op.window);
+      }
+      break;
+    case OpType::kDropWindow:
+      out->status = kv->DropWindow(op.window);
+      if (sched != nullptr) {
+        sched->OnWindowConsumed(store->id, op.window);
+      }
+      break;
+    case OpType::kEttRegister:
+      if (kv->pattern() != StorePattern::kAppendAligned) {
+        out->status = Status::FailedPrecondition("kEttRegister on a non-AAR store");
+        break;
+      }
+      // Disabled prefetch (null scheduler) still answers OK: the register is
+      // a hint, and clients only send it after the capability probe anyway.
+      if (sched != nullptr) {
+        sched->Register(conn_id, store->id);
+      }
+      out->status = Status::Ok();
       break;
     case OpType::kAppendUnaligned:
       out->status = kv->Append(op.key_view(), op.value_view(), op.window, op.timestamp);
@@ -2752,6 +3019,7 @@ void Server::Impl::ExecuteShardOp(int shard, StoreEntry* store, const OpRequest&
     case OpType::kSnapshotFile:
     case OpType::kSnapshotDone:
     case OpType::kStats:
+    case OpType::kPushChunk:
       out->status = Status::Internal("op routed to shard unexpectedly");
       break;
   }

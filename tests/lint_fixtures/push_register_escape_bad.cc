@@ -1,0 +1,52 @@
+// Lint fixture — NOT compiled. Seeded violations for the
+// flowkv-borrowed-slice-escape check on the prefetch push path: a
+// kEttRegister frame decoded with DecodeRequestBorrowed aliases the
+// connection rx buffer, so handing it to the shard scheduler's task queue,
+// stashing it for a later push cycle, or capturing it in a deferred reactor
+// task must materialize first. Every line marked BAD below must produce
+// exactly one diagnostic (see push_register_escape_bad.expected).
+
+#include "src/net/prefetch.h"
+#include "src/net/protocol.h"
+
+namespace flowkv {
+
+class PushDispatcher {
+ public:
+  void QueueRegisterToShard(Slice payload);
+  void StashForNextPushCycle(Slice payload);
+  void DeferRegisterToReactor(Slice payload);
+
+ private:
+  std::deque<RequestMessage> shard_tasks_;
+  RequestMessage pending_register_;
+};
+
+// Cross-thread handoff: the owning shard drains this queue long after the
+// connection consumed the frame.
+void PushDispatcher::QueueRegisterToShard(Slice payload) {
+  RequestMessage request;
+  const Status s = DecodeRequestBorrowed(payload, &request);
+  if (!s.ok()) {
+    return;
+  }
+  shard_tasks_.push_back(std::move(request));  // BAD: queued while borrowed
+}
+
+// Held across push cycles in a member field.
+void PushDispatcher::StashForNextPushCycle(Slice payload) {
+  RequestMessage request;
+  if (!DecodeRequestBorrowed(payload, &request).ok()) {
+    return;
+  }
+  pending_register_ = std::move(request);  // BAD: stored while borrowed
+}
+
+// Deferred onto the shard's reactor; the capture copies borrowed Slices.
+void PushDispatcher::DeferRegisterToReactor(Slice payload) {
+  RequestMessage request;
+  const Status s = DecodeRequestBorrowed(payload, &request);
+  PostToReactor([request]() { RegisterSubscriber(request); });  // BAD: captured while borrowed
+}
+
+}  // namespace flowkv

@@ -1,0 +1,53 @@
+// Lint fixture — NOT compiled. Push-path patterns the
+// flowkv-borrowed-slice-escape check must ACCEPT: this file lints clean
+// (push_register_escape_good.expected is empty).
+
+#include "src/net/prefetch.h"
+#include "src/net/protocol.h"
+
+namespace flowkv {
+
+class PushDispatcher {
+ public:
+  void MaterializeThenQueue(Slice payload);
+  void InlineRegister(Slice payload);
+  void QueueOwnedPushFrame(net::FiredPush fired);
+
+ private:
+  std::deque<RequestMessage> shard_tasks_;
+  std::deque<std::string> outbox_;
+};
+
+// The canonical cross-thread handoff: own every field, then queue to the
+// shard.
+void PushDispatcher::MaterializeThenQueue(Slice payload) {
+  RequestMessage request;
+  const Status s = DecodeRequestBorrowed(payload, &request);
+  if (!s.ok()) {
+    return;
+  }
+  for (OpRequest& op : request.ops) {
+    op.MaterializeRefs();
+  }
+  shard_tasks_.push_back(std::move(request));  // ok: materialized above
+}
+
+// Registering inline on this stack never outlives the rx buffer.
+void PushDispatcher::InlineRegister(Slice payload) {
+  RequestMessage request;
+  if (!DecodeRequestBorrowed(payload, &request).ok()) {
+    return;
+  }
+  RegisterSubscriber(std::move(request));  // ok: inline dispatch
+}
+
+// A fired push's chunk is the scheduler's own shadow copy (owned strings,
+// src/net/prefetch.h) — encoding and queueing it borrows nothing from any rx
+// buffer, so the outbox handoff is out of the borrow contract entirely.
+void PushDispatcher::QueueOwnedPushFrame(net::FiredPush fired) {
+  std::string frame;
+  EncodePushChunk(fired, &frame);
+  outbox_.push_back(std::move(frame));  // ok: owned payload
+}
+
+}  // namespace flowkv

@@ -32,7 +32,9 @@
 #include "src/common/fault_injection_socket.h"
 #include "src/common/fs_hooks.h"
 #include "src/common/net_hooks.h"
+#include "src/net/async_client.h"
 #include "src/net/client.h"
+#include "src/net/replica.h"
 #include "src/net/server.h"
 #include "src/nexmark/generator.h"
 #include "src/nexmark/queries.h"
@@ -393,6 +395,138 @@ TEST_F(NetChaosTest, ReplayBufferRidesOutATotalOutage) {
   EXPECT_EQ(value, "d2");
   ASSERT_TRUE(state->Get("before", w, &value).ok());
   EXPECT_EQ(value, "b");
+}
+
+// ---------------------------------------------------------------------------
+// Prefetch × failover: kill the primary while pushed window chunks sit in
+// the client's read-ahead cache. The reconnect must clear the cache BEFORE
+// anything replays against the standby — the pre-kill pushes describe the
+// dead primary's shadow state and must never short-circuit a read — and the
+// fresh connection must re-negotiate pushes so prefetch resumes on the
+// promoted standby.
+
+OperatorStateSpec AarSpec(const std::string& name) {
+  OperatorStateSpec spec;
+  spec.name = name;
+  spec.window_kind = WindowKind::kTumbling;
+  spec.incremental = false;
+  spec.window_size_ms = 1000;
+  return spec;
+}
+
+TEST(PrefetchFailoverChaosTest, PrimaryKilledWithPushesInFlight) {
+  const std::string dir = MakeTempDir("chaos_prefetch");
+  std::unique_ptr<net::Server> primary;
+  std::unique_ptr<net::Server> standby;
+  std::unique_ptr<net::ReplicaPuller> puller;
+
+  net::ServerOptions popts;
+  popts.num_shards = 2;
+  popts.data_dir = JoinPath(dir, "primary_data");
+  popts.checkpoint_dir = JoinPath(dir, "primary_ckpt");
+  ASSERT_TRUE(net::Server::Start(popts, &primary).ok());
+  net::ServerOptions sopts;
+  sopts.num_shards = 2;
+  sopts.data_dir = JoinPath(dir, "standby_data");
+  sopts.checkpoint_dir = JoinPath(dir, "standby_ckpt");
+  ASSERT_TRUE(net::Server::Start(sopts, &standby).ok());
+
+  net::ReplicaOptions ropts;
+  ropts.primary_port = primary->port();
+  ropts.self_port = standby->port();
+  ropts.snapshot_dir = JoinPath(dir, "standby_snapshot");
+  ASSERT_TRUE(net::ReplicaPuller::Start(ropts, &puller).ok());
+  for (int i = 0; i < 200 && !puller->snapshot_loaded(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ASSERT_TRUE(puller->snapshot_loaded()) << "standby never restored a snapshot";
+
+  net::ClientOptions copts;
+  copts.port = primary->port();
+  copts.standbys = {{"127.0.0.1", standby->port()}};
+  copts.request_timeout_ms = 60'000;
+  copts.max_retries = 8;
+  copts.max_reconnect_attempts = 8;
+  copts.reconnect_backoff_ms = 10;
+  copts.reconnect_backoff_max_ms = 200;
+  copts.jitter_seed = 11;
+  copts.enable_prefetch_push = true;
+  std::unique_ptr<net::AsyncClient> client;
+  ASSERT_TRUE(net::AsyncClient::Connect(copts, &client).ok());
+  ASSERT_TRUE(client->push_negotiated());
+
+  uint64_t h = 0;
+  ASSERT_TRUE(client->OpenStore("chaos.pf.h0", AarSpec("pf"), &h, nullptr).ok());
+  const Window w0(0, 1000);
+  const Window w1(1000, 2000);
+  std::vector<std::pair<std::string, std::string>> expected;
+  for (int i = 0; i < 8; ++i) {
+    const std::string key = "k" + std::to_string(i % 4);
+    const std::string value = "v" + std::to_string(i);
+    ASSERT_TRUE(client->AppendAligned(h, key, value, w0).ok());
+    expected.emplace_back(key, value);
+  }
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(client->AppendAligned(h, "k" + std::to_string(i), "next", w1).ok());
+  }
+  // Acked flush: w0's pushes are banked in the cache and (synchronous
+  // replication) every append is on the standby.
+  ASSERT_TRUE(client->Flush().ok());
+
+  primary->Stop();  // hard kill, pushed chunks still cached client-side
+
+  // The next call fails over; the reconnect must clear the cache first and
+  // re-register on the standby.
+  ASSERT_TRUE(client->Ping().ok());
+  EXPECT_EQ(client->endpoint_index(), 1u);
+  EXPECT_TRUE(client->push_negotiated());
+  EXPECT_EQ(client->cache_bytes(), 0u);
+
+  std::vector<std::pair<std::string, std::string>> got;
+  bool done = false;
+  while (!done) {
+    std::vector<WindowChunkEntry> chunk;
+    ASSERT_TRUE(client->GetWindowChunk(h, w0, &chunk, &done).ok());
+    for (const WindowChunkEntry& e : chunk) {
+      for (const std::string& v : e.values) {
+        got.emplace_back(e.key, v);
+      }
+    }
+  }
+  std::sort(expected.begin(), expected.end());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected) << "standby is missing acked appends";
+  EXPECT_EQ(client->cache_counters().hits, 0)
+      << "a pre-kill push was served after failover";
+  EXPECT_GE(client->cache_counters().misses, 1);
+
+  // Prefetch works again on the promoted standby: the same dance now hits.
+  const Window w2(2000, 3000);
+  const Window w3(3000, 4000);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(client->AppendAligned(h, "k" + std::to_string(i), "late", w2).ok());
+  }
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(client->AppendAligned(h, "k" + std::to_string(i), "later", w3).ok());
+  }
+  ASSERT_TRUE(client->Flush().ok());
+  done = false;
+  int values = 0;
+  while (!done) {
+    std::vector<WindowChunkEntry> chunk;
+    ASSERT_TRUE(client->GetWindowChunk(h, w2, &chunk, &done).ok());
+    for (const WindowChunkEntry& e : chunk) {
+      values += static_cast<int>(e.values.size());
+    }
+  }
+  EXPECT_EQ(values, 4);
+  EXPECT_EQ(client->cache_counters().hits, 1)
+      << "push registration did not survive failover";
+
+  client.reset();
+  puller->Stop();
+  standby->Stop();
+  RemoveDirRecursively(dir).IgnoreError();
 }
 
 // ---------------------------------------------------------------------------

@@ -92,9 +92,17 @@ OpRequest RandomOpRequest(Random* rng) {
     case OpType::kStats:
       break;  // no request fields: the snapshot is server-wide
     case OpType::kGetWindowChunk:
+    case OpType::kDropWindow:
       op.store_id = rng->Next() % 1000;
       op.window = RandomWindow(rng);
       break;
+    case OpType::kEttRegister:
+      op.store_id = rng->Next() % 1000;
+      op.window = RandomWindow(rng);
+      op.timestamp = rng->Range(-1'000'000, 1'000'000);  // next-ETT hint
+      break;
+    case OpType::kPushChunk:
+      break;  // server->client only; carries no request fields
     default:  // kGetUnaligned, kRmwGet, kRmwRemove
       op.store_id = rng->Next() % 1000;
       op.key = RandomBytes(rng, 64);
@@ -515,6 +523,128 @@ TEST(NetMessageTest, ResponseRoundTripProperty) {
       }
     }
   }
+}
+
+// ----- prefetch push extension (kEttRegister / kPushChunk / kDropWindow) -----
+
+TEST(NetPrefetchProtoTest, EttRegisterRequestRoundTrip) {
+  RequestMessage msg;
+  msg.request_id = 91;
+  OpRequest op;
+  op.type = OpType::kEttRegister;
+  op.store_id = 12;
+  op.window = Window(5'000, 10'000);  // first expected read window
+  op.timestamp = 10'000;              // next-ETT estimate hint
+  msg.ops.push_back(op);
+
+  std::string payload;
+  EncodeRequest(msg, &payload);
+  RequestMessage decoded;
+  ASSERT_TRUE(DecodeRequest(payload, &decoded).ok());
+  ASSERT_EQ(decoded.ops.size(), 1u);
+  ExpectOpEq(decoded.ops[0], op);
+}
+
+TEST(NetPrefetchProtoTest, DropWindowRequestRoundTrip) {
+  RequestMessage msg;
+  msg.request_id = 92;
+  OpRequest op;
+  op.type = OpType::kDropWindow;
+  op.store_id = 7;
+  op.window = Window(-2'000, 3'000);
+  msg.ops.push_back(op);
+
+  std::string payload;
+  EncodeRequest(msg, &payload);
+  RequestMessage decoded;
+  ASSERT_TRUE(DecodeRequest(payload, &decoded).ok());
+  ASSERT_EQ(decoded.ops.size(), 1u);
+  ExpectOpEq(decoded.ops[0], op);
+}
+
+TEST(NetPrefetchProtoTest, PushChunkResponseRoundTripProperty) {
+  // An unsolicited push frame: request_id == kPushRequestId, one kPushChunk
+  // result carrying (store_id, window, push_seq) + the window's chunk. The
+  // chunk payload reuses the kGetWindowChunk encoding verbatim.
+  Random rng(83);
+  for (int iter = 0; iter < 50; ++iter) {
+    ResponseMessage msg;
+    msg.request_id = kPushRequestId;
+    OpResult r;
+    r.type = OpType::kPushChunk;
+    r.store_id = rng.Next() % 1000;
+    r.window = RandomWindow(&rng);
+    r.push_seq = 1 + rng.Next() % 1'000'000;
+    r.done = true;
+    for (uint64_t k = 0, n = rng.Uniform(5); k < n; ++k) {
+      WindowChunkEntry e;
+      e.key = RandomBytes(&rng, 32);
+      for (uint64_t v = 0, m = rng.Uniform(4); v < m; ++v) {
+        e.values.push_back(RandomBytes(&rng, 64));
+      }
+      r.chunk.push_back(std::move(e));
+    }
+    msg.results.push_back(std::move(r));
+
+    std::string payload;
+    EncodeResponse(msg, &payload);
+    ResponseMessage decoded;
+    ASSERT_TRUE(DecodeResponse(payload, &decoded).ok());
+    ASSERT_EQ(decoded.request_id, kPushRequestId);
+    ASSERT_EQ(decoded.results.size(), 1u);
+    const OpResult& a = msg.results[0];
+    const OpResult& b = decoded.results[0];
+    EXPECT_EQ(b.type, OpType::kPushChunk);
+    EXPECT_EQ(b.store_id, a.store_id);
+    EXPECT_EQ(b.window, a.window);
+    EXPECT_EQ(b.push_seq, a.push_seq);
+    EXPECT_EQ(b.done, a.done);
+    ASSERT_EQ(b.chunk.size(), a.chunk.size());
+    for (size_t k = 0; k < a.chunk.size(); ++k) {
+      EXPECT_EQ(b.chunk[k].key, a.chunk[k].key);
+      EXPECT_EQ(b.chunk[k].values, a.chunk[k].values);
+    }
+  }
+}
+
+TEST(NetPrefetchProtoTest, PushChunkResponseTruncationSweep) {
+  // Every strict prefix of a push frame body must be rejected — a push that
+  // loses its tail must never decode as a shorter (but valid) chunk, or the
+  // client's count-equality coherence check would compare against a lie.
+  ResponseMessage msg;
+  msg.request_id = kPushRequestId;
+  OpResult r;
+  r.type = OpType::kPushChunk;
+  r.store_id = 3;
+  r.window = Window(0, 1'000);
+  r.push_seq = 9;
+  r.done = true;
+  WindowChunkEntry e;
+  e.key = "key-a";
+  e.values = {"v0", "v1"};
+  r.chunk.push_back(e);
+  msg.results.push_back(r);
+  std::string payload;
+  EncodeResponse(msg, &payload);
+
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    ResponseMessage decoded;
+    EXPECT_FALSE(DecodeResponse(Slice(payload.data(), cut), &decoded).ok())
+        << "cut=" << cut;
+  }
+}
+
+TEST(NetPrefetchProtoTest, PrefetchOpsAreAboveLegacyMaxOpType) {
+  // Byte-compat contract (protocol.h): a legacy server treats any op id it
+  // does not know as a protocol error and drops the connection — which is
+  // exactly why the client gates these ops behind the caps.prefetch_push
+  // probe. This pins the ids so a renumbering cannot silently break the
+  // capability gate.
+  EXPECT_EQ(static_cast<uint32_t>(OpType::kEttRegister), 17u);
+  EXPECT_EQ(static_cast<uint32_t>(OpType::kPushChunk), 18u);
+  EXPECT_EQ(static_cast<uint32_t>(OpType::kDropWindow), 19u);
+  EXPECT_EQ(kMaxOpType, static_cast<uint32_t>(OpType::kDropWindow));
+  EXPECT_EQ(kPushRequestId, 0u);
 }
 
 TEST(NetMessageTest, GarbagePayloadNeverCrashes) {

@@ -75,7 +75,8 @@ int Usage(const char* argv0) {
                "          [--partitions-per-store=N] [--standby-of=HOST:PORT]\n"
                "          [--max-shard-queue-depth=N] [--repl-ack-timeout-ms=N]\n"
                "          [--trace-out=FILE.json] [--slow-request-threshold-ms=F]\n"
-               "          [--slow-log-size=N]\n",
+               "          [--slow-log-size=N] [--no-prefetch-push]\n"
+               "          [--prefetch-shadow-bytes=N]\n",
                argv0);
   return 2;
 }
@@ -137,6 +138,10 @@ int main(int argc, char** argv) {
       options.slow_request_threshold_ms = std::atof(value.c_str());
     } else if (ParseFlag(argv[i], "--slow-log-size", &value)) {
       options.slow_log_size = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--no-prefetch-push") == 0) {
+      options.enable_prefetch_push = false;
+    } else if (ParseFlag(argv[i], "--prefetch-shadow-bytes", &value)) {
+      options.prefetch_shadow_bytes = std::strtoull(value.c_str(), nullptr, 10);
     } else {
       return Usage(argv[0]);
     }

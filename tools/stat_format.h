@@ -272,6 +272,29 @@ inline void PrintStatsHuman(const JsonValue& root, const std::string& endpoint,
                  static_cast<long long>(trace->Num("events")),
                  static_cast<long long>(trace->Num("dropped")));
   }
+  const JsonValue* prefetch = root.Get("prefetch");
+  if (prefetch != nullptr) {
+    if (prefetch->Bool("enabled")) {
+      std::fprintf(out,
+                   "prefetch: %lld registrations   fired %lld windows "
+                   "(%lld values, %lld bytes)   pushes sent/dropped %lld/%lld\n",
+                   static_cast<long long>(prefetch->Num("registrations")),
+                   static_cast<long long>(prefetch->Num("fired")),
+                   static_cast<long long>(prefetch->Num("fired_entries")),
+                   static_cast<long long>(prefetch->Num("fired_bytes")),
+                   static_cast<long long>(prefetch->Num("pushes_sent")),
+                   static_cast<long long>(prefetch->Num("pushes_dropped")));
+      std::fprintf(out,
+                   "          ETT accuracy: invalidated %lld, overflow %lld, "
+                   "waste %lld   shadow bytes %lld\n",
+                   static_cast<long long>(prefetch->Num("invalidated")),
+                   static_cast<long long>(prefetch->Num("overflow")),
+                   static_cast<long long>(prefetch->Num("waste")),
+                   static_cast<long long>(prefetch->Num("shadow_bytes")));
+    } else {
+      std::fprintf(out, "prefetch: disabled\n");
+    }
+  }
 
   const JsonValue* shards = root.Get("shards");
   if (shards != nullptr) {
@@ -306,14 +329,16 @@ inline void PrintStatsHuman(const JsonValue& root, const std::string& endpoint,
     std::fprintf(out, "\nslow requests (threshold %.1f ms, slowest first):\n",
                  root.Num("slow_threshold_ms"));
     for (const JsonValue& s : slow->arr) {
+      const std::string read_path = s.Str("read_path");
       std::fprintf(out,
                    "  req %llu conn %llu trace %llu ops %llu: total %.3f ms "
-                   "(queue %.3f, exec %.3f)\n",
+                   "(queue %.3f, exec %.3f)%s%s\n",
                    static_cast<unsigned long long>(s.Num("request_id")),
                    static_cast<unsigned long long>(s.Num("conn_id")),
                    static_cast<unsigned long long>(s.Num("trace_id")),
                    static_cast<unsigned long long>(s.Num("ops")), s.Num("total_ms"),
-                   s.Num("queue_wait_ms"), s.Num("exec_ms"));
+                   s.Num("queue_wait_ms"), s.Num("exec_ms"),
+                   read_path.empty() ? "" : "  read ", read_path.c_str());
     }
   }
 }

@@ -8,8 +8,9 @@ bench-smoke job guards. Absolute perf numbers are machine-local and are
 deliberately NOT checked.
 
 Compare mode diffs two documents' throughput rows (fig08/fig09/fig13
-events_per_sec, loopback req_per_sec) and emits a GitHub `::warning::`
-annotation for every row regressing by more than 10%. Regressions are
+events_per_sec, loopback req_per_sec, remote_prefetch reads_per_sec) and
+emits a GitHub `::warning::` annotation for every row regressing by more
+than 10%. Regressions are
 advisory — CI runners are noisy — so compare mode always exits 0 unless a
 file is unreadable.
 
@@ -42,6 +43,19 @@ CPU_KEYS = {
     "read_s": (int, float),
     "compaction_s": (int, float),
     "total_s": (int, float),
+}
+REMOTE_PREFETCH_KEYS = {
+    "prefetch": bool,
+    "ok": bool,
+    "fail_reason": str,
+    "windows": (int, float),
+    "reads": (int, float),
+    "reads_per_sec": (int, float),
+    "read_p50_ms": (int, float),
+    "read_p99_ms": (int, float),
+    "cache_hits": (int, float),
+    "cache_misses": (int, float),
+    "pushes": (int, float),
 }
 LOOPBACK_KEYS = {
     "clients": (int, float),
@@ -93,6 +107,8 @@ def row_key(bench, row):
                 row.get("rate"))
     if bench == "fig13":
         return (row.get("query"), row.get("backend"), row.get("workers"))
+    if bench == "remote_prefetch":
+        return (row.get("prefetch"),)
     # loopback: keyed by client count only, so documents written before the
     # reactor_threads field still match.
     return (row.get("clients"),)
@@ -109,6 +125,7 @@ def compare(new_path, base_path):
         "fig09": "events_per_sec",
         "fig13": "events_per_sec",
         "loopback": "req_per_sec",
+        "remote_prefetch": "reads_per_sec",
     }
     compared = 0
     regressed = 0
@@ -185,6 +202,14 @@ def main():
             fail(f"{where}: missing workers/cpu_events_per_sec")
     for i, row in enumerate(benches["loopback"]):
         check_keys(row, LOOPBACK_KEYS, f"loopback[{i}]")
+    # Optional bench (added after BENCH_PR7.json): validated when present so
+    # older committed baselines keep passing.
+    remote_prefetch = benches.get("remote_prefetch")
+    if remote_prefetch is not None:
+        if not isinstance(remote_prefetch, list) or not remote_prefetch:
+            fail("benches.remote_prefetch present but empty")
+        for i, row in enumerate(remote_prefetch):
+            check_keys(row, REMOTE_PREFETCH_KEYS, f"remote_prefetch[{i}]")
 
     check_finite(doc, "$")
     print(f"validate_bench_json: OK: {path}")
