@@ -31,6 +31,8 @@ const char* StatusCodeName(StatusCode code) {
       return "ConnectionReset";
     case StatusCode::kOverloaded:
       return "Overloaded";
+    case StatusCode::kFencedOff:
+      return "FencedOff";
   }
   return "Unknown";
 }
@@ -61,6 +63,8 @@ Status Status::FromCode(uint8_t code, std::string msg) {
       return Status::ConnectionReset(std::move(msg));
     case StatusCode::kOverloaded:
       return Status::Overloaded(std::move(msg));
+    case StatusCode::kFencedOff:
+      return Status::FencedOff(std::move(msg));
   }
   return Status::Internal("unknown status code " + std::to_string(code) +
                           (msg.empty() ? "" : ": " + msg));

@@ -29,6 +29,13 @@ enum class StatusCode : uint8_t {
   // shard's queue is over its bound. Unlike kTimedOut, an overloaded request
   // is guaranteed un-applied, so retrying after backoff is always safe.
   kOverloaded = 11,
+  // The server refused a mutating batch before executing any of it because
+  // of cluster-epoch fencing (docs/NETWORK.md "Cluster roles, epochs, and
+  // failover"): the server is a standby / has been fenced, or the request's
+  // epoch does not match the server's. Like kOverloaded the batch is
+  // guaranteed un-applied; clients re-poll kClusterInfo across their
+  // endpoint list, adopt the newest epoch, and retry against the primary.
+  kFencedOff = 12,
 };
 
 // Human-readable name of a status code ("OK", "NotFound", ...).
@@ -77,6 +84,9 @@ class [[nodiscard]] Status {
   static Status Overloaded(std::string msg = "") {
     return Status(StatusCode::kOverloaded, std::move(msg));
   }
+  static Status FencedOff(std::string msg = "") {
+    return Status(StatusCode::kFencedOff, std::move(msg));
+  }
 
   // Rebuilds a Status from a (code, message) pair received over the wire.
   // Unknown numeric codes map to kInternal so a newer peer cannot make an
@@ -94,6 +104,7 @@ class [[nodiscard]] Status {
   bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
   bool IsConnectionReset() const { return code_ == StatusCode::kConnectionReset; }
   bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
+  bool IsFencedOff() const { return code_ == StatusCode::kFencedOff; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

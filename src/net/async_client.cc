@@ -53,6 +53,21 @@ bool ShedWhole(const std::vector<OpResult>& results) {
   return true;
 }
 
+// A batch the server fenced whole before dispatch (standby / stale-epoch
+// target): like shedding, guaranteed un-executed and safe to blind-retry —
+// against whichever endpoint the cluster-view refresh picks.
+bool FencedWhole(const std::vector<OpResult>& results) {
+  if (results.empty()) {
+    return false;
+  }
+  for (const OpResult& r : results) {
+    if (!r.status.IsFencedOff()) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 AsyncClient::AsyncClient(ClientOptions options)
@@ -123,6 +138,7 @@ Status AsyncClient::ConnectSocket() {
   // failover standby — so capabilities must be re-negotiated.
   cap_trace_ = false;
   cap_push_ = false;
+  cap_epoch_ = false;
   cv_.notify_all();
   return Status::Ok();
 }
@@ -146,6 +162,7 @@ void AsyncClient::CloseSocket() {
     fd_ = -1;
     cap_trace_ = false;
     cap_push_ = false;
+    cap_epoch_ = false;
     // Release the reader parked on "fd_ unchanged" so it can re-park for the
     // next connection.
     cv_.notify_all();
@@ -209,13 +226,27 @@ Status AsyncClient::EnsureConnected(int64_t deadline_nanos) {
     }
     last = ConnectSocket();
     if (last.ok()) {
+      // Probe before re-opening stores: the probe adopts the server's
+      // cluster epoch, so the re-opens below are already correctly stamped.
+      NegotiateCaps(deadline_nanos);
+      bool probe_ok = false;
+      {
+        MutexLock lock(&mu_);
+        probe_ok = fd_ >= 0;
+      }
+      if (!probe_ok) {
+        last = Status::ConnectionReset("capability probe failed");
+        continue;
+      }
       last = ReopenStores(deadline_nanos);
       if (last.ok()) {
-        NegotiateCaps(deadline_nanos);
+        RegisterPushStores(deadline_nanos);
         return Status::Ok();
       }
       CloseSocket();
-      if (!last.IsConnectionReset() && !last.IsOverloaded()) {
+      // kFencedOff here means the endpoint is a standby (kOpenStore is a
+      // replicated write): keep rotating until we land on the primary.
+      if (!last.IsConnectionReset() && !last.IsOverloaded() && !last.IsFencedOff()) {
         return last;
       }
     }
@@ -224,18 +255,14 @@ Status AsyncClient::EnsureConnected(int64_t deadline_nanos) {
 }
 
 void AsyncClient::NegotiateCaps(int64_t deadline_nanos) {
-  const bool want_push = options_.enable_prefetch_push;
-  if (!want_push && !obs::Tracing::enabled()) {
-    return;
-  }
-  // One kGatherStats capability probe (protocol.h) learns both extensions.
+  // One kGatherStats capability probe (protocol.h) learns every extension.
   // Old servers answer the probe with a per-op error (harmless), so
-  // mixed-version pairs interoperate with both extensions silently off.
+  // mixed-version pairs interoperate with all extensions silently off.
   std::vector<OpRequest> ops(1);
   ops[0].type = OpType::kGatherStats;
   ops[0].store_id = kProbeStoreId;
   std::vector<OpResult> results;
-  Status s = TryRequest(ops, &results, deadline_nanos);
+  const Status s = TryRequest(ops, &results, deadline_nanos);
   if (!s.ok()) {
     // A failed probe leaves the stream state unknown; drop the socket so the
     // caller's retry machinery reconnects rather than reading a stale frame.
@@ -244,23 +271,36 @@ void AsyncClient::NegotiateCaps(int64_t deadline_nanos) {
   }
   bool trace = false;
   bool push = false;
+  bool epoch_cap = false;
+  uint64_t seen_epoch = 0;
   if (results[0].status.ok()) {
     for (const auto& field : results[0].stat_fields) {
       if (field.first == kCapTraceContext && field.second != 0) {
         trace = true;
       } else if (field.first == kCapPrefetchPush && field.second != 0) {
         push = true;
+      } else if (field.first == kCapClusterEpoch && field.second != 0) {
+        epoch_cap = true;
+      } else if (field.first == kStatClusterEpoch) {
+        seen_epoch = static_cast<uint64_t>(field.second);
       }
     }
   }
-  push = push && want_push;
+  MutexLock lock(&mu_);
+  cap_trace_ = trace;
+  cap_push_ = push && options_.enable_prefetch_push;
+  cap_epoch_ = epoch_cap;
+  // Epochs are cluster-wide monotonic; keeping the max ever seen is what
+  // fences a stale former primary.
+  cluster_epoch_ = std::max(cluster_epoch_, seen_epoch);
+}
+
+void AsyncClient::RegisterPushStores(int64_t deadline_nanos) {
   {
     MutexLock lock(&mu_);
-    cap_trace_ = trace;
-    cap_push_ = push;
-  }
-  if (!push) {
-    return;
+    if (!cap_push_) {
+      return;
+    }
   }
   // (Re)register every open AAR store for pushes on this connection. Server
   // ids are already fresh (ReopenStores ran on this connection), so no
@@ -280,9 +320,61 @@ void AsyncClient::NegotiateCaps(int64_t deadline_nanos) {
     return;
   }
   std::vector<OpResult> reg_results;
-  s = TryRequest(regs, &reg_results, deadline_nanos);
-  if (!s.ok()) {
+  if (!TryRequest(regs, &reg_results, deadline_nanos).ok()) {
     CloseSocket();
+  }
+}
+
+void AsyncClient::RefreshClusterView(int64_t deadline_nanos) {
+  CloseSocket();
+  obs::MetricsRegistry::Global().GetCounter("client.cluster_refreshes")->Add(1);
+  const size_t start = endpoint_index_;
+  size_t best_index = start;
+  uint64_t best_epoch = 0;
+  for (size_t i = 0; i < NumEndpoints(); ++i) {
+    if (MonotonicNanos() >= deadline_nanos) {
+      break;
+    }
+    endpoint_index_ = (start + i) % NumEndpoints();
+    const Endpoint& ep = CurrentEndpoint();
+    // A short-lived blocking client keeps the poll off the reader-thread
+    // machinery (there is no connected socket to demux right now anyway).
+    ClientOptions co;
+    co.host = ep.host;
+    co.port = ep.port;
+    co.connect_timeout_ms = std::min(500, std::max(1, options_.connect_timeout_ms));
+    co.request_timeout_ms = 500;
+    co.max_retries = 0;
+    co.max_reconnect_attempts = 1;
+    co.jitter_seed = options_.jitter_seed != 0 ? options_.jitter_seed : 1;
+    std::unique_ptr<Client> peer;
+    if (!Client::Connect(co, &peer).ok()) {
+      continue;
+    }
+    std::vector<std::pair<std::string, int64_t>> fields;
+    if (!peer->ClusterInfo(&fields).ok()) {
+      continue;
+    }
+    int64_t role = -1;
+    uint64_t epoch = 0;
+    for (const auto& field : fields) {
+      if (field.first == kStatClusterRole) {
+        role = field.second;
+      } else if (field.first == kStatClusterEpoch) {
+        epoch = static_cast<uint64_t>(field.second);
+      }
+    }
+    // Only a primary is worth redirecting to; between two claimants the
+    // higher epoch is the real one.
+    if (role == kRolePrimary && epoch > best_epoch) {
+      best_epoch = epoch;
+      best_index = endpoint_index_;
+    }
+  }
+  endpoint_index_ = best_index;
+  if (best_epoch != 0) {
+    MutexLock lock(&mu_);
+    cluster_epoch_ = std::max(cluster_epoch_, best_epoch);
   }
 }
 
@@ -564,6 +656,12 @@ Status AsyncClient::TryRequest(const std::vector<OpRequest>& ops,
       request.span_id = request.request_id;
       request.trace_flags = 1;  // sampled
     }
+    // Epoch fencing (client.h): stamp the newest adopted epoch so a stale
+    // former primary fences itself instead of committing our writes.
+    if (cap_epoch_) {
+      request.epoch = cluster_epoch_;
+      request.internal_apply = options_.internal_apply;
+    }
     pending_[request.request_id] = &call;
   }
   obs::TraceSpan batch_span("client_batch", "client");
@@ -635,6 +733,14 @@ Status AsyncClient::SendRequest(std::vector<OpRequest> ops, std::vector<OpResult
           last = Status::Overloaded("server shed the batch");
           continue;
         }
+        if (FencedWhole(*results)) {
+          // Fenced pre-dispatch, nothing executed: this endpoint is a
+          // standby or our epoch is stale. Re-learn who the primary is and
+          // re-send there within the same deadline/budget.
+          last = Status::FencedOff(results->front().status.message());
+          RefreshClusterView(deadline);
+          continue;
+        }
         return Status::Ok();
       }
       // Any failed attempt leaves the stream in an unknown state (a late or
@@ -643,7 +749,7 @@ Status AsyncClient::SendRequest(std::vector<OpRequest> ops, std::vector<OpResult
       // reading a stale frame.
       CloseSocket();
     }
-    if (!last.IsConnectionReset() && !last.IsOverloaded()) {
+    if (!last.IsConnectionReset() && !last.IsOverloaded() && !last.IsFencedOff()) {
       // Timeouts and hard errors are not retried: the request may have been
       // applied, and only the caller knows whether re-sending is safe.
       return last;

@@ -134,9 +134,18 @@ class AsyncClient : public StoreClient {
                     int64_t deadline_nanos) EXCLUDES(mu_);
   Status EnsureConnected(int64_t deadline_nanos) EXCLUDES(mu_);
   Status ConnectSocket() EXCLUDES(mu_);
-  // Probes caps.trace_context + caps.prefetch_push in one round trip, then
-  // (re)registers every open AAR store for pushes when supported.
+  // Probes caps.trace_context + caps.prefetch_push + caps.cluster_epoch in
+  // one round trip and adopts the server's cluster epoch. Runs BEFORE
+  // ReopenStores so the re-opens are epoch-stamped.
   void NegotiateCaps(int64_t deadline_nanos);
+  // (Re)registers every open AAR store for pushes when the connection
+  // negotiated them. Runs AFTER ReopenStores (needs fresh server ids).
+  void RegisterPushStores(int64_t deadline_nanos);
+  // Fenced-batch recovery, mirroring Client::RefreshClusterView: polls
+  // kClusterInfo across every endpoint (on short-lived blocking Clients),
+  // adopts the highest epoch a live primary reports, and retargets
+  // endpoint_index_ there.
+  void RefreshClusterView(int64_t deadline_nanos) EXCLUDES(mu_);
   Status ReopenStores(int64_t deadline_nanos);
   // Shut down the stream, wait for the reader to park, close the fd, and
   // clear the read-ahead cache (reconnect coherence rule).
@@ -196,6 +205,11 @@ class AsyncClient : public StoreClient {
   // Capabilities of the CURRENT connection (reset on reconnect).
   bool cap_trace_ GUARDED_BY(mu_) = false;
   bool cap_push_ GUARDED_BY(mu_) = false;
+  bool cap_epoch_ GUARDED_BY(mu_) = false;
+  // Newest cluster epoch adopted from any probe / cluster-view refresh;
+  // stamped on requests while cap_epoch_ holds. Never reset — epochs are
+  // cluster-wide monotonic, which is what fences a stale former primary.
+  uint64_t cluster_epoch_ GUARDED_BY(mu_) = 0;
   // server store id -> client handle, for routing pushes; rebuilt whenever
   // the handle mapping changes (open / reopen).
   std::unordered_map<uint64_t, uint64_t> sid_to_handle_ GUARDED_BY(mu_);

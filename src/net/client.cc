@@ -192,8 +192,9 @@ Status Client::ConnectSocket() {
   FLOWKV_RETURN_IF_ERROR(ConnectStreamSocket(options_, ep, use_unix, &fd));
   fd_ = fd;
   // A fresh connection may be to a different (older) server — e.g. a
-  // failover standby — so the trace capability must be re-learned.
-  trace_cap_ = TraceCap::kUnknown;
+  // failover standby — so the capabilities must be re-learned.
+  trace_cap_ = CapState::kUnknown;
+  cluster_cap_ = CapState::kUnknown;
   return Status::Ok();
 }
 
@@ -241,13 +242,22 @@ Status Client::EnsureConnected(int64_t deadline_nanos) {
     }
     last = ConnectSocket();
     if (last.ok()) {
+      // Probe before re-opening stores: the probe adopts the server's
+      // cluster epoch, so the re-opens below are already correctly stamped.
+      ProbeCaps(deadline_nanos);
+      if (fd_ < 0) {
+        // The probe's transport failed and dropped the socket.
+        last = Status::ConnectionReset("capability probe failed");
+        continue;
+      }
       last = ReopenStores(deadline_nanos);
       if (last.ok()) {
-        ProbeTraceCap(deadline_nanos);
         return Status::Ok();
       }
       CloseSocket();
-      if (!last.IsConnectionReset() && !last.IsOverloaded()) {
+      // kFencedOff here means the endpoint is a standby (kOpenStore is a
+      // replicated write): keep rotating until we land on the primary.
+      if (!last.IsConnectionReset() && !last.IsOverloaded() && !last.IsFencedOff()) {
         return last;
       }
     }
@@ -255,8 +265,8 @@ Status Client::EnsureConnected(int64_t deadline_nanos) {
   return last;
 }
 
-void Client::ProbeTraceCap(int64_t deadline_nanos) {
-  if (trace_cap_ != TraceCap::kUnknown || !obs::Tracing::enabled()) {
+void Client::ProbeCaps(int64_t deadline_nanos) {
+  if (trace_cap_ != CapState::kUnknown && cluster_cap_ != CapState::kUnknown) {
     return;
   }
   std::vector<OpRequest> ops(1);
@@ -270,7 +280,75 @@ void Client::ProbeTraceCap(int64_t deadline_nanos) {
     CloseSocket();
     return;
   }
-  trace_cap_ = results[0].status.ok() ? TraceCap::kYes : TraceCap::kNo;
+  // An OK probe answer means the server understands the extension block; a
+  // per-op error is a legacy server (both features stay off).
+  trace_cap_ = results[0].status.ok() ? CapState::kYes : CapState::kNo;
+  cluster_cap_ = CapState::kNo;
+  if (results[0].status.ok()) {
+    for (const auto& field : results[0].stat_fields) {
+      if (field.first == kCapClusterEpoch && field.second != 0) {
+        cluster_cap_ = CapState::kYes;
+      } else if (field.first == kStatClusterEpoch) {
+        // Epochs are cluster-wide monotonic; keep the max we have ever seen
+        // so a write routed to a stale former primary fences instead of
+        // committing.
+        cluster_epoch_ = std::max(cluster_epoch_, static_cast<uint64_t>(field.second));
+      }
+    }
+  }
+}
+
+void Client::RefreshClusterView(int64_t deadline_nanos) {
+  CloseSocket();
+  obs::MetricsRegistry::Global().GetCounter("client.cluster_refreshes")->Add(1);
+  const size_t start = endpoint_index_;
+  size_t best_index = start;
+  uint64_t best_epoch = 0;
+  for (size_t i = 0; i < NumEndpoints(); ++i) {
+    if (MonotonicNanos() >= deadline_nanos) {
+      break;
+    }
+    endpoint_index_ = (start + i) % NumEndpoints();
+    if (!ConnectSocket().ok()) {
+      continue;
+    }
+    std::vector<OpRequest> ops(1);
+    ops[0].type = OpType::kClusterInfo;
+    std::vector<OpResult> results;
+    const Status s = TryRequest(ops, &results, deadline_nanos);
+    CloseSocket();
+    if (!s.ok() || !results[0].status.ok()) {
+      // Legacy servers drop the connection on the unknown op; either way
+      // this endpoint has no cluster view to offer.
+      continue;
+    }
+    int64_t role = -1;
+    uint64_t epoch = 0;
+    for (const auto& field : results[0].stat_fields) {
+      if (field.first == kStatClusterRole) {
+        role = field.second;
+      } else if (field.first == kStatClusterEpoch) {
+        epoch = static_cast<uint64_t>(field.second);
+      }
+    }
+    // Only a PRIMARY is worth redirecting to, and when a stale former
+    // primary and a freshly promoted one both claim the role, the higher
+    // epoch is the real one.
+    if (role == kRolePrimary && epoch > best_epoch) {
+      best_epoch = epoch;
+      best_index = endpoint_index_;
+    }
+  }
+  endpoint_index_ = best_index;
+  if (best_epoch > cluster_epoch_) {
+    cluster_epoch_ = best_epoch;
+  }
+  if (best_epoch != 0) {
+    FLOWKV_LOG(kInfo) << "cluster view refreshed "
+                      << LogKv("primary", CurrentEndpoint().host + ":" +
+                                              std::to_string(CurrentEndpoint().port))
+                      << LogKv("epoch", static_cast<int64_t>(best_epoch));
+  }
 }
 
 Status Client::ReopenStores(int64_t deadline_nanos) {
@@ -423,10 +501,18 @@ Status Client::TryRequest(const std::vector<OpRequest>& ops,
   // propagate a fresh trace id — but only once the capability probe has
   // confirmed the server accepts the extension block (old decoders reject
   // trailing bytes and would drop the connection).
-  if (trace_cap_ == TraceCap::kYes && obs::Tracing::enabled()) {
+  if (trace_cap_ == CapState::kYes && obs::Tracing::enabled()) {
     request.trace_id = backoff_rng_.Next() | 1;  // nonzero: 0 means untraced
     request.span_id = request.request_id;
     request.trace_flags = 1;  // sampled
+  }
+  // Epoch fencing: stamp the newest epoch we have adopted so a stale former
+  // primary rejects (and fences itself on) our writes instead of committing
+  // them. Gated on the capability probe like tracing — the extension block
+  // would drop the connection on an old server.
+  if (cluster_cap_ == CapState::kYes) {
+    request.epoch = cluster_epoch_;
+    request.internal_apply = options_.internal_apply;
   }
   obs::TraceSpan batch_span("client_batch", "client");
   batch_span.AddArg("trace_id", static_cast<int64_t>(request.trace_id));
@@ -466,6 +552,21 @@ bool ShedWhole(const std::vector<OpResult>& results) {
   }
   for (const OpResult& r : results) {
     if (!r.status.IsOverloaded()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// A batch the server fenced whole before dispatch (standby / stale-epoch
+// target): like shedding, guaranteed un-executed and safe to blind-retry —
+// against whichever endpoint the cluster-view refresh picks.
+bool FencedWhole(const std::vector<OpResult>& results) {
+  if (results.empty()) {
+    return false;
+  }
+  for (const OpResult& r : results) {
+    if (!r.status.IsFencedOff()) {
       return false;
     }
   }
@@ -512,6 +613,14 @@ Status Client::SendRequest(std::vector<OpRequest> ops, std::vector<OpResult>* re
           last = Status::Overloaded("server shed the batch");
           continue;
         }
+        if (FencedWhole(*results)) {
+          // Fenced pre-dispatch, nothing executed: this endpoint is a
+          // standby or our epoch is stale. Re-learn who the primary is and
+          // re-send there within the same deadline/budget.
+          last = Status::FencedOff(results->front().status.message());
+          RefreshClusterView(deadline);
+          continue;
+        }
         return Status::Ok();
       }
       // Any failed attempt leaves the stream in an unknown state (a late or
@@ -520,7 +629,7 @@ Status Client::SendRequest(std::vector<OpRequest> ops, std::vector<OpResult>* re
       // reading a stale frame and failing with a spurious id mismatch.
       CloseSocket();
     }
-    if (!last.IsConnectionReset() && !last.IsOverloaded()) {
+    if (!last.IsConnectionReset() && !last.IsOverloaded() && !last.IsFencedOff()) {
       // Timeouts and hard errors are not retried: the request may have been
       // applied, and only the caller knows whether re-sending is safe.
       return last;
@@ -721,6 +830,39 @@ Status Client::Stats(std::string* json) {
   FLOWKV_RETURN_IF_ERROR(SendRequest(std::move(ops), &results, /*translate_handles=*/false));
   FLOWKV_RETURN_IF_ERROR(results[0].status);
   *json = std::move(results[0].stats_json);
+  return Status::Ok();
+}
+
+Status Client::ClusterInfo(std::vector<std::pair<std::string, int64_t>>* fields) {
+  FLOWKV_RETURN_IF_ERROR(Flush());
+  std::vector<OpRequest> ops(1);
+  ops[0].type = OpType::kClusterInfo;
+  std::vector<OpResult> results;
+  // No handle translation: kClusterInfo addresses the server, not a store.
+  FLOWKV_RETURN_IF_ERROR(SendRequest(std::move(ops), &results, /*translate_handles=*/false));
+  FLOWKV_RETURN_IF_ERROR(results[0].status);
+  for (const auto& field : results[0].stat_fields) {
+    if (field.first == kStatClusterEpoch) {
+      cluster_epoch_ = std::max(cluster_epoch_, static_cast<uint64_t>(field.second));
+    }
+  }
+  *fields = std::move(results[0].stat_fields);
+  return Status::Ok();
+}
+
+Status Client::ClusterAdmin(const std::string& command, uint64_t target_epoch,
+                            std::vector<std::pair<std::string, int64_t>>* fields) {
+  FLOWKV_RETURN_IF_ERROR(Flush());
+  std::vector<OpRequest> ops(1);
+  ops[0].type = OpType::kClusterAdmin;
+  ops[0].path = command;
+  ops[0].timestamp = static_cast<int64_t>(target_epoch);
+  std::vector<OpResult> results;
+  FLOWKV_RETURN_IF_ERROR(SendRequest(std::move(ops), &results, /*translate_handles=*/false));
+  FLOWKV_RETURN_IF_ERROR(results[0].status);
+  if (fields != nullptr) {
+    *fields = std::move(results[0].stat_fields);
+  }
   return Status::Ok();
 }
 

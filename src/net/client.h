@@ -13,7 +13,12 @@
 // Retry policy: a request that fails with kConnectionReset is retried after
 // reconnecting (the server may have restarted), and a batch the server shed
 // whole with kOverloaded is retried after backoff (shedding happens before
-// dispatch, so nothing was applied); a kTimedOut request is NOT retried —
+// dispatch, so nothing was applied). A batch fenced whole with kFencedOff
+// (standby / stale-epoch target — also pre-dispatch, nothing applied) first
+// refreshes the cluster view: the client polls kClusterInfo across all its
+// endpoints, adopts the highest primary epoch it finds, reconnects there,
+// and re-sends — so a failover converges inside one request's retry budget.
+// A kTimedOut request is NOT retried —
 // the op may have been applied, and the caller decides whether re-sending is
 // safe for its pattern. All attempts of one request share a single deadline
 // (request_timeout_ms) and a retry budget; backoff sleeps use decorrelated
@@ -119,6 +124,12 @@ struct ClientOptions {
   bool enable_prefetch_push = false;
   // Capacity bound for the read-ahead cache (LRU eviction past it).
   size_t read_ahead_cache_bytes = 16u << 20;
+
+  // Marks every request as the replication apply stream (protocol.h,
+  // RequestMessage::internal_apply). Set ONLY by the standby's ReplicaPuller
+  // loopback client: it exempts the stream from the standby's
+  // no-client-writes fence. Ordinary clients must leave this false.
+  bool internal_apply = false;
 };
 
 // Opens a non-blocking SOCK_STREAM connection to `ep` — or to
@@ -186,6 +197,22 @@ class Client : public StoreClient {
   // replication puller to apply forwarded ops against its own server.
   Status ExecuteRaw(std::vector<OpRequest> ops, std::vector<OpResult>* results);
 
+  // ----- cluster failover (docs/NETWORK.md "Cluster roles, epochs") -----
+
+  // Fetches the connected server's cluster view (kClusterInfo) as (name,
+  // value) fields: cluster.epoch, cluster.role, cluster.lease_ms,
+  // cluster.priority. Legal on every role.
+  Status ClusterInfo(std::vector<std::pair<std::string, int64_t>>* fields);
+  // Sends a kClusterAdmin command ("promote" / "fence"); target_epoch 0 lets
+  // the server pick current+1 for a promote. On success `fields` (optional)
+  // receives the resulting cluster view.
+  Status ClusterAdmin(const std::string& command, uint64_t target_epoch,
+                      std::vector<std::pair<std::string, int64_t>>* fields = nullptr);
+  // The newest cluster epoch this client has adopted (0 before the first
+  // epoch-capable connection). Stamped on every request so a stale former
+  // primary fences itself rather than committing our writes.
+  uint64_t cluster_epoch() const { return cluster_epoch_; }
+
   // The endpoint the current/most recent connection used (index 0 = primary).
   size_t endpoint_index() const { return endpoint_index_; }
 
@@ -218,13 +245,20 @@ class Client : public StoreClient {
 
   Status EnsureConnected(int64_t deadline_nanos);
   Status ConnectSocket();
-  // One-shot per connection, only when tracing is enabled: sends the
-  // kGatherStats capability probe (protocol.h) to learn whether this server
-  // understands the trace-context extension. Old servers answer the probe
-  // with a per-op error (harmless), so mixed-version pairs interoperate with
-  // tracing silently off. Best-effort: a transport failure leaves the
-  // capability unknown and tracing off for the connection.
-  void ProbeTraceCap(int64_t deadline_nanos);
+  // One-shot per connection: sends the kGatherStats capability probe
+  // (protocol.h) to learn whether this server understands the trace-context
+  // extension and the cluster-epoch protocol, and adopts the server's
+  // cluster epoch when it advertises one. Old servers answer the probe with
+  // a per-op error (harmless), so mixed-version pairs interoperate with both
+  // features silently off. Best-effort: a transport failure leaves the
+  // capabilities unknown (and both features off) for the connection.
+  void ProbeCaps(int64_t deadline_nanos);
+  // Fenced-batch recovery: polls kClusterInfo across every endpoint on
+  // short-lived connections, adopts the highest epoch any live PRIMARY
+  // reports, and leaves endpoint_index_ pointed there (or where it started
+  // if no primary answered). Closes the current socket either way; the
+  // caller's retry loop reconnects through EnsureConnected.
+  void RefreshClusterView(int64_t deadline_nanos);
   // Re-opens every registered store on a fresh connection, updating
   // server_id mappings.
   Status ReopenStores(int64_t deadline_nanos);
@@ -252,10 +286,17 @@ class Client : public StoreClient {
   size_t endpoint_index_ = 0;
   Endpoint primary_;
 
-  // Whether the connected server understands the trace-context extension;
-  // reset on every fresh connection (a failover peer may be older).
-  enum class TraceCap { kUnknown, kYes, kNo };
-  TraceCap trace_cap_ = TraceCap::kUnknown;
+  // Whether the connected server understands the trace-context extension /
+  // the cluster-epoch protocol; reset on every fresh connection (a failover
+  // peer may be older).
+  enum class CapState { kUnknown, kYes, kNo };
+  CapState trace_cap_ = CapState::kUnknown;
+  CapState cluster_cap_ = CapState::kUnknown;
+  // Newest cluster epoch adopted from any probe / cluster-view refresh;
+  // stamped on requests once cluster_cap_ is kYes. Never reset: epochs are
+  // cluster-wide monotonic, so keeping the max across reconnects is exactly
+  // what fences a stale former primary.
+  uint64_t cluster_epoch_ = 0;
 
   Random backoff_rng_;
 

@@ -65,6 +65,10 @@ const char* OpTypeName(OpType type) {
       return "push_chunk";
     case OpType::kDropWindow:
       return "drop_window";
+    case OpType::kClusterInfo:
+      return "cluster_info";
+    case OpType::kClusterAdmin:
+      return "cluster_admin";
   }
   return "?";
 }
@@ -284,12 +288,38 @@ void EncodeRequest(const RequestMessage& msg, std::string* payload) {
         PutVarint64(payload, op.store_id);
         PutWindow(payload, op.window);
         break;
+      case OpType::kClusterInfo:
+        break;  // no request fields: the view is server-wide
+      case OpType::kClusterAdmin:
+        PutLengthPrefixed(payload, op.path);   // command: "promote" / "fence"
+        PutVarsigned64(payload, op.timestamp); // target epoch (0 = current+1)
+        break;
     }
   }
-  // Optional trace-context extension: only on the wire when tracing is live
-  // (trace_id nonzero), so untraced requests stay byte-identical to the
-  // pre-extension encoding and old decoders keep accepting them.
-  if (msg.trace_id != 0) {
+  // Optional trailing extension. Two forms share the tail position:
+  //   - legacy trace block: (trace_id != 0, span_id, flags) — what PR-6
+  //     clients emit and PR-6 servers decode; kept byte-identical whenever
+  //     the cluster fields are absent.
+  //   - tagged block: a 0 varint (impossible as a live trace_id), then a
+  //     flags varint selecting trace triple / epoch / internal_apply. Only
+  //     emitted after the kCapClusterEpoch probe, so pre-epoch decoders
+  //     never see the tag.
+  // Requests with neither stay byte-identical to the pre-extension encoding.
+  if (msg.epoch != 0 || msg.internal_apply) {
+    PutVarint64(payload, 0);  // tag
+    const uint32_t ext_flags = (msg.trace_id != 0 ? 1u : 0u) |
+                               (msg.epoch != 0 ? 2u : 0u) |
+                               (msg.internal_apply ? 4u : 0u);
+    PutVarint32(payload, ext_flags);
+    if (msg.trace_id != 0) {
+      PutVarint64(payload, msg.trace_id);
+      PutVarint64(payload, msg.span_id);
+      PutVarint32(payload, msg.trace_flags);
+    }
+    if (msg.epoch != 0) {
+      PutVarint64(payload, msg.epoch);
+    }
+  } else if (msg.trace_id != 0) {
     PutVarint64(payload, msg.trace_id);
     PutVarint64(payload, msg.span_id);
     PutVarint32(payload, msg.trace_flags);
@@ -303,6 +333,8 @@ Status DecodeRequestInternal(Slice payload, RequestMessage* msg, bool borrow) {
   msg->trace_id = 0;
   msg->span_id = 0;
   msg->trace_flags = 0;
+  msg->epoch = 0;
+  msg->internal_apply = false;
   uint32_t num_ops = 0;
   if (!GetVarint64(&payload, &msg->request_id) ||
       !GetVarint32(&payload, &msg->deadline_ms) || !GetVarint32(&payload, &num_ops)) {
@@ -411,6 +443,13 @@ Status DecodeRequestInternal(Slice payload, RequestMessage* msg, bool borrow) {
       case OpType::kDropWindow:
         ok = GetVarint64(&payload, &op.store_id) && GetWindow(&payload, &op.window);
         break;
+      case OpType::kClusterInfo:
+        break;
+      case OpType::kClusterAdmin:
+        ok = GetLengthPrefixed(&payload, &path) &&
+             GetVarsigned64(&payload, &op.timestamp);
+        op.path = path.ToString();
+        break;
     }
     if (!ok) {
       return Truncated(OpTypeName(op.type));
@@ -425,14 +464,45 @@ Status DecodeRequestInternal(Slice payload, RequestMessage* msg, bool borrow) {
     msg->ops.push_back(std::move(op));
   }
   if (!payload.empty()) {
-    // Trailing bytes are the optional trace-context block — anything else
-    // (truncated block, extra bytes after it, a zero trace id) is corruption,
-    // exactly as all trailing bytes were before the extension existed.
-    if (!GetVarint64(&payload, &msg->trace_id) || !GetVarint64(&payload, &msg->span_id) ||
-        !GetVarint32(&payload, &msg->trace_flags)) {
-      return Truncated("trace context");
+    // Trailing bytes are an optional extension block. A nonzero leading
+    // varint is the PR-6 trace triple (trace_id, span_id, flags); a zero
+    // leading varint tags the cluster-era block (flags + selected fields).
+    // Anything else — truncation, extra bytes after the block, unknown flag
+    // bits — is corruption, exactly as all trailing bytes were before the
+    // extensions existed.
+    uint64_t lead = 0;
+    if (!GetVarint64(&payload, &lead)) {
+      return Truncated("extension block");
     }
-    if (msg->trace_id == 0 || !payload.empty()) {
+    if (lead != 0) {
+      msg->trace_id = lead;
+      if (!GetVarint64(&payload, &msg->span_id) ||
+          !GetVarint32(&payload, &msg->trace_flags)) {
+        return Truncated("trace context");
+      }
+    } else {
+      uint32_t ext_flags = 0;
+      if (!GetVarint32(&payload, &ext_flags)) {
+        return Truncated("extension flags");
+      }
+      if (ext_flags == 0 || ext_flags > 7) {
+        return Status::Corruption("malformed request extension flags");
+      }
+      if ((ext_flags & 1u) != 0) {
+        if (!GetVarint64(&payload, &msg->trace_id) ||
+            !GetVarint64(&payload, &msg->span_id) ||
+            !GetVarint32(&payload, &msg->trace_flags) || msg->trace_id == 0) {
+          return Truncated("trace context");
+        }
+      }
+      if ((ext_flags & 2u) != 0) {
+        if (!GetVarint64(&payload, &msg->epoch) || msg->epoch == 0) {
+          return Truncated("cluster epoch");
+        }
+      }
+      msg->internal_apply = (ext_flags & 4u) != 0;
+    }
+    if (!payload.empty()) {
       return Status::Corruption("trailing bytes after request body");
     }
   }
@@ -504,6 +574,8 @@ void EncodeResponse(const ResponseMessage& msg, std::string* payload) {
         PutLengthPrefixed(payload, r.accumulator);
         break;
       case OpType::kGatherStats:
+      case OpType::kClusterInfo:
+      case OpType::kClusterAdmin:
         PutVarint32(payload, static_cast<uint32_t>(r.stat_fields.size()));
         for (const auto& [name, value] : r.stat_fields) {
           PutLengthPrefixed(payload, name);
@@ -620,7 +692,9 @@ Status DecodeResponse(Slice payload, ResponseMessage* msg) {
         if (ok) r.accumulator = acc.ToString();
         break;
       }
-      case OpType::kGatherStats: {
+      case OpType::kGatherStats:
+      case OpType::kClusterInfo:
+      case OpType::kClusterAdmin: {
         uint32_t num_fields = 0;
         ok = GetVarint32(&payload, &num_fields);
         if (ok && num_fields > payload.size() + 1) {

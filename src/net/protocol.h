@@ -119,10 +119,25 @@ enum class OpType : uint32_t {
   // window from its read-ahead cache. A write op (buffered, ordered with
   // appends, forwarded to a standby like other writes).
   kDropWindow = 19,
+  // ----- cluster failover (docs/NETWORK.md "Cluster roles, epochs") -----
+  // Returns the server's cluster view as (name, value) stat_fields:
+  // cluster.epoch, cluster.role (0 primary / 1 standby / 2 fenced),
+  // cluster.lease_ms, cluster.priority, cluster.fenced_rejects. Answered
+  // entirely by the reactor (like kStats) and legal on every role — this is
+  // how clients and flowkv_ctl discover who the primary is after a failover.
+  // Gated behind kCapClusterEpoch: servers that predate the op reject the
+  // frame at decode and drop the connection.
+  kClusterInfo = 20,
+  // Admin op (tools/flowkv_ctl): `path` carries the command — "promote"
+  // (bump the epoch durably and atomically flip this server to primary,
+  // quiescing in-flight requests first) or "fence" (stop accepting mutating
+  // ops until restart; used to neutralize a stale primary in drills). The
+  // answer carries the resulting cluster view like kClusterInfo.
+  kClusterAdmin = 21,
 };
 
 // Last valid OpType value, for decoder range checks.
-constexpr uint32_t kMaxOpType = static_cast<uint32_t>(OpType::kDropWindow);
+constexpr uint32_t kMaxOpType = static_cast<uint32_t>(OpType::kClusterAdmin);
 
 // request_id of an unsolicited push frame (ResponseMessage carrying
 // kPushChunk results). Clients number real requests from 1, so 0 can never
@@ -143,6 +158,21 @@ constexpr char kCapTraceContext[] = "caps.trace_context";
 // op to a server that did not advertise this — old decoders treat the op
 // type as corruption and drop the connection.
 constexpr char kCapPrefetchPush[] = "caps.prefetch_push";
+// Present (value 1) in the probe answer of servers that understand cluster
+// epochs: the kClusterInfo/kClusterAdmin ops, the request epoch extension
+// below, and kFencedOff fencing. The probe answer of such servers also
+// carries the live ("cluster.epoch", N) and ("cluster.role", R) fields so a
+// client adopts the epoch in the same round trip that negotiates it.
+constexpr char kCapClusterEpoch[] = "caps.cluster_epoch";
+constexpr char kStatClusterEpoch[] = "cluster.epoch";
+constexpr char kStatClusterRole[] = "cluster.role";
+constexpr char kStatClusterLeaseMs[] = "cluster.lease_ms";
+constexpr char kStatClusterPriority[] = "cluster.priority";
+
+// cluster.role values (wire-stable).
+constexpr int64_t kRolePrimary = 0;
+constexpr int64_t kRoleStandby = 1;
+constexpr int64_t kRoleFenced = 2;
 
 const char* OpTypeName(OpType type);
 
@@ -286,6 +316,21 @@ struct RequestMessage {
   uint64_t trace_id = 0;
   uint64_t span_id = 0;
   uint32_t trace_flags = 0;
+  // Cluster-epoch fields, carried in a TAGGED extension block that begins
+  // with a 0 varint where the trace block's (nonzero) trace_id would sit —
+  // unambiguous against both the bare encoding and the PR-6 trace block,
+  // and byte-identical to them when epoch == 0 && !internal_apply (the
+  // trace triple is then emitted in its legacy form). Like the trace block
+  // it is only emitted after the kCapClusterEpoch probe, so servers that
+  // predate it never see the tag.
+  //
+  // `epoch`: the client's last-seen cluster epoch (0 = none/legacy). The
+  // server fences mutating batches whose epoch mismatches its own.
+  // `internal_apply`: set only by the standby's ReplicaPuller loopback
+  // client — marks the replication apply stream, which is exempt from the
+  // standby's "no client writes" fence.
+  uint64_t epoch = 0;
+  bool internal_apply = false;
 };
 
 struct ResponseMessage {

@@ -16,6 +16,7 @@
 #include <thread>
 #include <cstring>
 
+#include "src/common/clock.h"
 #include "src/common/env.h"
 #include "src/common/file.h"
 #include "src/common/logging.h"
@@ -69,8 +70,17 @@ Status ReplicaPuller::Start(const ReplicaOptions& options,
   if (options.primary_port <= 0 || options.self_port <= 0) {
     return Status::InvalidArgument("primary_port and self_port are required");
   }
+  if (options.lease_ms > 0 && (!options.promote || !options.local_epoch)) {
+    return Status::InvalidArgument(
+        "failover (lease_ms > 0) requires the promote and local_epoch hooks");
+  }
   auto puller = std::unique_ptr<ReplicaPuller>(new ReplicaPuller());
   puller->options_ = options;
+  puller->backoff_rng_ = Random(
+      options.jitter_seed != 0
+          ? options.jitter_seed
+          : static_cast<uint64_t>(MonotonicNanos()) ^
+                reinterpret_cast<uintptr_t>(puller.get()));
   FLOWKV_RETURN_IF_ERROR(CreateDirs(options.snapshot_dir));
   puller->thread_ = std::thread(&ReplicaPuller::Run, puller.get());
   *out = std::move(puller);
@@ -87,12 +97,52 @@ void ReplicaPuller::Stop() {
 }
 
 void ReplicaPuller::Run() {
+  obs::Counter* reconnects = obs::MetricsRegistry::Global().GetCounter("repl.reconnects");
+  const bool failover = options_.lease_ms > 0;
+  const int64_t lease_nanos = static_cast<int64_t>(options_.lease_ms) * 1'000'000;
+  // A standby started with no reachable primary waits out one full lease
+  // before its first election, same as losing an established one.
+  last_frame_nanos_ = MonotonicNanos();
+  int prev_sleep_ms = options_.resubscribe_backoff_ms;
   while (!stop_.load(std::memory_order_acquire)) {
+    const int64_t cycle_start = MonotonicNanos();
     PullOnce();
     if (stop_.load(std::memory_order_acquire)) {
       break;
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(options_.resubscribe_backoff_ms));
+    if (failover && snapshot_loaded() &&
+        MonotonicNanos() - last_frame_nanos_ >= lease_nanos) {
+      if (RunElection()) {
+        break;  // promoted: there is no primary left to pull from
+      }
+      // Followed (or deferred to) another primary; restart the lease clock
+      // so elections don't hot-loop while the new subscription establishes.
+      last_frame_nanos_ = MonotonicNanos();
+    }
+    // A cycle that stayed subscribed a while was productive: restart the
+    // backoff ladder instead of compounding it across unrelated outages.
+    if (MonotonicNanos() - cycle_start >= 1'000'000'000) {
+      prev_sleep_ms = options_.resubscribe_backoff_ms;
+    }
+    reconnects->Add(1);
+    BackoffSleep(&prev_sleep_ms);
+  }
+}
+
+void ReplicaPuller::BackoffSleep(int* prev_sleep_ms) {
+  // Decorrelated jitter, mirroring Client::BackoffSleep: uniform in
+  // [base, min(cap, 3 * previous sleep)] so a herd of standbys spreads out
+  // instead of re-dialing a restarted primary in lockstep.
+  const int base = std::max(1, options_.resubscribe_backoff_ms);
+  const int cap = std::max(base, options_.resubscribe_backoff_max_ms);
+  const int hi = std::max(base, std::min(cap, *prev_sleep_ms * 3));
+  const int sleep_ms = static_cast<int>(backoff_rng_.Range(base, hi));
+  *prev_sleep_ms = sleep_ms;
+  // Sliced so Stop() is honored within ~20 ms even mid-backoff.
+  for (int slept = 0; slept < sleep_ms && !stop_.load(std::memory_order_acquire);
+       slept += 20) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(std::min(20, sleep_ms - slept)));
   }
 }
 
@@ -132,6 +182,98 @@ Status ReplicaPuller::DialPrimary(int* fd_out) {
   return Status::Ok();
 }
 
+Status ReplicaPuller::SendFrame(int fd, const RequestMessage& msg) {
+  std::string payload, frame;
+  EncodeRequest(msg, &payload);
+  AppendFrame(&frame, payload);
+  size_t written = 0;
+  while (written < frame.size()) {
+    size_t to_send = frame.size() - written;
+    if (NetHooks* hooks = GetNetHooks()) {
+      FLOWKV_RETURN_IF_ERROR(hooks->PreSend(fd, &to_send));
+      if (to_send == 0) {
+        // Fault hook clamped the send to nothing (see SendAck); re-ask.
+        std::this_thread::yield();
+        continue;
+      }
+    }
+    const ssize_t n = ::send(fd, frame.data() + written, to_send, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::ConnectionReset("send to primary: " +
+                                     std::string(n < 0 ? std::strerror(errno) : "peer"));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status ReplicaPuller::ProbePrimaryCaps(int fd, std::string* inbuf, bool* epoch_aware) {
+  *epoch_aware = false;
+  RequestMessage probe;
+  probe.request_id = 1;
+  probe.ops.resize(1);
+  probe.ops[0].type = OpType::kGatherStats;
+  probe.ops[0].store_id = kProbeStoreId;
+  FLOWKV_RETURN_IF_ERROR(SendFrame(fd, probe));
+
+  // One response frame, under the socket's 200 ms recv slices; bounded by
+  // the connect timeout so a hung primary fails the cycle instead of
+  // stalling the puller.
+  const int64_t deadline =
+      MonotonicNanos() + static_cast<int64_t>(options_.connect_timeout_ms) * 1'000'000;
+  while (!stop_.load(std::memory_order_acquire)) {
+    Slice input(*inbuf);
+    Slice payload;
+    bool complete = false;
+    const size_t before = input.size();
+    FLOWKV_RETURN_IF_ERROR(
+        TryDecodeFrame(&input, &payload, &complete, options_.max_frame_bytes));
+    if (complete) {
+      ResponseMessage resp;
+      FLOWKV_RETURN_IF_ERROR(DecodeResponse(payload, &resp));
+      inbuf->erase(0, before - input.size());
+      // A legacy primary answers the probe with a per-op error (no caps); a
+      // cluster-aware one lists caps.cluster_epoch among the stat fields.
+      if (!resp.results.empty() && resp.results[0].status.ok()) {
+        for (const auto& field : resp.results[0].stat_fields) {
+          if (field.first == kCapClusterEpoch && field.second != 0) {
+            *epoch_aware = true;
+          } else if (field.first == kStatClusterEpoch) {
+            known_primary_epoch_ = std::max(known_primary_epoch_,
+                                            static_cast<uint64_t>(field.second));
+          }
+        }
+      }
+      return Status::Ok();
+    }
+    if (MonotonicNanos() >= deadline) {
+      return Status::TimedOut("capability probe of primary");
+    }
+    char buf[16 * 1024];
+    size_t to_recv = sizeof(buf);
+    if (NetHooks* hooks = GetNetHooks()) {
+      FLOWKV_RETURN_IF_ERROR(hooks->PreRecv(fd, &to_recv));
+    }
+    const ssize_t n = ::recv(fd, buf, to_recv, 0);
+    if (n > 0) {
+      if (NetHooks* hooks = GetNetHooks()) {
+        hooks->DidRecv(fd, buf, static_cast<size_t>(n));
+      }
+      inbuf->append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return Status::ConnectionReset("primary closed during probe");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      continue;
+    }
+    return Status::FromErrno("recv(probe)");
+  }
+  return Status::ConnectionReset("stopped during probe");
+}
+
 void ReplicaPuller::PullOnce() {
   // The loopback client applies shipped state to our own server; keep it
   // across cycles (it reconnects itself if the local server restarts).
@@ -140,6 +282,10 @@ void ReplicaPuller::PullOnce() {
     lo.host = options_.self_host;
     lo.port = options_.self_port;
     lo.connect_timeout_ms = options_.connect_timeout_ms;
+    // Mark the stream as the replication apply path: it must pass the
+    // standby's own no-client-writes fence.
+    lo.internal_apply = true;
+    lo.jitter_seed = options_.jitter_seed;
     if (!Client::Connect(lo, &loopback_).ok()) {
       return;  // local server not up yet; retry next cycle
     }
@@ -152,27 +298,41 @@ void ReplicaPuller::PullOnce() {
 
   obs::Counter* frames = obs::MetricsRegistry::Global().GetCounter("repl.frames_pulled");
 
+  std::string inbuf;
+  primary_epoch_aware_ = false;
+  {
+    const Status s = ProbePrimaryCaps(fd, &inbuf, &primary_epoch_aware_);
+    if (!s.ok()) {
+      FLOWKV_LOG(kWarn) << "primary capability probe failed "
+                        << LogKv("status", s.ToString());
+      if (NetHooks* hooks = GetNetHooks()) {
+        hooks->DidClose(fd);
+      }
+      ::close(fd);
+      return;
+    }
+  }
+
   // Subscribe. A fresh snapshot is always shipped, so the carried sequence is
-  // informational (logging/metrics on the primary).
+  // informational (logging/metrics on the primary). The epoch is carried only
+  // to an epoch-aware primary: it lets a stale primary fence itself when a
+  // standby from a newer epoch shows up, and tells the primary to echo its
+  // own epoch on kSnapshotDone and heartbeat replies.
   {
     RequestMessage sub;
     sub.request_id = 1;
     sub.ops.resize(1);
     sub.ops[0].type = OpType::kReplicaSubscribe;
     sub.ops[0].timestamp = static_cast<int64_t>(applied_seq());
-    std::string payload, frame;
-    EncodeRequest(sub, &payload);
-    AppendFrame(&frame, payload);
-    size_t written = 0;
-    while (written < frame.size()) {
-      const ssize_t n =
-          ::send(fd, frame.data() + written, frame.size() - written, MSG_NOSIGNAL);
-      if (n <= 0) {
-        if (n < 0 && errno == EINTR) continue;
-        ::close(fd);
-        return;
+    if (primary_epoch_aware_ && options_.local_epoch) {
+      sub.epoch = options_.local_epoch();
+    }
+    if (!SendFrame(fd, sub).ok()) {
+      if (NetHooks* hooks = GetNetHooks()) {
+        hooks->DidClose(fd);
       }
-      written += static_cast<size_t>(n);
+      ::close(fd);
+      return;
     }
   }
 
@@ -180,7 +340,15 @@ void ReplicaPuller::PullOnce() {
   pending_data_.clear();
   snapshot_started_in_cycle_ = false;
 
-  std::string inbuf;
+  // Both clocks restart per cycle: the subscribe itself is primary contact.
+  last_frame_nanos_ = MonotonicNanos();
+  int64_t last_heartbeat_nanos = 0;
+  const int64_t lease_nanos = static_cast<int64_t>(options_.lease_ms) * 1'000'000;
+  const int heartbeat_ms = options_.heartbeat_ms > 0
+                               ? options_.heartbeat_ms
+                               : std::max(50, options_.lease_ms / 3);
+  const int64_t heartbeat_nanos = static_cast<int64_t>(heartbeat_ms) * 1'000'000;
+
   bool healthy = true;
   while (healthy && !stop_.load(std::memory_order_acquire)) {
     // Drain complete frames already buffered.
@@ -203,6 +371,7 @@ void ReplicaPuller::PullOnce() {
       Status s = DecodeRequest(payload, &frame);
       inbuf.erase(0, before - input.size());
       if (s.ok()) {
+        last_frame_nanos_ = MonotonicNanos();  // any complete frame renews the lease
         s = HandleFrame(fd, frame);
         frames->Add(1);
       }
@@ -215,6 +384,26 @@ void ReplicaPuller::PullOnce() {
     }
     if (!healthy) {
       break;
+    }
+
+    // Lease and heartbeat bookkeeping runs every loop turn — the recv below
+    // wakes at least every 200 ms (SO_RCVTIMEO) even when the stream idles.
+    if (options_.lease_ms > 0) {
+      const int64_t now = MonotonicNanos();
+      if (now - last_frame_nanos_ >= lease_nanos) {
+        FLOWKV_LOG(kWarn) << "primary lease expired "
+                          << LogKv("silent_ms", (now - last_frame_nanos_) / 1'000'000)
+                          << LogKv("lease_ms", options_.lease_ms);
+        break;  // Run() decides whether to elect
+      }
+      if (primary_epoch_aware_ && now - last_heartbeat_nanos >= heartbeat_nanos) {
+        // request_id 0 marks a heartbeat, not an ack (acks carry seq >= 1);
+        // the primary replies with a frame carrying its current epoch.
+        if (!SendAck(fd, 0).ok()) {
+          break;
+        }
+        last_heartbeat_nanos = now;
+      }
     }
 
     char buf[64 * 1024];
@@ -248,6 +437,18 @@ void ReplicaPuller::PullOnce() {
 }
 
 Status ReplicaPuller::HandleFrame(int fd, const RequestMessage& frame) {
+  // Every frame from an epoch-aware primary may carry its epoch (always on
+  // kSnapshotDone and heartbeat replies); remember the newest so an election
+  // can never pick an epoch the old primary already used.
+  if (frame.epoch > known_primary_epoch_) {
+    known_primary_epoch_ = frame.epoch;
+  }
+  if (frame.request_id == 0) {
+    // Heartbeat reply: pure liveness (the lease clock was already renewed by
+    // the frame's arrival) — nothing to apply, nothing to ack.
+    return Status::Ok();
+  }
+
   // Snapshot frames are applied locally; anything else is a forwarded op
   // batch applied through the loopback client. Every frame is acked with its
   // sequence (= request_id) only after it is durably applied, because the
@@ -410,6 +611,134 @@ Status ReplicaPuller::SendAck(int fd, uint64_t seq) {
     return Status::ConnectionReset("ack send: " + std::string(std::strerror(errno)));
   }
   return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Election
+// ---------------------------------------------------------------------------
+
+bool ReplicaPuller::PollPeer(const Endpoint& ep, uint64_t* epoch, int64_t* role) {
+  ClientOptions co;
+  co.host = ep.host;
+  co.port = ep.port;
+  // Short and single-shot: a dead peer must not stretch the election past
+  // the stagger budget of lower-priority standbys.
+  co.connect_timeout_ms = std::min(500, std::max(1, options_.connect_timeout_ms));
+  co.request_timeout_ms = 500;
+  co.max_retries = 0;
+  co.max_reconnect_attempts = 1;
+  co.jitter_seed = options_.jitter_seed != 0 ? options_.jitter_seed : 1;
+  std::unique_ptr<Client> peer;
+  if (!Client::Connect(co, &peer).ok()) {
+    return false;
+  }
+  std::vector<std::pair<std::string, int64_t>> fields;
+  if (!peer->ClusterInfo(&fields).ok()) {
+    return false;
+  }
+  *epoch = 0;
+  *role = -1;
+  for (const auto& field : fields) {
+    if (field.first == kStatClusterEpoch) {
+      *epoch = static_cast<uint64_t>(field.second);
+    } else if (field.first == kStatClusterRole) {
+      *role = field.second;
+    }
+  }
+  return *epoch != 0;
+}
+
+bool ReplicaPuller::RunElection() {
+  obs::MetricsRegistry::Global().GetCounter("repl.elections")->Add(1);
+  const uint64_t local = options_.local_epoch();
+
+  // One poll pass over the peers: the newest epoch anyone holds, and the
+  // best live primary. `newest` seeds at everything we already know — an
+  // election may never pick an epoch the old primary (or we) already used.
+  auto poll_peers = [this](uint64_t* newest, Endpoint* primary_ep,
+                           uint64_t* primary_epoch) {
+    *primary_epoch = 0;
+    for (const Endpoint& ep : options_.peers) {
+      if (stop_.load(std::memory_order_acquire)) {
+        return;
+      }
+      uint64_t epoch = 0;
+      int64_t role = -1;
+      if (!PollPeer(ep, &epoch, &role)) {
+        continue;
+      }
+      *newest = std::max(*newest, epoch);
+      if (role == kRolePrimary && epoch > *primary_epoch) {
+        *primary_epoch = epoch;
+        *primary_ep = ep;
+      }
+    }
+  };
+
+  uint64_t newest = std::max(known_primary_epoch_, local);
+  Endpoint primary_ep;
+  uint64_t primary_epoch = 0;
+  poll_peers(&newest, &primary_ep, &primary_epoch);
+
+  // A live primary holding an epoch at least as new as anything we know is
+  // legitimate: follow it instead of promoting. (Following an OLDER-epoch
+  // primary would be a stale one — our epoch-stamped subscribe would only
+  // fence it.)
+  const auto follow = [this](const Endpoint& ep, uint64_t epoch) {
+    FLOWKV_LOG(kInfo) << "election: following live primary "
+                      << LogKv("endpoint", ep.host + ":" + std::to_string(ep.port))
+                      << LogKv("epoch", static_cast<int64_t>(epoch));
+    options_.primary_host = ep.host;
+    options_.primary_port = ep.port;
+    known_primary_epoch_ = std::max(known_primary_epoch_, epoch);
+  };
+  if (primary_epoch != 0 && primary_epoch >= newest) {
+    follow(primary_ep, primary_epoch);
+    return false;
+  }
+
+  // No legitimate primary: stagger by priority so the highest-priority live
+  // standby promotes first and everyone else finds it on the re-poll. The
+  // jitter breaks (probabilistically) ties between equal priorities.
+  const int kMaxPriority = 10;
+  const int steps = std::max(0, kMaxPriority - options_.promotion_priority);
+  const int64_t stagger_ms =
+      static_cast<int64_t>(steps) * std::max(0, options_.promotion_stagger_ms) +
+      backoff_rng_.Range(0, std::max(1, options_.promotion_stagger_ms / 4));
+  FLOWKV_LOG(kInfo) << "election: no live primary "
+                    << LogKv("known_epoch", static_cast<int64_t>(newest))
+                    << LogKv("stagger_ms", stagger_ms);
+  for (int64_t slept = 0;
+       slept < stagger_ms && !stop_.load(std::memory_order_acquire); slept += 20) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(std::min<int64_t>(20, stagger_ms - slept)));
+  }
+  if (stop_.load(std::memory_order_acquire)) {
+    return false;
+  }
+
+  // Re-poll: a higher-priority standby may have promoted during the wait.
+  poll_peers(&newest, &primary_ep, &primary_epoch);
+  if (primary_epoch != 0 && primary_epoch >= newest) {
+    follow(primary_ep, primary_epoch);
+    return false;
+  }
+
+  const uint64_t target = newest + 1;
+  const Status s = options_.promote(target);
+  if (!s.ok()) {
+    // Promote() can lose benign races (a snapshot attach in flight, an epoch
+    // adopted concurrently); the next lease expiry re-runs the election.
+    FLOWKV_LOG(kWarn) << "election: promotion failed "
+                      << LogKv("epoch", static_cast<int64_t>(target))
+                      << LogKv("status", s.ToString());
+    return false;
+  }
+  promoted_.store(true, std::memory_order_release);
+  obs::MetricsRegistry::Global().GetCounter("repl.promotions")->Add(1);
+  FLOWKV_LOG(kInfo) << "election: promoted self to primary "
+                    << LogKv("epoch", static_cast<int64_t>(target));
+  return true;
 }
 
 }  // namespace net

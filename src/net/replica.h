@@ -20,20 +20,36 @@
 // The ReplicaPuller is the standby side: it subscribes, writes shipped
 // snapshot files to a local directory, restores them into its own server via
 // a loopback client (kRestoreStore), applies forwarded ops the same way, and
-// acks each frame. If the primary dies it re-subscribes with backoff — a
-// re-subscribe always ships a fresh snapshot, so a standby can never diverge
-// silently.
+// acks each frame. If the primary dies it re-subscribes with decorrelated-
+// jitter backoff — a re-subscribe always ships a fresh snapshot, so a
+// standby can never diverge silently.
+//
+// Failover (lease_ms > 0, docs/NETWORK.md "Cluster roles, epochs, and
+// failover"): while subscribed the puller heartbeats the primary
+// (ResponseMessage with request_id 0; the primary echoes its epoch back), so
+// a healthy but idle primary keeps producing frames. When no frame arrives
+// for lease_ms — stream silence, failed dials, anything — the puller runs an
+// election: poll every peer's kClusterInfo; if a live primary holds an epoch
+// at least as new as anything we have seen, follow it; otherwise wait out a
+// priority stagger (higher priority waits less), re-poll, and self-promote
+// through the `promote` hook with epoch max(seen)+1. Only a standby that has
+// restored at least one snapshot is eligible. Operators must assign standbys
+// DISTINCT priorities: equal priorities break the promotion race only
+// probabilistically (the stagger is jittered).
 #ifndef SRC_NET_REPLICA_H_
 #define SRC_NET_REPLICA_H_
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/common/random.h"
 #include "src/common/status.h"
+#include "src/net/client.h"
 #include "src/net/protocol.h"
 
 namespace flowkv {
@@ -58,10 +74,40 @@ struct ReplicaOptions {
   std::string snapshot_dir;
 
   int connect_timeout_ms = 2000;
-  // Backoff between re-subscribe attempts after losing the primary.
+  // Re-subscribe backoff after losing the primary: decorrelated jitter,
+  // each sleep uniform in [backoff_ms, min(3 * previous, backoff_max_ms)].
+  // A cycle that stayed subscribed for a while resets the ladder.
   int resubscribe_backoff_ms = 200;
+  int resubscribe_backoff_max_ms = 2000;
+  // Seed for the backoff/stagger jitter PRNG; 0 = per-puller seed.
+  uint64_t jitter_seed = 0;
 
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  // ----- failover (header comment above; all off unless lease_ms > 0) -----
+
+  // Declare the primary dead when no frame (heartbeat reply, forwarded op,
+  // snapshot chunk) arrives for this long, and start an election. <= 0
+  // disables failover: the puller just re-subscribes forever.
+  int lease_ms = 0;
+  // Heartbeat send interval while subscribed; 0 derives lease_ms / 3
+  // (min 50 ms). Heartbeats are only sent to epoch-aware primaries.
+  int heartbeat_ms = 0;
+  // This standby's promotion priority, 0–10: the election stagger is
+  // (10 - priority) * promotion_stagger_ms plus jitter, so the
+  // highest-priority live standby promotes first and the others observe it
+  // on their re-poll and follow instead.
+  int promotion_priority = 0;
+  int promotion_stagger_ms = 500;
+  // Every other cluster member (the primary and all standbys) — polled
+  // during an election for a live primary and the newest epoch.
+  std::vector<Endpoint> peers;
+  // Election hooks into the standby's own server: promote(new_epoch) flips
+  // it to primary (Server::Promote — durable epoch commit, then the role
+  // flip), local_epoch() reads its current epoch. Both are required when
+  // lease_ms > 0.
+  std::function<Status(uint64_t)> promote;
+  std::function<uint64_t()> local_epoch;
 };
 
 class ReplicaPuller {
@@ -82,34 +128,64 @@ class ReplicaPuller {
   uint64_t applied_seq() const { return applied_seq_.load(std::memory_order_acquire); }
   // True once at least one full snapshot was restored into the local server.
   bool snapshot_loaded() const { return snapshot_loaded_.load(std::memory_order_acquire); }
+  // True once an election promoted the local server to primary; the puller
+  // thread has exited (there is no primary left to pull from).
+  bool promoted() const { return promoted_.load(std::memory_order_acquire); }
 
  private:
   ReplicaPuller() = default;
 
   void Run();
   // One subscribe → stream → disconnect cycle. Returns when the connection
-  // breaks or stop is requested.
+  // breaks, the lease expires, or stop is requested.
   void PullOnce();
   Status DialPrimary(int* fd);
+  // Encodes and writes one request frame to the raw primary socket.
+  Status SendFrame(int fd, const RequestMessage& msg);
+  // Capability probe on the raw primary socket (before subscribing): learns
+  // whether the primary speaks the cluster-epoch protocol — only then may
+  // the subscribe carry our epoch and heartbeats flow (a legacy primary
+  // would drop the extension block / misread a request_id-0 ack). Residual
+  // bytes stay in *inbuf for the stream loop.
+  Status ProbePrimaryCaps(int fd, std::string* inbuf, bool* epoch_aware);
   Status HandleFrame(int fd, const RequestMessage& frame);
   Status ApplySnapshotChunk(const OpRequest& op);
   Status FinishSnapshot();
   // Flushes the in-progress snapshot file accumulator, if any.
   Status FlushPendingFile();
   Status SendAck(int fd, uint64_t seq);
+  // Decorrelated-jitter sleep between re-subscribe cycles, sliced so Stop()
+  // is honored promptly.
+  void BackoffSleep(int* prev_sleep_ms);
+  // Lease expired: poll peers, follow a fresh live primary (retargets
+  // options_.primary_*, returns false) or self-promote (returns true).
+  bool RunElection();
+  // Polls one endpoint's kClusterInfo on a short-lived client; false when
+  // unreachable or not cluster-aware.
+  bool PollPeer(const Endpoint& ep, uint64_t* epoch, int64_t* role);
 
-  // INVARIANT(thread-contract): the three atomics below are the only fields
+  // INVARIANT(thread-contract): the four atomics below are the only fields
   // shared between the puller thread and its controller — stop_ is the
-  // controller's one-way shutdown signal, applied_seq_/snapshot_loaded_ are
-  // the puller's progress exports. Everything else is puller-thread-only
-  // (options_/thread_ are set before the thread starts and ordered by the
-  // create/join edges). No mutex, so no GUARDED_BY: the clang
-  // -Wthread-safety pass cannot check this split, reviewers must.
+  // controller's one-way shutdown signal, applied_seq_ / snapshot_loaded_ /
+  // promoted_ are the puller's progress exports. Everything else is
+  // puller-thread-only (options_/thread_ are set before the thread starts
+  // and ordered by the create/join edges). No mutex, so no GUARDED_BY: the
+  // clang -Wthread-safety pass cannot check this split, reviewers must.
   ReplicaOptions options_;
   std::thread thread_;
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> applied_seq_{0};
   std::atomic<bool> snapshot_loaded_{false};
+  std::atomic<bool> promoted_{false};
+
+  // Failover state (puller thread only). last_frame_nanos_ is the lease
+  // clock: the monotonic time of the last complete frame from the primary
+  // (or last successful subscribe); known_primary_epoch_ is the newest epoch
+  // any primary frame or peer poll has carried.
+  int64_t last_frame_nanos_ = 0;
+  uint64_t known_primary_epoch_ = 0;
+  bool primary_epoch_aware_ = false;  // per-cycle, from the probe
+  Random backoff_rng_;  // seeded in Start()
 
   // Loopback client to the standby's own server (puller thread only).
   std::unique_ptr<class Client> loopback_;

@@ -50,6 +50,11 @@ constexpr char kStoresMetaName[] = "stores.meta";
 // Replication snapshots are staged under the data dir, not the checkpoint
 // dir: they are transient shipping state, never a commit point.
 constexpr char kReplSnapshotDirName[] = ".repl_snapshot";
+// Durable cluster-epoch record (decimal text). Written via WriteFileDurably
+// (CommitFileRename underneath) BEFORE a promotion takes effect, so a crash
+// mid-promotion can never regress the epoch. Unrelated to the checkpoint
+// `epoch_<n>` directories, which count drain checkpoints.
+constexpr char kClusterEpochFileName[] = "CLUSTER_EPOCH";
 
 // epoll user-data tags for the two non-connection fds each reactor watches.
 // Connection ids start at 1 and count up, so the top of the id space is free.
@@ -340,6 +345,7 @@ class Server::Impl {
     obs::Counter* repl_forwarded = nullptr;
     obs::Counter* pushes_sent = nullptr;     // kPushChunk frames queued
     obs::Counter* pushes_dropped = nullptr;  // pushes shed at the outbox bound
+    obs::Counter* fenced_rejects = nullptr;  // batches refused with kFencedOff
   };
 
   struct Reactor {
@@ -474,7 +480,7 @@ class Server::Impl {
 
   // ----- replication, primary side -----
 
-  void HandleReplicaSubscribe(Reactor& r, Connection* conn);
+  void HandleReplicaSubscribe(Reactor& r, Connection* conn, uint64_t standby_epoch);
   Status ShipSnapshot(Reactor& r) EXCLUDES(repl_mu_);
   // Sequence assignment and the send stay ordered under the caller's lock.
   bool SendReplicaFrame(Reactor& r, const RequestMessage& message) REQUIRES(repl_mu_);
@@ -485,6 +491,27 @@ class Server::Impl {
   void CheckReplicaAckTimeout() EXCLUDES(repl_mu_);
   void ReleaseParkedForDrain() EXCLUDES(repl_mu_);
   void ResumeAfterAttach(Reactor& r);
+  void HandleReplicaHeartbeat(Reactor& r) EXCLUDES(repl_mu_);
+
+  // ----- cluster role and epochs -----
+
+  uint64_t cluster_epoch() const { return cluster_epoch_.load(std::memory_order_acquire); }
+  int64_t cluster_role() const { return cluster_role_.load(std::memory_order_acquire); }
+  // `r` non-null when the caller is a reactor thread holding `floor` units of
+  // pending_count_ for the request that carries the promotion (the quiesce
+  // then waits down to `floor` while pumping that reactor's tasks); off-pool
+  // callers pass (nullptr, 0).
+  Status PromoteInternal(uint64_t new_epoch, Reactor* r, size_t floor)
+      EXCLUDES(repl_mu_, cluster_mu_);
+  // In-memory fence: flips the role without touching CLUSTER_EPOCH —
+  // persisting an epoch merely *observed* from a newer peer would let a
+  // restart claim that epoch and split-brain against the real primary.
+  void FenceInternal(const std::string& reason);
+  Status PersistClusterEpoch(uint64_t epoch) REQUIRES(cluster_mu_);
+  Status LoadClusterEpoch();
+  // Drops the attach gate and replays deferred requests; `r` as in
+  // PromoteInternal (non-null = the calling reactor resumes inline).
+  void ReleaseAttachGateAndResume(Reactor* r);
 
   int ShardForKey(const Slice& key) const {
     return JumpConsistentHash(Hash64(key), options_.num_shards);
@@ -601,9 +628,27 @@ class Server::Impl {
   std::map<uint64_t, std::shared_ptr<PendingRequest>> parked_ GUARDED_BY(repl_mu_);
   // Guarded by repl_mu_ (multi-thread increments would race RelaxedCounter).
   obs::Counter* m_repl_drops_ GUARDED_BY(repl_mu_) = nullptr;
+  // Standby heartbeat tracking (docs/NETWORK.md "Cluster roles"): nanos of
+  // the last heartbeat ack (request_id 0) from the subscriber, 0 before the
+  // first one. Heartbeats deliberately do NOT feed repl_last_progress_nanos_:
+  // a live-but-stalled standby must still trip the ack timeout.
+  int64_t repl_last_heartbeat_nanos_ GUARDED_BY(repl_mu_) = 0;
+  // The subscriber sent a nonzero epoch in its kReplicaSubscribe, so it
+  // understands the tagged extension block; the primary then stamps its
+  // epoch on kSnapshotDone and heartbeat replies for the standby to adopt.
+  bool replica_epoch_aware_ GUARDED_BY(repl_mu_) = false;
   // Lock-free mirrors for the hot-path subscribed/attach checks.
   std::atomic<uint64_t> replica_conn_id_atomic_{0};
   std::atomic<bool> repl_attach_{false};
+
+  // Cluster (epoch, role): the epoch only ever increases while the process
+  // lives; the role moves primary/standby -> primary (Promote) or
+  // * -> fenced (Fence / observing a higher epoch). Writers serialize on
+  // cluster_mu_ (which also covers the CLUSTER_EPOCH file write); the
+  // request hot path reads the atomics lock-free.
+  Mutex cluster_mu_;
+  std::atomic<uint64_t> cluster_epoch_{1};
+  std::atomic<int64_t> cluster_role_{kRolePrimary};
 
   // Slow-request log and windowed-rate state for kStats, guarded by
   // stats_mu_ (kStats may be served by any reactor).
@@ -647,6 +692,10 @@ Status Server::Impl::Init(const ServerOptions& options) {
     return Status::InvalidArgument("data_dir is required");
   }
   FLOWKV_RETURN_IF_ERROR(CreateDirs(options_.data_dir));
+
+  FLOWKV_RETURN_IF_ERROR(LoadClusterEpoch());
+  cluster_role_.store(options_.start_as_standby ? kRoleStandby : kRolePrimary,
+                      std::memory_order_release);
 
   num_reactors_ = options_.reactor_threads;
   if (num_reactors_ == 0) {
@@ -716,6 +765,7 @@ Status Server::Impl::Init(const ServerOptions& options) {
       r->metrics.repl_forwarded = reg.GetCounter("server.repl_frames_forwarded");
       r->metrics.pushes_sent = reg.GetCounter("server.pushes_sent");
       r->metrics.pushes_dropped = reg.GetCounter("server.pushes_dropped");
+      r->metrics.fenced_rejects = reg.GetCounter("server.fenced_rejects");
     }
     wake_fds_.push_back(r->wake_fd);
     reactors_.push_back(std::move(r));
@@ -1274,6 +1324,13 @@ bool Server::Impl::ProcessBufferedFrames(Reactor& r, uint64_t conn_id) {
         DropReplica("corrupt ack frame");
         return false;
       }
+      if (ack.request_id == 0) {
+        // Lease heartbeat (replication sequences start at 1): record it and
+        // answer with an epoch-bearing frame so the standby's lease clock —
+        // and its view of the primary's epoch — both refresh.
+        HandleReplicaHeartbeat(r);
+        continue;
+      }
       HandleReplicaAck(r, ack.request_id);
       continue;
     }
@@ -1295,7 +1352,8 @@ bool Server::Impl::ProcessBufferedFrames(Reactor& r, uint64_t conn_id) {
       // any op type past its own kMaxOpType (kStats and everything newer —
       // kEttRegister, kPushChunk, kDropWindow) as corruption and drops the
       // connection; reproduce that exactly.
-      bool unknown_to_legacy = request.trace_id != 0;
+      bool unknown_to_legacy =
+          request.trace_id != 0 || request.epoch != 0 || request.internal_apply;
       for (const OpRequest& op : request.ops) {
         if (op.type >= OpType::kStats) unknown_to_legacy = true;
       }
@@ -1306,12 +1364,23 @@ bool Server::Impl::ProcessBufferedFrames(Reactor& r, uint64_t conn_id) {
         return false;
       }
     }
-    if (request.ops.size() == 1 && request.ops[0].type == OpType::kReplicaSubscribe) {
-      // Consume the subscribe frame BEFORE dispatching: HandleReplicaSubscribe
-      // runs the whole attach inline and finishes by re-entering
-      // ProcessBufferedFrames on this very connection (by then flagged as the
-      // replica) — a still-buffered subscribe frame would decode as a corrupt
-      // ack. The op has no borrowed key/value, so consuming first is safe.
+    bool consume_before_dispatch =
+        request.ops.size() == 1 && request.ops[0].type == OpType::kReplicaSubscribe;
+    for (const OpRequest& op : request.ops) {
+      if (op.type == OpType::kClusterAdmin) {
+        consume_before_dispatch = true;
+      }
+    }
+    if (consume_before_dispatch) {
+      // Consume the frame BEFORE dispatching. Both of these ops finish by
+      // re-entering ProcessBufferedFrames on this very connection:
+      //   - kReplicaSubscribe: HandleReplicaSubscribe runs the whole attach
+      //     inline, and by then the connection is flagged as the replica, so
+      //     a still-buffered subscribe frame would decode as a corrupt ack;
+      //   - kClusterAdmin "promote": the attach-gate release replays buffered
+      //     frames, and a still-buffered admin frame would re-dispatch and
+      //     self-deadlock on the (non-recursive) cluster mutex.
+      // Neither op borrows key/value bytes, so consuming first is safe.
       for (OpRequest& op : request.ops) {
         op.MaterializeRefs();
       }
@@ -1390,7 +1459,7 @@ void Server::Impl::HandleRequest(Reactor& r, Connection* conn, RequestMessage re
   // stream, never the dispatch path.
   if (request.ops.size() == 1 && request.ops[0].type == OpType::kReplicaSubscribe) {
     r.metrics.requests->Add(1);
-    HandleReplicaSubscribe(r, conn);
+    HandleReplicaSubscribe(r, conn, request.epoch);
     return;
   }
 
@@ -1433,6 +1502,50 @@ void Server::Impl::HandleRequest(Reactor& r, Connection* conn, RequestMessage re
                     static_cast<int64_t>(pending->trace_id), "ops",
                     static_cast<int64_t>(pending->ops.size()));
 
+  // Epoch fencing (docs/NETWORK.md "Cluster roles, epochs, and failover"):
+  // refuse mutating batches whole before anything routes or forwards, so
+  // kFencedOff — like kOverloaded — guarantees the batch executed nowhere.
+  // The ReplicaPuller's loopback apply stream (internal_apply) is exempt:
+  // it is the one writer a standby exists to serve.
+  if (!request.internal_apply) {
+    if (request.epoch != 0 &&
+        request.epoch > cluster_epoch_.load(std::memory_order_acquire)) {
+      // The client has seen a newer primary than us: we are stale, whatever
+      // our role. Fence in memory only (see FenceInternal) and fall through
+      // to the rejection below.
+      FenceInternal("request carried epoch " + std::to_string(request.epoch) +
+                    " > local " + std::to_string(cluster_epoch_.load(std::memory_order_acquire)));
+    }
+    bool has_mutating = false;
+    for (const OpRequest& op : pending->ops) {
+      if (IsForwardedOp(op.type) || op.type == OpType::kRestoreStore) {
+        has_mutating = true;
+        break;
+      }
+    }
+    const int64_t role = cluster_role_.load(std::memory_order_acquire);
+    const uint64_t epoch = cluster_epoch_.load(std::memory_order_acquire);
+    const bool stale_epoch = request.epoch != 0 && request.epoch != epoch;
+    if (has_mutating && (role != kRolePrimary || stale_epoch)) {
+      r.metrics.fenced_rejects->Add(1);
+      const std::string why =
+          role == kRoleStandby ? "standby"
+          : role == kRoleFenced
+              ? "fenced"
+              : "stale epoch " + std::to_string(request.epoch) + " != " +
+                    std::to_string(epoch);
+      for (size_t i = 0; i < pending->ops.size(); ++i) {
+        pending->results[i] = OpResult{};
+        pending->results[i].type = pending->ops[i].type;
+        pending->results[i].status = Status::FencedOff(
+            why + " (epoch " + std::to_string(epoch) + ")");
+        pending->fanout_partials[i].clear();
+      }
+      FinishPending(pending);
+      return;
+    }
+  }
+
   std::vector<std::vector<ShardWorkItem>> shard_items(
       static_cast<size_t>(options_.num_shards));
 
@@ -1452,6 +1565,45 @@ void Server::Impl::HandleRequest(Reactor& r, Connection* conn, RequestMessage re
       // queues behind store work.
       result.status = Status::Ok();
       result.stats_json = BuildStatsJson();
+      continue;
+    }
+
+    if (op.type == OpType::kClusterInfo) {
+      // Cluster view: legal on every role (it is how clients and standbys
+      // find the primary), answered inline like kStats.
+      result.status = Status::Ok();
+      result.stat_fields.emplace_back(
+          kStatClusterEpoch,
+          static_cast<int64_t>(cluster_epoch_.load(std::memory_order_acquire)));
+      result.stat_fields.emplace_back(kStatClusterRole,
+                                      cluster_role_.load(std::memory_order_acquire));
+      result.stat_fields.emplace_back(kStatClusterLeaseMs, options_.lease_ms);
+      result.stat_fields.emplace_back(kStatClusterPriority, options_.promotion_priority);
+      continue;
+    }
+
+    if (op.type == OpType::kClusterAdmin) {
+      if (op.path == "fence") {
+        FenceInternal("admin fence");
+        result.status = Status::Ok();
+      } else if (op.path == "promote") {
+        // op.timestamp optionally carries the target epoch; 0 = current + 1.
+        const uint64_t target =
+            op.timestamp > 0 ? static_cast<uint64_t>(op.timestamp)
+                             : cluster_epoch_.load(std::memory_order_acquire) + 1;
+        // This request holds one unit of pending_count_; the quiesce inside
+        // waits down to that floor while pumping this reactor's tasks.
+        result.status = PromoteInternal(target, &r, 1);
+      } else {
+        result.status = Status::InvalidArgument("unknown cluster admin command: " + op.path);
+      }
+      if (result.status.ok()) {
+        result.stat_fields.emplace_back(
+            kStatClusterEpoch,
+            static_cast<int64_t>(cluster_epoch_.load(std::memory_order_acquire)));
+        result.stat_fields.emplace_back(kStatClusterRole,
+                                        cluster_role_.load(std::memory_order_acquire));
+      }
       continue;
     }
 
@@ -1555,6 +1707,14 @@ void Server::Impl::HandleRequest(Reactor& r, Connection* conn, RequestMessage re
       if (options_.enable_prefetch_push) {
         result.stat_fields.emplace_back(kCapPrefetchPush, 1);
       }
+      // Epoch-fencing support, plus the current view so a probing client
+      // adopts the epoch in the same round trip.
+      result.stat_fields.emplace_back(kCapClusterEpoch, 1);
+      result.stat_fields.emplace_back(
+          kStatClusterEpoch,
+          static_cast<int64_t>(cluster_epoch_.load(std::memory_order_acquire)));
+      result.stat_fields.emplace_back(kStatClusterRole,
+                                      cluster_role_.load(std::memory_order_acquire));
       continue;
     }
 
@@ -2372,17 +2532,37 @@ std::string Server::Impl::BuildStatsJson() {
   j += "},";
 
   {
+    int64_t fenced_rejects = 0;
+    for (const auto& rr : reactors_) {
+      fenced_rejects += rr->metrics.fenced_rejects->Value();
+    }
+    const int64_t role = cluster_role_.load(std::memory_order_acquire);
+    add("\"cluster\":{\"role\":\"%s\",\"epoch\":%llu,\"lease_ms\":%d,"
+        "\"priority\":%d,\"fenced_rejects\":%lld},",
+        role == kRolePrimary ? "primary" : role == kRoleStandby ? "standby" : "fenced",
+        static_cast<unsigned long long>(cluster_epoch_.load(std::memory_order_acquire)),
+        options_.lease_ms, options_.promotion_priority,
+        static_cast<long long>(fenced_rejects));
+  }
+
+  {
     MutexLock lock(&repl_mu_);
     const bool subscribed = replica_conn_id_ != 0;
     const unsigned long long lag =
         subscribed && repl_next_seq_ - 1 > repl_acked_seq_
             ? static_cast<unsigned long long>(repl_next_seq_ - 1 - repl_acked_seq_)
             : 0ull;
+    const double heartbeat_age_ms =
+        subscribed && repl_last_heartbeat_nanos_ > 0
+            ? static_cast<double>(now - repl_last_heartbeat_nanos_) / 1e6
+            : -1.0;
     add("\"replication\":{\"subscribed\":%s,\"next_seq\":%llu,\"acked_seq\":%llu,"
-        "\"lag\":%llu,\"parked\":%llu},",
+        "\"lag\":%llu,\"parked\":%llu,\"heartbeat_age_ms\":%.1f,"
+        "\"standby_epoch_aware\":%s},",
         subscribed ? "true" : "false", static_cast<unsigned long long>(repl_next_seq_),
         static_cast<unsigned long long>(repl_acked_seq_), lag,
-        static_cast<unsigned long long>(parked_.size()));
+        static_cast<unsigned long long>(parked_.size()), heartbeat_age_ms,
+        replica_epoch_aware_ ? "true" : "false");
   }
 
   {
@@ -2494,8 +2674,16 @@ std::string Server::Impl::BuildStatsJson() {
 // Replication, primary side
 // ---------------------------------------------------------------------------
 
-void Server::Impl::HandleReplicaSubscribe(Reactor& r, Connection* conn) {
+void Server::Impl::HandleReplicaSubscribe(Reactor& r, Connection* conn,
+                                          uint64_t standby_epoch) {
   const uint64_t conn_id = conn->id();
+  if (standby_epoch > cluster_epoch_.load(std::memory_order_acquire)) {
+    // A standby that has lived through a later epoch is subscribing to us:
+    // we are the stale side of a partition. Neutralize ourselves and refuse.
+    FenceInternal("subscriber carried epoch " + std::to_string(standby_epoch));
+    CloseConnLocal(r, conn_id);
+    return;
+  }
   ReplicaDropActions drop;
   bool reject = false;
   {
@@ -2551,9 +2739,12 @@ void Server::Impl::HandleReplicaSubscribe(Reactor& r, Connection* conn) {
     replica_conn_id_ = conn_id;
     replica_reactor_ = r.index;
     repl_last_progress_nanos_ = MonotonicNanos();
+    repl_last_heartbeat_nanos_ = 0;
+    replica_epoch_aware_ = standby_epoch != 0;
     replica_conn_id_atomic_.store(conn_id, std::memory_order_release);
   }
-  FLOWKV_LOG(kInfo) << "replica subscribed " << LogKv("conn", conn_id);
+  FLOWKV_LOG(kInfo) << "replica subscribed " << LogKv("conn", conn_id)
+                    << LogKv("standby_epoch", standby_epoch);
 
   const Status s = ShipSnapshot(r);
   if (!s.ok()) {
@@ -2651,6 +2842,12 @@ Status Server::Impl::ShipSnapshot(Reactor& r) {
     if (replica_conn_id_ == 0) {
       return Status::ConnectionReset("replica went away mid-snapshot");
     }
+    if (replica_epoch_aware_) {
+      // The standby adopts the primary's epoch from here (and from every
+      // heartbeat reply after), so a freshly promoted primary's followers
+      // converge without re-subscribing.
+      done.epoch = cluster_epoch_.load(std::memory_order_acquire);
+    }
     done.request_id = repl_next_seq_++;
     if (!SendReplicaFrame(r, done)) {
       return Status::ConnectionReset("replica went away mid-snapshot");
@@ -2707,6 +2904,29 @@ void Server::Impl::HandleReplicaAck(Reactor& r, uint64_t seq) {
   }
   for (const auto& pending : released) {
     DeliverResponse(pending);
+  }
+}
+
+void Server::Impl::HandleReplicaHeartbeat(Reactor& r) {
+  RequestMessage beat;
+  beat.request_id = 0;  // heartbeat replies never consume a replication seq
+  beat.epoch = cluster_epoch_.load(std::memory_order_acquire);
+  OpRequest op;
+  op.type = OpType::kPing;
+  beat.ops.push_back(std::move(op));
+  MutexLock lock(&repl_mu_);
+  if (replica_conn_id_ == 0) {
+    return;
+  }
+  repl_last_heartbeat_nanos_ = MonotonicNanos();
+  if (!replica_epoch_aware_) {
+    // A pre-epoch standby never sends heartbeats; if one somehow arrives,
+    // answering with a tagged frame would be worse than staying quiet.
+    return;
+  }
+  if (!SendReplicaFrame(r, beat)) {
+    // The regular drop paths (ack timeout, close) handle the dead conn.
+    FLOWKV_LOG(kWarn) << "heartbeat reply send failed";
   }
 }
 
@@ -2800,6 +3020,133 @@ void Server::Impl::ReleaseParkedForDrain() {
   }
   for (const auto& pending : released) {
     DeliverResponse(pending);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster role and epochs
+// ---------------------------------------------------------------------------
+
+Status Server::Impl::LoadClusterEpoch() {
+  const std::string path = JoinPath(options_.data_dir, kClusterEpochFileName);
+  if (!FileExists(path)) {
+    return Status::Ok();  // fresh data dir: cluster_epoch_ keeps its default 1
+  }
+  std::string text;
+  FLOWKV_RETURN_IF_ERROR(ReadFileToString(path, &text));
+  const uint64_t epoch = std::strtoull(text.c_str(), nullptr, 10);
+  if (epoch == 0) {
+    return Status::Corruption("unparsable " + path + ": \"" + text + "\"");
+  }
+  cluster_epoch_.store(epoch, std::memory_order_release);
+  FLOWKV_LOG(kInfo) << "restored cluster epoch " << LogKv("epoch", epoch);
+  return Status::Ok();
+}
+
+Status Server::Impl::PersistClusterEpoch(uint64_t epoch) {
+  return WriteFileDurably(JoinPath(options_.data_dir, kClusterEpochFileName),
+                          std::to_string(epoch));
+}
+
+void Server::Impl::FenceInternal(const std::string& reason) {
+  // Lock-free CAS transition: the caller may be a reactor mid-request, and a
+  // mutex here could deadlock against a promotion quiescing that request.
+  int64_t cur = cluster_role_.load(std::memory_order_acquire);
+  while (cur != kRoleFenced) {
+    if (cluster_role_.compare_exchange_weak(cur, kRoleFenced,
+                                            std::memory_order_acq_rel)) {
+      FLOWKV_LOG(kWarn) << "server fenced "
+                        << LogKv("epoch", cluster_epoch_.load(std::memory_order_acquire))
+                        << LogKv("reason", reason);
+      obs::TriggerFlightRecord("fenced: " + reason);
+      return;
+    }
+  }
+}
+
+Status Server::Impl::PromoteInternal(uint64_t new_epoch, Reactor* r, size_t floor) {
+  MutexLock cluster_lock(&cluster_mu_);
+  if (cluster_role_.load(std::memory_order_acquire) == kRoleFenced) {
+    return Status::FailedPrecondition("server is fenced");
+  }
+  const uint64_t cur_epoch = cluster_epoch_.load(std::memory_order_acquire);
+  if (new_epoch <= cur_epoch) {
+    return Status::InvalidArgument("promotion epoch " + std::to_string(new_epoch) +
+                                   " must exceed current " + std::to_string(cur_epoch));
+  }
+
+  // Win the attach gate (shared with the replica snapshot attach) so the
+  // promotion sees a quiesced server and flips roles at a request boundary.
+  for (;;) {
+    bool won = false;
+    {
+      MutexLock lock(&repl_mu_);
+      if (!repl_attach_.load(std::memory_order_relaxed)) {
+        repl_attach_.store(true, std::memory_order_seq_cst);
+        won = true;
+      }
+    }
+    if (won) break;
+    if (r != nullptr) {
+      // A reactor caller holds pending_count_ units the competing attach is
+      // waiting on; blocking here would deadlock the pair. kOverloaded is
+      // the blind-retry-safe refusal.
+      return Status::Overloaded("promotion raced a snapshot attach; retry");
+    }
+    if (stop_requested_.load(std::memory_order_relaxed)) {
+      return Status::FailedPrecondition("server stopping");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  // Quiesce down to the caller's own pending units (a reactor caller keeps
+  // pumping its tasks so cross-reactor completions it owes still land).
+  while (pending_count_.load(std::memory_order_seq_cst) > floor) {
+    if (stop_requested_.load(std::memory_order_relaxed) ||
+        loop_exit_.load(std::memory_order_relaxed)) {
+      ReleaseAttachGateAndResume(r);
+      return Status::FailedPrecondition("server stopping");
+    }
+    if (r != nullptr) {
+      DrainTasks(*r);
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  if (cluster_role_.load(std::memory_order_acquire) == kRoleFenced) {
+    // Fenced while we quiesced (a request carrying a higher epoch slipped in
+    // ahead of the gate). The fence wins.
+    ReleaseAttachGateAndResume(r);
+    return Status::FailedPrecondition("server fenced during promotion");
+  }
+
+  // Commit point: the epoch is durable BEFORE the role flips, so a crash
+  // anywhere in this sequence restarts with epoch >= new_epoch and never
+  // re-claims an epoch some peer has already superseded.
+  const Status persist = PersistClusterEpoch(new_epoch);
+  if (!persist.ok()) {
+    ReleaseAttachGateAndResume(r);
+    return persist;
+  }
+  cluster_epoch_.store(new_epoch, std::memory_order_release);
+  cluster_role_.store(kRolePrimary, std::memory_order_release);
+  FLOWKV_LOG(kInfo) << "promoted to primary " << LogKv("epoch", new_epoch);
+  obs::TriggerFlightRecord("promoted to primary, epoch " + std::to_string(new_epoch));
+
+  ReleaseAttachGateAndResume(r);
+  return Status::Ok();
+}
+
+void Server::Impl::ReleaseAttachGateAndResume(Reactor* r) {
+  repl_attach_.store(false, std::memory_order_seq_cst);
+  for (int i = 0; i < num_reactors_; ++i) {
+    if (r != nullptr && i == r->index) continue;
+    ReactorTask task;
+    task.kind = ReactorTask::Kind::kAttachResume;
+    PostTask(i, std::move(task));
+  }
+  if (r != nullptr) {
+    ResumeAfterAttach(*r);
   }
 }
 
@@ -3020,6 +3367,8 @@ void Server::Impl::ExecuteShardOp(int shard, StoreEntry* store, const OpRequest&
     case OpType::kSnapshotDone:
     case OpType::kStats:
     case OpType::kPushChunk:
+    case OpType::kClusterInfo:
+    case OpType::kClusterAdmin:
       out->status = Status::Internal("op routed to shard unexpectedly");
       break;
   }
@@ -3060,6 +3409,18 @@ Status Server::DrainAndStop() {
 }
 
 void Server::Stop() { impl_->HardStop(); }
+
+uint64_t Server::cluster_epoch() const { return impl_->cluster_epoch(); }
+
+int64_t Server::cluster_role() const { return impl_->cluster_role(); }
+
+Status Server::Promote(uint64_t new_epoch) {
+  // Off-pool callers only (the ReplicaPuller's election thread, tests, the
+  // flowkv_server main); a reactor promotes through kClusterAdmin instead.
+  return impl_->PromoteInternal(new_epoch, nullptr, 0);
+}
+
+void Server::Fence() { impl_->FenceInternal("Server::Fence"); }
 
 }  // namespace net
 }  // namespace flowkv

@@ -112,6 +112,21 @@ struct ServerOptions {
   // without keeping an old binary around.
   bool emulate_legacy_proto = false;
 
+  // ----- cluster role and epochs (docs/NETWORK.md "Cluster roles") -----
+
+  // Start in the standby role: mutating client ops are fenced (kFencedOff)
+  // until a Promote() flips the server to primary; only the local
+  // ReplicaPuller's loopback apply stream (RequestMessage::internal_apply)
+  // may write. flowkv_server sets this with --standby-of.
+  bool start_as_standby = false;
+  // The lease standbys run against this server (surfaced via kClusterInfo so
+  // operators see one number cluster-wide; the standby's ReplicaOptions
+  // carries the enforced copy).
+  int lease_ms = 3000;
+  // This server's promotion priority (0-10, higher promotes sooner), also
+  // purely informational server-side.
+  int promotion_priority = 0;
+
   FlowKvOptions store_options;
 };
 
@@ -144,6 +159,26 @@ class Server {
 
   // Immediate stop: closes connections without a drain checkpoint.
   void Stop();
+
+  // ----- cluster role and epochs -----
+
+  // Current cluster epoch. Starts at max(1, the durably persisted epoch in
+  // data_dir/CLUSTER_EPOCH); only ever increases while the process lives.
+  uint64_t cluster_epoch() const;
+  // Current role as a wire value (kRolePrimary / kRoleStandby / kRoleFenced).
+  int64_t cluster_role() const;
+
+  // Promotes this server to primary under `new_epoch`: persists the epoch
+  // durably FIRST (CommitFileRename — a crash mid-promotion can never
+  // regress the epoch), quiesces in-flight requests with the same barrier
+  // the drain/attach paths use, then atomically adopts (epoch, primary).
+  // Fails if new_epoch does not exceed the current epoch, or if the server
+  // has been fenced. Safe to call from any thread, including a reactor.
+  Status Promote(uint64_t new_epoch);
+
+  // Fences this server: mutating client ops are rejected with kFencedOff
+  // until the process restarts. Used to neutralize a stale primary.
+  void Fence();
 
  private:
   class Impl;

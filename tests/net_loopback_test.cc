@@ -441,10 +441,17 @@ TEST(NetClientStaleFrameTest, LateResponseAfterTimeoutDoesNotPoisonNextRequest) 
   std::thread fake([listen_fd, &stale_sent] {
     const int c1 = ::accept(listen_fd, nullptr, nullptr);
     if (c1 < 0) return;
-    RequestMessage req1;
-    if (ReadOneRequest(c1, &req1)) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(600));
-      WriteOkResponse(c1, req1);  // stale: the client timed out long ago
+    // The client probes capabilities on every fresh connection; answer the
+    // probe promptly so Connect() succeeds, then delay the reply to the
+    // test's Ping until long after the client gave up on it.
+    RequestMessage probe1;
+    if (ReadOneRequest(c1, &probe1)) {
+      WriteOkResponse(c1, probe1);
+      RequestMessage req1;
+      if (ReadOneRequest(c1, &req1)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(600));
+        WriteOkResponse(c1, req1);  // stale: the client timed out long ago
+      }
     }
     stale_sent.store(true);
     // Bounded wait for the reconnect, so a regression (client never
@@ -453,8 +460,11 @@ TEST(NetClientStaleFrameTest, LateResponseAfterTimeoutDoesNotPoisonNextRequest) 
     if (::poll(&pfd, 1, 10'000) > 0) {
       const int c2 = ::accept(listen_fd, nullptr, nullptr);
       if (c2 >= 0) {
-        RequestMessage req2;
-        if (ReadOneRequest(c2, &req2)) {
+        // Exactly two requests arrive here: the capability probe (caps are
+        // re-learned on every fresh connection) and the retried Ping.
+        for (int i = 0; i < 2; ++i) {
+          RequestMessage req2;
+          if (!ReadOneRequest(c2, &req2)) break;
           WriteOkResponse(c2, req2);
         }
         ::close(c2);
@@ -485,7 +495,10 @@ TEST(NetClientStaleFrameTest, LateResponseAfterTimeoutDoesNotPoisonNextRequest) 
 }
 
 TEST(NetClientTimeoutTest, UnresponsivePeerTimesOut) {
-  // A listener that accepts but never replies.
+  // A listener that accepts but never replies. The client probes
+  // capabilities on every connect, so an accepting-but-silent peer is
+  // detected at Connect() — kTimedOut once the probe exhausts the
+  // deadline — rather than surfacing on the first request.
   const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   ASSERT_GE(listen_fd, 0);
   sockaddr_in addr;
@@ -501,10 +514,9 @@ TEST(NetClientTimeoutTest, UnresponsivePeerTimesOut) {
   ClientOptions copts;
   copts.port = ntohs(addr.sin_port);
   copts.request_timeout_ms = 200;
+  copts.reconnect_backoff_ms = 1;
   std::unique_ptr<Client> client;
-  ASSERT_TRUE(Client::Connect(copts, &client).ok());
-
-  const Status s = client->Ping();
+  const Status s = Client::Connect(copts, &client);
   EXPECT_TRUE(s.IsTimedOut()) << s.ToString();
   ::close(listen_fd);
 }

@@ -103,6 +103,12 @@ OpRequest RandomOpRequest(Random* rng) {
       break;
     case OpType::kPushChunk:
       break;  // server->client only; carries no request fields
+    case OpType::kClusterInfo:
+      break;  // no request fields: addresses the server, not a store
+    case OpType::kClusterAdmin:
+      op.path = rng->Uniform(2) == 0 ? "promote" : "fence";
+      op.timestamp = rng->Range(0, 100);  // target epoch (0 = current + 1)
+      break;
     default:  // kGetUnaligned, kRmwGet, kRmwRemove
       op.store_id = rng->Next() % 1000;
       op.key = RandomBytes(rng, 64);
@@ -643,7 +649,9 @@ TEST(NetPrefetchProtoTest, PrefetchOpsAreAboveLegacyMaxOpType) {
   EXPECT_EQ(static_cast<uint32_t>(OpType::kEttRegister), 17u);
   EXPECT_EQ(static_cast<uint32_t>(OpType::kPushChunk), 18u);
   EXPECT_EQ(static_cast<uint32_t>(OpType::kDropWindow), 19u);
-  EXPECT_EQ(kMaxOpType, static_cast<uint32_t>(OpType::kDropWindow));
+  EXPECT_EQ(static_cast<uint32_t>(OpType::kClusterInfo), 20u);
+  EXPECT_EQ(static_cast<uint32_t>(OpType::kClusterAdmin), 21u);
+  EXPECT_EQ(kMaxOpType, static_cast<uint32_t>(OpType::kClusterAdmin));
   EXPECT_EQ(kPushRequestId, 0u);
 }
 

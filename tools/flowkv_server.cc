@@ -18,7 +18,17 @@
 // --standby-of=HOST:PORT runs this server as a hot standby: a ReplicaPuller
 // subscribes to the primary, restores its shipped snapshot, and applies its
 // forwarded op stream; clients list this server in ClientOptions::standbys
-// and fail over to it when the primary dies (docs/NETWORK.md).
+// and fail over to it when the primary dies (docs/NETWORK.md). The standby
+// starts in the standby role: client writes are fenced (kFencedOff) until a
+// promotion.
+//
+// Automated failover (--lease-ms > 0 on a standby): when no frame arrives
+// from the primary for the lease, the standby polls its --peer endpoints for
+// a live primary and, finding none, self-promotes after a priority stagger
+// (--promotion-priority, higher promotes sooner — give every standby a
+// DISTINCT priority). A promotion durably bumps the cluster epoch before the
+// role flips, so a crash mid-promotion can never regress the epoch, and the
+// revived old primary is fenced off by the clients' epoch stamps.
 #include <signal.h>
 
 #include <atomic>
@@ -28,6 +38,7 @@
 #include <cstring>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "src/common/env.h"
 #include "src/common/logging.h"
@@ -45,7 +56,19 @@ flowkv::net::Server* g_server = nullptr;
 // a small watcher thread performs the dump.
 std::atomic<bool> g_flight_requested{false};
 
+// Set (instead of calling RequestDrain directly) when this server runs a
+// ReplicaPuller: the puller must stop BEFORE the drain checkpoint stages, or
+// an in-flight kSnapshotFile/forwarded-op apply races the checkpoint through
+// the loopback client. Stopping the puller joins a thread — not async-signal-
+// safe — so the watcher thread sequences puller->Stop() → RequestDrain().
+std::atomic<bool> g_drain_requested{false};
+std::atomic<bool> g_has_puller{false};
+
 void HandleSignal(int /*signo*/) {
+  if (g_has_puller.load(std::memory_order_relaxed)) {
+    g_drain_requested.store(true, std::memory_order_relaxed);
+    return;
+  }
   // RequestDrain is async-signal-safe (atomic store + pipe write).
   if (g_server != nullptr) {
     g_server->RequestDrain();
@@ -76,7 +99,9 @@ int Usage(const char* argv0) {
                "          [--max-shard-queue-depth=N] [--repl-ack-timeout-ms=N]\n"
                "          [--trace-out=FILE.json] [--slow-request-threshold-ms=F]\n"
                "          [--slow-log-size=N] [--no-prefetch-push]\n"
-               "          [--prefetch-shadow-bytes=N]\n",
+               "          [--prefetch-shadow-bytes=N]\n"
+               "          [--lease-ms=N] [--heartbeat-ms=N] [--promotion-priority=0..10]\n"
+               "          [--promotion-stagger-ms=N] [--peer=HOST:PORT ...]\n",
                argv0);
   return 2;
 }
@@ -90,6 +115,9 @@ int main(int argc, char** argv) {
   std::string standby_of;
   std::string trace_out;
   int metrics_interval_ms = 1000;
+  int heartbeat_ms = 0;
+  int promotion_stagger_ms = 500;
+  std::vector<flowkv::net::Endpoint> peers;
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -142,6 +170,21 @@ int main(int argc, char** argv) {
       options.enable_prefetch_push = false;
     } else if (ParseFlag(argv[i], "--prefetch-shadow-bytes", &value)) {
       options.prefetch_shadow_bytes = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--lease-ms", &value)) {
+      options.lease_ms = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--heartbeat-ms", &value)) {
+      heartbeat_ms = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--promotion-priority", &value)) {
+      options.promotion_priority = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--promotion-stagger-ms", &value)) {
+      promotion_stagger_ms = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--peer", &value)) {
+      const size_t colon = value.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--peer expects HOST:PORT, got %s\n", value.c_str());
+        return Usage(argv[0]);
+      }
+      peers.push_back({value.substr(0, colon), std::atoi(value.c_str() + colon + 1)});
     } else {
       return Usage(argv[0]);
     }
@@ -167,6 +210,10 @@ int main(int argc, char** argv) {
     flowkv::obs::Tracing::SetExportProcess(2, "flowkv_server");
   }
 
+  // A server joined to a primary starts in the standby role: client writes
+  // are fenced until a promotion flips it.
+  options.start_as_standby = !standby_of.empty();
+
   std::unique_ptr<flowkv::net::Server> server;
   const flowkv::Status start = flowkv::net::Server::Start(options, &server);
   if (!start.ok()) {
@@ -187,11 +234,20 @@ int main(int argc, char** argv) {
     repl.primary_port = std::atoi(standby_of.c_str() + colon + 1);
     repl.self_port = server->port();
     repl.snapshot_dir = flowkv::JoinPath(options.data_dir, ".standby_snapshot");
+    repl.lease_ms = options.lease_ms;
+    repl.heartbeat_ms = heartbeat_ms;
+    repl.promotion_priority = options.promotion_priority;
+    repl.promotion_stagger_ms = promotion_stagger_ms;
+    repl.peers = peers;
+    flowkv::net::Server* raw_server = server.get();
+    repl.promote = [raw_server](uint64_t epoch) { return raw_server->Promote(epoch); };
+    repl.local_epoch = [raw_server] { return raw_server->cluster_epoch(); };
     const flowkv::Status repl_status = flowkv::net::ReplicaPuller::Start(repl, &puller);
     if (!repl_status.ok()) {
       std::fprintf(stderr, "standby start failed: %s\n", repl_status.ToString().c_str());
       return 1;
     }
+    g_has_puller.store(true, std::memory_order_relaxed);
   }
 
   struct sigaction sa;
@@ -204,12 +260,21 @@ int main(int argc, char** argv) {
   ::sigaction(SIGUSR1, &sa, nullptr);
 
   // Drains SIGUSR1 requests off the signal handler (TriggerFlightRecord is
-  // not async-signal-safe). Polling keeps the handler one atomic store.
+  // not async-signal-safe), and sequences a standby's SIGTERM: the puller
+  // stops FIRST — joining its thread, so no kSnapshotFile or forwarded-op
+  // apply is in flight through the loopback client — and only then does the
+  // drain checkpoint start. Polling keeps the handler one atomic store.
   std::atomic<bool> watcher_stop{false};
-  std::thread flight_watcher([&watcher_stop] {
+  std::thread flight_watcher([&watcher_stop, &puller, &server] {
     while (!watcher_stop.load(std::memory_order_relaxed)) {
       if (g_flight_requested.exchange(false, std::memory_order_relaxed)) {
         flowkv::obs::TriggerFlightRecord("SIGUSR1");
+      }
+      if (g_drain_requested.exchange(false, std::memory_order_relaxed)) {
+        if (puller != nullptr) {
+          puller->Stop();
+        }
+        server->RequestDrain();
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
     }

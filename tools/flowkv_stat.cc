@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <string>
 #include <thread>
 
@@ -51,9 +52,22 @@ int main(int argc, char** argv) {
   }
 
   while (true) {
-    const int rc = flowkv::tools::PrintLiveStats(endpoint, raw_json, stdout);
+    std::string cluster_line;
+    const int rc = flowkv::tools::PrintLiveStats(endpoint, raw_json, stdout,
+                                                 watch_s > 0 ? &cluster_line : nullptr);
     if (watch_s <= 0) {
       return rc;
+    }
+    // One-line cluster tick per poll: greppable role/epoch/lease health even
+    // when the full snapshots scroll past during a failover drill.
+    if (rc == 0 && !cluster_line.empty()) {
+      const std::time_t now = std::time(nullptr);
+      char hms[16] = "??:??:??";
+      std::tm tm_buf;
+      if (localtime_r(&now, &tm_buf) != nullptr) {
+        std::strftime(hms, sizeof(hms), "%H:%M:%S", &tm_buf);
+      }
+      std::fprintf(stdout, "[%s] %s\n", hms, cluster_line.c_str());
     }
     std::fprintf(stdout, "\n");
     std::fflush(stdout);

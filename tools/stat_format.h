@@ -229,6 +229,38 @@ inline Status FetchStatsJson(const std::string& host, int port, std::string* jso
 
 // ----- human-readable rendering -----
 
+// Compact one-line cluster summary ("primary epoch=3 lease=3000ms ..."),
+// used as the per-poll line in `flowkv_stat --watch` and inline in the full
+// snapshot. Covers role/epoch/lease health plus the standby replication lag
+// and heartbeat age the primary tracks.
+inline std::string FormatClusterLine(const JsonValue& root) {
+  char buf[256];
+  const JsonValue* cluster = root.Get("cluster");
+  if (cluster == nullptr) {
+    return "cluster: n/a (pre-failover server)";
+  }
+  std::snprintf(buf, sizeof(buf), "cluster: %s epoch=%lld lease_ms=%lld priority=%lld",
+                cluster->Str("role", "unknown").c_str(),
+                static_cast<long long>(cluster->Num("epoch")),
+                static_cast<long long>(cluster->Num("lease_ms")),
+                static_cast<long long>(cluster->Num("priority")));
+  std::string line = buf;
+  const long long fenced = static_cast<long long>(cluster->Num("fenced_rejects"));
+  if (fenced > 0) {
+    std::snprintf(buf, sizeof(buf), "  fenced_rejects=%lld", fenced);
+    line += buf;
+  }
+  const JsonValue* repl = root.Get("replication");
+  if (repl != nullptr && repl->Bool("subscribed")) {
+    std::snprintf(buf, sizeof(buf), "  standby: lag=%lld hb_age=%.0fms%s",
+                  static_cast<long long>(repl->Num("lag")),
+                  repl->Num("heartbeat_age_ms"),
+                  repl->Bool("standby_epoch_aware") ? "" : " (legacy)");
+    line += buf;
+  }
+  return line;
+}
+
 inline void PrintStatsHuman(const JsonValue& root, const std::string& endpoint,
                             std::FILE* out) {
   const JsonValue* server = root.Get("server");
@@ -257,11 +289,19 @@ inline void PrintStatsHuman(const JsonValue& root, const std::string& endpoint,
                    static_cast<long long>(lat->Num("count")));
     }
   }
+  const JsonValue* cluster = root.Get("cluster");
+  if (cluster != nullptr) {
+    std::fprintf(out, "%s\n", FormatClusterLine(root).c_str());
+  }
   const JsonValue* repl = root.Get("replication");
   if (repl != nullptr && repl->Bool("subscribed")) {
-    std::fprintf(out, "replication: subscribed, lag %lld seq, %lld parked\n",
+    std::fprintf(out,
+                 "replication: subscribed%s, lag %lld seq, %lld parked, "
+                 "heartbeat age %.0f ms\n",
+                 repl->Bool("standby_epoch_aware") ? "" : " (legacy standby)",
                  static_cast<long long>(repl->Num("lag")),
-                 static_cast<long long>(repl->Num("parked")));
+                 static_cast<long long>(repl->Num("parked")),
+                 repl->Num("heartbeat_age_ms"));
   } else {
     std::fprintf(out, "replication: no standby\n");
   }
@@ -344,8 +384,11 @@ inline void PrintStatsHuman(const JsonValue& root, const std::string& endpoint,
 }
 
 // Fetch + render in one call; `raw_json` passes the document through
-// untouched (for scripting with jq).
-inline int PrintLiveStats(const std::string& endpoint, bool raw_json, std::FILE* out) {
+// untouched (for scripting with jq). When `cluster_line` is non-null it
+// receives the compact one-line cluster summary for this snapshot (used by
+// `flowkv_stat --watch` as its per-poll tick line).
+inline int PrintLiveStats(const std::string& endpoint, bool raw_json, std::FILE* out,
+                          std::string* cluster_line = nullptr) {
   std::string host;
   int port = 0;
   if (!ParseHostPort(endpoint, &host, &port)) {
@@ -369,6 +412,9 @@ inline int PrintLiveStats(const std::string& endpoint, bool raw_json, std::FILE*
     return 1;
   }
   PrintStatsHuman(root, endpoint, out);
+  if (cluster_line != nullptr) {
+    *cluster_line = FormatClusterLine(root);
+  }
   return 0;
 }
 
